@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the simulation kernel: event queue throughput
+//! and deterministic RNG streams. These guard the substrate every
+//! experiment is built on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mobicast_sim::{EventQueue, RngFactory, SimTime};
+use rand::RngCore;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(format!("schedule_pop_{n}"), |b| {
+            b.iter_batched(
+                EventQueue::<u64>::new,
+                |mut q| {
+                    // Interleaved schedule/pop pattern approximating a
+                    // protocol simulation (each event schedules a follower).
+                    for i in 0..n {
+                        q.schedule(SimTime::from_nanos(i * 7919 % 1_000_000), i);
+                    }
+                    let mut sum = 0u64;
+                    while let Some((_, v)) = q.pop() {
+                        sum = sum.wrapping_add(v);
+                    }
+                    black_box(sum)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancellation(c: &mut Criterion) {
+    c.bench_function("event_queue/cancel_half", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::<u64>::new();
+                let ids: Vec<_> = (0..10_000u64)
+                    .map(|i| q.schedule(SimTime::from_nanos(i), i))
+                    .collect();
+                (q, ids)
+            },
+            |(mut q, ids)| {
+                for id in ids.iter().step_by(2) {
+                    q.cancel(*id);
+                }
+                let mut n = 0u64;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_rng_streams(c: &mut Criterion) {
+    c.bench_function("rng/labelled_stream_draws", |b| {
+        let f = RngFactory::new(42);
+        b.iter(|| {
+            let mut rng = f.indexed_stream("bench", 7);
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_cancellation, bench_rng_streams);
+criterion_main!(benches);

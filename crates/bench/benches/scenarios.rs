@@ -1,0 +1,120 @@
+//! Criterion benchmarks at scenario granularity: one bench per paper
+//! table/figure, timing the simulation that regenerates it. These are the
+//! "can the harness reproduce the paper quickly" benchmarks — the actual
+//! numbers are produced by the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobicast_core::scenario::{self, Move, PaperHost, ScenarioConfig};
+use mobicast_core::strategy::Strategy;
+use mobicast_mld::MldConfig;
+use mobicast_sim::SimDuration;
+use std::hint::black_box;
+
+fn short(strategy: Strategy, moves: Vec<Move>) -> ScenarioConfig {
+    ScenarioConfig {
+        duration: SimDuration::from_secs(120),
+        strategy,
+        moves,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn bench_fig1_static_tree(c: &mut Criterion) {
+    c.bench_function("scenario/fig1_static_tree", |b| {
+        b.iter(|| black_box(scenario::run(&short(Strategy::LOCAL, vec![]))));
+    });
+}
+
+fn bench_fig2_receiver_move(c: &mut Criterion) {
+    c.bench_function("scenario/fig2_receiver_move_local", |b| {
+        b.iter(|| {
+            black_box(scenario::run(&short(
+                Strategy::LOCAL,
+                vec![Move {
+                    at_secs: 30.0,
+                    host: PaperHost::R3,
+                    to_link: 6,
+                }],
+            )))
+        });
+    });
+}
+
+fn bench_fig3_receiver_tunnel(c: &mut Criterion) {
+    c.bench_function("scenario/fig3_receiver_move_tunnel", |b| {
+        b.iter(|| {
+            black_box(scenario::run(&short(
+                Strategy::BIDIRECTIONAL_TUNNEL,
+                vec![Move {
+                    at_secs: 30.0,
+                    host: PaperHost::R3,
+                    to_link: 1,
+                }],
+            )))
+        });
+    });
+}
+
+fn bench_fig4_sender_move(c: &mut Criterion) {
+    c.bench_function("scenario/fig4_sender_move_tunnel", |b| {
+        b.iter(|| {
+            black_box(scenario::run(&short(
+                Strategy::TUNNEL_MH_TO_HA,
+                vec![Move {
+                    at_secs: 30.0,
+                    host: PaperHost::S,
+                    to_link: 6,
+                }],
+            )))
+        });
+    });
+}
+
+fn bench_table1_mixed(c: &mut Criterion) {
+    c.bench_function("scenario/table1_mixed_mobility", |b| {
+        let moves = vec![
+            Move {
+                at_secs: 20.0,
+                host: PaperHost::R3,
+                to_link: 6,
+            },
+            Move {
+                at_secs: 50.0,
+                host: PaperHost::S,
+                to_link: 6,
+            },
+            Move {
+                at_secs: 80.0,
+                host: PaperHost::R3,
+                to_link: 1,
+            },
+        ];
+        b.iter(|| black_box(scenario::run(&short(Strategy::BIDIRECTIONAL_TUNNEL, moves.clone()))));
+    });
+}
+
+fn bench_timer_sweep_point(c: &mut Criterion) {
+    c.bench_function("scenario/timer_sweep_point_tq20", |b| {
+        let cfg = ScenarioConfig {
+            duration: SimDuration::from_secs(300),
+            mld: MldConfig::with_query_interval(SimDuration::from_secs(20)),
+            unsolicited_reports: false,
+            moves: vec![Move {
+                at_secs: 60.0,
+                host: PaperHost::R3,
+                to_link: 6,
+            }],
+            ..ScenarioConfig::default()
+        };
+        b.iter(|| black_box(scenario::run(&cfg)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1_static_tree, bench_fig2_receiver_move,
+        bench_fig3_receiver_tunnel, bench_fig4_sender_move,
+        bench_table1_mixed, bench_timer_sweep_point
+}
+criterion_main!(benches);

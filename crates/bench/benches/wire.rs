@@ -1,0 +1,118 @@
+//! Criterion benchmarks for the wire codecs: IPv6 packets with extension
+//! headers, ICMPv6/MLD with checksums, PIM messages, tunneling, and the
+//! Figure-5 Multicast Group List Sub-Option.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_ipv6::exthdr::{BindingUpdate, SubOption, BU_FLAG_ACK, BU_FLAG_HOME};
+use mobicast_ipv6::packet::{proto, Packet};
+use mobicast_ipv6::udp::UdpDatagram;
+use mobicast_ipv6::{encapsulate, Icmpv6};
+use mobicast_pimdm::PimMessage;
+use std::hint::black_box;
+use std::net::Ipv6Addr;
+
+fn a(s: &str) -> Ipv6Addr {
+    s.parse().unwrap()
+}
+
+fn data_packet(payload: usize) -> Packet {
+    let g = GroupAddr::test_group(1);
+    let udp = UdpDatagram::new(5001, 5001, Bytes::from(vec![0u8; payload]));
+    let body = udp.encode(a("2001:db8:1::500"), g.addr());
+    Packet::new(a("2001:db8:1::500"), g.addr(), proto::UDP, body)
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipv6_codec");
+    for payload in [64usize, 512, 1400] {
+        let p = data_packet(payload);
+        let wire = p.encode();
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_function(format!("encode_{payload}B"), |b| {
+            b.iter(|| black_box(p.encode()));
+        });
+        group.bench_function(format!("decode_{payload}B"), |b| {
+            b.iter(|| black_box(Packet::decode(&wire).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tunnel(c: &mut Criterion) {
+    let inner = data_packet(512);
+    c.bench_function("tunnel/encapsulate_512B", |b| {
+        b.iter(|| black_box(encapsulate(a("2001:db8:6::1"), a("2001:db8:4::1"), &inner)));
+    });
+    let outer = encapsulate(a("2001:db8:6::1"), a("2001:db8:4::1"), &inner);
+    c.bench_function("tunnel/decapsulate_512B", |b| {
+        b.iter(|| black_box(mobicast_ipv6::decapsulate(&outer).unwrap()));
+    });
+}
+
+fn bench_mld_message(c: &mut Criterion) {
+    let g = GroupAddr::test_group(1);
+    c.bench_function("mld/report_encode_decode", |b| {
+        b.iter(|| {
+            let m = Icmpv6::MldReport { group: g.addr() };
+            let wire = m.encode(a("fe80::1"), g.addr());
+            black_box(Icmpv6::decode(a("fe80::1"), g.addr(), &wire).unwrap())
+        });
+    });
+}
+
+fn bench_pim_message(c: &mut Criterion) {
+    c.bench_function("pim/join_prune_encode_decode", |b| {
+        let m = PimMessage::JoinPrune {
+            upstream: a("fe80::1"),
+            joins: vec![(a("2001:db8:1::5"), GroupAddr::test_group(1))],
+            prunes: vec![(a("2001:db8:1::6"), GroupAddr::test_group(2))],
+        };
+        b.iter(|| {
+            let wire = m.encode(a("fe80::2"), mobicast_ipv6::addr::ALL_PIM_ROUTERS);
+            black_box(
+                PimMessage::decode(a("fe80::2"), mobicast_ipv6::addr::ALL_PIM_ROUTERS, &wire)
+                    .unwrap(),
+            )
+        });
+    });
+}
+
+fn bench_fig5_suboption(c: &mut Criterion) {
+    // Figure 5 throughput: Binding Updates carrying growing group lists.
+    let mut group = c.benchmark_group("fig5_group_list");
+    for n in [1u16, 4, 15] {
+        let groups: Vec<GroupAddr> = (0..n).map(GroupAddr::test_group).collect();
+        let bu = BindingUpdate {
+            flags: BU_FLAG_ACK | BU_FLAG_HOME,
+            sequence: 1,
+            lifetime_secs: 256,
+            sub_options: vec![SubOption::MulticastGroupList(groups)],
+        };
+        let p = mobicast_mipv6::packets::binding_update_packet(
+            a("2001:db8:6::9"),
+            a("2001:db8:4::1"),
+            a("2001:db8:4::9"),
+            bu,
+        );
+        group.bench_function(format!("bu_roundtrip_{n}_groups"), |b| {
+            b.iter(|| {
+                let wire = p.encode();
+                let q = Packet::decode(&wire).unwrap();
+                black_box(mobicast_mipv6::packets::parse_binding_update(&q).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packet_codec,
+    bench_tunnel,
+    bench_mld_message,
+    bench_pim_message,
+    bench_fig5_suboption
+);
+criterion_main!(benches);

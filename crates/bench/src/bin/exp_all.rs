@@ -1,0 +1,10 @@
+//! Runs every experiment of the reproduction in sequence (Figures 1-5,
+//! Table 1, the §4.4 timer sweep and the §4.3.1 sender-cost sweep).
+//! Pass --quick for reduced sweeps.
+fn main() {
+    let quick = mobicast_bench::quick_flag();
+    for out in mobicast_core::experiments::run_all(quick) {
+        mobicast_bench::emit(&out);
+        println!();
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 (see DESIGN.md experiment index).
+fn main() {
+    mobicast_bench::emit(&mobicast_core::experiments::fig5::run());
+}

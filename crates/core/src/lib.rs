@@ -1,0 +1,42 @@
+//! # mobicast-core
+//!
+//! The paper's contribution, executable: the four multicast delivery
+//! strategies for Mobile IPv6 hosts in a PIM-DM network (Table 1 of
+//! *"Interoperation of Mobile IPv6 and Protocol Independent Multicast
+//! Dense Mode"*, ICPP 2000), composed from the protocol state machines of
+//! the sibling crates and measured with the criteria of the paper's
+//! Section 4.3: join delay, leave delay, protocol overhead, bandwidth
+//! consumption, routing optimality, and system load.
+//!
+//! * [`strategy`] — the 2×2 strategy matrix (Table 1).
+//! * [`router_node`] / [`host_node`] — composed nodes: IPv6 forwarding,
+//!   MLD, PIM-DM, home agent / mobile node, applications.
+//! * [`builder`] — network assembly; [`builder::NetworkSpec::reference`]
+//!   is the paper's Figure-1 topology.
+//! * [`scenario`] — configured runs of the reference network.
+//! * [`analysis`] — ground-truth evaluation (wasted bytes, stretch,
+//!   leave delays, delivery paths).
+//! * [`recorder`] — run-time event capture feeding the analysis.
+//! * [`sweep`] — deterministic parallel parameter sweeps (crossbeam).
+//! * [`report`] — text tables and JSON output for the experiment binaries.
+
+pub mod addressing;
+pub mod analysis;
+pub mod builder;
+pub mod experiments;
+pub mod host_node;
+pub mod mobility;
+pub mod netplan;
+pub mod recorder;
+pub mod report;
+pub mod router_node;
+pub mod scenario;
+pub mod strategy;
+pub mod sweep;
+
+pub use analysis::{Analysis, RunReport};
+pub use builder::{build, BuiltNetwork, HostSpec, NetworkSpec};
+pub use host_node::{HostConfig, HostNode, SenderApp};
+pub use router_node::{RouterConfig, RouterNode};
+pub use scenario::{run, Move, PaperHost, ScenarioConfig, ScenarioResult};
+pub use strategy::{RecvPath, SendPath, Strategy};

@@ -1,0 +1,773 @@
+//! The composed router node: IPv6 forwarding + MLD router + PIM-DM +
+//! home agent, wired to the simulated network.
+//!
+//! This is the paper's "router" — every router is simultaneously a PIM-DM
+//! router and a home agent (paper §4.2: "The five routers act as PIM-DM
+//! routers and home agents"). The home-agent proxy membership is realised
+//! with an embedded MLD *host* port per interface, so proxy subscriptions
+//! behave exactly like a listener on the home link: they answer queries,
+//! are suppressed by other listeners' reports, and send Done when the
+//! binding (and thus the proxied membership) goes away.
+
+use crate::netplan::{self, frame_for, RoutingTable};
+use crate::recorder::{DataEvent, SharedRecorder};
+use mobicast_ipv6::addr::{self, GroupAddr, Prefix};
+use mobicast_ipv6::exthdr::{ExtHeader, Option6};
+use mobicast_ipv6::icmpv6::{AdvertisedPrefix, Icmpv6};
+use mobicast_ipv6::packet::{proto, Packet};
+use mobicast_ipv6::tunnel;
+use mobicast_mipv6::{packets as mip_packets, HaOutput, HomeAgent};
+use mobicast_mld::{HostOutput, MldConfig, MldHostPort, MldMessage, MldRouterPort, RouterOutput};
+use mobicast_net::{Ctx, Frame, IfIndex, LinkId, NodeBehavior, NodeId, TimerKey};
+use mobicast_pimdm::{PimConfig, PimDest, PimMessage, PimRouter, PimSend, RpfLookup};
+use mobicast_sim::{EventId, RngFactory, SimDuration, SimTime, TraceCategory};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::net::Ipv6Addr;
+
+/// Timer keys used by router nodes.
+const TIMER_MLD: u64 = 1;
+const TIMER_PIM: u64 = 2;
+const TIMER_HA: u64 = 3;
+const TIMER_RA: u64 = 4;
+/// RA responses are `TIMER_RA_RESPONSE + ifindex`.
+const TIMER_RA_RESPONSE: u64 = 0x100;
+
+/// Router behaviour configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    pub mld: MldConfig,
+    pub pim: PimConfig,
+    /// Period of unsolicited Router Advertisements.
+    pub ra_interval: SimDuration,
+    /// Delay before answering a Router Solicitation.
+    pub ra_response_delay: SimDuration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            mld: MldConfig::default(),
+            pim: PimConfig::default(),
+            ra_interval: SimDuration::from_secs(1),
+            ra_response_delay: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Static interface facts.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterIfaceInfo {
+    pub link: LinkId,
+    pub prefix: Prefix,
+    pub ll: Ipv6Addr,
+    pub global: Ipv6Addr,
+}
+
+struct TimerSlot {
+    scheduled: Option<(SimTime, EventId)>,
+}
+
+impl TimerSlot {
+    fn new() -> Self {
+        TimerSlot { scheduled: None }
+    }
+
+    /// Ensure a timer fires at `want` (None cancels).
+    fn arm(&mut self, ctx: &mut Ctx<'_>, key: u64, want: Option<SimTime>) {
+        match (self.scheduled, want) {
+            (Some((t, _)), Some(w)) if t == w => {}
+            (prev, Some(w)) => {
+                if let Some((_, id)) = prev {
+                    ctx.cancel_timer(id);
+                }
+                let id = ctx.set_timer_at(w, TimerKey(key));
+                self.scheduled = Some((w, id));
+            }
+            (Some((_, id)), None) => {
+                ctx.cancel_timer(id);
+                self.scheduled = None;
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+/// The composed router node behaviour.
+pub struct RouterNode {
+    pub id: NodeId,
+    cfg: RouterConfig,
+    ifaces: Vec<RouterIfaceInfo>,
+    table: RoutingTable,
+    pim: PimRouter,
+    mld: BTreeMap<IfIndex, MldRouterPort>,
+    /// HA proxy listener state per interface.
+    proxy: BTreeMap<IfIndex, MldHostPort>,
+    ha: HomeAgent,
+    recorder: SharedRecorder,
+    mld_timer: TimerSlot,
+    pim_timer: TimerSlot,
+    ha_timer: TimerSlot,
+    ra_pending: Vec<bool>,
+    /// High-water mark of (S,G) entries (paper: router storage load).
+    pub max_sg_entries: usize,
+}
+
+impl RouterNode {
+    pub fn new(
+        id: NodeId,
+        cfg: RouterConfig,
+        ifaces: Vec<RouterIfaceInfo>,
+        table: RoutingTable,
+        rng: &RngFactory,
+        recorder: SharedRecorder,
+    ) -> Self {
+        let mut pim = PimRouter::new(
+            cfg.pim,
+            rng.indexed_stream("pim-router", u64::from(id.0)),
+        );
+        let mut mld = BTreeMap::new();
+        let mut proxy = BTreeMap::new();
+        for (i, info) in ifaces.iter().enumerate() {
+            let ifx = i as IfIndex;
+            pim.add_iface(ifx, info.ll);
+            mld.insert(ifx, MldRouterPort::new(cfg.mld, info.ll));
+            proxy.insert(
+                ifx,
+                MldHostPort::new(
+                    cfg.mld,
+                    rng.indexed_stream("ha-proxy", u64::from(id.0) * 16 + u64::from(ifx)),
+                ),
+            );
+        }
+        let n = ifaces.len();
+        RouterNode {
+            id,
+            cfg,
+            ifaces,
+            table,
+            pim,
+            mld,
+            proxy,
+            ha: HomeAgent::new(),
+            recorder,
+            mld_timer: TimerSlot::new(),
+            pim_timer: TimerSlot::new(),
+            ha_timer: TimerSlot::new(),
+            ra_pending: vec![false; n],
+            max_sg_entries: 0,
+        }
+    }
+
+    /// Immutable access to the home-agent state (metrics).
+    pub fn home_agent(&self) -> &HomeAgent {
+        &self.ha
+    }
+
+    /// Immutable access to the PIM instance (assertions in tests).
+    pub fn pim(&self) -> &PimRouter {
+        &self.pim
+    }
+
+    pub fn iface_info(&self, ifx: IfIndex) -> &RouterIfaceInfo {
+        &self.ifaces[usize::from(ifx)]
+    }
+
+    fn iface_containing(&self, a: Ipv6Addr) -> Option<IfIndex> {
+        self.ifaces
+            .iter()
+            .position(|i| i.prefix.contains(a))
+            .map(|i| i as IfIndex)
+    }
+
+    fn is_my_addr(&self, a: Ipv6Addr) -> bool {
+        self.ifaces.iter().any(|i| i.ll == a || i.global == a)
+    }
+
+    /// Transmit `packet` on `ifx`, recording a data event if it carries the
+    /// multicast application stream. `parent` is the provenance tag of the
+    /// frame whose processing caused this emission (None at an origin).
+    fn emit(
+        &self,
+        ctx: &mut Ctx<'_>,
+        ifx: IfIndex,
+        packet: &Packet,
+        l2_to: Option<NodeId>,
+        parent: Option<u64>,
+    ) {
+        let mut frame = frame_for(packet, l2_to);
+        if let Some(info) = netplan::extract_data_info(packet) {
+            if let Some(link) = ctx.link_on(ifx) {
+                let id = self.recorder.next_tag();
+                frame.tag = id;
+                self.recorder.record_data(DataEvent {
+                    pkt: info.payload.pkt,
+                    id,
+                    parent,
+                    link,
+                    time: ctx.now(),
+                    size: frame.len() as u32,
+                    tunneled: info.tunnel_depth > 0,
+                });
+            }
+        }
+        ctx.send(ifx, frame);
+    }
+
+    fn emit_pim(&self, ctx: &mut Ctx<'_>, send: &PimSend) {
+        let src = self.ifaces[usize::from(send.iface)].ll;
+        let (dst, _l2) = match send.dest {
+            PimDest::AllRouters => (addr::ALL_PIM_ROUTERS, None),
+            PimDest::Unicast(a) => (a, netplan::node_of_addr(a)),
+        };
+        let body = send.msg.encode(src, dst);
+        let packet = Packet::new(src, dst, proto::PIM, body).with_hop_limit(1);
+        let kind = match send.msg {
+            PimMessage::Hello { .. } => "hello",
+            PimMessage::JoinPrune { ref joins, .. } if joins.is_empty() => "prune",
+            PimMessage::JoinPrune { .. } => "join",
+            PimMessage::Assert { .. } => "assert",
+            PimMessage::Graft { .. } => "graft",
+            PimMessage::GraftAck { .. } => "graft_ack",
+        };
+        self.recorder.count(&format!("pim.sent.{kind}"), 1);
+        ctx.trace(TraceCategory::Pim, || {
+            format!("tx {kind} on if{}", send.iface)
+        });
+        self.emit(ctx, send.iface, &packet, l2_to(&packet), None);
+
+        fn l2_to(p: &Packet) -> Option<NodeId> {
+            if addr::is_multicast(p.dst) {
+                None
+            } else {
+                netplan::node_of_addr(p.dst)
+            }
+        }
+    }
+
+    fn emit_mld(&self, ctx: &mut Ctx<'_>, ifx: IfIndex, src: Ipv6Addr, msg: MldMessage) {
+        let dst = msg.ip_destination();
+        let body = msg.to_icmp().encode(src, dst);
+        let packet = Packet::new(src, dst, proto::ICMPV6, body)
+            .with_hop_limit(1)
+            .with_ext(ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]));
+        let kind = match msg {
+            MldMessage::Query { .. } => "query",
+            MldMessage::Report { .. } => "report",
+            MldMessage::Done { .. } => "done",
+        };
+        self.recorder.count(&format!("mld.sent.{kind}"), 1);
+        self.emit(ctx, ifx, &packet, None, None);
+    }
+
+    fn pim_sends(&mut self, ctx: &mut Ctx<'_>, sends: Vec<PimSend>) {
+        for s in &sends {
+            self.emit_pim(ctx, s);
+        }
+        self.max_sg_entries = self.max_sg_entries.max(self.pim.entry_count());
+    }
+
+    /// Apply MLD router-port outputs for `ifx`.
+    fn apply_mld_outputs(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex, outs: Vec<RouterOutput>) {
+        for o in outs {
+            match o {
+                RouterOutput::Send(msg) => {
+                    let src = self.ifaces[usize::from(ifx)].ll;
+                    self.emit_mld(ctx, ifx, src, msg);
+                    // Our own HA proxy listener must hear our own queries
+                    // (a node does not receive its own frames) — on a
+                    // single-router home link the proxy membership would
+                    // otherwise expire after T_MLI and collapse the tree.
+                    if let MldMessage::Query {
+                        max_response_delay,
+                        group,
+                    } = msg
+                    {
+                        let proxy_outs = self
+                            .proxy
+                            .get_mut(&ifx)
+                            .expect("proxy port")
+                            .on_query(group, max_response_delay, ctx.now());
+                        self.apply_proxy_outputs(ctx, ifx, proxy_outs);
+                    }
+                }
+                RouterOutput::ListenerAdded(g) => {
+                    ctx.trace(TraceCategory::Mld, || {
+                        format!("listener for {g} appeared on if{ifx}")
+                    });
+                    self.recorder.count("mld.listener_added", 1);
+                    let sends = self.pim.set_membership(ifx, g, true, ctx.now(), &self.table);
+                    self.pim_sends(ctx, sends);
+                }
+                RouterOutput::ListenerRemoved(g) => {
+                    ctx.trace(TraceCategory::Mld, || {
+                        format!("listener for {g} gone from if{ifx}")
+                    });
+                    self.recorder.count("mld.listener_removed", 1);
+                    let sends = self.pim.set_membership(ifx, g, false, ctx.now(), &self.table);
+                    self.pim_sends(ctx, sends);
+                }
+            }
+        }
+    }
+
+    /// Apply MLD host-port (HA proxy) outputs: transmit on the link and
+    /// loop back into our own router port (a node does not hear its own
+    /// frames).
+    fn apply_proxy_outputs(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex, outs: Vec<HostOutput>) {
+        for HostOutput::Send(msg) in outs {
+            let src = self.ifaces[usize::from(ifx)].global;
+            self.emit_mld(ctx, ifx, src, msg);
+            self.recorder.count("ha.proxy_mld_sent", 1);
+            let router_outs = self
+                .mld
+                .get_mut(&ifx)
+                .expect("router port")
+                .on_message(src, &msg, ctx.now());
+            self.apply_mld_outputs(ctx, ifx, router_outs);
+        }
+    }
+
+    fn apply_ha_outputs(&mut self, ctx: &mut Ctx<'_>, home: Ipv6Addr, outs: Vec<HaOutput>) {
+        for o in outs {
+            match o {
+                HaOutput::SendBindingAck { care_of, home, ack } => {
+                    // Source the ack from the global address of the
+                    // interface the care-of route leaves on.
+                    let Some(route) = self.table.lookup(care_of) else {
+                        continue;
+                    };
+                    let src = self.ifaces[usize::from(route.iface)].global;
+                    let packet = mip_packets::binding_ack_packet(src, care_of, ack);
+                    let _ = home;
+                    self.recorder.count("ha.binding_acks_sent", 1);
+                    self.route_unicast(ctx, packet, None);
+                }
+                HaOutput::ProxyJoin(g) => {
+                    let Some(ifx) = self.iface_containing(home) else {
+                        continue;
+                    };
+                    ctx.trace(TraceCategory::MobileIp, || {
+                        format!("HA proxy-joins {g} on if{ifx}")
+                    });
+                    let outs = self
+                        .proxy
+                        .get_mut(&ifx)
+                        .expect("proxy port")
+                        .join(g, ctx.now());
+                    self.apply_proxy_outputs(ctx, ifx, outs);
+                }
+                HaOutput::ProxyLeave(g) => {
+                    let Some(ifx) = self.iface_containing(home) else {
+                        continue;
+                    };
+                    ctx.trace(TraceCategory::MobileIp, || {
+                        format!("HA proxy-leaves {g} on if{ifx}")
+                    });
+                    let outs = self
+                        .proxy
+                        .get_mut(&ifx)
+                        .expect("proxy port")
+                        .leave(g, ctx.now());
+                    self.apply_proxy_outputs(ctx, ifx, outs);
+                }
+            }
+        }
+    }
+
+    /// Forward a unicast packet according to the routing table, applying
+    /// home-agent interception for destinations on attached (home) links.
+    fn route_unicast(&mut self, ctx: &mut Ctx<'_>, mut packet: Packet, parent: Option<u64>) {
+        if packet.hop_limit <= 1 {
+            self.recorder.count("router.hop_limit_drops", 1);
+            return;
+        }
+        let Some(route) = self.table.lookup(packet.dst).copied() else {
+            self.recorder.count("router.no_route_drops", 1);
+            return;
+        };
+        // Home-agent interception: destination is on an attached link and
+        // has a binding — tunnel to the care-of address instead.
+        if route.next_hop.is_none() && !tunnel::is_tunnel(&packet) {
+            if let Some(coa) = self.ha.intercept(packet.dst) {
+                if coa != packet.dst {
+                    let Some(out_route) = self.table.lookup(coa).copied() else {
+                        return;
+                    };
+                    let src = self.ifaces[usize::from(out_route.iface)].global;
+                    let outer = tunnel::encapsulate(src, coa, &packet);
+                    self.recorder.count("ha.unicast_tunnel_encap", 1);
+                    self.route_unicast(ctx, outer, parent);
+                    return;
+                }
+            }
+        }
+        packet.hop_limit -= 1;
+        let l2 = route
+            .next_hop_node
+            .or_else(|| netplan::node_of_addr(packet.dst));
+        self.emit(ctx, route.iface, &packet, l2, parent);
+    }
+
+    /// Handle an accepted or flooded multicast data packet. `tag` is the
+    /// provenance tag of the arriving frame.
+    fn handle_multicast_data(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex, packet: &Packet, tag: u64) {
+        let Some(group) = GroupAddr::try_new(packet.dst) else {
+            return;
+        };
+        // Link-scope multicast is never routed.
+        if addr::multicast_scope(packet.dst) <= Some(2) {
+            return;
+        }
+        let s = packet.src;
+        let now = ctx.now();
+        let accepted = self
+            .table
+            .rpf(s)
+            .map(|i| i.iif == ifx)
+            .unwrap_or(false);
+        let (fwd, sends) = self.pim.on_data(ifx, s, group, now, &self.table);
+        self.recorder.count("router.mcast_data_processed", 1);
+        self.pim_sends(ctx, sends);
+        let parent = (tag != 0).then_some(tag);
+        if !fwd.is_empty() {
+            let mut forwarded = packet.clone();
+            if forwarded.hop_limit <= 1 {
+                self.recorder.count("router.hop_limit_drops", 1);
+                return;
+            }
+            forwarded.hop_limit -= 1;
+            for out in fwd {
+                self.emit(ctx, out, &forwarded, None, parent);
+            }
+        }
+        // Home-agent multicast tunnelling: one unicast copy per subscribed
+        // mobile host (paper §4.3.2 — this is where the "same datagrams
+        // sent via unicast to each group member" cost comes from).
+        if accepted && self.ha.has_group_subscribers(group) {
+            let targets = self.ha.multicast_tunnel_targets(group);
+            for coa in targets {
+                let Some(out_route) = self.table.lookup(coa).copied() else {
+                    continue;
+                };
+                let src = self.ifaces[usize::from(out_route.iface)].global;
+                let outer = tunnel::encapsulate(src, coa, packet);
+                self.recorder.count("ha.mcast_tunnel_encap", 1);
+                self.route_unicast(ctx, outer, parent);
+            }
+        }
+    }
+
+    /// A packet addressed to this router itself. `tag` is the provenance
+    /// tag of the arriving frame.
+    fn handle_local(&mut self, ctx: &mut Ctx<'_>, _ifx: IfIndex, packet: &Packet, tag: u64) {
+        let now = ctx.now();
+        // Reverse tunnel endpoint: decapsulate and forward on the home link.
+        if tunnel::is_tunnel(packet) {
+            let Ok(inner) = tunnel::decapsulate(packet) else {
+                self.recorder.count("ha.decap_errors", 1);
+                return;
+            };
+            self.recorder.count("ha.tunnel_decap", 1);
+            let parent = (tag != 0).then_some(tag);
+            if inner.is_multicast() {
+                // Paper §4.2.2 B: "The home agent then decapsulates the
+                // inner datagram and forwards it on the home link. From
+                // there, the datagram is distributed … over the usual
+                // multicast distribution tree."
+                let Some(home_ifx) = self.iface_containing(inner.src) else {
+                    self.recorder.count("ha.decap_no_home_link", 1);
+                    return;
+                };
+                let mut onto_link = inner.clone();
+                if onto_link.hop_limit > 1 {
+                    onto_link.hop_limit -= 1;
+                    self.emit(ctx, home_ifx, &onto_link, None, parent);
+                }
+                // Process it ourselves as the origin router on the home
+                // link (our own transmission is not looped back to us).
+                self.handle_multicast_data_from_decap(ctx, home_ifx, &inner, parent);
+            } else {
+                self.route_unicast(ctx, inner, parent);
+            }
+            return;
+        }
+        // Binding updates.
+        if let Some((home, bu)) = mip_packets::parse_binding_update(packet) {
+            ctx.trace(TraceCategory::MobileIp, || {
+                format!("BU from {} for {home} (seq {})", packet.src, bu.sequence)
+            });
+            self.recorder.count("ha.binding_updates_rx", 1);
+            let outs = self.ha.on_binding_update(home, packet.src, &bu, now);
+            self.apply_ha_outputs(ctx, home, outs);
+            self.arm_ha(ctx);
+        }
+    }
+
+    /// Multicast data entering via our own decapsulation: like
+    /// `handle_multicast_data`, but the logical ingress is the home link.
+    fn handle_multicast_data_from_decap(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        home_ifx: IfIndex,
+        packet: &Packet,
+        parent: Option<u64>,
+    ) {
+        let Some(group) = GroupAddr::try_new(packet.dst) else {
+            return;
+        };
+        let now = ctx.now();
+        let (fwd, sends) = self
+            .pim
+            .on_data(home_ifx, packet.src, group, now, &self.table);
+        self.pim_sends(ctx, sends);
+        if !fwd.is_empty() {
+            let mut forwarded = packet.clone();
+            if forwarded.hop_limit <= 1 {
+                return;
+            }
+            forwarded.hop_limit -= 1;
+            for out in fwd {
+                self.emit(ctx, out, &forwarded, None, parent);
+            }
+        }
+        if self.ha.has_group_subscribers(group) {
+            let targets = self.ha.multicast_tunnel_targets(group);
+            for coa in targets {
+                let Some(out_route) = self.table.lookup(coa).copied() else {
+                    continue;
+                };
+                let src = self.ifaces[usize::from(out_route.iface)].global;
+                let outer = tunnel::encapsulate(src, coa, packet);
+                self.recorder.count("ha.mcast_tunnel_encap", 1);
+                self.route_unicast(ctx, outer, parent);
+            }
+        }
+    }
+
+    fn send_router_advert(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex) {
+        let info = self.ifaces[usize::from(ifx)];
+        let ra = Icmpv6::RouterAdvert {
+            router_lifetime_secs: 1800,
+            prefixes: vec![AdvertisedPrefix {
+                prefix: info.prefix,
+                autonomous: true,
+                valid_lifetime_secs: 86_400,
+                preferred_lifetime_secs: 14_400,
+            }],
+        };
+        let body = ra.encode(info.ll, addr::ALL_NODES);
+        let packet =
+            Packet::new(info.ll, addr::ALL_NODES, proto::ICMPV6, body).with_hop_limit(255);
+        self.recorder.count("nd.ra_sent", 1);
+        self.emit(ctx, ifx, &packet, None, None);
+    }
+
+    fn arm_mld(&mut self, ctx: &mut Ctx<'_>) {
+        let next = self
+            .mld
+            .values()
+            .filter_map(|p| p.next_deadline())
+            .chain(self.proxy.values().filter_map(|p| p.next_deadline()))
+            .min();
+        self.mld_timer.arm(ctx, TIMER_MLD, next);
+    }
+
+    fn arm_pim(&mut self, ctx: &mut Ctx<'_>) {
+        let next = self.pim.next_deadline();
+        self.pim_timer.arm(ctx, TIMER_PIM, next);
+    }
+
+    fn arm_ha(&mut self, ctx: &mut Ctx<'_>) {
+        let next = self.ha.next_deadline();
+        self.ha_timer.arm(ctx, TIMER_HA, next);
+    }
+}
+
+impl NodeBehavior for RouterNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let sends = self.pim.start(now);
+        self.pim_sends(ctx, sends);
+        let keys: Vec<IfIndex> = self.mld.keys().copied().collect();
+        for ifx in keys {
+            let outs = self.mld.get_mut(&ifx).expect("port").start(now);
+            self.apply_mld_outputs(ctx, ifx, outs);
+        }
+        // Stagger the first RA slightly per router so LANs with several
+        // routers do not advertise in lockstep.
+        let stagger = SimDuration::from_millis(u64::from(self.id.0) * 7 + 3);
+        ctx.set_timer_at(now + stagger, TimerKey(TIMER_RA));
+        self.arm_mld(ctx);
+        self.arm_pim(ctx);
+        self.arm_ha(ctx);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex, frame: &Frame) {
+        let Ok(packet) = Packet::decode(&frame.bytes) else {
+            self.recorder.count("router.decode_errors", 1);
+            return;
+        };
+        let now = ctx.now();
+        match packet.payload_proto {
+            proto::PIM => {
+                if packet.dst == addr::ALL_PIM_ROUTERS || self.is_my_addr(packet.dst) {
+                    match PimMessage::decode(packet.src, packet.dst, &packet.payload) {
+                        Ok(msg) => {
+                            let sends =
+                                self.pim
+                                    .on_message(ifx, packet.src, &msg, now, &self.table);
+                            self.pim_sends(ctx, sends);
+                            self.arm_pim(ctx);
+                        }
+                        Err(_) => self.recorder.count("router.pim_decode_errors", 1),
+                    }
+                }
+            }
+            proto::ICMPV6 => {
+                let Ok(icmp) = Icmpv6::decode(packet.src, packet.dst, &packet.payload) else {
+                    self.recorder.count("router.icmp_decode_errors", 1);
+                    return;
+                };
+                if let Some(msg) = MldMessage::from_icmp(&icmp) {
+                    let outs = self
+                        .mld
+                        .get_mut(&ifx)
+                        .expect("port")
+                        .on_message(packet.src, &msg, now);
+                    self.apply_mld_outputs(ctx, ifx, outs);
+                    // The HA proxy listener also hears link traffic.
+                    let proxy_outs = {
+                        let proxy = self.proxy.get_mut(&ifx).expect("proxy");
+                        match msg {
+                            MldMessage::Query {
+                                max_response_delay,
+                                group,
+                            } => proxy.on_query(group, max_response_delay, now),
+                            MldMessage::Report { group } => {
+                                proxy.on_report_heard(group);
+                                Vec::new()
+                            }
+                            MldMessage::Done { .. } => Vec::new(),
+                        }
+                    };
+                    self.apply_proxy_outputs(ctx, ifx, proxy_outs);
+                    self.arm_mld(ctx);
+                    self.arm_pim(ctx);
+                } else if matches!(icmp, Icmpv6::RouterSolicit) {
+                    let slot = usize::from(ifx);
+                    if !self.ra_pending[slot] {
+                        self.ra_pending[slot] = true;
+                        ctx.set_timer_after(
+                            self.cfg.ra_response_delay,
+                            TimerKey(TIMER_RA_RESPONSE + u64::from(ifx)),
+                        );
+                    }
+                }
+            }
+            _ if packet.is_multicast() => {
+                self.handle_multicast_data(ctx, ifx, &packet, frame.tag);
+                self.arm_pim(ctx);
+            }
+            _ if self.is_my_addr(packet.dst) => {
+                self.handle_local(ctx, ifx, &packet, frame.tag);
+                self.arm_pim(ctx);
+                self.arm_mld(ctx);
+            }
+            _ => {
+                let parent = (frame.tag != 0).then_some(frame.tag);
+                self.route_unicast(ctx, packet, parent);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: TimerKey) {
+        let now = ctx.now();
+        match key.0 {
+            TIMER_MLD => {
+                self.mld_timer.scheduled = None;
+                let keys: Vec<IfIndex> = self.mld.keys().copied().collect();
+                for ifx in keys {
+                    loop {
+                        let due = self
+                            .mld
+                            .get(&ifx)
+                            .and_then(|p| p.next_deadline())
+                            .is_some_and(|t| t <= now);
+                        if !due {
+                            break;
+                        }
+                        let outs = self.mld.get_mut(&ifx).expect("port").on_deadline(now);
+                        self.apply_mld_outputs(ctx, ifx, outs);
+                    }
+                    loop {
+                        let due = self
+                            .proxy
+                            .get(&ifx)
+                            .and_then(|p| p.next_deadline())
+                            .is_some_and(|t| t <= now);
+                        if !due {
+                            break;
+                        }
+                        let outs = self.proxy.get_mut(&ifx).expect("proxy").on_deadline(now);
+                        self.apply_proxy_outputs(ctx, ifx, outs);
+                    }
+                }
+                self.arm_mld(ctx);
+                self.arm_pim(ctx);
+            }
+            TIMER_PIM => {
+                self.pim_timer.scheduled = None;
+                let sends = self.pim.on_deadline(now, &self.table);
+                self.pim_sends(ctx, sends);
+                self.arm_pim(ctx);
+            }
+            TIMER_HA => {
+                self.ha_timer.scheduled = None;
+                // Expiry may release proxy memberships; we need the homes,
+                // so collect the subscribed groups before/after.
+                let outs = self.ha.on_deadline(now);
+                // `on_deadline` outputs lack the home address; proxy state
+                // is keyed per interface, so apply leaves on every iface
+                // that has the group joined.
+                for o in outs {
+                    if let HaOutput::ProxyLeave(g) = o {
+                        let keys: Vec<IfIndex> = self.proxy.keys().copied().collect();
+                        for ifx in keys {
+                            if self.proxy[&ifx].is_joined(g) {
+                                let outs =
+                                    self.proxy.get_mut(&ifx).expect("proxy").leave(g, now);
+                                self.apply_proxy_outputs(ctx, ifx, outs);
+                            }
+                        }
+                    }
+                }
+                self.arm_ha(ctx);
+                self.arm_mld(ctx);
+            }
+            TIMER_RA => {
+                for ifx in 0..self.ifaces.len() as u8 {
+                    self.send_router_advert(ctx, ifx);
+                }
+                ctx.set_timer_after(self.cfg.ra_interval, TimerKey(TIMER_RA));
+            }
+            k if k >= TIMER_RA_RESPONSE => {
+                let ifx = (k - TIMER_RA_RESPONSE) as IfIndex;
+                self.ra_pending[usize::from(ifx)] = false;
+                self.send_router_advert(ctx, ifx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_link_change(&mut self, _ctx: &mut Ctx<'_>, _ifx: IfIndex, _link: Option<LinkId>) {
+        // Routers are stationary in all scenarios.
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

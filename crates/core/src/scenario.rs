@@ -1,0 +1,271 @@
+//! Scenario configuration and execution: the reference (Figure-1) network
+//! with the paper's hosts, a strategy, timer profiles, a mobility script,
+//! and a CBR multicast stream — run to completion and analyzed.
+
+use crate::analysis::{analyze, RunReport};
+use crate::builder::{build, BuiltNetwork, HostSpec, NetworkSpec};
+use crate::host_node::{HostConfig, HostNode, SenderApp};
+use crate::router_node::{RouterConfig, RouterNode};
+use crate::strategy::Strategy;
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_mld::MldConfig;
+use mobicast_net::FrameClass;
+use mobicast_pimdm::PimConfig;
+use mobicast_sim::{SimDuration, SimTime, Tracer};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The hosts of the paper's Figure 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PaperHost {
+    /// Sender S (home: Link 1).
+    S,
+    /// Receiver 1 (home: Link 1).
+    R1,
+    /// Receiver 2 (home: Link 2).
+    R2,
+    /// Receiver 3 (home: Link 4).
+    R3,
+}
+
+impl PaperHost {
+    pub const ALL: [PaperHost; 4] = [PaperHost::S, PaperHost::R1, PaperHost::R2, PaperHost::R3];
+
+    /// Home link (0-indexed; the paper's Link n is index n-1).
+    pub fn home_link_index(self) -> usize {
+        match self {
+            PaperHost::S | PaperHost::R1 => 0,
+            PaperHost::R2 => 1,
+            PaperHost::R3 => 3,
+        }
+    }
+}
+
+/// One scripted link change: at `at`, `host` moves to the paper's
+/// `to_link` (1-based, as in the figures).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Move {
+    pub at_secs: f64,
+    pub host: PaperHost,
+    pub to_link: usize,
+}
+
+/// Full configuration of a reference-topology scenario.
+#[derive(Clone)]
+pub struct ScenarioConfig {
+    pub seed: u64,
+    pub duration: SimDuration,
+    pub strategy: Strategy,
+    /// The paper's §4.4 knob.
+    pub mld: MldConfig,
+    pub pim: PimConfig,
+    /// Unsolicited Reports after moving (paper's recommendation).
+    pub unsolicited_reports: bool,
+    /// CBR source parameters.
+    pub data_interval: SimDuration,
+    pub payload_size: usize,
+    pub traffic_start: SimTime,
+    pub moves: Vec<Move>,
+    /// Additional mobile receivers homed on Link 4 that follow R3's moves
+    /// (used to measure the per-receiver unicast duplication of the tunnel
+    /// approaches, paper §4.3.2).
+    pub extra_receivers: usize,
+    /// Optional tracer (None = silent).
+    pub tracer: Option<Tracer>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 1,
+            duration: SimDuration::from_secs(600),
+            strategy: Strategy::LOCAL,
+            mld: MldConfig::default(),
+            pim: PimConfig::default(),
+            unsolicited_reports: true,
+            data_interval: SimDuration::from_millis(500),
+            payload_size: 512,
+            traffic_start: SimTime::from_secs(5),
+            moves: Vec::new(),
+            extra_receivers: 0,
+            tracer: None,
+        }
+    }
+}
+
+/// Result of one scenario run.
+pub struct ScenarioResult {
+    pub report: RunReport,
+    /// Packets received (first copies) per paper host.
+    pub received: BTreeMap<&'static str, u64>,
+    /// Duplicates per paper host.
+    pub duplicates: BTreeMap<&'static str, u64>,
+    /// Maximum number of (S,G) entries across routers (state load).
+    pub max_router_sg_entries: usize,
+    /// Home-agent processing totals across routers.
+    pub ha_binding_updates: u64,
+    pub ha_packets_tunneled: u64,
+    /// Final multicast tree: links carrying useful data in the last tenth
+    /// of the run.
+    pub sent: u64,
+}
+
+/// The multicast group used by all reference scenarios.
+pub fn group() -> GroupAddr {
+    GroupAddr::test_group(1)
+}
+
+/// Run a reference-topology scenario to completion.
+pub fn run(cfg: &ScenarioConfig) -> ScenarioResult {
+    cfg.mld.validate().expect("invalid MLD profile");
+    cfg.pim.validate().expect("invalid PIM profile");
+    let spec = NetworkSpec::reference();
+    let g = group();
+
+    let host_cfg = HostConfig {
+        strategy: cfg.strategy,
+        unsolicited_reports: cfg.unsolicited_reports,
+        mld: cfg.mld,
+    };
+    let sender_app = SenderApp {
+        group: g,
+        interval: cfg.data_interval,
+        payload_size: cfg.payload_size,
+        start: cfg.traffic_start,
+        stop: SimTime::ZERO + cfg.duration,
+    };
+    let mut hosts: Vec<HostSpec> = PaperHost::ALL
+        .iter()
+        .map(|h| HostSpec {
+            home_link: h.home_link_index(),
+            cfg: host_cfg,
+            sender: (*h == PaperHost::S).then_some(sender_app),
+            receiver_group: (*h != PaperHost::S).then_some(g),
+        })
+        .collect();
+    for _ in 0..cfg.extra_receivers {
+        hosts.push(HostSpec {
+            home_link: PaperHost::R3.home_link_index(),
+            cfg: host_cfg,
+            sender: None,
+            receiver_group: Some(g),
+        });
+    }
+
+    let router_cfg = RouterConfig {
+        mld: cfg.mld,
+        pim: cfg.pim,
+        ..RouterConfig::default()
+    };
+    let tracer = cfg.tracer.clone().unwrap_or_else(Tracer::null);
+    let mut net = build(&spec, &hosts, router_cfg, cfg.seed, tracer);
+
+    // Script the moves. Extra receivers shadow R3's movements.
+    for mv in &cfg.moves {
+        let host = net.hosts[PaperHost::ALL.iter().position(|h| *h == mv.host).unwrap()];
+        let link = net.links[mv.to_link - 1];
+        let at = SimTime::from_nanos((mv.at_secs * 1e9) as u64);
+        net.world.at(at, move |w| {
+            w.move_iface(host, 0, link);
+        });
+        if mv.host == PaperHost::R3 {
+            for extra in net.hosts.iter().skip(PaperHost::ALL.len()).copied() {
+                net.world.at(at, move |w| {
+                    w.move_iface(extra, 0, link);
+                });
+            }
+        }
+    }
+
+    net.world.run_until(SimTime::ZERO + cfg.duration);
+    finish(cfg, net)
+}
+
+/// Collect results from a finished network.
+pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
+    let BuiltNetwork {
+        world,
+        routers,
+        hosts,
+        links,
+        graph,
+        recorder,
+        ..
+    } = net;
+
+    let rec = recorder.take();
+    let analysis = analyze(&rec, &graph, links.len());
+
+    let mut counters = rec.counters.clone();
+    counters.merge(world.counters());
+    let mut series = rec.series.clone();
+    series.record("seed", cfg.seed as f64);
+
+    let names = ["S", "R1", "R2", "R3"];
+    let mut received = BTreeMap::new();
+    let mut duplicates = BTreeMap::new();
+    for (i, id) in hosts.iter().enumerate().skip(names.len()) {
+        if let Some(h) = world.behavior::<HostNode>(*id) {
+            counters.add("extra_receivers.received", h.received_count());
+            let _ = i;
+        }
+    }
+    for (name, id) in names.iter().zip(&hosts) {
+        if let Some(h) = world.behavior::<HostNode>(*id) {
+            received.insert(*name, h.received_count());
+            duplicates.insert(*name, h.duplicate_count());
+            counters.add(
+                &format!("host.{name}.binding_updates"),
+                h.mobile().binding_updates_sent(),
+            );
+        }
+    }
+
+    let mut max_router_sg_entries = 0;
+    let mut ha_binding_updates = 0;
+    let mut ha_packets_tunneled = 0;
+    for r in &routers {
+        if let Some(router) = world.behavior::<RouterNode>(*r) {
+            max_router_sg_entries = max_router_sg_entries.max(router.max_sg_entries);
+            ha_binding_updates += router.home_agent().binding_updates_processed;
+            ha_packets_tunneled += router.home_agent().packets_tunneled;
+        }
+    }
+
+    let link_bytes: Vec<BTreeMap<String, u64>> = links
+        .iter()
+        .map(|l| {
+            let stats = world.link_stats(*l);
+            FrameClass::ALL
+                .iter()
+                .map(|c| (c.name().to_string(), stats.bytes[c.index()]))
+                .collect()
+        })
+        .collect();
+
+    for d in &analysis.leave_delays {
+        series.record("leave_delay", *d);
+    }
+
+    let sent = analysis.packets_sent;
+    ScenarioResult {
+        report: RunReport {
+            analysis,
+            counters,
+            series,
+            link_bytes,
+        },
+        received,
+        duplicates,
+        max_router_sg_entries,
+        ha_binding_updates,
+        ha_packets_tunneled,
+        sent,
+    }
+}
+
+/// Convenience: identify the paper's 1-based link numbers with link ids.
+pub fn paper_link(n: usize) -> mobicast_net::LinkId {
+    assert!((1..=6).contains(&n));
+    mobicast_net::LinkId(n as u32 - 1)
+}

@@ -1,0 +1,150 @@
+//! The paper's four approaches to multicast for mobile hosts (Table 1).
+//!
+//! A strategy is the cross product of how a mobile host *receives*
+//! (locally via MLD on the foreign link, or through a tunnel from its home
+//! agent) and how it *sends* (locally on the foreign link, or reverse-
+//! tunnelled to its home agent). The four combinations are exactly the
+//! paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a mobile host away from home receives multicast traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RecvPath {
+    /// §4.2.1 A: join via the local multicast router on the foreign link.
+    Local,
+    /// §4.2.1 B: the home agent joins on the host's behalf (extended
+    /// Binding Update with the Multicast Group List Sub-Option) and tunnels
+    /// group traffic to the care-of address.
+    HomeTunnel,
+}
+
+/// How a mobile host away from home sends multicast traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SendPath {
+    /// §4.2.2 A: send on the foreign link with the care-of address as
+    /// source (a brand-new source-rooted tree is built).
+    Local,
+    /// §4.2.2 B: reverse-tunnel to the home agent, which decapsulates and
+    /// sends on the home link (the existing tree is reused).
+    HomeTunnel,
+}
+
+/// One of the paper's four approaches (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Strategy {
+    pub recv: RecvPath,
+    pub send: SendPath,
+}
+
+impl Strategy {
+    /// Approach 1: local group membership on the foreign link.
+    pub const LOCAL: Strategy = Strategy {
+        recv: RecvPath::Local,
+        send: SendPath::Local,
+    };
+    /// Approach 2: bi-directional tunnel between home agent and mobile host.
+    pub const BIDIRECTIONAL_TUNNEL: Strategy = Strategy {
+        recv: RecvPath::HomeTunnel,
+        send: SendPath::HomeTunnel,
+    };
+    /// Approach 3: uni-directional tunnel from the mobile host to the home
+    /// agent (send tunnelled, receive local).
+    pub const TUNNEL_MH_TO_HA: Strategy = Strategy {
+        recv: RecvPath::Local,
+        send: SendPath::HomeTunnel,
+    };
+    /// Approach 4: uni-directional tunnel from the home agent to the mobile
+    /// host (receive tunnelled, send local).
+    pub const TUNNEL_HA_TO_MH: Strategy = Strategy {
+        recv: RecvPath::HomeTunnel,
+        send: SendPath::Local,
+    };
+
+    /// All four approaches in the paper's Table 1 order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::LOCAL,
+        Strategy::BIDIRECTIONAL_TUNNEL,
+        Strategy::TUNNEL_MH_TO_HA,
+        Strategy::TUNNEL_HA_TO_MH,
+    ];
+
+    /// The paper's name for the approach.
+    pub fn name(&self) -> &'static str {
+        match (self.recv, self.send) {
+            (RecvPath::Local, SendPath::Local) => "local group membership",
+            (RecvPath::HomeTunnel, SendPath::HomeTunnel) => "bi-directional tunnel",
+            (RecvPath::Local, SendPath::HomeTunnel) => "uni-dir tunnel MH->HA",
+            (RecvPath::HomeTunnel, SendPath::Local) => "uni-dir tunnel HA->MH",
+        }
+    }
+
+    /// Does this approach require the paper's Mobile IPv6 draft extension
+    /// (the Multicast Group List Sub-Option) or PIM-capable home agents?
+    /// (Static property discussed in §4.3; reported in the Table-1
+    /// comparison.)
+    pub fn requires_draft_changes(&self) -> bool {
+        self.recv == RecvPath::HomeTunnel
+    }
+
+    /// Is routing to mobile *receivers* optimal under this approach (§4.3)?
+    pub fn receiver_routing_optimal(&self) -> bool {
+        self.recv == RecvPath::Local
+    }
+
+    /// Is routing from mobile *senders* optimal under this approach?
+    pub fn sender_routing_optimal(&self) -> bool {
+        self.send == SendPath::Local
+    }
+
+    /// Does a moving sender force a new distribution tree (flood + prune)?
+    pub fn sender_move_rebuilds_tree(&self) -> bool {
+        self.send == SendPath::Local
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_distinct_strategies() {
+        let mut names: Vec<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn table1_static_properties() {
+        // §4.3.1: local membership — optimal routing, no draft changes.
+        assert!(Strategy::LOCAL.receiver_routing_optimal());
+        assert!(Strategy::LOCAL.sender_routing_optimal());
+        assert!(!Strategy::LOCAL.requires_draft_changes());
+        assert!(Strategy::LOCAL.sender_move_rebuilds_tree());
+
+        // §4.3.2: bi-directional tunnel — suboptimal both ways, needs the
+        // sub-option, no tree rebuild.
+        assert!(!Strategy::BIDIRECTIONAL_TUNNEL.receiver_routing_optimal());
+        assert!(!Strategy::BIDIRECTIONAL_TUNNEL.sender_routing_optimal());
+        assert!(Strategy::BIDIRECTIONAL_TUNNEL.requires_draft_changes());
+        assert!(!Strategy::BIDIRECTIONAL_TUNNEL.sender_move_rebuilds_tree());
+
+        // §4.3.3: MH->HA — optimal receive, suboptimal send, no changes.
+        assert!(Strategy::TUNNEL_MH_TO_HA.receiver_routing_optimal());
+        assert!(!Strategy::TUNNEL_MH_TO_HA.sender_routing_optimal());
+        assert!(!Strategy::TUNNEL_MH_TO_HA.requires_draft_changes());
+
+        // §4.3.4: HA->MH — "combines most disadvantages".
+        assert!(!Strategy::TUNNEL_HA_TO_MH.receiver_routing_optimal());
+        assert!(Strategy::TUNNEL_HA_TO_MH.sender_move_rebuilds_tree());
+        assert!(Strategy::TUNNEL_HA_TO_MH.requires_draft_changes());
+    }
+}

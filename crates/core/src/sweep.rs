@@ -1,0 +1,84 @@
+//! Deterministic parallel parameter sweeps.
+//!
+//! Each scenario run is single-threaded and deterministic; a sweep runs
+//! many configurations across OS threads with crossbeam scoped threads
+//! (the guides' "data parallelism without data races" idiom — results are
+//! collected by index, so output order never depends on scheduling).
+
+use crossbeam::thread;
+
+/// Run `f` over `inputs` with up to `workers` threads, preserving order.
+pub fn run_parallel<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(workers >= 1);
+    let n = inputs.len();
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    // Hand out disjoint &mut slots to workers through a mutex-protected
+    // index -> slot map; simplest is to collect (index, output) pairs.
+    let collected = parking_lot::Mutex::new(Vec::with_capacity(n));
+    thread::scope(|s| {
+        for _ in 0..workers.min(n.max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f_ref(&inputs_ref[i]);
+                collected.lock().push((i, out));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    for (i, out) in collected.into_inner() {
+        results[i] = Some(out);
+    }
+    results
+        .into_iter()
+        .map(|o| o.expect("every input processed"))
+        .collect()
+}
+
+/// Number of worker threads to use by default.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = run_parallel(inputs.clone(), 8, |x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let out = run_parallel(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = run_parallel(Vec::<u32>::new(), 4, |_| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_inputs() {
+        let out = run_parallel(vec![5], 16, |x| x * x);
+        assert_eq!(out, vec![25]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Full-stack smoke test: the static Figure-1 scenario — flood, prune,
+//! and steady-state delivery to all three receivers.
+
+use mobicast_core::scenario::{self, ScenarioConfig};
+use mobicast_sim::SimDuration;
+
+#[test]
+fn static_reference_scenario_delivers_to_all_receivers() {
+    let cfg = ScenarioConfig {
+        duration: SimDuration::from_secs(120),
+        ..ScenarioConfig::default()
+    };
+    let result = scenario::run(&cfg);
+    let sent = result.sent;
+    assert!(sent > 200, "sender produced packets: {sent}");
+    for r in ["R1", "R2", "R3"] {
+        let got = result.received[r];
+        assert!(
+            got as f64 > 0.95 * sent as f64,
+            "{r} received {got}/{sent}"
+        );
+    }
+    // Link 6 (index 5) is pruned: essentially no steady data flow.
+    let wasted_l6 = result.report.analysis.link_usage[5].useful_bytes
+        + result.report.analysis.link_usage[5].wasted_bytes;
+    let total: u64 = result
+        .report
+        .analysis
+        .link_usage
+        .iter()
+        .map(|u| u.useful_bytes + u.wasted_bytes)
+        .sum();
+    assert!(
+        (wasted_l6 as f64) < 0.05 * total as f64,
+        "L6 must be pruned: {wasted_l6}/{total}"
+    );
+}
+
+use mobicast_core::scenario::Move;
+use mobicast_core::strategy::Strategy;
+use mobicast_core::PaperHost;
+
+/// Figure 2: R3 moves from Link 4 to the pruned Link 6, local membership.
+#[test]
+fn figure2_receiver_move_local_membership() {
+    let cfg = ScenarioConfig {
+        duration: SimDuration::from_secs(400),
+        strategy: Strategy::LOCAL,
+        moves: vec![Move {
+            at_secs: 60.0,
+            host: PaperHost::R3,
+            to_link: 6,
+        }],
+        ..ScenarioConfig::default()
+    };
+    let result = scenario::run(&cfg);
+    // R3 keeps receiving after the graft onto Link 6.
+    let got = result.received["R3"];
+    assert!(
+        got as f64 > 0.8 * result.sent as f64,
+        "R3 received {got}/{}",
+        result.sent
+    );
+    // Join delay small thanks to unsolicited reports (graft round trip).
+    let jd = result.report.series.summary("join_delay");
+    assert_eq!(jd.count, 1);
+    assert!(jd.mean < 2.0, "join delay {} too large", jd.mean);
+    // Leave delay on Link 4 bounded by T_MLI = 260 s and substantial.
+    let ld = result.report.series.summary("leave_delay");
+    assert_eq!(ld.count, 1, "one departure leaves stale state");
+    assert!(ld.mean > 30.0 && ld.mean <= 261.0, "leave delay {}", ld.mean);
+    // Stale traffic onto Link 4 shows up as wasted bytes there.
+    assert!(result.report.analysis.link_usage[3].wasted_bytes > 0);
+}
+
+/// Figure 3: R3 moves from Link 4 to Link 1, bi-directional tunnel.
+#[test]
+fn figure3_receiver_move_home_tunnel() {
+    let cfg = ScenarioConfig {
+        duration: SimDuration::from_secs(300),
+        strategy: Strategy::BIDIRECTIONAL_TUNNEL,
+        moves: vec![Move {
+            at_secs: 60.0,
+            host: PaperHost::R3,
+            to_link: 1,
+        }],
+        ..ScenarioConfig::default()
+    };
+    let result = scenario::run(&cfg);
+    let got = result.received["R3"];
+    assert!(
+        got as f64 > 0.9 * result.sent as f64,
+        "R3 received {got}/{}",
+        result.sent
+    );
+    // The home agent tunnelled traffic to R3's care-of address.
+    assert!(result.ha_packets_tunneled > 100, "{}", result.ha_packets_tunneled);
+    assert!(result.report.counters.get("host.data_tunnel_decap") > 100);
+    // Join delay is a binding round trip, well under a second.
+    let jd = result.report.series.summary("join_delay");
+    assert_eq!(jd.count, 1);
+    assert!(jd.mean < 3.0, "join delay {}", jd.mean);
+}
+
+/// Figure 4: S moves to Link 6 and reverse-tunnels to its home agent — the
+/// distribution tree is untouched and everyone keeps receiving.
+#[test]
+fn figure4_sender_move_reverse_tunnel() {
+    let cfg = ScenarioConfig {
+        duration: SimDuration::from_secs(300),
+        strategy: Strategy::TUNNEL_MH_TO_HA,
+        moves: vec![Move {
+            at_secs: 60.0,
+            host: PaperHost::S,
+            to_link: 6,
+        }],
+        ..ScenarioConfig::default()
+    };
+    let result = scenario::run(&cfg);
+    for r in ["R1", "R2", "R3"] {
+        let got = result.received[r];
+        assert!(
+            got as f64 > 0.9 * result.sent as f64,
+            "{r} received {got}/{}",
+            result.sent
+        );
+    }
+    // Only one source address was ever used (the home address): one (S,G)
+    // entry per router, no second tree.
+    assert_eq!(result.max_router_sg_entries, 1, "tree was rebuilt");
+    assert!(result.report.counters.get("host.data_tunnel_encap") > 100);
+}
+
+/// Sender moves with LOCAL sending: a brand-new source-rooted tree must be
+/// built from the care-of address (second (S,G) entry), with a re-flood.
+#[test]
+fn sender_move_local_rebuilds_tree() {
+    let cfg = ScenarioConfig {
+        duration: SimDuration::from_secs(300),
+        strategy: Strategy::LOCAL,
+        moves: vec![Move {
+            at_secs: 60.0,
+            host: PaperHost::S,
+            to_link: 6,
+        }],
+        ..ScenarioConfig::default()
+    };
+    let result = scenario::run(&cfg);
+    assert!(
+        result.max_router_sg_entries >= 2,
+        "expected old + new tree state, got {}",
+        result.max_router_sg_entries
+    );
+    for r in ["R1", "R2", "R3"] {
+        let got = result.received[r];
+        assert!(
+            got as f64 > 0.8 * result.sent as f64,
+            "{r} received {got}/{}",
+            result.sent
+        );
+    }
+}
+
+/// Moving the sender to Link 2 with a stale source address provokes the
+/// assert process the paper describes in §4.3.1.
+#[test]
+fn sender_move_to_link2_triggers_asserts() {
+    let cfg = ScenarioConfig {
+        duration: SimDuration::from_secs(200),
+        strategy: Strategy::LOCAL,
+        data_interval: SimDuration::from_millis(100),
+        moves: vec![Move {
+            at_secs: 60.0,
+            host: PaperHost::S,
+            to_link: 2,
+        }],
+        ..ScenarioConfig::default()
+    };
+    let result = scenario::run(&cfg);
+    assert!(
+        result.report.counters.get("pim.sent.assert") > 0,
+        "asserts: {:?}",
+        result.report.counters.get("pim.sent.assert")
+    );
+}

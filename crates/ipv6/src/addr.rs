@@ -1,0 +1,256 @@
+//! IPv6 addresses, prefixes and the well-known addresses this system uses.
+//!
+//! We reuse [`std::net::Ipv6Addr`] for the address itself and add the pieces
+//! the simulation needs: CIDR prefixes with containment tests, stateless
+//! address autoconfiguration (prefix + interface identifier), and the
+//! well-known multicast groups of MLD and PIM.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv6Addr;
+use std::str::FromStr;
+
+/// All-nodes link-local multicast (`ff02::1`). MLD queries go here.
+pub const ALL_NODES: Ipv6Addr = Ipv6Addr::new(0xff02, 0, 0, 0, 0, 0, 0, 1);
+/// All-routers link-local multicast (`ff02::2`). MLD Done goes here.
+pub const ALL_ROUTERS: Ipv6Addr = Ipv6Addr::new(0xff02, 0, 0, 0, 0, 0, 0, 2);
+/// All-PIM-routers link-local multicast (`ff02::d`). PIM control goes here.
+pub const ALL_PIM_ROUTERS: Ipv6Addr = Ipv6Addr::new(0xff02, 0, 0, 0, 0, 0, 0, 0xd);
+/// The unspecified address `::`.
+pub const UNSPECIFIED: Ipv6Addr = Ipv6Addr::UNSPECIFIED;
+
+/// Is `a` any multicast address (`ff00::/8`)?
+#[inline]
+pub fn is_multicast(a: Ipv6Addr) -> bool {
+    a.octets()[0] == 0xff
+}
+
+/// Is `a` a link-local unicast address (`fe80::/10`)?
+#[inline]
+pub fn is_link_local(a: Ipv6Addr) -> bool {
+    let o = a.octets();
+    o[0] == 0xfe && (o[1] & 0xc0) == 0x80
+}
+
+/// Multicast scope nibble (RFC 4291 §2.7); 2 = link-local, 5 = site, 14 = global.
+#[inline]
+pub fn multicast_scope(a: Ipv6Addr) -> Option<u8> {
+    is_multicast(a).then(|| a.octets()[1] & 0x0f)
+}
+
+/// Construct an address from a 64-bit network prefix part and a 64-bit
+/// interface identifier.
+pub fn from_parts(net: u64, iid: u64) -> Ipv6Addr {
+    let bits = (u128::from(net) << 64) | u128::from(iid);
+    Ipv6Addr::from(bits)
+}
+
+/// The link-local address for interface identifier `iid` (`fe80::/64` + iid).
+pub fn link_local(iid: u64) -> Ipv6Addr {
+    from_parts(0xfe80_0000_0000_0000, iid)
+}
+
+/// An IPv6 CIDR prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: Ipv6Addr,
+    len: u8,
+}
+
+impl Prefix {
+    /// Create a prefix; host bits of `addr` are masked off. Panics if
+    /// `len > 128`.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Self {
+        assert!(len <= 128, "prefix length {len} > 128");
+        let bits = u128::from(addr) & Self::mask(len);
+        Prefix {
+            addr: Ipv6Addr::from(bits),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u128 {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - u32::from(len))
+        }
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> Ipv6Addr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Does this prefix contain `a`?
+    pub fn contains(&self, a: Ipv6Addr) -> bool {
+        (u128::from(a) & Self::mask(self.len)) == u128::from(self.addr)
+    }
+
+    /// An address within this prefix with the given interface identifier in
+    /// the low 64 bits. Intended for /64 prefixes (stateless
+    /// autoconfiguration, RFC 2462); for longer prefixes the iid is masked
+    /// into the host part.
+    pub fn addr_with_iid(&self, iid: u64) -> Ipv6Addr {
+        let host_mask = !Self::mask(self.len);
+        let bits = u128::from(self.addr) | (u128::from(iid) & host_mask);
+        Ipv6Addr::from(bits)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, l) = s.split_once('/').ok_or("missing '/' in prefix")?;
+        let addr: Ipv6Addr = a.parse().map_err(|e| format!("bad address: {e}"))?;
+        let len: u8 = l.parse().map_err(|e| format!("bad length: {e}"))?;
+        if len > 128 {
+            return Err(format!("prefix length {len} > 128"));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+/// A multicast group address. Thin validated wrapper so APIs that require a
+/// group can say so in their types.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupAddr(Ipv6Addr);
+
+impl GroupAddr {
+    /// Wrap a multicast address. Panics if `a` is not multicast — group
+    /// addresses are constructed from literals / config, so this is a
+    /// programming error, not input validation.
+    pub fn new(a: Ipv6Addr) -> Self {
+        assert!(is_multicast(a), "{a} is not a multicast address");
+        GroupAddr(a)
+    }
+
+    /// Fallible variant for wire decoding.
+    pub fn try_new(a: Ipv6Addr) -> Option<Self> {
+        is_multicast(a).then_some(GroupAddr(a))
+    }
+
+    /// A transient global-scope test group `ff1e::/32` + index.
+    pub fn test_group(index: u16) -> Self {
+        GroupAddr(Ipv6Addr::new(0xff1e, 0, 0, 0, 0, 0, 0, index))
+    }
+
+    pub fn addr(&self) -> Ipv6Addr {
+        self.0
+    }
+}
+
+impl fmt::Debug for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<GroupAddr> for Ipv6Addr {
+    fn from(g: GroupAddr) -> Ipv6Addr {
+        g.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_addresses() {
+        assert!(is_multicast(ALL_NODES));
+        assert!(is_multicast(ALL_ROUTERS));
+        assert!(is_multicast(ALL_PIM_ROUTERS));
+        assert_eq!(multicast_scope(ALL_NODES), Some(2));
+        assert!(!is_multicast(UNSPECIFIED));
+    }
+
+    #[test]
+    fn link_local_construction() {
+        let a = link_local(0x1234);
+        assert!(is_link_local(a));
+        assert_eq!(a, "fe80::1234".parse::<Ipv6Addr>().unwrap());
+        assert!(!is_link_local("2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p: Prefix = "2001:db8:1::/64".parse().unwrap();
+        assert!(p.contains("2001:db8:1::42".parse().unwrap()));
+        assert!(!p.contains("2001:db8:2::42".parse().unwrap()));
+        assert_eq!(p.len(), 64);
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Prefix::new("2001:db8:1::dead:beef".parse().unwrap(), 64);
+        assert_eq!(p.network(), "2001:db8:1::".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn prefix_zero_and_full_length() {
+        let all = Prefix::new(UNSPECIFIED, 0);
+        assert!(all.contains("2001:db8::1".parse().unwrap()));
+        let host = Prefix::new("2001:db8::1".parse().unwrap(), 128);
+        assert!(host.contains("2001:db8::1".parse().unwrap()));
+        assert!(!host.contains("2001:db8::2".parse().unwrap()));
+    }
+
+    #[test]
+    fn addr_with_iid_slaac() {
+        let p: Prefix = "2001:db8:6::/64".parse().unwrap();
+        let a = p.addr_with_iid(0xabcd);
+        assert_eq!(a, "2001:db8:6::abcd".parse::<Ipv6Addr>().unwrap());
+        assert!(p.contains(a));
+    }
+
+    #[test]
+    fn prefix_parse_errors() {
+        assert!("2001:db8::1".parse::<Prefix>().is_err());
+        assert!("2001:db8::1/129".parse::<Prefix>().is_err());
+        assert!("nonsense/64".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn group_addr_validation() {
+        let g = GroupAddr::test_group(7);
+        assert!(is_multicast(g.addr()));
+        assert!(GroupAddr::try_new("2001:db8::1".parse().unwrap()).is_none());
+        assert!(GroupAddr::try_new(ALL_NODES).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multicast address")]
+    fn group_addr_panics_on_unicast() {
+        GroupAddr::new("2001:db8::1".parse().unwrap());
+    }
+
+    #[test]
+    fn from_parts_layout() {
+        let a = from_parts(0x2001_0db8_0001_0000, 0x1);
+        assert_eq!(a, "2001:db8:1::1".parse::<Ipv6Addr>().unwrap());
+    }
+}

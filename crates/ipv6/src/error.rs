@@ -1,0 +1,58 @@
+//! Decode errors for the IPv6 wire codecs.
+
+use std::fmt;
+
+/// Why a buffer failed to parse as an IPv6 packet / header / message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the fixed part of a structure.
+    Truncated {
+        what: &'static str,
+        needed: usize,
+        got: usize,
+    },
+    /// A version field other than 6.
+    BadVersion(u8),
+    /// A length field inconsistent with the surrounding buffer.
+    BadLength { what: &'static str, value: usize },
+    /// Unknown / unsupported discriminator encountered where we must
+    /// understand it to continue.
+    Unsupported { what: &'static str, value: u32 },
+    /// A value violated a protocol invariant (e.g. multicast where unicast
+    /// is required).
+    Invalid { what: &'static str },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: need {needed} bytes, got {got}")
+            }
+            DecodeError::BadVersion(v) => write!(f, "bad IP version {v}, expected 6"),
+            DecodeError::BadLength { what, value } => {
+                write!(f, "bad length for {what}: {value}")
+            }
+            DecodeError::Unsupported { what, value } => {
+                write!(f, "unsupported {what}: {value}")
+            }
+            DecodeError::Invalid { what } => write!(f, "invalid {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Check that at least `needed` bytes remain in `buf`, returning a
+/// `Truncated` error naming `what` otherwise.
+pub(crate) fn need(buf: &[u8], needed: usize, what: &'static str) -> Result<(), DecodeError> {
+    if buf.len() < needed {
+        Err(DecodeError::Truncated {
+            what,
+            needed,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}

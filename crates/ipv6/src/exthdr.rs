@@ -1,0 +1,668 @@
+//! IPv6 extension headers and the Mobile IPv6 destination options,
+//! including the paper's proposed **Multicast Group List Sub-Option**
+//! (Figure 5 of the paper).
+//!
+//! Wire layout follows RFC 2460 (extension header TLVs, 8-octet padding) and
+//! draft-ietf-mobileip-ipv6-10 for the Binding Update / Binding
+//! Acknowledgement / Binding Request / Home Address destination options.
+//! Option type numbers for the mobility options are taken from the draft era
+//! (BU = 198, HAO = 201); they only need to be self-consistent inside the
+//! simulator.
+
+use crate::addr::GroupAddr;
+use crate::error::{need, DecodeError};
+use bytes::{BufMut, BytesMut};
+use std::net::Ipv6Addr;
+
+/// Option type: Pad1 (a single zero byte).
+pub const OPT_PAD1: u8 = 0;
+/// Option type: PadN.
+pub const OPT_PADN: u8 = 1;
+/// Option type: Router Alert (RFC 2711) — carried in Hop-by-Hop for MLD.
+pub const OPT_ROUTER_ALERT: u8 = 5;
+/// Option type: Binding Update (Mobile IPv6 draft).
+pub const OPT_BINDING_UPDATE: u8 = 198;
+/// Option type: Binding Acknowledgement.
+pub const OPT_BINDING_ACK: u8 = 199;
+/// Option type: Binding Request.
+pub const OPT_BINDING_REQUEST: u8 = 200;
+/// Option type: Home Address.
+pub const OPT_HOME_ADDRESS: u8 = 201;
+
+/// Sub-option type inside a Binding Update: Unique Identifier (draft).
+pub const SUBOPT_UNIQUE_ID: u8 = 1;
+/// Sub-option type: Alternate Care-of Address (draft).
+pub const SUBOPT_ALT_COA: u8 = 2;
+/// Sub-option type: **Multicast Group List** — proposed by the paper
+/// (Figure 5). Data is `N` 16-byte multicast group addresses and the length
+/// field must equal `16 * N`. Because the Sub-Option Len field is one byte,
+/// a single sub-option carries at most 15 groups (240 bytes); encoding more
+/// panics.
+pub const SUBOPT_MCAST_GROUP_LIST: u8 = 3;
+
+/// Binding Update flag: acknowledgement requested.
+pub const BU_FLAG_ACK: u8 = 0x80;
+/// Binding Update flag: home registration (required for the Multicast Group
+/// List Sub-Option, per the paper: "valid only in a BINDING UPDATE sent to a
+/// home agent (Home Registration (H) is set)").
+pub const BU_FLAG_HOME: u8 = 0x40;
+
+/// A Binding Update destination option (draft-ietf-mobileip-ipv6-10 §5.1,
+/// simplified: flags, sequence number, lifetime, sub-options).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BindingUpdate {
+    pub flags: u8,
+    pub sequence: u16,
+    /// Binding lifetime in seconds.
+    pub lifetime_secs: u32,
+    pub sub_options: Vec<SubOption>,
+}
+
+impl BindingUpdate {
+    pub fn ack_requested(&self) -> bool {
+        self.flags & BU_FLAG_ACK != 0
+    }
+
+    pub fn home_registration(&self) -> bool {
+        self.flags & BU_FLAG_HOME != 0
+    }
+
+    /// The multicast groups requested via the paper's sub-option, if present.
+    pub fn multicast_groups(&self) -> Option<&[GroupAddr]> {
+        self.sub_options.iter().find_map(|s| match s {
+            SubOption::MulticastGroupList(groups) => Some(groups.as_slice()),
+            _ => None,
+        })
+    }
+}
+
+/// A Binding Acknowledgement destination option.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BindingAck {
+    /// 0 = accepted; values ≥ 128 indicate rejection.
+    pub status: u8,
+    pub sequence: u16,
+    pub lifetime_secs: u32,
+    /// Suggested refresh interval in seconds.
+    pub refresh_secs: u32,
+}
+
+impl BindingAck {
+    pub fn accepted(&self) -> bool {
+        self.status < 128
+    }
+}
+
+/// Sub-options carried inside a Binding Update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubOption {
+    UniqueIdentifier(u16),
+    AlternateCoa(Ipv6Addr),
+    /// The paper's Figure-5 sub-option: the list of multicast groups the
+    /// mobile host asks its home agent to join on its behalf.
+    MulticastGroupList(Vec<GroupAddr>),
+    Unknown { kind: u8, data: Vec<u8> },
+}
+
+impl SubOption {
+    fn data_len(&self) -> usize {
+        match self {
+            SubOption::UniqueIdentifier(_) => 2,
+            SubOption::AlternateCoa(_) => 16,
+            SubOption::MulticastGroupList(groups) => 16 * groups.len(),
+            SubOption::Unknown { data, .. } => data.len(),
+        }
+    }
+
+    fn encode(&self, out: &mut BytesMut) {
+        let len = self.data_len();
+        assert!(len <= 255, "sub-option data too long: {len}");
+        match self {
+            SubOption::UniqueIdentifier(id) => {
+                out.put_u8(SUBOPT_UNIQUE_ID);
+                out.put_u8(len as u8);
+                out.put_u16(*id);
+            }
+            SubOption::AlternateCoa(a) => {
+                out.put_u8(SUBOPT_ALT_COA);
+                out.put_u8(len as u8);
+                out.put_slice(&a.octets());
+            }
+            SubOption::MulticastGroupList(groups) => {
+                // Figure 5: "The Sub-Option Len fields must be set to 16N,
+                // where N is the number of multicast group addresses."
+                out.put_u8(SUBOPT_MCAST_GROUP_LIST);
+                out.put_u8(len as u8);
+                for g in groups {
+                    out.put_slice(&g.addr().octets());
+                }
+            }
+            SubOption::Unknown { kind, data } => {
+                out.put_u8(*kind);
+                out.put_u8(len as u8);
+                out.put_slice(data);
+            }
+        }
+    }
+
+    fn decode(kind: u8, data: &[u8]) -> Result<SubOption, DecodeError> {
+        match kind {
+            SUBOPT_UNIQUE_ID => {
+                need(data, 2, "unique identifier sub-option")?;
+                Ok(SubOption::UniqueIdentifier(u16::from_be_bytes([
+                    data[0], data[1],
+                ])))
+            }
+            SUBOPT_ALT_COA => {
+                need(data, 16, "alternate care-of address sub-option")?;
+                Ok(SubOption::AlternateCoa(read_addr(data)))
+            }
+            SUBOPT_MCAST_GROUP_LIST => {
+                if data.len() % 16 != 0 {
+                    return Err(DecodeError::BadLength {
+                        what: "multicast group list sub-option (must be 16*N)",
+                        value: data.len(),
+                    });
+                }
+                let mut groups = Vec::with_capacity(data.len() / 16);
+                for chunk in data.chunks_exact(16) {
+                    let addr = read_addr(chunk);
+                    let group = GroupAddr::try_new(addr).ok_or(DecodeError::Invalid {
+                        what: "non-multicast address in multicast group list",
+                    })?;
+                    groups.push(group);
+                }
+                Ok(SubOption::MulticastGroupList(groups))
+            }
+            _ => Ok(SubOption::Unknown {
+                kind,
+                data: data.to_vec(),
+            }),
+        }
+    }
+}
+
+/// A single TLV option inside a Hop-by-Hop or Destination Options header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Option6 {
+    PadN(u8),
+    /// Router alert value (0 = MLD).
+    RouterAlert(u16),
+    BindingUpdate(BindingUpdate),
+    BindingAck(BindingAck),
+    BindingRequest,
+    HomeAddress(Ipv6Addr),
+    Unknown { kind: u8, data: Vec<u8> },
+}
+
+impl Option6 {
+    fn encode(&self, out: &mut BytesMut) {
+        match self {
+            Option6::PadN(n) => {
+                if *n == 1 {
+                    out.put_u8(OPT_PAD1);
+                } else {
+                    out.put_u8(OPT_PADN);
+                    out.put_u8(n - 2);
+                    out.put_bytes(0, usize::from(*n) - 2);
+                }
+            }
+            Option6::RouterAlert(v) => {
+                out.put_u8(OPT_ROUTER_ALERT);
+                out.put_u8(2);
+                out.put_u16(*v);
+            }
+            Option6::BindingUpdate(bu) => {
+                let mut body = BytesMut::new();
+                body.put_u8(bu.flags);
+                body.put_u8(0); // reserved
+                body.put_u16(bu.sequence);
+                body.put_u32(bu.lifetime_secs);
+                for sub in &bu.sub_options {
+                    sub.encode(&mut body);
+                }
+                assert!(body.len() <= 255, "binding update option too long");
+                out.put_u8(OPT_BINDING_UPDATE);
+                out.put_u8(body.len() as u8);
+                out.put_slice(&body);
+            }
+            Option6::BindingAck(ba) => {
+                out.put_u8(OPT_BINDING_ACK);
+                out.put_u8(12);
+                out.put_u8(ba.status);
+                out.put_u8(0); // reserved
+                out.put_u16(ba.sequence);
+                out.put_u32(ba.lifetime_secs);
+                out.put_u32(ba.refresh_secs);
+            }
+            Option6::BindingRequest => {
+                out.put_u8(OPT_BINDING_REQUEST);
+                out.put_u8(0);
+            }
+            Option6::HomeAddress(a) => {
+                out.put_u8(OPT_HOME_ADDRESS);
+                out.put_u8(16);
+                out.put_slice(&a.octets());
+            }
+            Option6::Unknown { kind, data } => {
+                assert!(data.len() <= 255);
+                out.put_u8(*kind);
+                out.put_u8(data.len() as u8);
+                out.put_slice(data);
+            }
+        }
+    }
+
+    fn decode(kind: u8, data: &[u8]) -> Result<Option6, DecodeError> {
+        match kind {
+            OPT_PADN => Ok(Option6::PadN(data.len() as u8 + 2)),
+            OPT_ROUTER_ALERT => {
+                need(data, 2, "router alert option")?;
+                Ok(Option6::RouterAlert(u16::from_be_bytes([data[0], data[1]])))
+            }
+            OPT_BINDING_UPDATE => {
+                need(data, 8, "binding update option")?;
+                let flags = data[0];
+                let sequence = u16::from_be_bytes([data[2], data[3]]);
+                let lifetime_secs = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
+                let mut sub_options = Vec::new();
+                let mut rest = &data[8..];
+                while !rest.is_empty() {
+                    need(rest, 2, "binding update sub-option header")?;
+                    let sk = rest[0];
+                    let sl = usize::from(rest[1]);
+                    need(&rest[2..], sl, "binding update sub-option data")?;
+                    sub_options.push(SubOption::decode(sk, &rest[2..2 + sl])?);
+                    rest = &rest[2 + sl..];
+                }
+                Ok(Option6::BindingUpdate(BindingUpdate {
+                    flags,
+                    sequence,
+                    lifetime_secs,
+                    sub_options,
+                }))
+            }
+            OPT_BINDING_ACK => {
+                need(data, 12, "binding ack option")?;
+                Ok(Option6::BindingAck(BindingAck {
+                    status: data[0],
+                    sequence: u16::from_be_bytes([data[2], data[3]]),
+                    lifetime_secs: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+                    refresh_secs: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+                }))
+            }
+            OPT_BINDING_REQUEST => Ok(Option6::BindingRequest),
+            OPT_HOME_ADDRESS => {
+                need(data, 16, "home address option")?;
+                Ok(Option6::HomeAddress(read_addr(data)))
+            }
+            _ => Ok(Option6::Unknown {
+                kind,
+                data: data.to_vec(),
+            }),
+        }
+    }
+}
+
+/// Type-0 routing header (used by correspondent nodes to route via a care-of
+/// address; the paper's tunnels use encapsulation instead, but both are
+/// provided).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutingHeader {
+    pub segments_left: u8,
+    pub addresses: Vec<Ipv6Addr>,
+}
+
+/// One IPv6 extension header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExtHeader {
+    HopByHop(Vec<Option6>),
+    DestinationOptions(Vec<Option6>),
+    Routing(RoutingHeader),
+}
+
+impl ExtHeader {
+    /// The `next_header` protocol number identifying this extension header.
+    pub fn protocol(&self) -> u8 {
+        match self {
+            ExtHeader::HopByHop(_) => crate::packet::proto::HOP_BY_HOP,
+            ExtHeader::DestinationOptions(_) => crate::packet::proto::DEST_OPTS,
+            ExtHeader::Routing(_) => crate::packet::proto::ROUTING,
+        }
+    }
+
+    /// Encode, writing `next` as the chained next-header value. The encoded
+    /// length is always a multiple of 8 octets (padded with PadN).
+    pub fn encode(&self, next: u8, out: &mut BytesMut) {
+        match self {
+            ExtHeader::HopByHop(opts) | ExtHeader::DestinationOptions(opts) => {
+                let mut body = BytesMut::new();
+                for o in opts {
+                    o.encode(&mut body);
+                }
+                // Pad the 2-byte header + options out to a multiple of 8.
+                let unpadded = 2 + body.len();
+                let pad = (8 - unpadded % 8) % 8;
+                if pad == 1 {
+                    Option6::PadN(1).encode(&mut body);
+                } else if pad >= 2 {
+                    Option6::PadN(pad as u8).encode(&mut body);
+                }
+                let total = 2 + body.len();
+                debug_assert_eq!(total % 8, 0);
+                out.put_u8(next);
+                out.put_u8((total / 8 - 1) as u8);
+                out.put_slice(&body);
+            }
+            ExtHeader::Routing(rh) => {
+                let total = 8 + 16 * rh.addresses.len();
+                debug_assert_eq!(total % 8, 0);
+                out.put_u8(next);
+                out.put_u8((total / 8 - 1) as u8);
+                out.put_u8(0); // routing type 0
+                out.put_u8(rh.segments_left);
+                out.put_u32(0); // reserved
+                for a in &rh.addresses {
+                    out.put_slice(&a.octets());
+                }
+            }
+        }
+    }
+
+    /// Encoded length in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            ExtHeader::HopByHop(opts) | ExtHeader::DestinationOptions(opts) => {
+                let mut body = 0usize;
+                for o in opts {
+                    body += encoded_option_len(o);
+                }
+                let unpadded = 2 + body;
+                unpadded + (8 - unpadded % 8) % 8
+            }
+            ExtHeader::Routing(rh) => 8 + 16 * rh.addresses.len(),
+        }
+    }
+
+    /// Decode one extension header of kind `proto` from the front of `buf`.
+    /// Returns the header, the chained next-header value and the number of
+    /// bytes consumed.
+    pub fn decode(proto: u8, buf: &[u8]) -> Result<(ExtHeader, u8, usize), DecodeError> {
+        use crate::packet::proto::*;
+        need(buf, 2, "extension header")?;
+        let next = buf[0];
+        match proto {
+            HOP_BY_HOP | DEST_OPTS => {
+                let total = 8 * (usize::from(buf[1]) + 1);
+                need(buf, total, "options extension header")?;
+                let mut opts = Vec::new();
+                let mut rest = &buf[2..total];
+                while !rest.is_empty() {
+                    if rest[0] == OPT_PAD1 {
+                        rest = &rest[1..];
+                        continue;
+                    }
+                    need(rest, 2, "option header")?;
+                    let kind = rest[0];
+                    let len = usize::from(rest[1]);
+                    need(&rest[2..], len, "option data")?;
+                    let opt = Option6::decode(kind, &rest[2..2 + len])?;
+                    // Swallow decoded padding; it is a wire artifact.
+                    if !matches!(opt, Option6::PadN(_)) {
+                        opts.push(opt);
+                    }
+                    rest = &rest[2 + len..];
+                }
+                let hdr = if proto == HOP_BY_HOP {
+                    ExtHeader::HopByHop(opts)
+                } else {
+                    ExtHeader::DestinationOptions(opts)
+                };
+                Ok((hdr, next, total))
+            }
+            ROUTING => {
+                let total = 8 * (usize::from(buf[1]) + 1);
+                need(buf, total, "routing header")?;
+                if buf[2] != 0 {
+                    return Err(DecodeError::Unsupported {
+                        what: "routing header type",
+                        value: u32::from(buf[2]),
+                    });
+                }
+                let segments_left = buf[3];
+                let naddr = (total - 8) / 16;
+                let mut addresses = Vec::with_capacity(naddr);
+                for i in 0..naddr {
+                    addresses.push(read_addr(&buf[8 + 16 * i..]));
+                }
+                Ok((
+                    ExtHeader::Routing(RoutingHeader {
+                        segments_left,
+                        addresses,
+                    }),
+                    next,
+                    total,
+                ))
+            }
+            _ => Err(DecodeError::Unsupported {
+                what: "extension header protocol",
+                value: u32::from(proto),
+            }),
+        }
+    }
+
+    /// Convenience: the options of a destination-options header, if that is
+    /// what this is.
+    pub fn dest_options(&self) -> Option<&[Option6]> {
+        match self {
+            ExtHeader::DestinationOptions(opts) => Some(opts),
+            _ => None,
+        }
+    }
+}
+
+fn encoded_option_len(o: &Option6) -> usize {
+    match o {
+        Option6::PadN(n) => usize::from(*n),
+        Option6::RouterAlert(_) => 4,
+        Option6::BindingUpdate(bu) => {
+            2 + 8 + bu.sub_options.iter().map(|s| 2 + s.data_len()).sum::<usize>()
+        }
+        Option6::BindingAck(_) => 14,
+        Option6::BindingRequest => 2,
+        Option6::HomeAddress(_) => 18,
+        Option6::Unknown { data, .. } => 2 + data.len(),
+    }
+}
+
+pub(crate) fn read_addr(buf: &[u8]) -> Ipv6Addr {
+    let mut o = [0u8; 16];
+    o.copy_from_slice(&buf[..16]);
+    Ipv6Addr::from(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::proto;
+
+    fn roundtrip(h: &ExtHeader) -> ExtHeader {
+        let mut out = BytesMut::new();
+        h.encode(proto::NONE, &mut out);
+        assert_eq!(out.len(), h.wire_len(), "wire_len mismatch for {h:?}");
+        assert_eq!(out.len() % 8, 0, "extension header must be 8-aligned");
+        let (decoded, next, used) = ExtHeader::decode(h.protocol(), &out).expect("decode");
+        assert_eq!(next, proto::NONE);
+        assert_eq!(used, out.len());
+        decoded
+    }
+
+    #[test]
+    fn router_alert_roundtrip() {
+        let h = ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]);
+        assert_eq!(roundtrip(&h), h);
+    }
+
+    #[test]
+    fn home_address_roundtrip() {
+        let h = ExtHeader::DestinationOptions(vec![Option6::HomeAddress(
+            "2001:db8:1::77".parse().unwrap(),
+        )]);
+        assert_eq!(roundtrip(&h), h);
+    }
+
+    #[test]
+    fn binding_update_roundtrip_with_group_list() {
+        let groups = vec![GroupAddr::test_group(1), GroupAddr::test_group(2)];
+        let bu = BindingUpdate {
+            flags: BU_FLAG_ACK | BU_FLAG_HOME,
+            sequence: 42,
+            lifetime_secs: 256,
+            sub_options: vec![
+                SubOption::UniqueIdentifier(7),
+                SubOption::MulticastGroupList(groups.clone()),
+            ],
+        };
+        let h = ExtHeader::DestinationOptions(vec![Option6::BindingUpdate(bu.clone())]);
+        let d = roundtrip(&h);
+        let opts = d.dest_options().unwrap();
+        match &opts[0] {
+            Option6::BindingUpdate(got) => {
+                assert_eq!(got, &bu);
+                assert!(got.home_registration());
+                assert!(got.ack_requested());
+                assert_eq!(got.multicast_groups().unwrap(), groups.as_slice());
+            }
+            other => panic!("unexpected option {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure5_suboption_len_is_16n() {
+        // The paper's Figure 5 requires Sub-Option Len = 16 * N.
+        for n in 0..5u16 {
+            let groups: Vec<GroupAddr> = (0..n).map(GroupAddr::test_group).collect();
+            let sub = SubOption::MulticastGroupList(groups);
+            let mut out = BytesMut::new();
+            sub.encode(&mut out);
+            assert_eq!(out[0], SUBOPT_MCAST_GROUP_LIST);
+            assert_eq!(usize::from(out[1]), 16 * usize::from(n));
+            assert_eq!(out.len(), 2 + 16 * usize::from(n));
+        }
+    }
+
+    #[test]
+    fn group_list_rejects_unicast() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&"2001:db8::1".parse::<Ipv6Addr>().unwrap().octets());
+        let err = SubOption::decode(SUBOPT_MCAST_GROUP_LIST, &data).unwrap_err();
+        assert!(matches!(err, DecodeError::Invalid { .. }));
+    }
+
+    #[test]
+    fn group_list_rejects_ragged_length() {
+        let err = SubOption::decode(SUBOPT_MCAST_GROUP_LIST, &[0u8; 17]).unwrap_err();
+        assert!(matches!(err, DecodeError::BadLength { .. }));
+    }
+
+    #[test]
+    fn binding_ack_roundtrip() {
+        let ba = BindingAck {
+            status: 0,
+            sequence: 9,
+            lifetime_secs: 256,
+            refresh_secs: 128,
+        };
+        assert!(ba.accepted());
+        let h = ExtHeader::DestinationOptions(vec![Option6::BindingAck(ba.clone())]);
+        let d = roundtrip(&h);
+        assert_eq!(
+            d.dest_options().unwrap()[0],
+            Option6::BindingAck(ba.clone())
+        );
+        let rejected = BindingAck {
+            status: 130,
+            ..ba
+        };
+        assert!(!rejected.accepted());
+    }
+
+    #[test]
+    fn binding_request_roundtrip() {
+        let h = ExtHeader::DestinationOptions(vec![Option6::BindingRequest]);
+        assert_eq!(roundtrip(&h), h);
+    }
+
+    #[test]
+    fn routing_header_roundtrip() {
+        let h = ExtHeader::Routing(RoutingHeader {
+            segments_left: 1,
+            addresses: vec!["2001:db8:6::abcd".parse().unwrap()],
+        });
+        assert_eq!(roundtrip(&h), h);
+    }
+
+    #[test]
+    fn unknown_option_preserved() {
+        let h = ExtHeader::DestinationOptions(vec![Option6::Unknown {
+            kind: 77,
+            data: vec![1, 2, 3],
+        }]);
+        assert_eq!(roundtrip(&h), h);
+    }
+
+    #[test]
+    fn multiple_options_in_one_header() {
+        let h = ExtHeader::DestinationOptions(vec![
+            Option6::HomeAddress("2001:db8:1::1".parse().unwrap()),
+            Option6::BindingRequest,
+        ]);
+        assert_eq!(roundtrip(&h), h);
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        assert!(ExtHeader::decode(proto::DEST_OPTS, &[58]).is_err());
+        // Claims 8 bytes but provides 4.
+        assert!(ExtHeader::decode(proto::DEST_OPTS, &[58, 0, 1, 0]).is_err());
+    }
+
+    #[test]
+    fn unsupported_routing_type_is_error() {
+        let mut out = BytesMut::new();
+        ExtHeader::Routing(RoutingHeader {
+            segments_left: 0,
+            addresses: vec![],
+        })
+        .encode(proto::NONE, &mut out);
+        let mut bytes = out.to_vec();
+        bytes[2] = 2; // routing type 2: unsupported
+        assert!(matches!(
+            ExtHeader::decode(proto::ROUTING, &bytes),
+            Err(DecodeError::Unsupported { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_groups_fit_in_one_suboption() {
+        let groups: Vec<GroupAddr> = (0..15).map(GroupAddr::test_group).collect();
+        let mut out = BytesMut::new();
+        SubOption::MulticastGroupList(groups).encode(&mut out);
+        assert_eq!(out[1], 240, "len field at its maximum");
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-option data too long")]
+    fn sixteen_groups_overflow_the_len_field() {
+        // The Figure-5 format's one-byte length caps a single sub-option at
+        // 15 groups; larger lists must be split across Binding Updates.
+        let groups: Vec<GroupAddr> = (0..16).map(GroupAddr::test_group).collect();
+        let mut out = BytesMut::new();
+        SubOption::MulticastGroupList(groups).encode(&mut out);
+    }
+}

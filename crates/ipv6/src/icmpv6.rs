@@ -1,0 +1,349 @@
+//! ICMPv6 message framing: MLD (RFC 2710), Neighbor Discovery subset
+//! (Router Solicitation / Advertisement with prefix options, RFC 2461), and
+//! echo. Checksums are real (pseudo-header per RFC 2463).
+
+use crate::addr::Prefix;
+use crate::error::{need, DecodeError};
+use crate::exthdr::read_addr;
+use crate::packet::pseudo_header_checksum;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv6Addr;
+
+/// ICMPv6 type: Multicast Listener Query.
+pub const TYPE_MLD_QUERY: u8 = 130;
+/// ICMPv6 type: Multicast Listener Report.
+pub const TYPE_MLD_REPORT: u8 = 131;
+/// ICMPv6 type: Multicast Listener Done.
+pub const TYPE_MLD_DONE: u8 = 132;
+/// ICMPv6 type: Router Solicitation.
+pub const TYPE_ROUTER_SOLICIT: u8 = 133;
+/// ICMPv6 type: Router Advertisement.
+pub const TYPE_ROUTER_ADVERT: u8 = 134;
+/// ICMPv6 type: Echo Request.
+pub const TYPE_ECHO_REQUEST: u8 = 128;
+/// ICMPv6 type: Echo Reply.
+pub const TYPE_ECHO_REPLY: u8 = 129;
+
+/// ND option: Prefix Information.
+const ND_OPT_PREFIX_INFO: u8 = 3;
+
+/// A prefix advertised in a Router Advertisement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdvertisedPrefix {
+    pub prefix: Prefix,
+    /// Autonomous address configuration flag (SLAAC allowed).
+    pub autonomous: bool,
+    pub valid_lifetime_secs: u32,
+    pub preferred_lifetime_secs: u32,
+}
+
+/// A parsed ICMPv6 message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Icmpv6 {
+    /// MLD Query (RFC 2710 §4). `group` is unspecified (`::`) for a General
+    /// Query, or a specific group for a Multicast-Address-Specific Query.
+    MldQuery {
+        /// Maximum Response Delay in milliseconds.
+        max_response_delay_ms: u16,
+        group: Ipv6Addr,
+    },
+    /// MLD Report for `group`.
+    MldReport { group: Ipv6Addr },
+    /// MLD Done for `group`.
+    MldDone { group: Ipv6Addr },
+    RouterSolicit,
+    RouterAdvert {
+        router_lifetime_secs: u16,
+        prefixes: Vec<AdvertisedPrefix>,
+    },
+    EchoRequest { id: u16, seq: u16 },
+    EchoReply { id: u16, seq: u16 },
+    Unknown { icmp_type: u8, code: u8, body: Vec<u8> },
+}
+
+impl Icmpv6 {
+    /// The ICMPv6 type byte for this message.
+    pub fn icmp_type(&self) -> u8 {
+        match self {
+            Icmpv6::MldQuery { .. } => TYPE_MLD_QUERY,
+            Icmpv6::MldReport { .. } => TYPE_MLD_REPORT,
+            Icmpv6::MldDone { .. } => TYPE_MLD_DONE,
+            Icmpv6::RouterSolicit => TYPE_ROUTER_SOLICIT,
+            Icmpv6::RouterAdvert { .. } => TYPE_ROUTER_ADVERT,
+            Icmpv6::EchoRequest { .. } => TYPE_ECHO_REQUEST,
+            Icmpv6::EchoReply { .. } => TYPE_ECHO_REPLY,
+            Icmpv6::Unknown { icmp_type, .. } => *icmp_type,
+        }
+    }
+
+    /// Encode including a valid checksum computed over the pseudo-header.
+    pub fn encode(&self, src: Ipv6Addr, dst: Ipv6Addr) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_u8(self.icmp_type());
+        out.put_u8(match self {
+            Icmpv6::Unknown { code, .. } => *code,
+            _ => 0,
+        });
+        out.put_u16(0); // checksum placeholder
+        match self {
+            Icmpv6::MldQuery {
+                max_response_delay_ms,
+                group,
+            } => {
+                out.put_u16(*max_response_delay_ms);
+                out.put_u16(0); // reserved
+                out.put_slice(&group.octets());
+            }
+            Icmpv6::MldReport { group } | Icmpv6::MldDone { group } => {
+                out.put_u16(0); // max response delay: 0 in reports/done
+                out.put_u16(0);
+                out.put_slice(&group.octets());
+            }
+            Icmpv6::RouterSolicit => {
+                out.put_u32(0); // reserved
+            }
+            Icmpv6::RouterAdvert {
+                router_lifetime_secs,
+                prefixes,
+            } => {
+                out.put_u8(64); // cur hop limit
+                out.put_u8(0); // flags (M/O clear: stateless autoconfig)
+                out.put_u16(*router_lifetime_secs);
+                out.put_u32(0); // reachable time
+                out.put_u32(0); // retrans timer
+                for p in prefixes {
+                    out.put_u8(ND_OPT_PREFIX_INFO);
+                    out.put_u8(4); // length in 8-octet units
+                    out.put_u8(p.prefix.len());
+                    out.put_u8(if p.autonomous { 0x40 } else { 0 }); // L clear, A flag
+                    out.put_u32(p.valid_lifetime_secs);
+                    out.put_u32(p.preferred_lifetime_secs);
+                    out.put_u32(0); // reserved
+                    out.put_slice(&p.prefix.network().octets());
+                }
+            }
+            Icmpv6::EchoRequest { id, seq } | Icmpv6::EchoReply { id, seq } => {
+                out.put_u16(*id);
+                out.put_u16(*seq);
+            }
+            Icmpv6::Unknown { body, .. } => {
+                out.put_slice(body);
+            }
+        }
+        let sum = pseudo_header_checksum(src, dst, crate::packet::proto::ICMPV6, &out);
+        out[2..4].copy_from_slice(&sum.to_be_bytes());
+        out.freeze()
+    }
+
+    /// Decode and verify the checksum.
+    pub fn decode(src: Ipv6Addr, dst: Ipv6Addr, buf: &[u8]) -> Result<Icmpv6, DecodeError> {
+        need(buf, 4, "ICMPv6 header")?;
+        if pseudo_header_checksum(src, dst, crate::packet::proto::ICMPV6, buf) != 0 {
+            return Err(DecodeError::Invalid {
+                what: "ICMPv6 checksum",
+            });
+        }
+        let icmp_type = buf[0];
+        let code = buf[1];
+        let body = &buf[4..];
+        match icmp_type {
+            TYPE_MLD_QUERY => {
+                need(body, 20, "MLD query")?;
+                Ok(Icmpv6::MldQuery {
+                    max_response_delay_ms: u16::from_be_bytes([body[0], body[1]]),
+                    group: read_addr(&body[4..20]),
+                })
+            }
+            TYPE_MLD_REPORT => {
+                need(body, 20, "MLD report")?;
+                Ok(Icmpv6::MldReport {
+                    group: read_addr(&body[4..20]),
+                })
+            }
+            TYPE_MLD_DONE => {
+                need(body, 20, "MLD done")?;
+                Ok(Icmpv6::MldDone {
+                    group: read_addr(&body[4..20]),
+                })
+            }
+            TYPE_ROUTER_SOLICIT => Ok(Icmpv6::RouterSolicit),
+            TYPE_ROUTER_ADVERT => {
+                need(body, 12, "router advertisement")?;
+                let router_lifetime_secs = u16::from_be_bytes([body[2], body[3]]);
+                let mut prefixes = Vec::new();
+                let mut rest = &body[12..];
+                while !rest.is_empty() {
+                    need(rest, 2, "ND option header")?;
+                    let kind = rest[0];
+                    let len = usize::from(rest[1]) * 8;
+                    if len == 0 {
+                        return Err(DecodeError::BadLength {
+                            what: "ND option",
+                            value: 0,
+                        });
+                    }
+                    need(rest, len, "ND option body")?;
+                    if kind == ND_OPT_PREFIX_INFO && len == 32 {
+                        let plen = rest[2];
+                        if plen > 128 {
+                            return Err(DecodeError::BadLength {
+                                what: "advertised prefix length",
+                                value: usize::from(plen),
+                            });
+                        }
+                        prefixes.push(AdvertisedPrefix {
+                            prefix: Prefix::new(read_addr(&rest[16..32]), plen),
+                            autonomous: rest[3] & 0x40 != 0,
+                            valid_lifetime_secs: u32::from_be_bytes([
+                                rest[4], rest[5], rest[6], rest[7],
+                            ]),
+                            preferred_lifetime_secs: u32::from_be_bytes([
+                                rest[8], rest[9], rest[10], rest[11],
+                            ]),
+                        });
+                    }
+                    rest = &rest[len..];
+                }
+                Ok(Icmpv6::RouterAdvert {
+                    router_lifetime_secs,
+                    prefixes,
+                })
+            }
+            TYPE_ECHO_REQUEST | TYPE_ECHO_REPLY => {
+                need(body, 4, "echo")?;
+                let id = u16::from_be_bytes([body[0], body[1]]);
+                let seq = u16::from_be_bytes([body[2], body[3]]);
+                Ok(if icmp_type == TYPE_ECHO_REQUEST {
+                    Icmpv6::EchoRequest { id, seq }
+                } else {
+                    Icmpv6::EchoReply { id, seq }
+                })
+            }
+            _ => Ok(Icmpv6::Unknown {
+                icmp_type,
+                code,
+                body: body.to_vec(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{ALL_NODES, ALL_ROUTERS};
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(m: &Icmpv6, src: Ipv6Addr, dst: Ipv6Addr) -> Icmpv6 {
+        let wire = m.encode(src, dst);
+        Icmpv6::decode(src, dst, &wire).expect("decode")
+    }
+
+    #[test]
+    fn mld_query_roundtrip() {
+        let m = Icmpv6::MldQuery {
+            max_response_delay_ms: 10_000,
+            group: Ipv6Addr::UNSPECIFIED,
+        };
+        assert_eq!(roundtrip(&m, a("fe80::1"), ALL_NODES), m);
+    }
+
+    #[test]
+    fn mld_specific_query_roundtrip() {
+        let g = a("ff1e::1");
+        let m = Icmpv6::MldQuery {
+            max_response_delay_ms: 1_000,
+            group: g,
+        };
+        assert_eq!(roundtrip(&m, a("fe80::1"), g), m);
+    }
+
+    #[test]
+    fn mld_report_and_done_roundtrip() {
+        let g = a("ff1e::2");
+        let r = Icmpv6::MldReport { group: g };
+        assert_eq!(roundtrip(&r, a("fe80::9"), g), r);
+        let d = Icmpv6::MldDone { group: g };
+        assert_eq!(roundtrip(&d, a("fe80::9"), ALL_ROUTERS), d);
+    }
+
+    #[test]
+    fn router_advert_roundtrip() {
+        let m = Icmpv6::RouterAdvert {
+            router_lifetime_secs: 1800,
+            prefixes: vec![AdvertisedPrefix {
+                prefix: "2001:db8:6::/64".parse().unwrap(),
+                autonomous: true,
+                valid_lifetime_secs: 86400,
+                preferred_lifetime_secs: 14400,
+            }],
+        };
+        assert_eq!(roundtrip(&m, a("fe80::e"), ALL_NODES), m);
+    }
+
+    #[test]
+    fn router_solicit_roundtrip() {
+        assert_eq!(
+            roundtrip(&Icmpv6::RouterSolicit, a("fe80::1"), ALL_ROUTERS),
+            Icmpv6::RouterSolicit
+        );
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let m = Icmpv6::EchoRequest { id: 7, seq: 9 };
+        assert_eq!(roundtrip(&m, a("::1"), a("::2")), m);
+        let m = Icmpv6::EchoReply { id: 7, seq: 9 };
+        assert_eq!(roundtrip(&m, a("::2"), a("::1")), m);
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let m = Icmpv6::MldReport { group: a("ff1e::1") };
+        let mut wire = m.encode(a("fe80::1"), a("ff1e::1")).to_vec();
+        wire[10] ^= 0xff;
+        assert_eq!(
+            Icmpv6::decode(a("fe80::1"), a("ff1e::1"), &wire),
+            Err(DecodeError::Invalid {
+                what: "ICMPv6 checksum"
+            })
+        );
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        // Same bytes, different pseudo-header => checksum failure.
+        let m = Icmpv6::MldReport { group: a("ff1e::1") };
+        let wire = m.encode(a("fe80::1"), a("ff1e::1"));
+        assert!(Icmpv6::decode(a("fe80::2"), a("ff1e::1"), &wire).is_err());
+    }
+
+    #[test]
+    fn unknown_type_preserved() {
+        let m = Icmpv6::Unknown {
+            icmp_type: 200,
+            code: 3,
+            body: vec![9, 9, 9],
+        };
+        assert_eq!(roundtrip(&m, a("::1"), a("::2")), m);
+    }
+
+    #[test]
+    fn truncated_mld_is_error() {
+        let m = Icmpv6::MldReport { group: a("ff1e::1") };
+        let wire = m.encode(a("fe80::1"), a("ff1e::1"));
+        assert!(Icmpv6::decode(a("fe80::1"), a("ff1e::1"), &wire[..10]).is_err());
+    }
+
+    #[test]
+    fn advert_without_prefixes() {
+        let m = Icmpv6::RouterAdvert {
+            router_lifetime_secs: 0,
+            prefixes: vec![],
+        };
+        assert_eq!(roundtrip(&m, a("fe80::a"), ALL_NODES), m);
+    }
+}

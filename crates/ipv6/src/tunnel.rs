@@ -1,0 +1,103 @@
+//! Generic IPv6-in-IPv6 packet tunneling (RFC 2473).
+//!
+//! Mobile IPv6 home agents tunnel intercepted packets to a mobile host's
+//! care-of address, and mobile senders may reverse-tunnel multicast
+//! datagrams to their home agent (Section 4.2.2 B of the paper). Each level
+//! of encapsulation costs exactly [`TUNNEL_OVERHEAD`] bytes on the wire —
+//! the "protocol overhead" the paper's comparison charges to the tunnel
+//! approaches.
+
+use crate::error::DecodeError;
+use crate::packet::{proto, Packet, FIXED_HEADER_LEN};
+use std::net::Ipv6Addr;
+
+/// Per-packet byte overhead of one encapsulation level (the outer fixed
+/// IPv6 header).
+pub const TUNNEL_OVERHEAD: usize = FIXED_HEADER_LEN;
+
+/// Encapsulate `inner` in an outer packet from `outer_src` to `outer_dst`.
+pub fn encapsulate(outer_src: Ipv6Addr, outer_dst: Ipv6Addr, inner: &Packet) -> Packet {
+    Packet::new(outer_src, outer_dst, proto::IPV6, inner.encode())
+}
+
+/// Decapsulate one tunnel level. Fails if the packet is not IPv6-in-IPv6 or
+/// the inner bytes do not parse.
+pub fn decapsulate(outer: &Packet) -> Result<Packet, DecodeError> {
+    if outer.payload_proto != proto::IPV6 {
+        return Err(DecodeError::Unsupported {
+            what: "decapsulation of non-tunnel packet",
+            value: u32::from(outer.payload_proto),
+        });
+    }
+    Packet::decode(&outer.payload)
+}
+
+/// Is this packet a tunnel packet?
+pub fn is_tunnel(p: &Packet) -> bool {
+    p.payload_proto == proto::IPV6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn sample_inner() -> Packet {
+        Packet::new(
+            a("2001:db8:1::5"),
+            a("ff1e::1"),
+            proto::UDP,
+            Bytes::from_static(&[0xab; 64]),
+        )
+    }
+
+    #[test]
+    fn encap_decap_roundtrip() {
+        let inner = sample_inner();
+        let outer = encapsulate(a("2001:db8:4::d"), a("2001:db8:1::c0a"), &inner);
+        assert!(is_tunnel(&outer));
+        assert_eq!(outer.payload_proto, proto::IPV6);
+        let back = decapsulate(&outer).unwrap();
+        assert_eq!(back, inner);
+    }
+
+    #[test]
+    fn overhead_is_exactly_forty_bytes() {
+        let inner = sample_inner();
+        let outer = encapsulate(a("::1"), a("::2"), &inner);
+        assert_eq!(outer.wire_len(), inner.wire_len() + TUNNEL_OVERHEAD);
+    }
+
+    #[test]
+    fn nested_tunnels() {
+        let inner = sample_inner();
+        let mid = encapsulate(a("::1"), a("::2"), &inner);
+        let outer = encapsulate(a("::3"), a("::4"), &mid);
+        assert_eq!(outer.wire_len(), inner.wire_len() + 2 * TUNNEL_OVERHEAD);
+        let back = decapsulate(&decapsulate(&outer).unwrap()).unwrap();
+        assert_eq!(back, inner);
+    }
+
+    #[test]
+    fn decap_of_plain_packet_fails() {
+        let plain = sample_inner();
+        assert!(matches!(
+            decapsulate(&plain),
+            Err(DecodeError::Unsupported { .. })
+        ));
+        assert!(!is_tunnel(&plain));
+    }
+
+    #[test]
+    fn tunnel_survives_wire_roundtrip() {
+        let inner = sample_inner();
+        let outer = encapsulate(a("2001:db8:4::d"), a("2001:db8:6::beef"), &inner);
+        let wire = outer.encode();
+        let parsed = Packet::decode(&wire).unwrap();
+        assert_eq!(decapsulate(&parsed).unwrap(), inner);
+    }
+}

@@ -1,0 +1,169 @@
+//! Wire-format conformance: byte-level layout checks against the RFCs the
+//! simulator implements (RFC 2460 header fields, RFC 2710 MLD message
+//! layout, RFC 2711 router alert, RFC 2473 encapsulation) plus structural
+//! invariants on extension-header padding.
+
+use bytes::Bytes;
+use mobicast_ipv6::addr::{GroupAddr, ALL_NODES};
+use mobicast_ipv6::exthdr::{ExtHeader, Option6};
+use mobicast_ipv6::packet::{proto, Packet};
+use mobicast_ipv6::{encapsulate, Icmpv6};
+use std::net::Ipv6Addr;
+
+fn a(s: &str) -> Ipv6Addr {
+    s.parse().unwrap()
+}
+
+#[test]
+fn fixed_header_layout_rfc2460() {
+    let p = Packet::new(
+        a("2001:db8::1"),
+        a("2001:db8::2"),
+        proto::UDP,
+        Bytes::from_static(&[0xAA; 4]),
+    )
+    .with_hop_limit(64);
+    let w = p.encode();
+    assert_eq!(w.len(), 44);
+    assert_eq!(w[0] >> 4, 6, "version nibble");
+    assert_eq!(u16::from_be_bytes([w[4], w[5]]), 4, "payload length");
+    assert_eq!(w[6], proto::UDP, "next header");
+    assert_eq!(w[7], 64, "hop limit");
+    assert_eq!(&w[8..24], &a("2001:db8::1").octets(), "source");
+    assert_eq!(&w[24..40], &a("2001:db8::2").octets(), "destination");
+    assert_eq!(&w[40..44], &[0xAA; 4], "payload");
+}
+
+#[test]
+fn mld_report_layout_rfc2710() {
+    let g = GroupAddr::test_group(9);
+    let body = Icmpv6::MldReport { group: g.addr() }.encode(a("fe80::1"), g.addr());
+    assert_eq!(body.len(), 24, "4-byte ICMP header + 20-byte MLD body");
+    assert_eq!(body[0], 131, "ICMPv6 type: Multicast Listener Report");
+    assert_eq!(body[1], 0, "code");
+    assert_eq!(&body[8..24], &g.addr().octets(), "multicast address field");
+}
+
+#[test]
+fn mld_query_carries_max_response_delay_in_ms() {
+    let body = Icmpv6::MldQuery {
+        max_response_delay_ms: 10_000,
+        group: Ipv6Addr::UNSPECIFIED,
+    }
+    .encode(a("fe80::1"), ALL_NODES);
+    assert_eq!(body[0], 130);
+    assert_eq!(
+        u16::from_be_bytes([body[4], body[5]]),
+        10_000,
+        "maximum response delay field (ms)"
+    );
+    assert!(body[8..24].iter().all(|b| *b == 0), "general query: ::");
+}
+
+#[test]
+fn router_alert_option_rfc2711() {
+    let p = Packet::new(
+        a("fe80::1"),
+        ALL_NODES,
+        proto::ICMPV6,
+        Bytes::from_static(&[0; 4]),
+    )
+    .with_ext(ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]));
+    let w = p.encode();
+    // Hop-by-hop header right after the fixed header.
+    assert_eq!(w[6], proto::HOP_BY_HOP, "first next-header is HBH");
+    assert_eq!(w[40], proto::ICMPV6, "chained next-header");
+    assert_eq!(w[41], 0, "HBH length = 8 octets");
+    assert_eq!(w[42], 5, "router alert option type");
+    assert_eq!(w[43], 2, "router alert length");
+    assert_eq!(u16::from_be_bytes([w[44], w[45]]), 0, "MLD alert value");
+}
+
+#[test]
+fn all_extension_headers_are_8_octet_aligned() {
+    let cases: Vec<ExtHeader> = vec![
+        ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]),
+        ExtHeader::DestinationOptions(vec![Option6::HomeAddress(a("2001:db8::9"))]),
+        ExtHeader::DestinationOptions(vec![Option6::BindingRequest]),
+        ExtHeader::DestinationOptions(vec![
+            Option6::HomeAddress(a("2001:db8::9")),
+            Option6::BindingRequest,
+        ]),
+        ExtHeader::DestinationOptions(vec![Option6::Unknown {
+            kind: 77,
+            data: vec![1, 2, 3, 4, 5],
+        }]),
+    ];
+    for h in cases {
+        assert_eq!(h.wire_len() % 8, 0, "{h:?} not 8-aligned");
+        let mut out = bytes::BytesMut::new();
+        h.encode(proto::NONE, &mut out);
+        assert_eq!(out.len(), h.wire_len());
+    }
+}
+
+#[test]
+fn tunnel_header_chain_rfc2473() {
+    let inner = Packet::new(
+        a("2001:db8:4::9"),
+        a("ff1e::1"),
+        proto::UDP,
+        Bytes::from_static(&[1, 2, 3]),
+    );
+    let outer = encapsulate(a("2001:db8:1::d"), a("2001:db8:6::9"), &inner);
+    let w = outer.encode();
+    assert_eq!(w[6], proto::IPV6, "outer next-header = 41 (IPv6)");
+    // The inner packet starts right after the outer fixed header.
+    let inner_again = Packet::decode(&w[40..]).unwrap();
+    assert_eq!(inner_again, inner);
+}
+
+#[test]
+fn echo_request_reply_pair() {
+    let req = Icmpv6::EchoRequest { id: 7, seq: 1 };
+    let w = req.encode(a("::1"), a("::2"));
+    assert_eq!(w[0], 128);
+    let rep = Icmpv6::EchoReply { id: 7, seq: 1 };
+    let w = rep.encode(a("::2"), a("::1"));
+    assert_eq!(w[0], 129);
+}
+
+#[test]
+fn hop_limit_255_for_nd_messages_survives() {
+    let p = Packet::new(
+        a("fe80::1"),
+        ALL_NODES,
+        proto::ICMPV6,
+        Icmpv6::RouterSolicit.encode(a("fe80::1"), ALL_NODES),
+    )
+    .with_hop_limit(255);
+    let q = Packet::decode(&p.encode()).unwrap();
+    assert_eq!(q.hop_limit, 255);
+}
+
+#[test]
+fn max_payload_length_boundary() {
+    // payload_len is u16: a payload of 65495 fits (65535 - 40-byte cap is
+    // on the *payload* field, not the whole packet).
+    let p = Packet::new(
+        a("::1"),
+        a("::2"),
+        proto::NONE,
+        Bytes::from(vec![0u8; 65_495]),
+    );
+    let w = p.encode();
+    let q = Packet::decode(&w).unwrap();
+    assert_eq!(q.payload.len(), 65_495);
+}
+
+#[test]
+#[should_panic(expected = "payload too large")]
+fn oversized_payload_rejected_at_encode() {
+    let p = Packet::new(
+        a("::1"),
+        a("::2"),
+        proto::NONE,
+        Bytes::from(vec![0u8; 70_000]),
+    );
+    let _ = p.encode();
+}

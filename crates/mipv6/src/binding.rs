@@ -1,0 +1,263 @@
+//! The binding cache kept by a home agent (draft-ietf-mobileip-ipv6-10 §4.4)
+//! extended with the paper's per-binding multicast group list (the data the
+//! proposed Multicast Group List Sub-Option carries, §4.3.2).
+
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv6Addr;
+
+/// One binding: home address → care-of address, plus the multicast groups
+/// the mobile host asked its home agent to join on its behalf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BindingEntry {
+    pub care_of: Ipv6Addr,
+    pub expires: SimTime,
+    pub sequence: u16,
+    pub groups: Vec<GroupAddr>,
+}
+
+/// Effect of a cache update, as seen by the multicast proxy machinery.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheDelta {
+    /// Groups whose subscriber count went 0 → 1 (proxy must join).
+    pub groups_added: Vec<GroupAddr>,
+    /// Groups whose subscriber count went 1 → 0 (proxy must leave).
+    pub groups_removed: Vec<GroupAddr>,
+}
+
+impl CacheDelta {
+    pub fn is_empty(&self) -> bool {
+        self.groups_added.is_empty() && self.groups_removed.is_empty()
+    }
+}
+
+/// The home agent's binding cache.
+#[derive(Debug, Default)]
+pub struct BindingCache {
+    entries: BTreeMap<Ipv6Addr, BindingEntry>,
+    /// Subscriber counts per group across all bindings.
+    group_refs: BTreeMap<GroupAddr, usize>,
+}
+
+impl BindingCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn lookup(&self, home: Ipv6Addr) -> Option<&BindingEntry> {
+        self.entries.get(&home)
+    }
+
+    /// Care-of addresses of every binding subscribed to `group`, in home
+    /// address order (the fan-out set for tunnelled multicast).
+    pub fn subscribers(&self, group: GroupAddr) -> Vec<(Ipv6Addr, Ipv6Addr)> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.groups.contains(&group))
+            .map(|(home, e)| (*home, e.care_of))
+            .collect()
+    }
+
+    /// All groups with at least one subscriber.
+    pub fn subscribed_groups(&self) -> Vec<GroupAddr> {
+        self.group_refs.keys().copied().collect()
+    }
+
+    fn ref_groups(&mut self, groups: &[GroupAddr], delta: &mut CacheDelta) {
+        for g in groups {
+            let c = self.group_refs.entry(*g).or_insert(0);
+            *c += 1;
+            if *c == 1 {
+                delta.groups_added.push(*g);
+            }
+        }
+    }
+
+    fn unref_groups(&mut self, groups: &[GroupAddr], delta: &mut CacheDelta) {
+        for g in groups {
+            if let Some(c) = self.group_refs.get_mut(g) {
+                *c -= 1;
+                if *c == 0 {
+                    self.group_refs.remove(g);
+                    delta.groups_removed.push(*g);
+                }
+            }
+        }
+    }
+
+    /// Register or refresh a binding. `lifetime` of zero deregisters.
+    /// Returns the proxy-group delta.
+    pub fn update(
+        &mut self,
+        home: Ipv6Addr,
+        care_of: Ipv6Addr,
+        lifetime: SimDuration,
+        sequence: u16,
+        groups: Vec<GroupAddr>,
+        now: SimTime,
+    ) -> CacheDelta {
+        let mut delta = CacheDelta::default();
+        if lifetime.is_zero() {
+            if let Some(old) = self.entries.remove(&home) {
+                self.unref_groups(&old.groups, &mut delta);
+            }
+            return delta;
+        }
+        let expires = now + lifetime;
+        match self.entries.get_mut(&home) {
+            Some(e) => {
+                let old_groups = std::mem::take(&mut e.groups);
+                e.care_of = care_of;
+                e.expires = expires;
+                e.sequence = sequence;
+                e.groups = groups.clone();
+                self.ref_groups(&groups, &mut delta);
+                self.unref_groups(&old_groups, &mut delta);
+            }
+            None => {
+                self.entries.insert(
+                    home,
+                    BindingEntry {
+                        care_of,
+                        expires,
+                        sequence,
+                        groups: groups.clone(),
+                    },
+                );
+                self.ref_groups(&groups, &mut delta);
+            }
+        }
+        delta
+    }
+
+    /// Earliest binding expiry.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.entries.values().map(|e| e.expires).min()
+    }
+
+    /// Drop expired bindings (the paper: a missing refresh lets the home
+    /// agent "give up the representation of the host as member of its
+    /// multicast group"). Returns the expired homes and the proxy delta.
+    pub fn expire(&mut self, now: SimTime) -> (Vec<Ipv6Addr>, CacheDelta) {
+        let mut delta = CacheDelta::default();
+        let dead: Vec<Ipv6Addr> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.expires <= now)
+            .map(|(h, _)| *h)
+            .collect();
+        for h in &dead {
+            let e = self.entries.remove(h).expect("present");
+            self.unref_groups(&e.groups, &mut delta);
+        }
+        (dead, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+    fn g(i: u16) -> GroupAddr {
+        GroupAddr::test_group(i)
+    }
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    const LIFE: SimDuration = SimDuration::from_secs(256);
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = BindingCache::new();
+        let d = c.update(a("2001:db8:4::9"), a("2001:db8:1::9"), LIFE, 1, vec![], t(0));
+        assert!(d.is_empty());
+        let e = c.lookup(a("2001:db8:4::9")).unwrap();
+        assert_eq!(e.care_of, a("2001:db8:1::9"));
+        assert_eq!(e.expires, t(256));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn group_refcounting_across_hosts() {
+        let mut c = BindingCache::new();
+        let d1 = c.update(a("::a"), a("::a1"), LIFE, 1, vec![g(1)], t(0));
+        assert_eq!(d1.groups_added, vec![g(1)], "first subscriber joins");
+        let d2 = c.update(a("::b"), a("::b1"), LIFE, 1, vec![g(1), g(2)], t(0));
+        assert_eq!(d2.groups_added, vec![g(2)], "g1 already subscribed");
+        // First host drops g1.
+        let d3 = c.update(a("::a"), a("::a1"), LIFE, 2, vec![], t(1));
+        assert!(d3.groups_removed.is_empty(), "::b still holds g1");
+        // Second host deregisters entirely.
+        let d4 = c.update(a("::b"), a("::b1"), SimDuration::ZERO, 3, vec![], t(2));
+        let mut removed = d4.groups_removed.clone();
+        removed.sort();
+        assert_eq!(removed, vec![g(1), g(2)]);
+        assert!(c.subscribed_groups().is_empty());
+    }
+
+    #[test]
+    fn subscribers_fan_out() {
+        let mut c = BindingCache::new();
+        c.update(a("::a"), a("::a1"), LIFE, 1, vec![g(1)], t(0));
+        c.update(a("::b"), a("::b1"), LIFE, 1, vec![g(1)], t(0));
+        c.update(a("::c"), a("::c1"), LIFE, 1, vec![g(2)], t(0));
+        let subs = c.subscribers(g(1));
+        assert_eq!(subs, vec![(a("::a"), a("::a1")), (a("::b"), a("::b1"))]);
+    }
+
+    #[test]
+    fn refresh_moves_expiry_and_coa() {
+        let mut c = BindingCache::new();
+        c.update(a("::a"), a("::a1"), LIFE, 1, vec![g(1)], t(0));
+        let d = c.update(a("::a"), a("::a2"), LIFE, 2, vec![g(1)], t(100));
+        assert!(d.is_empty(), "same groups: no proxy change");
+        let e = c.lookup(a("::a")).unwrap();
+        assert_eq!(e.care_of, a("::a2"));
+        assert_eq!(e.expires, t(356));
+        assert_eq!(e.sequence, 2);
+    }
+
+    #[test]
+    fn expiry_releases_groups() {
+        let mut c = BindingCache::new();
+        c.update(a("::a"), a("::a1"), LIFE, 1, vec![g(1)], t(0));
+        c.update(a("::b"), a("::b1"), LIFE, 1, vec![g(1)], t(50));
+        assert_eq!(c.next_deadline(), Some(t(256)));
+        let (dead, delta) = c.expire(t(256));
+        assert_eq!(dead, vec![a("::a")]);
+        assert!(delta.groups_removed.is_empty(), "::b still subscribed");
+        let (dead, delta) = c.expire(t(306));
+        assert_eq!(dead, vec![a("::b")]);
+        assert_eq!(delta.groups_removed, vec![g(1)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn dereg_of_unknown_home_is_noop() {
+        let mut c = BindingCache::new();
+        let d = c.update(a("::a"), a("::a1"), SimDuration::ZERO, 1, vec![], t(0));
+        assert!(d.is_empty());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn group_churn_within_one_host() {
+        let mut c = BindingCache::new();
+        c.update(a("::a"), a("::a1"), LIFE, 1, vec![g(1), g(2)], t(0));
+        let d = c.update(a("::a"), a("::a1"), LIFE, 2, vec![g(2), g(3)], t(1));
+        assert_eq!(d.groups_added, vec![g(3)]);
+        assert_eq!(d.groups_removed, vec![g(1)]);
+    }
+}

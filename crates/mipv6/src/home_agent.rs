@@ -1,0 +1,230 @@
+//! The home agent: binding registration, proxy group membership, and the
+//! decision logic for tunnelling intercepted traffic to mobile hosts.
+//!
+//! The paper's "second (and more general) scenario" (§4.3.2) is implemented:
+//! the home agent is *not* assumed to be a PIM-DM router; it learns the
+//! mobile host's multicast subscriptions from the extended Binding Update
+//! (Multicast Group List Sub-Option) and acts as an ordinary MLD listener
+//! on the home link on the host's behalf. The owning router node feeds
+//! [`HaOutput::ProxyJoin`]/[`HaOutput::ProxyLeave`] into its local MLD host
+//! machine.
+
+use crate::binding::{BindingCache, CacheDelta};
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_ipv6::exthdr::{BindingAck, BindingUpdate};
+use mobicast_sim::{SimDuration, SimTime};
+use std::net::Ipv6Addr;
+
+/// Outputs of the home-agent machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HaOutput {
+    /// Send a Binding Acknowledgement to the mobile host's care-of address.
+    SendBindingAck {
+        care_of: Ipv6Addr,
+        home: Ipv6Addr,
+        ack: BindingAck,
+    },
+    /// Start proxy MLD membership for `0` on the home link.
+    ProxyJoin(GroupAddr),
+    /// Stop proxy MLD membership.
+    ProxyLeave(GroupAddr),
+}
+
+/// Home-agent state for one router.
+#[derive(Debug, Default)]
+pub struct HomeAgent {
+    cache: BindingCache,
+    /// Processing-load metrics (the paper's "system load" criterion).
+    pub binding_updates_processed: u64,
+    pub packets_tunneled: u64,
+}
+
+impl HomeAgent {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn cache(&self) -> &BindingCache {
+        &self.cache
+    }
+
+    /// Number of bindings currently held (state-load metric).
+    pub fn binding_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn delta_outputs(delta: CacheDelta) -> Vec<HaOutput> {
+        let mut out = Vec::new();
+        for g in delta.groups_added {
+            out.push(HaOutput::ProxyJoin(g));
+        }
+        for g in delta.groups_removed {
+            out.push(HaOutput::ProxyLeave(g));
+        }
+        out
+    }
+
+    /// Process a Binding Update received from `care_of` for `home`.
+    pub fn on_binding_update(
+        &mut self,
+        home: Ipv6Addr,
+        care_of: Ipv6Addr,
+        bu: &BindingUpdate,
+        now: SimTime,
+    ) -> Vec<HaOutput> {
+        self.binding_updates_processed += 1;
+        let groups = bu
+            .multicast_groups()
+            .map(<[GroupAddr]>::to_vec)
+            .unwrap_or_default();
+        let lifetime = SimDuration::from_secs(u64::from(bu.lifetime_secs));
+        let delta = self
+            .cache
+            .update(home, care_of, lifetime, bu.sequence, groups, now);
+        let mut out = Self::delta_outputs(delta);
+        if bu.ack_requested() {
+            out.push(HaOutput::SendBindingAck {
+                care_of,
+                home,
+                ack: BindingAck {
+                    status: 0,
+                    sequence: bu.sequence,
+                    lifetime_secs: bu.lifetime_secs,
+                    refresh_secs: bu.lifetime_secs / 2,
+                },
+            });
+        }
+        out
+    }
+
+    /// Should a unicast packet for `dst` be intercepted and tunnelled?
+    /// Returns the care-of address if so.
+    pub fn intercept(&self, dst: Ipv6Addr) -> Option<Ipv6Addr> {
+        self.cache.lookup(dst).map(|e| e.care_of)
+    }
+
+    /// Care-of addresses to tunnel a multicast datagram for `group` to
+    /// (the paper's observation that co-located receivers each get their
+    /// own unicast copy falls straight out of this list).
+    pub fn multicast_tunnel_targets(&mut self, group: GroupAddr) -> Vec<Ipv6Addr> {
+        let targets: Vec<Ipv6Addr> = self
+            .cache
+            .subscribers(group)
+            .into_iter()
+            .map(|(_, coa)| coa)
+            .collect();
+        self.packets_tunneled += targets.len() as u64;
+        targets
+    }
+
+    /// Is any binding subscribed to `group`?
+    pub fn has_group_subscribers(&self, group: GroupAddr) -> bool {
+        !self.cache.subscribers(group).is_empty()
+    }
+
+    /// Earliest binding expiry.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.cache.next_deadline()
+    }
+
+    /// Expire stale bindings; returns proxy-leave outputs.
+    pub fn on_deadline(&mut self, now: SimTime) -> Vec<HaOutput> {
+        let (_dead, delta) = self.cache.expire(now);
+        Self::delta_outputs(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicast_ipv6::exthdr::{SubOption, BU_FLAG_ACK, BU_FLAG_HOME};
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+    fn g(i: u16) -> GroupAddr {
+        GroupAddr::test_group(i)
+    }
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn bu(seq: u16, lifetime: u32, groups: Vec<GroupAddr>) -> BindingUpdate {
+        let mut sub_options = Vec::new();
+        if !groups.is_empty() {
+            sub_options.push(SubOption::MulticastGroupList(groups));
+        }
+        BindingUpdate {
+            flags: BU_FLAG_ACK | BU_FLAG_HOME,
+            sequence: seq,
+            lifetime_secs: lifetime,
+            sub_options,
+        }
+    }
+
+    #[test]
+    fn binding_update_acked_and_cached() {
+        let mut ha = HomeAgent::new();
+        let out = ha.on_binding_update(a("::aa"), a("::c"), &bu(1, 256, vec![]), t(0));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            HaOutput::SendBindingAck { care_of, home, ack } => {
+                assert_eq!(*care_of, a("::c"));
+                assert_eq!(*home, a("::aa"));
+                assert!(ack.accepted());
+                assert_eq!(ack.sequence, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ha.intercept(a("::aa")), Some(a("::c")));
+        assert_eq!(ha.intercept(a("::ee")), None);
+        assert_eq!(ha.binding_count(), 1);
+        assert_eq!(ha.binding_updates_processed, 1);
+    }
+
+    #[test]
+    fn group_list_triggers_proxy_join_and_leave() {
+        let mut ha = HomeAgent::new();
+        let out = ha.on_binding_update(a("::aa"), a("::c"), &bu(1, 256, vec![g(1)]), t(0));
+        assert!(out.contains(&HaOutput::ProxyJoin(g(1))));
+        // Deregistration releases the proxy membership.
+        let out = ha.on_binding_update(a("::aa"), a("::c"), &bu(2, 0, vec![]), t(10));
+        assert!(out.contains(&HaOutput::ProxyLeave(g(1))));
+        assert_eq!(ha.binding_count(), 0);
+    }
+
+    #[test]
+    fn multicast_fanout_counts_tunnel_load() {
+        let mut ha = HomeAgent::new();
+        ha.on_binding_update(a("::a1"), a("::c1"), &bu(1, 256, vec![g(1)]), t(0));
+        ha.on_binding_update(a("::a2"), a("::c2"), &bu(1, 256, vec![g(1)]), t(0));
+        ha.on_binding_update(a("::a3"), a("::c3"), &bu(1, 256, vec![g(2)]), t(0));
+        assert!(ha.has_group_subscribers(g(1)));
+        let targets = ha.multicast_tunnel_targets(g(1));
+        assert_eq!(targets, vec![a("::c1"), a("::c2")]);
+        assert_eq!(ha.packets_tunneled, 2, "one tunnel copy per subscriber");
+    }
+
+    #[test]
+    fn binding_expiry_releases_proxy_membership() {
+        let mut ha = HomeAgent::new();
+        ha.on_binding_update(a("::aa"), a("::c"), &bu(1, 256, vec![g(1)]), t(0));
+        assert_eq!(ha.next_deadline(), Some(t(256)));
+        let out = ha.on_deadline(t(256));
+        assert_eq!(out, vec![HaOutput::ProxyLeave(g(1))]);
+        assert_eq!(ha.intercept(a("::aa")), None);
+    }
+
+    #[test]
+    fn no_ack_when_not_requested() {
+        let mut ha = HomeAgent::new();
+        let quiet = BindingUpdate {
+            flags: BU_FLAG_HOME,
+            sequence: 1,
+            lifetime_secs: 256,
+            sub_options: vec![],
+        };
+        let out = ha.on_binding_update(a("::aa"), a("::c"), &quiet, t(0));
+        assert!(out.is_empty());
+    }
+}

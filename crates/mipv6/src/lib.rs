@@ -1,0 +1,20 @@
+//! # mobicast-mipv6
+//!
+//! Mobile IPv6 (draft-ietf-mobileip-ipv6-10 subset) as sans-IO state
+//! machines: the mobile node ([`MobileNode`]: RA-driven movement detection,
+//! stateless care-of address configuration, Binding Updates with refresh)
+//! and the home agent ([`HomeAgent`]: binding cache, interception of
+//! home-addressed traffic, multicast proxy membership driven by the paper's
+//! proposed **Multicast Group List Sub-Option**).
+//!
+//! Packet construction helpers live in [`packets`]; actual transmission is
+//! the job of the node glue in `mobicast-core`.
+
+pub mod binding;
+pub mod home_agent;
+pub mod mobile;
+pub mod packets;
+
+pub use binding::{BindingCache, BindingEntry, CacheDelta};
+pub use home_agent::{HaOutput, HomeAgent};
+pub use mobile::{Location, MnOutput, MobileNode, DEFAULT_BINDING_LIFETIME};

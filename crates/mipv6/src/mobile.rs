@@ -1,0 +1,356 @@
+//! The mobile node side of Mobile IPv6 (draft-ietf-mobileip-ipv6-10,
+//! simplified to what the paper's scenarios exercise).
+//!
+//! Movement detection is driven by Router Advertisements: when the mobile
+//! node hears an RA for a prefix other than its home prefix, it forms a
+//! care-of address by stateless autoconfiguration (RFC 2462) and registers
+//! it with its home agent via a Binding Update. The machine optionally
+//! appends the paper's Multicast Group List Sub-Option so the home agent
+//! joins groups on the host's behalf (receive-via-tunnel strategies).
+
+use mobicast_ipv6::addr::{GroupAddr, Prefix};
+use mobicast_ipv6::exthdr::{BindingUpdate, SubOption, BU_FLAG_ACK, BU_FLAG_HOME};
+use mobicast_sim::{SimDuration, SimTime};
+use std::net::Ipv6Addr;
+
+/// Default binding lifetime; the paper cites
+/// `MAX_BINDACK_TIMEOUT = 256 s` from the draft.
+pub const DEFAULT_BINDING_LIFETIME: SimDuration = SimDuration::from_secs(256);
+
+/// Where the mobile node currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Location {
+    AtHome,
+    Away { care_of: Ipv6Addr },
+}
+
+/// Outputs of the mobile-node machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MnOutput {
+    /// Transmit a Binding Update to the home agent. The glue wraps it in an
+    /// IPv6 packet from `source` carrying a Home Address option.
+    SendBindingUpdate {
+        home_agent: Ipv6Addr,
+        source: Ipv6Addr,
+        binding_update: BindingUpdate,
+    },
+}
+
+/// Mobile IPv6 state of one mobile host.
+#[derive(Debug)]
+pub struct MobileNode {
+    home_address: Ipv6Addr,
+    home_prefix: Prefix,
+    home_agent: Ipv6Addr,
+    /// Interface identifier used for stateless autoconfiguration.
+    iid: u64,
+    sequence: u16,
+    location: Location,
+    lifetime: SimDuration,
+    /// When to refresh the binding (while away).
+    refresh_at: Option<SimTime>,
+    /// Groups to advertise in the Multicast Group List Sub-Option.
+    groups: Vec<GroupAddr>,
+    /// Whether Binding Updates carry the group list (paper Fig. 5) —
+    /// enabled by the receive-via-home-tunnel strategies.
+    include_group_list: bool,
+    binding_updates_sent: u64,
+}
+
+impl MobileNode {
+    pub fn new(
+        home_address: Ipv6Addr,
+        home_prefix: Prefix,
+        home_agent: Ipv6Addr,
+        iid: u64,
+        include_group_list: bool,
+    ) -> Self {
+        debug_assert!(home_prefix.contains(home_address));
+        MobileNode {
+            home_address,
+            home_prefix,
+            home_agent,
+            iid,
+            sequence: 0,
+            location: Location::AtHome,
+            lifetime: DEFAULT_BINDING_LIFETIME,
+            refresh_at: None,
+            groups: Vec::new(),
+            include_group_list,
+            binding_updates_sent: 0,
+        }
+    }
+
+    pub fn home_address(&self) -> Ipv6Addr {
+        self.home_address
+    }
+
+    pub fn home_agent(&self) -> Ipv6Addr {
+        self.home_agent
+    }
+
+    pub fn location(&self) -> Location {
+        self.location
+    }
+
+    pub fn at_home(&self) -> bool {
+        self.location == Location::AtHome
+    }
+
+    /// The source address this host currently uses on the wire: the care-of
+    /// address when away (Mobile IPv6 §10.1), the home address at home.
+    pub fn current_address(&self) -> Ipv6Addr {
+        match self.location {
+            Location::AtHome => self.home_address,
+            Location::Away { care_of } => care_of,
+        }
+    }
+
+    /// Signalling load metric: number of Binding Updates sent.
+    pub fn binding_updates_sent(&self) -> u64 {
+        self.binding_updates_sent
+    }
+
+    fn build_bu(&mut self, lifetime: SimDuration, now: SimTime) -> Vec<MnOutput> {
+        self.sequence = self.sequence.wrapping_add(1);
+        self.binding_updates_sent += 1;
+        let mut sub_options = Vec::new();
+        if self.include_group_list && !lifetime.is_zero() {
+            sub_options.push(SubOption::MulticastGroupList(self.groups.clone()));
+        }
+        let secs = lifetime.as_nanos() / 1_000_000_000;
+        let bu = BindingUpdate {
+            flags: BU_FLAG_ACK | BU_FLAG_HOME,
+            sequence: self.sequence,
+            lifetime_secs: secs.min(u64::from(u32::MAX)) as u32,
+            sub_options,
+        };
+        self.refresh_at = if lifetime.is_zero() {
+            None
+        } else {
+            // Refresh at 80 % of the lifetime so the binding never lapses.
+            Some(now + lifetime.mul_f64(0.8))
+        };
+        vec![MnOutput::SendBindingUpdate {
+            home_agent: self.home_agent,
+            source: self.current_address(),
+            binding_update: bu,
+        }]
+    }
+
+    /// A Router Advertisement for `prefix` was heard on the host's
+    /// interface. Performs movement detection and, when a new foreign link
+    /// is detected, care-of address configuration + Binding Update.
+    pub fn on_router_advert(&mut self, prefix: Prefix, now: SimTime) -> Vec<MnOutput> {
+        if prefix == self.home_prefix {
+            return match self.location {
+                Location::AtHome => Vec::new(),
+                Location::Away { .. } => {
+                    // Returned home: deregister the binding.
+                    self.location = Location::AtHome;
+                    self.build_bu(SimDuration::ZERO, now)
+                }
+            };
+        }
+        let care_of = prefix.addr_with_iid(self.iid);
+        match self.location {
+            Location::Away { care_of: cur } if cur == care_of => Vec::new(), // same link
+            _ => {
+                self.location = Location::Away { care_of };
+                self.build_bu(self.lifetime, now)
+            }
+        }
+    }
+
+    /// A Binding Acknowledgement arrived (accepted acks simply confirm; a
+    /// rejected ack triggers an immediate retry).
+    pub fn on_binding_ack(&mut self, accepted: bool, now: SimTime) -> Vec<MnOutput> {
+        if accepted || self.at_home() {
+            return Vec::new();
+        }
+        self.build_bu(self.lifetime, now)
+    }
+
+    /// Update the group list the host wants its home agent to serve. While
+    /// away (and when the sub-option is enabled), a fresh Binding Update
+    /// carries the change immediately — the paper's extended BU.
+    pub fn set_groups(&mut self, groups: Vec<GroupAddr>, now: SimTime) -> Vec<MnOutput> {
+        self.groups = groups;
+        if !self.at_home() && self.include_group_list {
+            self.build_bu(self.lifetime, now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    pub fn groups(&self) -> &[GroupAddr] {
+        &self.groups
+    }
+
+    /// Next binding refresh instant, if away.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.refresh_at
+    }
+
+    /// Fire the refresh timer.
+    pub fn on_deadline(&mut self, now: SimTime) -> Vec<MnOutput> {
+        if matches!(self.refresh_at, Some(t) if t <= now) && !self.at_home() {
+            self.build_bu(self.lifetime, now)
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+    fn g(i: u16) -> GroupAddr {
+        GroupAddr::test_group(i)
+    }
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn mn(with_groups: bool) -> MobileNode {
+        MobileNode::new(
+            a("2001:db8:4::1234"),
+            p("2001:db8:4::/64"),
+            a("2001:db8:4::d"),
+            0x1234,
+            with_groups,
+        )
+    }
+
+    #[test]
+    fn home_ra_while_home_is_quiet() {
+        let mut m = mn(false);
+        assert!(m.on_router_advert(p("2001:db8:4::/64"), t(0)).is_empty());
+        assert!(m.at_home());
+        assert_eq!(m.current_address(), a("2001:db8:4::1234"));
+    }
+
+    #[test]
+    fn foreign_ra_triggers_coa_and_binding_update() {
+        let mut m = mn(false);
+        let out = m.on_router_advert(p("2001:db8:6::/64"), t(5));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            MnOutput::SendBindingUpdate {
+                home_agent,
+                source,
+                binding_update,
+            } => {
+                assert_eq!(*home_agent, a("2001:db8:4::d"));
+                assert_eq!(*source, a("2001:db8:6::1234"), "SLAAC care-of address");
+                assert!(binding_update.home_registration());
+                assert!(binding_update.ack_requested());
+                assert_eq!(binding_update.lifetime_secs, 256);
+                assert!(binding_update.multicast_groups().is_none());
+            }
+        }
+        assert!(!m.at_home());
+        assert_eq!(m.current_address(), a("2001:db8:6::1234"));
+        assert_eq!(m.binding_updates_sent(), 1);
+    }
+
+    #[test]
+    fn repeated_ra_on_same_link_is_quiet() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(5));
+        assert!(m.on_router_advert(p("2001:db8:6::/64"), t(10)).is_empty());
+        assert_eq!(m.binding_updates_sent(), 1);
+    }
+
+    #[test]
+    fn moving_again_re_registers() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(5));
+        let out = m.on_router_advert(p("2001:db8:1::/64"), t(50));
+        assert_eq!(out.len(), 1);
+        assert_eq!(m.current_address(), a("2001:db8:1::1234"));
+        assert_eq!(m.binding_updates_sent(), 2);
+    }
+
+    #[test]
+    fn returning_home_deregisters() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(5));
+        let out = m.on_router_advert(p("2001:db8:4::/64"), t(60));
+        match &out[0] {
+            MnOutput::SendBindingUpdate { binding_update, .. } => {
+                assert_eq!(binding_update.lifetime_secs, 0, "deregistration");
+            }
+        }
+        assert!(m.at_home());
+        assert_eq!(m.next_deadline(), None, "no refresh while home");
+    }
+
+    #[test]
+    fn group_list_included_when_enabled() {
+        let mut m = mn(true);
+        m.set_groups(vec![g(1), g(2)], t(0));
+        let out = m.on_router_advert(p("2001:db8:6::/64"), t(5));
+        match &out[0] {
+            MnOutput::SendBindingUpdate { binding_update, .. } => {
+                assert_eq!(
+                    binding_update.multicast_groups().unwrap(),
+                    &[g(1), g(2)],
+                    "paper Fig. 5 sub-option"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_change_while_away_sends_fresh_bu() {
+        let mut m = mn(true);
+        m.on_router_advert(p("2001:db8:6::/64"), t(5));
+        let out = m.set_groups(vec![g(3)], t(20));
+        assert_eq!(out.len(), 1, "extended BU on group change");
+        // Without the sub-option enabled nothing is sent.
+        let mut m2 = mn(false);
+        m2.on_router_advert(p("2001:db8:6::/64"), t(5));
+        assert!(m2.set_groups(vec![g(3)], t(20)).is_empty());
+    }
+
+    #[test]
+    fn binding_refresh_fires_at_80_percent() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(0));
+        // 80% of 256 s = 204.8 s.
+        let dl = m.next_deadline().unwrap();
+        assert_eq!(dl, SimTime::from_nanos(204_800_000_000));
+        let out = m.on_deadline(dl);
+        assert_eq!(out.len(), 1, "refresh BU");
+        assert!(m.next_deadline().unwrap() > dl);
+    }
+
+    #[test]
+    fn rejected_ack_retries() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(0));
+        assert!(m.on_binding_ack(true, t(1)).is_empty());
+        let out = m.on_binding_ack(false, t(2));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(0));
+        let out = m.on_router_advert(p("2001:db8:1::/64"), t(10));
+        match &out[0] {
+            MnOutput::SendBindingUpdate { binding_update, .. } => {
+                assert_eq!(binding_update.sequence, 2);
+            }
+        }
+    }
+}

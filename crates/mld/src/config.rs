@@ -1,0 +1,145 @@
+//! MLD timer configuration (RFC 2710 §7).
+//!
+//! The paper's Section 4.4 proposes tuning exactly these values — above all
+//! the Query Interval — to reduce the join and leave delays of mobile
+//! receivers. The derived Multicast Listener Interval
+//! `T_MLI = RV · T_Query + T_RespDel` (260 s with defaults) is the paper's
+//! upper bound on the leave delay.
+
+use mobicast_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// MLD protocol timer profile.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MldConfig {
+    /// Robustness Variable (RV). Default 2.
+    pub robustness: u32,
+    /// Query Interval `T_Query`: period between General Queries sent by the
+    /// querier. Default 125 s.
+    pub query_interval: SimDuration,
+    /// Query Response Interval / Maximum Response Delay `T_RespDel`
+    /// inserted into General Queries. Default 10 s.
+    pub query_response_interval: SimDuration,
+    /// Interval between startup General Queries. Default `T_Query / 4`.
+    pub startup_query_interval: SimDuration,
+    /// Number of startup General Queries. Default RV.
+    pub startup_query_count: u32,
+    /// Maximum Response Delay for Multicast-Address-Specific Queries sent
+    /// in response to a Done. Default 1 s.
+    pub last_listener_query_interval: SimDuration,
+    /// Number of specific queries before giving up. Default RV.
+    pub last_listener_query_count: u32,
+    /// Interval between repeated unsolicited Reports on join. Default 10 s.
+    pub unsolicited_report_interval: SimDuration,
+}
+
+impl Default for MldConfig {
+    fn default() -> Self {
+        MldConfig::with_query_interval(SimDuration::from_secs(125))
+    }
+}
+
+impl MldConfig {
+    /// RFC 2710 defaults with the given Query Interval; the dependent
+    /// timers (startup interval, other-querier interval, MLI) follow.
+    pub fn with_query_interval(query_interval: SimDuration) -> Self {
+        MldConfig {
+            robustness: 2,
+            query_interval,
+            query_response_interval: SimDuration::from_secs(10),
+            startup_query_interval: query_interval / 4,
+            startup_query_count: 2,
+            last_listener_query_interval: SimDuration::from_secs(1),
+            last_listener_query_count: 2,
+            unsolicited_report_interval: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Multicast Listener Interval: how long a membership stays alive
+    /// without Reports. `RV · T_Query + T_RespDel` (260 s with defaults) —
+    /// the paper's leave-delay bound.
+    pub fn multicast_listener_interval(&self) -> SimDuration {
+        self.query_interval.saturating_mul(u64::from(self.robustness)) + self.query_response_interval
+    }
+
+    /// Other Querier Present Interval:
+    /// `RV · T_Query + T_RespDel / 2`.
+    pub fn other_querier_present_interval(&self) -> SimDuration {
+        self.query_interval.saturating_mul(u64::from(self.robustness))
+            + self.query_response_interval / 2
+    }
+
+    /// Validate the profile. The paper (footnote 5) requires
+    /// `T_Query ≥ T_RespDel`; RFC 2710 additionally requires a nonzero
+    /// robustness.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.robustness == 0 {
+            return Err("robustness variable must be >= 1".into());
+        }
+        if self.query_interval < self.query_response_interval {
+            return Err(format!(
+                "query interval {} must be >= query response interval {} \
+                 (paper §4.4, footnote 5)",
+                self.query_interval, self.query_response_interval
+            ));
+        }
+        if self.query_interval.is_zero() {
+            return Err("query interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_mli_is_260s() {
+        let cfg = MldConfig::default();
+        assert_eq!(cfg.query_interval, SimDuration::from_secs(125));
+        assert_eq!(
+            cfg.multicast_listener_interval(),
+            SimDuration::from_secs(260),
+            "paper: T_MLI = 2*125 + 10 = 260 s"
+        );
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn tuned_profile_scales_mli() {
+        let cfg = MldConfig::with_query_interval(SimDuration::from_secs(20));
+        assert_eq!(
+            cfg.multicast_listener_interval(),
+            SimDuration::from_secs(50)
+        );
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_enforces_paper_footnote5() {
+        // T_Query must not be smaller than T_RespDel (10 s default).
+        let cfg = MldConfig::with_query_interval(SimDuration::from_secs(5));
+        assert!(cfg.validate().is_err());
+        let cfg = MldConfig::with_query_interval(SimDuration::from_secs(10));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_robustness() {
+        let cfg = MldConfig {
+            robustness: 0,
+            ..MldConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn other_querier_interval() {
+        let cfg = MldConfig::default();
+        assert_eq!(
+            cfg.other_querier_present_interval(),
+            SimDuration::from_secs(255)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! MLD protocol messages and their mapping to ICMPv6 wire frames.
+
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_ipv6::Icmpv6;
+use mobicast_sim::SimDuration;
+use std::net::Ipv6Addr;
+
+/// An MLD message at the protocol level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MldMessage {
+    /// A Multicast Listener Query. `group` is `None` for a General Query.
+    Query {
+        max_response_delay: SimDuration,
+        group: Option<GroupAddr>,
+    },
+    /// A Multicast Listener Report.
+    Report { group: GroupAddr },
+    /// A Multicast Listener Done.
+    Done { group: GroupAddr },
+}
+
+impl MldMessage {
+    /// Convert to the ICMPv6 representation for encoding.
+    pub fn to_icmp(self) -> Icmpv6 {
+        match self {
+            MldMessage::Query {
+                max_response_delay,
+                group,
+            } => {
+                let ms = max_response_delay.as_nanos() / 1_000_000;
+                assert!(ms <= u64::from(u16::MAX), "max response delay too large");
+                Icmpv6::MldQuery {
+                    max_response_delay_ms: ms as u16,
+                    group: group.map(Ipv6Addr::from).unwrap_or(Ipv6Addr::UNSPECIFIED),
+                }
+            }
+            MldMessage::Report { group } => Icmpv6::MldReport {
+                group: group.into(),
+            },
+            MldMessage::Done { group } => Icmpv6::MldDone {
+                group: group.into(),
+            },
+        }
+    }
+
+    /// Interpret an ICMPv6 message as MLD, if it is one.
+    pub fn from_icmp(m: &Icmpv6) -> Option<MldMessage> {
+        match m {
+            Icmpv6::MldQuery {
+                max_response_delay_ms,
+                group,
+            } => Some(MldMessage::Query {
+                max_response_delay: SimDuration::from_millis(u64::from(*max_response_delay_ms)),
+                group: GroupAddr::try_new(*group),
+            }),
+            Icmpv6::MldReport { group } => {
+                GroupAddr::try_new(*group).map(|group| MldMessage::Report { group })
+            }
+            Icmpv6::MldDone { group } => {
+                GroupAddr::try_new(*group).map(|group| MldMessage::Done { group })
+            }
+            _ => None,
+        }
+    }
+
+    /// The destination address RFC 2710 mandates for this message.
+    pub fn ip_destination(&self) -> Ipv6Addr {
+        match self {
+            // General queries to all-nodes; specific queries to the group.
+            MldMessage::Query { group, .. } => group
+                .map(Ipv6Addr::from)
+                .unwrap_or(mobicast_ipv6::addr::ALL_NODES),
+            // Reports go to the group being reported.
+            MldMessage::Report { group } => (*group).into(),
+            // Done goes to all-routers.
+            MldMessage::Done { .. } => mobicast_ipv6::addr::ALL_ROUTERS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicast_ipv6::addr::{ALL_NODES, ALL_ROUTERS};
+
+    #[test]
+    fn icmp_round_trip() {
+        let g = GroupAddr::test_group(5);
+        let msgs = [
+            MldMessage::Query {
+                max_response_delay: SimDuration::from_secs(10),
+                group: None,
+            },
+            MldMessage::Query {
+                max_response_delay: SimDuration::from_secs(1),
+                group: Some(g),
+            },
+            MldMessage::Report { group: g },
+            MldMessage::Done { group: g },
+        ];
+        for m in msgs {
+            let icmp = m.to_icmp();
+            assert_eq!(MldMessage::from_icmp(&icmp), Some(m));
+        }
+    }
+
+    #[test]
+    fn destinations_follow_rfc2710() {
+        let g = GroupAddr::test_group(1);
+        assert_eq!(
+            MldMessage::Query {
+                max_response_delay: SimDuration::from_secs(10),
+                group: None
+            }
+            .ip_destination(),
+            ALL_NODES
+        );
+        assert_eq!(
+            MldMessage::Query {
+                max_response_delay: SimDuration::from_secs(1),
+                group: Some(g)
+            }
+            .ip_destination(),
+            Ipv6Addr::from(g)
+        );
+        assert_eq!(
+            MldMessage::Report { group: g }.ip_destination(),
+            Ipv6Addr::from(g)
+        );
+        assert_eq!(MldMessage::Done { group: g }.ip_destination(), ALL_ROUTERS);
+    }
+
+    #[test]
+    fn non_mld_icmp_is_none() {
+        assert_eq!(MldMessage::from_icmp(&Icmpv6::RouterSolicit), None);
+    }
+
+    #[test]
+    fn query_delay_millisecond_precision() {
+        let m = MldMessage::Query {
+            max_response_delay: SimDuration::from_millis(1234),
+            group: None,
+        };
+        match m.to_icmp() {
+            Icmpv6::MldQuery {
+                max_response_delay_ms,
+                ..
+            } => assert_eq!(max_response_delay_ms, 1234),
+            _ => unreachable!(),
+        }
+    }
+}

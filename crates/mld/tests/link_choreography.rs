@@ -1,0 +1,313 @@
+//! Link-level MLD choreography: several host and router state machines
+//! driven against each other through a tiny in-test "link" that relays
+//! every output message to every other party — the protocol dance of
+//! RFC 2710 without any simulator.
+
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_mld::{HostOutput, MldConfig, MldHostPort, MldMessage, MldRouterPort, RouterOutput};
+use mobicast_sim::{RngFactory, SimDuration, SimTime};
+use std::net::Ipv6Addr;
+
+fn a(s: &str) -> Ipv6Addr {
+    s.parse().unwrap()
+}
+
+fn g(i: u16) -> GroupAddr {
+    GroupAddr::test_group(i)
+}
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// A shared link with routers and hosts attached; relays messages and
+/// drives deadlines in timestamp order.
+struct Lan {
+    routers: Vec<(Ipv6Addr, MldRouterPort)>,
+    hosts: Vec<(Ipv6Addr, MldHostPort)>,
+    /// Membership notifications from every router, in order.
+    log: Vec<(Ipv6Addr, String)>,
+}
+
+impl Lan {
+    fn new(cfg: MldConfig, router_addrs: &[&str], host_addrs: &[&str], seed: u64) -> Lan {
+        let rng = RngFactory::new(seed);
+        Lan {
+            routers: router_addrs
+                .iter()
+                .map(|r| (a(r), MldRouterPort::new(cfg, a(r))))
+                .collect(),
+            hosts: host_addrs
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    (
+                        a(h),
+                        MldHostPort::new(cfg, rng.indexed_stream("host", i as u64)),
+                    )
+                })
+                .collect(),
+            log: Vec::new(),
+        }
+    }
+
+    fn start(&mut self, now: SimTime) {
+        let mut outs = Vec::new();
+        for (addr, r) in self.routers.iter_mut() {
+            for o in r.start(now) {
+                outs.push((*addr, o));
+            }
+        }
+        for (from, o) in outs {
+            self.apply_router_output(from, o, now);
+        }
+    }
+
+    fn apply_router_output(&mut self, from: Ipv6Addr, o: RouterOutput, now: SimTime) {
+        match o {
+            RouterOutput::Send(msg) => self.broadcast(from, msg, now),
+            RouterOutput::ListenerAdded(gr) => {
+                self.log.push((from, format!("add {gr}")));
+            }
+            RouterOutput::ListenerRemoved(gr) => {
+                self.log.push((from, format!("del {gr}")));
+            }
+        }
+    }
+
+    /// Deliver `msg` from `from` to every *other* party on the link.
+    fn broadcast(&mut self, from: Ipv6Addr, msg: MldMessage, now: SimTime) {
+        let mut router_outs = Vec::new();
+        for (addr, r) in self.routers.iter_mut() {
+            if *addr == from {
+                continue;
+            }
+            for o in r.on_message(from, &msg, now) {
+                router_outs.push((*addr, o));
+            }
+        }
+        let mut host_outs = Vec::new();
+        for (addr, h) in self.hosts.iter_mut() {
+            if *addr == from {
+                continue;
+            }
+            match msg {
+                MldMessage::Query {
+                    max_response_delay,
+                    group,
+                } => {
+                    h.on_query(group, max_response_delay, now);
+                }
+                MldMessage::Report { group } => h.on_report_heard(group),
+                MldMessage::Done { .. } => {}
+            }
+            let _ = addr;
+        }
+        for (fr, o) in router_outs {
+            self.apply_router_output(fr, o, now);
+        }
+        for (fr, o) in host_outs.drain(..) {
+            let (f, msg2): (Ipv6Addr, MldMessage) = (fr, o);
+            self.broadcast(f, msg2, now);
+        }
+    }
+
+    fn host_join(&mut self, host: usize, gr: GroupAddr, now: SimTime) {
+        let (addr, port) = &mut self.hosts[host];
+        let from = *addr;
+        let outs: Vec<MldMessage> = port
+            .join(gr, now)
+            .into_iter()
+            .map(|HostOutput::Send(m)| m)
+            .collect();
+        for m in outs {
+            self.broadcast(from, m, now);
+        }
+    }
+
+    fn host_leave(&mut self, host: usize, gr: GroupAddr, now: SimTime) {
+        let (addr, port) = &mut self.hosts[host];
+        let from = *addr;
+        let outs: Vec<MldMessage> = port
+            .leave(gr, now)
+            .into_iter()
+            .map(|HostOutput::Send(m)| m)
+            .collect();
+        for m in outs {
+            self.broadcast(from, m, now);
+        }
+    }
+
+    /// Advance virtual time to `until`, firing all deadlines in order.
+    fn run_until(&mut self, until: SimTime) {
+        loop {
+            let next_router = self
+                .routers
+                .iter()
+                .filter_map(|(_, r)| r.next_deadline())
+                .min();
+            let next_host = self
+                .hosts
+                .iter()
+                .filter_map(|(_, h)| h.next_deadline())
+                .min();
+            let next = [next_router, next_host].into_iter().flatten().min();
+            let Some(now) = next else { break };
+            if now > until {
+                break;
+            }
+            let mut router_outs = Vec::new();
+            for (addr, r) in self.routers.iter_mut() {
+                if r.next_deadline().is_some_and(|d| d <= now) {
+                    for o in r.on_deadline(now) {
+                        router_outs.push((*addr, o));
+                    }
+                }
+            }
+            let mut host_msgs = Vec::new();
+            for (addr, h) in self.hosts.iter_mut() {
+                if h.next_deadline().is_some_and(|d| d <= now) {
+                    for HostOutput::Send(m) in h.on_deadline(now) {
+                        host_msgs.push((*addr, m));
+                    }
+                }
+            }
+            for (f, o) in router_outs {
+                self.apply_router_output(f, o, now);
+            }
+            for (f, m) in host_msgs {
+                self.broadcast(f, m, now);
+            }
+        }
+    }
+
+    fn querier_count(&self) -> usize {
+        self.routers.iter().filter(|(_, r)| r.is_querier()).count()
+    }
+
+    fn all_know_listener(&self, gr: GroupAddr) -> bool {
+        self.routers.iter().all(|(_, r)| r.has_listener(gr))
+    }
+}
+
+#[test]
+fn querier_election_converges_to_lowest_address() {
+    let mut lan = Lan::new(
+        MldConfig::default(),
+        &["fe80::3", "fe80::1", "fe80::2"],
+        &[],
+        1,
+    );
+    lan.start(t(0));
+    // After startup queries cross, only fe80::1 remains querier.
+    assert_eq!(lan.querier_count(), 1);
+    assert!(lan.routers.iter().any(|(a_, r)| r.is_querier() && *a_ == a("fe80::1")));
+}
+
+#[test]
+fn join_reaches_every_router_on_the_lan() {
+    let mut lan = Lan::new(
+        MldConfig::default(),
+        &["fe80::1", "fe80::2"],
+        &["fe80::aa"],
+        2,
+    );
+    lan.start(t(0));
+    lan.host_join(0, g(1), t(5));
+    assert!(lan.all_know_listener(g(1)), "both routers saw the report");
+}
+
+#[test]
+fn report_suppression_between_hosts() {
+    // Two hosts join the same group; queries must provoke at most one
+    // report per cycle (the second host suppresses).
+    let mut lan = Lan::new(
+        MldConfig::default(),
+        &["fe80::1"],
+        &["fe80::aa", "fe80::bb"],
+        3,
+    );
+    lan.start(t(0));
+    lan.host_join(0, g(1), t(1));
+    lan.host_join(1, g(1), t(1));
+    // Run through several query cycles; membership must stay alive the
+    // whole time purely via query-response.
+    lan.run_until(t(800));
+    assert!(lan.all_know_listener(g(1)));
+}
+
+#[test]
+fn membership_survives_on_query_refresh_only() {
+    let mut lan = Lan::new(MldConfig::default(), &["fe80::1"], &["fe80::aa"], 4);
+    lan.start(t(0));
+    lan.host_join(0, g(1), t(1));
+    lan.run_until(t(1000));
+    assert!(
+        lan.all_know_listener(g(1)),
+        "reports answered queries for 1000 s; membership never expired"
+    );
+}
+
+#[test]
+fn leave_with_done_removes_membership_fast() {
+    let mut lan = Lan::new(MldConfig::default(), &["fe80::1"], &["fe80::aa"], 5);
+    lan.start(t(0));
+    lan.host_join(0, g(1), t(1));
+    lan.host_leave(0, g(1), t(50));
+    // Last-listener queries go unanswered; removal within 2 s (2 × LLQI).
+    lan.run_until(t(60));
+    assert!(!lan.all_know_listener(g(1)));
+    let removed = lan
+        .log
+        .iter()
+        .any(|(_, e)| e == &format!("del {}", g(1)));
+    assert!(removed, "log: {:?}", lan.log);
+}
+
+#[test]
+fn done_with_remaining_listener_keeps_membership() {
+    let mut lan = Lan::new(
+        MldConfig::default(),
+        &["fe80::1"],
+        &["fe80::aa", "fe80::bb"],
+        6,
+    );
+    lan.start(t(0));
+    lan.host_join(0, g(1), t(1));
+    lan.host_join(1, g(1), t(2)); // suppressed or not, both joined
+    lan.host_leave(0, g(1), t(50));
+    lan.run_until(t(70));
+    assert!(
+        lan.all_know_listener(g(1)),
+        "the second listener answered the specific query"
+    );
+}
+
+#[test]
+fn silent_departure_expires_after_mli() {
+    // The mobile-host case: the host vanishes without Done.
+    let mut lan = Lan::new(MldConfig::default(), &["fe80::1"], &["fe80::aa"], 7);
+    lan.start(t(0));
+    lan.host_join(0, g(1), t(1));
+    // Host disappears at t=30: drop its state so it stops answering.
+    lan.hosts[0].1.depart_link();
+    lan.run_until(t(30 + 400));
+    assert!(!lan.all_know_listener(g(1)), "expired after T_MLI");
+    // And the removal happened no earlier than ~MLI after the last report.
+    let removed = lan.log.iter().any(|(_, e)| e.starts_with("del"));
+    assert!(removed);
+}
+
+#[test]
+fn tuned_timers_expire_silent_listener_faster() {
+    let cfg = MldConfig::with_query_interval(SimDuration::from_secs(15));
+    let mut fast = Lan::new(cfg, &["fe80::1"], &["fe80::aa"], 8);
+    fast.start(t(0));
+    fast.host_join(0, g(1), t(1));
+    fast.hosts[0].1.depart_link();
+    fast.run_until(t(100));
+    assert!(
+        !fast.all_know_listener(g(1)),
+        "MLI = 2*15+10 = 40 s: expired well before t=100"
+    );
+}

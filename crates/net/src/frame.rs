@@ -1,0 +1,187 @@
+//! Frames: what travels over links.
+//!
+//! The network layer is deliberately payload-agnostic — a frame is wire
+//! bytes plus a small accounting class. Upper layers (the IPv6 stack) parse
+//! the bytes. The class drives the per-link byte accounting that the
+//! experiment harness turns into the paper's "bandwidth consumption"
+//! figures.
+
+use bytes::Bytes;
+
+/// Accounting class of a frame. The simulator keeps per-link byte/frame
+/// counters indexed by class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum FrameClass {
+    /// Multicast application data.
+    MulticastData = 0,
+    /// Unicast application data.
+    UnicastData = 1,
+    /// MLD control messages (queries/reports/done).
+    MldControl = 2,
+    /// PIM-DM control messages (hello/prune/join/graft/assert).
+    PimControl = 3,
+    /// Mobile IPv6 signalling (binding updates/acks, router adverts).
+    MobilityControl = 4,
+    /// Tunnelled packets (IPv6-in-IPv6) carrying multicast data.
+    TunnelData = 5,
+    /// Anything else.
+    Other = 6,
+}
+
+/// Number of distinct frame classes (array sizing).
+pub const FRAME_CLASS_COUNT: usize = 7;
+
+impl FrameClass {
+    pub const ALL: [FrameClass; FRAME_CLASS_COUNT] = [
+        FrameClass::MulticastData,
+        FrameClass::UnicastData,
+        FrameClass::MldControl,
+        FrameClass::PimControl,
+        FrameClass::MobilityControl,
+        FrameClass::TunnelData,
+        FrameClass::Other,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameClass::MulticastData => "mcast_data",
+            FrameClass::UnicastData => "unicast_data",
+            FrameClass::MldControl => "mld_ctrl",
+            FrameClass::PimControl => "pim_ctrl",
+            FrameClass::MobilityControl => "mip6_ctrl",
+            FrameClass::TunnelData => "tunnel_data",
+            FrameClass::Other => "other",
+        }
+    }
+
+    /// Is this a control-plane class (signalling overhead in the paper's
+    /// terms)?
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            FrameClass::MldControl | FrameClass::PimControl | FrameClass::MobilityControl
+        )
+    }
+}
+
+/// Link-layer destination of a frame: broadcast/multicast (delivered to
+/// every attached interface) or a specific node's NIC. This mirrors
+/// Ethernet MAC addressing — a unicast IPv6 packet is carried in a frame
+/// addressed to one next hop, so the other routers on a multi-router LAN
+/// do not also forward it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum L2Dest {
+    Broadcast,
+    Node(crate::ids::NodeId),
+}
+
+/// A frame on a link: wire bytes plus accounting class. Cloning is cheap
+/// (`Bytes` is reference-counted), which matters because multi-access links
+/// deliver one transmission to every attached interface.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    pub bytes: Bytes,
+    pub class: FrameClass,
+    pub l2: L2Dest,
+    /// Simulation-side provenance tag (not on the wire): set by the
+    /// emitter so receivers can attribute a frame to the exact emission
+    /// event that produced it. 0 = untagged.
+    pub tag: u64,
+}
+
+impl Frame {
+    /// A broadcast/multicast frame (delivered to everyone on the link).
+    pub fn new(bytes: Bytes, class: FrameClass) -> Self {
+        Frame {
+            bytes,
+            class,
+            l2: L2Dest::Broadcast,
+            tag: 0,
+        }
+    }
+
+    /// A frame addressed to one node's interface on the link.
+    pub fn unicast(bytes: Bytes, class: FrameClass, to: crate::ids::NodeId) -> Self {
+        Frame {
+            bytes,
+            class,
+            l2: L2Dest::Node(to),
+            tag: 0,
+        }
+    }
+
+    /// Attach a provenance tag.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; FRAME_CLASS_COUNT];
+        for c in FrameClass::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(FrameClass::MldControl.is_control());
+        assert!(FrameClass::PimControl.is_control());
+        assert!(FrameClass::MobilityControl.is_control());
+        assert!(!FrameClass::MulticastData.is_control());
+        assert!(!FrameClass::TunnelData.is_control());
+    }
+
+    #[test]
+    fn frame_len() {
+        let f = Frame::new(Bytes::from_static(&[1, 2, 3]), FrameClass::Other);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = FrameClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), FRAME_CLASS_COUNT);
+    }
+}
+
+#[cfg(test)]
+mod l2_tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn constructors_set_l2() {
+        let b = Frame::new(Bytes::from_static(&[1]), FrameClass::Other);
+        assert_eq!(b.l2, L2Dest::Broadcast);
+        let u = Frame::unicast(Bytes::from_static(&[1]), FrameClass::Other, NodeId(4));
+        assert_eq!(u.l2, L2Dest::Node(NodeId(4)));
+    }
+}

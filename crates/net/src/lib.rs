@@ -1,0 +1,24 @@
+//! # mobicast-net
+//!
+//! The network substrate of the `mobicast` simulator: a payload-agnostic
+//! world of nodes and multi-access links driven by the deterministic event
+//! kernel from `mobicast-sim`.
+//!
+//! * [`world`] — the event loop, node behaviors, timers, host mobility.
+//! * [`link`] — the broadcast link model with per-class byte accounting.
+//! * [`frame`] — frames and accounting classes.
+//! * [`graph`] — shortest-path routing over the router/link graph (the
+//!   unicast substrate PIM-DM's RPF checks are derived from).
+//! * [`ids`] — identifier newtypes.
+
+pub mod frame;
+pub mod graph;
+pub mod ids;
+pub mod link;
+pub mod world;
+
+pub use frame::{Frame, FrameClass, L2Dest, FRAME_CLASS_COUNT};
+pub use graph::{LinkGraph, Route};
+pub use ids::{IfIndex, LinkId, NodeId, TimerKey};
+pub use link::{Link, LinkParams, LinkStats};
+pub use world::{Ctx, NodeBehavior, World};

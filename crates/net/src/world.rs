@@ -1,0 +1,716 @@
+//! The simulation world: nodes, links, the event loop, timers and mobility.
+//!
+//! A [`World`] owns every node behavior and link, plus the event queue. Node
+//! behaviors implement [`NodeBehavior`] and interact with the world through
+//! a [`Ctx`] handed to each callback: sending frames, arming timers,
+//! tracing, counting. Host mobility (the subject of the paper) is a world
+//! operation — `move_iface` detaches an interface from one link and attaches
+//! it to another, notifying the behavior so its protocol stack can react
+//! (movement detection, care-of address, binding update, …).
+
+use crate::frame::Frame;
+use crate::ids::{IfIndex, LinkId, NodeId, TimerKey};
+use crate::link::{schedule_transmission, Link, LinkParams, LinkStats};
+use mobicast_sim::{Counters, EventId, EventQueue, SimDuration, SimTime, TraceCategory, Tracer};
+use std::any::Any;
+
+/// Implemented by every simulated node (host or router stack).
+pub trait NodeBehavior: Any {
+    /// Called once when the world starts, after all topology is built.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// A frame arrived on interface `ifindex`.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, ifindex: IfIndex, frame: &Frame);
+
+    /// A timer armed via [`Ctx::set_timer_after`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: TimerKey);
+
+    /// Interface `ifindex` was attached to (`Some`) or detached from
+    /// (`None`) a link.
+    fn on_link_change(&mut self, ctx: &mut Ctx<'_>, ifindex: IfIndex, link: Option<LinkId>);
+
+    /// Downcasting support so the harness can inspect node state after the
+    /// run (e.g. read the receiver application's packet log).
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+type Script = Box<dyn FnOnce(&mut World)>;
+
+enum WorldEvent {
+    Deliver {
+        node: NodeId,
+        ifindex: IfIndex,
+        /// The link the frame was sent on; delivery is skipped if the node
+        /// has moved away in the meantime.
+        link: LinkId,
+        frame: Frame,
+    },
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+    },
+    Script(Script),
+}
+
+struct IfaceState {
+    link: Option<LinkId>,
+    tx_free: SimTime,
+}
+
+struct NodeSlot {
+    behavior: Option<Box<dyn NodeBehavior>>,
+    ifaces: Vec<IfaceState>,
+}
+
+/// The simulation world.
+pub struct World {
+    queue: EventQueue<WorldEvent>,
+    nodes: Vec<NodeSlot>,
+    links: Vec<Link>,
+    tracer: Tracer,
+    counters: Counters,
+    started: bool,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl World {
+    pub fn new() -> Self {
+        World {
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            tracer: Tracer::null(),
+            counters: Counters::new(),
+            started: false,
+        }
+    }
+
+    pub fn with_tracer(tracer: Tracer) -> Self {
+        World {
+            tracer,
+            ..World::new()
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        self.tracer.clone_ref()
+    }
+
+    /// Create a link; returns its id.
+    pub fn add_link(&mut self, params: LinkParams) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(params));
+        id
+    }
+
+    /// Create a node with `n_ifaces` interfaces driven by `behavior`.
+    pub fn add_node(&mut self, n_ifaces: usize, behavior: Box<dyn NodeBehavior>) -> NodeId {
+        assert!(!self.started, "cannot add nodes after start");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot {
+            behavior: Some(behavior),
+            ifaces: (0..n_ifaces)
+                .map(|_| IfaceState {
+                    link: None,
+                    tx_free: SimTime::ZERO,
+                })
+                .collect(),
+        });
+        id
+    }
+
+    /// Attach interface `ifindex` of `node` to `link`.
+    pub fn attach(&mut self, node: NodeId, ifindex: IfIndex, link: LinkId) {
+        let slot = &mut self.nodes[node.index()];
+        let iface = &mut slot.ifaces[usize::from(ifindex)];
+        assert!(
+            iface.link.is_none(),
+            "{node} if{ifindex} already attached to {:?}",
+            iface.link
+        );
+        iface.link = Some(link);
+        self.links[link.index()].attach(node, ifindex);
+        if self.started {
+            self.notify_link_change(node, ifindex, Some(link));
+        }
+    }
+
+    /// Detach interface `ifindex` of `node` from its link, if any.
+    pub fn detach(&mut self, node: NodeId, ifindex: IfIndex) {
+        let slot = &mut self.nodes[node.index()];
+        let iface = &mut slot.ifaces[usize::from(ifindex)];
+        if let Some(link) = iface.link.take() {
+            self.links[link.index()].detach(node, ifindex);
+            if self.started {
+                self.notify_link_change(node, ifindex, None);
+            }
+        }
+    }
+
+    /// Move an interface to a new link (detach + attach): host mobility.
+    pub fn move_iface(&mut self, node: NodeId, ifindex: IfIndex, new_link: LinkId) {
+        self.tracer.emit_with(
+            self.now(),
+            TraceCategory::Mobility,
+            node.index(),
+            || format!("if{ifindex} moves to {new_link}"),
+        );
+        self.detach(node, ifindex);
+        self.attach(node, ifindex, new_link);
+    }
+
+    /// The link interface `ifindex` of `node` is attached to.
+    pub fn link_of(&self, node: NodeId, ifindex: IfIndex) -> Option<LinkId> {
+        self.nodes[node.index()].ifaces[usize::from(ifindex)].link
+    }
+
+    /// Members `(node, ifindex)` currently attached to `link`.
+    pub fn link_members(&self, link: LinkId) -> Vec<(NodeId, IfIndex)> {
+        self.links[link.index()]
+            .members
+            .iter()
+            .map(|a| (a.node, a.ifindex))
+            .collect()
+    }
+
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.links[link.index()].stats
+    }
+
+    pub fn link_params(&self, link: LinkId) -> &LinkParams {
+        &self.links[link.index()].params
+    }
+
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Global world counters (frame drops etc.), merged by the harness into
+    /// the run result.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Schedule a closure to run against the world at time `t` (mobility
+    /// scripts, workload events).
+    pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        self.queue.schedule(t, WorldEvent::Script(Box::new(f)));
+    }
+
+    /// Inspect a node behavior as a concrete type.
+    pub fn behavior<T: NodeBehavior>(&self, node: NodeId) -> Option<&T> {
+        self.nodes[node.index()]
+            .behavior
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably access a node behavior as a concrete type.
+    pub fn behavior_mut<T: NodeBehavior>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.nodes[node.index()]
+            .behavior
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Run `f` with a [`Ctx`] for `node`, dispatching into its behavior.
+    /// Used by the harness to poke nodes outside of frame/timer events
+    /// (e.g. "application joins group now").
+    pub fn with_node<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn NodeBehavior, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut behavior = self.nodes[node.index()]
+            .behavior
+            .take()
+            .expect("node behavior re-entered");
+        let mut ctx = Ctx { world: self, node };
+        let r = f(behavior.as_mut(), &mut ctx);
+        self.nodes[node.index()].behavior = Some(behavior);
+        r
+    }
+
+    /// Deliver `on_start` to every node (id order). Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let node = NodeId(i as u32);
+            self.with_node(node, |b, ctx| b.on_start(ctx));
+        }
+    }
+
+    fn notify_link_change(&mut self, node: NodeId, ifindex: IfIndex, link: Option<LinkId>) {
+        self.with_node(node, |b, ctx| b.on_link_change(ctx, ifindex, link));
+    }
+
+    fn dispatch(&mut self, ev: WorldEvent) {
+        match ev {
+            WorldEvent::Deliver {
+                node,
+                ifindex,
+                link,
+                frame,
+            } => {
+                // Skip delivery if the interface moved between transmission
+                // and arrival (the host left the link).
+                if self.nodes[node.index()].ifaces[usize::from(ifindex)].link != Some(link) {
+                    self.counters.inc("world.frames_missed_due_to_move");
+                    return;
+                }
+                self.with_node(node, |b, ctx| b.on_frame(ctx, ifindex, &frame));
+            }
+            WorldEvent::Timer { node, key } => {
+                self.with_node(node, |b, ctx| b.on_timer(ctx, key));
+            }
+            WorldEvent::Script(f) => f(self),
+        }
+    }
+
+    /// Run the event loop until (and including) time `t`; the clock ends at
+    /// exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start();
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(ev);
+        }
+        self.queue.advance_to(t);
+    }
+
+    /// Run until the event queue drains (useful for small tests). A safety
+    /// cap bounds runaway event cascades.
+    pub fn run_to_quiescence(&mut self, max_events: u64) {
+        self.start();
+        let mut n = 0u64;
+        while let Some((_, ev)) = self.queue.pop() {
+            self.dispatch(ev);
+            n += 1;
+            assert!(n <= max_events, "exceeded {max_events} events");
+        }
+    }
+
+    /// Total events ever scheduled (diagnostic; used by kernel benches).
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+}
+
+/// Extension trait so `World::tracer` can hand out a reference cheaply.
+trait CloneRef {
+    fn clone_ref(&self) -> &Self;
+}
+impl CloneRef for Tracer {
+    fn clone_ref(&self) -> &Self {
+        self
+    }
+}
+
+/// The world context handed to node behaviors during callbacks.
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    /// The node being dispatched.
+    pub node: NodeId,
+}
+
+impl Ctx<'_> {
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The link the given interface is attached to, if any.
+    pub fn link_on(&self, ifindex: IfIndex) -> Option<LinkId> {
+        self.world.link_of(self.node, ifindex)
+    }
+
+    /// Number of interfaces on this node.
+    pub fn n_ifaces(&self) -> usize {
+        self.world.nodes[self.node.index()].ifaces.len()
+    }
+
+    /// Transmit `frame` on `ifindex`. Returns `false` (and counts a drop)
+    /// if the interface is not attached to any link.
+    pub fn send(&mut self, ifindex: IfIndex, frame: Frame) -> bool {
+        let now = self.world.now();
+        let node = self.node;
+        let Some(link_id) = self.world.link_of(node, ifindex) else {
+            self.world.counters.inc("world.frames_dropped_detached");
+            return false;
+        };
+        let link = &mut self.world.links[link_id.index()];
+        link.stats.record(&frame);
+        let iface = &mut self.world.nodes[node.index()].ifaces[usize::from(ifindex)];
+        let (arrival, free) =
+            schedule_transmission(&link.params, now, iface.tx_free, frame.len());
+        iface.tx_free = free;
+        // Snapshot membership at transmission time.
+        for member in &self.world.links[link_id.index()].members {
+            if member.node == node && member.ifindex == ifindex {
+                continue;
+            }
+            // NIC filtering: L2-unicast frames only reach their addressee.
+            if let crate::frame::L2Dest::Node(to) = frame.l2 {
+                if member.node != to {
+                    continue;
+                }
+            }
+            self.world.queue.schedule(
+                arrival,
+                WorldEvent::Deliver {
+                    node: member.node,
+                    ifindex: member.ifindex,
+                    link: link_id,
+                    frame: frame.clone(),
+                },
+            );
+        }
+        true
+    }
+
+    /// Arm a timer that fires after `d`, delivering `key` to `on_timer`.
+    pub fn set_timer_after(&mut self, d: SimDuration, key: TimerKey) -> EventId {
+        let at = self.world.now() + d;
+        self.world.queue.schedule(
+            at,
+            WorldEvent::Timer {
+                node: self.node,
+                key,
+            },
+        )
+    }
+
+    /// Arm a timer for an absolute instant.
+    pub fn set_timer_at(&mut self, at: SimTime, key: TimerKey) -> EventId {
+        self.world.queue.schedule(
+            at,
+            WorldEvent::Timer {
+                node: self.node,
+                key,
+            },
+        )
+    }
+
+    /// Cancel a pending timer. Returns false if it already fired.
+    pub fn cancel_timer(&mut self, id: EventId) -> bool {
+        self.world.queue.cancel(id)
+    }
+
+    /// Emit a trace event attributed to this node.
+    pub fn trace(&self, category: TraceCategory, f: impl FnOnce() -> String) {
+        self.world
+            .tracer
+            .emit_with(self.world.now(), category, self.node.index(), f);
+    }
+
+    /// Mutable access to the global counters.
+    pub fn counters(&mut self) -> &mut Counters {
+        &mut self.world.counters
+    }
+
+    /// Members currently attached to a link (used by test harness nodes).
+    pub fn link_members(&self, link: LinkId) -> Vec<(NodeId, IfIndex)> {
+        self.world.link_members(link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameClass;
+    use bytes::Bytes;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records everything that happens to it; replies to "ping" frames.
+    struct Probe {
+        log: Rc<RefCell<Vec<String>>>,
+        reply: bool,
+    }
+
+    impl Probe {
+        fn new(log: Rc<RefCell<Vec<String>>>, reply: bool) -> Box<Self> {
+            Box::new(Probe { log, reply })
+        }
+    }
+
+    impl NodeBehavior for Probe {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.log
+                .borrow_mut()
+                .push(format!("{}:start", ctx.node));
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, ifindex: IfIndex, frame: &Frame) {
+            self.log.borrow_mut().push(format!(
+                "{}:rx if{} {}B @{}",
+                ctx.node,
+                ifindex,
+                frame.len(),
+                ctx.now()
+            ));
+            if self.reply && frame.bytes.as_ref() == b"ping" {
+                ctx.send(
+                    ifindex,
+                    Frame::new(Bytes::from_static(b"pong"), FrameClass::Other),
+                );
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: TimerKey) {
+            self.log
+                .borrow_mut()
+                .push(format!("{}:timer {}", ctx.node, key.0));
+        }
+        fn on_link_change(&mut self, ctx: &mut Ctx<'_>, ifindex: IfIndex, link: Option<LinkId>) {
+            self.log.borrow_mut().push(format!(
+                "{}:linkchange if{} {:?}",
+                ctx.node, ifindex, link
+            ));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn quick_params() -> LinkParams {
+        LinkParams {
+            bandwidth_bps: 8_000_000,
+            delay: SimDuration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn broadcast_delivery_to_all_members() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(quick_params());
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log.clone(), false));
+        let c = w.add_node(1, Probe::new(log.clone(), false));
+        for n in [a, b, c] {
+            w.attach(n, 0, l);
+        }
+        w.start();
+        w.with_node(a, |_b, ctx| {
+            ctx.send(
+                0,
+                Frame::new(Bytes::from_static(b"hello"), FrameClass::Other),
+            );
+        });
+        w.run_to_quiescence(100);
+        let log = log.borrow();
+        // b and c each got it; a (the sender) did not.
+        assert_eq!(log.iter().filter(|s| s.contains(":rx")).count(), 2);
+        assert!(log.iter().any(|s| s.starts_with("n1:rx")));
+        assert!(log.iter().any(|s| s.starts_with("n2:rx")));
+    }
+
+    #[test]
+    fn ping_pong_round_trip_time() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(quick_params());
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log.clone(), true));
+        w.attach(a, 0, l);
+        w.attach(b, 0, l);
+        w.start();
+        w.with_node(a, |_n, ctx| {
+            ctx.send(
+                0,
+                Frame::new(Bytes::from_static(b"ping"), FrameClass::Other),
+            );
+        });
+        w.run_to_quiescence(100);
+        // 4 bytes at 1 byte/µs = 4 µs + 10 µs propagation each way.
+        let expect_one_way = SimDuration::from_micros(14);
+        assert_eq!(w.now(), SimTime::ZERO + expect_one_way + expect_one_way);
+        let log = log.borrow();
+        assert!(log.iter().any(|s| s.starts_with("n0:rx")), "got pong: {log:?}");
+    }
+
+    #[test]
+    fn serialization_queueing_delays_back_to_back_frames() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(LinkParams {
+            bandwidth_bps: 8_000, // 1 ms per byte
+            delay: SimDuration::ZERO,
+        });
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log.clone(), false));
+        w.attach(a, 0, l);
+        w.attach(b, 0, l);
+        w.start();
+        w.with_node(a, |_n, ctx| {
+            ctx.send(0, Frame::new(Bytes::from_static(&[0; 10]), FrameClass::Other));
+            ctx.send(0, Frame::new(Bytes::from_static(&[0; 10]), FrameClass::Other));
+        });
+        w.run_to_quiescence(100);
+        let log = log.borrow();
+        let rx: Vec<&String> = log.iter().filter(|s| s.contains("n1:rx")).collect();
+        assert_eq!(rx.len(), 2);
+        assert!(rx[0].contains("@0.01"), "first at 10ms: {rx:?}");
+        assert!(rx[1].contains("@0.02"), "second at 20ms (queued): {rx:?}");
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let a = w.add_node(0, Probe::new(log.clone(), false));
+        w.start();
+        let cancelled = w.with_node(a, |_n, ctx| {
+            ctx.set_timer_after(SimDuration::from_secs(1), TimerKey(1));
+            let id = ctx.set_timer_after(SimDuration::from_secs(2), TimerKey(2));
+            ctx.set_timer_after(SimDuration::from_secs(3), TimerKey(3));
+            id
+        });
+        w.at(SimTime::from_millis(500), move |w| {
+            w.with_node(NodeId(0), |_n, ctx| {
+                assert!(ctx.cancel_timer(cancelled));
+            });
+        });
+        w.run_until(SimTime::from_secs(10));
+        let log = log.borrow();
+        assert!(log.contains(&"n0:timer 1".to_string()));
+        assert!(!log.contains(&"n0:timer 2".to_string()));
+        assert!(log.contains(&"n0:timer 3".to_string()));
+    }
+
+    #[test]
+    fn mobility_notifies_and_redirects_delivery() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l1 = w.add_link(quick_params());
+        let l2 = w.add_link(quick_params());
+        let fixed = w.add_node(1, Probe::new(log.clone(), false));
+        let mobile = w.add_node(1, Probe::new(log.clone(), false));
+        let fixed2 = w.add_node(1, Probe::new(log.clone(), false));
+        w.attach(fixed, 0, l1);
+        w.attach(mobile, 0, l1);
+        w.attach(fixed2, 0, l2);
+        w.start();
+        w.at(SimTime::from_secs(1), move |w| {
+            w.move_iface(mobile, 0, l2);
+        });
+        // After the move, a frame sent on l2 must reach the mobile node.
+        w.at(SimTime::from_secs(2), move |w| {
+            w.with_node(fixed2, |_n, ctx| {
+                ctx.send(0, Frame::new(Bytes::from_static(b"hi"), FrameClass::Other));
+            });
+        });
+        w.run_until(SimTime::from_secs(3));
+        let log = log.borrow();
+        assert!(log
+            .iter()
+            .any(|s| s.contains("n1:linkchange if0 None")));
+        assert!(log
+            .iter()
+            .any(|s| s.contains("n1:linkchange if0 Some(L1)")));
+        assert!(log.iter().any(|s| s.starts_with("n1:rx")));
+    }
+
+    #[test]
+    fn frame_in_flight_to_moved_node_is_dropped() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        // Long propagation delay so we can move the node mid-flight.
+        let l1 = w.add_link(LinkParams {
+            bandwidth_bps: 100_000_000,
+            delay: SimDuration::from_secs(1),
+        });
+        let l2 = w.add_link(quick_params());
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log.clone(), false));
+        w.attach(a, 0, l1);
+        w.attach(b, 0, l1);
+        w.start();
+        w.at(SimTime::from_millis(1), move |w| {
+            w.with_node(a, |_n, ctx| {
+                ctx.send(0, Frame::new(Bytes::from_static(b"x"), FrameClass::Other));
+            });
+        });
+        w.at(SimTime::from_millis(500), move |w| {
+            w.move_iface(b, 0, l2);
+        });
+        w.run_until(SimTime::from_secs(3));
+        assert_eq!(w.counters().get("world.frames_missed_due_to_move"), 1);
+        assert!(!log.borrow().iter().any(|s| s.starts_with("n1:rx")));
+    }
+
+    #[test]
+    fn sending_while_detached_is_counted() {
+        let mut w = World::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = w.add_node(1, Probe::new(log, false));
+        w.start();
+        let sent = w.with_node(a, |_n, ctx| {
+            ctx.send(0, Frame::new(Bytes::from_static(b"x"), FrameClass::Other))
+        });
+        assert!(!sent);
+        assert_eq!(w.counters().get("world.frames_dropped_detached"), 1);
+    }
+
+    #[test]
+    fn link_stats_account_sent_bytes() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(quick_params());
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log, false));
+        w.attach(a, 0, l);
+        w.attach(b, 0, l);
+        w.start();
+        w.with_node(a, |_n, ctx| {
+            ctx.send(
+                0,
+                Frame::new(Bytes::from_static(&[0; 64]), FrameClass::MulticastData),
+            );
+        });
+        w.run_to_quiescence(10);
+        let stats = w.link_stats(l);
+        assert_eq!(stats.bytes[FrameClass::MulticastData.index()], 64);
+        assert_eq!(stats.total_frames(), 1);
+    }
+
+    #[test]
+    fn run_until_sets_clock_exactly() {
+        let mut w = World::new();
+        w.run_until(SimTime::from_secs(42));
+        assert_eq!(w.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn behavior_downcast() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let a = w.add_node(0, Probe::new(log, true));
+        assert!(w.behavior::<Probe>(a).unwrap().reply);
+        w.behavior_mut::<Probe>(a).unwrap().reply = false;
+        assert!(!w.behavior::<Probe>(a).unwrap().reply);
+    }
+}

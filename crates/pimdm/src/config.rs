@@ -1,0 +1,86 @@
+//! PIM-DM protocol timer configuration
+//! (draft-ietf-pim-v2-dm-03, the version the paper cites).
+
+use mobicast_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// PIM-DM timer profile.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PimConfig {
+    /// Period between Hello messages. Default 30 s.
+    pub hello_period: SimDuration,
+    /// Neighbor holdtime advertised in Hellos. Default 105 s (3.5 × period).
+    pub hello_holdtime: SimDuration,
+    /// (S,G) state lifetime for a silent source — the paper's
+    /// "data-timeout value … default 210 s" after which stale trees of a
+    /// moved sender are deleted.
+    pub data_timeout: SimDuration,
+    /// How long a pruned interface stays pruned before flooding resumes.
+    /// Default 210 s.
+    pub prune_hold_time: SimDuration,
+    /// The paper's `T_PruneDel` (default 3 s): delay between receiving a
+    /// Prune on a LAN and acting on it, giving other downstream routers the
+    /// chance to send a Join override.
+    pub prune_delay: SimDuration,
+    /// Assert state lifetime. Default 180 s.
+    pub assert_time: SimDuration,
+    /// Graft retransmission period while unacknowledged. Default 3 s.
+    pub graft_retry: SimDuration,
+    /// Minimum spacing of repeated Prunes / Asserts triggered by data
+    /// arrival (rate limit). Default 3 s.
+    pub control_rate_limit: SimDuration,
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        PimConfig {
+            hello_period: SimDuration::from_secs(30),
+            hello_holdtime: SimDuration::from_millis(105_000),
+            data_timeout: SimDuration::from_secs(210),
+            prune_hold_time: SimDuration::from_secs(210),
+            prune_delay: SimDuration::from_secs(3),
+            assert_time: SimDuration::from_secs(180),
+            graft_retry: SimDuration::from_secs(3),
+            control_rate_limit: SimDuration::from_secs(3),
+        }
+    }
+}
+
+impl PimConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hello_holdtime <= self.hello_period {
+            return Err("hello holdtime must exceed hello period".into());
+        }
+        if self.prune_delay.is_zero() {
+            return Err("prune delay must be positive (join-override window)".into());
+        }
+        if self.data_timeout.is_zero() || self.prune_hold_time.is_zero() {
+            return Err("state timeouts must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = PimConfig::default();
+        assert_eq!(cfg.data_timeout, SimDuration::from_secs(210), "paper §3.1");
+        assert_eq!(cfg.prune_delay, SimDuration::from_secs(3), "paper §4.3.1");
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_profiles() {
+        let mut cfg = PimConfig::default();
+        cfg.hello_holdtime = SimDuration::from_secs(10);
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PimConfig::default();
+        cfg.prune_delay = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+    }
+}

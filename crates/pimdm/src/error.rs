@@ -1,0 +1,17 @@
+//! Error helpers for PIM decoding (reuses the IPv6 crate's error type).
+
+use mobicast_ipv6::error::DecodeError;
+
+/// Bounds check mirroring `mobicast_ipv6::error::need` (which is
+/// crate-private there).
+pub(crate) fn need2(buf: &[u8], needed: usize, what: &'static str) -> Result<(), DecodeError> {
+    if buf.len() < needed {
+        Err(DecodeError::Truncated {
+            what,
+            needed,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,302 @@
+//! Lightweight metrics: named counters and value series with summary
+//! statistics. The experiment harness uses these to turn the paper's
+//! qualitative criteria (join delay, bandwidth, system load, …) into numbers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of monotonically increasing named counters.
+///
+/// Keys are stable strings; `BTreeMap` keeps report output deterministic.
+#[derive(Default, Clone, Debug, Serialize, Deserialize)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.values.get_mut(name) {
+            *v += delta;
+        } else {
+            self.values.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.values
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merge another counter set into this one (summing shared keys).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A recorded series of samples with summary statistics.
+#[derive(Default, Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    samples: Vec<f64>,
+}
+
+/// Summary statistics over a [`Series`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summary of an empty series: all values NaN-free zeros with count 0.
+    pub const EMPTY: Summary = Summary {
+        count: 0,
+        mean: 0.0,
+        min: 0.0,
+        max: 0.0,
+        p50: 0.0,
+        p95: 0.0,
+        stddev: 0.0,
+    };
+}
+
+impl Series {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "series sample must be finite");
+        self.samples.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    pub fn extend_from(&mut self, other: &Series) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Compute summary statistics. Returns [`Summary::EMPTY`] for an empty
+    /// series rather than NaNs, so report code never has to special-case.
+    pub fn summary(&self) -> Summary {
+        if self.samples.is_empty() {
+            return Summary::EMPTY;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / count as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Nearest-rank percentile over a pre-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A registry of named series, mirroring [`Counters`].
+#[derive(Default, Clone, Debug, Serialize, Deserialize)]
+pub struct SeriesSet {
+    values: BTreeMap<String, Series>,
+}
+
+impl SeriesSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, name: &str, v: f64) {
+        if let Some(s) = self.values.get_mut(name) {
+            s.push(v);
+        } else {
+            let mut s = Series::new();
+            s.push(v);
+            self.values.insert(name.to_owned(), s);
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.values.get(name)
+    }
+
+    pub fn summary(&self, name: &str) -> Summary {
+        self.values
+            .get(name)
+            .map(|s| s.summary())
+            .unwrap_or(Summary::EMPTY)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn merge(&mut self, other: &SeriesSet) {
+        for (k, s) in other.iter() {
+            match self.values.get_mut(k) {
+                Some(mine) => mine.extend_from(s),
+                None => {
+                    self.values.insert(k.to_owned(), s.clone());
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} p50={:.4} p95={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.p50, self.p95, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_basis() {
+        let mut c = Counters::new();
+        c.inc("a");
+        c.add("a", 4);
+        c.add("b.x", 2);
+        c.add("b.y", 3);
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.sum_prefix("b."), 5);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 7);
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let mut s = Series::new();
+        for v in [4.0, 1.0, 2.0, 3.0, 5.0] {
+            s.push(v);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 5);
+        assert_eq!(sum.mean, 3.0);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 5.0);
+        assert_eq!(sum.p50, 3.0);
+        assert_eq!(sum.p95, 5.0);
+    }
+
+    #[test]
+    fn empty_series_summary_is_zeroed() {
+        let s = Series::new();
+        assert_eq!(s.summary(), Summary::EMPTY);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.25), 1.0);
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn series_set_roundtrip() {
+        let mut ss = SeriesSet::new();
+        ss.record("join_delay", 1.5);
+        ss.record("join_delay", 2.5);
+        let sum = ss.summary("join_delay");
+        assert_eq!(sum.count, 2);
+        assert_eq!(sum.mean, 2.0);
+        assert_eq!(ss.summary("nope"), Summary::EMPTY);
+    }
+
+    #[test]
+    fn series_set_merge() {
+        let mut a = SeriesSet::new();
+        a.record("d", 1.0);
+        let mut b = SeriesSet::new();
+        b.record("d", 3.0);
+        b.record("e", 9.0);
+        a.merge(&b);
+        assert_eq!(a.summary("d").count, 2);
+        assert_eq!(a.summary("e").count, 1);
+    }
+
+    #[test]
+    fn stddev_zero_for_constant_series() {
+        let mut s = Series::new();
+        for _ in 0..10 {
+            s.push(7.0);
+        }
+        assert_eq!(s.summary().stddev, 0.0);
+    }
+}

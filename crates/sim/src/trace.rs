@@ -1,0 +1,264 @@
+//! Structured trace of simulation activity.
+//!
+//! Traces are the debugging backbone of the simulator: every protocol event
+//! (packet send, state transition, timer) can be emitted as a `TraceEvent`.
+//! Sinks decide what to do with them — collect, print, or drop.
+
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Category of a trace event, used for filtering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum TraceCategory {
+    /// Frame handed to a link / delivered from a link.
+    Link,
+    /// IPv6 forwarding decisions.
+    Forwarding,
+    /// MLD protocol activity.
+    Mld,
+    /// PIM-DM protocol activity.
+    Pim,
+    /// Mobile IPv6 activity (binding updates, tunnels).
+    MobileIp,
+    /// Host mobility (attach/detach).
+    Mobility,
+    /// Application layer (source/sink).
+    App,
+    /// Simulation harness bookkeeping.
+    Harness,
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::Link => "link",
+            TraceCategory::Forwarding => "fwd",
+            TraceCategory::Mld => "mld",
+            TraceCategory::Pim => "pim",
+            TraceCategory::MobileIp => "mip6",
+            TraceCategory::Mobility => "move",
+            TraceCategory::App => "app",
+            TraceCategory::Harness => "sim",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub at: SimTime,
+    pub category: TraceCategory,
+    /// Identifier of the node the event happened on (usize::MAX = global).
+    pub node: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.6} {:>4} n{:<3}] {}",
+            self.at.as_secs_f64(),
+            self.category,
+            self.node,
+            self.message
+        )
+    }
+}
+
+/// Where trace events go.
+pub trait TraceSink {
+    fn emit(&mut self, event: TraceEvent);
+    /// Fast-path check so callers can skip formatting entirely.
+    fn enabled(&self, _category: TraceCategory) -> bool {
+        true
+    }
+}
+
+/// Drops everything; `enabled` returns false so callers skip formatting.
+#[derive(Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _event: TraceEvent) {}
+    fn enabled(&self, _category: TraceCategory) -> bool {
+        false
+    }
+}
+
+/// Collects events in memory (used heavily by tests).
+#[derive(Default)]
+pub struct VecSink {
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Prints events to stdout, optionally restricted to some categories.
+pub struct StdoutSink {
+    /// If `Some`, only these categories are printed.
+    pub filter: Option<Vec<TraceCategory>>,
+}
+
+impl StdoutSink {
+    pub fn all() -> Self {
+        StdoutSink { filter: None }
+    }
+
+    pub fn only(categories: Vec<TraceCategory>) -> Self {
+        StdoutSink {
+            filter: Some(categories),
+        }
+    }
+}
+
+impl TraceSink for StdoutSink {
+    fn emit(&mut self, event: TraceEvent) {
+        println!("{event}");
+    }
+    fn enabled(&self, category: TraceCategory) -> bool {
+        match &self.filter {
+            None => true,
+            Some(cats) => cats.contains(&category),
+        }
+    }
+}
+
+/// Shared handle to a trace sink. The simulation is single-threaded, so
+/// `Rc<RefCell<..>>` is the right tool (no atomics on the hot path).
+#[derive(Clone)]
+pub struct Tracer {
+    sink: Rc<RefCell<dyn TraceSink>>,
+}
+
+impl Tracer {
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        Tracer {
+            sink: Rc::new(RefCell::new(sink)),
+        }
+    }
+
+    /// A tracer that discards everything.
+    pub fn null() -> Self {
+        Tracer::new(NullSink)
+    }
+
+    pub fn enabled(&self, category: TraceCategory) -> bool {
+        self.sink.borrow().enabled(category)
+    }
+
+    pub fn emit(&self, at: SimTime, category: TraceCategory, node: usize, message: String) {
+        if self.enabled(category) {
+            self.sink.borrow_mut().emit(TraceEvent {
+                at,
+                category,
+                node,
+                message,
+            });
+        }
+    }
+
+    /// Emit with lazy message construction: the closure runs only when the
+    /// category is enabled.
+    pub fn emit_with(
+        &self,
+        at: SimTime,
+        category: TraceCategory,
+        node: usize,
+        f: impl FnOnce() -> String,
+    ) {
+        if self.enabled(category) {
+            self.sink.borrow_mut().emit(TraceEvent {
+                at,
+                category,
+                node,
+                message: f(),
+            });
+        }
+    }
+}
+
+/// A tracer whose `VecSink` can be inspected after the run (test helper).
+pub struct CapturingTracer {
+    events: Rc<RefCell<VecSink>>,
+}
+
+impl CapturingTracer {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> (Tracer, CapturingTracer) {
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let tracer = Tracer { sink: sink.clone() };
+        (tracer, CapturingTracer { events: sink })
+    }
+
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().events.clone()
+    }
+
+    pub fn messages_in(&self, category: TraceCategory) -> Vec<String> {
+        self.events
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .map(|e| e.message.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_disables_formatting() {
+        let t = Tracer::null();
+        assert!(!t.enabled(TraceCategory::Pim));
+        let mut called = false;
+        t.emit_with(SimTime::ZERO, TraceCategory::Pim, 0, || {
+            called = true;
+            String::new()
+        });
+        assert!(!called, "lazy closure must not run for a null sink");
+    }
+
+    #[test]
+    fn capturing_tracer_records() {
+        let (t, cap) = CapturingTracer::new();
+        t.emit(SimTime::from_secs(1), TraceCategory::Mld, 3, "join".into());
+        t.emit(SimTime::from_secs(2), TraceCategory::Pim, 4, "graft".into());
+        let events = cap.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].node, 3);
+        assert_eq!(cap.messages_in(TraceCategory::Pim), vec!["graft"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(1500),
+            category: TraceCategory::Mobility,
+            node: 7,
+            message: "moved".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("move"));
+        assert!(s.contains("n7"));
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn stdout_filter_logic() {
+        let s = StdoutSink::only(vec![TraceCategory::Mld]);
+        assert!(s.enabled(TraceCategory::Mld));
+        assert!(!s.enabled(TraceCategory::Pim));
+        assert!(StdoutSink::all().enabled(TraceCategory::Pim));
+    }
+}

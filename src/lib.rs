@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the mobicast workspace.
+pub use mobicast_core as core;
+pub use mobicast_ipv6 as ipv6;
+pub use mobicast_mipv6 as mipv6;
+pub use mobicast_mld as mld;
+pub use mobicast_net as net;
+pub use mobicast_pimdm as pimdm;
+pub use mobicast_sim as sim;
