@@ -72,5 +72,10 @@ fn bench_rng_streams(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_cancellation, bench_rng_streams);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cancellation,
+    bench_rng_streams
+);
 criterion_main!(benches);

@@ -89,7 +89,12 @@ fn bench_table1_mixed(c: &mut Criterion) {
                 to_link: 1,
             },
         ];
-        b.iter(|| black_box(scenario::run(&short(Strategy::BIDIRECTIONAL_TUNNEL, moves.clone()))));
+        b.iter(|| {
+            black_box(scenario::run(&short(
+                Strategy::BIDIRECTIONAL_TUNNEL,
+                moves.clone(),
+            )))
+        });
     });
 }
 

@@ -1,0 +1,7 @@
+//! Fault sweep: delivery and soft-state recovery under per-link loss.
+
+fn main() {
+    mobicast_bench::emit(&mobicast_core::experiments::fault_sweep::run(
+        mobicast_bench::quick_flag(),
+    ));
+}

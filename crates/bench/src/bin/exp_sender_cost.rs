@@ -1,5 +1,7 @@
 //! Regenerates the paper's sender_cost (see DESIGN.md experiment index).
 //! Pass --quick for a reduced sweep.
 fn main() {
-    mobicast_bench::emit(&mobicast_core::experiments::sender_cost::run(mobicast_bench::quick_flag()));
+    mobicast_bench::emit(&mobicast_core::experiments::sender_cost::run(
+        mobicast_bench::quick_flag(),
+    ));
 }

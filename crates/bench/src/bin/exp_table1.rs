@@ -1,5 +1,7 @@
 //! Regenerates the paper's table1 (see DESIGN.md experiment index).
 //! Pass --quick for a reduced sweep.
 fn main() {
-    mobicast_bench::emit(&mobicast_core::experiments::table1::run(mobicast_bench::quick_flag()));
+    mobicast_bench::emit(&mobicast_core::experiments::table1::run(
+        mobicast_bench::quick_flag(),
+    ));
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's timer_sweep (see DESIGN.md experiment index).
 //! Pass --quick for a reduced sweep.
 fn main() {
-    mobicast_bench::emit(&mobicast_core::experiments::timer_sweep::run(mobicast_bench::quick_flag()));
+    mobicast_bench::emit(&mobicast_core::experiments::timer_sweep::run(
+        mobicast_bench::quick_flag(),
+    ));
 }

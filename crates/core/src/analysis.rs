@@ -168,6 +168,8 @@ pub struct RunReport {
     pub series: SeriesSet,
     /// Per-link total bytes by frame class name.
     pub link_bytes: Vec<BTreeMap<String, u64>>,
+    /// Per-link frame copies destroyed by fault injection, by class name.
+    pub link_drops: Vec<BTreeMap<String, u64>>,
 }
 
 impl RunReport {
@@ -179,6 +181,14 @@ impl RunReport {
     /// Total bytes of one frame-class across all links.
     pub fn class_bytes(&self, class: &str) -> u64 {
         self.link_bytes
+            .iter()
+            .map(|m| m.get(class).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Total fault-injected drops of one frame-class across all links.
+    pub fn class_drops(&self, class: &str) -> u64 {
+        self.link_drops
             .iter()
             .map(|m| m.get(class).copied().unwrap_or(0))
             .sum()
@@ -204,10 +214,7 @@ mod tests {
     fn graph() -> LinkGraph {
         LinkGraph::new(
             3,
-            &[
-                (NodeId(0), vec![l(0), l(1)]),
-                (NodeId(1), vec![l(1), l(2)]),
-            ],
+            &[(NodeId(0), vec![l(0), l(1)]), (NodeId(1), vec![l(1), l(2)])],
         )
     }
 
@@ -356,7 +363,10 @@ mod tests {
         });
         rec.packets.push(pkt_meta(1));
         rec.data_events.push(ev(1, 1, None, 2, 30, 50));
-        rec.packets.push(PacketMeta { pkt: 2, ..pkt_meta(2) });
+        rec.packets.push(PacketMeta {
+            pkt: 2,
+            ..pkt_meta(2)
+        });
         rec.data_events.push(ev(2, 2, None, 2, 60, 50));
         let a = analyze(&rec, &graph(), 3);
         // Host 5's stale window ends at t=50: last stale event at t=30.

@@ -7,8 +7,10 @@ use crate::netplan::{Directory, RouteEntry, RoutingTable, SharedDirectory};
 use crate::recorder::{Recorder, SharedRecorder};
 use crate::router_node::{RouterConfig, RouterIfaceInfo, RouterNode};
 use mobicast_ipv6::addr::GroupAddr;
-use mobicast_net::{IfIndex, LinkGraph, LinkId, LinkParams, NodeId, World};
-use mobicast_sim::{RngFactory, Tracer};
+use mobicast_net::{
+    FaultPlan, IfIndex, LinkFaultState, LinkGraph, LinkId, LinkParams, NodeId, World,
+};
+use mobicast_sim::{RngFactory, SimTime, Tracer};
 use std::net::Ipv6Addr;
 use std::rc::Rc;
 
@@ -89,6 +91,66 @@ impl BuiltNetwork {
     }
 }
 
+/// Build one router behavior for `r` (interface info + routing table
+/// derived from the graph). Also used to construct the fresh, blank-state
+/// replacement stack when a fault plan restarts a crashed router.
+fn router_node(
+    spec: &NetworkSpec,
+    links: &[LinkId],
+    graph: &LinkGraph,
+    r: NodeId,
+    router_cfg: RouterConfig,
+    rng: &RngFactory,
+    recorder: &SharedRecorder,
+) -> Box<RouterNode> {
+    let attached = &spec.routers[r.index()];
+    let ifaces: Vec<RouterIfaceInfo> = attached
+        .iter()
+        .enumerate()
+        .map(|(ifx, l)| RouterIfaceInfo {
+            link: links[*l],
+            prefix: addressing::link_prefix(links[*l]),
+            ll: addressing::link_local_addr(r, ifx as IfIndex),
+            global: addressing::global_addr(r, ifx as IfIndex, links[*l]),
+        })
+        .collect();
+    let mut routes = Vec::new();
+    for target in links {
+        let Some(route) = graph.route(r, *target) else {
+            continue;
+        };
+        let iface = attached
+            .iter()
+            .position(|l| links[*l] == route.first_link)
+            .expect("first link attached") as IfIndex;
+        let (next_hop, next_hop_node) = match route.next_router {
+            Some(n) => {
+                let n_ifx = spec.routers[n.index()]
+                    .iter()
+                    .position(|l| links[*l] == route.first_link)
+                    .expect("next router on shared link") as IfIndex;
+                (Some(addressing::link_local_addr(n, n_ifx)), Some(n))
+            }
+            None => (None, None),
+        };
+        routes.push(RouteEntry {
+            prefix: addressing::link_prefix(*target),
+            iface,
+            next_hop,
+            next_hop_node,
+            metric: route.link_hops,
+        });
+    }
+    Box::new(RouterNode::new(
+        r,
+        router_cfg,
+        ifaces,
+        RoutingTable { routes },
+        rng,
+        recorder.clone(),
+    ))
+}
+
 /// Assemble a world from a network spec and host list.
 pub fn build(
     spec: &NetworkSpec,
@@ -126,55 +188,7 @@ pub fn build(
 
     // Per-router interface info + routing tables.
     for (r, attached) in router_ids.iter().zip(&spec.routers) {
-        let ifaces: Vec<RouterIfaceInfo> = attached
-            .iter()
-            .enumerate()
-            .map(|(ifx, l)| RouterIfaceInfo {
-                link: links[*l],
-                prefix: addressing::link_prefix(links[*l]),
-                ll: addressing::link_local_addr(*r, ifx as IfIndex),
-                global: addressing::global_addr(*r, ifx as IfIndex, links[*l]),
-            })
-            .collect();
-        let mut routes = Vec::new();
-        for target in &links {
-            let Some(route) = graph.route(*r, *target) else {
-                continue;
-            };
-            let iface = attached
-                .iter()
-                .position(|l| links[*l] == route.first_link)
-                .expect("first link attached") as IfIndex;
-            let (next_hop, next_hop_node) = match route.next_router {
-                Some(n) => {
-                    let n_ifx = spec.routers[n.index()]
-                        .iter()
-                        .position(|l| links[*l] == route.first_link)
-                        .expect("next router on shared link")
-                        as IfIndex;
-                    (
-                        Some(addressing::link_local_addr(n, n_ifx)),
-                        Some(n),
-                    )
-                }
-                None => (None, None),
-            };
-            routes.push(RouteEntry {
-                prefix: addressing::link_prefix(*target),
-                iface,
-                next_hop,
-                next_hop_node,
-                metric: route.link_hops,
-            });
-        }
-        let node = Box::new(RouterNode::new(
-            *r,
-            router_cfg,
-            ifaces,
-            RoutingTable { routes },
-            &rng,
-            recorder.clone(),
-        ));
+        let node = router_node(spec, &links, &graph, *r, router_cfg, &rng, &recorder);
         let id = world.add_node(attached.len(), node);
         debug_assert_eq!(id, *r);
         for (ifx, l) in attached.iter().enumerate() {
@@ -218,6 +232,87 @@ pub fn build(
         graph,
         recorder,
         directory,
+    }
+}
+
+/// Schedule a [`FaultPlan`] against a built network: installs the loss and
+/// jitter processes (optionally windowed), the link flaps, and the router
+/// crash/restart pairs. Restarted routers come back with a freshly built
+/// protocol stack — all soft state lost — wired to RNG streams labelled
+/// per restart, so the whole faulty run stays deterministic in `seed`.
+pub fn apply_fault_plan(
+    net: &mut BuiltNetwork,
+    spec: &NetworkSpec,
+    router_cfg: RouterConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) {
+    if plan.is_none() {
+        return;
+    }
+    plan.validate().expect("invalid fault plan");
+    let at = |secs: f64| SimTime::from_nanos((secs * 1e9) as u64);
+    let rng = RngFactory::new(seed).subfactory("faults");
+
+    if !plan.link.is_none() {
+        let states: Vec<(LinkId, LinkFaultState)> = net
+            .links
+            .iter()
+            .map(|l| {
+                (
+                    *l,
+                    LinkFaultState::new(plan.link, rng.indexed_stream("link", u64::from(l.0))),
+                )
+            })
+            .collect();
+        match plan.window {
+            None => {
+                for (l, s) in states {
+                    net.world.set_link_fault(l, Some(s));
+                }
+            }
+            Some(w) => {
+                let cleared: Vec<LinkId> = net.links.clone();
+                net.world.at(at(w.start_secs), move |world| {
+                    for (l, s) in states {
+                        world.set_link_fault(l, Some(s));
+                    }
+                });
+                net.world.at(at(w.end_secs), move |world| {
+                    for l in cleared {
+                        world.set_link_fault(l, None);
+                    }
+                });
+            }
+        }
+    }
+
+    for flap in &plan.flaps {
+        let link = net.links[flap.link as usize];
+        net.world
+            .at(at(flap.down_at_secs), move |w| w.set_link_up(link, false));
+        net.world
+            .at(at(flap.up_at_secs), move |w| w.set_link_up(link, true));
+    }
+
+    for (k, crash) in plan.crashes.iter().enumerate() {
+        let node = net.routers[crash.router as usize];
+        net.world
+            .at(at(crash.crash_at_secs), move |w| w.crash_node(node));
+        // The replacement stack is built now (its state is inert until
+        // `restart_node` delivers `on_start`) and moved into the closure.
+        let fresh = router_node(
+            spec,
+            &net.links,
+            &net.graph,
+            node,
+            router_cfg,
+            &rng.subfactory(&format!("restart.{k}")),
+            &net.recorder,
+        );
+        net.world.at(at(crash.restart_at_secs), move |w| {
+            w.restart_node(node, fresh)
+        });
     }
 }
 

@@ -1,0 +1,242 @@
+//! Fault sweep — robustness of the four Table-1 approaches under loss.
+//!
+//! Every link loses a fraction of its frames (i.i.d.) during a fixed
+//! window while Receiver 3 roams to Link 6 mid-window, so the rejoin
+//! signalling itself (MLD Reports, PIM Grafts, Binding Updates) is exposed
+//! to the loss. Swept over loss rates 0–20 % for each strategy, reporting:
+//!
+//! * **delivery** — whole-run first-copy delivery ratio (degrades with
+//!   loss; the in-window losses are unrecoverable for a datagram stream);
+//! * **steady delivery** — delivery for packets sent after the loss window
+//!   cleared plus a reconvergence margin. The protocols' soft-state
+//!   recovery machinery (MLD robustness retransmissions, Graft retry,
+//!   BU retransmission with backoff) must bring this back to 100 %;
+//! * **rejoin** — time from R3's move to its first post-move delivery;
+//! * **stale state** — how long multicast state for the departed host
+//!   lingers on the left-behind link (the paper's leave-delay problem).
+//!
+//! The whole sweep is deterministic: a fixed seed reproduces the same
+//! loss realization and therefore byte-identical JSON.
+
+use super::ExperimentOutput;
+use crate::report::{secs, Table};
+use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
+use crate::strategy::Strategy;
+use crate::sweep;
+use mobicast_net::{FaultPlan, FaultWindow, LinkFault, LossModel};
+use mobicast_sim::SimDuration;
+use serde_json::json;
+
+/// Loss is injected inside this window; the move happens mid-window.
+const LOSS_START_SECS: f64 = 10.0;
+const LOSS_END_SECS: f64 = 60.0;
+const MOVE_AT_SECS: f64 = 30.0;
+const DURATION_SECS: u64 = 150;
+
+#[derive(Clone, Copy)]
+struct Params {
+    strategy: Strategy,
+    loss: f64,
+    seed: u64,
+}
+
+#[derive(Default, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FaultScore {
+    pub name: String,
+    pub loss: f64,
+    pub delivery: f64,
+    pub steady_delivery: f64,
+    pub rejoin_s: f64,
+    pub stale_state_s: f64,
+    pub frames_dropped: f64,
+    pub bu_retransmissions: f64,
+    pub runs: u64,
+}
+
+fn one(p: &Params) -> FaultScore {
+    let fault = if p.loss > 0.0 {
+        FaultPlan {
+            link: LinkFault {
+                loss: LossModel::iid(p.loss),
+                jitter: SimDuration::ZERO,
+            },
+            window: Some(FaultWindow {
+                start_secs: LOSS_START_SECS,
+                end_secs: LOSS_END_SECS,
+            }),
+            ..FaultPlan::default()
+        }
+    } else {
+        // Loss 0 still gets the window so the steady-state metric exists
+        // for the baseline column.
+        FaultPlan {
+            link: LinkFault::default(),
+            window: None,
+            flaps: vec![],
+            crashes: vec![],
+        }
+    };
+    let cfg = ScenarioConfig {
+        seed: p.seed,
+        duration: SimDuration::from_secs(DURATION_SECS),
+        strategy: p.strategy,
+        moves: vec![Move {
+            at_secs: MOVE_AT_SECS,
+            host: PaperHost::R3,
+            to_link: 6,
+        }],
+        fault,
+        ..ScenarioConfig::default()
+    };
+    let r = scenario::run(&cfg);
+    let delivery = ["R1", "R2", "R3"]
+        .iter()
+        .map(|h| r.received[h] as f64)
+        .sum::<f64>()
+        / (3.0 * r.sent.max(1) as f64);
+    // The zero-loss baseline has no fault plan, hence no steady series;
+    // its post-recovery delivery is by construction the whole-run one.
+    let steady = if p.loss > 0.0 {
+        r.report.mean("steady_delivery_ratio")
+    } else {
+        delivery
+    };
+    // Two BUs are nominal for the single round trip (registration on move);
+    // anything at the host beyond one per move is a retransmission.
+    let bu_sent = r.report.counters.get("host.R3.binding_updates") as f64;
+    FaultScore {
+        name: p.strategy.name().into(),
+        loss: p.loss,
+        delivery,
+        steady_delivery: steady,
+        rejoin_s: r.report.mean("rejoin_recovery"),
+        stale_state_s: r.report.mean("leave_delay"),
+        frames_dropped: r.report.counters.get("faults.frames_dropped_loss") as f64,
+        bu_retransmissions: (bu_sent - 1.0).max(0.0),
+        runs: 1,
+    }
+}
+
+fn merge(scores: Vec<FaultScore>) -> FaultScore {
+    let n = scores.len() as f64;
+    let mut out = scores[0].clone();
+    let avg = |f: fn(&FaultScore) -> f64| -> f64 { scores.iter().map(f).sum::<f64>() / n };
+    out.delivery = avg(|s| s.delivery);
+    out.steady_delivery = avg(|s| s.steady_delivery);
+    out.rejoin_s = avg(|s| s.rejoin_s);
+    out.stale_state_s = avg(|s| s.stale_state_s);
+    out.frames_dropped = avg(|s| s.frames_dropped);
+    out.bu_retransmissions = avg(|s| s.bu_retransmissions);
+    out.runs = scores.len() as u64;
+    out
+}
+
+pub fn run(quick: bool) -> ExperimentOutput {
+    let losses: Vec<f64> = if quick {
+        vec![0.0, 0.10]
+    } else {
+        vec![0.0, 0.05, 0.10, 0.20]
+    };
+    let seeds: Vec<u64> = if quick { vec![1] } else { (1..=3).collect() };
+    let mut params = Vec::new();
+    for strategy in Strategy::ALL {
+        for &loss in &losses {
+            for &seed in &seeds {
+                params.push(Params {
+                    strategy,
+                    loss,
+                    seed,
+                });
+            }
+        }
+    }
+    let raw = sweep::run_parallel(params, sweep::default_workers(), one);
+    let mut scores: Vec<FaultScore> = Vec::new();
+    for strategy in Strategy::ALL {
+        for &loss in &losses {
+            scores.push(merge(
+                raw.iter()
+                    .filter(|s| s.name == strategy.name() && s.loss == loss)
+                    .cloned()
+                    .collect(),
+            ));
+        }
+    }
+
+    let mut table = Table::new(&[
+        "approach",
+        "loss",
+        "delivery",
+        "steady delivery",
+        "rejoin",
+        "stale state",
+        "dropped",
+        "BU rexmit",
+    ]);
+    for s in &scores {
+        table.row(vec![
+            s.name.clone(),
+            format!("{:.0}%", s.loss * 100.0),
+            format!("{:.1}%", s.delivery * 100.0),
+            format!("{:.1}%", s.steady_delivery * 100.0),
+            secs(s.rejoin_s),
+            secs(s.stale_state_s),
+            format!("{:.0}", s.frames_dropped),
+            format!("{:.1}", s.bu_retransmissions),
+        ]);
+    }
+
+    let mut text = table.render();
+    text.push_str(
+        "\nloss is injected on every link during a fixed window with R3's \
+         rejoin inside it. Whole-run delivery degrades with the loss rate \
+         (datagrams lost in the window stay lost), but the steady-state \
+         column shows the soft-state recovery machinery — MLD robustness \
+         retransmissions, PIM-DM graft retries and Binding Update \
+         retransmission with exponential backoff — restoring full delivery \
+         for every approach once the faults clear.\n",
+    );
+
+    ExperimentOutput {
+        id: "fault_sweep",
+        title: "Delivery and recovery under per-link loss".into(),
+        json: json!({ "scores": scores }),
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_sweep_recovers_and_is_deterministic() {
+        let out1 = run(true);
+        let scores: Vec<FaultScore> = serde_json::from_value(out1.json["scores"].clone()).unwrap();
+        for s in &scores {
+            // Steady state back at (essentially) full delivery everywhere.
+            assert!(
+                s.steady_delivery >= 0.99,
+                "{} at {:.0}% loss: steady {}",
+                s.name,
+                s.loss * 100.0,
+                s.steady_delivery
+            );
+            if s.loss > 0.0 {
+                assert!(s.frames_dropped > 0.0, "{}: no drops injected", s.name);
+                // Lossy whole-run delivery must be below the clean baseline.
+                let clean = scores
+                    .iter()
+                    .find(|c| c.name == s.name && c.loss == 0.0)
+                    .unwrap();
+                assert!(s.delivery < clean.delivery);
+            }
+        }
+        // Same seeds, same JSON — the determinism acceptance criterion.
+        let out2 = run(true);
+        assert_eq!(
+            serde_json::to_string(&out1.json).unwrap(),
+            serde_json::to_string(&out2.json).unwrap()
+        );
+    }
+}

@@ -21,7 +21,12 @@ pub fn run() -> ExperimentOutput {
     let a = &result.report.analysis;
 
     let mut table = Table::new(&[
-        "link", "data frames", "data bytes", "useful", "wasted", "on tree",
+        "link",
+        "data frames",
+        "data bytes",
+        "useful",
+        "wasted",
+        "on tree",
     ]);
     let mut tree = Vec::new();
     for (i, usage) in a.link_usage.iter().enumerate() {

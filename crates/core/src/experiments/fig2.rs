@@ -79,7 +79,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
 
     let mut series = SeriesSet::new();
     for s in &stats {
-        let tag = if s.unsolicited { "unsolicited" } else { "wait_query" };
+        let tag = if s.unsolicited {
+            "unsolicited"
+        } else {
+            "wait_query"
+        };
         if let Some(j) = s.join_delay {
             series.record(&format!("join.{tag}"), j);
         }

@@ -111,11 +111,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 sweep::default_workers(),
                 one,
             );
-            let delivery =
-                stats.iter().map(|s| s.delivery).sum::<f64>() / stats.len() as f64;
+            let delivery = stats.iter().map(|s| s.delivery).sum::<f64>() / stats.len() as f64;
             let jd = stats.iter().map(|s| s.join_delay).sum::<f64>() / stats.len() as f64;
-            let moves =
-                stats.iter().map(|s| s.moves).sum::<usize>() / stats.len().max(1);
+            let moves = stats.iter().map(|s| s.moves).sum::<usize>() / stats.len().max(1);
             if cells[1].is_empty() {
                 cells[1] = moves.to_string();
             }
@@ -162,6 +160,9 @@ mod tests {
             "waiting for queries must hurt at high mobility: {wait} vs {unsol}"
         );
         assert!(tunnel > 0.9, "tunnel stays robust: {tunnel}");
-        assert!(unsol > 0.9, "unsolicited reports keep local viable: {unsol}");
+        assert!(
+            unsol > 0.9,
+            "unsolicited reports keep local viable: {unsol}"
+        );
     }
 }

@@ -3,6 +3,7 @@
 //! returns a rendered report plus machine-readable JSON; the binaries in
 //! `mobicast-bench` print them and write `results/<id>.json`.
 
+pub mod fault_sweep;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -47,5 +48,6 @@ pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
         timer_sweep::run(quick),
         sender_cost::run(quick),
         mobility_rate::run(quick),
+        fault_sweep::run(quick),
     ]
 }

@@ -77,8 +77,7 @@ fn string_run(p: &StringParams) -> StringStats {
     net.world.at(SimTime::from_secs(60), move |w| {
         w.move_iface(sender, 0, mid);
     });
-    net.world
-        .run_until(SimTime::ZERO + duration);
+    net.world.run_until(SimTime::ZERO + duration);
     let synthetic = ScenarioConfig {
         seed: p.seed,
         ..ScenarioConfig::default()

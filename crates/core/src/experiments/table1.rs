@@ -142,14 +142,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let raw = sweep::run_parallel(params, sweep::default_workers(), one);
     let per_strategy: Vec<StrategyScore> = Strategy::ALL
         .iter()
-        .map(|s| {
-            merge(
-                raw.iter()
-                    .filter(|r| r.name == s.name())
-                    .cloned()
-                    .collect(),
-            )
-        })
+        .map(|s| merge(raw.iter().filter(|r| r.name == s.name()).cloned().collect()))
         .collect();
 
     let mut table = Table::new(&[
@@ -209,8 +202,7 @@ mod tests {
     #[test]
     fn table1_orderings_hold() {
         let out = run(true);
-        let s: Vec<StrategyScore> =
-            serde_json::from_value(out.json["strategies"].clone()).unwrap();
+        let s: Vec<StrategyScore> = serde_json::from_value(out.json["strategies"].clone()).unwrap();
         let by = |name: &str| s.iter().find(|x| x.name == name).unwrap().clone();
         let local = by("local group membership");
         let bidir = by("bi-directional tunnel");

@@ -33,7 +33,8 @@ struct RunStats {
 
 fn one(p: &Params) -> RunStats {
     let mld = MldConfig::with_query_interval(SimDuration::from_secs(p.query_interval_s));
-    mld.validate().expect("paper footnote 5: T_Query >= T_RespDel");
+    mld.validate()
+        .expect("paper footnote 5: T_Query >= T_RespDel");
     let cfg = ScenarioConfig {
         seed: p.seed,
         duration: SimDuration::from_secs(900),
@@ -168,8 +169,7 @@ mod tests {
         let first = &points[0]; // 10 s
         let last = &points[points.len() - 1]; // 125 s
         assert!(
-            first["join_delay_s"].as_f64().unwrap()
-                < 0.4 * last["join_delay_s"].as_f64().unwrap(),
+            first["join_delay_s"].as_f64().unwrap() < 0.4 * last["join_delay_s"].as_f64().unwrap(),
             "join delay must shrink roughly with T_Query"
         );
         assert!(

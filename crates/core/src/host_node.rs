@@ -1,5 +1,5 @@
-//! The composed (mobile) host node: MLD listener + Mobile IPv6 mobile node
-//! + the multicast sender/receiver applications, parameterised by one of
+//! The composed (mobile) host node: MLD listener, Mobile IPv6 mobile node
+//! and the multicast sender/receiver applications, parameterised by one of
 //! the paper's four strategies.
 
 use crate::netplan::{self, frame_for, DataPayload, SharedDirectory, MCAST_UDP_PORT};
@@ -231,8 +231,8 @@ impl HostNode {
 
     fn send_router_solicit(&self, ctx: &mut Ctx<'_>) {
         let body = Icmpv6::RouterSolicit.encode(self.ll_addr, addr::ALL_ROUTERS);
-        let packet = Packet::new(self.ll_addr, addr::ALL_ROUTERS, proto::ICMPV6, body)
-            .with_hop_limit(255);
+        let packet =
+            Packet::new(self.ll_addr, addr::ALL_ROUTERS, proto::ICMPV6, body).with_hop_limit(255);
         self.recorder.count("host.rs_sent", 1);
         self.emit(ctx, &packet, None);
     }
@@ -295,8 +295,7 @@ impl HostNode {
         if first {
             self.receiver.received += 1;
             let delay = now.as_nanos().saturating_sub(payload.sent_nanos);
-            self.recorder
-                .sample("e2e_delay", delay as f64 / 1e9);
+            self.recorder.sample("e2e_delay", delay as f64 / 1e9);
             if let Some(attached) = self.receiver.attach_pending.take() {
                 let join_delay = (now - attached).as_secs_f64();
                 self.recorder.sample("join_delay", join_delay);
@@ -365,7 +364,11 @@ impl HostNode {
             src_addr: src_used,
         });
         self.recorder.count("host.data_sent", 1);
-        let l2 = if tunneled { self.default_router() } else { None };
+        let l2 = if tunneled {
+            self.default_router()
+        } else {
+            None
+        };
         self.emit(ctx, &wire_packet, l2);
     }
 
@@ -407,8 +410,7 @@ impl NodeBehavior for HostNode {
         }
         if let Some(app) = self.sender {
             let start = app.start.max(ctx.now());
-            self.app_timer
-                .arm(ctx, TIMER_APP, Some(start));
+            self.app_timer.arm(ctx, TIMER_APP, Some(start));
         }
     }
 
@@ -478,14 +480,14 @@ impl NodeBehavior for HostNode {
                     self.deliver(ctx, info.payload, g, frame.tag);
                 }
             }
-            proto::NONE => {
-                // Binding acknowledgements.
-                if packet.dst == self.mn.current_address() || packet.dst == self.home_addr {
-                    if let Some(ack) = mip_packets::parse_binding_ack(&packet) {
-                        self.recorder.count("host.binding_acks_rx", 1);
-                        let outs = self.mn.on_binding_ack(ack.accepted(), now);
-                        self.emit_mn(ctx, outs);
-                    }
+            // Binding acknowledgements.
+            proto::NONE
+                if packet.dst == self.mn.current_address() || packet.dst == self.home_addr =>
+            {
+                if let Some(ack) = mip_packets::parse_binding_ack(&packet) {
+                    self.recorder.count("host.binding_acks_rx", 1);
+                    let outs = self.mn.on_binding_ack(ack.accepted(), now);
+                    self.emit_mn(ctx, outs);
                 }
             }
             _ => {}

@@ -59,12 +59,9 @@ pub fn schedule(
     let mut current = start_index;
     loop {
         let dwell = match model {
-            MobilityModel::ExponentialDwell { mean_dwell } => {
-                SimDuration::from_secs_f64(sample_exponential(
-                    &mut stream,
-                    mean_dwell.as_secs_f64(),
-                ))
-            }
+            MobilityModel::ExponentialDwell { mean_dwell } => SimDuration::from_secs_f64(
+                sample_exponential(&mut stream, mean_dwell.as_secs_f64()),
+            ),
             MobilityModel::FixedPeriod { dwell } => *dwell,
         };
         now += dwell;
@@ -163,10 +160,7 @@ mod tests {
         );
         let rate = move_rate(&moves, SimDuration::from_secs(100_000));
         // Expected rate 1/50 = 0.02 moves/s.
-        assert!(
-            (rate - 0.02).abs() < 0.002,
-            "rate {rate} vs expected 0.02"
-        );
+        assert!((rate - 0.02).abs() < 0.002, "rate {rate} vs expected 0.02");
     }
 
     #[test]
@@ -195,10 +189,34 @@ mod tests {
         let model = MobilityModel::ExponentialDwell {
             mean_dwell: SimDuration::from_secs(30),
         };
-        let a = schedule(&model, &[0, 1, 2], 0, SimTime::ZERO, SimTime::from_secs(5000), &rng(), "x");
-        let b = schedule(&model, &[0, 1, 2], 0, SimTime::ZERO, SimTime::from_secs(5000), &rng(), "x");
+        let a = schedule(
+            &model,
+            &[0, 1, 2],
+            0,
+            SimTime::ZERO,
+            SimTime::from_secs(5000),
+            &rng(),
+            "x",
+        );
+        let b = schedule(
+            &model,
+            &[0, 1, 2],
+            0,
+            SimTime::ZERO,
+            SimTime::from_secs(5000),
+            &rng(),
+            "x",
+        );
         assert_eq!(a, b);
-        let c = schedule(&model, &[0, 1, 2], 0, SimTime::ZERO, SimTime::from_secs(5000), &rng(), "y");
+        let c = schedule(
+            &model,
+            &[0, 1, 2],
+            0,
+            SimTime::ZERO,
+            SimTime::from_secs(5000),
+            &rng(),
+            "y",
+        );
         assert_ne!(a, c, "different labels roam differently");
     }
 

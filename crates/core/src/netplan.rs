@@ -2,11 +2,11 @@
 //! the link directory, data-payload framing and frame classification.
 
 use crate::addressing;
+use bytes::{BufMut, Bytes, BytesMut};
 use mobicast_ipv6::addr::{self, GroupAddr, Prefix};
 use mobicast_ipv6::packet::{proto, Packet};
 use mobicast_ipv6::udp::UdpDatagram;
 use mobicast_net::{Frame, FrameClass, IfIndex, LinkId, NodeId};
-use bytes::{BufMut, Bytes, BytesMut};
 use std::net::Ipv6Addr;
 use std::rc::Rc;
 
@@ -197,11 +197,7 @@ mod tests {
     }
 
     fn data_packet(src: &str, group: GroupAddr, pkt: u64, size: usize) -> Packet {
-        let payload = DataPayload {
-            pkt,
-            sent_nanos: 5,
-        }
-        .encode(size);
+        let payload = DataPayload { pkt, sent_nanos: 5 }.encode(size);
         let udp = UdpDatagram::new(4000, MCAST_UDP_PORT, payload);
         let body = udp.encode(a(src), group.addr());
         Packet::new(a(src), group.addr(), proto::UDP, body)

@@ -122,10 +122,7 @@ impl RouterNode {
         rng: &RngFactory,
         recorder: SharedRecorder,
     ) -> Self {
-        let mut pim = PimRouter::new(
-            cfg.pim,
-            rng.indexed_stream("pim-router", u64::from(id.0)),
-        );
+        let mut pim = PimRouter::new(cfg.pim, rng.indexed_stream("pim-router", u64::from(id.0)));
         let mut mld = BTreeMap::new();
         let mut proxy = BTreeMap::new();
         for (i, info) in ifaces.iter().enumerate() {
@@ -283,11 +280,11 @@ impl RouterNode {
                         group,
                     } = msg
                     {
-                        let proxy_outs = self
-                            .proxy
-                            .get_mut(&ifx)
-                            .expect("proxy port")
-                            .on_query(group, max_response_delay, ctx.now());
+                        let proxy_outs = self.proxy.get_mut(&ifx).expect("proxy port").on_query(
+                            group,
+                            max_response_delay,
+                            ctx.now(),
+                        );
                         self.apply_proxy_outputs(ctx, ifx, proxy_outs);
                     }
                 }
@@ -296,7 +293,9 @@ impl RouterNode {
                         format!("listener for {g} appeared on if{ifx}")
                     });
                     self.recorder.count("mld.listener_added", 1);
-                    let sends = self.pim.set_membership(ifx, g, true, ctx.now(), &self.table);
+                    let sends = self
+                        .pim
+                        .set_membership(ifx, g, true, ctx.now(), &self.table);
                     self.pim_sends(ctx, sends);
                 }
                 RouterOutput::ListenerRemoved(g) => {
@@ -304,7 +303,9 @@ impl RouterNode {
                         format!("listener for {g} gone from if{ifx}")
                     });
                     self.recorder.count("mld.listener_removed", 1);
-                    let sends = self.pim.set_membership(ifx, g, false, ctx.now(), &self.table);
+                    let sends = self
+                        .pim
+                        .set_membership(ifx, g, false, ctx.now(), &self.table);
                     self.pim_sends(ctx, sends);
                 }
             }
@@ -319,11 +320,11 @@ impl RouterNode {
             let src = self.ifaces[usize::from(ifx)].global;
             self.emit_mld(ctx, ifx, src, msg);
             self.recorder.count("ha.proxy_mld_sent", 1);
-            let router_outs = self
-                .mld
-                .get_mut(&ifx)
-                .expect("router port")
-                .on_message(src, &msg, ctx.now());
+            let router_outs =
+                self.mld
+                    .get_mut(&ifx)
+                    .expect("router port")
+                    .on_message(src, &msg, ctx.now());
             self.apply_mld_outputs(ctx, ifx, router_outs);
         }
     }
@@ -411,7 +412,13 @@ impl RouterNode {
 
     /// Handle an accepted or flooded multicast data packet. `tag` is the
     /// provenance tag of the arriving frame.
-    fn handle_multicast_data(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex, packet: &Packet, tag: u64) {
+    fn handle_multicast_data(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ifx: IfIndex,
+        packet: &Packet,
+        tag: u64,
+    ) {
         let Some(group) = GroupAddr::try_new(packet.dst) else {
             return;
         };
@@ -421,11 +428,7 @@ impl RouterNode {
         }
         let s = packet.src;
         let now = ctx.now();
-        let accepted = self
-            .table
-            .rpf(s)
-            .map(|i| i.iif == ifx)
-            .unwrap_or(false);
+        let accepted = self.table.rpf(s).map(|i| i.iif == ifx).unwrap_or(false);
         let (fwd, sends) = self.pim.on_data(ifx, s, group, now, &self.table);
         self.recorder.count("router.mcast_data_processed", 1);
         self.pim_sends(ctx, sends);
@@ -557,8 +560,7 @@ impl RouterNode {
             }],
         };
         let body = ra.encode(info.ll, addr::ALL_NODES);
-        let packet =
-            Packet::new(info.ll, addr::ALL_NODES, proto::ICMPV6, body).with_hop_limit(255);
+        let packet = Packet::new(info.ll, addr::ALL_NODES, proto::ICMPV6, body).with_hop_limit(255);
         self.recorder.count("nd.ra_sent", 1);
         self.emit(ctx, ifx, &packet, None, None);
     }
@@ -615,8 +617,7 @@ impl NodeBehavior for RouterNode {
                     match PimMessage::decode(packet.src, packet.dst, &packet.payload) {
                         Ok(msg) => {
                             let sends =
-                                self.pim
-                                    .on_message(ifx, packet.src, &msg, now, &self.table);
+                                self.pim.on_message(ifx, packet.src, &msg, now, &self.table);
                             self.pim_sends(ctx, sends);
                             self.arm_pim(ctx);
                         }
@@ -735,8 +736,7 @@ impl NodeBehavior for RouterNode {
                         let keys: Vec<IfIndex> = self.proxy.keys().copied().collect();
                         for ifx in keys {
                             if self.proxy[&ifx].is_joined(g) {
-                                let outs =
-                                    self.proxy.get_mut(&ifx).expect("proxy").leave(g, now);
+                                let outs = self.proxy.get_mut(&ifx).expect("proxy").leave(g, now);
                                 self.apply_proxy_outputs(ctx, ifx, outs);
                             }
                         }

@@ -3,17 +3,17 @@
 //! and a CBR multicast stream — run to completion and analyzed.
 
 use crate::analysis::{analyze, RunReport};
-use crate::builder::{build, BuiltNetwork, HostSpec, NetworkSpec};
+use crate::builder::{apply_fault_plan, build, BuiltNetwork, HostSpec, NetworkSpec};
 use crate::host_node::{HostConfig, HostNode, SenderApp};
 use crate::router_node::{RouterConfig, RouterNode};
 use crate::strategy::Strategy;
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_mld::MldConfig;
-use mobicast_net::FrameClass;
+use mobicast_net::{FaultPlan, FrameClass};
 use mobicast_pimdm::PimConfig;
 use mobicast_sim::{SimDuration, SimTime, Tracer};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The hosts of the paper's Figure 1.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -70,6 +70,9 @@ pub struct ScenarioConfig {
     /// (used to measure the per-receiver unicast duplication of the tunnel
     /// approaches, paper §4.3.2).
     pub extra_receivers: usize,
+    /// Fault schedule (loss, jitter, link flaps, router crashes); the
+    /// default injects nothing.
+    pub fault: FaultPlan,
     /// Optional tracer (None = silent).
     pub tracer: Option<Tracer>,
 }
@@ -88,6 +91,7 @@ impl Default for ScenarioConfig {
             traffic_start: SimTime::from_secs(5),
             moves: Vec::new(),
             extra_receivers: 0,
+            fault: FaultPlan::default(),
             tracer: None,
         }
     }
@@ -159,6 +163,7 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioResult {
     };
     let tracer = cfg.tracer.clone().unwrap_or_else(Tracer::null);
     let mut net = build(&spec, &hosts, router_cfg, cfg.seed, tracer);
+    apply_fault_plan(&mut net, &spec, router_cfg, &cfg.fault, cfg.seed);
 
     // Script the moves. Extra receivers shadow R3's movements.
     for mv in &cfg.moves {
@@ -242,9 +247,67 @@ pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
                 .collect()
         })
         .collect();
+    let link_drops: Vec<BTreeMap<String, u64>> = links
+        .iter()
+        .map(|l| {
+            let stats = world.link_stats(*l);
+            FrameClass::ALL
+                .iter()
+                .map(|c| (c.name().to_string(), stats.dropped_frames[c.index()]))
+                .collect()
+        })
+        .collect();
 
     for d in &analysis.leave_delays {
         series.record("leave_delay", *d);
+    }
+
+    // Re-join recovery: for every move of a subscribed receiver, the time
+    // until its first post-move data delivery — the end-to-end measure of
+    // the soft-state recovery machinery (MLD robustness reports, PIM
+    // grafts, binding-update retransmissions).
+    for mv in rec.moves.iter().filter(|m| m.subscribed) {
+        let first = rec
+            .deliveries
+            .iter()
+            .filter(|d| d.host == mv.host && d.time >= mv.time)
+            .map(|d| d.time)
+            .min();
+        if let Some(t) = first {
+            series.record("rejoin_recovery", (t - mv.time).as_secs_f64());
+        }
+    }
+
+    // Steady-state delivery after fault recovery: once every scheduled
+    // fault has cleared (plus a reconvergence margin), each data packet
+    // must reach every receiver. Unwindowed (run-long) faults have no
+    // recovery point, so no steady-state claim is made for them.
+    if !cfg.fault.is_none() {
+        if let Some(bound) = cfg.fault.recovery_bound_secs() {
+            const RECOVERY_MARGIN_SECS: f64 = 20.0;
+            let cutoff = SimTime::from_nanos(((bound + RECOVERY_MARGIN_SECS) * 1e9) as u64);
+            // Exclude the final second: those packets may still be in
+            // flight when the run ends.
+            let horizon = SimTime::ZERO + cfg.duration - SimDuration::from_secs(1);
+            let steady: BTreeSet<u64> = rec
+                .packets
+                .iter()
+                .filter(|p| p.sent_at >= cutoff && p.sent_at < horizon)
+                .map(|p| p.pkt)
+                .collect();
+            let n_receivers = (hosts.len() - 1) as u64;
+            let expected = steady.len() as u64 * n_receivers;
+            let observed = rec
+                .deliveries
+                .iter()
+                .filter(|d| d.first && steady.contains(&d.pkt))
+                .count() as u64;
+            counters.add("steady.deliveries_expected", expected);
+            counters.add("steady.deliveries_observed", observed);
+            if expected > 0 {
+                series.record("steady_delivery_ratio", observed as f64 / expected as f64);
+            }
+        }
     }
 
     let sent = analysis.packets_sent;
@@ -254,6 +317,7 @@ pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
             counters,
             series,
             link_bytes,
+            link_drops,
         },
         received,
         duplicates,
@@ -268,4 +332,220 @@ pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
 pub fn paper_link(n: usize) -> mobicast_net::LinkId {
     assert!((1..=6).contains(&n));
     mobicast_net::LinkId(n as u32 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicast_net::{FaultWindow, LinkFault, LinkFlap, LossModel, RouterCrash};
+
+    fn faulty_cfg(strategy: Strategy, fault: FaultPlan) -> ScenarioConfig {
+        ScenarioConfig {
+            duration: SimDuration::from_secs(150),
+            strategy,
+            moves: vec![Move {
+                at_secs: 30.0,
+                host: PaperHost::R3,
+                to_link: 6,
+            }],
+            fault,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// The PR's acceptance criterion: with 10 % i.i.d. loss on every link
+    /// during [10 s, 60 s], all four Table-1 approaches recover to >= 99 %
+    /// steady-state delivery once the loss window has cleared — the
+    /// soft-state machinery (MLD robustness reports, PIM graft retries,
+    /// BU retransmission) repairs whatever the loss broke.
+    #[test]
+    fn windowed_loss_recovers_to_full_steady_state() {
+        for strategy in Strategy::ALL {
+            let plan = FaultPlan {
+                link: LinkFault {
+                    loss: LossModel::iid(0.10),
+                    jitter: SimDuration::ZERO,
+                },
+                window: Some(FaultWindow {
+                    start_secs: 10.0,
+                    end_secs: 60.0,
+                }),
+                ..FaultPlan::default()
+            };
+            let r = run(&faulty_cfg(strategy, plan));
+            let ratio = r.report.mean("steady_delivery_ratio");
+            assert!(
+                ratio >= 0.99,
+                "{}: steady-state delivery {ratio} < 0.99",
+                strategy.name()
+            );
+            // The loss window must actually have destroyed traffic.
+            assert!(
+                r.report.counters.get("faults.frames_dropped_loss") > 50,
+                "{}: loss injection inactive",
+                strategy.name()
+            );
+        }
+    }
+
+    /// Drop-first-transmission test for PIM-DM Graft: Link 5 (between D
+    /// and E) is down when R3 arrives on Link 6, so router E's first Graft
+    /// toward D is destroyed. The graft-retry timer (3 s) must retransmit
+    /// it once the link is back, and forwarding to R3 must resume.
+    #[test]
+    fn graft_drop_first_retransmission_resumes_forwarding() {
+        let plan = FaultPlan {
+            flaps: vec![LinkFlap {
+                link: 4, // 0-based: the paper's Link 5
+                down_at_secs: 29.5,
+                up_at_secs: 32.5,
+            }],
+            ..FaultPlan::default()
+        };
+        let r = run(&faulty_cfg(Strategy::LOCAL, plan));
+        // The first graft (and anything else on Link 5 in the window) died.
+        assert!(r.report.counters.get("faults.frames_dropped_link_down") > 0);
+        // Forwarding resumed: R3 keeps receiving after the move.
+        assert!(r.received["R3"] > 100, "R3 got {}", r.received["R3"]);
+        // Recovery took at least one graft-retry period (the retry fired
+        // after the link came back), but not a flood/prune epoch.
+        let rejoin = r.report.mean("rejoin_recovery");
+        assert!(
+            (2.5..20.0).contains(&rejoin),
+            "rejoin recovery {rejoin}s not in graft-retry range"
+        );
+        assert_eq!(r.report.counters.get("steady.deliveries_observed"), {
+            r.report.counters.get("steady.deliveries_expected")
+        });
+    }
+
+    /// Drop-first-transmission test for the Binding Update: R3 moves to
+    /// Link 6 while Link 5 (its only path to the home agent D) is down, so
+    /// the first BU is destroyed in transit. The 1 s-backoff retransmission
+    /// must establish the binding once the link returns, after which the
+    /// home agent tunnels the stream to R3 (bi-directional strategy).
+    #[test]
+    fn bu_drop_first_retransmission_restores_tunnel_delivery() {
+        let plan = FaultPlan {
+            flaps: vec![LinkFlap {
+                link: 4,
+                down_at_secs: 29.5,
+                up_at_secs: 32.5,
+            }],
+            ..FaultPlan::default()
+        };
+        let r = run(&faulty_cfg(Strategy::BIDIRECTIONAL_TUNNEL, plan));
+        assert!(r.report.counters.get("faults.frames_dropped_link_down") > 0);
+        // The BU was retransmitted at least once before getting through.
+        assert!(
+            r.report.counters.get("host.R3.binding_updates") >= 2,
+            "no BU retransmission recorded"
+        );
+        // The binding was eventually accepted and the tunnel works.
+        assert!(r.ha_binding_updates >= 1);
+        assert!(r.ha_packets_tunneled > 0);
+        assert!(r.received["R3"] > 100, "R3 got {}", r.received["R3"]);
+        assert_eq!(
+            r.report.counters.get("steady.deliveries_observed"),
+            r.report.counters.get("steady.deliveries_expected")
+        );
+    }
+
+    /// Router D crashes with full protocol-state loss and restarts blank.
+    /// Its MLD querier and PIM machinery must rebuild membership and tree
+    /// state from the wire alone, restoring delivery to the hosts behind it.
+    #[test]
+    fn router_crash_restart_rebuilds_soft_state() {
+        let plan = FaultPlan {
+            crashes: vec![RouterCrash {
+                router: 3, // D: serves R3's home link (Link 4)
+                crash_at_secs: 40.0,
+                restart_at_secs: 50.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = ScenarioConfig {
+            duration: SimDuration::from_secs(150),
+            fault: plan,
+            ..ScenarioConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.report.counters.get("faults.node_crashes"), 1);
+        assert_eq!(r.report.counters.get("faults.node_restarts"), 1);
+        // Data kept arriving at the dead router and died there.
+        assert!(r.report.counters.get("faults.frames_dropped_node_crashed") > 0);
+        // After restart + margin every packet reaches every receiver again.
+        assert_eq!(
+            r.report.counters.get("steady.deliveries_observed"),
+            r.report.counters.get("steady.deliveries_expected")
+        );
+        assert!(r.report.counters.get("steady.deliveries_expected") > 0);
+    }
+
+    /// Same seed, same faults: the entire report (drop counts, delivery
+    /// series, per-link accounting) must be bit-identical across runs, and
+    /// a different seed must produce a different loss realization.
+    #[test]
+    fn faulty_runs_are_deterministic_in_seed() {
+        let mk = |seed: u64| ScenarioConfig {
+            seed,
+            duration: SimDuration::from_secs(80),
+            fault: FaultPlan::iid_loss(0.15),
+            moves: vec![Move {
+                at_secs: 30.0,
+                host: PaperHost::R3,
+                to_link: 6,
+            }],
+            ..ScenarioConfig::default()
+        };
+        let a = run(&mk(7));
+        let b = run(&mk(7));
+        let c = run(&mk(8));
+        let ja = serde_json::to_value(&a.report);
+        let jb = serde_json::to_value(&b.report);
+        assert_eq!(ja, jb, "same seed must reproduce the identical report");
+        assert_eq!(a.received, b.received);
+        assert_ne!(
+            a.report.counters.get("faults.frames_dropped_loss"),
+            c.report.counters.get("faults.frames_dropped_loss"),
+            "different seed should realize a different loss sequence"
+        );
+    }
+
+    /// Unwindowed loss: delivery degrades but the run completes, drops are
+    /// accounted per class, and no steady-state claim is made.
+    #[test]
+    fn run_long_loss_degrades_delivery_and_accounts_drops() {
+        let cfg = ScenarioConfig {
+            duration: SimDuration::from_secs(80),
+            fault: FaultPlan::iid_loss(0.2),
+            ..ScenarioConfig::default()
+        };
+        let r = run(&cfg);
+        let total_drops: u64 = (1..=6)
+            .map(|n| {
+                FrameClass::ALL
+                    .iter()
+                    .map(|c| r.report.link_drops[n - 1][c.name()])
+                    .sum::<u64>()
+            })
+            .sum();
+        assert!(total_drops > 0);
+        assert!(
+            r.report.class_drops("mcast_data") > 0,
+            "data frames dropped"
+        );
+        assert_eq!(
+            r.report.counters.get("steady.deliveries_expected"),
+            0,
+            "no steady-state claim without a recovery point"
+        );
+        // Delivery suffers visibly at 20% per-link loss but is not zero.
+        let delivered = r.received["R1"] + r.received["R2"] + r.received["R3"];
+        assert!(delivered > 0);
+        assert!(
+            (delivered as f64) < 3.0 * 0.98 * r.sent as f64,
+            "loss had no visible effect"
+        );
+    }
 }

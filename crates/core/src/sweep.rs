@@ -1,11 +1,12 @@
 //! Deterministic parallel parameter sweeps.
 //!
 //! Each scenario run is single-threaded and deterministic; a sweep runs
-//! many configurations across OS threads with crossbeam scoped threads
-//! (the guides' "data parallelism without data races" idiom — results are
+//! many configurations across OS threads with std scoped threads (the
+//! guides' "data parallelism without data races" idiom — results are
 //! collected by index, so output order never depends on scheduling).
 
-use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run `f` over `inputs` with up to `workers` threads, preserving order.
 pub fn run_parallel<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
@@ -17,26 +18,25 @@ where
     assert!(workers >= 1);
     let n = inputs.len();
     let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
     let inputs_ref = &inputs;
     let f_ref = &f;
-    // Hand out disjoint &mut slots to workers through a mutex-protected
-    // index -> slot map; simplest is to collect (index, output) pairs.
-    let collected = parking_lot::Mutex::new(Vec::with_capacity(n));
-    thread::scope(|s| {
+    // Workers pull indices from a shared counter and push (index, output)
+    // pairs; the pairs are scattered back into order afterwards.
+    let collected = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
         for _ in 0..workers.min(n.max(1)) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = f_ref(&inputs_ref[i]);
-                collected.lock().push((i, out));
+                collected.lock().unwrap().push((i, out));
             });
         }
-    })
-    .expect("sweep worker panicked");
-    for (i, out) in collected.into_inner() {
+    });
+    for (i, out) in collected.into_inner().unwrap() {
         results[i] = Some(out);
     }
     results

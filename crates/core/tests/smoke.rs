@@ -15,10 +15,7 @@ fn static_reference_scenario_delivers_to_all_receivers() {
     assert!(sent > 200, "sender produced packets: {sent}");
     for r in ["R1", "R2", "R3"] {
         let got = result.received[r];
-        assert!(
-            got as f64 > 0.95 * sent as f64,
-            "{r} received {got}/{sent}"
-        );
+        assert!(got as f64 > 0.95 * sent as f64, "{r} received {got}/{sent}");
     }
     // Link 6 (index 5) is pruned: essentially no steady data flow.
     let wasted_l6 = result.report.analysis.link_usage[5].useful_bytes
@@ -68,7 +65,11 @@ fn figure2_receiver_move_local_membership() {
     // Leave delay on Link 4 bounded by T_MLI = 260 s and substantial.
     let ld = result.report.series.summary("leave_delay");
     assert_eq!(ld.count, 1, "one departure leaves stale state");
-    assert!(ld.mean > 30.0 && ld.mean <= 261.0, "leave delay {}", ld.mean);
+    assert!(
+        ld.mean > 30.0 && ld.mean <= 261.0,
+        "leave delay {}",
+        ld.mean
+    );
     // Stale traffic onto Link 4 shows up as wasted bytes there.
     assert!(result.report.analysis.link_usage[3].wasted_bytes > 0);
 }
@@ -94,7 +95,11 @@ fn figure3_receiver_move_home_tunnel() {
         result.sent
     );
     // The home agent tunnelled traffic to R3's care-of address.
-    assert!(result.ha_packets_tunneled > 100, "{}", result.ha_packets_tunneled);
+    assert!(
+        result.ha_packets_tunneled > 100,
+        "{}",
+        result.ha_packets_tunneled
+    );
     assert!(result.report.counters.get("host.data_tunnel_decap") > 100);
     // Join delay is a binding round trip, well under a second.
     let jd = result.report.series.summary("join_delay");

@@ -83,6 +83,7 @@ impl Prefix {
     }
 
     /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

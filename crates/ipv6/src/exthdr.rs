@@ -101,7 +101,10 @@ pub enum SubOption {
     /// The paper's Figure-5 sub-option: the list of multicast groups the
     /// mobile host asks its home agent to join on its behalf.
     MulticastGroupList(Vec<GroupAddr>),
-    Unknown { kind: u8, data: Vec<u8> },
+    Unknown {
+        kind: u8,
+        data: Vec<u8>,
+    },
 }
 
 impl SubOption {
@@ -158,7 +161,7 @@ impl SubOption {
                 Ok(SubOption::AlternateCoa(read_addr(data)))
             }
             SUBOPT_MCAST_GROUP_LIST => {
-                if data.len() % 16 != 0 {
+                if !data.len().is_multiple_of(16) {
                     return Err(DecodeError::BadLength {
                         what: "multicast group list sub-option (must be 16*N)",
                         value: data.len(),
@@ -192,7 +195,10 @@ pub enum Option6 {
     BindingAck(BindingAck),
     BindingRequest,
     HomeAddress(Ipv6Addr),
-    Unknown { kind: u8, data: Vec<u8> },
+    Unknown {
+        kind: u8,
+        data: Vec<u8>,
+    },
 }
 
 impl Option6 {
@@ -466,7 +472,11 @@ fn encoded_option_len(o: &Option6) -> usize {
         Option6::PadN(n) => usize::from(*n),
         Option6::RouterAlert(_) => 4,
         Option6::BindingUpdate(bu) => {
-            2 + 8 + bu.sub_options.iter().map(|s| 2 + s.data_len()).sum::<usize>()
+            2 + 8
+                + bu.sub_options
+                    .iter()
+                    .map(|s| 2 + s.data_len())
+                    .sum::<usize>()
         }
         Option6::BindingAck(_) => 14,
         Option6::BindingRequest => 2,
@@ -580,10 +590,7 @@ mod tests {
             d.dest_options().unwrap()[0],
             Option6::BindingAck(ba.clone())
         );
-        let rejected = BindingAck {
-            status: 130,
-            ..ba
-        };
+        let rejected = BindingAck { status: 130, ..ba };
         assert!(!rejected.accepted());
     }
 

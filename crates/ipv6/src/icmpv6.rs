@@ -48,17 +48,31 @@ pub enum Icmpv6 {
         group: Ipv6Addr,
     },
     /// MLD Report for `group`.
-    MldReport { group: Ipv6Addr },
+    MldReport {
+        group: Ipv6Addr,
+    },
     /// MLD Done for `group`.
-    MldDone { group: Ipv6Addr },
+    MldDone {
+        group: Ipv6Addr,
+    },
     RouterSolicit,
     RouterAdvert {
         router_lifetime_secs: u16,
         prefixes: Vec<AdvertisedPrefix>,
     },
-    EchoRequest { id: u16, seq: u16 },
-    EchoReply { id: u16, seq: u16 },
-    Unknown { icmp_type: u8, code: u8, body: Vec<u8> },
+    EchoRequest {
+        id: u16,
+        seq: u16,
+    },
+    EchoReply {
+        id: u16,
+        seq: u16,
+    },
+    Unknown {
+        icmp_type: u8,
+        code: u8,
+        body: Vec<u8>,
+    },
 }
 
 impl Icmpv6 {
@@ -302,7 +316,9 @@ mod tests {
 
     #[test]
     fn corrupted_checksum_rejected() {
-        let m = Icmpv6::MldReport { group: a("ff1e::1") };
+        let m = Icmpv6::MldReport {
+            group: a("ff1e::1"),
+        };
         let mut wire = m.encode(a("fe80::1"), a("ff1e::1")).to_vec();
         wire[10] ^= 0xff;
         assert_eq!(
@@ -316,7 +332,9 @@ mod tests {
     #[test]
     fn checksum_binds_addresses() {
         // Same bytes, different pseudo-header => checksum failure.
-        let m = Icmpv6::MldReport { group: a("ff1e::1") };
+        let m = Icmpv6::MldReport {
+            group: a("ff1e::1"),
+        };
         let wire = m.encode(a("fe80::1"), a("ff1e::1"));
         assert!(Icmpv6::decode(a("fe80::2"), a("ff1e::1"), &wire).is_err());
     }
@@ -333,7 +351,9 @@ mod tests {
 
     #[test]
     fn truncated_mld_is_error() {
-        let m = Icmpv6::MldReport { group: a("ff1e::1") };
+        let m = Icmpv6::MldReport {
+            group: a("ff1e::1"),
+        };
         let wire = m.encode(a("fe80::1"), a("ff1e::1"));
         assert!(Icmpv6::decode(a("fe80::1"), a("ff1e::1"), &wire[..10]).is_err());
     }

@@ -86,8 +86,8 @@ impl Packet {
     /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut out = BytesMut::with_capacity(self.wire_len());
-        let payload_len: usize = self.ext.iter().map(ExtHeader::wire_len).sum::<usize>()
-            + self.payload.len();
+        let payload_len: usize =
+            self.ext.iter().map(ExtHeader::wire_len).sum::<usize>() + self.payload.len();
         assert!(payload_len <= usize::from(u16::MAX), "payload too large");
 
         let first_proto = self

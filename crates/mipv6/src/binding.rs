@@ -181,7 +181,14 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut c = BindingCache::new();
-        let d = c.update(a("2001:db8:4::9"), a("2001:db8:1::9"), LIFE, 1, vec![], t(0));
+        let d = c.update(
+            a("2001:db8:4::9"),
+            a("2001:db8:1::9"),
+            LIFE,
+            1,
+            vec![],
+            t(0),
+        );
         assert!(d.is_empty());
         let e = c.lookup(a("2001:db8:4::9")).unwrap();
         assert_eq!(e.care_of, a("2001:db8:1::9"));

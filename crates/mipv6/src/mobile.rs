@@ -17,6 +17,13 @@ use std::net::Ipv6Addr;
 /// `MAX_BINDACK_TIMEOUT = 256 s` from the draft.
 pub const DEFAULT_BINDING_LIFETIME: SimDuration = SimDuration::from_secs(256);
 
+/// First retransmission timeout for an unacknowledged Binding Update
+/// (draft §11.8: `INITIAL_BINDACK_TIMEOUT`).
+pub const INITIAL_BINDACK_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+
+/// Retransmission backoff cap (draft §11.8: `MAX_BINDACK_TIMEOUT`).
+pub const MAX_BINDACK_TIMEOUT: SimDuration = SimDuration::from_secs(256);
+
 /// Where the mobile node currently is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Location {
@@ -49,6 +56,14 @@ pub struct MobileNode {
     lifetime: SimDuration,
     /// When to refresh the binding (while away).
     refresh_at: Option<SimTime>,
+    /// The last Binding Update sent, kept until acknowledged so it can be
+    /// retransmitted verbatim (same sequence number, draft §11.8).
+    pending_bu: Option<BindingUpdate>,
+    /// When to retransmit the pending Binding Update.
+    retransmit_at: Option<SimTime>,
+    /// Current retransmission timeout; doubles per retry up to
+    /// [`MAX_BINDACK_TIMEOUT`].
+    retransmit_timeout: SimDuration,
     /// Groups to advertise in the Multicast Group List Sub-Option.
     groups: Vec<GroupAddr>,
     /// Whether Binding Updates carry the group list (paper Fig. 5) —
@@ -75,6 +90,9 @@ impl MobileNode {
             location: Location::AtHome,
             lifetime: DEFAULT_BINDING_LIFETIME,
             refresh_at: None,
+            pending_bu: None,
+            retransmit_at: None,
+            retransmit_timeout: INITIAL_BINDACK_TIMEOUT,
             groups: Vec::new(),
             include_group_list,
             binding_updates_sent: 0,
@@ -131,6 +149,10 @@ impl MobileNode {
             // Refresh at 80 % of the lifetime so the binding never lapses.
             Some(now + lifetime.mul_f64(0.8))
         };
+        // Every BU requests an ack; retransmit until one arrives.
+        self.pending_bu = Some(bu.clone());
+        self.retransmit_timeout = INITIAL_BINDACK_TIMEOUT;
+        self.retransmit_at = Some(now + INITIAL_BINDACK_TIMEOUT);
         vec![MnOutput::SendBindingUpdate {
             home_agent: self.home_agent,
             source: self.current_address(),
@@ -162,9 +184,12 @@ impl MobileNode {
         }
     }
 
-    /// A Binding Acknowledgement arrived (accepted acks simply confirm; a
-    /// rejected ack triggers an immediate retry).
+    /// A Binding Acknowledgement arrived. An accepted ack confirms the
+    /// pending Binding Update and stops its retransmission; a rejected ack
+    /// (while away) triggers an immediate retry with a fresh sequence.
     pub fn on_binding_ack(&mut self, accepted: bool, now: SimTime) -> Vec<MnOutput> {
+        self.pending_bu = None;
+        self.retransmit_at = None;
         if accepted || self.at_home() {
             return Vec::new();
         }
@@ -187,18 +212,41 @@ impl MobileNode {
         &self.groups
     }
 
-    /// Next binding refresh instant, if away.
+    /// Next instant the machine needs a timer callback: the earlier of the
+    /// binding refresh and the pending-BU retransmission.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.refresh_at
+        match (self.refresh_at, self.retransmit_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
-    /// Fire the refresh timer.
+    /// Fire the timer: retransmit an unacknowledged Binding Update (with
+    /// exponential backoff, draft §11.8) and/or refresh the binding.
     pub fn on_deadline(&mut self, now: SimTime) -> Vec<MnOutput> {
-        if matches!(self.refresh_at, Some(t) if t <= now) && !self.at_home() {
-            self.build_bu(self.lifetime, now)
-        } else {
-            Vec::new()
+        let mut out = Vec::new();
+        if matches!(self.retransmit_at, Some(t) if t <= now) {
+            match self.pending_bu.clone() {
+                Some(bu) => {
+                    // Same sequence number: this is a retransmission, not a
+                    // new registration.
+                    self.retransmit_timeout =
+                        (self.retransmit_timeout * 2).min(MAX_BINDACK_TIMEOUT);
+                    self.retransmit_at = Some(now + self.retransmit_timeout);
+                    self.binding_updates_sent += 1;
+                    out.push(MnOutput::SendBindingUpdate {
+                        home_agent: self.home_agent,
+                        source: self.current_address(),
+                        binding_update: bu,
+                    });
+                }
+                None => self.retransmit_at = None,
+            }
         }
+        if matches!(self.refresh_at, Some(t) if t <= now) && !self.at_home() {
+            out.extend(self.build_bu(self.lifetime, now));
+        }
+        out
     }
 }
 
@@ -290,6 +338,9 @@ mod tests {
             }
         }
         assert!(m.at_home());
+        // The deregistration BU itself awaits an ack; once acknowledged,
+        // nothing is pending at home.
+        m.on_binding_ack(true, t(61));
         assert_eq!(m.next_deadline(), None, "no refresh while home");
     }
 
@@ -325,12 +376,84 @@ mod tests {
     fn binding_refresh_fires_at_80_percent() {
         let mut m = mn(false);
         m.on_router_advert(p("2001:db8:6::/64"), t(0));
+        // Until the BU is acked, the next deadline is its retransmission.
+        m.on_binding_ack(true, t(1));
         // 80% of 256 s = 204.8 s.
         let dl = m.next_deadline().unwrap();
         assert_eq!(dl, SimTime::from_nanos(204_800_000_000));
         let out = m.on_deadline(dl);
         assert_eq!(out.len(), 1, "refresh BU");
+        m.on_binding_ack(true, dl + SimDuration::from_millis(10));
         assert!(m.next_deadline().unwrap() > dl);
+    }
+
+    #[test]
+    fn unacked_bu_retransmits_with_exponential_backoff() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(0));
+        assert_eq!(m.binding_updates_sent(), 1);
+        // First retransmission after INITIAL_BINDACK_TIMEOUT = 1 s.
+        assert_eq!(m.next_deadline(), Some(t(1)));
+        // Retries at t = 1, 3, 7, 15, 31, 63, 127 (gaps 2, 4, ..., 128);
+        // past that, the 204.8 s binding refresh precedes the next retry.
+        let mut now = t(1);
+        let mut expected_gap = 2u64; // doubled after the first retry
+        for _ in 0..7 {
+            let out = m.on_deadline(now);
+            assert_eq!(out.len(), 1, "retransmission at {now}");
+            match &out[0] {
+                MnOutput::SendBindingUpdate { binding_update, .. } => {
+                    assert_eq!(binding_update.sequence, 1, "same sequence on retry");
+                }
+            }
+            now += SimDuration::from_secs(expected_gap);
+            expected_gap *= 2;
+        }
+        assert_eq!(now, t(255), "exponential backoff schedule");
+        // 1 original + 7 retransmissions.
+        assert_eq!(m.binding_updates_sent(), 8);
+        // An accepted ack stops the retransmission cycle.
+        m.on_binding_ack(true, t(130));
+        assert_eq!(
+            m.next_deadline(),
+            Some(SimTime::from_nanos(204_800_000_000)),
+            "only the refresh remains armed"
+        );
+        assert!(m.on_deadline(now + SimDuration::from_secs(300)).len() == 1);
+    }
+
+    #[test]
+    fn deadline_before_retransmit_time_is_a_no_op() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(0));
+        assert!(m.on_deadline(SimTime::from_millis(500)).is_empty());
+        assert_eq!(m.binding_updates_sent(), 1);
+    }
+
+    #[test]
+    fn new_movement_replaces_pending_bu() {
+        let mut m = mn(false);
+        m.on_router_advert(p("2001:db8:6::/64"), t(0));
+        // Moves again before the first BU is acked: the new BU (seq 2)
+        // supersedes the old one and retransmission restarts at 1 s.
+        let out = m.on_router_advert(p("2001:db8:1::/64"), t(10));
+        match &out[0] {
+            MnOutput::SendBindingUpdate { binding_update, .. } => {
+                assert_eq!(binding_update.sequence, 2);
+            }
+        }
+        assert_eq!(m.next_deadline(), Some(t(11)));
+        let retry = m.on_deadline(t(11));
+        match &retry[0] {
+            MnOutput::SendBindingUpdate {
+                binding_update,
+                source,
+                ..
+            } => {
+                assert_eq!(binding_update.sequence, 2, "retries the newest BU");
+                assert_eq!(*source, a("2001:db8:1::1234"));
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! (the care-of address is the IPv6 source). Binding Acknowledgements go
 //! back to the care-of address.
 
+use bytes::Bytes;
 use mobicast_ipv6::exthdr::{BindingAck, BindingUpdate, ExtHeader, Option6};
 use mobicast_ipv6::packet::{proto, Packet};
-use bytes::Bytes;
 use std::net::Ipv6Addr;
 
 /// Build the Binding Update packet a mobile node sends from its care-of
@@ -73,11 +73,16 @@ mod tests {
             flags: BU_FLAG_ACK | BU_FLAG_HOME,
             sequence: 3,
             lifetime_secs: 256,
-            sub_options: vec![SubOption::MulticastGroupList(vec![
-                GroupAddr::test_group(1),
-            ])],
+            sub_options: vec![SubOption::MulticastGroupList(vec![GroupAddr::test_group(
+                1,
+            )])],
         };
-        let p = binding_update_packet(a("2001:db8:6::9"), a("2001:db8:4::d"), a("2001:db8:4::9"), bu.clone());
+        let p = binding_update_packet(
+            a("2001:db8:6::9"),
+            a("2001:db8:4::d"),
+            a("2001:db8:4::9"),
+            bu.clone(),
+        );
         let wire = p.encode();
         let q = Packet::decode(&wire).unwrap();
         let (home, got) = parse_binding_update(&q).expect("BU present");

@@ -59,13 +59,16 @@ impl MldConfig {
     /// without Reports. `RV · T_Query + T_RespDel` (260 s with defaults) —
     /// the paper's leave-delay bound.
     pub fn multicast_listener_interval(&self) -> SimDuration {
-        self.query_interval.saturating_mul(u64::from(self.robustness)) + self.query_response_interval
+        self.query_interval
+            .saturating_mul(u64::from(self.robustness))
+            + self.query_response_interval
     }
 
     /// Other Querier Present Interval:
     /// `RV · T_Query + T_RespDel / 2`.
     pub fn other_querier_present_interval(&self) -> SimDuration {
-        self.query_interval.saturating_mul(u64::from(self.robustness))
+        self.query_interval
+            .saturating_mul(u64::from(self.robustness))
             + self.query_response_interval / 2
     }
 

@@ -206,7 +206,10 @@ mod tests {
     fn join_sends_unsolicited_report_immediately() {
         let mut h = host(MldConfig::default());
         let out = h.join(g(1), t(0));
-        assert_eq!(out, vec![HostOutput::Send(MldMessage::Report { group: g(1) })]);
+        assert_eq!(
+            out,
+            vec![HostOutput::Send(MldMessage::Report { group: g(1) })]
+        );
         assert!(h.is_joined(g(1)));
         // Robustness 2 => one retransmission scheduled at +URI (10 s).
         assert_eq!(h.next_deadline(), Some(t(10)));
@@ -231,7 +234,10 @@ mod tests {
         let dl = h.next_deadline().expect("report scheduled");
         assert!(dl >= t(100) && dl < t(110), "delay in [0, MRD): {dl:?}");
         let out = h.on_deadline(dl);
-        assert_eq!(out, vec![HostOutput::Send(MldMessage::Report { group: g(1) })]);
+        assert_eq!(
+            out,
+            vec![HostOutput::Send(MldMessage::Report { group: g(1) })]
+        );
         assert_eq!(h.next_deadline(), None);
     }
 
@@ -244,7 +250,10 @@ mod tests {
         h.on_query(Some(g(2)), SimDuration::from_secs(1), t(50));
         let dl = h.next_deadline().unwrap();
         let out = h.on_deadline(dl);
-        assert_eq!(out, vec![HostOutput::Send(MldMessage::Report { group: g(2) })]);
+        assert_eq!(
+            out,
+            vec![HostOutput::Send(MldMessage::Report { group: g(2) })]
+        );
     }
 
     #[test]
@@ -266,7 +275,10 @@ mod tests {
         let mut h = host(MldConfig::default());
         h.join(g(1), t(0));
         let out = h.leave(g(1), t(5));
-        assert_eq!(out, vec![HostOutput::Send(MldMessage::Done { group: g(1) })]);
+        assert_eq!(
+            out,
+            vec![HostOutput::Send(MldMessage::Done { group: g(1) })]
+        );
         assert!(!h.is_joined(g(1)));
     }
 

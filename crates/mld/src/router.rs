@@ -263,10 +263,8 @@ mod tests {
 
     fn expect_general_query(out: &[RouterOutput]) {
         assert!(
-            out.iter().any(|o| matches!(
-                o,
-                RouterOutput::Send(MldMessage::Query { group: None, .. })
-            )),
+            out.iter()
+                .any(|o| matches!(o, RouterOutput::Send(MldMessage::Query { group: None, .. }))),
             "expected a general query in {out:?}"
         );
     }
@@ -470,7 +468,9 @@ mod tests {
             if dl > t(120) {
                 break;
             }
-            if r.on_deadline(dl).contains(&RouterOutput::ListenerRemoved(g(1))) {
+            if r.on_deadline(dl)
+                .contains(&RouterOutput::ListenerRemoved(g(1)))
+            {
                 removed_at = Some(dl);
                 break;
             }

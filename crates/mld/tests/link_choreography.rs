@@ -201,7 +201,10 @@ fn querier_election_converges_to_lowest_address() {
     lan.start(t(0));
     // After startup queries cross, only fe80::1 remains querier.
     assert_eq!(lan.querier_count(), 1);
-    assert!(lan.routers.iter().any(|(a_, r)| r.is_querier() && *a_ == a("fe80::1")));
+    assert!(lan
+        .routers
+        .iter()
+        .any(|(a_, r)| r.is_querier() && *a_ == a("fe80::1")));
 }
 
 #[test]
@@ -257,10 +260,7 @@ fn leave_with_done_removes_membership_fast() {
     // Last-listener queries go unanswered; removal within 2 s (2 × LLQI).
     lan.run_until(t(60));
     assert!(!lan.all_know_listener(g(1)));
-    let removed = lan
-        .log
-        .iter()
-        .any(|(_, e)| e == &format!("del {}", g(1)));
+    let removed = lan.log.iter().any(|(_, e)| e == &format!("del {}", g(1)));
     assert!(removed, "log: {:?}", lan.log);
 }
 

@@ -1,0 +1,438 @@
+//! Deterministic fault injection: per-link frame loss (i.i.d. or bursty),
+//! bounded delay jitter, scheduled link down/up flaps, and router
+//! crash/restart with full protocol-state loss.
+//!
+//! All randomness is drawn from labelled [`rand`] streams handed in by the
+//! harness (one stream per link, derived from the scenario seed via
+//! `RngFactory`), so a given seed reproduces the exact same drop and jitter
+//! sequence — the simulator's determinism contract extends to its faults.
+//!
+//! Loss follows the two-state Gilbert–Elliott model: the link alternates
+//! between a Good and a Bad state with per-frame transition probabilities,
+//! and each state drops frames with its own probability. Setting the
+//! transition probabilities to zero degenerates to i.i.d. (Bernoulli) loss
+//! in the Good state, which is how [`LossModel::iid`] is expressed.
+
+use mobicast_sim::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Two-state Gilbert–Elliott loss process (i.i.d. loss as degenerate case).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LossModel {
+    /// Per-frame drop probability in the Good state.
+    pub loss_good: f64,
+    /// Per-frame drop probability in the Bad (burst) state.
+    pub loss_bad: f64,
+    /// Per-frame probability of moving Good -> Bad.
+    pub p_good_to_bad: f64,
+    /// Per-frame probability of moving Bad -> Good.
+    pub p_bad_to_good: f64,
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::none()
+    }
+}
+
+impl LossModel {
+    /// No loss.
+    pub const fn none() -> Self {
+        LossModel {
+            loss_good: 0.0,
+            loss_bad: 0.0,
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.0,
+        }
+    }
+
+    /// Independent (Bernoulli) loss with probability `p` per frame.
+    pub const fn iid(p: f64) -> Self {
+        LossModel {
+            loss_good: p,
+            loss_bad: 0.0,
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.0,
+        }
+    }
+
+    /// Full Gilbert–Elliott parameterization.
+    pub const fn gilbert_elliott(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> Self {
+        LossModel {
+            loss_good,
+            loss_bad,
+            p_good_to_bad,
+            p_bad_to_good,
+        }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.loss_good == 0.0 && (self.loss_bad == 0.0 || self.p_good_to_bad == 0.0)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
+        }
+        if self.p_good_to_bad > 0.0 && self.p_bad_to_good == 0.0 && self.loss_bad >= 1.0 {
+            return Err("absorbing Bad state with certain loss kills the link".into());
+        }
+        Ok(())
+    }
+
+    /// Long-run expected loss rate: the chain's stationary distribution
+    /// weighs the two states' loss probabilities. For i.i.d. parameters
+    /// this is just `loss_good`.
+    pub fn stationary_loss_rate(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            // No transitions: the chain stays in its initial (Good) state.
+            return self.loss_good;
+        }
+        let pi_bad = self.p_good_to_bad / denom;
+        (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+    }
+}
+
+/// Per-link fault configuration: a loss process plus bounded delay jitter.
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkFault {
+    pub loss: LossModel,
+    /// Maximum extra per-frame, per-receiver delay; each delivery is
+    /// delayed by an additional uniform draw from `[0, jitter]`.
+    pub jitter: SimDuration,
+}
+
+impl LinkFault {
+    pub fn is_none(&self) -> bool {
+        self.loss.is_none() && self.jitter.is_zero()
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        self.loss.validate()
+    }
+}
+
+/// Runtime fault state of one link: the configuration, the Gilbert–Elliott
+/// channel state, and the link's private RNG stream.
+#[derive(Debug)]
+pub struct LinkFaultState {
+    cfg: LinkFault,
+    rng: SmallRng,
+    in_bad: bool,
+}
+
+impl LinkFaultState {
+    /// `rng` must be a stream dedicated to this link (e.g.
+    /// `factory.indexed_stream("fault.link", link.0 as u64)`), otherwise
+    /// drop sequences on different links become correlated.
+    pub fn new(cfg: LinkFault, rng: SmallRng) -> Self {
+        LinkFaultState {
+            cfg,
+            rng,
+            in_bad: false,
+        }
+    }
+
+    pub fn cfg(&self) -> &LinkFault {
+        &self.cfg
+    }
+
+    /// Decide the fate of one frame copy headed to one receiver. Advances
+    /// the Gilbert–Elliott state, then samples the current state's loss
+    /// probability. Draw order is fixed, so a seed fully determines the
+    /// sequence of outcomes.
+    pub fn should_drop(&mut self) -> bool {
+        let m = self.cfg.loss;
+        if m.is_none() {
+            return false;
+        }
+        if self.in_bad {
+            if m.p_bad_to_good > 0.0 && self.rng.random::<f64>() < m.p_bad_to_good {
+                self.in_bad = false;
+            }
+        } else if m.p_good_to_bad > 0.0 && self.rng.random::<f64>() < m.p_good_to_bad {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad { m.loss_bad } else { m.loss_good };
+        p > 0.0 && self.rng.random::<f64>() < p
+    }
+
+    /// Extra delivery delay for one frame copy: uniform in `[0, jitter]`.
+    pub fn jitter(&mut self) -> SimDuration {
+        if self.cfg.jitter.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let max = self.cfg.jitter.as_nanos() as f64;
+        SimDuration::from_nanos((max * self.rng.random::<f64>()) as u64)
+    }
+}
+
+/// One scheduled link outage: the link drops every frame (at transmission
+/// and at arrival) between `down_at_secs` and `up_at_secs`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkFlap {
+    /// 0-based link index (`LinkId` value).
+    pub link: u32,
+    pub down_at_secs: f64,
+    pub up_at_secs: f64,
+}
+
+/// One scheduled router failure: the router stops processing frames and
+/// timers at `crash_at_secs` and comes back at `restart_at_secs` with a
+/// completely fresh protocol stack — all MLD, PIM and binding soft state
+/// is lost and must be rebuilt by the protocols' own recovery machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouterCrash {
+    /// Index into the scenario's router list.
+    pub router: u32,
+    pub crash_at_secs: f64,
+    pub restart_at_secs: f64,
+}
+
+/// Time window during which the link loss/jitter configuration applies.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    pub start_secs: f64,
+    pub end_secs: f64,
+}
+
+/// A complete, world-agnostic fault schedule for one scenario run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Loss/jitter applied to every link.
+    pub link: LinkFault,
+    /// When `Some`, loss/jitter only applies inside the window; when
+    /// `None`, it applies for the whole run.
+    pub window: Option<FaultWindow>,
+    pub flaps: Vec<LinkFlap>,
+    pub crashes: Vec<RouterCrash>,
+}
+
+impl FaultPlan {
+    pub fn is_none(&self) -> bool {
+        self.link.is_none() && self.flaps.is_empty() && self.crashes.is_empty()
+    }
+
+    /// Every link loses `p` of its frames, independently, all run long.
+    pub fn iid_loss(p: f64) -> Self {
+        FaultPlan {
+            link: LinkFault {
+                loss: LossModel::iid(p),
+                jitter: SimDuration::ZERO,
+            },
+            ..FaultPlan::default()
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        self.link.validate()?;
+        if let Some(w) = self.window {
+            if !(w.start_secs >= 0.0 && w.end_secs > w.start_secs) {
+                return Err(format!(
+                    "bad fault window [{}, {}]",
+                    w.start_secs, w.end_secs
+                ));
+            }
+        }
+        for f in &self.flaps {
+            if !(f.down_at_secs >= 0.0 && f.up_at_secs > f.down_at_secs) {
+                return Err(format!("bad flap [{}, {}]", f.down_at_secs, f.up_at_secs));
+            }
+        }
+        for c in &self.crashes {
+            if !(c.crash_at_secs >= 0.0 && c.restart_at_secs > c.crash_at_secs) {
+                return Err(format!(
+                    "bad crash [{}, {}]",
+                    c.crash_at_secs, c.restart_at_secs
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The instant after which every scheduled fault has cleared — the
+    /// earliest time from which steady-state behavior may be demanded.
+    /// `None` when a fault has no scheduled end (unwindowed loss/jitter).
+    pub fn recovery_bound_secs(&self) -> Option<f64> {
+        let mut bound: f64 = 0.0;
+        if !self.link.is_none() {
+            match self.window {
+                Some(w) => bound = bound.max(w.end_secs),
+                None => return None,
+            }
+        }
+        for f in &self.flaps {
+            bound = bound.max(f.up_at_secs);
+        }
+        for c in &self.crashes {
+            bound = bound.max(c.restart_at_secs);
+        }
+        Some(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let mut s = LinkFaultState::new(LinkFault::default(), rng(1));
+        assert!((0..10_000).all(|_| !s.should_drop()));
+        assert_eq!(s.jitter(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn iid_loss_rate_close_to_nominal() {
+        let mut s = LinkFaultState::new(
+            LinkFault {
+                loss: LossModel::iid(0.1),
+                jitter: SimDuration::ZERO,
+            },
+            rng(2),
+        );
+        let n = 100_000;
+        let drops = (0..n).filter(|_| s.should_drop()).count();
+        let rate = drops as f64 / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.01, "measured {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_stationary_closed_form() {
+        // pi_bad = 0.02 / (0.02 + 0.2) = 1/11; expected loss
+        // = (10/11)*0.01 + (1/11)*0.5 ≈ 0.05455.
+        let model = LossModel::gilbert_elliott(0.02, 0.2, 0.01, 0.5);
+        let expect = model.stationary_loss_rate();
+        assert!((expect - (10.0 / 11.0 * 0.01 + 1.0 / 11.0 * 0.5)).abs() < 1e-12);
+        let mut s = LinkFaultState::new(
+            LinkFault {
+                loss: model,
+                jitter: SimDuration::ZERO,
+            },
+            rng(3),
+        );
+        let n = 400_000;
+        let drops = (0..n).filter(|_| s.should_drop()).count();
+        let rate = drops as f64 / f64::from(n);
+        assert!(
+            (rate - expect).abs() < 0.005,
+            "measured {rate}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Strongly sticky Bad state: losses must cluster more than i.i.d.
+        let model = LossModel::gilbert_elliott(0.01, 0.05, 0.0, 1.0);
+        let mut s = LinkFaultState::new(
+            LinkFault {
+                loss: model,
+                jitter: SimDuration::ZERO,
+            },
+            rng(4),
+        );
+        let outcomes: Vec<bool> = (0..200_000).map(|_| s.should_drop()).collect();
+        let losses = outcomes.iter().filter(|&&d| d).count() as f64;
+        let pairs = outcomes.windows(2).filter(|w| w[0] && w[1]).count() as f64;
+        // P(loss | previous loss) far exceeds the marginal loss rate.
+        let conditional = pairs / losses;
+        let marginal = losses / outcomes.len() as f64;
+        assert!(
+            conditional > 4.0 * marginal,
+            "conditional {conditional} vs marginal {marginal}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_drop_and_jitter_sequence() {
+        let cfg = LinkFault {
+            loss: LossModel::gilbert_elliott(0.1, 0.3, 0.05, 0.6),
+            jitter: SimDuration::from_millis(5),
+        };
+        let mut a = LinkFaultState::new(cfg, rng(7));
+        let mut b = LinkFaultState::new(cfg, rng(7));
+        for _ in 0..10_000 {
+            let (da, db) = (a.should_drop(), b.should_drop());
+            assert_eq!(da, db);
+            if !da {
+                assert_eq!(a.jitter(), b.jitter());
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let cfg = LinkFault {
+            loss: LossModel::none(),
+            jitter: SimDuration::from_millis(2),
+        };
+        let mut s = LinkFaultState::new(cfg, rng(8));
+        for _ in 0..10_000 {
+            assert!(s.jitter() <= SimDuration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn plan_validation_and_recovery_bound() {
+        let mut plan = FaultPlan::iid_loss(0.1);
+        assert!(plan.validate().is_ok());
+        assert_eq!(
+            plan.recovery_bound_secs(),
+            None,
+            "unwindowed loss never clears"
+        );
+        plan.window = Some(FaultWindow {
+            start_secs: 10.0,
+            end_secs: 60.0,
+        });
+        plan.flaps.push(LinkFlap {
+            link: 2,
+            down_at_secs: 20.0,
+            up_at_secs: 90.0,
+        });
+        plan.crashes.push(RouterCrash {
+            router: 1,
+            crash_at_secs: 30.0,
+            restart_at_secs: 45.0,
+        });
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.recovery_bound_secs(), Some(90.0));
+        assert!(FaultPlan::iid_loss(1.5).validate().is_err());
+        let bad_flap = FaultPlan {
+            flaps: vec![LinkFlap {
+                link: 0,
+                down_at_secs: 5.0,
+                up_at_secs: 5.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(bad_flap.validate().is_err());
+    }
+
+    #[test]
+    fn default_plan_is_none() {
+        assert!(FaultPlan::default().is_none());
+        assert!(!FaultPlan::iid_loss(0.01).is_none());
+        assert_eq!(FaultPlan::default().recovery_bound_secs(), Some(0.0));
+    }
+}

@@ -224,10 +224,7 @@ mod tests {
     #[test]
     fn parallel_routers_tie_break_to_lowest_id() {
         // L0 - {R0, R1} - L1 : both routers connect the same two links.
-        let g = LinkGraph::new(
-            2,
-            &[(n(0), vec![l(0), l(1)]), (n(1), vec![l(0), l(1)])],
-        );
+        let g = LinkGraph::new(2, &[(n(0), vec![l(0), l(1)]), (n(1), vec![l(0), l(1)])]);
         // From a third router attached only to L0 we should pick R0.
         let g2 = LinkGraph::new(
             2,
@@ -273,11 +270,11 @@ mod tests {
         let g = LinkGraph::new(
             6,
             &[
-                (n(0), vec![l(0), l(1)]),          // A
-                (n(1), vec![l(1), l(2)]),          // B
-                (n(2), vec![l(1), l(2)]),          // C
-                (n(3), vec![l(2), l(3), l(4)]),    // D
-                (n(4), vec![l(4), l(5)]),          // E
+                (n(0), vec![l(0), l(1)]),       // A
+                (n(1), vec![l(1), l(2)]),       // B
+                (n(2), vec![l(1), l(2)]),       // C
+                (n(3), vec![l(2), l(3), l(4)]), // D
+                (n(4), vec![l(4), l(5)]),       // E
             ],
         );
         // D's route toward the sender link L0 goes via L2 and router B

@@ -9,14 +9,20 @@
 //! * [`frame`] — frames and accounting classes.
 //! * [`graph`] — shortest-path routing over the router/link graph (the
 //!   unicast substrate PIM-DM's RPF checks are derived from).
+//! * [`fault`] — deterministic fault injection: loss models (i.i.d. and
+//!   Gilbert–Elliott bursts), delay jitter, link flaps, router crashes.
 //! * [`ids`] — identifier newtypes.
 
+pub mod fault;
 pub mod frame;
 pub mod graph;
 pub mod ids;
 pub mod link;
 pub mod world;
 
+pub use fault::{
+    FaultPlan, FaultWindow, LinkFault, LinkFaultState, LinkFlap, LossModel, RouterCrash,
+};
 pub use frame::{Frame, FrameClass, L2Dest, FRAME_CLASS_COUNT};
 pub use graph::{LinkGraph, Route};
 pub use ids::{IfIndex, LinkId, NodeId, TimerKey};

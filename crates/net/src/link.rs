@@ -8,6 +8,7 @@
 //! is adequate here: the paper's quantities are protocol-timer driven and
 //! links never run near saturation in the experiments.
 
+use crate::fault::LinkFaultState;
 use crate::frame::{Frame, FRAME_CLASS_COUNT};
 use crate::ids::{IfIndex, NodeId};
 use mobicast_sim::{SimDuration, SimTime};
@@ -48,6 +49,11 @@ pub struct LinkStats {
     pub bytes: [u64; FRAME_CLASS_COUNT],
     /// Frames put onto the medium, by frame class.
     pub frames: [u64; FRAME_CLASS_COUNT],
+    /// Bytes destroyed by fault injection (loss, outage, crashed receiver),
+    /// by frame class. Counted per receiver copy, not per transmission.
+    pub dropped_bytes: [u64; FRAME_CLASS_COUNT],
+    /// Frame copies destroyed by fault injection, by frame class.
+    pub dropped_frames: [u64; FRAME_CLASS_COUNT],
 }
 
 impl LinkStats {
@@ -55,6 +61,17 @@ impl LinkStats {
         let i = frame.class.index();
         self.bytes[i] += frame.len() as u64;
         self.frames[i] += 1;
+    }
+
+    /// Account one frame copy destroyed by fault injection.
+    pub fn record_drop(&mut self, frame: &Frame) {
+        let i = frame.class.index();
+        self.dropped_bytes[i] += frame.len() as u64;
+        self.dropped_frames[i] += 1;
+    }
+
+    pub fn total_dropped_frames(&self) -> u64 {
+        self.dropped_frames.iter().sum()
     }
 
     pub fn total_bytes(&self) -> u64 {
@@ -87,6 +104,11 @@ pub struct Link {
     pub params: LinkParams,
     pub members: Vec<Attachment>,
     pub stats: LinkStats,
+    /// Cleared during a scheduled outage; a downed link destroys every
+    /// frame handed to it and every frame still in flight across it.
+    pub up: bool,
+    /// Loss/jitter process, when fault injection is installed.
+    pub fault: Option<LinkFaultState>,
 }
 
 impl Link {
@@ -95,12 +117,17 @@ impl Link {
             params,
             members: Vec::new(),
             stats: LinkStats::default(),
+            up: true,
+            fault: None,
         }
     }
 
     pub fn attach(&mut self, node: NodeId, ifindex: IfIndex) {
         debug_assert!(
-            !self.members.iter().any(|m| m.node == node && m.ifindex == ifindex),
+            !self
+                .members
+                .iter()
+                .any(|m| m.node == node && m.ifindex == ifindex),
             "{node} if{ifindex} already attached"
         );
         self.members.push(Attachment { node, ifindex });

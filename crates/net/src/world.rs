@@ -8,6 +8,7 @@
 //! it to another, notifying the behavior so its protocol stack can react
 //! (movement detection, care-of address, binding update, …).
 
+use crate::fault::LinkFaultState;
 use crate::frame::Frame;
 use crate::ids::{IfIndex, LinkId, NodeId, TimerKey};
 use crate::link::{schedule_transmission, Link, LinkParams, LinkStats};
@@ -49,6 +50,9 @@ enum WorldEvent {
     Timer {
         node: NodeId,
         key: TimerKey,
+        /// Incarnation of the node at arming time; a crash bumps the
+        /// node's incarnation, invalidating every timer armed before it.
+        incarnation: u64,
     },
     Script(Script),
 }
@@ -61,6 +65,10 @@ struct IfaceState {
 struct NodeSlot {
     behavior: Option<Box<dyn NodeBehavior>>,
     ifaces: Vec<IfaceState>,
+    /// Bumped on crash so stale timers can be recognized and discarded.
+    incarnation: u64,
+    /// While true, the node processes no frames or timers.
+    crashed: bool,
 }
 
 /// The simulation world.
@@ -125,6 +133,8 @@ impl World {
                     tx_free: SimTime::ZERO,
                 })
                 .collect(),
+            incarnation: 0,
+            crashed: false,
         });
         id
     }
@@ -159,12 +169,10 @@ impl World {
 
     /// Move an interface to a new link (detach + attach): host mobility.
     pub fn move_iface(&mut self, node: NodeId, ifindex: IfIndex, new_link: LinkId) {
-        self.tracer.emit_with(
-            self.now(),
-            TraceCategory::Mobility,
-            node.index(),
-            || format!("if{ifindex} moves to {new_link}"),
-        );
+        self.tracer
+            .emit_with(self.now(), TraceCategory::Mobility, node.index(), || {
+                format!("if{ifindex} moves to {new_link}")
+            });
         self.detach(node, ifindex);
         self.attach(node, ifindex, new_link);
     }
@@ -189,6 +197,66 @@ impl World {
 
     pub fn link_params(&self, link: LinkId) -> &LinkParams {
         &self.links[link.index()].params
+    }
+
+    /// Install (or clear) a loss/jitter fault process on a link.
+    pub fn set_link_fault(&mut self, link: LinkId, fault: Option<LinkFaultState>) {
+        self.links[link.index()].fault = fault;
+    }
+
+    /// Bring a link down (destroying all frames handed to it or in flight
+    /// across it) or back up.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.tracer
+            .emit_with(self.now(), TraceCategory::Fault, usize::MAX, || {
+                format!("{link} {}", if up { "up" } else { "down" })
+            });
+        self.counters.inc(if up {
+            "faults.link_up"
+        } else {
+            "faults.link_down"
+        });
+        self.links[link.index()].up = up;
+    }
+
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.index()].up
+    }
+
+    /// Crash a node: it stops processing frames and timers, and every timer
+    /// armed before the crash is permanently invalidated (soft state dies
+    /// with the process). The behavior object is dropped; the node stays
+    /// dead until [`World::restart_node`].
+    pub fn crash_node(&mut self, node: NodeId) {
+        let slot = &mut self.nodes[node.index()];
+        slot.crashed = true;
+        slot.incarnation += 1;
+        slot.behavior = None;
+        self.counters.inc("faults.node_crashes");
+        self.tracer
+            .emit_with(self.now(), TraceCategory::Fault, node.index(), || {
+                "crashed".to_string()
+            });
+    }
+
+    /// Restart a crashed node with a freshly constructed behavior (all
+    /// protocol state lost). Delivers `on_start` so the new stack can
+    /// rebuild its soft state from the wire.
+    pub fn restart_node(&mut self, node: NodeId, behavior: Box<dyn NodeBehavior>) {
+        let slot = &mut self.nodes[node.index()];
+        assert!(slot.crashed, "{node} restarted without crashing");
+        slot.crashed = false;
+        slot.behavior = Some(behavior);
+        self.counters.inc("faults.node_restarts");
+        self.tracer
+            .emit_with(self.now(), TraceCategory::Fault, node.index(), || {
+                "restarted".to_string()
+            });
+        self.with_node(node, |b, ctx| b.on_start(ctx));
+    }
+
+    pub fn node_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].crashed
     }
 
     pub fn n_links(&self) -> usize {
@@ -260,6 +328,9 @@ impl World {
     }
 
     fn notify_link_change(&mut self, node: NodeId, ifindex: IfIndex, link: Option<LinkId>) {
+        if self.nodes[node.index()].crashed {
+            return;
+        }
         self.with_node(node, |b, ctx| b.on_link_change(ctx, ifindex, link));
     }
 
@@ -277,9 +348,30 @@ impl World {
                     self.counters.inc("world.frames_missed_due_to_move");
                     return;
                 }
+                // A link that went down mid-flight destroys the frame.
+                if !self.links[link.index()].up {
+                    self.links[link.index()].stats.record_drop(&frame);
+                    self.counters.inc("faults.frames_dropped_link_down");
+                    return;
+                }
+                // A crashed receiver hears nothing.
+                if self.nodes[node.index()].crashed {
+                    self.links[link.index()].stats.record_drop(&frame);
+                    self.counters.inc("faults.frames_dropped_node_crashed");
+                    return;
+                }
                 self.with_node(node, |b, ctx| b.on_frame(ctx, ifindex, &frame));
             }
-            WorldEvent::Timer { node, key } => {
+            WorldEvent::Timer {
+                node,
+                key,
+                incarnation,
+            } => {
+                let slot = &self.nodes[node.index()];
+                if slot.crashed || slot.incarnation != incarnation {
+                    self.counters.inc("faults.timers_dropped_stale");
+                    return;
+                }
                 self.with_node(node, |b, ctx| b.on_timer(ctx, key));
             }
             WorldEvent::Script(f) => f(self),
@@ -360,13 +452,21 @@ impl Ctx<'_> {
             return false;
         };
         let link = &mut self.world.links[link_id.index()];
+        // A downed link eats the frame at the transmitter.
+        if !link.up {
+            link.stats.record_drop(&frame);
+            self.world.counters.inc("faults.frames_dropped_link_down");
+            return true;
+        }
         link.stats.record(&frame);
+        let params = link.params;
         let iface = &mut self.world.nodes[node.index()].ifaces[usize::from(ifindex)];
-        let (arrival, free) =
-            schedule_transmission(&link.params, now, iface.tx_free, frame.len());
+        let (arrival, free) = schedule_transmission(&params, now, iface.tx_free, frame.len());
         iface.tx_free = free;
-        // Snapshot membership at transmission time.
-        for member in &self.world.links[link_id.index()].members {
+        // Snapshot membership at transmission time. (Cloned so the loss
+        // process below can borrow the link's fault state mutably.)
+        let members = self.world.links[link_id.index()].members.clone();
+        for member in members {
             if member.node == node && member.ifindex == ifindex {
                 continue;
             }
@@ -375,6 +475,22 @@ impl Ctx<'_> {
                 if member.node != to {
                     continue;
                 }
+            }
+            // Fault injection: each receiver copy independently rolls for
+            // loss, and surviving copies may pick up extra jitter.
+            let mut arrival = arrival;
+            let mut dropped = false;
+            if let Some(fault) = self.world.links[link_id.index()].fault.as_mut() {
+                if fault.should_drop() {
+                    dropped = true;
+                } else {
+                    arrival += fault.jitter();
+                }
+            }
+            if dropped {
+                self.world.links[link_id.index()].stats.record_drop(&frame);
+                self.world.counters.inc("faults.frames_dropped_loss");
+                continue;
             }
             self.world.queue.schedule(
                 arrival,
@@ -392,13 +508,7 @@ impl Ctx<'_> {
     /// Arm a timer that fires after `d`, delivering `key` to `on_timer`.
     pub fn set_timer_after(&mut self, d: SimDuration, key: TimerKey) -> EventId {
         let at = self.world.now() + d;
-        self.world.queue.schedule(
-            at,
-            WorldEvent::Timer {
-                node: self.node,
-                key,
-            },
-        )
+        self.set_timer_at(at, key)
     }
 
     /// Arm a timer for an absolute instant.
@@ -408,6 +518,7 @@ impl Ctx<'_> {
             WorldEvent::Timer {
                 node: self.node,
                 key,
+                incarnation: self.world.nodes[self.node.index()].incarnation,
             },
         )
     }
@@ -457,9 +568,7 @@ mod tests {
 
     impl NodeBehavior for Probe {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            self.log
-                .borrow_mut()
-                .push(format!("{}:start", ctx.node));
+            self.log.borrow_mut().push(format!("{}:start", ctx.node));
         }
         fn on_frame(&mut self, ctx: &mut Ctx<'_>, ifindex: IfIndex, frame: &Frame) {
             self.log.borrow_mut().push(format!(
@@ -482,10 +591,9 @@ mod tests {
                 .push(format!("{}:timer {}", ctx.node, key.0));
         }
         fn on_link_change(&mut self, ctx: &mut Ctx<'_>, ifindex: IfIndex, link: Option<LinkId>) {
-            self.log.borrow_mut().push(format!(
-                "{}:linkchange if{} {:?}",
-                ctx.node, ifindex, link
-            ));
+            self.log
+                .borrow_mut()
+                .push(format!("{}:linkchange if{} {:?}", ctx.node, ifindex, link));
         }
         fn as_any(&self) -> &dyn Any {
             self
@@ -549,7 +657,10 @@ mod tests {
         let expect_one_way = SimDuration::from_micros(14);
         assert_eq!(w.now(), SimTime::ZERO + expect_one_way + expect_one_way);
         let log = log.borrow();
-        assert!(log.iter().any(|s| s.starts_with("n0:rx")), "got pong: {log:?}");
+        assert!(
+            log.iter().any(|s| s.starts_with("n0:rx")),
+            "got pong: {log:?}"
+        );
     }
 
     #[test]
@@ -566,8 +677,14 @@ mod tests {
         w.attach(b, 0, l);
         w.start();
         w.with_node(a, |_n, ctx| {
-            ctx.send(0, Frame::new(Bytes::from_static(&[0; 10]), FrameClass::Other));
-            ctx.send(0, Frame::new(Bytes::from_static(&[0; 10]), FrameClass::Other));
+            ctx.send(
+                0,
+                Frame::new(Bytes::from_static(&[0; 10]), FrameClass::Other),
+            );
+            ctx.send(
+                0,
+                Frame::new(Bytes::from_static(&[0; 10]), FrameClass::Other),
+            );
         });
         w.run_to_quiescence(100);
         let log = log.borrow();
@@ -625,12 +742,8 @@ mod tests {
         });
         w.run_until(SimTime::from_secs(3));
         let log = log.borrow();
-        assert!(log
-            .iter()
-            .any(|s| s.contains("n1:linkchange if0 None")));
-        assert!(log
-            .iter()
-            .any(|s| s.contains("n1:linkchange if0 Some(L1)")));
+        assert!(log.iter().any(|s| s.contains("n1:linkchange if0 None")));
+        assert!(log.iter().any(|s| s.contains("n1:linkchange if0 Some(L1)")));
         assert!(log.iter().any(|s| s.starts_with("n1:rx")));
     }
 
@@ -702,6 +815,155 @@ mod tests {
         let mut w = World::new();
         w.run_until(SimTime::from_secs(42));
         assert_eq!(w.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn downed_link_destroys_frames_both_at_send_and_in_flight() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(LinkParams {
+            bandwidth_bps: 100_000_000,
+            delay: SimDuration::from_secs(1), // long flight time
+        });
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log.clone(), false));
+        w.attach(a, 0, l);
+        w.attach(b, 0, l);
+        w.start();
+        // Frame 1 is in flight when the link goes down at t=0.5s.
+        w.at(SimTime::from_millis(1), move |w| {
+            w.with_node(a, |_n, ctx| {
+                ctx.send(0, Frame::new(Bytes::from_static(b"x"), FrameClass::Other));
+            });
+        });
+        w.at(SimTime::from_millis(500), move |w| w.set_link_up(l, false));
+        // Frame 2 is handed to the downed link at t=0.6s.
+        w.at(SimTime::from_millis(600), move |w| {
+            w.with_node(a, |_n, ctx| {
+                assert!(ctx.send(0, Frame::new(Bytes::from_static(b"y"), FrameClass::Other)));
+            });
+        });
+        w.at(SimTime::from_secs(2), move |w| w.set_link_up(l, true));
+        // Frame 3 after the link is back: delivered.
+        w.at(SimTime::from_secs(3), move |w| {
+            w.with_node(a, |_n, ctx| {
+                ctx.send(0, Frame::new(Bytes::from_static(b"z"), FrameClass::Other));
+            });
+        });
+        w.run_until(SimTime::from_secs(5));
+        assert_eq!(w.counters().get("faults.frames_dropped_link_down"), 2);
+        assert_eq!(w.link_stats(l).total_dropped_frames(), 2);
+        let log = log.borrow();
+        assert_eq!(log.iter().filter(|s| s.contains("n1:rx")).count(), 1);
+    }
+
+    #[test]
+    fn crash_kills_timers_and_restart_rebuilds() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(quick_params());
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log.clone(), false));
+        w.attach(a, 0, l);
+        w.attach(b, 0, l);
+        w.start();
+        // b arms a timer for t=2s, then crashes at t=1s.
+        w.with_node(b, |_n, ctx| {
+            ctx.set_timer_after(SimDuration::from_secs(2), TimerKey(7));
+        });
+        w.at(SimTime::from_secs(1), move |w| w.crash_node(b));
+        // Frames to a crashed node vanish.
+        w.at(SimTime::from_millis(1500), move |w| {
+            w.with_node(a, |_n, ctx| {
+                ctx.send(
+                    0,
+                    Frame::new(Bytes::from_static(b"lost"), FrameClass::Other),
+                );
+            });
+        });
+        let log2 = log.clone();
+        w.at(SimTime::from_secs(3), move |w| {
+            w.restart_node(b, Probe::new(log2, false));
+        });
+        // After restart, delivery works and fresh timers fire.
+        w.at(SimTime::from_secs(4), move |w| {
+            w.with_node(a, |_n, ctx| {
+                ctx.send(
+                    0,
+                    Frame::new(Bytes::from_static(b"back"), FrameClass::Other),
+                );
+            });
+            w.with_node(b, |_n, ctx| {
+                ctx.set_timer_after(SimDuration::from_secs(1), TimerKey(8));
+            });
+        });
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.counters().get("faults.frames_dropped_node_crashed"), 1);
+        assert_eq!(w.counters().get("faults.timers_dropped_stale"), 1);
+        let log = log.borrow();
+        assert!(
+            !log.contains(&"n1:timer 7".to_string()),
+            "stale timer fired"
+        );
+        assert!(log.contains(&"n1:timer 8".to_string()), "fresh timer lost");
+        // on_start ran twice (initial + restart), exactly one rx (post-restart).
+        assert_eq!(log.iter().filter(|s| *s == "n1:start").count(), 2);
+        assert_eq!(log.iter().filter(|s| s.starts_with("n1:rx")).count(), 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_are_counted_and_deterministic() {
+        use crate::fault::{LinkFault, LinkFaultState, LossModel};
+        use rand::SeedableRng;
+
+        let run = |seed: u64| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut w = World::new();
+            let l = w.add_link(quick_params());
+            let a = w.add_node(1, Probe::new(log.clone(), false));
+            let b = w.add_node(1, Probe::new(log.clone(), false));
+            w.attach(a, 0, l);
+            w.attach(b, 0, l);
+            w.set_link_fault(
+                l,
+                Some(LinkFaultState::new(
+                    LinkFault {
+                        loss: LossModel::iid(0.3),
+                        jitter: SimDuration::from_micros(50),
+                    },
+                    rand::rngs::SmallRng::seed_from_u64(seed),
+                )),
+            );
+            w.start();
+            for i in 0..200u64 {
+                w.at(SimTime::from_millis(i * 10), move |w| {
+                    w.with_node(a, |_n, ctx| {
+                        ctx.send(
+                            0,
+                            Frame::new(Bytes::from_static(&[0; 8]), FrameClass::Other),
+                        );
+                    });
+                });
+            }
+            w.run_until(SimTime::from_secs(5));
+            let delivered: Vec<String> = log
+                .borrow()
+                .iter()
+                .filter(|s| s.starts_with("n1:rx"))
+                .cloned()
+                .collect();
+            (w.counters().get("faults.frames_dropped_loss"), delivered)
+        };
+
+        let (drops1, rx1) = run(42);
+        let (drops2, rx2) = run(42);
+        let (drops3, _) = run(43);
+        assert_eq!(drops1, drops2, "same seed, same drops");
+        assert_eq!(rx1, rx2, "same seed, same delivery times (incl. jitter)");
+        assert_ne!(drops1, 0, "30% loss on 200 frames must drop some");
+        assert_ne!(drops1 as i64, 200, "and deliver some");
+        assert_ne!(drops1, drops3, "different seed, different sequence");
+        assert_eq!(drops1 + rx1.len() as u64, 200);
     }
 
     #[test]

@@ -75,12 +75,16 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_profiles() {
-        let mut cfg = PimConfig::default();
-        cfg.hello_holdtime = SimDuration::from_secs(10);
+        let cfg = PimConfig {
+            hello_holdtime: SimDuration::from_secs(10),
+            ..PimConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = PimConfig::default();
-        cfg.prune_delay = SimDuration::ZERO;
+        let cfg = PimConfig {
+            prune_delay: SimDuration::ZERO,
+            ..PimConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

@@ -7,10 +7,10 @@
 //! (pseudo-header Internet checksum, as for ICMPv6).
 
 use crate::error::need2;
+use bytes::{BufMut, Bytes, BytesMut};
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_ipv6::error::DecodeError;
 use mobicast_ipv6::packet::{proto, pseudo_header_checksum};
-use bytes::{BufMut, Bytes, BytesMut};
 use mobicast_sim::SimDuration;
 use std::net::Ipv6Addr;
 
@@ -86,7 +86,11 @@ impl PimMessage {
                 let secs = holdtime.as_nanos() / 1_000_000_000;
                 out.put_u16(secs.min(u64::from(u16::MAX)) as u16);
             }
-            PimMessage::JoinPrune { upstream, joins, prunes } => {
+            PimMessage::JoinPrune {
+                upstream,
+                joins,
+                prunes,
+            } => {
                 encode_jp_body(&mut out, *upstream, joins, prunes);
             }
             PimMessage::Graft { upstream, entries } => {
@@ -163,11 +167,10 @@ impl PimMessage {
             }
             TYPE_ASSERT => {
                 need2(body, 40, "PIM assert")?;
-                let group = GroupAddr::try_new(read16(&body[0..16])).ok_or(
-                    DecodeError::Invalid {
+                let group =
+                    GroupAddr::try_new(read16(&body[0..16])).ok_or(DecodeError::Invalid {
                         what: "assert group address",
-                    },
-                )?;
+                    })?;
                 let source = read16(&body[16..32]);
                 let metric_pref = u32::from_be_bytes([body[32], body[33], body[34], body[35]]);
                 let metric = u32::from_be_bytes([body[36], body[37], body[38], body[39]]);
@@ -189,8 +192,8 @@ impl PimMessage {
 fn encode_jp_body(out: &mut BytesMut, upstream: Ipv6Addr, joins: &[Sg], prunes: &[Sg]) {
     out.put_slice(&upstream.octets());
     out.put_u8(0); // reserved
-    // Group the entries by group address, preserving order of first
-    // appearance for determinism.
+                   // Group the entries by group address, preserving order of first
+                   // appearance for determinism.
     let mut groups: Vec<(GroupAddr, Vec<Ipv6Addr>, Vec<Ipv6Addr>)> = Vec::new();
     let slot = |g: GroupAddr, groups: &mut Vec<(GroupAddr, Vec<Ipv6Addr>, Vec<Ipv6Addr>)>| {
         if let Some(i) = groups.iter().position(|(gg, _, _)| *gg == g) {

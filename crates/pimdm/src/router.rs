@@ -405,7 +405,16 @@ impl PimRouter {
                 source,
                 metric_pref,
                 metric,
-            } => self.on_assert(iface, from, *source, *group, *metric_pref, *metric, now, rpf),
+            } => self.on_assert(
+                iface,
+                from,
+                *source,
+                *group,
+                *metric_pref,
+                *metric,
+                now,
+                rpf,
+            ),
         }
     }
 
@@ -490,7 +499,7 @@ impl PimRouter {
         for key in joins {
             if for_me {
                 // Join cancels a pending (or held) prune on this interface.
-                if self.entries.get(key).is_none() {
+                if !self.entries.contains_key(key) {
                     self.ensure_entry(key.0, key.1, now, rpf);
                 }
                 if let Some(e) = self.entries.get_mut(key) {
@@ -528,7 +537,7 @@ impl PimRouter {
         let mut sends = Vec::new();
         let mut acked = Vec::new();
         for key in grafted {
-            if self.entries.get(key).is_none() {
+            if !self.entries.contains_key(key) {
                 self.ensure_entry(key.0, key.1, now, rpf);
             }
             let Some(e) = self.entries.get_mut(key) else {
@@ -625,7 +634,11 @@ impl PimRouter {
         let my_addr = self.ifaces[&iface].my_addr;
         let i_win = (my.metric_pref, my.metric) < (their_pref, their_metric)
             || ((my.metric_pref, my.metric) == (their_pref, their_metric) && my_addr > from);
-        let Some(oif) = self.entries.get_mut(&key).and_then(|e| e.oifs.get_mut(&iface)) else {
+        let Some(oif) = self
+            .entries
+            .get_mut(&key)
+            .and_then(|e| e.oifs.get_mut(&iface))
+        else {
             return sends;
         };
         if i_win {
@@ -692,8 +705,7 @@ impl PimRouter {
                 if let Some(oif) = e.oifs.get_mut(&iface) {
                     oif.prune = DownstreamPrune::NoInfo;
                 }
-                if let (UpstreamState::Pruned { .. }, Some(up)) = (e.upstream_state, e.upstream)
-                {
+                if let (UpstreamState::Pruned { .. }, Some(up)) = (e.upstream_state, e.upstream) {
                     e.upstream_state = UpstreamState::AckPending {
                         retry_at: now + self.cfg.graft_retry,
                     };
@@ -712,9 +724,7 @@ impl PimRouter {
                 // routing protocol", which stops forwarding).
                 let now_empty = self.forward_list(&key).is_empty();
                 let e = self.entries.get_mut(&key).expect("entry");
-                if now_empty
-                    && matches!(e.upstream_state, UpstreamState::Forwarding)
-                {
+                if now_empty && matches!(e.upstream_state, UpstreamState::Forwarding) {
                     if let Some(up) = e.upstream {
                         e.upstream_state = UpstreamState::Pruned {
                             until: now + self.cfg.prune_hold_time,

@@ -67,7 +67,7 @@ fn neighbor(r: &mut PimRouter, iface: u8, addr: &str, now: SimTime) {
     );
 }
 
-fn find_send<'a>(sends: &'a [PimSend], pred: impl Fn(&PimSend) -> bool) -> Option<&'a PimSend> {
+fn find_send(sends: &[PimSend], pred: impl Fn(&PimSend) -> bool) -> Option<&PimSend> {
     sends.iter().find(|s| pred(s))
 }
 
@@ -135,9 +135,10 @@ fn leaf_router_prunes_when_nothing_interested() {
     // No neighbors, no members anywhere: oif list empty.
     let (fwd, sends) = r.on_data(0, a(REMOTE_SRC), g(1), t(1), &rpf);
     assert!(fwd.is_empty());
-    let prune = find_send(&sends, |s| {
-        matches!(&s.msg, PimMessage::JoinPrune { prunes, .. } if !prunes.is_empty())
-    })
+    let prune = find_send(
+        &sends,
+        |s| matches!(&s.msg, PimMessage::JoinPrune { prunes, .. } if !prunes.is_empty()),
+    )
     .expect("prune sent upstream");
     assert_eq!(prune.iface, 0);
     assert_eq!(prune.dest, PimDest::AllRouters);
@@ -255,13 +256,16 @@ fn overheard_prune_schedules_join_override() {
     let dl = r.next_deadline().expect("override scheduled");
     assert!(dl >= t(3) && dl <= t(3) + SimDuration::from_secs(3));
     let sends = r.on_deadline(dl, &rpf);
-    let join = find_send(&sends, |s| {
-        matches!(&s.msg, PimMessage::JoinPrune { joins, .. } if !joins.is_empty())
-    })
+    let join = find_send(
+        &sends,
+        |s| matches!(&s.msg, PimMessage::JoinPrune { joins, .. } if !joins.is_empty()),
+    )
     .expect("join override sent");
     assert_eq!(join.iface, 0);
     match &join.msg {
-        PimMessage::JoinPrune { upstream, joins, .. } => {
+        PimMessage::JoinPrune {
+            upstream, joins, ..
+        } => {
             assert_eq!(*upstream, a("fe80::1"));
             assert_eq!(joins, &vec![(a(REMOTE_SRC), g(1))]);
         }
@@ -318,8 +322,8 @@ fn membership_join_on_pruned_entry_grafts_upstream() {
     assert!(r.snapshot(a(REMOTE_SRC), g(1)).unwrap().upstream_pruned);
     // A member appears on iface 1: graft.
     let sends = r.set_membership(1, g(1), true, t(10), &rpf);
-    let graft = find_send(&sends, |s| matches!(&s.msg, PimMessage::Graft { .. }))
-        .expect("graft sent");
+    let graft =
+        find_send(&sends, |s| matches!(&s.msg, PimMessage::Graft { .. })).expect("graft sent");
     assert_eq!(graft.iface, 0);
     assert_eq!(graft.dest, PimDest::Unicast(a("fe80::1")));
     // Unacknowledged graft retransmits after graft_retry (3 s).
@@ -341,7 +345,9 @@ fn membership_join_on_pruned_entry_grafts_upstream() {
     assert!(!r.snapshot(a(REMOTE_SRC), g(1)).unwrap().upstream_pruned);
     let sends = r.on_deadline(t(20), &rpf);
     assert!(
-        !sends.iter().any(|s| matches!(&s.msg, PimMessage::Graft { .. })),
+        !sends
+            .iter()
+            .any(|s| matches!(&s.msg, PimMessage::Graft { .. })),
         "no more graft retransmissions after ack"
     );
 }
@@ -564,9 +570,10 @@ fn member_leaving_triggers_prune() {
     r.set_membership(1, g(1), true, t(1), &rpf);
     r.on_data(0, a(REMOTE_SRC), g(1), t(2), &rpf);
     let sends = r.set_membership(1, g(1), false, t(10), &rpf);
-    let prune = find_send(&sends, |s| {
-        matches!(&s.msg, PimMessage::JoinPrune { prunes, .. } if !prunes.is_empty())
-    })
+    let prune = find_send(
+        &sends,
+        |s| matches!(&s.msg, PimMessage::JoinPrune { prunes, .. } if !prunes.is_empty()),
+    )
     .expect("prune after last member left");
     assert_eq!(prune.iface, 0);
 }
@@ -615,7 +622,7 @@ fn pruned_interface_recovers_after_hold_time() {
         &rpf,
     );
     r.on_deadline(t(5), &rpf); // prune fires at t=5
-    // Keep the entry and the neighbor alive while the hold time runs out.
+                               // Keep the entry and the neighbor alive while the hold time runs out.
     let mut now = 10;
     while now < 250 {
         r.on_data(0, a(REMOTE_SRC), g(1), t(now), &rpf);
@@ -639,7 +646,10 @@ fn neighbor_expiry_removes_interest() {
     r.on_deadline(t(110), &rpf);
     assert_eq!(r.neighbor_count(1), 0);
     let (fwd, _) = r.on_data(0, a(REMOTE_SRC), g(1), t(111), &rpf);
-    assert!(fwd.is_empty(), "no neighbors, no members: nothing to forward");
+    assert!(
+        fwd.is_empty(),
+        "no neighbors, no members: nothing to forward"
+    );
 }
 
 #[test]

@@ -60,9 +60,9 @@ impl Chain {
         // Bring up neighbor relationships: router i sees router i+1 on its
         // iface 1 (link i+1), and router i+1 sees router i on its iface 0.
         let now = t(0);
-        for i in 0..n {
+        for r in routers.iter_mut().take(n) {
             let mut sends = Vec::new();
-            sends.extend(routers[i].start(now));
+            sends.extend(r.start(now));
             drop(sends); // hellos relayed below
         }
         let mut chain = Chain { routers, now };
@@ -137,11 +137,7 @@ impl Chain {
     fn advance(&mut self, to: SimTime) {
         // Fire deadlines in time order across routers.
         loop {
-            let next = self
-                .routers
-                .iter()
-                .filter_map(|r| r.next_deadline())
-                .min();
+            let next = self.routers.iter().filter_map(|r| r.next_deadline()).min();
             let Some(when) = next else { break };
             if when > to {
                 break;
@@ -238,8 +234,10 @@ fn leave_prunes_back() {
 
 #[test]
 fn reflood_after_prune_hold_expires() {
-    let mut cfg = PimConfig::default();
-    cfg.prune_hold_time = SimDuration::from_secs(30); // shortened for the test
+    let cfg = PimConfig {
+        prune_hold_time: SimDuration::from_secs(30), // shortened for the test
+        ..PimConfig::default()
+    };
     let mut c = Chain::new(2, cfg);
     let _ = c.send_data(g(1));
     c.advance(t(10));

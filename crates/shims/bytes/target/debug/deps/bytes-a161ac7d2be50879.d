@@ -1,0 +1,5 @@
+/root/repo/crates/shims/bytes/target/debug/deps/bytes-a161ac7d2be50879.d: src/lib.rs
+
+/root/repo/crates/shims/bytes/target/debug/deps/bytes-a161ac7d2be50879: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/bytes/target/debug/deps/bytes-f456adf11f558aa8.d: src/lib.rs
+
+/root/repo/crates/shims/bytes/target/debug/deps/libbytes-f456adf11f558aa8.rlib: src/lib.rs
+
+/root/repo/crates/shims/bytes/target/debug/deps/libbytes-f456adf11f558aa8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/crates/shims/criterion/target/debug/deps/criterion-06117031a6101ad2.d: src/lib.rs
+
+/root/repo/crates/shims/criterion/target/debug/deps/criterion-06117031a6101ad2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/criterion/target/debug/deps/criterion-5bbc45523e072bda.d: src/lib.rs
+
+/root/repo/crates/shims/criterion/target/debug/deps/libcriterion-5bbc45523e072bda.rlib: src/lib.rs
+
+/root/repo/crates/shims/criterion/target/debug/deps/libcriterion-5bbc45523e072bda.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/proptest/target/debug/deps/proptest-5a3103ba1d561657.d: src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/libproptest-5a3103ba1d561657.rlib: src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/libproptest-5a3103ba1d561657.rmeta: src/lib.rs
+
+src/lib.rs:

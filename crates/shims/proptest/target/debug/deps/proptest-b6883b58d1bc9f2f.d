@@ -1,0 +1,5 @@
+/root/repo/crates/shims/proptest/target/debug/deps/proptest-b6883b58d1bc9f2f.d: src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/proptest-b6883b58d1bc9f2f: src/lib.rs
+
+src/lib.rs:

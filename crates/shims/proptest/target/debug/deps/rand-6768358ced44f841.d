@@ -1,0 +1,7 @@
+/root/repo/crates/shims/proptest/target/debug/deps/rand-6768358ced44f841.d: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/librand-6768358ced44f841.rlib: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/librand-6768358ced44f841.rmeta: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/rand/src/lib.rs:

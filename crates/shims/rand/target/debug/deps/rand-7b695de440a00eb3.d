@@ -1,0 +1,7 @@
+/root/repo/crates/shims/rand/target/debug/deps/rand-7b695de440a00eb3.d: src/lib.rs
+
+/root/repo/crates/shims/rand/target/debug/deps/librand-7b695de440a00eb3.rlib: src/lib.rs
+
+/root/repo/crates/shims/rand/target/debug/deps/librand-7b695de440a00eb3.rmeta: src/lib.rs
+
+src/lib.rs:

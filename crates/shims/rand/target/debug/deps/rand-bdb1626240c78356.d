@@ -1,0 +1,5 @@
+/root/repo/crates/shims/rand/target/debug/deps/rand-bdb1626240c78356.d: src/lib.rs
+
+/root/repo/crates/shims/rand/target/debug/deps/rand-bdb1626240c78356: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,461 @@
+//! Offline shim for `serde`.
+//!
+//! Instead of serde's visitor architecture this shim serializes directly to
+//! an in-memory JSON [`Value`] tree ([`Serialize::to_json_value`]) and
+//! deserializes from one ([`Deserialize::from_json_value`]). The companion
+//! `serde_json` shim re-exports [`Value`] and provides `json!`,
+//! `to_string_pretty`, `from_value` and `to_value` on top of it. Object
+//! fields keep insertion order, so serialized output is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv6Addr;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// In-memory JSON tree. Object entries preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup used by derived `Deserialize` impls:
+    /// missing key / non-object falls back to `Null` (so `Option` fields
+    /// can absorb absent members).
+    pub fn get_field(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]`: `Null` for non-objects and missing keys (matching
+    /// real serde_json's forgiving indexing).
+    fn index(&self, key: &str) -> &Value {
+        self.get_field(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// `value["key"] = ...`: auto-vivifies `Null` into an object and inserts
+    /// a `Null` placeholder for missing keys, like real serde_json.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Vec::new());
+        }
+        match self {
+            Value::Object(o) => {
+                let pos = match o.iter().position(|(k, _)| k == key) {
+                    Some(pos) => pos,
+                    None => {
+                        o.push((key.to_string(), Value::Null));
+                        o.len() - 1
+                    }
+                };
+                &mut o[pos].1
+            }
+            other => panic!(
+                "cannot index-assign key {key:?} into JSON {}",
+                other.type_name()
+            ),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into a JSON [`Value`].
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Deserialize from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {}"),
+                        v.type_name()
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(concat!("number out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {}"),
+                        v.type_name()
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(concat!("number out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected f64, got {}", v.type_name())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        f64::from_json_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {}", v.type_name())))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", v.type_name())))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+// ---------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", v.type_name())))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_json_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json_value(v).map(Some)
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.type_name())))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Ipv6Addr {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv6Addr {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .ok_or_else(|| Error::custom(format!("expected IPv6 string, got {}", v.type_name())))?
+            .parse()
+            .map_err(|e| Error::custom(format!("bad IPv6 address: {e}")))
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(u32::from_json_value(&42u32.to_json_value()).unwrap(), 42);
+        assert_eq!(i64::from_json_value(&(-7i64).to_json_value()).unwrap(), -7);
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()).unwrap(), 1.5);
+        assert!(bool::from_json_value(&true.to_json_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_json_value(&s.to_json_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_json_value(&v.to_json_value()).unwrap(), v);
+        let a = [1.0f64, 2.0];
+        assert_eq!(<[f64; 2]>::from_json_value(&a.to_json_value()).unwrap(), a);
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), 9u64);
+        assert_eq!(
+            BTreeMap::<String, u64>::from_json_value(&m.to_json_value()).unwrap(),
+            m
+        );
+        assert_eq!(Option::<u64>::from_json_value(&Value::Null).unwrap(), None);
+        let addr: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        assert_eq!(
+            Ipv6Addr::from_json_value(&addr.to_json_value()).unwrap(),
+            addr
+        );
+    }
+
+    #[test]
+    fn index_and_index_mut() {
+        let mut v = Value::Null;
+        v["a"] = Value::U64(1);
+        v["b"] = Value::Str("x".into());
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v[0], Value::Null);
+        let arr = Value::Array(vec![Value::Bool(true)]);
+        assert_eq!(arr[0].as_bool(), Some(true));
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/serde/target/debug/deps/serde-aa85ddd9ccabe3b4.d: src/lib.rs
+
+/root/repo/crates/shims/serde/target/debug/deps/libserde-aa85ddd9ccabe3b4.rlib: src/lib.rs
+
+/root/repo/crates/shims/serde/target/debug/deps/libserde-aa85ddd9ccabe3b4.rmeta: src/lib.rs
+
+src/lib.rs:

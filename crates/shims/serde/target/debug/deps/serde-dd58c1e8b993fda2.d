@@ -1,0 +1,5 @@
+/root/repo/crates/shims/serde/target/debug/deps/serde-dd58c1e8b993fda2.d: src/lib.rs
+
+/root/repo/crates/shims/serde/target/debug/deps/serde-dd58c1e8b993fda2: src/lib.rs
+
+src/lib.rs:

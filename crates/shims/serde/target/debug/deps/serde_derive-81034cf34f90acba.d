@@ -1,0 +1,5 @@
+/root/repo/crates/shims/serde/target/debug/deps/serde_derive-81034cf34f90acba.d: /root/repo/crates/shims/serde_derive/src/lib.rs
+
+/root/repo/crates/shims/serde/target/debug/deps/libserde_derive-81034cf34f90acba.so: /root/repo/crates/shims/serde_derive/src/lib.rs
+
+/root/repo/crates/shims/serde_derive/src/lib.rs:

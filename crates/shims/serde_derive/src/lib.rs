@@ -1,0 +1,304 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Dependency-free (no syn/quote): parses the derive input token stream by
+//! hand. Supports exactly the shapes this workspace uses — non-generic named
+//! structs, tuple structs, and unit enums, none carrying `#[serde(...)]`
+//! attributes — and maps them to the JSON data model of the `serde` shim:
+//! named struct -> object (declaration order), 1-field tuple struct -> the
+//! inner value (newtype), n-field tuple struct -> array, unit enum -> the
+//! variant name as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named struct: field names in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Enum of unit variants only.
+    UnitEnum(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments arrive as #[doc = ...]) and
+    // visibility modifiers ahead of the struct/enum keyword.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, possibly followed by a `(crate)` group.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: no struct/enum found"),
+        }
+    };
+
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+
+    match toks.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic type `{name}` is not supported")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let shape = if kind == "struct" {
+                Shape::Named(parse_named_fields(g.stream()))
+            } else {
+                Shape::UnitEnum(parse_unit_variants(g.stream(), &name))
+            };
+            Item { name, shape }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(kind, "struct", "serde shim derive: bad item shape");
+            Item {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            }
+        }
+        other => panic!("serde shim derive: unsupported shape for `{name}`: {other:?}"),
+    }
+}
+
+/// Field names of a named struct, in declaration order. Skips per-field
+/// attributes and visibility; tracks `<`/`>` depth so commas inside generic
+/// types (e.g. `BTreeMap<String, u64>`) don't split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde shim derive: unexpected field token {other:?}"),
+                None => return fields,
+            }
+        };
+        fields.push(name);
+        // Consume `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                }
+                _ => saw_tokens = true,
+            },
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Variant names of a unit enum; payload-carrying variants are rejected.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match toks.next() {
+                    None | Some(TokenTree::Punct(_)) => {}
+                    Some(TokenTree::Group(_)) => panic!(
+                        "serde shim derive: enum `{enum_name}` has a payload variant; \
+                         only unit enums are supported"
+                    ),
+                    Some(other) => {
+                        panic!("serde shim derive: unexpected token {other:?} in `{enum_name}`")
+                    }
+                }
+            }
+            Some(TokenTree::Punct(_)) => {}
+            Some(other) => panic!("serde shim derive: unexpected token {other:?}"),
+            None => return variants,
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    write!(
+        out,
+        "impl ::serde::Serialize for {name} {{ fn to_json_value(&self) -> ::serde::Value {{"
+    )
+    .unwrap();
+    match &item.shape {
+        Shape::Named(fields) => {
+            out.push_str("let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();");
+            for f in fields {
+                write!(
+                    out,
+                    "fields.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f})));"
+                )
+                .unwrap();
+            }
+            out.push_str("::serde::Value::Object(fields)");
+        }
+        Shape::Tuple(1) => {
+            out.push_str("::serde::Serialize::to_json_value(&self.0)");
+        }
+        Shape::Tuple(n) => {
+            out.push_str(
+                "let mut items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();",
+            );
+            for i in 0..*n {
+                write!(
+                    out,
+                    "items.push(::serde::Serialize::to_json_value(&self.{i}));"
+                )
+                .unwrap();
+            }
+            out.push_str("::serde::Value::Array(items)");
+        }
+        Shape::UnitEnum(variants) => {
+            out.push_str("match self {");
+            for v in variants {
+                write!(
+                    out,
+                    "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                )
+                .unwrap();
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("} }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{ fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{"
+    )
+    .unwrap();
+    match &item.shape {
+        Shape::Named(fields) => {
+            write!(out, "::std::result::Result::Ok({name} {{").unwrap();
+            for f in fields {
+                write!(
+                    out,
+                    "{f}: ::serde::Deserialize::from_json_value(v.get_field(\"{f}\"))?,"
+                )
+                .unwrap();
+            }
+            out.push_str("})");
+        }
+        Shape::Tuple(1) => {
+            write!(
+                out,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))"
+            )
+            .unwrap();
+        }
+        Shape::Tuple(n) => {
+            write!(
+                out,
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\
+                 if arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\
+                 ::std::result::Result::Ok({name}("
+            )
+            .unwrap();
+            for i in 0..*n {
+                write!(out, "::serde::Deserialize::from_json_value(&arr[{i}])?,").unwrap();
+            }
+            out.push_str("))");
+        }
+        Shape::UnitEnum(variants) => {
+            write!(
+                out,
+                "match v.as_str().ok_or_else(|| ::serde::Error::custom(\"expected string for {name}\"))? {{"
+            )
+            .unwrap();
+            for v in variants {
+                write!(out, "\"{v}\" => ::std::result::Result::Ok({name}::{v}),").unwrap();
+            }
+            write!(
+                out,
+                "other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant: {{other}}\"))), }}"
+            )
+            .unwrap();
+        }
+    }
+    out.push_str("} }");
+    out
+}

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/serde_json/target/debug/deps/serde-19ded39faed1008b.d: /root/repo/crates/shims/serde/src/lib.rs
+
+/root/repo/crates/shims/serde_json/target/debug/deps/libserde-19ded39faed1008b.rlib: /root/repo/crates/shims/serde/src/lib.rs
+
+/root/repo/crates/shims/serde_json/target/debug/deps/libserde-19ded39faed1008b.rmeta: /root/repo/crates/shims/serde/src/lib.rs
+
+/root/repo/crates/shims/serde/src/lib.rs:

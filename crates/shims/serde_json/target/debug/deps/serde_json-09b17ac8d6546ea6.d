@@ -1,0 +1,7 @@
+/root/repo/crates/shims/serde_json/target/debug/deps/serde_json-09b17ac8d6546ea6.d: src/lib.rs
+
+/root/repo/crates/shims/serde_json/target/debug/deps/libserde_json-09b17ac8d6546ea6.rlib: src/lib.rs
+
+/root/repo/crates/shims/serde_json/target/debug/deps/libserde_json-09b17ac8d6546ea6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/crates/shims/serde_json/target/debug/deps/serde_json-548f1d2c66c1522d.d: src/lib.rs
+
+/root/repo/crates/shims/serde_json/target/debug/deps/serde_json-548f1d2c66c1522d: src/lib.rs
+
+src/lib.rs:

@@ -28,6 +28,8 @@ pub enum TraceCategory {
     App,
     /// Simulation harness bookkeeping.
     Harness,
+    /// Injected faults (loss bursts, link flaps, crashes).
+    Fault,
 }
 
 impl fmt::Display for TraceCategory {
@@ -41,6 +43,7 @@ impl fmt::Display for TraceCategory {
             TraceCategory::Mobility => "move",
             TraceCategory::App => "app",
             TraceCategory::Harness => "sim",
+            TraceCategory::Fault => "fault",
         };
         f.write_str(s)
     }
