@@ -1,0 +1,17 @@
+//! Chaos campaign: randomized fault + mobility schedules for every
+//! Table-1 approach under the invariant oracle. Exits non-zero if any
+//! oracle violation is found, so CI can gate on it. Pass --quick for a
+//! reduced seed set.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let out = mobicast_core::experiments::chaos::run(mobicast_bench::quick_flag());
+    mobicast_bench::emit(&out);
+    let violations = out.json["total_violations"].as_u64().unwrap_or(u64::MAX);
+    if violations > 0 {
+        eprintln!("chaos: {violations} invariant violation(s) — see results/chaos.json");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -170,6 +170,9 @@ pub struct RunReport {
     pub link_bytes: Vec<BTreeMap<String, u64>>,
     /// Per-link frame copies destroyed by fault injection, by class name.
     pub link_drops: Vec<BTreeMap<String, u64>>,
+    /// Invariant-oracle verdict and counters (duplicates observed, max
+    /// tunnel depth, worst leave delay, stale-state lifetimes).
+    pub oracle: crate::oracle::OracleSummary,
 }
 
 impl RunReport {

@@ -3,6 +3,7 @@
 //! returns a rendered report plus machine-readable JSON; the binaries in
 //! `mobicast-bench` print them and write `results/<id>.json`.
 
+pub mod chaos;
 pub mod fault_sweep;
 pub mod fig1;
 pub mod fig2;
@@ -49,5 +50,6 @@ pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
         sender_cost::run(quick),
         mobility_rate::run(quick),
         fault_sweep::run(quick),
+        chaos::run(quick),
     ]
 }

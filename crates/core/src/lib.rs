@@ -23,10 +23,12 @@
 pub mod addressing;
 pub mod analysis;
 pub mod builder;
+pub mod chaos;
 pub mod experiments;
 pub mod host_node;
 pub mod mobility;
 pub mod netplan;
+pub mod oracle;
 pub mod recorder;
 pub mod report;
 pub mod router_node;
@@ -37,6 +39,7 @@ pub mod sweep;
 pub use analysis::{Analysis, RunReport};
 pub use builder::{build, BuiltNetwork, HostSpec, NetworkSpec};
 pub use host_node::{HostConfig, HostNode, SenderApp};
+pub use oracle::{Oracle, OracleSummary};
 pub use router_node::{RouterConfig, RouterNode};
 pub use scenario::{run, Move, PaperHost, ScenarioConfig, ScenarioResult};
 pub use strategy::{RecvPath, SendPath, Strategy};

@@ -376,6 +376,35 @@ impl RouterNode {
         }
     }
 
+    /// Encapsulate `inner` toward `dst`, enforcing the RFC 2473 Tunnel
+    /// Encapsulation Limit. On refusal the packet is discarded and an ICMPv6
+    /// Parameter Problem (code 0, pointer at the exhausted limit option,
+    /// RFC 2473 §6.7) is sent to the inner source.
+    fn encap_checked(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        inner: &Packet,
+    ) -> Option<Packet> {
+        match tunnel::encapsulate_limited(src, dst, inner) {
+            Ok(outer) => Some(outer),
+            Err(tunnel::EncapLimitExceeded) => {
+                self.recorder.count("tunnel.encap_limit_exceeded", 1);
+                ctx.trace(TraceCategory::MobileIp, || {
+                    format!("encap limit exhausted tunnelling {} to {dst}", inner.src)
+                });
+                // Pointer: fixed header (40) + destination-options header
+                // (2) = offset of the Tunnel Encapsulation Limit option.
+                let body = Icmpv6::ParamProblem { pointer: 42 }.encode(src, inner.src);
+                let report = Packet::new(src, inner.src, proto::ICMPV6, body);
+                self.recorder.count("tunnel.param_problem_sent", 1);
+                self.route_unicast(ctx, report, None);
+                None
+            }
+        }
+    }
+
     /// Forward a unicast packet according to the routing table, applying
     /// home-agent interception for destinations on attached (home) links.
     fn route_unicast(&mut self, ctx: &mut Ctx<'_>, mut packet: Packet, parent: Option<u64>) {
@@ -396,7 +425,9 @@ impl RouterNode {
                         return;
                     };
                     let src = self.ifaces[usize::from(out_route.iface)].global;
-                    let outer = tunnel::encapsulate(src, coa, &packet);
+                    let Some(outer) = self.encap_checked(ctx, src, coa, &packet) else {
+                        return;
+                    };
                     self.recorder.count("ha.unicast_tunnel_encap", 1);
                     self.route_unicast(ctx, outer, parent);
                     return;
@@ -454,7 +485,9 @@ impl RouterNode {
                     continue;
                 };
                 let src = self.ifaces[usize::from(out_route.iface)].global;
-                let outer = tunnel::encapsulate(src, coa, packet);
+                let Some(outer) = self.encap_checked(ctx, src, coa, packet) else {
+                    continue;
+                };
                 self.recorder.count("ha.mcast_tunnel_encap", 1);
                 self.route_unicast(ctx, outer, parent);
             }
@@ -541,7 +574,9 @@ impl RouterNode {
                     continue;
                 };
                 let src = self.ifaces[usize::from(out_route.iface)].global;
-                let outer = tunnel::encapsulate(src, coa, packet);
+                let Some(outer) = self.encap_checked(ctx, src, coa, packet) else {
+                    continue;
+                };
                 self.recorder.count("ha.mcast_tunnel_encap", 1);
                 self.route_unicast(ctx, outer, parent);
             }

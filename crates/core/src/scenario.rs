@@ -5,6 +5,7 @@
 use crate::analysis::{analyze, RunReport};
 use crate::builder::{apply_fault_plan, build, BuiltNetwork, HostSpec, NetworkSpec};
 use crate::host_node::{HostConfig, HostNode, SenderApp};
+use crate::oracle::{FinalizeParams, Oracle};
 use crate::router_node::{RouterConfig, RouterNode};
 use crate::strategy::Strategy;
 use mobicast_ipv6::addr::GroupAddr;
@@ -73,6 +74,10 @@ pub struct ScenarioConfig {
     /// Fault schedule (loss, jitter, link flaps, router crashes); the
     /// default injects nothing.
     pub fault: FaultPlan,
+    /// Run the network-wide invariant oracle (on by default; every run is
+    /// checked for forwarding loops, persistent duplicates, stale state,
+    /// binding staleness and unbounded encapsulation).
+    pub oracle: bool,
     /// Optional tracer (None = silent).
     pub tracer: Option<Tracer>,
 }
@@ -92,6 +97,7 @@ impl Default for ScenarioConfig {
             moves: Vec::new(),
             extra_receivers: 0,
             fault: FaultPlan::default(),
+            oracle: true,
             tracer: None,
         }
     }
@@ -182,12 +188,48 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioResult {
         }
     }
 
+    let oracle = cfg.oracle.then(|| {
+        Oracle::attach(
+            &mut net.world,
+            net.routers.clone(),
+            SimTime::ZERO + cfg.duration,
+        )
+    });
+
     net.world.run_until(SimTime::ZERO + cfg.duration);
-    finish(cfg, net)
+    finish_with(cfg, net, oracle)
+}
+
+/// Reconvergence margin demanded after the last scheduled disturbance
+/// before the oracle judges duplicates as persistent.
+const SETTLE_MARGIN_SECS: f64 = 30.0;
+/// Time granted after traffic start for the initial flood's asserts.
+const ASSERT_SETTLE_SECS: f64 = 15.0;
+
+/// The instant after which the run must be disturbance-free: every move,
+/// fault window, flap and crash has cleared, plus a margin.
+fn settle_time(cfg: &ScenarioConfig) -> SimTime {
+    let mut s = cfg.traffic_start.as_secs_f64() + ASSERT_SETTLE_SECS;
+    for mv in &cfg.moves {
+        s = s.max(mv.at_secs + SETTLE_MARGIN_SECS);
+    }
+    if let Some(bound) = cfg.fault.recovery_bound_secs() {
+        s = s.max(bound + SETTLE_MARGIN_SECS);
+    }
+    SimTime::from_nanos((s * 1e9) as u64)
 }
 
 /// Collect results from a finished network.
 pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
+    finish_with(cfg, net, None)
+}
+
+/// As [`finish`], folding in the run's oracle verdict when one was attached.
+fn finish_with(
+    cfg: &ScenarioConfig,
+    net: BuiltNetwork,
+    oracle: Option<std::rc::Rc<Oracle>>,
+) -> ScenarioResult {
     let BuiltNetwork {
         world,
         routers,
@@ -200,6 +242,36 @@ pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
 
     let rec = recorder.take();
     let analysis = analyze(&rec, &graph, links.len());
+
+    // The oracle's post-run pass: loop-freedom, persistent duplicates,
+    // and the leave-delay bound, judged against the recorded ground truth.
+    let oracle_summary = match oracle {
+        Some(o) => {
+            let receivers: Vec<_> = hosts
+                .iter()
+                .enumerate()
+                .skip(1) // index 0 is the sender S
+                .map(|(i, id)| {
+                    let home = if i < PaperHost::ALL.len() {
+                        PaperHost::ALL[i].home_link_index()
+                    } else {
+                        PaperHost::R3.home_link_index()
+                    };
+                    (*id, links[home])
+                })
+                .collect();
+            o.finalize(
+                &rec,
+                &FinalizeParams {
+                    settle: settle_time(cfg),
+                    t_mli: cfg.mld.multicast_listener_interval(),
+                    receivers,
+                    end: SimTime::ZERO + cfg.duration,
+                },
+            )
+        }
+        None => Default::default(),
+    };
 
     let mut counters = rec.counters.clone();
     counters.merge(world.counters());
@@ -318,6 +390,7 @@ pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
             series,
             link_bytes,
             link_drops,
+            oracle: oracle_summary,
         },
         received,
         duplicates,
@@ -384,6 +457,14 @@ mod tests {
                 r.report.counters.get("faults.frames_dropped_loss") > 50,
                 "{}: loss injection inactive",
                 strategy.name()
+            );
+            // The invariant oracle watched the whole run and found nothing.
+            assert!(r.report.oracle.enabled);
+            assert!(
+                r.report.oracle.violations.is_empty(),
+                "{}: oracle violations {:?}",
+                strategy.name(),
+                r.report.oracle.violations
             );
         }
     }
@@ -480,6 +561,111 @@ mod tests {
             r.report.counters.get("steady.deliveries_expected")
         );
         assert!(r.report.counters.get("steady.deliveries_expected") > 0);
+        assert!(
+            r.report.oracle.violations.is_empty(),
+            "oracle violations {:?}",
+            r.report.oracle.violations
+        );
+    }
+
+    /// Drop-first-transmission test for the unsolicited MLD Report: R3's
+    /// arrival link (the paper's Link 6) is down when it gets there, so
+    /// the Report it sends on arrival is destroyed. RFC 2710's robustness
+    /// retransmission (a second unsolicited Report one Unsolicited Report
+    /// Interval, 10 s, later) must re-establish membership — far sooner
+    /// than the 125 s general-Query interval would.
+    #[test]
+    fn mld_report_drop_first_retransmission_rejoins() {
+        let plan = FaultPlan {
+            flaps: vec![LinkFlap {
+                link: 5, // 0-based: the paper's Link 6, R3's arrival link
+                down_at_secs: 29.5,
+                up_at_secs: 31.5,
+            }],
+            ..FaultPlan::default()
+        };
+        let r = run(&faulty_cfg(Strategy::LOCAL, plan));
+        // The arrival-time Report (and the window's data) died on the
+        // downed link.
+        assert!(r.report.counters.get("faults.frames_dropped_link_down") > 0);
+        // Membership came back via the retransmitted Report: recovery sits
+        // in the unsolicited-retransmission range, nowhere near the 125 s
+        // Query interval fallback.
+        let rejoin = r.report.mean("rejoin_recovery");
+        assert!(
+            (5.0..30.0).contains(&rejoin),
+            "rejoin recovery {rejoin}s not in unsolicited-report range"
+        );
+        assert!(r.received["R3"] > 100, "R3 got {}", r.received["R3"]);
+        assert_eq!(
+            r.report.counters.get("steady.deliveries_observed"),
+            r.report.counters.get("steady.deliveries_expected")
+        );
+        assert!(
+            r.report.oracle.violations.is_empty(),
+            "oracle violations {:?}",
+            r.report.oracle.violations
+        );
+    }
+
+    /// Router crash in the middle of an active PIM-DM assert: routers B
+    /// and C sit in parallel between Links 2 and 3, so the initial flood
+    /// triggers an assert that C (higher address) wins. Crashing the
+    /// assert *loser* B and restarting it blank makes it reflood onto the
+    /// shared link — duplicating datagrams until the re-run assert elects
+    /// C again. The oracle checks the duplicates are transient and the
+    /// steady state returns to exactly-once delivery.
+    #[test]
+    fn crash_during_assert_reelects_winner_without_persistent_duplicates() {
+        let crashed = ScenarioConfig {
+            duration: SimDuration::from_secs(150),
+            fault: FaultPlan {
+                crashes: vec![RouterCrash {
+                    router: 1, // B: the assert loser on the shared link
+                    crash_at_secs: 40.0,
+                    restart_at_secs: 50.0,
+                }],
+                ..FaultPlan::default()
+            },
+            ..ScenarioConfig::default()
+        };
+        let baseline = ScenarioConfig {
+            duration: SimDuration::from_secs(150),
+            ..ScenarioConfig::default()
+        };
+        let rc = run(&crashed);
+        let rb = run(&baseline);
+        assert_eq!(rc.report.counters.get("faults.node_crashes"), 1);
+        assert_eq!(rc.report.counters.get("faults.node_restarts"), 1);
+        // The restart re-ran the assert election (extra Assert messages
+        // beyond the baseline's initial exchange) ...
+        assert!(
+            rc.report.counters.get("pim.sent.assert") > rb.report.counters.get("pim.sent.assert"),
+            "no assert re-election after restart"
+        );
+        // ... and the blank router's reflood duplicated datagrams on the
+        // shared link until the election resolved.
+        assert!(
+            rc.report.oracle.duplicates_observed > rb.report.oracle.duplicates_observed,
+            "restart reflood produced no duplicates ({} vs baseline {})",
+            rc.report.oracle.duplicates_observed,
+            rb.report.oracle.duplicates_observed
+        );
+        // Duplicates were transient: once the assert settled, delivery is
+        // exactly-once again and the oracle saw no persistent duplication,
+        // loops, or stale state.
+        assert_eq!(
+            rc.report.counters.get("steady.deliveries_observed"),
+            rc.report.counters.get("steady.deliveries_expected")
+        );
+        assert!(rc.report.counters.get("steady.deliveries_expected") > 0);
+        for r in [&rc, &rb] {
+            assert!(
+                r.report.oracle.violations.is_empty(),
+                "oracle violations {:?}",
+                r.report.oracle.violations
+            );
+        }
     }
 
     /// Same seed, same faults: the entire report (drop counts, delivery

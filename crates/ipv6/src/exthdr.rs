@@ -18,6 +18,9 @@ use std::net::Ipv6Addr;
 pub const OPT_PAD1: u8 = 0;
 /// Option type: PadN.
 pub const OPT_PADN: u8 = 1;
+/// Option type: Tunnel Encapsulation Limit (RFC 2473 §4.1.1) — carried in a
+/// Destination Options header of a tunnel packet; bounds further nesting.
+pub const OPT_TUNNEL_ENCAP_LIMIT: u8 = 4;
 /// Option type: Router Alert (RFC 2711) — carried in Hop-by-Hop for MLD.
 pub const OPT_ROUTER_ALERT: u8 = 5;
 /// Option type: Binding Update (Mobile IPv6 draft).
@@ -191,6 +194,10 @@ pub enum Option6 {
     PadN(u8),
     /// Router alert value (0 = MLD).
     RouterAlert(u16),
+    /// RFC 2473 Tunnel Encapsulation Limit: how many further tunnel levels
+    /// this packet may be wrapped in. An encapsulator seeing 0 must discard
+    /// the packet and send an ICMPv6 Parameter Problem to the inner source.
+    TunnelEncapLimit(u8),
     BindingUpdate(BindingUpdate),
     BindingAck(BindingAck),
     BindingRequest,
@@ -217,6 +224,11 @@ impl Option6 {
                 out.put_u8(OPT_ROUTER_ALERT);
                 out.put_u8(2);
                 out.put_u16(*v);
+            }
+            Option6::TunnelEncapLimit(limit) => {
+                out.put_u8(OPT_TUNNEL_ENCAP_LIMIT);
+                out.put_u8(1);
+                out.put_u8(*limit);
             }
             Option6::BindingUpdate(bu) => {
                 let mut body = BytesMut::new();
@@ -265,6 +277,10 @@ impl Option6 {
             OPT_ROUTER_ALERT => {
                 need(data, 2, "router alert option")?;
                 Ok(Option6::RouterAlert(u16::from_be_bytes([data[0], data[1]])))
+            }
+            OPT_TUNNEL_ENCAP_LIMIT => {
+                need(data, 1, "tunnel encapsulation limit option")?;
+                Ok(Option6::TunnelEncapLimit(data[0]))
             }
             OPT_BINDING_UPDATE => {
                 need(data, 8, "binding update option")?;
@@ -471,6 +487,7 @@ fn encoded_option_len(o: &Option6) -> usize {
     match o {
         Option6::PadN(n) => usize::from(*n),
         Option6::RouterAlert(_) => 4,
+        Option6::TunnelEncapLimit(_) => 3,
         Option6::BindingUpdate(bu) => {
             2 + 8
                 + bu.sub_options
@@ -607,6 +624,14 @@ mod tests {
             addresses: vec!["2001:db8:6::abcd".parse().unwrap()],
         });
         assert_eq!(roundtrip(&h), h);
+    }
+
+    #[test]
+    fn tunnel_encap_limit_roundtrip() {
+        let h = ExtHeader::DestinationOptions(vec![Option6::TunnelEncapLimit(4)]);
+        assert_eq!(roundtrip(&h), h);
+        let zero = ExtHeader::DestinationOptions(vec![Option6::TunnelEncapLimit(0)]);
+        assert_eq!(roundtrip(&zero), zero);
     }
 
     #[test]

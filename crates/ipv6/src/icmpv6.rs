@@ -19,6 +19,9 @@ pub const TYPE_MLD_DONE: u8 = 132;
 pub const TYPE_ROUTER_SOLICIT: u8 = 133;
 /// ICMPv6 type: Router Advertisement.
 pub const TYPE_ROUTER_ADVERT: u8 = 134;
+/// ICMPv6 type: Parameter Problem (RFC 2463 §3.4). Sent by a tunnel entry
+/// node whose Tunnel Encapsulation Limit is exhausted (RFC 2473 §6.7).
+pub const TYPE_PARAM_PROBLEM: u8 = 4;
 /// ICMPv6 type: Echo Request.
 pub const TYPE_ECHO_REQUEST: u8 = 128;
 /// ICMPv6 type: Echo Reply.
@@ -55,6 +58,12 @@ pub enum Icmpv6 {
     MldDone {
         group: Ipv6Addr,
     },
+    /// Parameter Problem, code 0 ("erroneous header field encountered").
+    /// `pointer` is the offset of the offending field in the invoking
+    /// packet; RFC 2473 points it at the Tunnel Encapsulation Limit option.
+    ParamProblem {
+        pointer: u32,
+    },
     RouterSolicit,
     RouterAdvert {
         router_lifetime_secs: u16,
@@ -82,6 +91,7 @@ impl Icmpv6 {
             Icmpv6::MldQuery { .. } => TYPE_MLD_QUERY,
             Icmpv6::MldReport { .. } => TYPE_MLD_REPORT,
             Icmpv6::MldDone { .. } => TYPE_MLD_DONE,
+            Icmpv6::ParamProblem { .. } => TYPE_PARAM_PROBLEM,
             Icmpv6::RouterSolicit => TYPE_ROUTER_SOLICIT,
             Icmpv6::RouterAdvert { .. } => TYPE_ROUTER_ADVERT,
             Icmpv6::EchoRequest { .. } => TYPE_ECHO_REQUEST,
@@ -112,6 +122,9 @@ impl Icmpv6 {
                 out.put_u16(0); // max response delay: 0 in reports/done
                 out.put_u16(0);
                 out.put_slice(&group.octets());
+            }
+            Icmpv6::ParamProblem { pointer } => {
+                out.put_u32(*pointer);
             }
             Icmpv6::RouterSolicit => {
                 out.put_u32(0); // reserved
@@ -178,6 +191,12 @@ impl Icmpv6 {
                 need(body, 20, "MLD done")?;
                 Ok(Icmpv6::MldDone {
                     group: read_addr(&body[4..20]),
+                })
+            }
+            TYPE_PARAM_PROBLEM => {
+                need(body, 4, "parameter problem")?;
+                Ok(Icmpv6::ParamProblem {
+                    pointer: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
                 })
             }
             TYPE_ROUTER_SOLICIT => Ok(Icmpv6::RouterSolicit),
@@ -337,6 +356,12 @@ mod tests {
         };
         let wire = m.encode(a("fe80::1"), a("ff1e::1"));
         assert!(Icmpv6::decode(a("fe80::2"), a("ff1e::1"), &wire).is_err());
+    }
+
+    #[test]
+    fn param_problem_roundtrip() {
+        let m = Icmpv6::ParamProblem { pointer: 48 };
+        assert_eq!(roundtrip(&m, a("2001:db8:4::d"), a("2001:db8:1::5")), m);
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub use error::DecodeError;
 pub use exthdr::{BindingAck, BindingUpdate, ExtHeader, Option6, RoutingHeader, SubOption};
 pub use icmpv6::{AdvertisedPrefix, Icmpv6};
 pub use packet::{proto, Packet, DEFAULT_HOP_LIMIT, FIXED_HEADER_LEN};
-pub use tunnel::{decapsulate, encapsulate, is_tunnel, TUNNEL_OVERHEAD};
+pub use tunnel::{
+    decapsulate, encapsulate, encapsulate_limited, is_tunnel, tunnel_encap_limit,
+    EncapLimitExceeded, DEFAULT_ENCAP_LIMIT, TUNNEL_OVERHEAD,
+};
 pub use udp::UdpDatagram;
 
 pub use std::net::Ipv6Addr;

@@ -8,6 +8,7 @@
 //! approaches.
 
 use crate::error::DecodeError;
+use crate::exthdr::{ExtHeader, Option6};
 use crate::packet::{proto, Packet, FIXED_HEADER_LEN};
 use std::net::Ipv6Addr;
 
@@ -15,9 +16,55 @@ use std::net::Ipv6Addr;
 /// IPv6 header).
 pub const TUNNEL_OVERHEAD: usize = FIXED_HEADER_LEN;
 
+/// Default Tunnel Encapsulation Limit (RFC 2473 §6.7 "TunnelEncapLim"):
+/// how many further tunnel levels a packet without an explicit limit option
+/// may be wrapped in.
+pub const DEFAULT_ENCAP_LIMIT: u8 = 4;
+
+/// Encapsulation refused: the inner packet's Tunnel Encapsulation Limit is
+/// exhausted (RFC 2473 §4.1.1). The would-be encapsulator must discard the
+/// packet and report an ICMPv6 Parameter Problem to the inner source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncapLimitExceeded;
+
 /// Encapsulate `inner` in an outer packet from `outer_src` to `outer_dst`.
 pub fn encapsulate(outer_src: Ipv6Addr, outer_dst: Ipv6Addr, inner: &Packet) -> Packet {
     Packet::new(outer_src, outer_dst, proto::IPV6, inner.encode())
+}
+
+/// The Tunnel Encapsulation Limit option of `p`, if it carries one.
+pub fn tunnel_encap_limit(p: &Packet) -> Option<u8> {
+    p.dest_options()?.iter().find_map(|o| match o {
+        Option6::TunnelEncapLimit(l) => Some(*l),
+        _ => None,
+    })
+}
+
+/// Encapsulate with the RFC 2473 §4.1.1 nesting check.
+///
+/// The inner packet's remaining limit is its Tunnel Encapsulation Limit
+/// option if present, else [`DEFAULT_ENCAP_LIMIT`]. A remaining limit of 0
+/// refuses the encapsulation ([`EncapLimitExceeded`]). When the inner packet
+/// is itself a tunnel packet the outer header carries a Tunnel Encapsulation
+/// Limit option of `remaining - 1`, so each nesting level counts down and
+/// recursive encapsulation is bounded. Plain (non-nested) tunnels carry no
+/// option and keep the paper's exact 40-byte overhead.
+pub fn encapsulate_limited(
+    outer_src: Ipv6Addr,
+    outer_dst: Ipv6Addr,
+    inner: &Packet,
+) -> Result<Packet, EncapLimitExceeded> {
+    let remaining = tunnel_encap_limit(inner).unwrap_or(DEFAULT_ENCAP_LIMIT);
+    if remaining == 0 {
+        return Err(EncapLimitExceeded);
+    }
+    let mut outer = encapsulate(outer_src, outer_dst, inner);
+    if is_tunnel(inner) {
+        outer.ext.push(ExtHeader::DestinationOptions(vec![
+            Option6::TunnelEncapLimit(remaining - 1),
+        ]));
+    }
+    Ok(outer)
 }
 
 /// Decapsulate one tunnel level. Fails if the packet is not IPv6-in-IPv6 or
@@ -80,6 +127,44 @@ mod tests {
         assert_eq!(outer.wire_len(), inner.wire_len() + 2 * TUNNEL_OVERHEAD);
         let back = decapsulate(&decapsulate(&outer).unwrap()).unwrap();
         assert_eq!(back, inner);
+    }
+
+    #[test]
+    fn limited_encap_counts_down_and_refuses_at_zero() {
+        let inner = sample_inner();
+        // First level: plain tunnel, no option, exact 40-byte overhead.
+        let t1 = encapsulate_limited(a("::1"), a("::2"), &inner).unwrap();
+        assert_eq!(tunnel_encap_limit(&t1), None);
+        assert_eq!(t1.wire_len(), inner.wire_len() + TUNNEL_OVERHEAD);
+        // Nesting attaches a decrementing limit option.
+        let t2 = encapsulate_limited(a("::3"), a("::4"), &t1).unwrap();
+        assert_eq!(tunnel_encap_limit(&t2), Some(DEFAULT_ENCAP_LIMIT - 1));
+        let mut level = t2;
+        for expect in (0..DEFAULT_ENCAP_LIMIT - 1).rev() {
+            level = encapsulate_limited(a("::5"), a("::6"), &level).unwrap();
+            assert_eq!(tunnel_encap_limit(&level), Some(expect));
+        }
+        // Remaining limit 0: further encapsulation is refused.
+        assert_eq!(
+            encapsulate_limited(a("::7"), a("::8"), &level),
+            Err(EncapLimitExceeded)
+        );
+        // The whole nest still unwraps back to the original packet.
+        let mut p = level;
+        while is_tunnel(&p) {
+            p = decapsulate(&p).unwrap();
+        }
+        assert_eq!(p, inner);
+    }
+
+    #[test]
+    fn limit_option_survives_wire_roundtrip() {
+        let inner = sample_inner();
+        let t1 = encapsulate_limited(a("::1"), a("::2"), &inner).unwrap();
+        let t2 = encapsulate_limited(a("::3"), a("::4"), &t1).unwrap();
+        let parsed = Packet::decode(&t2.encode()).unwrap();
+        assert_eq!(tunnel_encap_limit(&parsed), Some(DEFAULT_ENCAP_LIMIT - 1));
+        assert_eq!(decapsulate(&parsed).unwrap(), t1);
     }
 
     #[test]

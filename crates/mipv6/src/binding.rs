@@ -57,6 +57,12 @@ impl BindingCache {
         self.entries.get(&home)
     }
 
+    /// All `(home, entry)` pairs, in home-address order (oracle freshness
+    /// checks walk the whole cache).
+    pub fn entries(&self) -> impl Iterator<Item = (&Ipv6Addr, &BindingEntry)> {
+        self.entries.iter()
+    }
+
     /// Care-of addresses of every binding subscribed to `group`, in home
     /// address order (the fan-out set for tunnelled multicast).
     pub fn subscribers(&self, group: GroupAddr) -> Vec<(Ipv6Addr, Ipv6Addr)> {

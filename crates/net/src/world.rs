@@ -14,6 +14,43 @@ use crate::ids::{IfIndex, LinkId, NodeId, TimerKey};
 use crate::link::{schedule_transmission, Link, LinkParams, LinkStats};
 use mobicast_sim::{Counters, EventId, EventQueue, SimDuration, SimTime, TraceCategory, Tracer};
 use std::any::Any;
+use std::rc::Rc;
+
+/// Passive observer of the event loop: sees every frame handed to a link and
+/// every frame delivered to a node, before the receiving behavior runs.
+///
+/// Probes must not mutate the world (they get no `Ctx`); an invariant oracle
+/// uses interior mutability to accumulate its model, exactly like the trace
+/// recorder. All methods default to no-ops so probes implement only what
+/// they watch.
+pub trait WorldProbe {
+    /// `node` transmitted `frame` on `ifindex` onto `link` at time `now`.
+    /// Called once per transmission, before per-member loss is rolled.
+    fn on_transmit(
+        &self,
+        now: SimTime,
+        node: NodeId,
+        ifindex: IfIndex,
+        link: LinkId,
+        frame: &Frame,
+    ) {
+        let _ = (now, node, ifindex, link, frame);
+    }
+
+    /// `frame` is about to be delivered to `node` on `ifindex` from `link`.
+    /// Not called for frames destroyed by loss, moves, downed links or
+    /// crashed receivers.
+    fn on_deliver(
+        &self,
+        now: SimTime,
+        node: NodeId,
+        ifindex: IfIndex,
+        link: LinkId,
+        frame: &Frame,
+    ) {
+        let _ = (now, node, ifindex, link, frame);
+    }
+}
 
 /// Implemented by every simulated node (host or router stack).
 pub trait NodeBehavior: Any {
@@ -78,6 +115,7 @@ pub struct World {
     links: Vec<Link>,
     tracer: Tracer,
     counters: Counters,
+    probe: Option<Rc<dyn WorldProbe>>,
     started: bool,
 }
 
@@ -95,6 +133,7 @@ impl World {
             links: Vec::new(),
             tracer: Tracer::null(),
             counters: Counters::new(),
+            probe: None,
             started: false,
         }
     }
@@ -273,6 +312,12 @@ impl World {
         &self.counters
     }
 
+    /// Install a [`WorldProbe`] observing all transmissions and deliveries.
+    /// At most one probe is active; installing replaces any previous one.
+    pub fn set_probe(&mut self, probe: Rc<dyn WorldProbe>) {
+        self.probe = Some(probe);
+    }
+
     /// Schedule a closure to run against the world at time `t` (mobility
     /// scripts, workload events).
     pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut World) + 'static) {
@@ -359,6 +404,9 @@ impl World {
                     self.links[link.index()].stats.record_drop(&frame);
                     self.counters.inc("faults.frames_dropped_node_crashed");
                     return;
+                }
+                if let Some(probe) = self.probe.clone() {
+                    probe.on_deliver(self.queue.now(), node, ifindex, link, &frame);
                 }
                 self.with_node(node, |b, ctx| b.on_frame(ctx, ifindex, &frame));
             }
@@ -460,6 +508,9 @@ impl Ctx<'_> {
         }
         link.stats.record(&frame);
         let params = link.params;
+        if let Some(probe) = self.world.probe.clone() {
+            probe.on_transmit(now, node, ifindex, link_id, &frame);
+        }
         let iface = &mut self.world.nodes[node.index()].ifaces[usize::from(ifindex)];
         let (arrival, free) = schedule_transmission(&params, now, iface.tx_free, frame.len());
         iface.tx_free = free;
@@ -964,6 +1015,69 @@ mod tests {
         assert_ne!(drops1 as i64, 200, "and deliver some");
         assert_ne!(drops1, drops3, "different seed, different sequence");
         assert_eq!(drops1 + rx1.len() as u64, 200);
+    }
+
+    #[test]
+    fn probe_sees_transmissions_and_deliveries_but_not_losses() {
+        struct LogProbe(Rc<RefCell<Vec<String>>>);
+        impl WorldProbe for LogProbe {
+            fn on_transmit(
+                &self,
+                now: SimTime,
+                node: NodeId,
+                _ifindex: IfIndex,
+                link: LinkId,
+                frame: &Frame,
+            ) {
+                self.0
+                    .borrow_mut()
+                    .push(format!("tx {node} {link} {}B @{now}", frame.len()));
+            }
+            fn on_deliver(
+                &self,
+                _now: SimTime,
+                node: NodeId,
+                _ifindex: IfIndex,
+                link: LinkId,
+                frame: &Frame,
+            ) {
+                self.0
+                    .borrow_mut()
+                    .push(format!("rx {node} {link} {}B", frame.len()));
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let probe_log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(quick_params());
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log.clone(), false));
+        let c = w.add_node(1, Probe::new(log, false));
+        for n in [a, b, c] {
+            w.attach(n, 0, l);
+        }
+        w.set_probe(Rc::new(LogProbe(probe_log.clone())));
+        w.start();
+        w.with_node(a, |_n, ctx| {
+            ctx.send(
+                0,
+                Frame::new(Bytes::from_static(&[0; 5]), FrameClass::Other),
+            );
+        });
+        // Crash c so its delivery is destroyed: the probe must not see it.
+        w.crash_node(c);
+        w.run_to_quiescence(100);
+        let plog = probe_log.borrow();
+        // One transmission (not one per member), one surviving delivery (b).
+        assert_eq!(
+            plog.iter().filter(|s| s.starts_with("tx")).count(),
+            1,
+            "{plog:?}"
+        );
+        let rx: Vec<&String> = plog.iter().filter(|s| s.starts_with("rx")).collect();
+        assert_eq!(rx.len(), 1, "{plog:?}");
+        assert!(rx[0].contains("n1"), "{plog:?}");
     }
 
     #[test]

@@ -137,6 +137,9 @@ pub struct SgSnapshot {
     /// Interfaces in pruned state.
     pub pruned: Vec<IfIndex>,
     pub upstream_pruned: bool,
+    /// Data-timeout deadline: the entry is deleted when this passes without
+    /// data (the oracle checks no entry outlives it).
+    pub expires: SimTime,
 }
 
 /// The PIM-DM protocol instance of one router.
@@ -221,6 +224,7 @@ impl PimRouter {
             forwarding,
             pruned,
             upstream_pruned: matches!(e.upstream_state, UpstreamState::Pruned { .. }),
+            expires: e.expires,
         })
     }
 

@@ -5,13 +5,26 @@
 //! integer ranges as strategies, `collection::vec`, and the `proptest!` /
 //! `prop_assume!` / `prop_assert!` / `prop_assert_eq!` macros. Each test
 //! runs a fixed number of cases drawn from an RNG seeded by the test name,
-//! so failures are reproducible; there is no shrinking.
+//! so failures are reproducible.
+//!
+//! Failing cases are **shrunk**: [`Strategy::shrink`] proposes simpler
+//! candidate values (integers toward zero, vectors toward fewer elements)
+//! and the runner greedily keeps any candidate that still fails, one
+//! argument at a time, until no candidate fails or the step budget runs
+//! out. The minimized arguments are printed and the minimized case is
+//! re-run un-caught so the original assertion failure propagates.
+//! `prop_map` adapters are opaque to shrinking (the mapping cannot be
+//! inverted); strategies that need good shrinking implement [`Strategy`]
+//! directly with a domain-specific `shrink`.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Cases per `proptest!` test function.
 pub const CASES: usize = 64;
+
+/// Upper bound on candidate evaluations during shrinking of one failure.
+pub const MAX_SHRINK_STEPS: usize = 512;
 
 /// Why a test case did not complete (only rejection, via `prop_assume!`).
 #[derive(Debug)]
@@ -45,6 +58,13 @@ pub trait Strategy {
 
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// Returning an empty vec means the value cannot shrink further.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -70,6 +90,11 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut SmallRng) -> Self;
+
+    /// Simpler candidate values (see [`Strategy::shrink`]).
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_uint {
@@ -78,6 +103,10 @@ macro_rules! impl_arbitrary_uint {
             fn arbitrary(rng: &mut SmallRng) -> Self {
                 use rand::RngCore;
                 rng.next_u64() as $t
+            }
+
+            fn shrink_value(&self) -> Vec<Self> {
+                shrink_int_toward(0, *self)
             }
         }
     )*};
@@ -89,6 +118,10 @@ impl Arbitrary for u128 {
         use rand::RngCore;
         (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
     }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        shrink_int_toward(0, *self)
+    }
 }
 
 impl Arbitrary for bool {
@@ -96,6 +129,41 @@ impl Arbitrary for bool {
         use rand::RngCore;
         rng.next_u64() & 1 == 1
     }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Integer shrink candidates between `low` and `value`, simplest first:
+/// the lower bound itself, the midpoint, and one step down.
+fn shrink_int_toward<T>(low: T, value: T) -> Vec<T>
+where
+    T: Copy
+        + PartialOrd
+        + PartialEq
+        + core::ops::Add<Output = T>
+        + core::ops::Sub<Output = T>
+        + core::ops::Div<Output = T>
+        + From<u8>,
+{
+    let mut out = Vec::new();
+    if value > low {
+        out.push(low);
+        let mid = low + (value - low) / T::from(2u8);
+        if mid > low && mid < value {
+            out.push(mid);
+        }
+        let down = value - T::from(1u8);
+        if out.last() != Some(&down) {
+            out.push(down);
+        }
+    }
+    out
 }
 
 /// Strategy for "any value of `T`".
@@ -111,6 +179,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut SmallRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -120,11 +192,17 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut SmallRng) -> $t {
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(self.start, *value)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut SmallRng) -> $t {
                 rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*self.start(), *value)
             }
         }
     )*};
@@ -144,12 +222,43 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
             let n = rng.random_range(self.len.clone());
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let mut out = Vec::new();
+            // Structurally smaller first: the minimal prefix, half the
+            // excess, then each single-element removal.
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = (min + value.len()) / 2;
+                if half > min && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Then element-wise simplification.
+            for i in 0..value.len() {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -160,7 +269,11 @@ pub mod prelude {
 }
 
 /// Define property tests. Each `fn` body runs [`CASES`] times with fresh
-/// random arguments; `prop_assume!` rejections skip the case.
+/// random arguments; `prop_assume!` rejections skip the case. A failing
+/// case is shrunk (greedily, one argument at a time, within
+/// [`MAX_SHRINK_STEPS`] candidate evaluations), the minimized arguments are
+/// printed, and the minimized case is re-run uncaught so the original
+/// assertion failure propagates. Argument values must be `Clone + Debug`.
 #[macro_export]
 macro_rules! proptest {
     ($(
@@ -172,13 +285,69 @@ macro_rules! proptest {
             fn $name() {
                 let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name)).0;
                 for _case in 0..$crate::CASES {
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // Args live in RefCells so a zero-argument `probe`
+                    // closure can read them all without the macro needing
+                    // nested repetition over the argument list.
+                    $(let $arg =
+                        ::std::cell::RefCell::new($crate::Strategy::generate(&($strat), &mut rng));)+
+                    let probe = || -> bool {
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                            $(let $arg = ::std::clone::Clone::clone(&*$arg.borrow());)+
+                            let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                            // Err is only `Reject` from prop_assume!.
+                            drop(result);
+                        }))
+                        .is_err()
+                    };
+                    // A case fails on panic; `prop_assume!` rejections land
+                    // in Ok(Err(Reject)) and are simply skipped.
+                    if !probe() {
+                        continue;
+                    }
+                    // Greedy shrink: keep any candidate that still fails,
+                    // one argument at a time, until a fixpoint.
+                    let mut steps = 0usize;
+                    let mut progress = true;
+                    while progress && steps < $crate::MAX_SHRINK_STEPS {
+                        progress = false;
+                        $(
+                            if !progress && steps < $crate::MAX_SHRINK_STEPS {
+                                let cands = {
+                                    let current = $arg.borrow();
+                                    $crate::Strategy::shrink(&($strat), &*current)
+                                };
+                                for cand in cands {
+                                    steps += 1;
+                                    let prev = $arg.replace(cand);
+                                    if probe() {
+                                        progress = true;
+                                        break;
+                                    }
+                                    $arg.replace(prev);
+                                    if steps >= $crate::MAX_SHRINK_STEPS {
+                                        break;
+                                    }
+                                }
+                            }
+                        )+
+                    }
+                    ::std::eprintln!(
+                        "proptest: case {} failed; minimized arguments:",
+                        _case
+                    );
+                    $(::std::eprintln!("  {} = {:?}", stringify!($arg), $arg.borrow());)+
+                    // Re-run the minimized case uncaught so the original
+                    // assertion failure propagates with its message.
+                    $(let $arg = $arg.into_inner();)+
                     let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                         $body
                         ::std::result::Result::Ok(())
                     })();
-                    // Err is only `Reject` from prop_assume!: skip the case.
                     drop(result);
+                    ::std::unreachable!("minimized case no longer fails");
                 }
             }
         )*
@@ -228,6 +397,82 @@ mod tests {
             prop_assert!(v.len() < 16);
             prop_assert!(z < 7);
         }
+    }
+
+    #[test]
+    fn integer_shrink_moves_toward_low_bound() {
+        use crate::Strategy;
+        let strat = 5u32..100;
+        let cands = strat.shrink(&80);
+        assert_eq!(cands, vec![5, 42, 79]);
+        assert!(strat.shrink(&5).is_empty(), "at the bound: fully shrunk");
+        let incl = 1u8..=3;
+        assert_eq!(incl.shrink(&3), vec![1, 2]);
+        assert!(any::<bool>().shrink(&false).is_empty());
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+    }
+
+    #[test]
+    fn vec_shrink_prefers_fewer_elements() {
+        use crate::Strategy;
+        let strat = crate::collection::vec(0u32..100, 1..20);
+        let cands = strat.shrink(&vec![7, 50]);
+        // Minimal prefix first, then single removals, then element shrinks.
+        assert_eq!(cands[0], vec![7]);
+        assert!(cands.contains(&vec![50]));
+        assert!(cands.contains(&vec![0, 50]));
+        assert!(strat.shrink(&vec![0]).is_empty(), "minimal and all-zero");
+    }
+
+    #[test]
+    fn greedy_shrink_finds_minimal_failing_vec() {
+        use crate::Strategy;
+        // Property under test: "no element is >= 10". Minimal failing
+        // input is a single element equal to 10.
+        let strat = crate::collection::vec(0u32..100, 0..20);
+        let fails = |v: &Vec<u32>| v.iter().any(|&x| x >= 10);
+        let mut value = vec![3, 50, 7, 12];
+        assert!(fails(&value));
+        let mut progress = true;
+        let mut steps = 0;
+        while progress && steps < crate::MAX_SHRINK_STEPS {
+            progress = false;
+            for cand in strat.shrink(&value) {
+                steps += 1;
+                if fails(&cand) {
+                    value = cand;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        assert_eq!(value, vec![10]);
+    }
+
+    static SHRUNK_LEN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    proptest! {
+        // Deliberately failing property (no #[test] attribute: driven by
+        // `runner_shrinks_failing_case_to_minimum` below). Records the
+        // length of every failing input it sees; the runner's final
+        // uncaught re-run records the minimized one last.
+        fn failing_len_property(v in crate::collection::vec(any::<u8>(), 0..16)) {
+            if v.len() >= 3 {
+                SHRUNK_LEN.store(v.len(), std::sync::atomic::Ordering::SeqCst);
+            }
+            prop_assert!(v.len() < 3);
+        }
+    }
+
+    #[test]
+    fn runner_shrinks_failing_case_to_minimum() {
+        let result = std::panic::catch_unwind(failing_len_property);
+        assert!(result.is_err(), "property must fail");
+        assert_eq!(
+            SHRUNK_LEN.load(std::sync::atomic::Ordering::SeqCst),
+            3,
+            "runner did not shrink the failing vec to its minimal length"
+        );
     }
 
     #[test]

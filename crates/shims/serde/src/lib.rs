@@ -331,6 +331,38 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+// Tuples serialize as fixed-length arrays (matching the real serde).
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| {
+                    Error::custom(format!("expected tuple array, got {}", v.type_name()))
+                })?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_json_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_json_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_json_value).collect())
