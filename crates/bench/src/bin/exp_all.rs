@@ -1,10 +1,57 @@
 //! Runs every experiment of the reproduction in sequence (Figures 1-5,
-//! Table 1, the §4.4 timer sweep and the §4.3.1 sender-cost sweep).
+//! Table 1, the §4.4 timer sweep and the §4.3.1 sender-cost sweep),
+//! timing each one and archiving the full run — tables plus a
+//! per-experiment wall-clock summary — to `results/exp_all_output.txt`.
 //! Pass --quick for reduced sweeps.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mobicast_core::experiments::{self, ExperimentOutput};
+
 fn main() {
     let quick = mobicast_bench::quick_flag();
-    for out in mobicast_core::experiments::run_all(quick) {
+    type Exp = (&'static str, fn(bool) -> ExperimentOutput);
+    let experiments: [Exp; 11] = [
+        ("fig1", |_| experiments::fig1::run()),
+        ("fig2", experiments::fig2::run),
+        ("fig3", |_| experiments::fig3::run()),
+        ("fig4", |_| experiments::fig4::run()),
+        ("fig5", |_| experiments::fig5::run()),
+        ("table1", experiments::table1::run),
+        ("timer_sweep", experiments::timer_sweep::run),
+        ("sender_cost", experiments::sender_cost::run),
+        ("mobility_rate", experiments::mobility_rate::run),
+        ("fault_sweep", experiments::fault_sweep::run),
+        ("chaos", experiments::chaos::run),
+    ];
+
+    let mut archive = String::new();
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let all_start = Instant::now();
+    for (id, run) in experiments {
+        let start = Instant::now();
+        let out = run(quick);
+        let secs = start.elapsed().as_secs_f64();
+        debug_assert_eq!(out.id, id);
+        timings.push((id, secs));
         mobicast_bench::emit(&out);
         println!();
+        let _ = writeln!(archive, "{out}");
+    }
+    let total = all_start.elapsed().as_secs_f64();
+
+    let mut summary = String::from("== timing — wall-clock per experiment ==\n");
+    for (id, secs) in &timings {
+        let _ = writeln!(summary, "{id:<14} {secs:>8.3}s");
+    }
+    let _ = writeln!(summary, "{:<14} {total:>8.3}s", "total");
+    print!("{summary}");
+    let _ = writeln!(archive, "{summary}");
+
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write("results/exp_all_output.txt", &archive) {
+        Ok(()) => eprintln!("(wrote results/exp_all_output.txt)"),
+        Err(e) => eprintln!("warning: could not write results/exp_all_output.txt: {e}"),
     }
 }

@@ -1,0 +1,128 @@
+//! Simulator telemetry benchmark: profiled, trace-exporting runs of the
+//! reference scenarios. Emits `results/BENCH_sim.json` (events/sec, queue
+//! high-water mark, per-handler-category latency histograms) and a
+//! schema-validated JSONL trace per scenario
+//! (`results/trace-<scenario>.jsonl`). Exits non-zero on any oracle
+//! violation or invalid trace line, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use mobicast_core::scenario::{self, ScenarioConfig};
+use mobicast_core::Strategy;
+use mobicast_sim::trace::validate_jsonl_line;
+use serde_json::json;
+
+/// Ring-buffer capacity for the exported trace. Large enough that the
+/// reference scenarios never drop events; drops are reported either way.
+const TRACE_CAPACITY: usize = 1_000_000;
+
+fn profiled(mut cfg: ScenarioConfig, name: &'static str) -> ScenarioConfig {
+    cfg.name = name;
+    cfg.profile = true;
+    cfg.trace_capture = Some(TRACE_CAPACITY);
+    cfg.summary = true;
+    cfg.oracle = true;
+    cfg
+}
+
+/// Run one scenario; returns its BENCH_sim entry, or `Err` with a message
+/// when the oracle or the trace validation fails.
+fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
+    let result = scenario::run(cfg);
+    let name = cfg.name;
+
+    if cfg.oracle && !result.report.oracle.violations.is_empty() {
+        return Err(format!(
+            "{name}: {} oracle violation(s): {:?}",
+            result.report.oracle.violations.len(),
+            result.report.oracle.violations
+        ));
+    }
+
+    let trace = result
+        .trace_jsonl
+        .as_deref()
+        .ok_or_else(|| format!("{name}: no trace captured"))?;
+    let mut lines = 0u64;
+    for (i, line) in trace.lines().enumerate() {
+        validate_jsonl_line(line)
+            .map_err(|e| format!("{name}: invalid trace line {}: {e}: {line}", i + 1))?;
+        lines += 1;
+    }
+    let path = format!("results/trace-{name}.jsonl");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(&path, trace).map_err(|e| format!("{name}: writing {path}: {e}"))?;
+    eprintln!(
+        "(wrote {path}: {lines} lines, {} dropped)",
+        result.trace_dropped
+    );
+
+    let profile = result
+        .profile
+        .ok_or_else(|| format!("{name}: profiling produced no SimProfile"))?;
+    Ok(json!({
+        "profile": profile,
+        "events_executed": result.events_executed,
+        "packets_sent": result.sent,
+        "trace_lines": lines,
+        "trace_dropped": result.trace_dropped,
+        "trace_file": path,
+    }))
+}
+
+fn main() -> ExitCode {
+    // Figure-1 steady state: the flood-and-prune baseline.
+    let fig1 = profiled(
+        ScenarioConfig {
+            duration: mobicast_sim::SimDuration::from_secs(180),
+            ..ScenarioConfig::default()
+        },
+        "fig1",
+    );
+
+    // A fixed chaos plan: loss + flaps + crashes + roaming under the
+    // bidirectional-tunnel approach, the heaviest handler mix.
+    let chaos_seed = 7;
+    let chaos = profiled(
+        mobicast_core::chaos::plan_for_seed(chaos_seed)
+            .config(Strategy::BIDIRECTIONAL_TUNNEL, chaos_seed),
+        "chaos",
+    );
+
+    // A guaranteed handoff: Receiver 3 roams to the foreign Link 6 under
+    // lossy links, exercising the BU/BAck and tunnel encap/decap trace
+    // paths end to end.
+    let handoff = profiled(
+        ScenarioConfig {
+            duration: mobicast_sim::SimDuration::from_secs(120),
+            strategy: Strategy::BIDIRECTIONAL_TUNNEL,
+            moves: vec![scenario::Move {
+                at_secs: 40.0,
+                host: scenario::PaperHost::R3,
+                to_link: 6,
+            }],
+            fault: mobicast_net::FaultPlan::iid_loss(0.02),
+            ..ScenarioConfig::default()
+        },
+        "handoff",
+    );
+
+    let mut scenarios = Vec::new();
+    for cfg in [&fig1, &chaos, &handoff] {
+        match run_one(cfg) {
+            Ok(entry) => scenarios.push((cfg.name.to_string(), entry)),
+            Err(e) => {
+                eprintln!("exp_profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let out = json!({
+        "schema": "mobicast-bench-sim",
+        "version": 1,
+        "scenarios": serde_json::Value::Object(scenarios),
+    });
+    mobicast_core::report::write_json("BENCH_sim", &out);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,102 @@
+//! Packet-journey explainer CLI: re-runs the deterministic handoff
+//! scenario (Receiver 3 roams to Link 6 under the bidirectional-tunnel
+//! approach), then prints the full causal path of one packet — every
+//! emission from the origin to each delivery, wasted flood copies, and
+//! the protocol/fault trace events inside the packet's live window.
+//!
+//! Usage:
+//!   explain                 # explain the first delivered packet
+//!   explain 0x400000007     # explain packet by id (hex or decimal)
+//!   explain --list          # list recorded packet ids and exit
+//!
+//! Packet ids are `origin_host << 32 | sequence`, as recorded in
+//! `RunReport` provenance and printed by `--list`.
+
+use std::process::ExitCode;
+
+use mobicast_core::scenario::{run_with_recorder, Move, PaperHost, ScenarioConfig};
+use mobicast_core::{explain, Strategy};
+use mobicast_sim::{RingBufferTracer, SimDuration};
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        duration: SimDuration::from_secs(120),
+        strategy: Strategy::BIDIRECTIONAL_TUNNEL,
+        moves: vec![Move {
+            at_secs: 40.0,
+            host: PaperHost::R3,
+            to_link: 6,
+        }],
+        fault: mobicast_net::FaultPlan::iid_loss(0.02),
+        name: "handoff",
+        ..ScenarioConfig::default()
+    }
+}
+
+fn parse_pkt(arg: &str) -> Option<u64> {
+    if let Some(hex) = arg.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        arg.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let list = args.iter().any(|a| a == "--list");
+    let pkt_arg = args.iter().find(|a| !a.starts_with("--")).cloned();
+    if pkt_arg.is_none() && !list && !args.is_empty() {
+        eprintln!("usage: explain [pkt_id] [--list]");
+        return ExitCode::FAILURE;
+    }
+
+    let mut cfg = scenario();
+    let (tracer, ring) = RingBufferTracer::new(1_000_000);
+    cfg.tracer = Some(tracer);
+    let (_, rec) = run_with_recorder(&cfg);
+    let trace = ring.drain();
+
+    if list {
+        for m in &rec.packets {
+            println!(
+                "{:#x}  sent {:.3}s  link {}  group {}",
+                m.pkt,
+                m.sent_at.as_secs_f64(),
+                m.origin_link.index(),
+                m.group
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let pkt = match pkt_arg {
+        Some(arg) => match parse_pkt(&arg) {
+            Some(pkt) => pkt,
+            None => {
+                eprintln!("explain: not a packet id: {arg} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        },
+        // Default: the first packet that actually reached a receiver.
+        None => match rec
+            .deliveries
+            .first()
+            .map(|d| d.pkt)
+            .or_else(|| rec.packets.first().map(|m| m.pkt))
+        {
+            Some(pkt) => pkt,
+            None => {
+                eprintln!("explain: run recorded no packets");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let journey = explain::explain(&rec, pkt);
+    print!("{}", explain::render(&journey, Some(&trace)));
+    if journey.meta.is_none() && journey.copies.is_empty() {
+        eprintln!("explain: packet {pkt:#x} not found in this run (try --list)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

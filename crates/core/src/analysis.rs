@@ -173,6 +173,11 @@ pub struct RunReport {
     /// Invariant-oracle verdict and counters (duplicates observed, max
     /// tunnel depth, worst leave delay, stale-state lifetimes).
     pub oracle: crate::oracle::OracleSummary,
+    /// Per-node MIB-style counter snapshot, keyed by a stable node label
+    /// (`router.N` / `host.NAME`). Event-driven and therefore fully
+    /// deterministic; merges behavior-kept counters with world-attributed
+    /// ones (e.g. `framesDroppedByFault`).
+    pub node_stats: BTreeMap<String, Counters>,
 }
 
 impl RunReport {

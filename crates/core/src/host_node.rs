@@ -13,7 +13,7 @@ use mobicast_ipv6::udp::UdpDatagram;
 use mobicast_mipv6::{packets as mip_packets, MnOutput, MobileNode};
 use mobicast_mld::{HostOutput, MldConfig, MldHostPort, MldMessage};
 use mobicast_net::{Ctx, Frame, IfIndex, LinkId, NodeBehavior, NodeId, TimerKey};
-use mobicast_sim::{EventId, RngFactory, SimDuration, SimTime, TraceCategory};
+use mobicast_sim::{Counters, EventId, RngFactory, SimDuration, SimTime, TraceCategory};
 use std::any::Any;
 use std::collections::{BTreeSet, HashSet};
 use std::net::Ipv6Addr;
@@ -106,6 +106,9 @@ pub struct HostNode {
     mld_timer: TimerSlot,
     mn_timer: TimerSlot,
     app_timer: TimerSlot,
+    /// RFC-MIB-flavoured per-node counters (camelCase names), snapshotted
+    /// into `RunReport.node_stats` at the end of a run.
+    mib: Counters,
 }
 
 impl HostNode {
@@ -145,7 +148,13 @@ impl HostNode {
             mld_timer: TimerSlot(None),
             mn_timer: TimerSlot(None),
             app_timer: TimerSlot(None),
+            mib: Counters::new(),
         }
+    }
+
+    /// Per-node MIB-style counters maintained by this behavior.
+    pub fn mib(&self) -> &Counters {
+        &self.mib
     }
 
     pub fn home_address(&self) -> Ipv6Addr {
@@ -194,7 +203,7 @@ impl HostNode {
         ctx.send(0, frame);
     }
 
-    fn emit_mld(&self, ctx: &mut Ctx<'_>, outs: Vec<HostOutput>) {
+    fn emit_mld(&mut self, ctx: &mut Ctx<'_>, outs: Vec<HostOutput>) {
         use mobicast_ipv6::exthdr::{ExtHeader, Option6};
         for HostOutput::Send(msg) in outs {
             let dst = msg.ip_destination();
@@ -203,6 +212,11 @@ impl HostNode {
                 .with_hop_limit(1)
                 .with_ext(ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]));
             self.recorder.count("host.mld_reports_sent", 1);
+            self.mib.inc(match msg {
+                MldMessage::Query { .. } => "mldOutQueries",
+                MldMessage::Report { .. } => "mldOutReports",
+                MldMessage::Done { .. } => "mldOutDones",
+            });
             self.emit(ctx, &packet, None);
         }
     }
@@ -214,6 +228,7 @@ impl HostNode {
                 source,
                 binding_update,
             } = o;
+            let seq = binding_update.sequence;
             let packet = mip_packets::binding_update_packet(
                 source,
                 home_agent,
@@ -221,19 +236,25 @@ impl HostNode {
                 binding_update,
             );
             self.recorder.count("host.binding_updates_sent", 1);
-            ctx.trace(TraceCategory::MobileIp, || {
-                format!("BU -> {home_agent} from {source}")
+            self.mib.inc("buSent");
+            ctx.trace_event(TraceCategory::MobileIp, "bu_tx", || {
+                vec![
+                    ("home_agent", home_agent.into()),
+                    ("care_of", source.into()),
+                    ("seq", u64::from(seq).into()),
+                ]
             });
             self.emit(ctx, &packet, self.default_router());
         }
         self.arm_mn(ctx);
     }
 
-    fn send_router_solicit(&self, ctx: &mut Ctx<'_>) {
+    fn send_router_solicit(&mut self, ctx: &mut Ctx<'_>) {
         let body = Icmpv6::RouterSolicit.encode(self.ll_addr, addr::ALL_ROUTERS);
         let packet =
             Packet::new(self.ll_addr, addr::ALL_ROUTERS, proto::ICMPV6, body).with_hop_limit(255);
         self.recorder.count("host.rs_sent", 1);
+        self.mib.inc("rsSent");
         self.emit(ctx, &packet, None);
     }
 
@@ -294,6 +315,7 @@ impl HostNode {
         let first = self.receiver.seen.insert(payload.pkt);
         if first {
             self.receiver.received += 1;
+            self.mib.inc("dataReceived");
             let delay = now.as_nanos().saturating_sub(payload.sent_nanos);
             self.recorder.sample("e2e_delay", delay as f64 / 1e9);
             if let Some(attached) = self.receiver.attach_pending.take() {
@@ -305,6 +327,7 @@ impl HostNode {
             }
         } else {
             self.receiver.duplicates += 1;
+            self.mib.inc("dataDuplicates");
         }
         self.recorder.record_delivery(Delivery {
             pkt: payload.pkt,
@@ -344,6 +367,13 @@ impl HostNode {
                 let coa = self.mn.current_address();
                 let outer = tunnel::encapsulate(coa, self.mn.home_agent(), &inner);
                 self.recorder.count("host.data_tunnel_encap", 1);
+                self.mib.inc("tunnelEncaps");
+                ctx.trace_event(TraceCategory::MobileIp, "tunnel_encap", || {
+                    vec![
+                        ("dst", self.mn.home_agent().into()),
+                        ("inner_src", inner_src.into()),
+                    ]
+                });
                 (outer, inner_src, true)
             } else {
                 let src = self.mn.current_address();
@@ -364,6 +394,7 @@ impl HostNode {
             src_addr: src_used,
         });
         self.recorder.count("host.data_sent", 1);
+        self.mib.inc("dataSent");
         let l2 = if tunneled {
             self.default_router()
         } else {
@@ -438,9 +469,11 @@ impl NodeBehavior for HostNode {
                                     max_response_delay,
                                     group,
                                 } => {
+                                    self.mib.inc("mldInQueries");
                                     self.mld.on_query(group, max_response_delay, now);
                                 }
                                 MldMessage::Report { group } => {
+                                    self.mib.inc("mldInReports");
                                     self.mld.on_report_heard(group);
                                 }
                                 MldMessage::Done { .. } => {}
@@ -459,6 +492,14 @@ impl NodeBehavior for HostNode {
                     return;
                 };
                 self.recorder.count("host.data_tunnel_decap", 1);
+                self.mib.inc("tunnelDecaps");
+                ctx.trace_event(TraceCategory::MobileIp, "tunnel_decap", || {
+                    vec![
+                        ("outer_src", packet.src.into()),
+                        ("inner_src", inner.src.into()),
+                        ("inner_dst", inner.dst.into()),
+                    ]
+                });
                 if let Some(g) = GroupAddr::try_new(inner.dst) {
                     if let Some(info) = netplan::extract_data_info(&packet) {
                         if self.subscribed.contains(&g) {
@@ -486,6 +527,13 @@ impl NodeBehavior for HostNode {
             {
                 if let Some(ack) = mip_packets::parse_binding_ack(&packet) {
                     self.recorder.count("host.binding_acks_rx", 1);
+                    self.mib.inc("buAcksRx");
+                    ctx.trace_event(TraceCategory::MobileIp, "back_rx", || {
+                        vec![
+                            ("from", packet.src.into()),
+                            ("accepted", ack.accepted().into()),
+                        ]
+                    });
                     let outs = self.mn.on_binding_ack(ack.accepted(), now);
                     self.emit_mn(ctx, outs);
                 }

@@ -17,6 +17,7 @@
 //! * [`analysis`] — ground-truth evaluation (wasted bytes, stretch,
 //!   leave delays, delivery paths).
 //! * [`recorder`] — run-time event capture feeding the analysis.
+//! * [`explain`] — packet-journey explainer over the provenance chains.
 //! * [`sweep`] — deterministic parallel parameter sweeps (crossbeam).
 //! * [`report`] — text tables and JSON output for the experiment binaries.
 
@@ -25,6 +26,7 @@ pub mod analysis;
 pub mod builder;
 pub mod chaos;
 pub mod experiments;
+pub mod explain;
 pub mod host_node;
 pub mod mobility;
 pub mod netplan;
@@ -38,8 +40,9 @@ pub mod sweep;
 
 pub use analysis::{Analysis, RunReport};
 pub use builder::{build, BuiltNetwork, HostSpec, NetworkSpec};
+pub use explain::{DeliveryPath, Journey, JourneyHop};
 pub use host_node::{HostConfig, HostNode, SenderApp};
 pub use oracle::{Oracle, OracleSummary};
 pub use router_node::{RouterConfig, RouterNode};
-pub use scenario::{run, Move, PaperHost, ScenarioConfig, ScenarioResult};
+pub use scenario::{run, run_with_recorder, Move, PaperHost, ScenarioConfig, ScenarioResult};
 pub use strategy::{RecvPath, SendPath, Strategy};

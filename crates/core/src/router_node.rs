@@ -17,10 +17,12 @@ use mobicast_ipv6::icmpv6::{AdvertisedPrefix, Icmpv6};
 use mobicast_ipv6::packet::{proto, Packet};
 use mobicast_ipv6::tunnel;
 use mobicast_mipv6::{packets as mip_packets, HaOutput, HomeAgent};
-use mobicast_mld::{HostOutput, MldConfig, MldHostPort, MldMessage, MldRouterPort, RouterOutput};
+use mobicast_mld::{
+    HostOutput, MldConfig, MldHostPort, MldMessage, MldNote, MldRouterPort, RouterOutput,
+};
 use mobicast_net::{Ctx, Frame, IfIndex, LinkId, NodeBehavior, NodeId, TimerKey};
-use mobicast_pimdm::{PimConfig, PimDest, PimMessage, PimRouter, PimSend, RpfLookup};
-use mobicast_sim::{EventId, RngFactory, SimDuration, SimTime, TraceCategory};
+use mobicast_pimdm::{PimConfig, PimDest, PimMessage, PimNote, PimRouter, PimSend, RpfLookup};
+use mobicast_sim::{Counters, EventId, RngFactory, SimDuration, SimTime, TraceCategory};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
@@ -111,6 +113,9 @@ pub struct RouterNode {
     ra_pending: Vec<bool>,
     /// High-water mark of (S,G) entries (paper: router storage load).
     pub max_sg_entries: usize,
+    /// RFC-MIB-flavoured per-node counters (camelCase names), snapshotted
+    /// into `RunReport.node_stats` at the end of a run.
+    mib: Counters,
 }
 
 impl RouterNode {
@@ -153,7 +158,13 @@ impl RouterNode {
             ha_timer: TimerSlot::new(),
             ra_pending: vec![false; n],
             max_sg_entries: 0,
+            mib: Counters::new(),
         }
+    }
+
+    /// Per-node MIB-style counters maintained by this behavior.
+    pub fn mib(&self) -> &Counters {
+        &self.mib
     }
 
     /// Immutable access to the home-agent state (metrics).
@@ -211,7 +222,7 @@ impl RouterNode {
         ctx.send(ifx, frame);
     }
 
-    fn emit_pim(&self, ctx: &mut Ctx<'_>, send: &PimSend) {
+    fn emit_pim(&mut self, ctx: &mut Ctx<'_>, send: &PimSend) {
         let src = self.ifaces[usize::from(send.iface)].ll;
         let (dst, _l2) = match send.dest {
             PimDest::AllRouters => (addr::ALL_PIM_ROUTERS, None),
@@ -219,17 +230,23 @@ impl RouterNode {
         };
         let body = send.msg.encode(src, dst);
         let packet = Packet::new(src, dst, proto::PIM, body).with_hop_limit(1);
-        let kind = match send.msg {
-            PimMessage::Hello { .. } => "hello",
-            PimMessage::JoinPrune { ref joins, .. } if joins.is_empty() => "prune",
-            PimMessage::JoinPrune { .. } => "join",
-            PimMessage::Assert { .. } => "assert",
-            PimMessage::Graft { .. } => "graft",
-            PimMessage::GraftAck { .. } => "graft_ack",
+        let (kind, mib) = match send.msg {
+            PimMessage::Hello { .. } => ("hello", "pimHellosSent"),
+            PimMessage::JoinPrune { ref joins, .. } if joins.is_empty() => {
+                ("prune", "pimPrunesSent")
+            }
+            PimMessage::JoinPrune { .. } => ("join", "pimJoinsSent"),
+            PimMessage::Assert { .. } => ("assert", "pimAssertsSent"),
+            PimMessage::Graft { .. } => ("graft", "pimGraftsSent"),
+            PimMessage::GraftAck { .. } => ("graft_ack", "pimGraftAcksSent"),
         };
         self.recorder.count(&format!("pim.sent.{kind}"), 1);
-        ctx.trace(TraceCategory::Pim, || {
-            format!("tx {kind} on if{}", send.iface)
+        self.mib.inc(mib);
+        ctx.trace_event(TraceCategory::Pim, "pim_tx", || {
+            vec![
+                ("kind", kind.into()),
+                ("iface", u64::from(send.iface).into()),
+            ]
         });
         self.emit(ctx, send.iface, &packet, l2_to(&packet), None);
 
@@ -242,18 +259,19 @@ impl RouterNode {
         }
     }
 
-    fn emit_mld(&self, ctx: &mut Ctx<'_>, ifx: IfIndex, src: Ipv6Addr, msg: MldMessage) {
+    fn emit_mld(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex, src: Ipv6Addr, msg: MldMessage) {
         let dst = msg.ip_destination();
         let body = msg.to_icmp().encode(src, dst);
         let packet = Packet::new(src, dst, proto::ICMPV6, body)
             .with_hop_limit(1)
             .with_ext(ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]));
-        let kind = match msg {
-            MldMessage::Query { .. } => "query",
-            MldMessage::Report { .. } => "report",
-            MldMessage::Done { .. } => "done",
+        let (kind, mib) = match msg {
+            MldMessage::Query { .. } => ("query", "mldOutQueries"),
+            MldMessage::Report { .. } => ("report", "mldOutReports"),
+            MldMessage::Done { .. } => ("done", "mldOutDones"),
         };
         self.recorder.count(&format!("mld.sent.{kind}"), 1);
+        self.mib.inc(mib);
         self.emit(ctx, ifx, &packet, None, None);
     }
 
@@ -262,10 +280,136 @@ impl RouterNode {
             self.emit_pim(ctx, s);
         }
         self.max_sg_entries = self.max_sg_entries.max(self.pim.entry_count());
+        self.drain_pim_notes(ctx);
+    }
+
+    /// Turn buffered PIM state-transition notes into typed trace events and
+    /// MIB counters. Called after every interaction with the PIM machine.
+    fn drain_pim_notes(&mut self, ctx: &mut Ctx<'_>) {
+        for note in self.pim.take_notes() {
+            match note {
+                PimNote::AssertResolved {
+                    sg,
+                    iface,
+                    won,
+                    peer,
+                } => {
+                    self.mib.inc(if won {
+                        "pimAssertsWon"
+                    } else {
+                        "pimAssertsLost"
+                    });
+                    ctx.trace_event(TraceCategory::Pim, "pim_assert_resolved", || {
+                        vec![
+                            ("src", sg.0.into()),
+                            ("group", sg.1.addr().into()),
+                            ("iface", u64::from(iface).into()),
+                            ("won", won.into()),
+                            ("peer", peer.into()),
+                        ]
+                    });
+                }
+                PimNote::AssertWinnerAdopted { sg, iface, winner } => {
+                    self.mib.inc("pimAssertWinnersAdopted");
+                    ctx.trace_event(TraceCategory::Pim, "pim_assert_winner_adopted", || {
+                        vec![
+                            ("src", sg.0.into()),
+                            ("group", sg.1.addr().into()),
+                            ("iface", u64::from(iface).into()),
+                            ("winner", winner.into()),
+                        ]
+                    });
+                }
+                PimNote::UpstreamPruned { sg, until } => {
+                    self.mib.inc("pimUpstreamPrunes");
+                    ctx.trace_event(TraceCategory::Pim, "pim_upstream_pruned", || {
+                        vec![
+                            ("src", sg.0.into()),
+                            ("group", sg.1.addr().into()),
+                            ("until_ns", until.as_nanos().into()),
+                        ]
+                    });
+                }
+                PimNote::UpstreamResumed { sg } => {
+                    self.mib.inc("pimUpstreamResumes");
+                    ctx.trace_event(TraceCategory::Pim, "pim_upstream_resumed", || {
+                        vec![("src", sg.0.into()), ("group", sg.1.addr().into())]
+                    });
+                }
+                PimNote::UpstreamGraftPending { sg } => {
+                    self.mib.inc("pimGraftsPending");
+                    ctx.trace_event(TraceCategory::Pim, "pim_graft_pending", || {
+                        vec![("src", sg.0.into()), ("group", sg.1.addr().into())]
+                    });
+                }
+                PimNote::GraftAcked { sg, from } => {
+                    self.mib.inc("pimGraftsAcked");
+                    ctx.trace_event(TraceCategory::Pim, "pim_graft_acked", || {
+                        vec![
+                            ("src", sg.0.into()),
+                            ("group", sg.1.addr().into()),
+                            ("from", from.into()),
+                        ]
+                    });
+                }
+                PimNote::OifPruned { sg, iface, until } => {
+                    self.mib.inc("pimOifPrunes");
+                    ctx.trace_event(TraceCategory::Pim, "pim_oif_pruned", || {
+                        vec![
+                            ("src", sg.0.into()),
+                            ("group", sg.1.addr().into()),
+                            ("iface", u64::from(iface).into()),
+                            ("until_ns", until.as_nanos().into()),
+                        ]
+                    });
+                }
+                PimNote::OifResumed { sg, iface } => {
+                    self.mib.inc("pimOifResumes");
+                    ctx.trace_event(TraceCategory::Pim, "pim_oif_resumed", || {
+                        vec![
+                            ("src", sg.0.into()),
+                            ("group", sg.1.addr().into()),
+                            ("iface", u64::from(iface).into()),
+                        ]
+                    });
+                }
+                PimNote::EntryExpired { sg } => {
+                    self.mib.inc("pimEntriesExpired");
+                    ctx.trace_event(TraceCategory::Pim, "pim_entry_expired", || {
+                        vec![("src", sg.0.into()), ("group", sg.1.addr().into())]
+                    });
+                }
+            }
+        }
+    }
+
+    /// Turn buffered MLD querier-election notes for `ifx` into typed trace
+    /// events and MIB counters.
+    fn drain_mld_notes(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex) {
+        let Some(port) = self.mld.get_mut(&ifx) else {
+            return;
+        };
+        for note in port.take_notes() {
+            match note {
+                MldNote::QuerierElected => {
+                    self.mib.inc("mldQuerierElections");
+                    ctx.trace_event(TraceCategory::Mld, "mld_querier_elected", || {
+                        vec![("iface", u64::from(ifx).into())]
+                    });
+                }
+                MldNote::QuerierResigned { other } => {
+                    self.mib.inc("mldQuerierResignations");
+                    ctx.trace_event(TraceCategory::Mld, "mld_querier_resigned", || {
+                        vec![("iface", u64::from(ifx).into()), ("other", other.into())]
+                    });
+                }
+            }
+        }
     }
 
     /// Apply MLD router-port outputs for `ifx`.
     fn apply_mld_outputs(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex, outs: Vec<RouterOutput>) {
+        self.drain_mld_notes(ctx, ifx);
         for o in outs {
             match o {
                 RouterOutput::Send(msg) => {
@@ -340,8 +484,11 @@ impl RouterNode {
                     };
                     let src = self.ifaces[usize::from(route.iface)].global;
                     let packet = mip_packets::binding_ack_packet(src, care_of, ack);
-                    let _ = home;
                     self.recorder.count("ha.binding_acks_sent", 1);
+                    self.mib.inc("haBindingAcksSent");
+                    ctx.trace_event(TraceCategory::MobileIp, "back_tx", || {
+                        vec![("home", home.into()), ("care_of", care_of.into())]
+                    });
                     self.route_unicast(ctx, packet, None);
                 }
                 HaOutput::ProxyJoin(g) => {
@@ -388,7 +535,13 @@ impl RouterNode {
         inner: &Packet,
     ) -> Option<Packet> {
         match tunnel::encapsulate_limited(src, dst, inner) {
-            Ok(outer) => Some(outer),
+            Ok(outer) => {
+                self.mib.inc("tunnelEncaps");
+                ctx.trace_event(TraceCategory::MobileIp, "tunnel_encap", || {
+                    vec![("dst", dst.into()), ("inner_src", inner.src.into())]
+                });
+                Some(outer)
+            }
             Err(tunnel::EncapLimitExceeded) => {
                 self.recorder.count("tunnel.encap_limit_exceeded", 1);
                 ctx.trace(TraceCategory::MobileIp, || {
@@ -502,9 +655,18 @@ impl RouterNode {
         if tunnel::is_tunnel(packet) {
             let Ok(inner) = tunnel::decapsulate(packet) else {
                 self.recorder.count("ha.decap_errors", 1);
+                self.mib.inc("tunnelDecapErrors");
                 return;
             };
             self.recorder.count("ha.tunnel_decap", 1);
+            self.mib.inc("tunnelDecaps");
+            ctx.trace_event(TraceCategory::MobileIp, "tunnel_decap", || {
+                vec![
+                    ("outer_src", packet.src.into()),
+                    ("inner_src", inner.src.into()),
+                    ("inner_dst", inner.dst.into()),
+                ]
+            });
             let parent = (tag != 0).then_some(tag);
             if inner.is_multicast() {
                 // Paper §4.2.2 B: "The home agent then decapsulates the
@@ -530,10 +692,15 @@ impl RouterNode {
         }
         // Binding updates.
         if let Some((home, bu)) = mip_packets::parse_binding_update(packet) {
-            ctx.trace(TraceCategory::MobileIp, || {
-                format!("BU from {} for {home} (seq {})", packet.src, bu.sequence)
+            ctx.trace_event(TraceCategory::MobileIp, "bu_rx", || {
+                vec![
+                    ("home", home.into()),
+                    ("care_of", packet.src.into()),
+                    ("seq", u64::from(bu.sequence).into()),
+                ]
             });
             self.recorder.count("ha.binding_updates_rx", 1);
+            self.mib.inc("haBindingUpdatesRx");
             let outs = self.ha.on_binding_update(home, packet.src, &bu, now);
             self.apply_ha_outputs(ctx, home, outs);
             self.arm_ha(ctx);
@@ -651,6 +818,7 @@ impl NodeBehavior for RouterNode {
                 if packet.dst == addr::ALL_PIM_ROUTERS || self.is_my_addr(packet.dst) {
                     match PimMessage::decode(packet.src, packet.dst, &packet.payload) {
                         Ok(msg) => {
+                            self.mib.inc("pimInMessages");
                             let sends =
                                 self.pim.on_message(ifx, packet.src, &msg, now, &self.table);
                             self.pim_sends(ctx, sends);
@@ -666,6 +834,11 @@ impl NodeBehavior for RouterNode {
                     return;
                 };
                 if let Some(msg) = MldMessage::from_icmp(&icmp) {
+                    self.mib.inc(match msg {
+                        MldMessage::Query { .. } => "mldInQueries",
+                        MldMessage::Report { .. } => "mldInReports",
+                        MldMessage::Done { .. } => "mldInDones",
+                    });
                     let outs = self
                         .mld
                         .get_mut(&ifx)

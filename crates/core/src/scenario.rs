@@ -12,7 +12,7 @@ use mobicast_ipv6::addr::GroupAddr;
 use mobicast_mld::MldConfig;
 use mobicast_net::{FaultPlan, FrameClass};
 use mobicast_pimdm::PimConfig;
-use mobicast_sim::{SimDuration, SimTime, Tracer};
+use mobicast_sim::{RingBufferTracer, SimDuration, SimProfile, SimTime, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -80,6 +80,16 @@ pub struct ScenarioConfig {
     pub oracle: bool,
     /// Optional tracer (None = silent).
     pub tracer: Option<Tracer>,
+    /// Scenario label used in the run-summary line and trace file names.
+    pub name: &'static str,
+    /// Capture typed trace events into a bounded ring buffer of this
+    /// capacity and return them as `ScenarioResult.trace_jsonl` (ignored
+    /// when an explicit `tracer` is set).
+    pub trace_capture: Option<usize>,
+    /// Profile the event loop (wall-clock; see `ScenarioResult.profile`).
+    pub profile: bool,
+    /// Print the one-line run summary to stderr when the run finishes.
+    pub summary: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -99,6 +109,10 @@ impl Default for ScenarioConfig {
             fault: FaultPlan::default(),
             oracle: true,
             tracer: None,
+            name: "scenario",
+            trace_capture: None,
+            profile: false,
+            summary: false,
         }
     }
 }
@@ -118,6 +132,15 @@ pub struct ScenarioResult {
     /// Final multicast tree: links carrying useful data in the last tenth
     /// of the run.
     pub sent: u64,
+    /// Deterministic event count of the run (scheduler dispatches).
+    pub events_executed: u64,
+    /// Wall-clock profile (only with `ScenarioConfig.profile`; never folded
+    /// into the deterministic `report`).
+    pub profile: Option<SimProfile>,
+    /// Versioned JSONL trace export (only with `ScenarioConfig.trace_capture`).
+    pub trace_jsonl: Option<String>,
+    /// Trace events evicted from the bounded ring buffer.
+    pub trace_dropped: u64,
 }
 
 /// The multicast group used by all reference scenarios.
@@ -127,6 +150,13 @@ pub fn group() -> GroupAddr {
 
 /// Run a reference-topology scenario to completion.
 pub fn run(cfg: &ScenarioConfig) -> ScenarioResult {
+    run_with_recorder(cfg).0
+}
+
+/// As [`run`], additionally handing back the raw recorder (provenance
+/// chains, deliveries, moves) for post-run tools like the packet-journey
+/// explainer.
+pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::recorder::Recorder) {
     cfg.mld.validate().expect("invalid MLD profile");
     cfg.pim.validate().expect("invalid PIM profile");
     let spec = NetworkSpec::reference();
@@ -167,8 +197,20 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioResult {
         pim: cfg.pim,
         ..RouterConfig::default()
     };
-    let tracer = cfg.tracer.clone().unwrap_or_else(Tracer::null);
+    let mut ring: Option<RingBufferTracer> = None;
+    let tracer = match (&cfg.tracer, cfg.trace_capture) {
+        (Some(t), _) => t.clone(),
+        (None, Some(capacity)) => {
+            let (t, r) = RingBufferTracer::new(capacity);
+            ring = Some(r);
+            t
+        }
+        (None, None) => Tracer::null(),
+    };
     let mut net = build(&spec, &hosts, router_cfg, cfg.seed, tracer);
+    if cfg.profile {
+        net.world.enable_profiling();
+    }
     apply_fault_plan(&mut net, &spec, router_cfg, &cfg.fault, cfg.seed);
 
     // Script the moves. Extra receivers shadow R3's movements.
@@ -197,7 +239,33 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioResult {
     });
 
     net.world.run_until(SimTime::ZERO + cfg.duration);
-    finish_with(cfg, net, oracle)
+    let profile = net.world.take_profile();
+    let (mut result, rec) = finish_with(cfg, net, oracle);
+    result.profile = profile;
+    if let Some(ring) = ring {
+        result.trace_dropped = ring.dropped();
+        result.trace_jsonl = Some(ring.export_jsonl());
+    }
+    if cfg.summary {
+        let verdict = if !result.report.oracle.enabled {
+            "off"
+        } else if result.report.oracle.violations.is_empty() {
+            "clean"
+        } else {
+            "VIOLATIONS"
+        };
+        eprintln!(
+            "[run] scenario={} approach={} seed={} dur={:.0}s events={} sent={} oracle={}",
+            cfg.name,
+            cfg.strategy.name(),
+            cfg.seed,
+            cfg.duration.as_secs_f64(),
+            result.events_executed,
+            result.sent,
+            verdict,
+        );
+    }
+    (result, rec)
 }
 
 /// Reconvergence margin demanded after the last scheduled disturbance
@@ -221,15 +289,16 @@ fn settle_time(cfg: &ScenarioConfig) -> SimTime {
 
 /// Collect results from a finished network.
 pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
-    finish_with(cfg, net, None)
+    finish_with(cfg, net, None).0
 }
 
 /// As [`finish`], folding in the run's oracle verdict when one was attached.
+/// Also hands back the taken recorder for provenance-based tooling.
 fn finish_with(
     cfg: &ScenarioConfig,
     net: BuiltNetwork,
     oracle: Option<std::rc::Rc<Oracle>>,
-) -> ScenarioResult {
+) -> (ScenarioResult, crate::recorder::Recorder) {
     let BuiltNetwork {
         world,
         routers,
@@ -309,6 +378,30 @@ fn finish_with(
         }
     }
 
+    // Per-node MIB snapshot: counters the behaviors keep themselves merged
+    // with world-attributed ones (fault drops), under stable labels.
+    let mut node_stats = BTreeMap::new();
+    for (i, r) in routers.iter().enumerate() {
+        let label = format!("router.{}", char::from(b'A' + i as u8));
+        let mut c = world.node_counters(*r).clone();
+        if let Some(router) = world.behavior::<RouterNode>(*r) {
+            c.merge(router.mib());
+        }
+        node_stats.insert(label, c);
+    }
+    for (i, id) in hosts.iter().enumerate() {
+        let label = if i < names.len() {
+            format!("host.{}", names[i])
+        } else {
+            format!("host.extra{}", i - names.len())
+        };
+        let mut c = world.node_counters(*id).clone();
+        if let Some(h) = world.behavior::<HostNode>(*id) {
+            c.merge(h.mib());
+        }
+        node_stats.insert(label, c);
+    }
+
     let link_bytes: Vec<BTreeMap<String, u64>> = links
         .iter()
         .map(|l| {
@@ -383,7 +476,7 @@ fn finish_with(
     }
 
     let sent = analysis.packets_sent;
-    ScenarioResult {
+    let result = ScenarioResult {
         report: RunReport {
             analysis,
             counters,
@@ -391,6 +484,7 @@ fn finish_with(
             link_bytes,
             link_drops,
             oracle: oracle_summary,
+            node_stats,
         },
         received,
         duplicates,
@@ -398,7 +492,12 @@ fn finish_with(
         ha_binding_updates,
         ha_packets_tunneled,
         sent,
-    }
+        events_executed: world.events_executed(),
+        profile: None,
+        trace_jsonl: None,
+        trace_dropped: 0,
+    };
+    (result, rec)
 }
 
 /// Convenience: identify the paper's 1-based link numbers with link ids.
@@ -695,6 +794,84 @@ mod tests {
             a.report.counters.get("faults.frames_dropped_loss"),
             c.report.counters.get("faults.frames_dropped_loss"),
             "different seed should realize a different loss sequence"
+        );
+    }
+
+    /// Telemetry: the per-node MIB snapshot must agree with the recorder
+    /// and world ground truth, the JSONL trace export must be schema-valid,
+    /// and the wall-clock profile must cover every executed event.
+    #[test]
+    fn node_stats_trace_and_profile_are_consistent() {
+        let cfg = ScenarioConfig {
+            duration: SimDuration::from_secs(80),
+            strategy: Strategy::BIDIRECTIONAL_TUNNEL,
+            moves: vec![Move {
+                at_secs: 30.0,
+                host: PaperHost::R3,
+                to_link: 6,
+            }],
+            fault: FaultPlan::iid_loss(0.05),
+            trace_capture: Some(200_000),
+            profile: true,
+            ..ScenarioConfig::default()
+        };
+        let r = run(&cfg);
+
+        // MIB counters vs recorder/world ground truth.
+        let sum = |name: &str| {
+            r.report
+                .node_stats
+                .values()
+                .map(|c| c.get(name))
+                .sum::<u64>()
+        };
+        assert_eq!(sum("dataSent"), r.report.counters.get("host.data_sent"));
+        assert_eq!(
+            sum("buSent"),
+            r.report.counters.get("host.binding_updates_sent")
+        );
+        assert_eq!(
+            sum("haBindingUpdatesRx"),
+            r.report.counters.get("ha.binding_updates_rx")
+        );
+        assert_eq!(
+            sum("haBindingAcksSent"),
+            r.report.counters.get("ha.binding_acks_sent")
+        );
+        assert_eq!(
+            sum("framesDroppedByFault"),
+            r.report.counters.get("faults.frames_dropped_loss")
+                + r.report.counters.get("faults.frames_dropped_link_down")
+                + r.report.counters.get("faults.frames_dropped_node_crashed")
+        );
+        assert!(sum("framesDroppedByFault") > 0, "loss plan was inactive");
+        assert!(sum("mldInReports") > 0);
+        assert!(sum("pimHellosSent") > 0);
+        assert_eq!(r.report.node_stats.len(), 5 + 4, "5 routers + 4 hosts");
+
+        // Trace export: header plus schema-valid typed events.
+        let jsonl = r.trace_jsonl.as_ref().expect("trace capture enabled");
+        let mut lines = 0;
+        for line in jsonl.lines() {
+            mobicast_sim::trace::validate_jsonl_line(line)
+                .unwrap_or_else(|e| panic!("invalid trace line: {e}\n{line}"));
+            lines += 1;
+        }
+        assert!(lines > 100, "only {lines} trace lines");
+        assert!(
+            jsonl.contains("\"kind\":\"bu_rx\"") && jsonl.contains("\"kind\":\"tunnel_encap\""),
+            "typed MIPv6 events missing from trace"
+        );
+
+        // Profile covers the whole run and is kept out of the report.
+        let profile = r.profile.expect("profiling enabled");
+        assert_eq!(profile.events_executed, r.events_executed);
+        assert!(r.events_executed > 0);
+        assert!(profile.queue_depth_high_water > 0);
+        let json = serde_json::to_value(&r.report);
+        assert!(
+            json.get("profile").is_none(),
+            "wall-clock data must not enter the deterministic report"
         );
     }
 

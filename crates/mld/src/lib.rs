@@ -20,4 +20,4 @@ pub mod router;
 pub use config::MldConfig;
 pub use host::{HostOutput, MldHostPort};
 pub use message::MldMessage;
-pub use router::{MldRouterPort, RouterOutput};
+pub use router::{MldNote, MldRouterPort, RouterOutput};

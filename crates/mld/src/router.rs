@@ -31,6 +31,19 @@ pub enum RouterOutput {
     ListenerRemoved(GroupAddr),
 }
 
+/// Notable internal transitions, buffered for the owner to drain with
+/// [`MldRouterPort::take_notes`]. The sans-IO machine cannot reach a tracer
+/// or counter registry directly, so it records *what happened* and the
+/// owning node converts the notes into typed trace events and MIB counters.
+/// Notes carry no behavioural weight: dropping them changes nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MldNote {
+    /// We (re)took the querier role after the other querier fell silent.
+    QuerierElected,
+    /// We yielded the querier role to a lower-addressed router.
+    QuerierResigned { other: Ipv6Addr },
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Role {
     Querier,
@@ -57,6 +70,7 @@ pub struct MldRouterPort {
     next_general_query: Option<SimTime>,
     startup_left: u32,
     groups: BTreeMap<GroupAddr, RouterGroupState>,
+    notes: Vec<MldNote>,
 }
 
 impl MldRouterPort {
@@ -70,7 +84,13 @@ impl MldRouterPort {
             next_general_query: None,
             startup_left: cfg.startup_query_count,
             groups: BTreeMap::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Drain buffered transition notes (see [`MldNote`]).
+    pub fn take_notes(&mut self) -> Vec<MldNote> {
+        std::mem::take(&mut self.notes)
     }
 
     pub fn config(&self) -> &MldConfig {
@@ -112,6 +132,9 @@ impl MldRouterPort {
             MldMessage::Query { .. } => {
                 // Querier election: lowest address wins (RFC 2710 §6).
                 if from < self.my_addr {
+                    if self.role == Role::Querier {
+                        self.notes.push(MldNote::QuerierResigned { other: from });
+                    }
                     self.role = Role::NonQuerier;
                     self.next_general_query = None;
                     self.other_querier_deadline =
@@ -193,6 +216,7 @@ impl MldRouterPort {
             self.other_querier_deadline = None;
             self.role = Role::Querier;
             self.next_general_query = Some(now);
+            self.notes.push(MldNote::QuerierElected);
         }
 
         // Scheduled General Query.
@@ -368,6 +392,41 @@ mod tests {
         let out = r.on_deadline(dl);
         expect_general_query(&out);
         assert!(r.is_querier());
+    }
+
+    #[test]
+    fn querier_transitions_are_noted() {
+        let mut r = querier(); // fe80::10
+        r.start(t(0));
+        assert!(r.take_notes().is_empty(), "no transition yet");
+        r.on_message(
+            a("fe80::1"),
+            &MldMessage::Query {
+                max_response_delay: SimDuration::from_secs(10),
+                group: None,
+            },
+            t(1),
+        );
+        assert_eq!(
+            r.take_notes(),
+            vec![MldNote::QuerierResigned {
+                other: a("fe80::1")
+            }]
+        );
+        // A second query from the same querier is not a transition.
+        r.on_message(
+            a("fe80::1"),
+            &MldMessage::Query {
+                max_response_delay: SimDuration::from_secs(10),
+                group: None,
+            },
+            t(2),
+        );
+        assert!(r.take_notes().is_empty());
+        // Takeover when the other querier falls silent.
+        let dl = r.next_deadline().unwrap();
+        r.on_deadline(dl);
+        assert_eq!(r.take_notes(), vec![MldNote::QuerierElected]);
     }
 
     #[test]

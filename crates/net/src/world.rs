@@ -12,9 +12,15 @@ use crate::fault::LinkFaultState;
 use crate::frame::Frame;
 use crate::ids::{IfIndex, LinkId, NodeId, TimerKey};
 use crate::link::{schedule_transmission, Link, LinkParams, LinkStats};
+use mobicast_sim::profile::{Profiler, SimProfile};
+use mobicast_sim::trace::Fields;
 use mobicast_sim::{Counters, EventId, EventQueue, SimDuration, SimTime, TraceCategory, Tracer};
 use std::any::Any;
 use std::rc::Rc;
+
+/// Handler categories the event-loop profiler distinguishes, in the order
+/// used by [`WorldEvent::category_index`].
+pub const HANDLER_CATEGORIES: &[&str] = &["deliver", "timer", "script"];
 
 /// Passive observer of the event loop: sees every frame handed to a link and
 /// every frame delivered to a node, before the receiving behavior runs.
@@ -94,6 +100,17 @@ enum WorldEvent {
     Script(Script),
 }
 
+impl WorldEvent {
+    /// Index into [`HANDLER_CATEGORIES`] for profiling.
+    fn category_index(&self) -> usize {
+        match self {
+            WorldEvent::Deliver { .. } => 0,
+            WorldEvent::Timer { .. } => 1,
+            WorldEvent::Script(_) => 2,
+        }
+    }
+}
+
 struct IfaceState {
     link: Option<LinkId>,
     tx_free: SimTime,
@@ -115,8 +132,16 @@ pub struct World {
     links: Vec<Link>,
     tracer: Tracer,
     counters: Counters,
+    /// Per-node MIB-style counters maintained by the world itself (fault
+    /// drops attributed to a node); node behaviors keep their own registry
+    /// and the harness merges both when snapshotting.
+    node_counters: Vec<Counters>,
     probe: Option<Rc<dyn WorldProbe>>,
     started: bool,
+    /// Events dispatched so far (always on; one increment per event).
+    events_executed: u64,
+    /// Wall-clock profiler; `None` (the default) costs one branch per event.
+    profiler: Option<Profiler>,
 }
 
 impl Default for World {
@@ -133,8 +158,11 @@ impl World {
             links: Vec::new(),
             tracer: Tracer::null(),
             counters: Counters::new(),
+            node_counters: Vec::new(),
             probe: None,
             started: false,
+            events_executed: 0,
+            profiler: None,
         }
     }
 
@@ -175,6 +203,7 @@ impl World {
             incarnation: 0,
             crashed: false,
         });
+        self.node_counters.push(Counters::new());
         id
     }
 
@@ -312,6 +341,35 @@ impl World {
         &self.counters
     }
 
+    /// World-maintained MIB counters for one node (fault drops attributed
+    /// to it). Complements the counters node behaviors keep themselves.
+    pub fn node_counters(&self, node: NodeId) -> &Counters {
+        &self.node_counters[node.index()]
+    }
+
+    /// Turn on wall-clock profiling of the event loop. Call before the run;
+    /// collect with [`World::take_profile`] afterwards.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Profiler::new(HANDLER_CATEGORIES));
+    }
+
+    /// Finish and detach the profiler, if one was enabled.
+    pub fn take_profile(&mut self) -> Option<SimProfile> {
+        self.profiler
+            .take()
+            .map(|p| p.finish(self.queue.depth_high_water(), self.queue.scheduled_total()))
+    }
+
+    /// Events dispatched by the event loop so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Highest number of simultaneously pending events observed so far.
+    pub fn queue_depth_high_water(&self) -> usize {
+        self.queue.depth_high_water()
+    }
+
     /// Install a [`WorldProbe`] observing all transmissions and deliveries.
     /// At most one probe is active; installing replaces any previous one.
     pub fn set_probe(&mut self, probe: Rc<dyn WorldProbe>) {
@@ -397,12 +455,14 @@ impl World {
                 if !self.links[link.index()].up {
                     self.links[link.index()].stats.record_drop(&frame);
                     self.counters.inc("faults.frames_dropped_link_down");
+                    self.node_counters[node.index()].inc("framesDroppedByFault");
                     return;
                 }
                 // A crashed receiver hears nothing.
                 if self.nodes[node.index()].crashed {
                     self.links[link.index()].stats.record_drop(&frame);
                     self.counters.inc("faults.frames_dropped_node_crashed");
+                    self.node_counters[node.index()].inc("framesDroppedByFault");
                     return;
                 }
                 if let Some(probe) = self.probe.clone() {
@@ -426,6 +486,22 @@ impl World {
         }
     }
 
+    /// Dispatch one event, counting it and (if profiling is on) timing the
+    /// handler by category.
+    fn dispatch_counted(&mut self, ev: WorldEvent) {
+        self.events_executed += 1;
+        if self.profiler.is_some() {
+            let idx = ev.category_index();
+            let started = std::time::Instant::now();
+            self.dispatch(ev);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(idx, started);
+            }
+        } else {
+            self.dispatch(ev);
+        }
+    }
+
     /// Run the event loop until (and including) time `t`; the clock ends at
     /// exactly `t`.
     pub fn run_until(&mut self, t: SimTime) {
@@ -435,7 +511,7 @@ impl World {
                 break;
             }
             let (_, ev) = self.queue.pop().expect("peeked event exists");
-            self.dispatch(ev);
+            self.dispatch_counted(ev);
         }
         self.queue.advance_to(t);
     }
@@ -446,7 +522,7 @@ impl World {
         self.start();
         let mut n = 0u64;
         while let Some((_, ev)) = self.queue.pop() {
-            self.dispatch(ev);
+            self.dispatch_counted(ev);
             n += 1;
             assert!(n <= max_events, "exceeded {max_events} events");
         }
@@ -504,6 +580,7 @@ impl Ctx<'_> {
         if !link.up {
             link.stats.record_drop(&frame);
             self.world.counters.inc("faults.frames_dropped_link_down");
+            self.world.node_counters[node.index()].inc("framesDroppedByFault");
             return true;
         }
         link.stats.record(&frame);
@@ -541,6 +618,8 @@ impl Ctx<'_> {
             if dropped {
                 self.world.links[link_id.index()].stats.record_drop(&frame);
                 self.world.counters.inc("faults.frames_dropped_loss");
+                // Attributed to the receiver that would have heard the copy.
+                self.world.node_counters[member.node.index()].inc("framesDroppedByFault");
                 continue;
             }
             self.world.queue.schedule(
@@ -584,6 +663,19 @@ impl Ctx<'_> {
         self.world
             .tracer
             .emit_with(self.world.now(), category, self.node.index(), f);
+    }
+
+    /// Emit a typed trace event attributed to this node. The field closure
+    /// runs only when the category is enabled.
+    pub fn trace_event(
+        &self,
+        category: TraceCategory,
+        kind: &'static str,
+        fields: impl FnOnce() -> Fields,
+    ) {
+        self.world
+            .tracer
+            .emit_typed(self.world.now(), category, self.node.index(), kind, fields);
     }
 
     /// Mutable access to the global counters.
@@ -1078,6 +1170,68 @@ mod tests {
         let rx: Vec<&String> = plog.iter().filter(|s| s.starts_with("rx")).collect();
         assert_eq!(rx.len(), 1, "{plog:?}");
         assert!(rx[0].contains("n1"), "{plog:?}");
+    }
+
+    #[test]
+    fn profiling_counts_events_and_buckets_handlers() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(quick_params());
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log, false));
+        w.attach(a, 0, l);
+        w.attach(b, 0, l);
+        w.enable_profiling();
+        w.start();
+        w.with_node(a, |_n, ctx| {
+            ctx.set_timer_after(SimDuration::from_secs(1), TimerKey(1));
+        });
+        w.at(SimTime::from_secs(2), move |w| {
+            w.with_node(a, |_n, ctx| {
+                ctx.send(0, Frame::new(Bytes::from_static(b"x"), FrameClass::Other));
+            });
+        });
+        w.run_until(SimTime::from_secs(3));
+        // timer + script + one delivery (to b) = 3 events.
+        assert_eq!(w.events_executed(), 3);
+        assert!(w.queue_depth_high_water() >= 2);
+        let prof = w.take_profile().expect("profiling was enabled");
+        assert_eq!(prof.events_executed, 3);
+        assert_eq!(prof.handlers["deliver"].count, 1);
+        assert_eq!(prof.handlers["timer"].count, 1);
+        assert_eq!(prof.handlers["script"].count, 1);
+        assert!(w.take_profile().is_none(), "profiler detaches on take");
+    }
+
+    #[test]
+    fn node_counters_attribute_fault_drops() {
+        use crate::fault::{LinkFault, LinkFaultState, LossModel};
+        use rand::SeedableRng;
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new();
+        let l = w.add_link(quick_params());
+        let a = w.add_node(1, Probe::new(log.clone(), false));
+        let b = w.add_node(1, Probe::new(log, false));
+        w.attach(a, 0, l);
+        w.attach(b, 0, l);
+        w.set_link_fault(
+            l,
+            Some(LinkFaultState::new(
+                LinkFault {
+                    loss: LossModel::iid(1.0), // drop everything
+                    jitter: SimDuration::ZERO,
+                },
+                rand::rngs::SmallRng::seed_from_u64(1),
+            )),
+        );
+        w.start();
+        w.with_node(a, |_n, ctx| {
+            ctx.send(0, Frame::new(Bytes::from_static(b"x"), FrameClass::Other));
+        });
+        w.run_to_quiescence(10);
+        assert_eq!(w.node_counters(b).get("framesDroppedByFault"), 1);
+        assert_eq!(w.node_counters(a).get("framesDroppedByFault"), 0);
     }
 
     #[test]

@@ -22,4 +22,4 @@ mod tests;
 
 pub use config::PimConfig;
 pub use message::{PimMessage, Sg};
-pub use router::{IfIndex, PimDest, PimRouter, PimSend, RpfInfo, RpfLookup, SgSnapshot};
+pub use router::{IfIndex, PimDest, PimNote, PimRouter, PimSend, RpfInfo, RpfLookup, SgSnapshot};

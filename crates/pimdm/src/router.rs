@@ -73,6 +73,51 @@ pub struct PimSend {
     pub msg: PimMessage,
 }
 
+/// A state transition worth telling the operator about.
+///
+/// The machine is sans-IO, so it cannot trace directly; it appends notes to
+/// an internal buffer and the owning node drains them with
+/// [`PimRouter::take_notes`] after every call, turning them into typed
+/// trace events and MIB counters. Notes carry no behavioural weight —
+/// dropping them changes nothing about the protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PimNote {
+    /// An assert election on outgoing interface `iface` resolved at this
+    /// router: won (we keep forwarding) or lost (we stop until the assert
+    /// timer runs out).
+    AssertResolved {
+        sg: Sg,
+        iface: IfIndex,
+        won: bool,
+        peer: Ipv6Addr,
+    },
+    /// An assert winner overheard on the incoming interface replaced the
+    /// RPF upstream neighbor.
+    AssertWinnerAdopted {
+        sg: Sg,
+        iface: IfIndex,
+        winner: Ipv6Addr,
+    },
+    /// We pruned ourselves toward the source.
+    UpstreamPruned { sg: Sg, until: SimTime },
+    /// The upstream prune lapsed; flooding resumes.
+    UpstreamResumed { sg: Sg },
+    /// We sent a Graft upstream and await the ack.
+    UpstreamGraftPending { sg: Sg },
+    /// The pending Graft was acknowledged.
+    GraftAcked { sg: Sg, from: Ipv6Addr },
+    /// A downstream prune took effect on `iface`.
+    OifPruned {
+        sg: Sg,
+        iface: IfIndex,
+        until: SimTime,
+    },
+    /// Prune state on `iface` was cleared (join, graft, member, expiry).
+    OifResumed { sg: Sg, iface: IfIndex },
+    /// The (S,G) entry hit its data timeout and was deleted.
+    EntryExpired { sg: Sg },
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum UpstreamState {
     /// Not pruned toward the source.
@@ -149,6 +194,7 @@ pub struct PimRouter {
     ifaces: BTreeMap<IfIndex, IfaceState>,
     entries: BTreeMap<Sg, SgEntry>,
     next_hello: Option<SimTime>,
+    notes: Vec<PimNote>,
 }
 
 impl PimRouter {
@@ -160,7 +206,13 @@ impl PimRouter {
             ifaces: BTreeMap::new(),
             entries: BTreeMap::new(),
             next_hello: None,
+            notes: Vec::new(),
         }
+    }
+
+    /// Drain the state-transition notes accumulated since the last call.
+    pub fn take_notes(&mut self) -> Vec<PimNote> {
+        std::mem::take(&mut self.notes)
     }
 
     /// Register an interface before `start`. `my_addr` is this router's
@@ -366,9 +418,8 @@ impl PimRouter {
                 };
                 if rate_ok {
                     e.last_prune_tx = Some(now);
-                    e.upstream_state = UpstreamState::Pruned {
-                        until: now + self.cfg.prune_hold_time,
-                    };
+                    let until = now + self.cfg.prune_hold_time;
+                    e.upstream_state = UpstreamState::Pruned { until };
                     sends.push(PimSend {
                         iface: e.iif,
                         dest: PimDest::AllRouters,
@@ -378,6 +429,7 @@ impl PimRouter {
                             prunes: vec![key],
                         },
                     });
+                    self.notes.push(PimNote::UpstreamPruned { sg: key, until });
                 }
             }
         }
@@ -436,13 +488,14 @@ impl PimRouter {
         if is_new {
             // A new PIM router appeared on this link: clear prune state on
             // the interface so it receives data (it has no prune state).
-            for e in self.entries.values_mut() {
+            for (key, e) in self.entries.iter_mut() {
                 if let Some(oif) = e.oifs.get_mut(&iface) {
                     if matches!(
                         oif.prune,
                         DownstreamPrune::Pruned { .. } | DownstreamPrune::PrunePending { .. }
                     ) {
                         oif.prune = DownstreamPrune::NoInfo;
+                        self.notes.push(PimNote::OifResumed { sg: *key, iface });
                     }
                 }
             }
@@ -508,6 +561,9 @@ impl PimRouter {
                 }
                 if let Some(e) = self.entries.get_mut(key) {
                     if let Some(oif) = e.oifs.get_mut(&iface) {
+                        if !matches!(oif.prune, DownstreamPrune::NoInfo) {
+                            self.notes.push(PimNote::OifResumed { sg: *key, iface });
+                        }
                         oif.prune = DownstreamPrune::NoInfo;
                     }
                 }
@@ -548,6 +604,9 @@ impl PimRouter {
                 continue;
             };
             if let Some(oif) = e.oifs.get_mut(&iface) {
+                if !matches!(oif.prune, DownstreamPrune::NoInfo) {
+                    self.notes.push(PimNote::OifResumed { sg: *key, iface });
+                }
                 oif.prune = DownstreamPrune::NoInfo;
             }
             acked.push(*key);
@@ -564,6 +623,7 @@ impl PimRouter {
                         entries: vec![*key],
                     },
                 });
+                self.notes.push(PimNote::UpstreamGraftPending { sg: *key });
             }
         }
         if !acked.is_empty() {
@@ -586,6 +646,7 @@ impl PimRouter {
                     && e.upstream == Some(from)
                 {
                     e.upstream_state = UpstreamState::Forwarding;
+                    self.notes.push(PimNote::GraftAcked { sg: *key, from });
                 }
             }
         }
@@ -628,6 +689,11 @@ impl PimRouter {
             if adopt {
                 e.iif_assert_winner = Some(theirs);
                 e.upstream = Some(from);
+                self.notes.push(PimNote::AssertWinnerAdopted {
+                    sg: key,
+                    iface,
+                    winner: from,
+                });
             }
             return sends;
         }
@@ -667,6 +733,12 @@ impl PimRouter {
         } else {
             oif.assert_loser_until = Some(now + self.cfg.assert_time);
         }
+        self.notes.push(PimNote::AssertResolved {
+            sg: key,
+            iface,
+            won: i_win,
+            peer: from,
+        });
         sends
     }
 
@@ -707,6 +779,9 @@ impl PimRouter {
                     continue;
                 }
                 if let Some(oif) = e.oifs.get_mut(&iface) {
+                    if !matches!(oif.prune, DownstreamPrune::NoInfo) {
+                        self.notes.push(PimNote::OifResumed { sg: key, iface });
+                    }
                     oif.prune = DownstreamPrune::NoInfo;
                 }
                 if let (UpstreamState::Pruned { .. }, Some(up)) = (e.upstream_state, e.upstream) {
@@ -721,6 +796,7 @@ impl PimRouter {
                             entries: vec![key],
                         },
                     });
+                    self.notes.push(PimNote::UpstreamGraftPending { sg: key });
                 }
             } else {
                 // Member left. If nothing downstream needs traffic any more,
@@ -730,9 +806,8 @@ impl PimRouter {
                 let e = self.entries.get_mut(&key).expect("entry");
                 if now_empty && matches!(e.upstream_state, UpstreamState::Forwarding) {
                     if let Some(up) = e.upstream {
-                        e.upstream_state = UpstreamState::Pruned {
-                            until: now + self.cfg.prune_hold_time,
-                        };
+                        let until = now + self.cfg.prune_hold_time;
+                        e.upstream_state = UpstreamState::Pruned { until };
                         e.last_prune_tx = Some(now);
                         sends.push(PimSend {
                             iface: e.iif,
@@ -743,6 +818,7 @@ impl PimRouter {
                                 prunes: vec![key],
                             },
                         });
+                        self.notes.push(PimNote::UpstreamPruned { sg: key, until });
                     }
                 }
             }
@@ -826,6 +902,7 @@ impl PimRouter {
                 UpstreamState::Pruned { until } if until <= now => {
                     // Upstream prune expired; flooding resumes.
                     e.upstream_state = UpstreamState::Forwarding;
+                    self.notes.push(PimNote::UpstreamResumed { sg: *key });
                 }
                 UpstreamState::AckPending { retry_at } if retry_at <= now => {
                     if let Some(up) = e.upstream {
@@ -844,15 +921,23 @@ impl PimRouter {
                 }
                 _ => {}
             }
-            for oif in e.oifs.values_mut() {
+            for (iface, oif) in e.oifs.iter_mut() {
                 match oif.prune {
                     DownstreamPrune::PrunePending { fire_at } if fire_at <= now => {
-                        oif.prune = DownstreamPrune::Pruned {
-                            until: now + self.cfg.prune_hold_time,
-                        };
+                        let until = now + self.cfg.prune_hold_time;
+                        oif.prune = DownstreamPrune::Pruned { until };
+                        self.notes.push(PimNote::OifPruned {
+                            sg: *key,
+                            iface: *iface,
+                            until,
+                        });
                     }
                     DownstreamPrune::Pruned { until } if until <= now => {
                         oif.prune = DownstreamPrune::NoInfo;
+                        self.notes.push(PimNote::OifResumed {
+                            sg: *key,
+                            iface: *iface,
+                        });
                     }
                     _ => {}
                 }
@@ -865,6 +950,7 @@ impl PimRouter {
             // The paper's stale-state lifetime: "only after expiration of
             // the (S,G) timer, an (S,G) entry will be deleted" (210 s).
             self.entries.remove(&key);
+            self.notes.push(PimNote::EntryExpired { sg: key });
         }
         sends
     }

@@ -9,7 +9,9 @@
 //! * [`queue`] — a cancellable, FIFO-stable event queue ([`EventQueue`]).
 //! * [`rng`] — labelled deterministic RNG streams ([`RngFactory`]).
 //! * [`metrics`] — counters and sample series with summaries.
-//! * [`trace`] — structured, filterable simulation traces.
+//! * [`trace`] — structured, filterable simulation traces with a versioned
+//!   JSONL export.
+//! * [`profile`] — opt-in wall-clock profiling of the event loop.
 //!
 //! Determinism contract: given the same scenario seed, the same sequence of
 //! `schedule`/`pop` calls yields the same event order and the same random
@@ -17,13 +19,17 @@
 //! paper reproduction exactly repeatable.
 
 pub mod metrics;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use metrics::{Counters, Series, SeriesSet, Summary};
+pub use profile::{Profiler, SimProfile};
 pub use queue::{EventId, EventQueue};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceCategory, TraceEvent, TraceSink, Tracer};
+pub use trace::{
+    FieldValue, Fields, RingBufferTracer, TraceCategory, TraceEvent, TraceSink, Tracer,
+};

@@ -21,11 +21,7 @@ impl Counters {
 
     /// Add `delta` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, delta: u64) {
-        if let Some(v) = self.values.get_mut(name) {
-            *v += delta;
-        } else {
-            self.values.insert(name.to_owned(), delta);
-        }
+        *self.values.entry(name.to_owned()).or_insert(0) += delta;
     }
 
     /// Increment counter `name` by one.

@@ -46,6 +46,7 @@ pub struct EventQueue<E> {
     pending: HashSet<u64>,
     next_seq: u64,
     now: SimTime,
+    depth_high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -61,6 +62,7 @@ impl<E> EventQueue<E> {
             pending: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            depth_high_water: 0,
         }
     }
 
@@ -84,6 +86,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, seq, payload }));
         self.pending.insert(seq);
+        self.depth_high_water = self.depth_high_water.max(self.pending.len());
         EventId(seq)
     }
 
@@ -130,6 +133,13 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (diagnostic).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Highest number of simultaneously live events ever observed
+    /// (diagnostic; maintained on every `schedule`, so it is always on and
+    /// costs one comparison).
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
     }
 
     /// Advance the clock to `t` without popping anything. Panics if a live
@@ -263,5 +273,22 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 0);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn depth_high_water_tracks_peak_live_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.depth_high_water(), 0);
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.schedule(t(3), ());
+        assert_eq!(q.depth_high_water(), 3);
+        q.cancel(a);
+        q.pop();
+        q.pop();
+        // Draining does not lower the high-water mark.
+        assert_eq!(q.depth_high_water(), 3);
+        q.schedule(t(4), ());
+        assert_eq!(q.depth_high_water(), 3, "peak was 3, new peak is only 1");
     }
 }

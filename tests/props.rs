@@ -173,6 +173,68 @@ proptest! {
     }
 
     #[test]
+    fn provenance_chains_terminate_at_an_origin(
+        seed in 1u64..64,
+        strategy_idx in 0usize..4,
+        move_at in 8u32..16,
+    ) {
+        use mobicast::core::scenario::{run_with_recorder, Move, PaperHost, ScenarioConfig};
+        let cfg = ScenarioConfig {
+            seed,
+            duration: SimDuration::from_secs(30),
+            strategy: mobicast::core::Strategy::ALL[strategy_idx],
+            moves: vec![Move { at_secs: f64::from(move_at), host: PaperHost::R3, to_link: 6 }],
+            ..ScenarioConfig::default()
+        };
+        let (_, rec) = run_with_recorder(&cfg);
+        let by_tag: std::collections::HashMap<u64, &mobicast::core::recorder::DataEvent> =
+            rec.data_events.iter().map(|ev| (ev.id, ev)).collect();
+        prop_assert!(!rec.data_events.is_empty());
+        // Every recorded emission's parent chain must reach an origin
+        // (`parent == None`) through recorded emissions only, within the
+        // topology's diameter bound — i.e. no cycles, no dangling parents.
+        for ev in &rec.data_events {
+            let mut tag = ev.id;
+            let mut steps = 0;
+            loop {
+                let cur = by_tag.get(&tag);
+                prop_assert!(cur.is_some(), "dangling provenance tag {tag}");
+                match cur.unwrap().parent {
+                    Some(parent) => tag = parent,
+                    None => break,
+                }
+                steps += 1;
+                prop_assert!(steps <= 64, "provenance cycle at tag {}", ev.id);
+            }
+        }
+    }
+
+    #[test]
+    fn explainer_is_deterministic_across_identical_seeds(
+        seed in 1u64..32,
+        strategy_idx in 0usize..4,
+    ) {
+        use mobicast::core::scenario::{run_with_recorder, Move, PaperHost, ScenarioConfig};
+        let cfg = ScenarioConfig {
+            seed,
+            duration: SimDuration::from_secs(30),
+            strategy: mobicast::core::Strategy::ALL[strategy_idx],
+            moves: vec![Move { at_secs: 10.0, host: PaperHost::R3, to_link: 6 }],
+            ..ScenarioConfig::default()
+        };
+        let (_, rec_a) = run_with_recorder(&cfg);
+        let (_, rec_b) = run_with_recorder(&cfg);
+        prop_assert_eq!(rec_a.packets.len(), rec_b.packets.len());
+        for m in rec_a.packets.iter().take(5) {
+            let a = mobicast::core::explain::render(
+                &mobicast::core::explain::explain(&rec_a, m.pkt), None);
+            let b = mobicast::core::explain::render(
+                &mobicast::core::explain::explain(&rec_b, m.pkt), None);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn sim_duration_arithmetic_is_consistent(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
         let da = SimDuration::from_nanos(a);
         let db = SimDuration::from_nanos(b);
