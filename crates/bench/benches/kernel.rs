@@ -1,23 +1,22 @@
 //! Criterion benchmarks for the simulation kernel: event queue throughput
-//! and deterministic RNG streams. These guard the substrate every
-//! experiment is built on.
+//! (timer wheel vs the reference binary heap) and deterministic RNG
+//! streams. These guard the substrate every experiment is built on.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use mobicast_sim::{EventQueue, RngFactory, SimTime};
+use mobicast_sim::{EventQueue, HeapEventQueue, RngFactory, SimTime};
 use rand::RngCore;
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    for n in [1_000u64, 10_000, 100_000] {
-        group.throughput(Throughput::Elements(n));
-        group.bench_function(format!("schedule_pop_{n}"), |b| {
+/// Schedule `n` events then drain: the bulk pattern of a scenario startup.
+macro_rules! schedule_pop_bench {
+    ($group:expr, $label:literal, $queue:ty, $n:expr) => {
+        $group.bench_function(format!("{}_{}", $label, $n), |b| {
             b.iter_batched(
-                EventQueue::<u64>::new,
+                <$queue>::new,
                 |mut q| {
                     // Interleaved schedule/pop pattern approximating a
                     // protocol simulation (each event schedules a follower).
-                    for i in 0..n {
+                    for i in 0..$n {
                         q.schedule(SimTime::from_nanos(i * 7919 % 1_000_000), i);
                     }
                     let mut sum = 0u64;
@@ -29,8 +28,58 @@ fn bench_event_queue(c: &mut Criterion) {
                 BatchSize::SmallInput,
             );
         });
+    };
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        schedule_pop_bench!(group, "schedule_pop", EventQueue<u64>, n);
+        schedule_pop_bench!(group, "schedule_pop_heap", HeapEventQueue<u64>, n);
     }
     group.finish();
+}
+
+/// The protocol-timer pattern the wheel is built for: a standing
+/// population of long-dated timers (Queries, Holdtimes, soft-state
+/// expiries) while short-dated frame deliveries churn at the front.
+macro_rules! timer_churn_bench {
+    ($c:expr, $label:literal, $queue:ty) => {
+        $c.bench_function(concat!("event_queue/", $label), |b| {
+            b.iter_batched(
+                || {
+                    let mut q = <$queue>::new();
+                    // 10k standing timers spread over the next ~200 s.
+                    for i in 0..10_000u64 {
+                        q.schedule(SimTime::from_nanos(1_000_000 + i * 20_000_000), i);
+                    }
+                    q
+                },
+                |mut q| {
+                    // Frame churn: each pop schedules a near-future event,
+                    // cancelling every other one (ack timers).
+                    let mut cancel = None;
+                    for _ in 0..10_000u64 {
+                        let (t, v) = q.pop().unwrap();
+                        let id = q.schedule(t + mobicast_sim::SimDuration::from_micros(50), v);
+                        if let Some(prev) = cancel.take() {
+                            q.cancel(prev);
+                        } else {
+                            cancel = Some(id);
+                        }
+                    }
+                    black_box(q.len())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    };
+}
+
+fn bench_timer_churn(c: &mut Criterion) {
+    timer_churn_bench!(c, "timer_churn_wheel", EventQueue<u64>);
+    timer_churn_bench!(c, "timer_churn_heap", HeapEventQueue<u64>);
 }
 
 fn bench_cancellation(c: &mut Criterion) {
@@ -75,6 +124,7 @@ fn bench_rng_streams(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_timer_churn,
     bench_cancellation,
     bench_rng_streams
 );

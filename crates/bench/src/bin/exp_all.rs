@@ -2,7 +2,9 @@
 //! Table 1, the §4.4 timer sweep and the §4.3.1 sender-cost sweep),
 //! timing each one and archiving the full run — tables plus a
 //! per-experiment wall-clock summary — to `results/exp_all_output.txt`.
-//! Pass --quick for reduced sweeps.
+//! Pass --quick for reduced sweeps, `--workers N` to pin the sweep worker
+//! pool (`--serial` = `--workers 1`): any worker count produces
+//! byte-identical experiment JSON — the determinism-parity property.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -11,8 +13,12 @@ use mobicast_core::experiments::{self, ExperimentOutput};
 
 fn main() {
     let quick = mobicast_bench::quick_flag();
+    if let Some(workers) = mobicast_bench::workers_flag() {
+        mobicast_core::sweep::set_worker_override(Some(workers));
+        eprintln!("(sweep worker pool pinned to {workers})");
+    }
     type Exp = (&'static str, fn(bool) -> ExperimentOutput);
-    let experiments: [Exp; 11] = [
+    let experiments: [Exp; 12] = [
         ("fig1", |_| experiments::fig1::run()),
         ("fig2", experiments::fig2::run),
         ("fig3", |_| experiments::fig3::run()),
@@ -24,6 +30,7 @@ fn main() {
         ("mobility_rate", experiments::mobility_rate::run),
         ("fault_sweep", experiments::fault_sweep::run),
         ("chaos", experiments::chaos::run),
+        ("stress", experiments::stress::run),
     ];
 
     let mut archive = String::new();

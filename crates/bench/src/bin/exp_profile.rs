@@ -1,14 +1,18 @@
 //! Simulator telemetry benchmark: profiled, trace-exporting runs of the
-//! reference scenarios. Emits `results/BENCH_sim.json` (events/sec, queue
-//! high-water mark, per-handler-category latency histograms) and a
-//! schema-validated JSONL trace per scenario
+//! reference scenarios plus the parallel-sweep throughput measurements.
+//! Emits `results/BENCH_sim.json` (events/sec, queue high-water mark,
+//! per-handler-category latency histograms, serial-vs-parallel speedups)
+//! and a schema-validated JSONL trace per scenario
 //! (`results/trace-<scenario>.jsonl`). Exits non-zero on any oracle
-//! violation or invalid trace line, so CI can gate on it.
+//! violation, invalid trace line, or serial/parallel result divergence,
+//! so CI can gate on it.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use mobicast_core::scenario::{self, ScenarioConfig};
 use mobicast_core::Strategy;
+use mobicast_sim::parallel::{configured_workers, run_ordered};
 use mobicast_sim::trace::validate_jsonl_line;
 use serde_json::json;
 
@@ -28,7 +32,9 @@ fn profiled(mut cfg: ScenarioConfig, name: &'static str) -> ScenarioConfig {
 /// Run one scenario; returns its BENCH_sim entry, or `Err` with a message
 /// when the oracle or the trace validation fails.
 fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
+    let wall_start = Instant::now();
     let result = scenario::run(cfg);
+    let wall_secs = wall_start.elapsed().as_secs_f64();
     let name = cfg.name;
 
     if cfg.oracle && !result.report.oracle.violations.is_empty() {
@@ -64,9 +70,54 @@ fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
         "profile": profile,
         "events_executed": result.events_executed,
         "packets_sent": result.sent,
+        "wall_secs": wall_secs,
+        "events_per_sec": result.events_executed as f64 / wall_secs.max(1e-9),
         "trace_lines": lines,
         "trace_dropped": result.trace_dropped,
         "trace_file": path,
+    }))
+}
+
+/// Measure one sweep workload serially and in parallel, asserting the two
+/// produce byte-identical results (the determinism-parity property) and
+/// reporting the wall-clock speedup.
+fn sweep_speedup<I, O, F>(name: &str, inputs: Vec<I>, f: F) -> Result<serde_json::Value, String>
+where
+    I: Sync,
+    O: Send + serde::Serialize,
+    F: Fn(&I) -> O + Sync,
+{
+    let workers = configured_workers();
+    let n = inputs.len();
+
+    let start = Instant::now();
+    let serial = run_ordered(inputs.iter().collect(), 1, |i| f(i));
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = run_ordered(inputs.iter().collect(), workers, |i| f(i));
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    let serial_json = serde_json::to_string(&serial).map_err(|e| e.to_string())?;
+    let parallel_json = serde_json::to_string(&parallel).map_err(|e| e.to_string())?;
+    if serial_json != parallel_json {
+        return Err(format!(
+            "{name}: serial and parallel sweep results diverge — determinism broken"
+        ));
+    }
+
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    eprintln!(
+        "[sweep] {name}: {n} runs, serial {serial_secs:.3}s, \
+         parallel({workers}) {parallel_secs:.3}s, speedup {speedup:.2}x"
+    );
+    Ok(json!({
+        "runs": n,
+        "workers": workers,
+        "serial_secs": serial_secs,
+        "parallel_secs": parallel_secs,
+        "speedup": speedup,
+        "identical": true,
     }))
 }
 
@@ -118,10 +169,39 @@ fn main() -> ExitCode {
         }
     }
 
+    // Parallel-sweep throughput: the chaos campaign (the heaviest sweep of
+    // the experiment suite) and the large-topology stress workload, each
+    // run serially and in parallel with a byte-identity check.
+    let chaos_seeds: Vec<u64> = (1..=8).collect();
+    let chaos_sweep = match sweep_speedup("chaos_sweep", chaos_seeds, |&seed| {
+        mobicast_core::chaos::check_seed(seed)
+    }) {
+        Ok(entry) => entry,
+        Err(e) => {
+            eprintln!("exp_profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stress_sweep = match sweep_speedup(
+        "stress_sweep",
+        mobicast_core::stress::specs(false),
+        mobicast_core::stress::run_stress,
+    ) {
+        Ok(entry) => entry,
+        Err(e) => {
+            eprintln!("exp_profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let out = json!({
         "schema": "mobicast-bench-sim",
-        "version": 1,
+        "version": 2,
         "scenarios": serde_json::Value::Object(scenarios),
+        "parallel": {
+            "chaos_sweep": chaos_sweep,
+            "stress_sweep": stress_sweep,
+        },
     });
     mobicast_core::report::write_json("BENCH_sim", &out);
     ExitCode::SUCCESS

@@ -1,0 +1,12 @@
+//! Large-topology stress experiment: grids and trees of 100+ routers with
+//! many roaming receivers, every run under the invariant oracle. Pass
+//! `--quick` for small debug-friendly shapes, `--workers N` / `--serial`
+//! to pin the sweep worker pool.
+
+fn main() {
+    let quick = mobicast_bench::quick_flag();
+    if let Some(workers) = mobicast_bench::workers_flag() {
+        mobicast_core::sweep::set_worker_override(Some(workers));
+    }
+    mobicast_bench::emit(&mobicast_core::experiments::stress::run(quick));
+}

@@ -20,3 +20,21 @@ pub fn emit(out: &ExperimentOutput) {
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")
 }
+
+/// Parse `--workers N` / `--serial` (= `--workers 1`): the sweep worker
+/// pool override. `None` leaves the pool at its configured default.
+pub fn workers_flag() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--serial" {
+            return Some(1);
+        }
+        if a == "--workers" {
+            let v = args.next().expect("--workers needs a count");
+            let n: usize = v.parse().expect("--workers needs an integer count");
+            assert!(n >= 1, "--workers needs a count >= 1");
+            return Some(n);
+        }
+    }
+    None
+}

@@ -62,6 +62,63 @@ impl NetworkSpec {
             link_params: LinkParams::default(),
         }
     }
+
+    /// A `w × h` grid of links — link `(x, y)` has index `y*w + x` — with a
+    /// router joining every pair of horizontally or vertically adjacent
+    /// links. Heavily multipath (every inner face is a cycle), so floods
+    /// arrive over parallel paths and the PIM Assert election is exercised
+    /// everywhere. `grid(8, 8)` yields 64 links and 112 routers — the
+    /// large-topology stress shape.
+    pub fn grid(w: usize, h: usize) -> NetworkSpec {
+        assert!(w >= 2 && h >= 2);
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut routers = Vec::new();
+        for y in 0..h {
+            for x in 0..w - 1 {
+                routers.push(vec![idx(x, y), idx(x + 1, y)]);
+            }
+        }
+        for y in 0..h - 1 {
+            for x in 0..w {
+                routers.push(vec![idx(x, y), idx(x, y + 1)]);
+            }
+        }
+        NetworkSpec {
+            n_links: w * h,
+            routers,
+            link_params: LinkParams::default(),
+        }
+    }
+
+    /// A complete `fanout`-ary tree of links with `depth` levels, one
+    /// router per parent–child edge. Links are BFS-indexed (root = 0, the
+    /// children of link `i` are `i*fanout + 1 ..= i*fanout + fanout`).
+    /// Loop-free by construction; `tree(3, 5)` yields 121 links and 120
+    /// routers.
+    pub fn tree(fanout: usize, depth: usize) -> NetworkSpec {
+        assert!(fanout >= 2 && depth >= 2);
+        let mut n_links = 1usize;
+        let mut level = 1usize;
+        for _ in 1..depth {
+            level *= fanout;
+            n_links += level;
+        }
+        let mut routers = Vec::new();
+        for parent in 0..n_links {
+            for c in 0..fanout {
+                let child = parent * fanout + 1 + c;
+                if child >= n_links {
+                    break;
+                }
+                routers.push(vec![parent, child]);
+            }
+        }
+        NetworkSpec {
+            n_links,
+            routers,
+            link_params: LinkParams::default(),
+        }
+    }
 }
 
 /// A host to place in the network.

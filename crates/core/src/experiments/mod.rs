@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod mobility_rate;
 pub mod sender_cost;
+pub mod stress;
 pub mod table1;
 pub mod timer_sweep;
 
@@ -51,5 +52,6 @@ pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
         mobility_rate::run(quick),
         fault_sweep::run(quick),
         chaos::run(quick),
+        stress::run(quick),
     ]
 }

@@ -36,6 +36,7 @@ pub mod report;
 pub mod router_node;
 pub mod scenario;
 pub mod strategy;
+pub mod stress;
 pub mod sweep;
 
 pub use analysis::{Analysis, RunReport};

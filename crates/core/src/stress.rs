@@ -1,0 +1,316 @@
+//! Large-topology stress scenarios: grids and trees of 100+ routers with
+//! many mobile receivers, run with the invariant oracle attached.
+//!
+//! The reference (Figure-1) scenarios exercise the protocols on six links;
+//! these scenarios scale the same stacks to `NetworkSpec::grid` /
+//! `NetworkSpec::tree` topologies where the flood fans out over a hundred
+//! links, dozens of receivers join, and a scripted subset of them roams
+//! on deterministic (seed-derived) schedules. Every run is judged by the
+//! [`Oracle`] — forwarding loops, persistent duplicates, stale state and
+//! unbounded encapsulation are violations — so the stress layer doubles as
+//! a soak test for the hot-path optimizations (timer wheel, flood path):
+//! an ordering bug in the event queue shows up here as a protocol
+//! violation, not just a flaky metric.
+
+use crate::builder::{build, BuiltNetwork, HostSpec, NetworkSpec};
+use crate::host_node::{HostConfig, SenderApp};
+use crate::oracle::{FinalizeParams, Oracle};
+use crate::router_node::{RouterConfig, RouterNode};
+use crate::scenario::group;
+use crate::strategy::Strategy;
+use mobicast_mld::MldConfig;
+use mobicast_sim::{RngFactory, SimDuration, SimTime, Tracer};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Traffic starts here (leaves room for the initial MLD joins).
+const TRAFFIC_START_SECS: u64 = 5;
+/// Earliest scripted move.
+const FIRST_MOVE_SECS: u64 = 20;
+/// Quiet tail demanded after the last move so the oracle's settle window
+/// (last disturbance + 30 s margin) fits inside the run.
+const MOVE_QUIET_TAIL_SECS: u64 = 60;
+/// Reconvergence margin granted after the last move (mirrors the scenario
+/// layer's settle margin).
+const SETTLE_MARGIN_SECS: u64 = 30;
+
+/// Configuration of one stress run.
+#[derive(Clone, Debug)]
+pub struct StressSpec {
+    /// Label used in reports ("grid8x8/LOCAL", …).
+    pub name: String,
+    pub topology: NetworkSpec,
+    pub strategy: Strategy,
+    pub seed: u64,
+    pub duration: SimDuration,
+    /// Receivers, spread deterministically over the links (sender is
+    /// always on link 0).
+    pub receivers: usize,
+    /// How many of the receivers roam (the first `movers`).
+    pub movers: usize,
+    /// Scripted moves per roaming receiver.
+    pub moves_per_mover: usize,
+    /// CBR source interval.
+    pub data_interval: SimDuration,
+}
+
+impl StressSpec {
+    /// Link the `i`-th receiver is homed on: spread over all non-sender
+    /// links with a fixed prime stride so neighbours land far apart.
+    fn receiver_home(&self, i: usize) -> usize {
+        1 + (i * 7919) % (self.topology.n_links - 1)
+    }
+}
+
+/// Deterministic result of one stress run (no wall-clock anywhere — serial
+/// and parallel execution must produce identical reports).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StressReport {
+    pub name: String,
+    pub routers: usize,
+    pub links: usize,
+    pub hosts: usize,
+    pub moves: usize,
+    /// Scheduler dispatches over the whole run.
+    pub events_executed: u64,
+    pub packets_sent: u64,
+    pub first_copy_deliveries: u64,
+    pub duplicate_deliveries: u64,
+    /// Peak (S,G) state on any single router.
+    pub max_router_sg_entries: usize,
+    pub oracle_violations: u64,
+    /// First few violation messages (empty on a legal run).
+    pub violations: Vec<String>,
+}
+
+/// Run one stress scenario to completion under the oracle.
+pub fn run_stress(spec: &StressSpec) -> StressReport {
+    assert!(
+        spec.receivers >= spec.movers,
+        "movers are a subset of receivers"
+    );
+    assert!(spec.topology.n_links >= 2, "need somewhere to roam");
+    let dur_secs = spec.duration.as_secs_f64() as u64;
+    assert!(
+        dur_secs >= FIRST_MOVE_SECS + MOVE_QUIET_TAIL_SECS,
+        "run too short for the move window"
+    );
+    let g = group();
+    let end = SimTime::ZERO + spec.duration;
+
+    let host_cfg = HostConfig {
+        strategy: spec.strategy,
+        unsolicited_reports: true,
+        mld: MldConfig::default(),
+    };
+    let mut hosts = vec![HostSpec {
+        home_link: 0,
+        cfg: host_cfg,
+        sender: Some(SenderApp {
+            group: g,
+            interval: spec.data_interval,
+            payload_size: 256,
+            start: SimTime::from_secs(TRAFFIC_START_SECS),
+            stop: end,
+        }),
+        receiver_group: None,
+    }];
+    for i in 0..spec.receivers {
+        hosts.push(HostSpec {
+            home_link: spec.receiver_home(i),
+            cfg: host_cfg,
+            sender: None,
+            receiver_group: Some(g),
+        });
+    }
+
+    let mut net = build(
+        &spec.topology,
+        &hosts,
+        RouterConfig::default(),
+        spec.seed,
+        Tracer::null(),
+    );
+
+    // Script the moves: per-mover RNG streams derived only from the seed,
+    // so the schedule is a pure function of (seed, spec) — the determinism
+    // contract the parity harness relies on.
+    let move_rng = RngFactory::new(spec.seed).subfactory("stress.moves");
+    let move_window = FIRST_MOVE_SECS..(dur_secs - MOVE_QUIET_TAIL_SECS);
+    let mut last_move_secs = 0u64;
+    let mut n_moves = 0usize;
+    for m in 0..spec.movers {
+        let mut rng = move_rng.indexed_stream("mover", m as u64);
+        let mut times: Vec<u64> = (0..spec.moves_per_mover)
+            .map(|_| rng.random_range(move_window.clone()))
+            .collect();
+        times.sort_unstable();
+        let host = net.hosts[1 + m]; // host 0 is the sender
+        let mut current = spec.receiver_home(m);
+        for at_secs in times {
+            let mut to = rng.random_range(0..spec.topology.n_links);
+            if to == current {
+                to = (to + 1) % spec.topology.n_links;
+            }
+            current = to;
+            let link = net.links[to];
+            net.world.at(SimTime::from_secs(at_secs), move |w| {
+                w.move_iface(host, 0, link);
+            });
+            last_move_secs = last_move_secs.max(at_secs);
+            n_moves += 1;
+        }
+    }
+
+    let oracle = Oracle::attach(&mut net.world, net.routers.clone(), end);
+    net.world.run_until(end);
+
+    let BuiltNetwork {
+        world,
+        routers,
+        hosts: host_ids,
+        links,
+        recorder,
+        ..
+    } = net;
+    let rec = recorder.take();
+
+    let receivers: Vec<_> = host_ids
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, id)| (*id, links[spec.receiver_home(i - 1)]))
+        .collect();
+    let settle_secs = (TRAFFIC_START_SECS + 15).max(last_move_secs + SETTLE_MARGIN_SECS);
+    let summary = oracle.finalize(
+        &rec,
+        &FinalizeParams {
+            settle: SimTime::from_secs(settle_secs),
+            t_mli: MldConfig::default().multicast_listener_interval(),
+            receivers,
+            end,
+        },
+    );
+
+    let first = rec.deliveries.iter().filter(|d| d.first).count() as u64;
+    let dup = rec.deliveries.len() as u64 - first;
+    let max_sg = routers
+        .iter()
+        .filter_map(|r| world.behavior::<RouterNode>(*r))
+        .map(|r| r.max_sg_entries)
+        .max()
+        .unwrap_or(0);
+
+    StressReport {
+        name: spec.name.clone(),
+        routers: routers.len(),
+        links: links.len(),
+        hosts: host_ids.len(),
+        moves: n_moves,
+        events_executed: world.events_executed(),
+        packets_sent: rec.packets.len() as u64,
+        first_copy_deliveries: first,
+        duplicate_deliveries: dup,
+        max_router_sg_entries: max_sg,
+        oracle_violations: summary.violation_count,
+        violations: summary.violations,
+    }
+}
+
+/// The canonical stress specs: `quick` uses small shapes suitable for
+/// debug-mode test runs; full mode uses the 100+-router shapes.
+pub fn specs(quick: bool) -> Vec<StressSpec> {
+    let (grid, tree, duration, receivers, movers) = if quick {
+        (
+            NetworkSpec::grid(4, 4),
+            NetworkSpec::tree(2, 4),
+            SimDuration::from_secs(90),
+            6,
+            2,
+        )
+    } else {
+        (
+            NetworkSpec::grid(8, 8),
+            NetworkSpec::tree(3, 5),
+            SimDuration::from_secs(120),
+            24,
+            6,
+        )
+    };
+    let shapes = [("grid", grid), ("tree", tree)];
+    let strategies = [Strategy::LOCAL, Strategy::BIDIRECTIONAL_TUNNEL];
+    let mut out = Vec::new();
+    for (shape, topo) in shapes {
+        for strat in strategies {
+            out.push(StressSpec {
+                name: format!(
+                    "{shape}{}x{}/{}",
+                    topo.n_links,
+                    topo.routers.len(),
+                    strat.name()
+                ),
+                topology: topo.clone(),
+                strategy: strat,
+                seed: 11,
+                duration,
+                receivers,
+                movers,
+                moves_per_mover: 2,
+                data_interval: SimDuration::from_secs(1),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_and_tree_shapes() {
+        let g = NetworkSpec::grid(8, 8);
+        assert_eq!(g.n_links, 64);
+        assert_eq!(g.routers.len(), 112);
+        let t = NetworkSpec::tree(3, 5);
+        assert_eq!(t.n_links, 121);
+        assert_eq!(t.routers.len(), 120);
+        // Every tree link except the root has exactly one parent edge.
+        let mut child_seen = vec![0usize; t.n_links];
+        for r in &t.routers {
+            child_seen[r[1]] += 1;
+        }
+        assert_eq!(child_seen[0], 0);
+        assert!(child_seen[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn quick_stress_runs_clean() {
+        for spec in specs(true) {
+            let report = run_stress(&spec);
+            assert_eq!(
+                report.oracle_violations, 0,
+                "{}: {:?}",
+                report.name, report.violations
+            );
+            assert!(report.packets_sent > 0, "{}: no traffic", report.name);
+            assert!(
+                report.first_copy_deliveries > 0,
+                "{}: nothing delivered",
+                report.name
+            );
+            assert!(report.moves > 0, "{}: nobody roamed", report.name);
+        }
+    }
+
+    #[test]
+    fn stress_is_deterministic_in_seed() {
+        let spec = &specs(true)[0];
+        let a = run_stress(spec);
+        let b = run_stress(spec);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}

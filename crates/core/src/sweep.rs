@@ -1,12 +1,14 @@
 //! Deterministic parallel parameter sweeps.
 //!
-//! Each scenario run is single-threaded and deterministic; a sweep runs
-//! many configurations across OS threads with std scoped threads (the
-//! guides' "data parallelism without data races" idiom — results are
-//! collected by index, so output order never depends on scheduling).
+//! Each scenario run is single-threaded and deterministic; a sweep fans
+//! many configurations across OS threads through the simulator kernel's
+//! scoped worker pool ([`mobicast_sim::parallel`]). Results come back in
+//! input order whatever the scheduling, and every run's RNG streams derive
+//! only from its own seed, so serial and parallel execution produce
+//! byte-identical output — the property the determinism-parity harness
+//! pins down.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+pub use mobicast_sim::parallel::{configured_workers, set_worker_override, with_workers};
 
 /// Run `f` over `inputs` with up to `workers` threads, preserving order.
 pub fn run_parallel<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
@@ -15,42 +17,13 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    assert!(workers >= 1);
-    let n = inputs.len();
-    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    let inputs_ref = &inputs;
-    let f_ref = &f;
-    // Workers pull indices from a shared counter and push (index, output)
-    // pairs; the pairs are scattered back into order afterwards.
-    let collected = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|s| {
-        for _ in 0..workers.min(n.max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f_ref(&inputs_ref[i]);
-                collected.lock().unwrap().push((i, out));
-            });
-        }
-    });
-    for (i, out) in collected.into_inner().unwrap() {
-        results[i] = Some(out);
-    }
-    results
-        .into_iter()
-        .map(|o| o.expect("every input processed"))
-        .collect()
+    mobicast_sim::parallel::run_ordered(inputs, workers, f)
 }
 
-/// Number of worker threads to use by default.
+/// Number of worker threads to use by default (respects the
+/// `MOBICAST_WORKERS` environment variable and any programmatic override).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(1, 16)
+    configured_workers()
 }
 
 #[cfg(test)]
@@ -80,5 +53,10 @@ mod tests {
     fn more_workers_than_inputs() {
         let out = run_parallel(vec![5], 16, |x| x * x);
         assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn override_forces_serial_default() {
+        with_workers(1, || assert_eq!(default_workers(), 1));
     }
 }

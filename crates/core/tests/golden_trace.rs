@@ -1,0 +1,117 @@
+//! Golden-trace regression tests: fixed-seed runs of the reference
+//! scenarios must reproduce their committed JSONL traces line for line.
+//!
+//! The trace is the simulator's observable event history (protocol sends,
+//! timer fires, handoffs, tunnel operations) in the versioned export
+//! schema, so any behavioral drift — an event reordered by a queue change,
+//! a timer moved by a config change, a handler added or removed — shows up
+//! here as a first-divergence diff, not as a silently shifted figure.
+//! Every line is also schema-validated, keeping the goldens honest.
+//!
+//! To regenerate after an *intentional* behavior change:
+//! `MOBICAST_UPDATE_GOLDENS=1 cargo test -p mobicast-core --test golden_trace`
+//! and commit the diff.
+
+use mobicast_core::scenario::{self, Move, PaperHost, ScenarioConfig};
+use mobicast_core::strategy::Strategy;
+use mobicast_sim::trace::validate_jsonl_line;
+use mobicast_sim::SimDuration;
+use std::path::PathBuf;
+
+const TRACE_CAPACITY: usize = 100_000;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.jsonl"))
+}
+
+fn capture(cfg: &ScenarioConfig) -> String {
+    let result = scenario::run(cfg);
+    assert!(
+        result.report.oracle.violations.is_empty(),
+        "{}: oracle violations: {:?}",
+        cfg.name,
+        result.report.oracle.violations
+    );
+    let trace = result.trace_jsonl.expect("trace captured");
+    assert_eq!(
+        result.trace_dropped, 0,
+        "{}: trace ring overflowed",
+        cfg.name
+    );
+    for (i, line) in trace.lines().enumerate() {
+        validate_jsonl_line(line)
+            .unwrap_or_else(|e| panic!("{}: invalid trace line {}: {e}: {line}", cfg.name, i + 1));
+    }
+    trace
+}
+
+fn check_golden(cfg: &ScenarioConfig) {
+    let trace = capture(cfg);
+    let path = golden_path(cfg.name);
+    if std::env::var_os("MOBICAST_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &trace).unwrap();
+        eprintln!("(updated {})", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: cannot read golden {} ({e}); regenerate with \
+             MOBICAST_UPDATE_GOLDENS=1",
+            cfg.name,
+            path.display()
+        )
+    });
+    let mut got = trace.lines();
+    let mut want = golden.lines();
+    let mut line_no = 0usize;
+    loop {
+        line_no += 1;
+        match (got.next(), want.next()) {
+            (None, None) => break,
+            (g, w) => assert_eq!(
+                g, w,
+                "{}: trace diverges from golden at line {line_no} \
+                 (got vs want); if the change is intentional, regenerate \
+                 with MOBICAST_UPDATE_GOLDENS=1 and commit",
+                cfg.name
+            ),
+        }
+    }
+}
+
+/// Figure-1 steady state: flood, prune, and stable delivery. Short run —
+/// the golden pins the startup sequence (MLD joins, initial flood,
+/// prune/assert resolution), where most event-ordering changes surface.
+#[test]
+fn fig1_trace_matches_golden() {
+    check_golden(&ScenarioConfig {
+        seed: 1,
+        duration: SimDuration::from_secs(30),
+        trace_capture: Some(TRACE_CAPACITY),
+        name: "golden-fig1",
+        ..ScenarioConfig::default()
+    });
+}
+
+/// A bidirectional-tunnel handoff: R3 roams to the pruned Link 6, sends a
+/// Binding Update, and traffic resumes through the HA tunnel. The golden
+/// pins the full MIPv6 signalling and encap/decap event sequence.
+#[test]
+fn handoff_trace_matches_golden() {
+    check_golden(&ScenarioConfig {
+        seed: 1,
+        duration: SimDuration::from_secs(80),
+        strategy: Strategy::BIDIRECTIONAL_TUNNEL,
+        moves: vec![Move {
+            at_secs: 40.0,
+            host: PaperHost::R3,
+            to_link: 6,
+        }],
+        trace_capture: Some(TRACE_CAPACITY),
+        name: "golden-handoff",
+        ..ScenarioConfig::default()
+    });
+}

@@ -591,10 +591,14 @@ impl Ctx<'_> {
         let iface = &mut self.world.nodes[node.index()].ifaces[usize::from(ifindex)];
         let (arrival, free) = schedule_transmission(&params, now, iface.tx_free, frame.len());
         iface.tx_free = free;
-        // Snapshot membership at transmission time. (Cloned so the loss
-        // process below can borrow the link's fault state mutably.)
-        let members = self.world.links[link_id.index()].members.clone();
-        for member in members {
+        // Iterate membership by index: behaviors cannot run (and so
+        // membership cannot change) while the copies are being scheduled,
+        // and re-indexing per member lets the loss process below borrow
+        // the link's fault state mutably without cloning the member list
+        // on every transmission — the flood path's hottest allocation.
+        let n_members = self.world.links[link_id.index()].members.len();
+        for mi in 0..n_members {
+            let member = self.world.links[link_id.index()].members[mi];
             if member.node == node && member.ifindex == ifindex {
                 continue;
             }

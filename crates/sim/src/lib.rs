@@ -7,11 +7,15 @@
 //! Contents:
 //! * [`time`] — integer virtual time ([`SimTime`], [`SimDuration`]).
 //! * [`queue`] — a cancellable, FIFO-stable event queue ([`EventQueue`]).
+//! * [`wheel`] — the hierarchical timer wheel behind [`EventQueue`]
+//!   (O(1) scheduling; the heap queue remains as [`HeapEventQueue`]).
 //! * [`rng`] — labelled deterministic RNG streams ([`RngFactory`]).
 //! * [`metrics`] — counters and sample series with summaries.
 //! * [`trace`] — structured, filterable simulation traces with a versioned
 //!   JSONL export.
 //! * [`profile`] — opt-in wall-clock profiling of the event loop.
+//! * [`parallel`] — a dependency-free scoped worker pool fanning
+//!   independent deterministic runs across cores with ordered results.
 //!
 //! Determinism contract: given the same scenario seed, the same sequence of
 //! `schedule`/`pop` calls yields the same event order and the same random
@@ -19,17 +23,20 @@
 //! paper reproduction exactly repeatable.
 
 pub mod metrics;
+pub mod parallel;
 pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use metrics::{Counters, Series, SeriesSet, Summary};
 pub use profile::{Profiler, SimProfile};
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, HeapEventQueue};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     FieldValue, Fields, RingBufferTracer, TraceCategory, TraceEvent, TraceSink, Tracer,
 };
+pub use wheel::TimerWheel;

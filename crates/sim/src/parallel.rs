@@ -1,0 +1,178 @@
+//! A dependency-free scoped worker pool for deterministic fan-out.
+//!
+//! Every scenario run is single-threaded and deterministic in its seed, so
+//! a sweep of independent runs parallelizes trivially: workers pull input
+//! indices from a shared counter, send `(index, output)` pairs back over a
+//! channel, and the caller scatters them into input order. The output is
+//! therefore **bit-identical regardless of worker count or OS scheduling**
+//! — the property the determinism-parity harness asserts by re-running
+//! every experiment with `workers = 1` and comparing JSON byte-for-byte.
+//!
+//! Worker count resolution (first match wins):
+//! 1. a programmatic override installed with [`set_worker_override`]
+//!    (used by the parity harness to force serial execution),
+//! 2. the `MOBICAST_WORKERS` environment variable,
+//! 3. `std::thread::available_parallelism()`, clamped to [1, 16].
+//!
+//! With one worker the pool spawns no threads at all: the closure runs
+//! inline on the caller's thread, so "serial" really is the plain loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Sentinel for "no override installed".
+const NO_OVERRIDE: usize = 0;
+
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(NO_OVERRIDE);
+
+/// Force every subsequent [`configured_workers`] call to return `n`
+/// (process-wide). `None` removes the override. Returns the previous
+/// override. Intended for the determinism-parity harness and the
+/// experiment binaries' `--workers` flag, not for concurrent juggling.
+pub fn set_worker_override(n: Option<usize>) -> Option<usize> {
+    let raw = match n {
+        Some(n) => {
+            assert!(n >= 1, "worker override must be >= 1");
+            n
+        }
+        None => NO_OVERRIDE,
+    };
+    match WORKER_OVERRIDE.swap(raw, Ordering::SeqCst) {
+        NO_OVERRIDE => None,
+        prev => Some(prev),
+    }
+}
+
+/// Resolve the worker count: override, then `MOBICAST_WORKERS`, then
+/// available parallelism clamped to [1, 16].
+pub fn configured_workers() -> usize {
+    match WORKER_OVERRIDE.load(Ordering::SeqCst) {
+        NO_OVERRIDE => {}
+        n => return n,
+    }
+    if let Ok(v) = std::env::var("MOBICAST_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid MOBICAST_WORKERS={v:?}");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
+
+/// Run `f` over every input on up to `workers` scoped threads, returning
+/// the outputs **in input order** whatever the scheduling.
+///
+/// `workers == 1` runs inline on the caller's thread (no spawn, no
+/// channel): the serial reference execution of the parity harness.
+pub fn run_ordered<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let n = inputs.len();
+    if workers == 1 || n <= 1 {
+        return inputs.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let next_ref = &next;
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f_ref(&inputs_ref[i]);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Collect on the caller's thread while workers run; scattering by
+        // index restores input order deterministically.
+        for (i, out) in rx {
+            debug_assert!(results[i].is_none(), "input {i} processed twice");
+            results[i] = Some(out);
+        }
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("every input processed"))
+        .collect()
+}
+
+/// Convenience: run with an override installed for the duration of `g`,
+/// restoring the previous override afterwards (even on unwind).
+pub fn with_workers<R>(n: usize, g: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_worker_override(self.0);
+        }
+    }
+    let _restore = Restore(set_worker_override(Some(n)));
+    g()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_worker_count() {
+        let inputs: Vec<u64> = (0..200).collect();
+        let expect: Vec<u64> = inputs.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 7, 16] {
+            let out = run_ordered(inputs.clone(), workers, |x| x * 3);
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let serial = run_ordered(inputs.clone(), 1, |x| x.wrapping_mul(0x9e37_79b9));
+        let parallel = run_ordered(inputs, 8, |x| x.wrapping_mul(0x9e37_79b9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<u32> = run_ordered(Vec::<u32>::new(), 4, |_| 0);
+        assert!(out.is_empty());
+        let out = run_ordered(vec![5u32], 16, |x| x * x);
+        assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn with_workers_installs_and_restores() {
+        with_workers(3, || {
+            assert_eq!(configured_workers(), 3);
+            with_workers(1, || assert_eq!(configured_workers(), 1));
+            assert_eq!(configured_workers(), 3);
+        });
+    }
+
+    #[test]
+    fn uncaught_worker_output_is_not_lost_under_contention() {
+        // Many tiny tasks: exercises the channel path under real contention.
+        let inputs: Vec<usize> = (0..1000).collect();
+        let out = run_ordered(inputs, 8, |&i| i + 1);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+}

@@ -3,14 +3,35 @@
 //! Events at equal times are delivered in the order they were scheduled
 //! (FIFO), which makes runs fully deterministic. Cancellation is O(1) via a
 //! pending-id set; cancelled entries are skipped (and dropped) on pop.
+//!
+//! Two implementations share the API and the exact `(time, sequence)` pop
+//! order: the production [`EventQueue`] is the hierarchical timer wheel of
+//! [`crate::wheel`] (O(1) schedule/placement); [`HeapEventQueue`] is the
+//! original binary-heap queue, kept as the reference implementation for
+//! the wheel's differential tests and the kernel benchmarks.
 
 use crate::time::SimTime;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashSet};
 
+/// The event queue used by the simulator: the timer wheel.
+pub type EventQueue<E> = crate::wheel::TimerWheel<E>;
+
 /// Handle identifying a scheduled event, usable to cancel it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    pub(crate) fn from_raw(seq: u64) -> EventId {
+        EventId(seq)
+    }
+
+    #[inline]
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 struct Entry<E> {
     at: SimTime,
@@ -35,12 +56,12 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic, cancellable event queue.
+/// A deterministic, cancellable event queue over a binary heap.
 ///
 /// Sequence numbers are never reused, so an [`EventId`] unambiguously names
 /// one scheduling. Cancelling an event that already fired (or was already
 /// cancelled) is a no-op that returns `false`.
-pub struct EventQueue<E> {
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     /// Ids scheduled but neither popped nor cancelled yet.
     pending: HashSet<u64>,
@@ -49,15 +70,15 @@ pub struct EventQueue<E> {
     depth_high_water: usize,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             pending: HashSet::new(),
             next_seq: 0,

@@ -1,0 +1,204 @@
+//! Wire-codec round-trip property tests: every protocol message the
+//! simulator puts on the wire — MLD (RFC 2710 over ICMPv6), PIM-DM
+//! (draft-ietf-pim-v2-dm-03), ICMPv6 control, and RFC 2473 IPv6-in-IPv6
+//! tunnel encapsulation — must encode/decode losslessly, and the decoders
+//! must never panic on truncated or corrupted input (they see every byte a
+//! faulty link delivers).
+
+use bytes::Bytes;
+use mobicast::ipv6::addr::GroupAddr;
+use mobicast::ipv6::packet::{proto, Packet};
+use mobicast::ipv6::tunnel::{
+    decapsulate, encapsulate, encapsulate_limited, is_tunnel, DEFAULT_ENCAP_LIMIT,
+};
+use mobicast::ipv6::Icmpv6;
+use mobicast::mld::MldMessage;
+use mobicast::pimdm::{PimMessage, Sg};
+use mobicast::sim::SimDuration;
+use proptest::prelude::*;
+use std::net::Ipv6Addr;
+
+fn arb_addr() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+fn arb_unicast() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(|x| Ipv6Addr::from(x & !(0xff_u128 << 120)))
+}
+
+fn arb_group() -> impl Strategy<Value = GroupAddr> {
+    any::<u16>().prop_map(GroupAddr::test_group)
+}
+
+/// An (S,G) list derived from raw 128-bit words (the shim has no tuple
+/// strategies): low bits give the source, high bits pick the group.
+fn arb_sg_list() -> impl Strategy<Value = Vec<Sg>> {
+    proptest::collection::vec(any::<u128>(), 0..5).prop_map(|words| {
+        words
+            .into_iter()
+            .map(|w| {
+                let src = Ipv6Addr::from(w & !(0xff_u128 << 120));
+                let group = GroupAddr::test_group((w >> 64) as u16);
+                (src, group)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn mld_roundtrip(
+        kind in any::<u8>(),
+        delay_ms in any::<u16>(),
+        g in arb_group(),
+        src in arb_unicast(),
+        dst in arb_addr(),
+    ) {
+        let msg = match kind % 3 {
+            0 => MldMessage::Query {
+                max_response_delay: SimDuration::from_millis(u64::from(delay_ms)),
+                // General Query (no group) or Multicast-Address-Specific.
+                group: (kind & 4 != 0).then_some(g),
+            },
+            1 => MldMessage::Report { group: g },
+            _ => MldMessage::Done { group: g },
+        };
+        let bytes = msg.to_icmp().encode(src, dst);
+        let decoded = Icmpv6::decode(src, dst, &bytes).expect("valid encoding decodes");
+        prop_assert_eq!(MldMessage::from_icmp(&decoded), Some(msg));
+    }
+
+    #[test]
+    fn pim_roundtrip(
+        kind in any::<u8>(),
+        holdtime_s in any::<u16>(),
+        upstream in arb_unicast(),
+        joins in arb_sg_list(),
+        prunes in arb_sg_list(),
+        g in arb_group(),
+        source in arb_unicast(),
+        metric_pref in any::<u32>(),
+        metric in any::<u32>(),
+        src in arb_unicast(),
+        dst in arb_addr(),
+    ) {
+        let msg = match kind % 5 {
+            0 => PimMessage::Hello {
+                holdtime: SimDuration::from_secs(u64::from(holdtime_s)),
+            },
+            1 => PimMessage::JoinPrune { upstream, joins, prunes },
+            2 => PimMessage::Graft { upstream, entries: joins },
+            3 => PimMessage::GraftAck { upstream, entries: prunes },
+            _ => PimMessage::Assert { group: g, source, metric_pref, metric },
+        };
+        let bytes = msg.encode(src, dst);
+        let decoded = PimMessage::decode(src, dst, &bytes).expect("valid encoding decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn icmpv6_roundtrip(
+        kind in any::<u8>(),
+        a in any::<u16>(),
+        b in any::<u16>(),
+        pointer in any::<u32>(),
+        g in arb_group(),
+        src in arb_unicast(),
+        dst in arb_addr(),
+    ) {
+        let msg = match kind % 5 {
+            0 => Icmpv6::MldQuery { max_response_delay_ms: a, group: g.into() },
+            1 => Icmpv6::ParamProblem { pointer },
+            2 => Icmpv6::RouterSolicit,
+            3 => Icmpv6::EchoRequest { id: a, seq: b },
+            _ => Icmpv6::EchoReply { id: a, seq: b },
+        };
+        let bytes = msg.encode(src, dst);
+        let decoded = Icmpv6::decode(src, dst, &bytes).expect("valid encoding decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn tunnel_encap_decap_roundtrip(
+        inner_src in arb_unicast(),
+        inner_dst in arb_addr(),
+        outer_src in arb_unicast(),
+        outer_dst in arb_unicast(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let inner = Packet::new(inner_src, inner_dst, proto::UDP, Bytes::from(payload));
+        let outer = encapsulate(outer_src, outer_dst, &inner);
+        prop_assert!(is_tunnel(&outer));
+        // The tunnel must survive a wire round-trip of the outer packet.
+        let wire = Packet::decode(&outer.encode()).expect("outer packet decodes");
+        prop_assert_eq!(decapsulate(&wire).expect("decapsulates"), inner);
+    }
+
+    #[test]
+    fn nested_encapsulation_is_bounded_and_unwinds(
+        src in arb_unicast(),
+        dst in arb_addr(),
+        hop in arb_unicast(),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let inner = Packet::new(src, dst, proto::UDP, Bytes::from(payload));
+        let mut stack = inner.clone();
+        let mut depth = 0u32;
+        // RFC 2473 §4.1.1: recursive encapsulation must be refused after a
+        // bounded number of levels, never loop forever.
+        while let Ok(outer) = encapsulate_limited(hop, hop, &stack) {
+            stack = outer;
+            depth += 1;
+            prop_assert!(depth <= u32::from(DEFAULT_ENCAP_LIMIT) + 1);
+        }
+        prop_assert!(depth >= 1, "plain packets must be encapsulable");
+        // Unwind every level and recover the original datagram.
+        for _ in 0..depth {
+            stack = decapsulate(&stack).expect("nested level decapsulates");
+        }
+        prop_assert_eq!(stack, inner);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(
+        raw in proptest::collection::vec(any::<u8>(), 0..96),
+        src in arb_unicast(),
+        dst in arb_addr(),
+    ) {
+        // Any result is fine — decoding must simply not panic.
+        let _ = Icmpv6::decode(src, dst, &raw);
+        let _ = PimMessage::decode(src, dst, &raw);
+        let _ = Packet::decode(&raw);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_truncation_or_corruption(
+        kind in any::<u8>(),
+        g in arb_group(),
+        upstream in arb_unicast(),
+        joins in arb_sg_list(),
+        src in arb_unicast(),
+        dst in arb_addr(),
+        cut in any::<u8>(),
+        flip_at in any::<u8>(),
+        flip_bits in any::<u8>(),
+    ) {
+        // Start from a valid frame of either protocol family…
+        let bytes: Bytes = if kind & 1 == 0 {
+            PimMessage::Graft { upstream, entries: joins }.encode(src, dst)
+        } else {
+            MldMessage::Report { group: g }.to_icmp().encode(src, dst)
+        };
+        // …then truncate it at an arbitrary point,
+        let cut = usize::from(cut) % (bytes.len() + 1);
+        let _ = Icmpv6::decode(src, dst, &bytes[..cut]);
+        let _ = PimMessage::decode(src, dst, &bytes[..cut]);
+        // …and separately corrupt one byte. A checksum failure or decode
+        // error is expected; a panic is not.
+        let mut corrupt = bytes.to_vec();
+        let at = usize::from(flip_at) % corrupt.len();
+        corrupt[at] ^= flip_bits | 1;
+        let _ = Icmpv6::decode(src, dst, &corrupt);
+        let _ = PimMessage::decode(src, dst, &corrupt);
+    }
+}
