@@ -5,23 +5,22 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mobicast_core::scenario::{self, Move, PaperHost, ScenarioConfig};
-use mobicast_core::strategy::Strategy;
+use mobicast_core::strategy::Policy;
 use mobicast_mld::MldConfig;
 use mobicast_sim::SimDuration;
 use std::hint::black_box;
 
-fn short(strategy: Strategy, moves: Vec<Move>) -> ScenarioConfig {
-    ScenarioConfig {
-        duration: SimDuration::from_secs(120),
-        strategy,
-        moves,
-        ..ScenarioConfig::default()
-    }
+fn short(policy: Policy, moves: Vec<Move>) -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(120))
+        .policy(policy)
+        .moves(moves)
+        .build()
 }
 
 fn bench_fig1_static_tree(c: &mut Criterion) {
     c.bench_function("scenario/fig1_static_tree", |b| {
-        b.iter(|| black_box(scenario::run(&short(Strategy::LOCAL, vec![]))));
+        b.iter(|| black_box(scenario::run(&short(Policy::LOCAL, vec![]))));
     });
 }
 
@@ -29,7 +28,7 @@ fn bench_fig2_receiver_move(c: &mut Criterion) {
     c.bench_function("scenario/fig2_receiver_move_local", |b| {
         b.iter(|| {
             black_box(scenario::run(&short(
-                Strategy::LOCAL,
+                Policy::LOCAL,
                 vec![Move {
                     at_secs: 30.0,
                     host: PaperHost::R3,
@@ -44,7 +43,7 @@ fn bench_fig3_receiver_tunnel(c: &mut Criterion) {
     c.bench_function("scenario/fig3_receiver_move_tunnel", |b| {
         b.iter(|| {
             black_box(scenario::run(&short(
-                Strategy::BIDIRECTIONAL_TUNNEL,
+                Policy::BIDIRECTIONAL_TUNNEL,
                 vec![Move {
                     at_secs: 30.0,
                     host: PaperHost::R3,
@@ -59,7 +58,7 @@ fn bench_fig4_sender_move(c: &mut Criterion) {
     c.bench_function("scenario/fig4_sender_move_tunnel", |b| {
         b.iter(|| {
             black_box(scenario::run(&short(
-                Strategy::TUNNEL_MH_TO_HA,
+                Policy::TUNNEL_MH_TO_HA,
                 vec![Move {
                     at_secs: 30.0,
                     host: PaperHost::S,
@@ -91,7 +90,7 @@ fn bench_table1_mixed(c: &mut Criterion) {
         ];
         b.iter(|| {
             black_box(scenario::run(&short(
-                Strategy::BIDIRECTIONAL_TUNNEL,
+                Policy::BIDIRECTIONAL_TUNNEL,
                 moves.clone(),
             )))
         });
@@ -100,17 +99,12 @@ fn bench_table1_mixed(c: &mut Criterion) {
 
 fn bench_timer_sweep_point(c: &mut Criterion) {
     c.bench_function("scenario/timer_sweep_point_tq20", |b| {
-        let cfg = ScenarioConfig {
-            duration: SimDuration::from_secs(300),
-            mld: MldConfig::with_query_interval(SimDuration::from_secs(20)),
-            unsolicited_reports: false,
-            moves: vec![Move {
-                at_secs: 60.0,
-                host: PaperHost::R3,
-                to_link: 6,
-            }],
-            ..ScenarioConfig::default()
-        };
+        let cfg = ScenarioConfig::builder()
+            .duration(SimDuration::from_secs(300))
+            .mld(MldConfig::with_query_interval(SimDuration::from_secs(20)))
+            .unsolicited_reports(false)
+            .move_at(60.0, PaperHost::R3, 6)
+            .build();
         b.iter(|| black_box(scenario::run(&cfg)));
     });
 }

@@ -17,8 +17,12 @@ fn main() {
         mobicast_core::sweep::set_worker_override(Some(workers));
         eprintln!("(sweep worker pool pinned to {workers})");
     }
+    if let Some(policy) = mobicast_bench::approach_flag() {
+        mobicast_core::strategy::set_approach_override(Some(policy));
+        eprintln!("(policy sweeps pinned to approach {})", policy.id());
+    }
     type Exp = (&'static str, fn(bool) -> ExperimentOutput);
-    let experiments: [Exp; 12] = [
+    let experiments: [Exp; 13] = [
         ("fig1", |_| experiments::fig1::run()),
         ("fig2", experiments::fig2::run),
         ("fig3", |_| experiments::fig3::run()),
@@ -28,6 +32,7 @@ fn main() {
         ("timer_sweep", experiments::timer_sweep::run),
         ("sender_cost", experiments::sender_cost::run),
         ("mobility_rate", experiments::mobility_rate::run),
+        ("handoff_latency", |_| experiments::handoff_latency::run()),
         ("fault_sweep", experiments::fault_sweep::run),
         ("chaos", experiments::chaos::run),
         ("stress", experiments::stress::run),

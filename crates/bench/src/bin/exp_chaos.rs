@@ -1,11 +1,15 @@
 //! Chaos campaign: randomized fault + mobility schedules for every
-//! Table-1 approach under the invariant oracle. Exits non-zero if any
-//! oracle violation is found, so CI can gate on it. Pass --quick for a
-//! reduced seed set.
+//! registered delivery policy under the invariant oracle. Exits non-zero
+//! if any oracle violation is found, so CI can gate on it. Pass --quick
+//! for a reduced seed set, `--approach <id>` to pin one policy.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    if let Some(policy) = mobicast_bench::approach_flag() {
+        mobicast_core::strategy::set_approach_override(Some(policy));
+        eprintln!("(chaos pinned to approach {})", policy.id());
+    }
     let out = mobicast_core::experiments::chaos::run(mobicast_bench::quick_flag());
     mobicast_bench::emit(&out);
     let violations = out.json["total_violations"].as_u64().unwrap_or(u64::MAX);

@@ -1,6 +1,11 @@
 //! Fault sweep: delivery and soft-state recovery under per-link loss.
+//! `--approach <id>` pins the sweep to one registered delivery policy.
 
 fn main() {
+    if let Some(policy) = mobicast_bench::approach_flag() {
+        mobicast_core::strategy::set_approach_override(Some(policy));
+        eprintln!("(sweeping approach {})", policy.id());
+    }
     mobicast_bench::emit(&mobicast_core::experiments::fault_sweep::run(
         mobicast_bench::quick_flag(),
     ));

@@ -1,0 +1,9 @@
+//! Handoff-latency comparison: every registered delivery policy (the
+//! paper's four approaches plus the hierarchical multicast proxy) runs
+//! the same two-handoff roaming scenario; the table reports per-handoff
+//! rejoin latency and the Binding Update load on the home agent vs the
+//! domain MAP.
+
+fn main() {
+    mobicast_bench::emit(&mobicast_core::experiments::handoff_latency::run());
+}

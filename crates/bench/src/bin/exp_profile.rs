@@ -11,7 +11,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use mobicast_core::scenario::{self, ScenarioConfig};
-use mobicast_core::Strategy;
+use mobicast_core::Policy;
 use mobicast_sim::parallel::{configured_workers, run_ordered};
 use mobicast_sim::trace::validate_jsonl_line;
 use serde_json::json;
@@ -21,7 +21,7 @@ use serde_json::json;
 const TRACE_CAPACITY: usize = 1_000_000;
 
 fn profiled(mut cfg: ScenarioConfig, name: &'static str) -> ScenarioConfig {
-    cfg.name = name;
+    cfg.name = name.into();
     cfg.profile = true;
     cfg.trace_capture = Some(TRACE_CAPACITY);
     cfg.summary = true;
@@ -35,7 +35,7 @@ fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
     let wall_start = Instant::now();
     let result = scenario::run(cfg);
     let wall_secs = wall_start.elapsed().as_secs_f64();
-    let name = cfg.name;
+    let name = &cfg.name;
 
     if cfg.oracle && !result.report.oracle.violations.is_empty() {
         return Err(format!(
@@ -124,10 +124,9 @@ where
 fn main() -> ExitCode {
     // Figure-1 steady state: the flood-and-prune baseline.
     let fig1 = profiled(
-        ScenarioConfig {
-            duration: mobicast_sim::SimDuration::from_secs(180),
-            ..ScenarioConfig::default()
-        },
+        ScenarioConfig::builder()
+            .duration(mobicast_sim::SimDuration::from_secs(180))
+            .build(),
         "fig1",
     );
 
@@ -136,7 +135,7 @@ fn main() -> ExitCode {
     let chaos_seed = 7;
     let chaos = profiled(
         mobicast_core::chaos::plan_for_seed(chaos_seed)
-            .config(Strategy::BIDIRECTIONAL_TUNNEL, chaos_seed),
+            .config(Policy::BIDIRECTIONAL_TUNNEL, chaos_seed),
         "chaos",
     );
 
@@ -144,17 +143,12 @@ fn main() -> ExitCode {
     // lossy links, exercising the BU/BAck and tunnel encap/decap trace
     // paths end to end.
     let handoff = profiled(
-        ScenarioConfig {
-            duration: mobicast_sim::SimDuration::from_secs(120),
-            strategy: Strategy::BIDIRECTIONAL_TUNNEL,
-            moves: vec![scenario::Move {
-                at_secs: 40.0,
-                host: scenario::PaperHost::R3,
-                to_link: 6,
-            }],
-            fault: mobicast_net::FaultPlan::iid_loss(0.02),
-            ..ScenarioConfig::default()
-        },
+        ScenarioConfig::builder()
+            .duration(mobicast_sim::SimDuration::from_secs(120))
+            .policy(Policy::BIDIRECTIONAL_TUNNEL)
+            .move_at(40.0, scenario::PaperHost::R3, 6)
+            .fault(mobicast_net::FaultPlan::iid_loss(0.02))
+            .build(),
         "handoff",
     );
 

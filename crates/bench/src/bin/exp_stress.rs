@@ -1,12 +1,17 @@
 //! Large-topology stress experiment: grids and trees of 100+ routers with
 //! many roaming receivers, every run under the invariant oracle. Pass
 //! `--quick` for small debug-friendly shapes, `--workers N` / `--serial`
-//! to pin the sweep worker pool.
+//! to pin the sweep worker pool, `--approach <id>` to stress a single
+//! delivery policy.
 
 fn main() {
     let quick = mobicast_bench::quick_flag();
     if let Some(workers) = mobicast_bench::workers_flag() {
         mobicast_core::sweep::set_worker_override(Some(workers));
+    }
+    if let Some(policy) = mobicast_bench::approach_flag() {
+        mobicast_core::strategy::set_approach_override(Some(policy));
+        eprintln!("(stressing approach {})", policy.id());
     }
     mobicast_bench::emit(&mobicast_core::experiments::stress::run(quick));
 }

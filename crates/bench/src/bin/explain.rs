@@ -5,32 +5,31 @@
 //! the protocol/fault trace events inside the packet's live window.
 //!
 //! Usage:
-//!   explain                 # explain the first delivered packet
-//!   explain 0x400000007     # explain packet by id (hex or decimal)
-//!   explain --list          # list recorded packet ids and exit
+//! ```text
+//! explain                 # explain the first delivered packet
+//! explain 0x400000007     # explain packet by id (hex or decimal)
+//! explain --list          # list recorded packet ids and exit
+//! explain --approach <id> # rerun under another registered policy
+//! ```
 //!
 //! Packet ids are `origin_host << 32 | sequence`, as recorded in
 //! `RunReport` provenance and printed by `--list`.
 
 use std::process::ExitCode;
 
-use mobicast_core::scenario::{run_with_recorder, Move, PaperHost, ScenarioConfig};
-use mobicast_core::{explain, Strategy};
-use mobicast_sim::{RingBufferTracer, SimDuration};
+use mobicast_core::scenario::{run_with_recorder, PaperHost, ScenarioConfig};
+use mobicast_core::{explain, Policy};
+use mobicast_sim::{RingBufferTracer, SimDuration, Tracer};
 
-fn scenario() -> ScenarioConfig {
-    ScenarioConfig {
-        duration: SimDuration::from_secs(120),
-        strategy: Strategy::BIDIRECTIONAL_TUNNEL,
-        moves: vec![Move {
-            at_secs: 40.0,
-            host: PaperHost::R3,
-            to_link: 6,
-        }],
-        fault: mobicast_net::FaultPlan::iid_loss(0.02),
-        name: "handoff",
-        ..ScenarioConfig::default()
-    }
+fn scenario(policy: Policy, tracer: Tracer) -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(120))
+        .policy(policy)
+        .move_at(40.0, PaperHost::R3, 6)
+        .fault(mobicast_net::FaultPlan::iid_loss(0.02))
+        .tracer(tracer)
+        .name(format!("handoff-{}", policy.id()))
+        .build()
 }
 
 fn parse_pkt(arg: &str) -> Option<u64> {
@@ -44,15 +43,24 @@ fn parse_pkt(arg: &str) -> Option<u64> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let list = args.iter().any(|a| a == "--list");
-    let pkt_arg = args.iter().find(|a| !a.starts_with("--")).cloned();
-    if pkt_arg.is_none() && !list && !args.is_empty() {
-        eprintln!("usage: explain [pkt_id] [--list]");
+    let policy = mobicast_bench::approach_flag().unwrap_or(Policy::BIDIRECTIONAL_TUNNEL);
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--approach" {
+            it.next();
+        } else if !a.starts_with("--") {
+            positional.push(a.clone());
+        }
+    }
+    let pkt_arg = positional.first().cloned();
+    if pkt_arg.is_none() && !list && !positional.is_empty() {
+        eprintln!("usage: explain [pkt_id] [--list] [--approach <id>]");
         return ExitCode::FAILURE;
     }
 
-    let mut cfg = scenario();
     let (tracer, ring) = RingBufferTracer::new(1_000_000);
-    cfg.tracer = Some(tracer);
+    let cfg = scenario(policy, tracer);
     let (_, rec) = run_with_recorder(&cfg);
     let trace = ring.drain();
 

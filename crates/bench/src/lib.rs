@@ -21,6 +21,26 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")
 }
 
+/// Parse `--approach <id>`: pin policy-sweeping runs to one registered
+/// delivery policy. Exits with the list of registered ids on an unknown
+/// id, so the flag doubles as discovery (`--approach help`).
+pub fn approach_flag() -> Option<mobicast_core::Policy> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--approach" {
+            let id = args.next().expect("--approach needs a policy id");
+            match id.parse::<mobicast_core::Policy>() {
+                Ok(p) => return Some(p),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Parse `--workers N` / `--serial` (= `--workers 1`): the sweep worker
 /// pool override. `None` leaves the pool at its configured default.
 pub fn workers_flag() -> Option<usize> {

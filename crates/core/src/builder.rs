@@ -14,6 +14,19 @@ use mobicast_sim::{RngFactory, SimTime, Tracer};
 use std::net::Ipv6Addr;
 use std::rc::Rc;
 
+/// A MAP domain for hierarchical delivery policies: while attached to any
+/// of the domain's links, a roaming host registers with the domain's MAP
+/// router instead of its home agent, so intra-domain handoffs never leave
+/// the region.
+#[derive(Clone, Debug)]
+pub struct MapDomain {
+    /// Links covered by the domain (indices into the link list).
+    pub links: Vec<usize>,
+    /// The router (index into `routers`) acting as the domain MAP; must be
+    /// attached to at least one domain link.
+    pub map_router: usize,
+}
+
 /// Which links each router attaches to (indices into the link list). The
 /// order defines the router's interface indices.
 #[derive(Clone, Debug)]
@@ -21,6 +34,9 @@ pub struct NetworkSpec {
     pub n_links: usize,
     pub routers: Vec<Vec<usize>>,
     pub link_params: LinkParams,
+    /// MAP domains for hierarchical policies (empty: every link registers
+    /// with the home agent, the paper's flat Mobile IPv6).
+    pub domains: Vec<MapDomain>,
 }
 
 impl NetworkSpec {
@@ -38,6 +54,14 @@ impl NetworkSpec {
                 vec![4, 5],    // Router E: Link5, Link6
             ],
             link_params: LinkParams::default(),
+            // Hierarchical-proxy extension (Approach 5): the far side of
+            // the network — Links 4-6 — forms one MAP domain anchored at
+            // router D, so hosts roaming among those links re-register
+            // locally instead of signalling their distant home agent.
+            domains: vec![MapDomain {
+                links: vec![3, 4, 5],
+                map_router: 3,
+            }],
         }
     }
 
@@ -49,6 +73,7 @@ impl NetworkSpec {
             n_links,
             routers: (0..n_links - 1).map(|i| vec![i, i + 1]).collect(),
             link_params: LinkParams::default(),
+            domains: Vec::new(),
         }
     }
 
@@ -60,6 +85,7 @@ impl NetworkSpec {
             n_links: n_leaves + 1,
             routers: (0..n_leaves).map(|i| vec![0, i + 1]).collect(),
             link_params: LinkParams::default(),
+            domains: Vec::new(),
         }
     }
 
@@ -87,6 +113,7 @@ impl NetworkSpec {
             n_links: w * h,
             routers,
             link_params: LinkParams::default(),
+            domains: Vec::new(),
         }
     }
 
@@ -117,6 +144,7 @@ impl NetworkSpec {
             n_links,
             routers,
             link_params: LinkParams::default(),
+            domains: Vec::new(),
         }
     }
 }
@@ -241,7 +269,25 @@ pub fn build(
     for (slot, link) in default_router.iter_mut().zip(&links) {
         *slot = graph.routers_on_link(*link).first().copied();
     }
-    let directory: SharedDirectory = Rc::new(Directory { default_router });
+    // MAP agent per link: the domain MAP's global address on its first
+    // interface attached to a domain link.
+    let mut map_agent = vec![None; spec.n_links];
+    for d in &spec.domains {
+        let r = NodeId(d.map_router as u32);
+        let attached = &spec.routers[d.map_router];
+        let ifx = attached
+            .iter()
+            .position(|l| d.links.contains(l))
+            .expect("MAP router attached to a domain link");
+        let addr = addressing::global_addr(r, ifx as IfIndex, links[attached[ifx]]);
+        for l in &d.links {
+            map_agent[*l] = Some(addr);
+        }
+    }
+    let directory: SharedDirectory = Rc::new(Directory {
+        default_router,
+        map_agent,
+    });
 
     // Per-router interface info + routing tables.
     for (r, attached) in router_ids.iter().zip(&spec.routers) {
@@ -391,6 +437,25 @@ mod tests {
         assert_eq!(net.home_agent_of(net.links[4]), NodeId(3)); // D for L5
         assert_eq!(net.home_agent_of(net.links[5]), NodeId(4)); // E for L6
         assert_eq!(net.home_agent_of(net.links[0]), NodeId(0)); // A for L1
+    }
+
+    #[test]
+    fn reference_map_domain_covers_the_far_links() {
+        let spec = NetworkSpec::reference();
+        let net = build(&spec, &[], RouterConfig::default(), 1, Tracer::null());
+        // Router D's global address on Link 4 anchors the domain.
+        let map = addressing::global_addr(NodeId(3), 1, net.links[3]);
+        for l in [3usize, 4, 5] {
+            assert_eq!(
+                net.directory.map_agent[l],
+                Some(map),
+                "L{} in domain",
+                l + 1
+            );
+        }
+        for l in [0usize, 1, 2] {
+            assert_eq!(net.directory.map_agent[l], None, "L{} flat", l + 1);
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! oracle's settle-time duplicate checks.
 
 use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
-use crate::strategy::Strategy as ApproachStrategy;
+use crate::strategy::Policy;
 use mobicast_net::{FaultPlan, FaultWindow, LinkFault, LinkFlap, LossModel, RouterCrash};
 use mobicast_sim::SimDuration;
 use proptest::Strategy;
@@ -36,11 +36,12 @@ const RECOVER_BY: f64 = 100.0;
 const LOSS_STEPS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
 
 /// One randomized disturbance schedule. Everything is quantized (times on
-/// a 0.5 s grid, loss from [`LOSS_STEPS`]) so plans print small, compare
+/// a 0.5 s grid, loss from the fixed `LOSS_STEPS` table) so plans print
+/// small, compare
 /// exactly, and shrink discretely.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct ChaosPlan {
-    /// Index into [`LOSS_STEPS`]; loss applies on every link in the
+    /// Index into the `LOSS_STEPS` table; loss applies on every link in the
     /// event window.
     pub loss_step: usize,
     /// `(link index 0..6, down_at, up_at)` — link goes dark, comes back.
@@ -99,15 +100,15 @@ impl ChaosPlan {
     }
 
     /// Scenario configuration running this plan under one approach.
-    pub fn config(&self, approach: ApproachStrategy, seed: u64) -> ScenarioConfig {
-        ScenarioConfig {
-            seed,
-            duration: SimDuration::from_secs(DURATION_SECS),
-            strategy: approach,
-            moves: self.moves(),
-            fault: self.fault_plan(),
-            ..ScenarioConfig::default()
-        }
+    pub fn config(&self, approach: Policy, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::builder()
+            .seed(seed)
+            .duration(SimDuration::from_secs(DURATION_SECS))
+            .policy(approach)
+            .moves(self.moves())
+            .fault(self.fault_plan())
+            .name(format!("chaos-{}-seed{seed}", approach.id()))
+            .build()
     }
 }
 
@@ -233,7 +234,7 @@ pub struct ChaosVerdict {
 }
 
 /// Run one plan under one approach and return the oracle's verdict.
-pub fn run_plan(plan: &ChaosPlan, approach: ApproachStrategy, seed: u64) -> ChaosVerdict {
+pub fn run_plan(plan: &ChaosPlan, approach: Policy, seed: u64) -> ChaosVerdict {
     let r = scenario::run(&plan.config(approach, seed));
     let o = &r.report.oracle;
     ChaosVerdict {
@@ -247,7 +248,7 @@ pub fn run_plan(plan: &ChaosPlan, approach: ApproachStrategy, seed: u64) -> Chao
     }
 }
 
-/// Outcome of one chaos seed across all four Table-1 approaches.
+/// Outcome of one chaos seed across every registered delivery policy.
 #[derive(Clone, Debug, Serialize)]
 pub struct SeedOutcome {
     pub seed: u64,
@@ -261,12 +262,14 @@ impl SeedOutcome {
     }
 }
 
-/// Run one seed's plan under all four approaches with the oracle on.
+/// Run one seed's plan under every registered delivery policy (the
+/// paper's four approaches plus extensions such as the hierarchical
+/// proxy) with the oracle on.
 pub fn check_seed(seed: u64) -> SeedOutcome {
     let plan = plan_for_seed(seed);
-    let verdicts = ApproachStrategy::ALL
-        .iter()
-        .map(|a| run_plan(&plan, *a, seed))
+    let verdicts = Policy::active()
+        .into_iter()
+        .map(|a| run_plan(&plan, a, seed))
         .collect();
     SeedOutcome {
         seed,
@@ -278,11 +281,7 @@ pub fn check_seed(seed: u64) -> SeedOutcome {
 /// Greedily shrink a violating plan: keep any shrink candidate that still
 /// violates the oracle under `approach`, until none does (or the step
 /// budget runs out). Returns the minimized plan and its violations.
-pub fn minimize(
-    plan: &ChaosPlan,
-    approach: ApproachStrategy,
-    seed: u64,
-) -> (ChaosPlan, Vec<String>) {
+pub fn minimize(plan: &ChaosPlan, approach: Policy, seed: u64) -> (ChaosPlan, Vec<String>) {
     let strat = plan_strategy();
     let mut current = plan.clone();
     let mut violations = run_plan(&current, approach, seed).violations;

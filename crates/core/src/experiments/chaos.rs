@@ -1,9 +1,10 @@
 //! Chaos harness — randomized fault + mobility schedules under the
 //! invariant oracle.
 //!
-//! Each seed deterministically derives a [`ChaosPlan`] (windowed loss,
+//! Each seed deterministically derives a [`ChaosPlan`](crate::chaos::ChaosPlan)
+//! (windowed loss,
 //! link flaps, router crash/restart pairs, scripted host moves) which is
-//! then run under **all four** Table-1 approaches with the network-wide
+//! then run under **every registered delivery policy** with the network-wide
 //! invariant oracle enabled. The oracle asserts loop-freedom, bounded
 //! duplicate delivery, (S,G) soft-state expiry, the RFC 2710 leave-delay
 //! bound, binding-cache freshness and the RFC 2473 encapsulation-depth
@@ -18,7 +19,7 @@
 use super::ExperimentOutput;
 use crate::chaos::{self, SeedOutcome};
 use crate::report::{secs, Table};
-use crate::strategy::Strategy;
+use crate::strategy::Policy;
 use crate::sweep;
 use serde_json::json;
 
@@ -46,7 +47,8 @@ pub fn run(quick: bool) -> ExperimentOutput {
         });
 
     // Aggregate per approach.
-    let mut aggs: Vec<(Strategy, ApproachAgg)> = Strategy::ALL
+    let policies = Policy::active();
+    let mut aggs: Vec<(Policy, ApproachAgg)> = policies
         .iter()
         .map(|&s| (s, ApproachAgg::default()))
         .collect();
@@ -69,7 +71,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     // still-violating plan — the reproducible case a fix starts from.
     let mut repros = Vec::new();
     for out in &outcomes {
-        for (v, &approach) in out.verdicts.iter().zip(Strategy::ALL.iter()) {
+        for (v, &approach) in out.verdicts.iter().zip(policies.iter()) {
             if v.violation_count > 0 {
                 let (min_plan, violations) = chaos::minimize(&out.plan, approach, out.seed);
                 repros.push(json!({
@@ -114,8 +116,8 @@ pub fn run(quick: bool) -> ExperimentOutput {
          leave delays beyond the RFC 2710 listener interval and \
          over-deep RFC 2473 encapsulation. total violations: {}.\n",
         n_seeds,
-        Strategy::ALL.len(),
-        n_seeds as usize * Strategy::ALL.len(),
+        policies.len(),
+        n_seeds as usize * policies.len(),
         total_violations,
     ));
     if !repros.is_empty() {

@@ -1,4 +1,5 @@
-//! Fault sweep — robustness of the four Table-1 approaches under loss.
+//! Fault sweep — robustness of every registered delivery policy (the
+//! four Table-1 approaches plus extensions) under loss.
 //!
 //! Every link loses a fraction of its frames (i.i.d.) during a fixed
 //! window while Receiver 3 roams to Link 6 mid-window, so the rejoin
@@ -20,8 +21,8 @@
 
 use super::ExperimentOutput;
 use crate::report::{secs, Table};
-use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
-use crate::strategy::Strategy;
+use crate::scenario::{self, PaperHost, ScenarioConfig};
+use crate::strategy::Policy;
 use crate::sweep;
 use mobicast_net::{FaultPlan, FaultWindow, LinkFault, LossModel};
 use mobicast_sim::SimDuration;
@@ -35,7 +36,7 @@ const DURATION_SECS: u64 = 150;
 
 #[derive(Clone, Copy)]
 struct Params {
-    strategy: Strategy,
+    policy: Policy,
     loss: f64,
     seed: u64,
 }
@@ -76,18 +77,19 @@ fn one(p: &Params) -> FaultScore {
             crashes: vec![],
         }
     };
-    let cfg = ScenarioConfig {
-        seed: p.seed,
-        duration: SimDuration::from_secs(DURATION_SECS),
-        strategy: p.strategy,
-        moves: vec![Move {
-            at_secs: MOVE_AT_SECS,
-            host: PaperHost::R3,
-            to_link: 6,
-        }],
-        fault,
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .seed(p.seed)
+        .duration(SimDuration::from_secs(DURATION_SECS))
+        .policy(p.policy)
+        .move_at(MOVE_AT_SECS, PaperHost::R3, 6)
+        .fault(fault)
+        .name(format!(
+            "fault-sweep-{}-loss{:.0}-seed{}",
+            p.policy.id(),
+            p.loss * 100.0,
+            p.seed
+        ))
+        .build();
     let r = scenario::run(&cfg);
     let delivery = ["R1", "R2", "R3"]
         .iter()
@@ -105,7 +107,7 @@ fn one(p: &Params) -> FaultScore {
     // anything at the host beyond one per move is a retransmission.
     let bu_sent = r.report.counters.get("host.R3.binding_updates") as f64;
     FaultScore {
-        name: p.strategy.name().into(),
+        name: p.policy.name().into(),
         loss: p.loss,
         delivery,
         steady_delivery: steady,
@@ -139,24 +141,20 @@ pub fn run(quick: bool) -> ExperimentOutput {
     };
     let seeds: Vec<u64> = if quick { vec![1] } else { (1..=3).collect() };
     let mut params = Vec::new();
-    for strategy in Strategy::ALL {
+    for policy in Policy::active() {
         for &loss in &losses {
             for &seed in &seeds {
-                params.push(Params {
-                    strategy,
-                    loss,
-                    seed,
-                });
+                params.push(Params { policy, loss, seed });
             }
         }
     }
     let raw = sweep::run_parallel(params, sweep::default_workers(), one);
     let mut scores: Vec<FaultScore> = Vec::new();
-    for strategy in Strategy::ALL {
+    for policy in Policy::active() {
         for &loss in &losses {
             scores.push(merge(
                 raw.iter()
-                    .filter(|s| s.name == strategy.name() && s.loss == loss)
+                    .filter(|s| s.name == policy.name() && s.loss == loss)
                     .cloned()
                     .collect(),
             ));

@@ -13,10 +13,10 @@ use mobicast_sim::SimDuration;
 use serde_json::json;
 
 pub fn run() -> ExperimentOutput {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(180),
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(180))
+        .name("fig1")
+        .build();
     let result = scenario::run(&cfg);
     let a = &result.report.analysis;
 

@@ -9,7 +9,7 @@
 
 use super::ExperimentOutput;
 use crate::report::{bytes, secs, Table};
-use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
+use crate::scenario::{self, PaperHost, ScenarioConfig};
 use crate::sweep;
 use mobicast_sim::{SeriesSet, SimDuration};
 use serde_json::json;
@@ -30,17 +30,18 @@ struct RunStats {
 }
 
 fn one(p: &Params) -> RunStats {
-    let cfg = ScenarioConfig {
-        seed: p.seed,
-        duration: SimDuration::from_secs(620),
-        unsolicited_reports: p.unsolicited,
-        moves: vec![Move {
-            at_secs: p.move_at,
-            host: PaperHost::R3,
-            to_link: 6,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .seed(p.seed)
+        .duration(SimDuration::from_secs(620))
+        .unsolicited_reports(p.unsolicited)
+        .move_at(p.move_at, PaperHost::R3, 6)
+        .name(format!(
+            "fig2-{}-move{:.0}-seed{}",
+            if p.unsolicited { "unsol" } else { "query" },
+            p.move_at,
+            p.seed
+        ))
+        .build();
     let r = scenario::run(&cfg);
     let jd = r.report.series.summary("join_delay");
     let ld = r.report.series.summary("leave_delay");

@@ -10,8 +10,8 @@
 
 use super::ExperimentOutput;
 use crate::report::{bytes, secs, Table};
-use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
-use crate::strategy::Strategy;
+use crate::scenario::{self, PaperHost, ScenarioConfig};
+use crate::strategy::Policy;
 use mobicast_sim::SimDuration;
 use serde_json::json;
 
@@ -24,22 +24,18 @@ struct Row {
     delivery: f64,
 }
 
-fn one(strategy: Strategy, extra: usize) -> Row {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(300),
-        strategy,
-        extra_receivers: extra,
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::R3,
-            to_link: 1,
-        }],
-        ..ScenarioConfig::default()
-    };
+fn one(policy: Policy, extra: usize) -> Row {
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(300))
+        .policy(policy)
+        .extra_receivers(extra)
+        .move_at(60.0, PaperHost::R3, 1)
+        .name(format!("fig3-{}-extra{extra}", policy.id()))
+        .build();
     let r = scenario::run(&cfg);
     let tunnel_bytes = r.report.class_bytes("tunnel_data");
     Row {
-        label: format!("{} (+{extra} co-located)", strategy.name()),
+        label: format!("{} (+{extra} co-located)", policy.name()),
         join_delay: r.report.series.summary("join_delay").mean,
         stretch: r.report.analysis.mean_stretch,
         tunnel_bytes,
@@ -50,10 +46,10 @@ fn one(strategy: Strategy, extra: usize) -> Row {
 
 pub fn run() -> ExperimentOutput {
     let rows = vec![
-        one(Strategy::LOCAL, 0),
-        one(Strategy::BIDIRECTIONAL_TUNNEL, 0),
-        one(Strategy::BIDIRECTIONAL_TUNNEL, 2),
-        one(Strategy::BIDIRECTIONAL_TUNNEL, 5),
+        one(Policy::LOCAL, 0),
+        one(Policy::BIDIRECTIONAL_TUNNEL, 0),
+        one(Policy::BIDIRECTIONAL_TUNNEL, 2),
+        one(Policy::BIDIRECTIONAL_TUNNEL, 5),
     ];
 
     let mut table = Table::new(&[

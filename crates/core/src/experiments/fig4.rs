@@ -10,8 +10,8 @@
 
 use super::ExperimentOutput;
 use crate::report::{bytes, Table};
-use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
-use crate::strategy::Strategy;
+use crate::scenario::{self, PaperHost, ScenarioConfig};
+use crate::strategy::Policy;
 use mobicast_sim::SimDuration;
 use serde_json::json;
 
@@ -25,18 +25,14 @@ struct Row {
     stretch: f64,
 }
 
-fn one(label: &'static str, strategy: Strategy, to_link: usize) -> Row {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(300),
-        strategy,
-        data_interval: SimDuration::from_millis(250),
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::S,
-            to_link,
-        }],
-        ..ScenarioConfig::default()
-    };
+fn one(label: &'static str, policy: Policy, to_link: usize) -> Row {
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(300))
+        .policy(policy)
+        .data_interval(SimDuration::from_millis(250))
+        .move_at(60.0, PaperHost::S, to_link)
+        .name(format!("fig4-{}-to{to_link}", policy.id()))
+        .build();
     let r = scenario::run(&cfg);
     let min_delivery = ["R1", "R2", "R3"]
         .iter()
@@ -55,9 +51,9 @@ fn one(label: &'static str, strategy: Strategy, to_link: usize) -> Row {
 
 pub fn run() -> ExperimentOutput {
     let rows = vec![
-        one("local send, S -> Link 6", Strategy::LOCAL, 6),
-        one("local send, S -> Link 2 (assert case)", Strategy::LOCAL, 2),
-        one("reverse tunnel, S -> Link 6", Strategy::TUNNEL_MH_TO_HA, 6),
+        one("local send, S -> Link 6", Policy::LOCAL, 6),
+        one("local send, S -> Link 2 (assert case)", Policy::LOCAL, 2),
+        one("reverse tunnel, S -> Link 6", Policy::TUNNEL_MH_TO_HA, 6),
     ];
 
     let mut table = Table::new(&[

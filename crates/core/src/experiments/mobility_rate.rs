@@ -14,7 +14,7 @@ use super::ExperimentOutput;
 use crate::mobility::{schedule, MobilityModel};
 use crate::report::{secs, Table};
 use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
-use crate::strategy::Strategy;
+use crate::strategy::Policy;
 use crate::sweep;
 use mobicast_sim::{RngFactory, SimDuration, SimTime};
 use serde_json::json;
@@ -23,7 +23,7 @@ use serde_json::json;
 struct Params {
     mean_dwell_s: u64,
     seed: u64,
-    strategy: Strategy,
+    policy: Policy,
     unsolicited: bool,
 }
 
@@ -60,14 +60,19 @@ fn one(p: &Params) -> RunStats {
         })
         .collect();
     let n_moves = moves.len();
-    let cfg = ScenarioConfig {
-        seed: p.seed,
-        duration: SimDuration::from_secs(DURATION_S),
-        strategy: p.strategy,
-        unsolicited_reports: p.unsolicited,
-        moves,
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .seed(p.seed)
+        .duration(SimDuration::from_secs(DURATION_S))
+        .policy(p.policy)
+        .unsolicited_reports(p.unsolicited)
+        .moves(moves)
+        .name(format!(
+            "mobility-rate-{}-dwell{}-seed{}",
+            p.policy.id(),
+            p.mean_dwell_s,
+            p.seed
+        ))
+        .build();
     let r = scenario::run(&cfg);
     RunStats {
         delivery: r.received["R3"] as f64 / r.sent.max(1) as f64,
@@ -79,11 +84,11 @@ fn one(p: &Params) -> RunStats {
 pub fn run(quick: bool) -> ExperimentOutput {
     let dwells: Vec<u64> = vec![400, 200, 100, 50];
     let seeds: Vec<u64> = if quick { vec![1, 2] } else { (1..=5).collect() };
-    // (stable json key, strategy, unsolicited reports)
+    // (stable json key, policy, unsolicited reports)
     let variants = [
-        ("wait_query", Strategy::LOCAL, false),
-        ("unsolicited", Strategy::LOCAL, true),
-        ("tunnel", Strategy::BIDIRECTIONAL_TUNNEL, true),
+        ("wait_query", Policy::LOCAL, false),
+        ("unsolicited", Policy::LOCAL, true),
+        ("tunnel", Policy::BIDIRECTIONAL_TUNNEL, true),
     ];
 
     let mut table = Table::new(&[
@@ -97,14 +102,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
     for &dwell in &dwells {
         let mut cells = vec![format!("{dwell}s"), String::new()];
         let mut entry = json!({ "mean_dwell_s": dwell });
-        for (key, strategy, unsolicited) in variants {
+        for (key, policy, unsolicited) in variants {
             let stats = sweep::run_parallel(
                 seeds
                     .iter()
                     .map(|&seed| Params {
                         mean_dwell_s: dwell,
                         seed,
-                        strategy,
+                        policy,
                         unsolicited,
                     })
                     .collect(),

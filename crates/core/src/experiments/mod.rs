@@ -10,6 +10,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod handoff_latency;
 pub mod mobility_rate;
 pub mod sender_cost;
 pub mod stress;
@@ -50,6 +51,7 @@ pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
         timer_sweep::run(quick),
         sender_cost::run(quick),
         mobility_rate::run(quick),
+        handoff_latency::run(),
         fault_sweep::run(quick),
         chaos::run(quick),
         stress::run(quick),

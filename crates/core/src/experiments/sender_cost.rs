@@ -12,7 +12,7 @@ use crate::host_node::{HostConfig, SenderApp};
 use crate::report::{bytes, Table};
 use crate::router_node::RouterConfig;
 use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
-use crate::strategy::Strategy;
+use crate::strategy::Policy;
 use crate::sweep;
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_pimdm::PimConfig;
@@ -40,7 +40,7 @@ fn string_run(p: &StringParams) -> StringStats {
     let g = GroupAddr::test_group(1);
     let duration = SimDuration::from_secs(180);
     let host_cfg = HostConfig {
-        strategy: Strategy::LOCAL,
+        policy: Policy::LOCAL,
         unsolicited_reports: true,
         ..HostConfig::default()
     };
@@ -78,10 +78,10 @@ fn string_run(p: &StringParams) -> StringStats {
         w.move_iface(sender, 0, mid);
     });
     net.world.run_until(SimTime::ZERO + duration);
-    let synthetic = ScenarioConfig {
-        seed: p.seed,
-        ..ScenarioConfig::default()
-    };
+    let synthetic = ScenarioConfig::builder()
+        .seed(p.seed)
+        .name(format!("sender-cost-string{}-seed{}", p.n_links, p.seed))
+        .build();
     let r = scenario::finish(&synthetic, net);
     let flood_links = r
         .report
@@ -111,14 +111,14 @@ fn mobility_rate_run(period_s: u64, seed: u64) -> u64 {
         });
         t += period_s as f64;
     }
-    let cfg = ScenarioConfig {
-        seed,
-        duration: SimDuration::from_secs(960),
-        strategy: Strategy::LOCAL,
-        data_interval: SimDuration::from_millis(250),
-        moves,
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .seed(seed)
+        .duration(SimDuration::from_secs(960))
+        .policy(Policy::LOCAL)
+        .data_interval(SimDuration::from_millis(250))
+        .moves(moves)
+        .name(format!("sender-cost-mobility-p{period_s}-seed{seed}"))
+        .build();
     scenario::run(&cfg).report.analysis.total_wasted_bytes
 }
 

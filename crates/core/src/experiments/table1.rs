@@ -12,14 +12,14 @@
 use super::ExperimentOutput;
 use crate::report::{bytes, secs, Table};
 use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
-use crate::strategy::Strategy;
+use crate::strategy::Policy;
 use crate::sweep;
 use mobicast_sim::SimDuration;
 use serde_json::json;
 
 #[derive(Clone, Copy)]
 struct Params {
-    strategy: Strategy,
+    policy: Policy,
     seed: u64,
 }
 
@@ -72,14 +72,14 @@ fn mixed_moves() -> Vec<Move> {
 }
 
 fn one(p: &Params) -> StrategyScore {
-    let cfg = ScenarioConfig {
-        seed: p.seed,
-        duration: SimDuration::from_secs(650),
-        strategy: p.strategy,
-        data_interval: SimDuration::from_millis(250),
-        moves: mixed_moves(),
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .seed(p.seed)
+        .duration(SimDuration::from_secs(650))
+        .policy(p.policy)
+        .data_interval(SimDuration::from_millis(250))
+        .moves(mixed_moves())
+        .name(format!("table1-{}-seed{}", p.policy.id(), p.seed))
+        .build();
     let r = scenario::run(&cfg);
     let a = &r.report.analysis;
     let delivery = ["R1", "R2", "R3"]
@@ -93,7 +93,7 @@ fn one(p: &Params) -> StrategyScore {
     let mh_encap = r.report.counters.get("host.data_tunnel_encap")
         + r.report.counters.get("host.data_tunnel_decap");
     StrategyScore {
-        name: p.strategy.name().into(),
+        name: p.policy.name().into(),
         join_delay_s: r.report.series.summary("join_delay").mean,
         leave_delay_s: r.report.series.summary("leave_delay").mean,
         delivery,
@@ -105,7 +105,7 @@ fn one(p: &Params) -> StrategyScore {
         ha_binding_updates: r.ha_binding_updates as f64,
         mh_encap_ops: mh_encap as f64,
         max_router_sg: r.max_router_sg_entries as f64,
-        needs_draft_changes: p.strategy.requires_draft_changes(),
+        needs_draft_changes: p.policy.requires_draft_changes(),
         runs: 1,
     }
 }
@@ -134,13 +134,13 @@ fn merge(scores: Vec<StrategyScore>) -> StrategyScore {
 pub fn run(quick: bool) -> ExperimentOutput {
     let seeds: Vec<u64> = if quick { vec![1, 2] } else { (1..=6).collect() };
     let mut params = Vec::new();
-    for strategy in Strategy::ALL {
+    for policy in Policy::PAPER {
         for &seed in &seeds {
-            params.push(Params { strategy, seed });
+            params.push(Params { policy, seed });
         }
     }
     let raw = sweep::run_parallel(params, sweep::default_workers(), one);
-    let per_strategy: Vec<StrategyScore> = Strategy::ALL
+    let per_strategy: Vec<StrategyScore> = Policy::PAPER
         .iter()
         .map(|s| merge(raw.iter().filter(|r| r.name == s.name()).cloned().collect()))
         .collect();

@@ -10,7 +10,7 @@
 
 use super::ExperimentOutput;
 use crate::report::{bytes, secs, Table};
-use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
+use crate::scenario::{self, PaperHost, ScenarioConfig};
 use crate::sweep;
 use mobicast_mld::MldConfig;
 use mobicast_sim::{SeriesSet, SimDuration};
@@ -35,27 +35,20 @@ fn one(p: &Params) -> RunStats {
     let mld = MldConfig::with_query_interval(SimDuration::from_secs(p.query_interval_s));
     mld.validate()
         .expect("paper footnote 5: T_Query >= T_RespDel");
-    let cfg = ScenarioConfig {
-        seed: p.seed,
-        duration: SimDuration::from_secs(900),
-        mld,
+    let cfg = ScenarioConfig::builder()
+        .seed(p.seed)
+        .duration(SimDuration::from_secs(900))
+        .mld(mld)
         // Paper's §4.4 targets the query-driven case: no unsolicited
         // reports, the router must discover the listener by itself.
-        unsolicited_reports: false,
-        moves: vec![
-            Move {
-                at_secs: 60.0 + p.move_offset_s,
-                host: PaperHost::R3,
-                to_link: 6,
-            },
-            Move {
-                at_secs: 400.0 + p.move_offset_s,
-                host: PaperHost::R3,
-                to_link: 1,
-            },
-        ],
-        ..ScenarioConfig::default()
-    };
+        .unsolicited_reports(false)
+        .move_at(60.0 + p.move_offset_s, PaperHost::R3, 6)
+        .move_at(400.0 + p.move_offset_s, PaperHost::R3, 1)
+        .name(format!(
+            "timer-sweep-q{}-seed{}",
+            p.query_interval_s, p.seed
+        ))
+        .build();
     let r = scenario::run(&cfg);
     let jd = r.report.series.summary("join_delay");
     let ld = r.report.series.summary("leave_delay");

@@ -259,21 +259,17 @@ pub fn render(journey: &Journey, trace: Option<&[TraceEvent]>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{run_with_recorder, Move, PaperHost, ScenarioConfig};
-    use crate::strategy::Strategy;
+    use crate::scenario::{run_with_recorder, PaperHost, ScenarioConfig};
+    use crate::strategy::Policy;
     use mobicast_sim::SimDuration;
 
     fn cfg() -> ScenarioConfig {
-        ScenarioConfig {
-            duration: SimDuration::from_secs(60),
-            strategy: Strategy::BIDIRECTIONAL_TUNNEL,
-            moves: vec![Move {
-                at_secs: 20.0,
-                host: PaperHost::R3,
-                to_link: 6,
-            }],
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .duration(SimDuration::from_secs(60))
+            .policy(Policy::BIDIRECTIONAL_TUNNEL)
+            .move_at(20.0, PaperHost::R3, 6)
+            .name("explain-test")
+            .build()
     }
 
     /// The journey of every first delivery must match the raw provenance

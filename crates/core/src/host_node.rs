@@ -1,10 +1,11 @@
 //! The composed (mobile) host node: MLD listener, Mobile IPv6 mobile node
-//! and the multicast sender/receiver applications, parameterised by one of
-//! the paper's four strategies.
+//! and the multicast sender/receiver applications, parameterised by a
+//! [`Policy`] — one of the paper's four approaches or a registered
+//! extension such as the hierarchical proxy.
 
 use crate::netplan::{self, frame_for, DataPayload, SharedDirectory, MCAST_UDP_PORT};
 use crate::recorder::{packet_id, DataEvent, Delivery, MoveEvent, PacketMeta, SharedRecorder};
-use crate::strategy::{RecvPath, SendPath, Strategy};
+use crate::strategy::{MoveAction, MoveContext, Policy, RecvPath, SendPath};
 use mobicast_ipv6::addr::{self, GroupAddr};
 use mobicast_ipv6::icmpv6::Icmpv6;
 use mobicast_ipv6::packet::{proto, Packet};
@@ -25,7 +26,7 @@ const TIMER_APP: u64 = 3;
 /// Host behaviour configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct HostConfig {
-    pub strategy: Strategy,
+    pub policy: Policy,
     /// Send unsolicited MLD Reports when (re)joining after a move — the
     /// paper's recommended optimization. With `false` the host waits for
     /// the next General Query (the paper's worst case).
@@ -36,7 +37,7 @@ pub struct HostConfig {
 impl Default for HostConfig {
     fn default() -> Self {
         HostConfig {
-            strategy: Strategy::LOCAL,
+            policy: Policy::LOCAL,
             unsolicited_reports: true,
             mld: MldConfig::default(),
         }
@@ -128,7 +129,7 @@ impl HostNode {
         let iid = crate::addressing::iid(id, 0);
         let home_addr = home_prefix.addr_with_iid(iid);
         let ll_addr = crate::addressing::link_local_addr(id, 0);
-        let include_group_list = cfg.strategy.recv == RecvPath::HomeTunnel;
+        let include_group_list = cfg.policy.binding_update_extras().include_group_list;
         HostNode {
             id,
             cfg,
@@ -291,7 +292,7 @@ impl HostNode {
     /// Perform the local MLD join appropriate for the current link and
     /// strategy.
     fn join_on_current_link(&mut self, ctx: &mut Ctx<'_>, group: GroupAddr) {
-        let local_join = self.at_home() || self.cfg.strategy.recv == RecvPath::Local;
+        let local_join = self.at_home() || self.cfg.policy.recv_plane() == RecvPath::Local;
         if !local_join {
             return;
         }
@@ -359,7 +360,7 @@ impl HostNode {
         // Router Advertisement triggers care-of address configuration,
         // reproducing the paper's "erroneous IPv6 source address" window.
         let (wire_packet, src_used, tunneled) =
-            if self.cfg.strategy.send == SendPath::HomeTunnel && !self.mn.at_home() {
+            if self.cfg.policy.send_plane() == SendPath::HomeTunnel && !self.mn.at_home() {
                 let inner_src = self.home_addr;
                 let udp = UdpDatagram::new(MCAST_UDP_PORT, MCAST_UDP_PORT, payload);
                 let body = udp.encode(inner_src, app.group.addr());
@@ -596,6 +597,23 @@ impl NodeBehavior for HostNode {
                 });
                 if subscribed {
                     self.receiver.attach_pending = Some(now);
+                }
+                // Let the delivery policy pick the mobility agent for the
+                // new link (hierarchical policies register with the domain
+                // MAP; the paper's four approaches always pick the home
+                // agent, making the retarget a no-op).
+                let action = self.cfg.policy.on_move(&MoveContext {
+                    to_home_link: l == self.home_link,
+                    home_agent: self.mn.home_agent(),
+                    map_agent: self.dir.map_agent.get(l.index()).copied().flatten(),
+                });
+                let target = match action {
+                    MoveAction::RegisterHome => self.mn.home_agent(),
+                    MoveAction::RegisterWithAgent(a) => a,
+                };
+                let outs = self.mn.set_agent(target);
+                if !outs.is_empty() {
+                    self.emit_mn(ctx, outs);
                 }
                 // Movement detection: solicit an RA immediately.
                 self.send_router_solicit(ctx);

@@ -8,7 +8,8 @@
 //! Section 4.3: join delay, leave delay, protocol overhead, bandwidth
 //! consumption, routing optimality, and system load.
 //!
-//! * [`strategy`] — the 2×2 strategy matrix (Table 1).
+//! * [`strategy`] — the open [`strategy::DeliveryPolicy`] registry; the
+//!   paper's Table-1 approaches are the four built-in policies.
 //! * [`router_node`] / [`host_node`] — composed nodes: IPv6 forwarding,
 //!   MLD, PIM-DM, home agent / mobile node, applications.
 //! * [`builder`] — network assembly; [`builder::NetworkSpec::reference`]
@@ -40,10 +41,14 @@ pub mod stress;
 pub mod sweep;
 
 pub use analysis::{Analysis, RunReport};
-pub use builder::{build, BuiltNetwork, HostSpec, NetworkSpec};
+pub use builder::{build, BuiltNetwork, HostSpec, MapDomain, NetworkSpec};
 pub use explain::{DeliveryPath, Journey, JourneyHop};
 pub use host_node::{HostConfig, HostNode, SenderApp};
 pub use oracle::{Oracle, OracleSummary};
 pub use router_node::{RouterConfig, RouterNode};
-pub use scenario::{run, run_with_recorder, Move, PaperHost, ScenarioConfig, ScenarioResult};
-pub use strategy::{RecvPath, SendPath, Strategy};
+pub use scenario::{
+    run, run_with_recorder, Move, PaperHost, ScenarioBuilder, ScenarioConfig, ScenarioResult,
+};
+#[allow(deprecated)]
+pub use strategy::Strategy;
+pub use strategy::{BuExtras, DeliveryPolicy, MoveAction, MoveContext, Policy, RecvPath, SendPath};

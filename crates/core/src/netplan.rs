@@ -59,6 +59,12 @@ pub struct Directory {
     /// Default router per link (lowest router id attached), used by hosts
     /// as the L2 next hop for off-link unicast.
     pub default_router: Vec<Option<NodeId>>,
+    /// Regional (MAP-style) mobility agent per link: the address hosts
+    /// roaming under a hierarchical delivery policy register with while
+    /// attached to the link; `None` outside any MAP domain. Stands in for
+    /// the MAP discovery a real deployment would do via Router
+    /// Advertisement options.
+    pub map_agent: Vec<Option<Ipv6Addr>>,
 }
 
 pub type SharedDirectory = Rc<Directory>;

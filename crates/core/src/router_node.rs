@@ -473,7 +473,26 @@ impl RouterNode {
         }
     }
 
-    fn apply_ha_outputs(&mut self, ctx: &mut Ctx<'_>, home: Ipv6Addr, outs: Vec<HaOutput>) {
+    /// Is this router the *home* agent for `home` (the address is on one of
+    /// our links), as opposed to a regional MAP serving a visiting mobile?
+    fn is_home_for(&self, home: Ipv6Addr) -> bool {
+        self.iface_containing(home).is_some()
+    }
+
+    /// Apply home-agent machine outputs for a Binding Update from
+    /// `care_of` covering `home`. Proxy membership anchors on the home
+    /// interface when we are the home agent; a regional MAP has no home
+    /// interface for the mobile, so the join anchors on the interface its
+    /// care-of route leaves through — pulling the PIM-DM tree toward the
+    /// visited region.
+    fn apply_ha_outputs(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        home: Ipv6Addr,
+        care_of: Ipv6Addr,
+        outs: Vec<HaOutput>,
+    ) {
+        let role = if self.is_home_for(home) { "HA" } else { "MAP" };
         for o in outs {
             match o {
                 HaOutput::SendBindingAck { care_of, home, ack } => {
@@ -492,11 +511,14 @@ impl RouterNode {
                     self.route_unicast(ctx, packet, None);
                 }
                 HaOutput::ProxyJoin(g) => {
-                    let Some(ifx) = self.iface_containing(home) else {
+                    let anchor = self
+                        .iface_containing(home)
+                        .or_else(|| self.table.lookup(care_of).map(|r| r.iface));
+                    let Some(ifx) = anchor else {
                         continue;
                     };
                     ctx.trace(TraceCategory::MobileIp, || {
-                        format!("HA proxy-joins {g} on if{ifx}")
+                        format!("{role} proxy-joins {g} on if{ifx}")
                     });
                     let outs = self
                         .proxy
@@ -506,18 +528,38 @@ impl RouterNode {
                     self.apply_proxy_outputs(ctx, ifx, outs);
                 }
                 HaOutput::ProxyLeave(g) => {
-                    let Some(ifx) = self.iface_containing(home) else {
-                        continue;
-                    };
-                    ctx.trace(TraceCategory::MobileIp, || {
-                        format!("HA proxy-leaves {g} on if{ifx}")
-                    });
-                    let outs = self
-                        .proxy
-                        .get_mut(&ifx)
-                        .expect("proxy port")
-                        .leave(g, ctx.now());
-                    self.apply_proxy_outputs(ctx, ifx, outs);
+                    match self.iface_containing(home) {
+                        Some(ifx) => {
+                            ctx.trace(TraceCategory::MobileIp, || {
+                                format!("{role} proxy-leaves {g} on if{ifx}")
+                            });
+                            let outs = self
+                                .proxy
+                                .get_mut(&ifx)
+                                .expect("proxy port")
+                                .leave(g, ctx.now());
+                            self.apply_proxy_outputs(ctx, ifx, outs);
+                        }
+                        None => {
+                            // Regional bindings: the join anchor may have
+                            // drifted with the care-of address, so release
+                            // the membership wherever it is held.
+                            let keys: Vec<IfIndex> = self.proxy.keys().copied().collect();
+                            for ifx in keys {
+                                if self.proxy[&ifx].is_joined(g) {
+                                    ctx.trace(TraceCategory::MobileIp, || {
+                                        format!("{role} proxy-leaves {g} on if{ifx}")
+                                    });
+                                    let outs = self
+                                        .proxy
+                                        .get_mut(&ifx)
+                                        .expect("proxy port")
+                                        .leave(g, ctx.now());
+                                    self.apply_proxy_outputs(ctx, ifx, outs);
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -633,7 +675,7 @@ impl RouterNode {
         // sent via unicast to each group member" cost comes from).
         if accepted && self.ha.has_group_subscribers(group) {
             let targets = self.ha.multicast_tunnel_targets(group);
-            for coa in targets {
+            for (home, coa) in targets {
                 let Some(out_route) = self.table.lookup(coa).copied() else {
                     continue;
                 };
@@ -641,7 +683,12 @@ impl RouterNode {
                 let Some(outer) = self.encap_checked(ctx, src, coa, packet) else {
                     continue;
                 };
-                self.recorder.count("ha.mcast_tunnel_encap", 1);
+                if self.is_home_for(home) {
+                    self.recorder.count("ha.mcast_tunnel_encap", 1);
+                } else {
+                    self.recorder.count("map.mcast_tunnel_encap", 1);
+                    self.mib.inc("mapTunnelEncaps");
+                }
                 self.route_unicast(ctx, outer, parent);
             }
         }
@@ -699,10 +746,15 @@ impl RouterNode {
                     ("seq", u64::from(bu.sequence).into()),
                 ]
             });
-            self.recorder.count("ha.binding_updates_rx", 1);
-            self.mib.inc("haBindingUpdatesRx");
+            if self.is_home_for(home) {
+                self.recorder.count("ha.binding_updates_rx", 1);
+                self.mib.inc("haBindingUpdatesRx");
+            } else {
+                self.recorder.count("map.binding_updates_rx", 1);
+                self.mib.inc("mapBindingUpdatesRx");
+            }
             let outs = self.ha.on_binding_update(home, packet.src, &bu, now);
-            self.apply_ha_outputs(ctx, home, outs);
+            self.apply_ha_outputs(ctx, home, packet.src, outs);
             self.arm_ha(ctx);
         }
     }
@@ -736,7 +788,7 @@ impl RouterNode {
         }
         if self.ha.has_group_subscribers(group) {
             let targets = self.ha.multicast_tunnel_targets(group);
-            for coa in targets {
+            for (home, coa) in targets {
                 let Some(out_route) = self.table.lookup(coa).copied() else {
                     continue;
                 };
@@ -744,7 +796,12 @@ impl RouterNode {
                 let Some(outer) = self.encap_checked(ctx, src, coa, packet) else {
                     continue;
                 };
-                self.recorder.count("ha.mcast_tunnel_encap", 1);
+                if self.is_home_for(home) {
+                    self.recorder.count("ha.mcast_tunnel_encap", 1);
+                } else {
+                    self.recorder.count("map.mcast_tunnel_encap", 1);
+                    self.mib.inc("mapTunnelEncaps");
+                }
                 self.route_unicast(ctx, outer, parent);
             }
         }

@@ -1,20 +1,27 @@
 //! Scenario configuration and execution: the reference (Figure-1) network
-//! with the paper's hosts, a strategy, timer profiles, a mobility script,
-//! and a CBR multicast stream — run to completion and analyzed.
+//! with the paper's hosts, a delivery policy, timer profiles, a mobility
+//! script, and a CBR multicast stream — run to completion and analyzed.
+//!
+//! Configurations are constructed through [`ScenarioBuilder`]
+//! ([`ScenarioConfig::builder`]): the builder owns the defaults, the
+//! fluent setters, and the validation ([`ScenarioBuilder::try_build`])
+//! that rejects inconsistent knob combinations before a run starts.
 
 use crate::analysis::{analyze, RunReport};
 use crate::builder::{apply_fault_plan, build, BuiltNetwork, HostSpec, NetworkSpec};
 use crate::host_node::{HostConfig, HostNode, SenderApp};
 use crate::oracle::{FinalizeParams, Oracle};
 use crate::router_node::{RouterConfig, RouterNode};
-use crate::strategy::Strategy;
+use crate::strategy::Policy;
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_mld::MldConfig;
 use mobicast_net::{FaultPlan, FrameClass};
 use mobicast_pimdm::PimConfig;
 use mobicast_sim::{RingBufferTracer, SimDuration, SimProfile, SimTime, Tracer};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// The hosts of the paper's Figure 1.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -52,11 +59,17 @@ pub struct Move {
 }
 
 /// Full configuration of a reference-topology scenario.
+///
+/// `#[non_exhaustive]`: construct through [`ScenarioConfig::builder`]
+/// (struct literals would turn every added knob into a breaking change).
+/// Cloning an existing config and mutating fields remains fine.
 #[derive(Clone)]
+#[non_exhaustive]
 pub struct ScenarioConfig {
     pub seed: u64,
     pub duration: SimDuration,
-    pub strategy: Strategy,
+    /// The multicast delivery policy (one of [`Policy::all`]).
+    pub policy: Policy,
     /// The paper's §4.4 knob.
     pub mld: MldConfig,
     pub pim: PimConfig,
@@ -78,13 +91,15 @@ pub struct ScenarioConfig {
     /// checked for forwarding loops, persistent duplicates, stale state,
     /// binding staleness and unbounded encapsulation).
     pub oracle: bool,
-    /// Optional tracer (None = silent).
+    /// Optional tracer (None = silent). Mutually exclusive with
+    /// `trace_capture` — the builder rejects setting both.
     pub tracer: Option<Tracer>,
     /// Scenario label used in the run-summary line and trace file names.
-    pub name: &'static str,
+    /// Borrowed for the common static labels; owned for generated
+    /// (per-seed) scenario names.
+    pub name: Cow<'static, str>,
     /// Capture typed trace events into a bounded ring buffer of this
-    /// capacity and return them as `ScenarioResult.trace_jsonl` (ignored
-    /// when an explicit `tracer` is set).
+    /// capacity and return them as `ScenarioResult.trace_jsonl`.
     pub trace_capture: Option<usize>,
     /// Profile the event loop (wall-clock; see `ScenarioResult.profile`).
     pub profile: bool,
@@ -97,7 +112,7 @@ impl Default for ScenarioConfig {
         ScenarioConfig {
             seed: 1,
             duration: SimDuration::from_secs(600),
-            strategy: Strategy::LOCAL,
+            policy: Policy::LOCAL,
             mld: MldConfig::default(),
             pim: PimConfig::default(),
             unsolicited_reports: true,
@@ -109,10 +124,237 @@ impl Default for ScenarioConfig {
             fault: FaultPlan::default(),
             oracle: true,
             tracer: None,
-            name: "scenario",
+            name: Cow::Borrowed("scenario"),
             trace_capture: None,
             profile: false,
             summary: false,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+}
+
+impl fmt::Debug for ScenarioConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Tracers hold sinks, not data — their presence is the only fact
+        // worth printing.
+        f.debug_struct("ScenarioConfig")
+            .field("name", &self.name)
+            .field("seed", &self.seed)
+            .field("duration", &self.duration)
+            .field("policy", &self.policy)
+            .field("unsolicited_reports", &self.unsolicited_reports)
+            .field("data_interval", &self.data_interval)
+            .field("payload_size", &self.payload_size)
+            .field("moves", &self.moves)
+            .field("extra_receivers", &self.extra_receivers)
+            .field("oracle", &self.oracle)
+            .field("tracer", &self.tracer.is_some())
+            .field("trace_capture", &self.trace_capture)
+            .field("profile", &self.profile)
+            .field("summary", &self.summary)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A [`ScenarioConfig`] that failed validation, with the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioBuildError(String);
+
+impl fmt::Display for ScenarioBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioBuildError {}
+
+/// Fluent, validating constructor for [`ScenarioConfig`].
+///
+/// Every setter returns `self`; [`ScenarioBuilder::build`] validates the
+/// combination (panicking with the reason) and [`try_build`] returns it
+/// as an error instead. Invariants enforced:
+///
+/// * `moves` are sorted by time and target the paper's links 1–6;
+/// * `trace_capture` and `tracer` are mutually exclusive (an explicit
+///   tracer would otherwise silently swallow the capture request);
+/// * MLD/PIM timer profiles are internally consistent;
+/// * the data payload fits its 16-byte header.
+///
+/// [`try_build`]: ScenarioBuilder::try_build
+#[derive(Clone, Default)]
+pub struct ScenarioBuilder {
+    cfg: ScenarioConfig,
+}
+
+impl ScenarioBuilder {
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            cfg: ScenarioConfig::default(),
+        }
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.cfg.duration = duration;
+        self
+    }
+
+    pub fn duration_secs(self, secs: u64) -> Self {
+        self.duration(SimDuration::from_secs(secs))
+    }
+
+    /// Select the delivery policy (default: [`Policy::LOCAL`]).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    pub fn mld(mut self, mld: MldConfig) -> Self {
+        self.cfg.mld = mld;
+        self
+    }
+
+    pub fn pim(mut self, pim: PimConfig) -> Self {
+        self.cfg.pim = pim;
+        self
+    }
+
+    pub fn unsolicited_reports(mut self, on: bool) -> Self {
+        self.cfg.unsolicited_reports = on;
+        self
+    }
+
+    pub fn data_interval(mut self, interval: SimDuration) -> Self {
+        self.cfg.data_interval = interval;
+        self
+    }
+
+    pub fn payload_size(mut self, bytes: usize) -> Self {
+        self.cfg.payload_size = bytes;
+        self
+    }
+
+    pub fn traffic_start(mut self, at: SimTime) -> Self {
+        self.cfg.traffic_start = at;
+        self
+    }
+
+    /// Replace the whole mobility script.
+    pub fn moves(mut self, moves: Vec<Move>) -> Self {
+        self.cfg.moves = moves;
+        self
+    }
+
+    /// Append one scripted move (`to_link` is the paper's 1-based number).
+    pub fn move_at(mut self, at_secs: f64, host: PaperHost, to_link: usize) -> Self {
+        self.cfg.moves.push(Move {
+            at_secs,
+            host,
+            to_link,
+        });
+        self
+    }
+
+    pub fn extra_receivers(mut self, n: usize) -> Self {
+        self.cfg.extra_receivers = n;
+        self
+    }
+
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.cfg.fault = fault;
+        self
+    }
+
+    pub fn oracle(mut self, on: bool) -> Self {
+        self.cfg.oracle = on;
+        self
+    }
+
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.cfg.tracer = Some(tracer);
+        self
+    }
+
+    /// Label the scenario (static or generated — see
+    /// [`ScenarioConfig::name`]).
+    pub fn name(mut self, name: impl Into<Cow<'static, str>>) -> Self {
+        self.cfg.name = name.into();
+        self
+    }
+
+    pub fn trace_capture(mut self, capacity: usize) -> Self {
+        self.cfg.trace_capture = Some(capacity);
+        self
+    }
+
+    pub fn profile(mut self, on: bool) -> Self {
+        self.cfg.profile = on;
+        self
+    }
+
+    pub fn summary(mut self, on: bool) -> Self {
+        self.cfg.summary = on;
+        self
+    }
+
+    /// Validate and hand out the configuration.
+    pub fn try_build(self) -> Result<ScenarioConfig, ScenarioBuildError> {
+        let cfg = self.cfg;
+        if let Err(e) = cfg.mld.validate() {
+            return Err(ScenarioBuildError(format!("MLD profile: {e}")));
+        }
+        if let Err(e) = cfg.pim.validate() {
+            return Err(ScenarioBuildError(format!("PIM profile: {e}")));
+        }
+        if cfg.payload_size < 16 {
+            return Err(ScenarioBuildError(format!(
+                "payload_size {} smaller than the 16-byte data header",
+                cfg.payload_size
+            )));
+        }
+        for w in cfg.moves.windows(2) {
+            if w[1].at_secs < w[0].at_secs {
+                return Err(ScenarioBuildError(format!(
+                    "moves not sorted by time: {:.3}s after {:.3}s",
+                    w[1].at_secs, w[0].at_secs
+                )));
+            }
+        }
+        for mv in &cfg.moves {
+            if !(1..=6).contains(&mv.to_link) {
+                return Err(ScenarioBuildError(format!(
+                    "move target link {} outside the reference topology (1-6)",
+                    mv.to_link
+                )));
+            }
+        }
+        if cfg.trace_capture.is_some() && cfg.tracer.is_some() {
+            return Err(ScenarioBuildError(
+                "trace_capture and tracer are mutually exclusive: an explicit \
+                 tracer consumes the event stream, so the capture ring would \
+                 stay empty — drop one of the two"
+                    .into(),
+            ));
+        }
+        Ok(cfg)
+    }
+
+    /// As [`try_build`](Self::try_build), panicking on invalid input —
+    /// the right choice for experiment code with hardcoded knobs.
+    pub fn build(self) -> ScenarioConfig {
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -163,7 +405,7 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
     let g = group();
 
     let host_cfg = HostConfig {
-        strategy: cfg.strategy,
+        policy: cfg.policy,
         unsolicited_reports: cfg.unsolicited_reports,
         mld: cfg.mld,
     };
@@ -257,7 +499,7 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
         eprintln!(
             "[run] scenario={} approach={} seed={} dur={:.0}s events={} sent={} oracle={}",
             cfg.name,
-            cfg.strategy.name(),
+            cfg.policy.name(),
             cfg.seed,
             cfg.duration.as_secs_f64(),
             result.events_executed,
@@ -511,18 +753,13 @@ mod tests {
     use super::*;
     use mobicast_net::{FaultWindow, LinkFault, LinkFlap, LossModel, RouterCrash};
 
-    fn faulty_cfg(strategy: Strategy, fault: FaultPlan) -> ScenarioConfig {
-        ScenarioConfig {
-            duration: SimDuration::from_secs(150),
-            strategy,
-            moves: vec![Move {
-                at_secs: 30.0,
-                host: PaperHost::R3,
-                to_link: 6,
-            }],
-            fault,
-            ..ScenarioConfig::default()
-        }
+    fn faulty_cfg(policy: Policy, fault: FaultPlan) -> ScenarioConfig {
+        ScenarioConfig::builder()
+            .duration_secs(150)
+            .policy(policy)
+            .move_at(30.0, PaperHost::R3, 6)
+            .fault(fault)
+            .build()
     }
 
     /// The PR's acceptance criterion: with 10 % i.i.d. loss on every link
@@ -532,7 +769,7 @@ mod tests {
     /// BU retransmission) repairs whatever the loss broke.
     #[test]
     fn windowed_loss_recovers_to_full_steady_state() {
-        for strategy in Strategy::ALL {
+        for policy in Policy::PAPER {
             let plan = FaultPlan {
                 link: LinkFault {
                     loss: LossModel::iid(0.10),
@@ -544,25 +781,25 @@ mod tests {
                 }),
                 ..FaultPlan::default()
             };
-            let r = run(&faulty_cfg(strategy, plan));
+            let r = run(&faulty_cfg(policy, plan));
             let ratio = r.report.mean("steady_delivery_ratio");
             assert!(
                 ratio >= 0.99,
                 "{}: steady-state delivery {ratio} < 0.99",
-                strategy.name()
+                policy.name()
             );
             // The loss window must actually have destroyed traffic.
             assert!(
                 r.report.counters.get("faults.frames_dropped_loss") > 50,
                 "{}: loss injection inactive",
-                strategy.name()
+                policy.name()
             );
             // The invariant oracle watched the whole run and found nothing.
             assert!(r.report.oracle.enabled);
             assert!(
                 r.report.oracle.violations.is_empty(),
                 "{}: oracle violations {:?}",
-                strategy.name(),
+                policy.name(),
                 r.report.oracle.violations
             );
         }
@@ -582,7 +819,7 @@ mod tests {
             }],
             ..FaultPlan::default()
         };
-        let r = run(&faulty_cfg(Strategy::LOCAL, plan));
+        let r = run(&faulty_cfg(Policy::LOCAL, plan));
         // The first graft (and anything else on Link 5 in the window) died.
         assert!(r.report.counters.get("faults.frames_dropped_link_down") > 0);
         // Forwarding resumed: R3 keeps receiving after the move.
@@ -614,7 +851,7 @@ mod tests {
             }],
             ..FaultPlan::default()
         };
-        let r = run(&faulty_cfg(Strategy::BIDIRECTIONAL_TUNNEL, plan));
+        let r = run(&faulty_cfg(Policy::BIDIRECTIONAL_TUNNEL, plan));
         assert!(r.report.counters.get("faults.frames_dropped_link_down") > 0);
         // The BU was retransmitted at least once before getting through.
         assert!(
@@ -644,11 +881,10 @@ mod tests {
             }],
             ..FaultPlan::default()
         };
-        let cfg = ScenarioConfig {
-            duration: SimDuration::from_secs(150),
-            fault: plan,
-            ..ScenarioConfig::default()
-        };
+        let cfg = ScenarioConfig::builder()
+            .duration_secs(150)
+            .fault(plan)
+            .build();
         let r = run(&cfg);
         assert_eq!(r.report.counters.get("faults.node_crashes"), 1);
         assert_eq!(r.report.counters.get("faults.node_restarts"), 1);
@@ -683,7 +919,7 @@ mod tests {
             }],
             ..FaultPlan::default()
         };
-        let r = run(&faulty_cfg(Strategy::LOCAL, plan));
+        let r = run(&faulty_cfg(Policy::LOCAL, plan));
         // The arrival-time Report (and the window's data) died on the
         // downed link.
         assert!(r.report.counters.get("faults.frames_dropped_link_down") > 0);
@@ -716,22 +952,18 @@ mod tests {
     /// steady state returns to exactly-once delivery.
     #[test]
     fn crash_during_assert_reelects_winner_without_persistent_duplicates() {
-        let crashed = ScenarioConfig {
-            duration: SimDuration::from_secs(150),
-            fault: FaultPlan {
+        let crashed = ScenarioConfig::builder()
+            .duration_secs(150)
+            .fault(FaultPlan {
                 crashes: vec![RouterCrash {
                     router: 1, // B: the assert loser on the shared link
                     crash_at_secs: 40.0,
                     restart_at_secs: 50.0,
                 }],
                 ..FaultPlan::default()
-            },
-            ..ScenarioConfig::default()
-        };
-        let baseline = ScenarioConfig {
-            duration: SimDuration::from_secs(150),
-            ..ScenarioConfig::default()
-        };
+            })
+            .build();
+        let baseline = ScenarioConfig::builder().duration_secs(150).build();
         let rc = run(&crashed);
         let rb = run(&baseline);
         assert_eq!(rc.report.counters.get("faults.node_crashes"), 1);
@@ -772,16 +1004,13 @@ mod tests {
     /// a different seed must produce a different loss realization.
     #[test]
     fn faulty_runs_are_deterministic_in_seed() {
-        let mk = |seed: u64| ScenarioConfig {
-            seed,
-            duration: SimDuration::from_secs(80),
-            fault: FaultPlan::iid_loss(0.15),
-            moves: vec![Move {
-                at_secs: 30.0,
-                host: PaperHost::R3,
-                to_link: 6,
-            }],
-            ..ScenarioConfig::default()
+        let mk = |seed: u64| {
+            ScenarioConfig::builder()
+                .seed(seed)
+                .duration_secs(80)
+                .fault(FaultPlan::iid_loss(0.15))
+                .move_at(30.0, PaperHost::R3, 6)
+                .build()
         };
         let a = run(&mk(7));
         let b = run(&mk(7));
@@ -802,19 +1031,14 @@ mod tests {
     /// and the wall-clock profile must cover every executed event.
     #[test]
     fn node_stats_trace_and_profile_are_consistent() {
-        let cfg = ScenarioConfig {
-            duration: SimDuration::from_secs(80),
-            strategy: Strategy::BIDIRECTIONAL_TUNNEL,
-            moves: vec![Move {
-                at_secs: 30.0,
-                host: PaperHost::R3,
-                to_link: 6,
-            }],
-            fault: FaultPlan::iid_loss(0.05),
-            trace_capture: Some(200_000),
-            profile: true,
-            ..ScenarioConfig::default()
-        };
+        let cfg = ScenarioConfig::builder()
+            .duration_secs(80)
+            .policy(Policy::BIDIRECTIONAL_TUNNEL)
+            .move_at(30.0, PaperHost::R3, 6)
+            .fault(FaultPlan::iid_loss(0.05))
+            .trace_capture(200_000)
+            .profile(true)
+            .build();
         let r = run(&cfg);
 
         // MIB counters vs recorder/world ground truth.
@@ -879,11 +1103,10 @@ mod tests {
     /// accounted per class, and no steady-state claim is made.
     #[test]
     fn run_long_loss_degrades_delivery_and_accounts_drops() {
-        let cfg = ScenarioConfig {
-            duration: SimDuration::from_secs(80),
-            fault: FaultPlan::iid_loss(0.2),
-            ..ScenarioConfig::default()
-        };
+        let cfg = ScenarioConfig::builder()
+            .duration_secs(80)
+            .fault(FaultPlan::iid_loss(0.2))
+            .build();
         let r = run(&cfg);
         let total_drops: u64 = (1..=6)
             .map(|n| {
@@ -910,5 +1133,54 @@ mod tests {
             (delivered as f64) < 3.0 * 0.98 * r.sent as f64,
             "loss had no visible effect"
         );
+    }
+
+    /// The builder's validation contract: every inconsistent knob
+    /// combination is rejected with a descriptive reason, and the
+    /// defaults build cleanly.
+    #[test]
+    fn builder_rejects_inconsistent_knobs() {
+        // The PR 3 gap: an explicit tracer used to silently swallow
+        // trace_capture; now the combination is an error.
+        let err = ScenarioConfig::builder()
+            .trace_capture(1000)
+            .tracer(Tracer::null())
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+
+        let err = ScenarioConfig::builder()
+            .move_at(40.0, PaperHost::R3, 6)
+            .move_at(30.0, PaperHost::R2, 3)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("sorted"), "{err}");
+
+        let err = ScenarioConfig::builder()
+            .move_at(10.0, PaperHost::R3, 7)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("1-6"), "{err}");
+
+        let err = ScenarioConfig::builder()
+            .payload_size(8)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("16-byte"), "{err}");
+
+        assert!(ScenarioConfig::builder().try_build().is_ok());
+    }
+
+    /// Generated names thread through as owned strings; static labels stay
+    /// borrowed — both land in the config verbatim.
+    #[test]
+    fn names_may_be_borrowed_or_generated() {
+        let cfg = ScenarioConfig::builder().name("static-label").build();
+        assert_eq!(cfg.name, "static-label");
+        let seed = 42;
+        let cfg = ScenarioConfig::builder()
+            .name(format!("stress-seed{seed}"))
+            .build();
+        assert_eq!(cfg.name, "stress-seed42");
     }
 }

@@ -17,7 +17,7 @@ use crate::host_node::{HostConfig, SenderApp};
 use crate::oracle::{FinalizeParams, Oracle};
 use crate::router_node::{RouterConfig, RouterNode};
 use crate::scenario::group;
-use crate::strategy::Strategy;
+use crate::strategy::Policy;
 use mobicast_mld::MldConfig;
 use mobicast_sim::{RngFactory, SimDuration, SimTime, Tracer};
 use rand::Rng;
@@ -37,10 +37,10 @@ const SETTLE_MARGIN_SECS: u64 = 30;
 /// Configuration of one stress run.
 #[derive(Clone, Debug)]
 pub struct StressSpec {
-    /// Label used in reports ("grid8x8/LOCAL", …).
+    /// Label used in reports ("grid64x112/bi-directional tunnel/seed11", …).
     pub name: String,
     pub topology: NetworkSpec,
-    pub strategy: Strategy,
+    pub policy: Policy,
     pub seed: u64,
     pub duration: SimDuration,
     /// Receivers, spread deterministically over the links (sender is
@@ -99,7 +99,7 @@ pub fn run_stress(spec: &StressSpec) -> StressReport {
     let end = SimTime::ZERO + spec.duration;
 
     let host_cfg = HostConfig {
-        strategy: spec.strategy,
+        policy: spec.policy,
         unsolicited_reports: true,
         mld: MldConfig::default(),
     };
@@ -238,20 +238,25 @@ pub fn specs(quick: bool) -> Vec<StressSpec> {
         )
     };
     let shapes = [("grid", grid), ("tree", tree)];
-    let strategies = [Strategy::LOCAL, Strategy::BIDIRECTIONAL_TUNNEL];
+    // Default pair exercises both receive planes; `--approach` pins one.
+    let policies = crate::strategy::approach_override().map_or_else(
+        || vec![Policy::LOCAL, Policy::BIDIRECTIONAL_TUNNEL],
+        |p| vec![p],
+    );
+    let seed = 11;
     let mut out = Vec::new();
     for (shape, topo) in shapes {
-        for strat in strategies {
+        for &policy in &policies {
             out.push(StressSpec {
                 name: format!(
-                    "{shape}{}x{}/{}",
+                    "{shape}{}x{}/{}/seed{seed}",
                     topo.n_links,
                     topo.routers.len(),
-                    strat.name()
+                    policy.id()
                 ),
                 topology: topo.clone(),
-                strategy: strat,
-                seed: 11,
+                policy,
+                seed,
                 duration,
                 receivers,
                 movers,

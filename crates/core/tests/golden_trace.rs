@@ -12,8 +12,8 @@
 //! `MOBICAST_UPDATE_GOLDENS=1 cargo test -p mobicast-core --test golden_trace`
 //! and commit the diff.
 
-use mobicast_core::scenario::{self, Move, PaperHost, ScenarioConfig};
-use mobicast_core::strategy::Strategy;
+use mobicast_core::scenario::{self, PaperHost, ScenarioConfig};
+use mobicast_core::strategy::Policy;
 use mobicast_sim::trace::validate_jsonl_line;
 use mobicast_sim::SimDuration;
 use std::path::PathBuf;
@@ -49,7 +49,7 @@ fn capture(cfg: &ScenarioConfig) -> String {
 
 fn check_golden(cfg: &ScenarioConfig) {
     let trace = capture(cfg);
-    let path = golden_path(cfg.name);
+    let path = golden_path(&cfg.name);
     if std::env::var_os("MOBICAST_UPDATE_GOLDENS").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &trace).unwrap();
@@ -87,13 +87,14 @@ fn check_golden(cfg: &ScenarioConfig) {
 /// prune/assert resolution), where most event-ordering changes surface.
 #[test]
 fn fig1_trace_matches_golden() {
-    check_golden(&ScenarioConfig {
-        seed: 1,
-        duration: SimDuration::from_secs(30),
-        trace_capture: Some(TRACE_CAPACITY),
-        name: "golden-fig1",
-        ..ScenarioConfig::default()
-    });
+    check_golden(
+        &ScenarioConfig::builder()
+            .seed(1)
+            .duration(SimDuration::from_secs(30))
+            .trace_capture(TRACE_CAPACITY)
+            .name("golden-fig1")
+            .build(),
+    );
 }
 
 /// A bidirectional-tunnel handoff: R3 roams to the pruned Link 6, sends a
@@ -101,17 +102,42 @@ fn fig1_trace_matches_golden() {
 /// pins the full MIPv6 signalling and encap/decap event sequence.
 #[test]
 fn handoff_trace_matches_golden() {
-    check_golden(&ScenarioConfig {
-        seed: 1,
-        duration: SimDuration::from_secs(80),
-        strategy: Strategy::BIDIRECTIONAL_TUNNEL,
-        moves: vec![Move {
-            at_secs: 40.0,
-            host: PaperHost::R3,
-            to_link: 6,
-        }],
-        trace_capture: Some(TRACE_CAPACITY),
-        name: "golden-handoff",
-        ..ScenarioConfig::default()
-    });
+    check_golden(&handoff_cfg(Policy::BIDIRECTIONAL_TUNNEL, "golden-handoff"));
+}
+
+/// The same roam under each remaining Table-1 approach, so every
+/// approach's distinct signalling (group-list sub-option presence, local
+/// rejoin vs tunnel direction) is pinned by its own golden. Together with
+/// the two goldens above this gives all four paper approaches a
+/// byte-level behavioral fingerprint.
+fn handoff_cfg(policy: Policy, name: &'static str) -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .seed(1)
+        .duration(SimDuration::from_secs(80))
+        .policy(policy)
+        .move_at(40.0, PaperHost::R3, 6)
+        .trace_capture(TRACE_CAPACITY)
+        .name(name)
+        .build()
+}
+
+#[test]
+fn handoff_local_trace_matches_golden() {
+    check_golden(&handoff_cfg(Policy::LOCAL, "golden-handoff-local"));
+}
+
+#[test]
+fn handoff_mh_ha_trace_matches_golden() {
+    check_golden(&handoff_cfg(
+        Policy::TUNNEL_MH_TO_HA,
+        "golden-handoff-mh-ha",
+    ));
+}
+
+#[test]
+fn handoff_ha_mh_trace_matches_golden() {
+    check_golden(&handoff_cfg(
+        Policy::TUNNEL_HA_TO_MH,
+        "golden-handoff-ha-mh",
+    ));
 }

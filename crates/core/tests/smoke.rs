@@ -6,10 +6,9 @@ use mobicast_sim::SimDuration;
 
 #[test]
 fn static_reference_scenario_delivers_to_all_receivers() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(120),
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(120))
+        .build();
     let result = scenario::run(&cfg);
     let sent = result.sent;
     assert!(sent > 200, "sender produced packets: {sent}");
@@ -33,23 +32,17 @@ fn static_reference_scenario_delivers_to_all_receivers() {
     );
 }
 
-use mobicast_core::scenario::Move;
-use mobicast_core::strategy::Strategy;
+use mobicast_core::strategy::Policy;
 use mobicast_core::PaperHost;
 
 /// Figure 2: R3 moves from Link 4 to the pruned Link 6, local membership.
 #[test]
 fn figure2_receiver_move_local_membership() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(400),
-        strategy: Strategy::LOCAL,
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::R3,
-            to_link: 6,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(400))
+        .policy(Policy::LOCAL)
+        .move_at(60.0, PaperHost::R3, 6)
+        .build();
     let result = scenario::run(&cfg);
     // R3 keeps receiving after the graft onto Link 6.
     let got = result.received["R3"];
@@ -77,16 +70,11 @@ fn figure2_receiver_move_local_membership() {
 /// Figure 3: R3 moves from Link 4 to Link 1, bi-directional tunnel.
 #[test]
 fn figure3_receiver_move_home_tunnel() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(300),
-        strategy: Strategy::BIDIRECTIONAL_TUNNEL,
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::R3,
-            to_link: 1,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(300))
+        .policy(Policy::BIDIRECTIONAL_TUNNEL)
+        .move_at(60.0, PaperHost::R3, 1)
+        .build();
     let result = scenario::run(&cfg);
     let got = result.received["R3"];
     assert!(
@@ -111,16 +99,11 @@ fn figure3_receiver_move_home_tunnel() {
 /// distribution tree is untouched and everyone keeps receiving.
 #[test]
 fn figure4_sender_move_reverse_tunnel() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(300),
-        strategy: Strategy::TUNNEL_MH_TO_HA,
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::S,
-            to_link: 6,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(300))
+        .policy(Policy::TUNNEL_MH_TO_HA)
+        .move_at(60.0, PaperHost::S, 6)
+        .build();
     let result = scenario::run(&cfg);
     for r in ["R1", "R2", "R3"] {
         let got = result.received[r];
@@ -140,16 +123,11 @@ fn figure4_sender_move_reverse_tunnel() {
 /// built from the care-of address (second (S,G) entry), with a re-flood.
 #[test]
 fn sender_move_local_rebuilds_tree() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(300),
-        strategy: Strategy::LOCAL,
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::S,
-            to_link: 6,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(300))
+        .policy(Policy::LOCAL)
+        .move_at(60.0, PaperHost::S, 6)
+        .build();
     let result = scenario::run(&cfg);
     assert!(
         result.max_router_sg_entries >= 2,
@@ -170,17 +148,12 @@ fn sender_move_local_rebuilds_tree() {
 /// assert process the paper describes in §4.3.1.
 #[test]
 fn sender_move_to_link2_triggers_asserts() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(200),
-        strategy: Strategy::LOCAL,
-        data_interval: SimDuration::from_millis(100),
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::S,
-            to_link: 2,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(200))
+        .policy(Policy::LOCAL)
+        .data_interval(SimDuration::from_millis(100))
+        .move_at(60.0, PaperHost::S, 2)
+        .build();
     let result = scenario::run(&cfg);
     assert!(
         result.report.counters.get("pim.sent.assert") > 0,

@@ -103,16 +103,13 @@ impl HomeAgent {
         self.cache.lookup(dst).map(|e| e.care_of)
     }
 
-    /// Care-of addresses to tunnel a multicast datagram for `group` to
-    /// (the paper's observation that co-located receivers each get their
-    /// own unicast copy falls straight out of this list).
-    pub fn multicast_tunnel_targets(&mut self, group: GroupAddr) -> Vec<Ipv6Addr> {
-        let targets: Vec<Ipv6Addr> = self
-            .cache
-            .subscribers(group)
-            .into_iter()
-            .map(|(_, coa)| coa)
-            .collect();
+    /// `(home, care-of)` pairs to tunnel a multicast datagram for `group`
+    /// to (the paper's observation that co-located receivers each get
+    /// their own unicast copy falls straight out of this list). The home
+    /// address lets the caller attribute the tunnel copy to its agent role
+    /// — home agent for on-link homes, regional MAP otherwise.
+    pub fn multicast_tunnel_targets(&mut self, group: GroupAddr) -> Vec<(Ipv6Addr, Ipv6Addr)> {
+        let targets = self.cache.subscribers(group);
         self.packets_tunneled += targets.len() as u64;
         targets
     }
@@ -201,7 +198,10 @@ mod tests {
         ha.on_binding_update(a("::a3"), a("::c3"), &bu(1, 256, vec![g(2)]), t(0));
         assert!(ha.has_group_subscribers(g(1)));
         let targets = ha.multicast_tunnel_targets(g(1));
-        assert_eq!(targets, vec![a("::c1"), a("::c2")]);
+        assert_eq!(
+            targets,
+            vec![(a("::a1"), a("::c1")), (a("::a2"), a("::c2"))]
+        );
         assert_eq!(ha.packets_tunneled, 2, "one tunnel copy per subscriber");
     }
 

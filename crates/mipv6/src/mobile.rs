@@ -34,8 +34,10 @@ pub enum Location {
 /// Outputs of the mobile-node machine.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MnOutput {
-    /// Transmit a Binding Update to the home agent. The glue wraps it in an
-    /// IPv6 packet from `source` carrying a Home Address option.
+    /// Transmit a Binding Update to the current mobility agent (the home
+    /// agent, or a regional MAP-style agent after
+    /// [`MobileNode::set_agent`]). The glue wraps it in an IPv6 packet from
+    /// `source` carrying a Home Address option.
     SendBindingUpdate {
         home_agent: Ipv6Addr,
         source: Ipv6Addr,
@@ -49,6 +51,10 @@ pub struct MobileNode {
     home_address: Ipv6Addr,
     home_prefix: Prefix,
     home_agent: Ipv6Addr,
+    /// Where Binding Updates currently go: the home agent by default, or a
+    /// regional (MAP-style) agent selected by a hierarchical delivery
+    /// policy via [`MobileNode::set_agent`].
+    agent: Ipv6Addr,
     /// Interface identifier used for stateless autoconfiguration.
     iid: u64,
     sequence: u16,
@@ -85,6 +91,7 @@ impl MobileNode {
             home_address,
             home_prefix,
             home_agent,
+            agent: home_agent,
             iid,
             sequence: 0,
             location: Location::AtHome,
@@ -105,6 +112,47 @@ impl MobileNode {
 
     pub fn home_agent(&self) -> Ipv6Addr {
         self.home_agent
+    }
+
+    /// The agent Binding Updates are currently addressed to.
+    pub fn agent(&self) -> Ipv6Addr {
+        self.agent
+    }
+
+    /// Retarget registration at a different mobility agent (hierarchical
+    /// policies: the domain MAP while roaming inside its domain, the home
+    /// agent elsewhere). A no-op when `agent` is already the target.
+    ///
+    /// When the target changes while the node holds (or is establishing) a
+    /// binding away from home, the previous agent is released with a
+    /// fire-and-forget zero-lifetime Binding Update — no ack is requested
+    /// because the reply would race the handoff the retarget is part of.
+    /// In-flight registration state is dropped; the next Router
+    /// Advertisement registers cleanly with the new agent.
+    pub fn set_agent(&mut self, agent: Ipv6Addr) -> Vec<MnOutput> {
+        if agent == self.agent {
+            return Vec::new();
+        }
+        let old = std::mem::replace(&mut self.agent, agent);
+        let mut out = Vec::new();
+        if !self.at_home() {
+            self.sequence = self.sequence.wrapping_add(1);
+            self.binding_updates_sent += 1;
+            out.push(MnOutput::SendBindingUpdate {
+                home_agent: old,
+                source: self.current_address(),
+                binding_update: BindingUpdate {
+                    flags: BU_FLAG_HOME,
+                    sequence: self.sequence,
+                    lifetime_secs: 0,
+                    sub_options: Vec::new(),
+                },
+            });
+        }
+        self.pending_bu = None;
+        self.retransmit_at = None;
+        self.refresh_at = None;
+        out
     }
 
     pub fn location(&self) -> Location {
@@ -154,7 +202,7 @@ impl MobileNode {
         self.retransmit_timeout = INITIAL_BINDACK_TIMEOUT;
         self.retransmit_at = Some(now + INITIAL_BINDACK_TIMEOUT);
         vec![MnOutput::SendBindingUpdate {
-            home_agent: self.home_agent,
+            home_agent: self.agent,
             source: self.current_address(),
             binding_update: bu,
         }]
@@ -235,7 +283,7 @@ impl MobileNode {
                     self.retransmit_at = Some(now + self.retransmit_timeout);
                     self.binding_updates_sent += 1;
                     out.push(MnOutput::SendBindingUpdate {
-                        home_agent: self.home_agent,
+                        home_agent: self.agent,
                         source: self.current_address(),
                         binding_update: bu,
                     });
@@ -454,6 +502,53 @@ mod tests {
                 assert_eq!(*source, a("2001:db8:1::1234"));
             }
         }
+    }
+
+    #[test]
+    fn retarget_while_away_releases_old_agent_and_registers_with_new() {
+        let mut m = mn(true);
+        m.set_groups(vec![g(1)], t(0));
+        m.on_router_advert(p("2001:db8:6::/64"), t(5));
+        m.on_binding_ack(true, t(6));
+        // Switch to a regional agent: one fire-and-forget deregistration
+        // to the old agent, no retransmission armed for it.
+        let out = m.set_agent(a("2001:db8:5::e"));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            MnOutput::SendBindingUpdate {
+                home_agent,
+                binding_update,
+                ..
+            } => {
+                assert_eq!(
+                    *home_agent,
+                    a("2001:db8:4::d"),
+                    "dereg goes to the old agent"
+                );
+                assert_eq!(binding_update.lifetime_secs, 0);
+                assert!(!binding_update.ack_requested(), "fire-and-forget");
+            }
+        }
+        assert_eq!(m.agent(), a("2001:db8:5::e"));
+        assert_eq!(m.next_deadline(), None, "old binding state dropped");
+        // The next movement registers with the new agent.
+        let out = m.on_router_advert(p("2001:db8:5::/64"), t(10));
+        match &out[0] {
+            MnOutput::SendBindingUpdate { home_agent, .. } => {
+                assert_eq!(*home_agent, a("2001:db8:5::e"));
+            }
+        }
+        // Retargeting to the current agent is a strict no-op.
+        assert!(m.set_agent(a("2001:db8:5::e")).is_empty());
+    }
+
+    #[test]
+    fn retarget_at_home_is_silent() {
+        let mut m = mn(false);
+        let out = m.set_agent(a("2001:db8:5::e"));
+        assert!(out.is_empty(), "no binding exists at home to release");
+        assert_eq!(m.home_agent(), a("2001:db8:4::d"), "home agent unchanged");
+        assert_eq!(m.binding_updates_sent(), 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::any::Any;
 use std::rc::Rc;
 
 /// Handler categories the event-loop profiler distinguishes, in the order
-/// used by [`WorldEvent::category_index`].
+/// used by the event queue's internal `WorldEvent::category_index`.
 pub const HANDLER_CATEGORIES: &[&str] = &["deliver", "timer", "script"];
 
 /// Passive observer of the event loop: sees every frame handed to a link and

@@ -1,11 +1,12 @@
-//! Compare the paper's four multicast mobility approaches (Table 1) on one
+//! Compare every registered delivery policy — the paper's four approaches
+//! (Table 1) plus extensions like the hierarchical proxy — on one
 //! roaming-receiver scenario and print the measured criteria side by side.
 //!
 //! Run with: `cargo run --release --example four_approaches`
 
 use mobicast::core::report::{bytes, secs, Table};
-use mobicast::core::scenario::{self, Move, PaperHost, ScenarioConfig};
-use mobicast::core::strategy::Strategy;
+use mobicast::core::scenario::{self, PaperHost, ScenarioConfig};
+use mobicast::core::strategy::Policy;
 use mobicast::sim::SimDuration;
 
 fn main() {
@@ -19,27 +20,17 @@ fn main() {
         "draft changes",
     ]);
 
-    for strategy in Strategy::ALL {
-        let cfg = ScenarioConfig {
-            duration: SimDuration::from_secs(300),
-            strategy,
-            moves: vec![
-                Move {
-                    at_secs: 60.0,
-                    host: PaperHost::R3,
-                    to_link: 6,
-                },
-                Move {
-                    at_secs: 180.0,
-                    host: PaperHost::R3,
-                    to_link: 1,
-                },
-            ],
-            ..ScenarioConfig::default()
-        };
+    for policy in Policy::all() {
+        let cfg = ScenarioConfig::builder()
+            .duration(SimDuration::from_secs(300))
+            .policy(policy)
+            .move_at(60.0, PaperHost::R3, 6)
+            .move_at(180.0, PaperHost::R3, 1)
+            .name(format!("four-approaches-{}", policy.id()))
+            .build();
         let r = scenario::run(&cfg);
         table.row(vec![
-            strategy.name().into(),
+            policy.name().into(),
             secs(r.report.series.summary("join_delay").mean),
             format!("{:.2}", r.report.analysis.mean_stretch),
             bytes(r.report.class_bytes("tunnel_data")),
@@ -48,7 +39,7 @@ fn main() {
                 "{:.1}%",
                 100.0 * r.received["R3"] as f64 / r.sent.max(1) as f64
             ),
-            if strategy.requires_draft_changes() {
+            if policy.requires_draft_changes() {
                 "Fig.5 sub-option"
             } else {
                 "none"

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use mobicast::core::scenario::{self, Move, PaperHost, ScenarioConfig};
-use mobicast::core::strategy::Strategy;
+use mobicast::core::scenario::{self, PaperHost, ScenarioConfig};
+use mobicast::core::strategy::Policy;
 use mobicast::sim::{SimDuration, TraceCategory, Tracer};
 use mobicast_sim::trace::StdoutSink;
 
@@ -17,19 +17,15 @@ fn main() {
         TraceCategory::App,
     ]));
 
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(180),
-        strategy: Strategy::LOCAL,
-        // Receiver 3 moves from its home Link 4 to the pruned Link 6 at
-        // t = 60 s (the paper's Figure 2 scenario).
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::R3,
-            to_link: 6,
-        }],
-        tracer: Some(tracer),
-        ..ScenarioConfig::default()
-    };
+    // Receiver 3 moves from its home Link 4 to the pruned Link 6 at
+    // t = 60 s (the paper's Figure 2 scenario).
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(180))
+        .policy(Policy::LOCAL)
+        .move_at(60.0, PaperHost::R3, 6)
+        .tracer(tracer)
+        .name("quickstart")
+        .build();
 
     println!("running the Figure-2 handover on the reference network...\n");
     let result = scenario::run(&cfg);

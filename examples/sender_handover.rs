@@ -5,29 +5,25 @@
 //! Run with: `cargo run --release --example sender_handover`
 
 use mobicast::core::report::{bytes, Table};
-use mobicast::core::scenario::{self, Move, PaperHost, ScenarioConfig};
-use mobicast::core::strategy::Strategy;
+use mobicast::core::scenario::{self, PaperHost, ScenarioConfig};
+use mobicast::core::strategy::Policy;
 use mobicast::sim::SimDuration;
 
-fn run_one(strategy: Strategy, to_link: usize) -> Vec<String> {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(240),
-        strategy,
-        data_interval: SimDuration::from_millis(200),
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::S,
-            to_link,
-        }],
-        ..ScenarioConfig::default()
-    };
+fn run_one(policy: Policy, to_link: usize) -> Vec<String> {
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(240))
+        .policy(policy)
+        .data_interval(SimDuration::from_millis(200))
+        .move_at(60.0, PaperHost::S, to_link)
+        .name(format!("sender-handover-{}-to{to_link}", policy.id()))
+        .build();
     let r = scenario::run(&cfg);
     let worst = ["R1", "R2", "R3"]
         .iter()
         .map(|h| r.received[h] as f64 / r.sent.max(1) as f64)
         .fold(f64::INFINITY, f64::min);
     vec![
-        format!("{} (S -> Link {to_link})", strategy.name()),
+        format!("{} (S -> Link {to_link})", policy.name()),
         r.max_router_sg_entries.to_string(),
         r.report.counters.get("pim.sent.assert").to_string(),
         bytes(r.report.analysis.total_wasted_bytes),
@@ -47,9 +43,9 @@ fn main() {
     ]);
     // Local sending to the pruned Link 6, to the on-tree Link 2 (assert
     // storm), and the reverse tunnel alternative.
-    table.row(run_one(Strategy::LOCAL, 6));
-    table.row(run_one(Strategy::LOCAL, 2));
-    table.row(run_one(Strategy::TUNNEL_MH_TO_HA, 6));
+    table.row(run_one(Policy::LOCAL, 6));
+    table.row(run_one(Policy::LOCAL, 2));
+    table.row(run_one(Policy::TUNNEL_MH_TO_HA, 6));
 
     println!("Sender S moves at t=60s while streaming:\n");
     println!("{}", table.render());

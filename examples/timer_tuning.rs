@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example timer_tuning`
 
 use mobicast::core::report::{bytes, secs, Table};
-use mobicast::core::scenario::{self, Move, PaperHost, ScenarioConfig};
+use mobicast::core::scenario::{self, PaperHost, ScenarioConfig};
 use mobicast::mld::MldConfig;
 use mobicast::sim::SimDuration;
 
@@ -22,19 +22,15 @@ fn main() {
     for query_interval in [10u64, 30, 60, 125] {
         let mld = MldConfig::with_query_interval(SimDuration::from_secs(query_interval));
         mld.validate().expect("T_Query >= T_RespDel (footnote 5)");
-        let cfg = ScenarioConfig {
-            duration: SimDuration::from_secs(700),
-            mld,
-            // The host waits for a Query (no unsolicited reports): the
-            // regime §4.4's tuning is about.
-            unsolicited_reports: false,
-            moves: vec![Move {
-                at_secs: 90.0,
-                host: PaperHost::R3,
-                to_link: 6,
-            }],
-            ..ScenarioConfig::default()
-        };
+        // The host waits for a Query (no unsolicited reports): the
+        // regime §4.4's tuning is about.
+        let cfg = ScenarioConfig::builder()
+            .duration(SimDuration::from_secs(700))
+            .mld(mld)
+            .unsolicited_reports(false)
+            .move_at(90.0, PaperHost::R3, 6)
+            .name(format!("timer-tuning-q{query_interval}"))
+            .build();
         let r = scenario::run(&cfg);
         table.row(vec![
             format!("{query_interval}s"),

@@ -2,37 +2,26 @@
 //! public facade, checking determinism and system-level invariants that no
 //! single crate can check alone.
 
-use mobicast::core::scenario::{self, Move, PaperHost, ScenarioConfig};
-use mobicast::core::strategy::Strategy;
+use mobicast::core::scenario::{self, PaperHost, ScenarioConfig};
+use mobicast::core::strategy::Policy;
 use mobicast::sim::SimDuration;
 
-fn roaming_cfg(strategy: Strategy, seed: u64) -> ScenarioConfig {
-    ScenarioConfig {
-        seed,
-        duration: SimDuration::from_secs(300),
-        strategy,
-        moves: vec![
-            Move {
-                at_secs: 60.0,
-                host: PaperHost::R3,
-                to_link: 6,
-            },
-            Move {
-                at_secs: 150.0,
-                host: PaperHost::S,
-                to_link: 6,
-            },
-        ],
-        ..ScenarioConfig::default()
-    }
+fn roaming_cfg(policy: Policy, seed: u64) -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .seed(seed)
+        .duration(SimDuration::from_secs(300))
+        .policy(policy)
+        .move_at(60.0, PaperHost::R3, 6)
+        .move_at(150.0, PaperHost::S, 6)
+        .build()
 }
 
 #[test]
 fn same_seed_same_world() {
     // Determinism is the foundation of every experiment table: two runs
     // with identical configuration must agree on every counter and byte.
-    let a = scenario::run(&roaming_cfg(Strategy::BIDIRECTIONAL_TUNNEL, 7));
-    let b = scenario::run(&roaming_cfg(Strategy::BIDIRECTIONAL_TUNNEL, 7));
+    let a = scenario::run(&roaming_cfg(Policy::BIDIRECTIONAL_TUNNEL, 7));
+    let b = scenario::run(&roaming_cfg(Policy::BIDIRECTIONAL_TUNNEL, 7));
     assert_eq!(a.sent, b.sent);
     assert_eq!(a.received, b.received);
     assert_eq!(a.duplicates, b.duplicates);
@@ -50,8 +39,8 @@ fn same_seed_same_world() {
 fn different_seeds_differ_only_in_randomized_quantities() {
     // Different seeds shift random response delays but must not change
     // protocol-determined facts like the number of data packets sent.
-    let a = scenario::run(&roaming_cfg(Strategy::LOCAL, 1));
-    let b = scenario::run(&roaming_cfg(Strategy::LOCAL, 2));
+    let a = scenario::run(&roaming_cfg(Policy::LOCAL, 1));
+    let b = scenario::run(&roaming_cfg(Policy::LOCAL, 2));
     assert_eq!(a.sent, b.sent, "CBR source is seed-independent");
     for r in ["R1", "R2", "R3"] {
         assert!(a.received[r] > 0 && b.received[r] > 0);
@@ -59,15 +48,15 @@ fn different_seeds_differ_only_in_randomized_quantities() {
 }
 
 #[test]
-fn every_strategy_survives_the_roaming_scenario() {
-    for strategy in Strategy::ALL {
-        let r = scenario::run(&roaming_cfg(strategy, 3));
-        assert!(r.sent > 500, "{strategy}: sender ran");
+fn every_policy_survives_the_roaming_scenario() {
+    for policy in Policy::all() {
+        let r = scenario::run(&roaming_cfg(policy, 3));
+        assert!(r.sent > 500, "{policy}: sender ran");
         for host in ["R1", "R2", "R3"] {
             let frac = r.received[host] as f64 / r.sent as f64;
             assert!(
                 frac > 0.85,
-                "{strategy}: {host} only received {:.1}%",
+                "{policy}: {host} only received {:.1}%",
                 frac * 100.0
             );
         }
@@ -81,10 +70,9 @@ fn every_strategy_survives_the_roaming_scenario() {
 
 #[test]
 fn stationary_network_has_no_mobility_overhead() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(200),
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(200))
+        .build();
     let r = scenario::run(&cfg);
     assert_eq!(
         r.report.counters.get("host.binding_updates_sent"),
@@ -103,16 +91,11 @@ fn stationary_network_has_no_mobility_overhead() {
 fn tunnel_overhead_is_exactly_forty_bytes_per_packet() {
     // System-level check of the RFC 2473 cost the paper charges to the
     // tunnel approaches.
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(200),
-        strategy: Strategy::TUNNEL_MH_TO_HA,
-        moves: vec![Move {
-            at_secs: 50.0,
-            host: PaperHost::S,
-            to_link: 6,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(200))
+        .policy(Policy::TUNNEL_MH_TO_HA)
+        .move_at(50.0, PaperHost::S, 6)
+        .build();
     let r = scenario::run(&cfg);
     let encap = r.report.counters.get("host.data_tunnel_encap");
     assert!(encap > 100);
@@ -136,23 +119,12 @@ fn binding_lifetime_expiry_matches_draft_constant() {
     // stops. We force this by parking R3 on a link and killing refreshes
     // via an enormous refresh interval — instead, simply check bindings
     // exist while roaming and the cache empties after returning home.
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(400),
-        strategy: Strategy::BIDIRECTIONAL_TUNNEL,
-        moves: vec![
-            Move {
-                at_secs: 60.0,
-                host: PaperHost::R3,
-                to_link: 1,
-            },
-            Move {
-                at_secs: 200.0,
-                host: PaperHost::R3,
-                to_link: 4, // home again: deregistration
-            },
-        ],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(400))
+        .policy(Policy::BIDIRECTIONAL_TUNNEL)
+        .move_at(60.0, PaperHost::R3, 1)
+        .move_at(200.0, PaperHost::R3, 4) // home again: deregistration
+        .build();
     let r = scenario::run(&cfg);
     assert!(r.ha_binding_updates >= 2, "registration + deregistration");
     // After returning home, R3 receives natively again.

@@ -6,8 +6,8 @@
 //! The table is the contract: if a default drifts, the experiment figures
 //! silently stop reproducing the paper, so every row fails loudly here.
 
-use mobicast::core::scenario::{self, Move, PaperHost, ScenarioConfig};
-use mobicast::core::strategy::Strategy;
+use mobicast::core::scenario::{self, PaperHost, ScenarioConfig};
+use mobicast::core::strategy::Policy;
 use mobicast::mipv6::mobile::{DEFAULT_BINDING_LIFETIME, MAX_BINDACK_TIMEOUT};
 use mobicast::mld::MldConfig;
 use mobicast::pimdm::PimConfig;
@@ -70,16 +70,11 @@ fn default_timers_match_the_paper() {
 /// T_MLI = 260 s. Observed on a real roam (R3 leaves Link 4 silently).
 #[test]
 fn leave_delay_is_bounded_by_t_mli() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(400),
-        strategy: Strategy::LOCAL,
-        moves: vec![Move {
-            at_secs: 60.0,
-            host: PaperHost::R3,
-            to_link: 6,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(400))
+        .policy(Policy::LOCAL)
+        .move_at(60.0, PaperHost::R3, 6)
+        .build();
     let result = scenario::run(&cfg);
     let oracle = &result.report.oracle;
     assert!(oracle.enabled);
@@ -107,12 +102,11 @@ fn leave_delay_is_bounded_by_t_mli() {
 /// deadline across every router; it must be zero on a clean run.
 #[test]
 fn sg_state_expires_within_data_timeout() {
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(400),
-        strategy: Strategy::LOCAL,
-        // Stop the source early so every (S,G) entry must age out.
-        ..ScenarioConfig::default()
-    };
+    // Stop the source early so every (S,G) entry must age out.
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(400))
+        .policy(Policy::LOCAL)
+        .build();
     let result = scenario::run(&cfg);
     let oracle = &result.report.oracle;
     assert!(oracle.enabled);

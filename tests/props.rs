@@ -178,14 +178,13 @@ proptest! {
         strategy_idx in 0usize..4,
         move_at in 8u32..16,
     ) {
-        use mobicast::core::scenario::{run_with_recorder, Move, PaperHost, ScenarioConfig};
-        let cfg = ScenarioConfig {
-            seed,
-            duration: SimDuration::from_secs(30),
-            strategy: mobicast::core::Strategy::ALL[strategy_idx],
-            moves: vec![Move { at_secs: f64::from(move_at), host: PaperHost::R3, to_link: 6 }],
-            ..ScenarioConfig::default()
-        };
+        use mobicast::core::scenario::{run_with_recorder, PaperHost, ScenarioConfig};
+        let cfg = ScenarioConfig::builder()
+            .seed(seed)
+            .duration(SimDuration::from_secs(30))
+            .policy(mobicast::core::Policy::PAPER[strategy_idx])
+            .move_at(f64::from(move_at), PaperHost::R3, 6)
+            .build();
         let (_, rec) = run_with_recorder(&cfg);
         let by_tag: std::collections::HashMap<u64, &mobicast::core::recorder::DataEvent> =
             rec.data_events.iter().map(|ev| (ev.id, ev)).collect();
@@ -214,14 +213,13 @@ proptest! {
         seed in 1u64..32,
         strategy_idx in 0usize..4,
     ) {
-        use mobicast::core::scenario::{run_with_recorder, Move, PaperHost, ScenarioConfig};
-        let cfg = ScenarioConfig {
-            seed,
-            duration: SimDuration::from_secs(30),
-            strategy: mobicast::core::Strategy::ALL[strategy_idx],
-            moves: vec![Move { at_secs: 10.0, host: PaperHost::R3, to_link: 6 }],
-            ..ScenarioConfig::default()
-        };
+        use mobicast::core::scenario::{run_with_recorder, PaperHost, ScenarioConfig};
+        let cfg = ScenarioConfig::builder()
+            .seed(seed)
+            .duration(SimDuration::from_secs(30))
+            .policy(mobicast::core::Policy::PAPER[strategy_idx])
+            .move_at(10.0, PaperHost::R3, 6)
+            .build();
         let (_, rec_a) = run_with_recorder(&cfg);
         let (_, rec_b) = run_with_recorder(&cfg);
         prop_assert_eq!(rec_a.packets.len(), rec_b.packets.len());

@@ -161,16 +161,11 @@ fn router_solicitation_gets_fast_answer() {
     // Movement detection depends on the RS->RA exchange: after a move the
     // binding update must go out within ~RS + response delay + RTT, far
     // below the periodic RA interval.
-    let cfg = ScenarioConfig {
-        duration: SimDuration::from_secs(120),
-        strategy: mobicast::core::strategy::Strategy::BIDIRECTIONAL_TUNNEL,
-        moves: vec![mobicast::core::scenario::Move {
-            at_secs: 60.0,
-            host: mobicast::core::scenario::PaperHost::R3,
-            to_link: 6,
-        }],
-        ..ScenarioConfig::default()
-    };
+    let cfg = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(120))
+        .policy(mobicast::core::strategy::Policy::BIDIRECTIONAL_TUNNEL)
+        .move_at(60.0, mobicast::core::scenario::PaperHost::R3, 6)
+        .build();
     let r = scenario::run(&cfg);
     assert!(r.report.counters.get("host.rs_sent") >= 1);
     // Join delay for the tunnel approach == movement detection + BU RTT +
