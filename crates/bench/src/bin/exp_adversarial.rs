@@ -1,0 +1,26 @@
+//! Adversarial sweep: every registered delivery policy run against wire
+//! corruption (0–5 %) under the invariant oracle and the reconvergence
+//! SLO. Exits non-zero on any oracle violation or SLO miss, so CI can
+//! gate on it. Pass --quick for a reduced rate/seed set, `--approach
+//! <id>` to pin one policy.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    if let Some(policy) = mobicast_bench::approach_flag() {
+        mobicast_core::strategy::set_approach_override(Some(policy));
+        eprintln!("(adversarial pinned to approach {})", policy.id());
+    }
+    let out = mobicast_core::experiments::adversarial::run(mobicast_bench::quick_flag());
+    mobicast_bench::emit(&out);
+    let violations = out.json["total_violations"].as_u64().unwrap_or(u64::MAX);
+    let slo_misses = out.json["total_slo_misses"].as_u64().unwrap_or(u64::MAX);
+    if violations > 0 || slo_misses > 0 {
+        eprintln!(
+            "adversarial: {violations} invariant violation(s), {slo_misses} \
+             reconvergence SLO miss(es) — see results/adversarial.json"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -22,11 +22,15 @@ use mobicast_core::{explain, Policy};
 use mobicast_sim::{RingBufferTracer, SimDuration, Tracer};
 
 fn scenario(policy: Policy, tracer: Tracer) -> ScenarioConfig {
+    // Light loss plus wire corruption, so journeys can show fault drops as
+    // well as `✗ corrupted on link N` marks for frames mangled in flight.
+    let mut fault = mobicast_net::FaultPlan::iid_loss(0.02);
+    fault.link.corruption = mobicast_net::CorruptionModel::uniform(0.01);
     ScenarioConfig::builder()
         .duration(SimDuration::from_secs(120))
         .policy(policy)
         .move_at(40.0, PaperHost::R3, 6)
-        .fault(mobicast_net::FaultPlan::iid_loss(0.02))
+        .fault(fault)
         .tracer(tracer)
         .name(format!("handoff-{}", policy.id()))
         .build()

@@ -17,7 +17,9 @@
 
 use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
 use crate::strategy::Policy;
-use mobicast_net::{FaultPlan, FaultWindow, LinkFault, LinkFlap, LossModel, RouterCrash};
+use mobicast_net::{
+    CorruptionModel, FaultPlan, FaultWindow, LinkFault, LinkFlap, LossModel, RouterCrash,
+};
 use mobicast_sim::SimDuration;
 use proptest::Strategy;
 use rand::rngs::SmallRng;
@@ -34,6 +36,9 @@ const RECOVER_BY: f64 = 100.0;
 /// Loss rates a plan can draw from (quantized so shrinking is a walk
 /// toward index 0 = no loss).
 const LOSS_STEPS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
+/// Wire-corruption rates a plan can draw from (same quantization idea;
+/// rates match the adversarial sweep's 0–5 % band).
+const CORRUPTION_STEPS: [f64; 4] = [0.0, 0.01, 0.02, 0.05];
 
 /// One randomized disturbance schedule. Everything is quantized (times on
 /// a 0.5 s grid, loss from the fixed `LOSS_STEPS` table) so plans print
@@ -44,6 +49,9 @@ pub struct ChaosPlan {
     /// Index into the `LOSS_STEPS` table; loss applies on every link in the
     /// event window.
     pub loss_step: usize,
+    /// Index into the `CORRUPTION_STEPS` table; frames on every link are
+    /// mangled in flight at this rate during the event window.
+    pub corruption_step: usize,
     /// `(link index 0..6, down_at, up_at)` — link goes dark, comes back.
     pub flaps: Vec<(u32, f64, f64)>,
     /// `(router index 0..5, crash_at, restart_at)` — full state loss.
@@ -57,13 +65,22 @@ impl ChaosPlan {
         LOSS_STEPS[self.loss_step]
     }
 
+    pub fn corruption(&self) -> f64 {
+        CORRUPTION_STEPS[self.corruption_step]
+    }
+
     pub fn fault_plan(&self) -> FaultPlan {
         FaultPlan {
             link: LinkFault {
                 loss: LossModel::iid(self.loss()),
                 jitter: SimDuration::ZERO,
+                corruption: if self.corruption() > 0.0 {
+                    CorruptionModel::uniform(self.corruption())
+                } else {
+                    CorruptionModel::none()
+                },
             },
-            window: (self.loss() > 0.0).then_some(FaultWindow {
+            window: (self.loss() > 0.0 || self.corruption() > 0.0).then_some(FaultWindow {
                 start_secs: EVENT_START,
                 end_secs: EVENT_END,
             }),
@@ -132,6 +149,7 @@ impl Strategy for PlanStrategy {
 
     fn generate(&self, rng: &mut SmallRng) -> ChaosPlan {
         let loss_step = rng.random_range(0..LOSS_STEPS.len());
+        let corruption_step = rng.random_range(0..CORRUPTION_STEPS.len());
 
         // Flaps on distinct links so down/up pairs never interleave.
         let mut flap_links: Vec<u32> = (0..6).collect();
@@ -169,6 +187,7 @@ impl Strategy for PlanStrategy {
 
         ChaosPlan {
             loss_step,
+            corruption_step,
             flaps,
             crashes,
             moves,
@@ -182,6 +201,7 @@ impl Strategy for PlanStrategy {
         let mut out = Vec::new();
         let empty = ChaosPlan {
             loss_step: 0,
+            corruption_step: 0,
             flaps: Vec::new(),
             crashes: Vec::new(),
             moves: Vec::new(),
@@ -192,6 +212,11 @@ impl Strategy for PlanStrategy {
         if value.loss_step > 0 {
             let mut v = value.clone();
             v.loss_step = 0;
+            out.push(v);
+        }
+        if value.corruption_step > 0 {
+            let mut v = value.clone();
+            v.corruption_step = 0;
             out.push(v);
         }
         for i in 0..value.crashes.len() {
@@ -231,6 +256,9 @@ pub struct ChaosVerdict {
     pub max_tunnel_depth: u32,
     pub worst_leave_delay_secs: f64,
     pub worst_stale_sg_secs: f64,
+    /// Reconvergence SLO verdict (None when no disturbance armed the SLO).
+    pub reconverge_secs: Option<f64>,
+    pub reconverge_ok: Option<bool>,
 }
 
 /// Run one plan under one approach and return the oracle's verdict.
@@ -245,6 +273,8 @@ pub fn run_plan(plan: &ChaosPlan, approach: Policy, seed: u64) -> ChaosVerdict {
         max_tunnel_depth: o.max_tunnel_depth,
         worst_leave_delay_secs: o.worst_leave_delay_secs,
         worst_stale_sg_secs: o.worst_stale_sg_secs,
+        reconverge_secs: o.reconverge_secs,
+        reconverge_ok: o.reconverge_ok,
     }
 }
 
@@ -326,7 +356,9 @@ mod tests {
     #[test]
     fn shrink_proposes_strictly_simpler_plans() {
         let plan = plan_for_seed(3);
-        let weight = |p: &ChaosPlan| p.loss_step + p.flaps.len() + p.crashes.len() + p.moves.len();
+        let weight = |p: &ChaosPlan| {
+            p.loss_step + p.corruption_step + p.flaps.len() + p.crashes.len() + p.moves.len()
+        };
         let cands = plan_strategy().shrink(&plan);
         assert!(!cands.is_empty());
         for c in &cands {
@@ -336,6 +368,7 @@ mod tests {
         // The empty plan shrinks no further.
         let empty = ChaosPlan {
             loss_step: 0,
+            corruption_step: 0,
             flaps: vec![],
             crashes: vec![],
             moves: vec![],
@@ -370,6 +403,7 @@ mod tests {
         }
         assert_eq!(current.crashes, vec![(3, 40.0, 50.0)]);
         assert_eq!(current.loss_step, 0);
+        assert_eq!(current.corruption_step, 0);
         assert!(current.flaps.is_empty() && current.moves.is_empty());
     }
 }

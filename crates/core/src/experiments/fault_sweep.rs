@@ -24,7 +24,7 @@ use crate::report::{secs, Table};
 use crate::scenario::{self, PaperHost, ScenarioConfig};
 use crate::strategy::Policy;
 use crate::sweep;
-use mobicast_net::{FaultPlan, FaultWindow, LinkFault, LossModel};
+use mobicast_net::{CorruptionModel, FaultPlan, FaultWindow, LinkFault, LossModel};
 use mobicast_sim::SimDuration;
 use serde_json::json;
 
@@ -60,6 +60,7 @@ fn one(p: &Params) -> FaultScore {
             link: LinkFault {
                 loss: LossModel::iid(p.loss),
                 jitter: SimDuration::ZERO,
+                corruption: CorruptionModel::none(),
             },
             window: Some(FaultWindow {
                 start_secs: LOSS_START_SECS,

@@ -3,6 +3,7 @@
 //! returns a rendered report plus machine-readable JSON; the binaries in
 //! `mobicast-bench` print them and write `results/<id>.json`.
 
+pub mod adversarial;
 pub mod chaos;
 pub mod fault_sweep;
 pub mod fig1;
@@ -53,6 +54,7 @@ pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
         mobility_rate::run(quick),
         handoff_latency::run(),
         fault_sweep::run(quick),
+        adversarial::run(quick),
         chaos::run(quick),
         stress::run(quick),
     ]

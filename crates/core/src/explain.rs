@@ -212,6 +212,49 @@ pub fn render(journey: &Journey, trace: Option<&[TraceEvent]>) -> String {
         );
     }
 
+    // Wire damage during the packet's live window, called out explicitly:
+    // corruption on links this packet's copies crossed, and the malformed
+    // frames the hardened decoders rejected.
+    if let (Some(trace), Some((start, end))) = (trace, journey.window()) {
+        let links: Vec<usize> = journey.copies.iter().map(|c| c.link.index()).collect();
+        for ev in trace {
+            if ev.at < start || ev.at > end || ev.category != TraceCategory::Fault {
+                continue;
+            }
+            let field = |name: &str| {
+                ev.fields
+                    .iter()
+                    .find(|(k, _)| *k == name)
+                    .map(|(_, v)| v.to_string())
+            };
+            match ev.kind {
+                "corrupted" => {
+                    let link = field("link").unwrap_or_default();
+                    if links.iter().any(|l| l.to_string() == link) {
+                        let _ = writeln!(
+                            out,
+                            "  ✗ corrupted on link {link} at {:.6}s ({} {})",
+                            ev.at.as_secs_f64(),
+                            field("kind").unwrap_or_default(),
+                            field("class").unwrap_or_default(),
+                        );
+                    }
+                }
+                "malformed" => {
+                    let _ = writeln!(
+                        out,
+                        "  ✗ malformed {} frame at node {} at {:.6}s: {}",
+                        field("layer").unwrap_or_default(),
+                        ev.node,
+                        ev.at.as_secs_f64(),
+                        field("error").unwrap_or_default(),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
     if let (Some(trace), Some((start, end))) = (trace, journey.window()) {
         let mut shown = 0;
         for ev in trace {
@@ -333,6 +376,37 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("delivery #0"), "{a}");
         assert!(a.contains("(origin)"), "{a}");
+    }
+
+    /// Frames mangled in flight on a packet's own links must surface as
+    /// explicit `✗ corrupted` marks when the trace is interleaved.
+    #[test]
+    fn corrupted_hops_are_marked_in_render() {
+        use mobicast_net::{CorruptionModel, FaultPlan};
+        use mobicast_sim::RingBufferTracer;
+        let (tracer, ring) = RingBufferTracer::new(1_000_000);
+        let mut fault = FaultPlan::default();
+        fault.link.corruption = CorruptionModel::uniform(0.05);
+        let cfg = ScenarioConfig::builder()
+            .duration(SimDuration::from_secs(60))
+            .policy(Policy::BIDIRECTIONAL_TUNNEL)
+            .fault(fault)
+            .tracer(tracer)
+            .name("explain-corruption-test")
+            .build();
+        let (_, rec) = run_with_recorder(&cfg);
+        let trace = ring.drain();
+        assert!(
+            trace
+                .iter()
+                .any(|ev| ev.category == TraceCategory::Fault && ev.kind == "corrupted"),
+            "corruption plan produced no corruption events"
+        );
+        let marked = rec
+            .packets
+            .iter()
+            .any(|m| render(&explain(&rec, m.pkt), Some(&trace)).contains("✗ corrupted on link"));
+        assert!(marked, "no journey rendered a corrupted-hop mark");
     }
 
     #[test]

@@ -447,14 +447,54 @@ impl NodeBehavior for HostNode {
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, _ifx: IfIndex, frame: &Frame) {
-        let Ok(packet) = Packet::decode(&frame.bytes) else {
-            return;
+        let packet = match Packet::decode(&frame.bytes) {
+            Ok(p) => p,
+            Err(err) => {
+                self.recorder.count("host.decode_errors", 1);
+                self.mib.inc("framesMalformed");
+                ctx.trace_event(TraceCategory::Fault, "malformed", || {
+                    vec![
+                        ("layer", "ipv6".into()),
+                        ("class", frame.class.name().into()),
+                        ("len", frame.bytes.len().into()),
+                        ("error", err.to_string().into()),
+                    ]
+                });
+                return;
+            }
         };
+        // RFC 8200 §4.2: hosts too must discard packets carrying an
+        // unrecognized option with discard semantics. Hosts drop silently
+        // (the simulator's routers own the Parameter Problem reporting).
+        if let Some((_, pointer)) = packet.unknown_option_problem() {
+            self.recorder.count("host.unknown_option_drops", 1);
+            self.mib.inc("unknownOptionDrops");
+            ctx.trace_event(TraceCategory::Fault, "unknown_option", || {
+                vec![
+                    ("src", packet.src.into()),
+                    ("pointer", u64::from(pointer).into()),
+                ]
+            });
+            return;
+        }
         let now = ctx.now();
         match packet.payload_proto {
             proto::ICMPV6 => {
-                let Ok(icmp) = Icmpv6::decode(packet.src, packet.dst, &packet.payload) else {
-                    return;
+                let icmp = match Icmpv6::decode(packet.src, packet.dst, &packet.payload) {
+                    Ok(i) => i,
+                    Err(err) => {
+                        self.recorder.count("host.icmp_decode_errors", 1);
+                        self.mib.inc("framesMalformed");
+                        ctx.trace_event(TraceCategory::Fault, "malformed", || {
+                            vec![
+                                ("layer", "icmpv6".into()),
+                                ("class", frame.class.name().into()),
+                                ("len", frame.bytes.len().into()),
+                                ("error", err.to_string().into()),
+                            ]
+                        });
+                        return;
+                    }
                 };
                 match icmp {
                     Icmpv6::RouterAdvert { ref prefixes, .. } => {
@@ -489,8 +529,20 @@ impl NodeBehavior for HostNode {
                 if packet.dst != self.mn.current_address() && packet.dst != self.home_addr {
                     return;
                 }
-                let Ok(inner) = tunnel::decapsulate(&packet) else {
-                    return;
+                let inner = match tunnel::decapsulate(&packet) {
+                    Ok(inner) => inner,
+                    Err(err) => {
+                        self.recorder.count("host.decap_errors", 1);
+                        self.mib.inc("framesMalformed");
+                        ctx.trace_event(TraceCategory::Fault, "malformed", || {
+                            vec![
+                                ("layer", "tunnel".into()),
+                                ("outer_src", packet.src.into()),
+                                ("error", err.to_string().into()),
+                            ]
+                        });
+                        return;
+                    }
                 };
                 self.recorder.count("host.data_tunnel_decap", 1);
                 self.mib.inc("tunnelDecaps");

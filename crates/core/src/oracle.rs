@@ -88,6 +88,17 @@ pub struct OracleSummary {
     pub worst_binding_overstay_secs: f64,
     /// Multicast data frames observed on the wire.
     pub data_frames_seen: u64,
+    /// Reconvergence SLO: seconds from the end of the last scheduled
+    /// disturbance until first-copy delivery returned to full coverage of
+    /// every subscribed receiver — and stayed there for the rest of the
+    /// run. `None` when the check was not armed (no disturbance, or a
+    /// run-long fault with no recovery point) or delivery never recovered.
+    pub reconverge_secs: Option<f64>,
+    /// The configured SLO bound, echoed for the report (`None` = unarmed).
+    pub reconverge_bound_secs: Option<f64>,
+    /// SLO verdict: `Some(false)` when recovery took longer than the bound
+    /// or never happened; `None` when the check was not armed.
+    pub reconverge_ok: Option<bool>,
 }
 
 #[derive(Default)]
@@ -119,6 +130,13 @@ pub struct FinalizeParams {
     pub receivers: Vec<(NodeId, LinkId)>,
     /// End of the run.
     pub end: SimTime,
+    /// When the last scheduled disturbance (move, fault window, flap,
+    /// crash) cleared — the reconvergence SLO measures from here. `None`
+    /// leaves the SLO unarmed (no disturbance, or a run-long fault).
+    pub disturbance_end: Option<SimTime>,
+    /// The reconvergence SLO bound: delivery must return to steady state
+    /// within this long after `disturbance_end`.
+    pub reconverge_bound: SimDuration,
 }
 
 /// The invariant oracle. Shared as `Rc` between the world's probe slot and
@@ -373,6 +391,45 @@ impl Oracle {
             }
         }
 
+        // Reconvergence SLO: once the last disturbance has cleared, the
+        // first-copy delivery stream must return to full coverage of every
+        // subscribed receiver within the bound — and not relapse. The
+        // recovery point is the first datagram after the latest
+        // under-delivered one; a lossy tail means delivery never recovered.
+        let mut reconverge_secs = None;
+        let mut reconverge_bound_secs = None;
+        let mut reconverge_ok = None;
+        let n_receivers = p.receivers.len() as u32;
+        if let (Some(from), 1..) = (p.disturbance_end, n_receivers) {
+            reconverge_bound_secs = Some(p.reconverge_bound.as_secs_f64());
+            let horizon = p.end - SimDuration::from_secs(1);
+            let mut first_copies: BTreeMap<u64, u32> = BTreeMap::new();
+            for d in rec.deliveries.iter().filter(|d| d.first) {
+                *first_copies.entry(d.pkt).or_default() += 1;
+            }
+            let mut sent: Vec<(SimTime, u64)> = rec
+                .packets
+                .iter()
+                .filter(|m| m.sent_at >= from && m.sent_at < horizon)
+                .map(|m| (m.sent_at, m.pkt))
+                .collect();
+            sent.sort();
+            let last_bad = sent
+                .iter()
+                .rev()
+                .find(|(_, pkt)| first_copies.get(pkt).copied().unwrap_or(0) < n_receivers)
+                .copied();
+            let recovered_at = match last_bad {
+                None => Some(from),
+                Some((bad_at, _)) => sent.iter().map(|&(at, _)| at).find(|at| *at > bad_at),
+            };
+            reconverge_secs = recovered_at.map(|at| (at - from).as_secs_f64());
+            reconverge_ok = Some(match reconverge_secs {
+                Some(s) => s <= p.reconverge_bound.as_secs_f64(),
+                None => false,
+            });
+        }
+
         OracleSummary {
             enabled: true,
             violations: st.violations.clone(),
@@ -383,6 +440,9 @@ impl Oracle {
             worst_stale_sg_secs: st.worst_stale_sg_secs,
             worst_binding_overstay_secs: st.worst_binding_overstay_secs,
             data_frames_seen: st.data_frames_seen,
+            reconverge_secs,
+            reconverge_bound_secs,
+            reconverge_ok,
         }
     }
 
@@ -463,6 +523,8 @@ mod tests {
             t_mli: SimDuration::from_secs(260),
             receivers,
             end: t(600),
+            disturbance_end: None,
+            reconverge_bound: SimDuration::from_secs(60),
         }
     }
 
@@ -548,6 +610,87 @@ mod tests {
         let s = o.finalize(&mk(MAX_DUP_RUN + 5), &params(vec![]));
         assert_eq!(s.violation_count, 1, "{:?}", s.violations);
         assert!(s.violations[0].contains("persistent duplicate delivery"));
+    }
+
+    /// Recorder with one receiver: packets every 10 s from t=100, each
+    /// delivered except those in `missed`.
+    fn slo_recorder(missed: &[u64]) -> Recorder {
+        let host = NodeId(7);
+        let mut rec = Recorder::default();
+        for i in 0..20u64 {
+            let at = 100 + 10 * i;
+            rec.packets.push(PacketMeta {
+                sent_at: t(at),
+                ..meta(i, at)
+            });
+            if !missed.contains(&i) {
+                rec.deliveries.push(Delivery {
+                    pkt: i,
+                    host,
+                    link: LinkId(0),
+                    time: t(at + 1),
+                    first: true,
+                    via: 0,
+                });
+            }
+        }
+        rec
+    }
+
+    fn slo_params(bound: u64) -> FinalizeParams {
+        FinalizeParams {
+            disturbance_end: Some(t(100)),
+            reconverge_bound: SimDuration::from_secs(bound),
+            receivers: vec![(NodeId(7), LinkId(0))],
+            ..params(vec![])
+        }
+    }
+
+    #[test]
+    fn reconvergence_within_bound_passes() {
+        // Packets 0..3 lost during recovery; the stream is whole from the
+        // packet sent at t=130, i.e. 30 s after the disturbance cleared.
+        let o = Oracle::default();
+        let s = o.finalize(&slo_recorder(&[0, 1, 2]), &slo_params(60));
+        assert_eq!(s.reconverge_secs, Some(30.0));
+        assert_eq!(s.reconverge_bound_secs, Some(60.0));
+        assert_eq!(s.reconverge_ok, Some(true));
+    }
+
+    #[test]
+    fn reconvergence_beyond_bound_fails() {
+        let o = Oracle::default();
+        let s = o.finalize(&slo_recorder(&[0, 1, 2]), &slo_params(20));
+        assert_eq!(s.reconverge_secs, Some(30.0));
+        assert_eq!(s.reconverge_ok, Some(false));
+        // An SLO miss is a verdict, not an oracle violation: chaos and the
+        // tier-1 gates key on violations, the adversarial gate on both.
+        assert_eq!(s.violation_count, 0, "{:?}", s.violations);
+    }
+
+    #[test]
+    fn lossy_tail_never_reconverges() {
+        let o = Oracle::default();
+        let s = o.finalize(&slo_recorder(&[19]), &slo_params(600));
+        assert_eq!(s.reconverge_secs, None);
+        assert_eq!(s.reconverge_ok, Some(false));
+    }
+
+    #[test]
+    fn clean_recovery_is_instant() {
+        let o = Oracle::default();
+        let s = o.finalize(&slo_recorder(&[]), &slo_params(60));
+        assert_eq!(s.reconverge_secs, Some(0.0));
+        assert_eq!(s.reconverge_ok, Some(true));
+    }
+
+    #[test]
+    fn slo_unarmed_without_disturbance() {
+        let o = Oracle::default();
+        let s = o.finalize(&slo_recorder(&[]), &params(vec![(NodeId(7), LinkId(0))]));
+        assert_eq!(s.reconverge_secs, None);
+        assert_eq!(s.reconverge_bound_secs, None);
+        assert_eq!(s.reconverge_ok, None);
     }
 
     #[test]

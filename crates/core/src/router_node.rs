@@ -13,7 +13,9 @@ use crate::netplan::{self, frame_for, RoutingTable};
 use crate::recorder::{DataEvent, SharedRecorder};
 use mobicast_ipv6::addr::{self, GroupAddr, Prefix};
 use mobicast_ipv6::exthdr::{ExtHeader, Option6};
-use mobicast_ipv6::icmpv6::{AdvertisedPrefix, Icmpv6};
+use mobicast_ipv6::icmpv6::{
+    AdvertisedPrefix, Icmpv6, PARAM_PROBLEM_ERRONEOUS_FIELD, PARAM_PROBLEM_UNRECOGNIZED_OPTION,
+};
 use mobicast_ipv6::packet::{proto, Packet};
 use mobicast_ipv6::tunnel;
 use mobicast_mipv6::{packets as mip_packets, HaOutput, HomeAgent};
@@ -565,6 +567,68 @@ impl RouterNode {
         }
     }
 
+    /// Account a frame whose bytes failed to decode at protocol layer
+    /// `layer`: MIB counter for the oracle/fuzz reconciliation, typed trace
+    /// event for `explain`.
+    fn note_malformed(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        layer: &'static str,
+        frame: &Frame,
+        err: &mobicast_ipv6::DecodeError,
+    ) {
+        self.mib.inc("framesMalformed");
+        ctx.trace_event(TraceCategory::Fault, "malformed", || {
+            vec![
+                ("layer", layer.into()),
+                ("class", frame.class.name().into()),
+                ("len", frame.bytes.len().into()),
+                ("error", err.to_string().into()),
+            ]
+        });
+    }
+
+    /// RFC 8200 §4.2: discard a packet carrying an unrecognized option whose
+    /// high-order type bits demand it, sending ICMPv6 Parameter Problem
+    /// code 2 when required. Returns true if the packet was discarded.
+    fn drop_for_unknown_option(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ifx: IfIndex,
+        packet: &Packet,
+    ) -> bool {
+        let Some((action, pointer)) = packet.unknown_option_problem() else {
+            return false;
+        };
+        self.recorder.count("router.unknown_option_drops", 1);
+        self.mib.inc("unknownOptionDrops");
+        ctx.trace_event(TraceCategory::Fault, "unknown_option", || {
+            vec![
+                ("src", packet.src.into()),
+                ("pointer", u64::from(pointer).into()),
+                ("action", format!("{action:?}").into()),
+            ]
+        });
+        // RFC 4443 §2.4: never answer a packet whose source cannot be a
+        // valid destination for the error report.
+        if action.sends_icmp(packet.is_multicast())
+            && !packet.src.is_unspecified()
+            && !addr::is_multicast(packet.src)
+        {
+            let src = self.ifaces[usize::from(ifx)].global;
+            let body = Icmpv6::ParamProblem {
+                code: PARAM_PROBLEM_UNRECOGNIZED_OPTION,
+                pointer,
+            }
+            .encode(src, packet.src);
+            let report = Packet::new(src, packet.src, proto::ICMPV6, body);
+            self.recorder.count("router.param_problem_sent", 1);
+            self.mib.inc("paramProblemsSent");
+            self.route_unicast(ctx, report, None);
+        }
+        true
+    }
+
     /// Encapsulate `inner` toward `dst`, enforcing the RFC 2473 Tunnel
     /// Encapsulation Limit. On refusal the packet is discarded and an ICMPv6
     /// Parameter Problem (code 0, pointer at the exhausted limit option,
@@ -591,7 +655,11 @@ impl RouterNode {
                 });
                 // Pointer: fixed header (40) + destination-options header
                 // (2) = offset of the Tunnel Encapsulation Limit option.
-                let body = Icmpv6::ParamProblem { pointer: 42 }.encode(src, inner.src);
+                let body = Icmpv6::ParamProblem {
+                    code: PARAM_PROBLEM_ERRONEOUS_FIELD,
+                    pointer: 42,
+                }
+                .encode(src, inner.src);
                 let report = Packet::new(src, inner.src, proto::ICMPV6, body);
                 self.recorder.count("tunnel.param_problem_sent", 1);
                 self.route_unicast(ctx, report, None);
@@ -700,10 +768,21 @@ impl RouterNode {
         let now = ctx.now();
         // Reverse tunnel endpoint: decapsulate and forward on the home link.
         if tunnel::is_tunnel(packet) {
-            let Ok(inner) = tunnel::decapsulate(packet) else {
-                self.recorder.count("ha.decap_errors", 1);
-                self.mib.inc("tunnelDecapErrors");
-                return;
+            let inner = match tunnel::decapsulate(packet) {
+                Ok(inner) => inner,
+                Err(err) => {
+                    self.recorder.count("ha.decap_errors", 1);
+                    self.mib.inc("tunnelDecapErrors");
+                    self.mib.inc("framesMalformed");
+                    ctx.trace_event(TraceCategory::Fault, "malformed", || {
+                        vec![
+                            ("layer", "tunnel".into()),
+                            ("outer_src", packet.src.into()),
+                            ("error", err.to_string().into()),
+                        ]
+                    });
+                    return;
+                }
             };
             self.recorder.count("ha.tunnel_decap", 1);
             self.mib.inc("tunnelDecaps");
@@ -865,10 +944,17 @@ impl NodeBehavior for RouterNode {
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, ifx: IfIndex, frame: &Frame) {
-        let Ok(packet) = Packet::decode(&frame.bytes) else {
-            self.recorder.count("router.decode_errors", 1);
-            return;
+        let packet = match Packet::decode(&frame.bytes) {
+            Ok(p) => p,
+            Err(err) => {
+                self.recorder.count("router.decode_errors", 1);
+                self.note_malformed(ctx, "ipv6", frame, &err);
+                return;
+            }
         };
+        if self.drop_for_unknown_option(ctx, ifx, &packet) {
+            return;
+        }
         let now = ctx.now();
         match packet.payload_proto {
             proto::PIM => {
@@ -881,14 +967,21 @@ impl NodeBehavior for RouterNode {
                             self.pim_sends(ctx, sends);
                             self.arm_pim(ctx);
                         }
-                        Err(_) => self.recorder.count("router.pim_decode_errors", 1),
+                        Err(err) => {
+                            self.recorder.count("router.pim_decode_errors", 1);
+                            self.note_malformed(ctx, "pim", frame, &err);
+                        }
                     }
                 }
             }
             proto::ICMPV6 => {
-                let Ok(icmp) = Icmpv6::decode(packet.src, packet.dst, &packet.payload) else {
-                    self.recorder.count("router.icmp_decode_errors", 1);
-                    return;
+                let icmp = match Icmpv6::decode(packet.src, packet.dst, &packet.payload) {
+                    Ok(i) => i,
+                    Err(err) => {
+                        self.recorder.count("router.icmp_decode_errors", 1);
+                        self.note_malformed(ctx, "icmpv6", frame, &err);
+                        return;
+                    }
                 };
                 if let Some(msg) = MldMessage::from_icmp(&icmp) {
                     self.mib.inc(match msg {

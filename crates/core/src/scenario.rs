@@ -91,6 +91,11 @@ pub struct ScenarioConfig {
     /// checked for forwarding loops, persistent duplicates, stale state,
     /// binding staleness and unbounded encapsulation).
     pub oracle: bool,
+    /// Reconvergence SLO bound in seconds: after the last scheduled
+    /// disturbance clears, delivery must return to steady state within
+    /// this long. Judged by the oracle whenever the run has a disturbance
+    /// with a recovery point (see `OracleSummary::reconverge_ok`).
+    pub reconverge_slo_secs: f64,
     /// Optional tracer (None = silent). Mutually exclusive with
     /// `trace_capture` — the builder rejects setting both.
     pub tracer: Option<Tracer>,
@@ -123,6 +128,7 @@ impl Default for ScenarioConfig {
             extra_receivers: 0,
             fault: FaultPlan::default(),
             oracle: true,
+            reconverge_slo_secs: 60.0,
             tracer: None,
             name: Cow::Borrowed("scenario"),
             trace_capture: None,
@@ -280,6 +286,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Tighten or relax the reconvergence SLO bound (default 60 s).
+    pub fn reconverge_slo_secs(mut self, secs: f64) -> Self {
+        self.cfg.reconverge_slo_secs = secs;
+        self
+    }
+
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.cfg.tracer = Some(tracer);
         self
@@ -337,6 +349,13 @@ impl ScenarioBuilder {
                     mv.to_link
                 )));
             }
+        }
+        // NaN must be rejected too, hence the non-negated comparison.
+        if cfg.reconverge_slo_secs <= 0.0 || cfg.reconverge_slo_secs.is_nan() {
+            return Err(ScenarioBuildError(format!(
+                "reconverge_slo_secs must be positive, got {}",
+                cfg.reconverge_slo_secs
+            )));
         }
         if cfg.trace_capture.is_some() && cfg.tracer.is_some() {
             return Err(ScenarioBuildError(
@@ -529,6 +548,24 @@ fn settle_time(cfg: &ScenarioConfig) -> SimTime {
     SimTime::from_nanos((s * 1e9) as u64)
 }
 
+/// When the run's last scheduled disturbance clears — the instant the
+/// reconvergence SLO measures from. `None` when there is nothing to
+/// recover from, or when a run-long (unwindowed) fault leaves no recovery
+/// point to judge.
+fn disturbance_end(cfg: &ScenarioConfig) -> Option<SimTime> {
+    let mut latest: Option<f64> = None;
+    for mv in &cfg.moves {
+        latest = Some(latest.unwrap_or(0.0).max(mv.at_secs));
+    }
+    if !cfg.fault.is_none() {
+        match cfg.fault.recovery_bound_secs() {
+            Some(bound) => latest = Some(latest.unwrap_or(0.0).max(bound)),
+            None => return None,
+        }
+    }
+    latest.map(|s| SimTime::from_nanos((s * 1e9) as u64))
+}
+
 /// Collect results from a finished network.
 pub fn finish(cfg: &ScenarioConfig, net: BuiltNetwork) -> ScenarioResult {
     finish_with(cfg, net, None).0
@@ -578,6 +615,10 @@ fn finish_with(
                     t_mli: cfg.mld.multicast_listener_interval(),
                     receivers,
                     end: SimTime::ZERO + cfg.duration,
+                    disturbance_end: disturbance_end(cfg),
+                    reconverge_bound: SimDuration::from_nanos(
+                        (cfg.reconverge_slo_secs * 1e9) as u64,
+                    ),
                 },
             )
         }
@@ -751,7 +792,7 @@ pub fn paper_link(n: usize) -> mobicast_net::LinkId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mobicast_net::{FaultWindow, LinkFault, LinkFlap, LossModel, RouterCrash};
+    use mobicast_net::{CorruptionModel, FaultWindow, LinkFault, LinkFlap, LossModel, RouterCrash};
 
     fn faulty_cfg(policy: Policy, fault: FaultPlan) -> ScenarioConfig {
         ScenarioConfig::builder()
@@ -774,6 +815,7 @@ mod tests {
                 link: LinkFault {
                     loss: LossModel::iid(0.10),
                     jitter: SimDuration::ZERO,
+                    corruption: CorruptionModel::none(),
                 },
                 window: Some(FaultWindow {
                     start_secs: 10.0,

@@ -189,6 +189,8 @@ pub fn run_stress(spec: &StressSpec) -> StressReport {
             t_mli: MldConfig::default().multicast_listener_interval(),
             receivers,
             end,
+            disturbance_end: Some(SimTime::from_secs(last_move_secs)),
+            reconverge_bound: SimDuration::from_secs(60),
         },
     );
 

@@ -161,7 +161,7 @@ impl SubOption {
             }
             SUBOPT_ALT_COA => {
                 need(data, 16, "alternate care-of address sub-option")?;
-                Ok(SubOption::AlternateCoa(read_addr(data)))
+                Ok(SubOption::AlternateCoa(read_addr(data)?))
             }
             SUBOPT_MCAST_GROUP_LIST => {
                 if !data.len().is_multiple_of(16) {
@@ -172,7 +172,7 @@ impl SubOption {
                 }
                 let mut groups = Vec::with_capacity(data.len() / 16);
                 for chunk in data.chunks_exact(16) {
-                    let addr = read_addr(chunk);
+                    let addr = read_addr(chunk)?;
                     let group = GroupAddr::try_new(addr).ok_or(DecodeError::Invalid {
                         what: "non-multicast address in multicast group list",
                     })?;
@@ -184,6 +184,51 @@ impl SubOption {
                 kind,
                 data: data.to_vec(),
             }),
+        }
+    }
+}
+
+/// What a node must do with an option whose Option Type it does not
+/// recognize, per RFC 8200 §4.2: the two high-order bits of the type byte
+/// encode the required disposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnknownOptionAction {
+    /// `00` — skip over this option and continue processing the header.
+    Skip,
+    /// `01` — discard the packet silently.
+    Discard,
+    /// `10` — discard the packet and, regardless of whether the destination
+    /// was multicast, send an ICMPv6 Parameter Problem (code 2) to the
+    /// source, pointing at the unrecognized Option Type.
+    DiscardSendIcmp,
+    /// `11` — discard the packet and send the Parameter Problem only if the
+    /// destination was not a multicast address.
+    DiscardSendIcmpUnlessMulticast,
+}
+
+impl UnknownOptionAction {
+    /// The action encoded in the two high-order bits of an Option Type.
+    pub fn for_option_type(kind: u8) -> UnknownOptionAction {
+        match kind >> 6 {
+            0 => UnknownOptionAction::Skip,
+            1 => UnknownOptionAction::Discard,
+            2 => UnknownOptionAction::DiscardSendIcmp,
+            _ => UnknownOptionAction::DiscardSendIcmpUnlessMulticast,
+        }
+    }
+
+    /// True if the packet carrying the option must be discarded.
+    pub fn discards(self) -> bool {
+        !matches!(self, UnknownOptionAction::Skip)
+    }
+
+    /// True if an ICMPv6 Parameter Problem (code 2) must be sent to the
+    /// source, given whether the packet's destination was multicast.
+    pub fn sends_icmp(self, dst_is_multicast: bool) -> bool {
+        match self {
+            UnknownOptionAction::Skip | UnknownOptionAction::Discard => false,
+            UnknownOptionAction::DiscardSendIcmp => true,
+            UnknownOptionAction::DiscardSendIcmpUnlessMulticast => !dst_is_multicast,
         }
     }
 }
@@ -316,7 +361,7 @@ impl Option6 {
             OPT_BINDING_REQUEST => Ok(Option6::BindingRequest),
             OPT_HOME_ADDRESS => {
                 need(data, 16, "home address option")?;
-                Ok(Option6::HomeAddress(read_addr(data)))
+                Ok(Option6::HomeAddress(read_addr(data)?))
             }
             _ => Ok(Option6::Unknown {
                 kind,
@@ -455,7 +500,7 @@ impl ExtHeader {
                 let naddr = (total - 8) / 16;
                 let mut addresses = Vec::with_capacity(naddr);
                 for i in 0..naddr {
-                    addresses.push(read_addr(&buf[8 + 16 * i..]));
+                    addresses.push(read_addr(&buf[8 + 16 * i..])?);
                 }
                 Ok((
                     ExtHeader::Routing(RoutingHeader {
@@ -483,7 +528,7 @@ impl ExtHeader {
     }
 }
 
-fn encoded_option_len(o: &Option6) -> usize {
+pub(crate) fn encoded_option_len(o: &Option6) -> usize {
     match o {
         Option6::PadN(n) => usize::from(*n),
         Option6::RouterAlert(_) => 4,
@@ -502,10 +547,21 @@ fn encoded_option_len(o: &Option6) -> usize {
     }
 }
 
-pub(crate) fn read_addr(buf: &[u8]) -> Ipv6Addr {
+/// Read a 16-byte IPv6 address from the front of `buf`, as a typed error
+/// instead of a slice panic when the buffer is short. Every call site also
+/// guards with [`need`], so the error arm is belt-and-braces against future
+/// decode paths that forget to.
+pub(crate) fn read_addr(buf: &[u8]) -> Result<Ipv6Addr, DecodeError> {
+    let Some(head) = buf.get(..16) else {
+        return Err(DecodeError::Truncated {
+            what: "IPv6 address",
+            needed: 16,
+            got: buf.len(),
+        });
+    };
     let mut o = [0u8; 16];
-    o.copy_from_slice(&buf[..16]);
-    Ipv6Addr::from(o)
+    o.copy_from_slice(head);
+    Ok(Ipv6Addr::from(o))
 }
 
 #[cfg(test)]
@@ -657,6 +713,74 @@ mod tests {
         assert!(ExtHeader::decode(proto::DEST_OPTS, &[58]).is_err());
         // Claims 8 bytes but provides 4.
         assert!(ExtHeader::decode(proto::DEST_OPTS, &[58, 0, 1, 0]).is_err());
+    }
+
+    #[test]
+    fn unknown_option_class_00_is_skipped() {
+        // High bits 00: process the rest of the header normally.
+        let act = UnknownOptionAction::for_option_type(0x3e);
+        assert_eq!(act, UnknownOptionAction::Skip);
+        assert!(!act.discards());
+        assert!(!act.sends_icmp(false));
+        assert!(!act.sends_icmp(true));
+    }
+
+    #[test]
+    fn unknown_option_class_01_discards_silently() {
+        // High bits 01: discard, never report.
+        let act = UnknownOptionAction::for_option_type(0x7e);
+        assert_eq!(act, UnknownOptionAction::Discard);
+        assert!(act.discards());
+        assert!(!act.sends_icmp(false));
+        assert!(!act.sends_icmp(true));
+    }
+
+    #[test]
+    fn unknown_option_class_10_discards_and_reports() {
+        // High bits 10: discard and send Parameter Problem even for
+        // multicast destinations.
+        let act = UnknownOptionAction::for_option_type(0xbe);
+        assert_eq!(act, UnknownOptionAction::DiscardSendIcmp);
+        assert!(act.discards());
+        assert!(act.sends_icmp(false));
+        assert!(act.sends_icmp(true));
+    }
+
+    #[test]
+    fn unknown_option_class_11_spares_multicast() {
+        // High bits 11: discard; report only when the destination was not
+        // multicast (avoids ICMP implosion onto a multicast source).
+        let act = UnknownOptionAction::for_option_type(0xfe);
+        assert_eq!(act, UnknownOptionAction::DiscardSendIcmpUnlessMulticast);
+        assert!(act.discards());
+        assert!(act.sends_icmp(false));
+        assert!(!act.sends_icmp(true));
+    }
+
+    #[test]
+    fn known_option_types_classify_as_expected() {
+        // Our registered mobility options live in the 11-class (198..=201);
+        // Router Alert and the pads are 00-class.
+        assert_eq!(
+            UnknownOptionAction::for_option_type(OPT_ROUTER_ALERT),
+            UnknownOptionAction::Skip
+        );
+        assert_eq!(
+            UnknownOptionAction::for_option_type(OPT_BINDING_UPDATE),
+            UnknownOptionAction::DiscardSendIcmpUnlessMulticast
+        );
+    }
+
+    #[test]
+    fn short_address_is_typed_error() {
+        assert!(matches!(
+            read_addr(&[0u8; 8]),
+            Err(DecodeError::Truncated {
+                needed: 16,
+                got: 8,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub const TYPE_ROUTER_ADVERT: u8 = 134;
 /// ICMPv6 type: Parameter Problem (RFC 2463 §3.4). Sent by a tunnel entry
 /// node whose Tunnel Encapsulation Limit is exhausted (RFC 2473 §6.7).
 pub const TYPE_PARAM_PROBLEM: u8 = 4;
+/// Parameter Problem code: erroneous header field encountered (RFC 2463).
+/// RFC 2473 §6.7 uses this code for an exhausted encapsulation limit.
+pub const PARAM_PROBLEM_ERRONEOUS_FIELD: u8 = 0;
+/// Parameter Problem code: unrecognized Next Header type encountered.
+pub const PARAM_PROBLEM_UNRECOGNIZED_NEXT_HEADER: u8 = 1;
+/// Parameter Problem code: unrecognized IPv6 option encountered
+/// (RFC 8200 §4.2, option-type high bits `10`/`11`).
+pub const PARAM_PROBLEM_UNRECOGNIZED_OPTION: u8 = 2;
 /// ICMPv6 type: Echo Request.
 pub const TYPE_ECHO_REQUEST: u8 = 128;
 /// ICMPv6 type: Echo Reply.
@@ -58,10 +66,13 @@ pub enum Icmpv6 {
     MldDone {
         group: Ipv6Addr,
     },
-    /// Parameter Problem, code 0 ("erroneous header field encountered").
+    /// Parameter Problem. `code` distinguishes an erroneous header field
+    /// (0, e.g. RFC 2473's exhausted Tunnel Encapsulation Limit) from an
+    /// unrecognized next header (1) or option (2, RFC 8200 §4.2);
     /// `pointer` is the offset of the offending field in the invoking
-    /// packet; RFC 2473 points it at the Tunnel Encapsulation Limit option.
+    /// packet.
     ParamProblem {
+        code: u8,
         pointer: u32,
     },
     RouterSolicit,
@@ -105,7 +116,7 @@ impl Icmpv6 {
         let mut out = BytesMut::new();
         out.put_u8(self.icmp_type());
         out.put_u8(match self {
-            Icmpv6::Unknown { code, .. } => *code,
+            Icmpv6::Unknown { code, .. } | Icmpv6::ParamProblem { code, .. } => *code,
             _ => 0,
         });
         out.put_u16(0); // checksum placeholder
@@ -123,7 +134,7 @@ impl Icmpv6 {
                 out.put_u16(0);
                 out.put_slice(&group.octets());
             }
-            Icmpv6::ParamProblem { pointer } => {
+            Icmpv6::ParamProblem { pointer, .. } => {
                 out.put_u32(*pointer);
             }
             Icmpv6::RouterSolicit => {
@@ -178,24 +189,25 @@ impl Icmpv6 {
                 need(body, 20, "MLD query")?;
                 Ok(Icmpv6::MldQuery {
                     max_response_delay_ms: u16::from_be_bytes([body[0], body[1]]),
-                    group: read_addr(&body[4..20]),
+                    group: read_addr(&body[4..20])?,
                 })
             }
             TYPE_MLD_REPORT => {
                 need(body, 20, "MLD report")?;
                 Ok(Icmpv6::MldReport {
-                    group: read_addr(&body[4..20]),
+                    group: read_addr(&body[4..20])?,
                 })
             }
             TYPE_MLD_DONE => {
                 need(body, 20, "MLD done")?;
                 Ok(Icmpv6::MldDone {
-                    group: read_addr(&body[4..20]),
+                    group: read_addr(&body[4..20])?,
                 })
             }
             TYPE_PARAM_PROBLEM => {
                 need(body, 4, "parameter problem")?;
                 Ok(Icmpv6::ParamProblem {
+                    code,
                     pointer: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
                 })
             }
@@ -225,7 +237,7 @@ impl Icmpv6 {
                             });
                         }
                         prefixes.push(AdvertisedPrefix {
-                            prefix: Prefix::new(read_addr(&rest[16..32]), plen),
+                            prefix: Prefix::new(read_addr(&rest[16..32])?, plen),
                             autonomous: rest[3] & 0x40 != 0,
                             valid_lifetime_secs: u32::from_be_bytes([
                                 rest[4], rest[5], rest[6], rest[7],
@@ -360,7 +372,15 @@ mod tests {
 
     #[test]
     fn param_problem_roundtrip() {
-        let m = Icmpv6::ParamProblem { pointer: 48 };
+        let m = Icmpv6::ParamProblem {
+            code: PARAM_PROBLEM_ERRONEOUS_FIELD,
+            pointer: 48,
+        };
+        assert_eq!(roundtrip(&m, a("2001:db8:4::d"), a("2001:db8:1::5")), m);
+        let m = Icmpv6::ParamProblem {
+            code: PARAM_PROBLEM_UNRECOGNIZED_OPTION,
+            pointer: 42,
+        };
         assert_eq!(roundtrip(&m, a("2001:db8:4::d"), a("2001:db8:1::5")), m);
     }
 

@@ -21,8 +21,13 @@ pub mod udp;
 
 pub use addr::{GroupAddr, Prefix};
 pub use error::DecodeError;
-pub use exthdr::{BindingAck, BindingUpdate, ExtHeader, Option6, RoutingHeader, SubOption};
-pub use icmpv6::{AdvertisedPrefix, Icmpv6};
+pub use exthdr::{
+    BindingAck, BindingUpdate, ExtHeader, Option6, RoutingHeader, SubOption, UnknownOptionAction,
+};
+pub use icmpv6::{
+    AdvertisedPrefix, Icmpv6, PARAM_PROBLEM_ERRONEOUS_FIELD,
+    PARAM_PROBLEM_UNRECOGNIZED_NEXT_HEADER, PARAM_PROBLEM_UNRECOGNIZED_OPTION,
+};
 pub use packet::{proto, Packet, DEFAULT_HOP_LIMIT, FIXED_HEADER_LEN};
 pub use tunnel::{
     decapsulate, encapsulate, encapsulate_limited, is_tunnel, tunnel_encap_limit,

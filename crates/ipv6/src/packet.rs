@@ -7,7 +7,7 @@
 //! instead of being asserted.
 
 use crate::error::{need, DecodeError};
-use crate::exthdr::{read_addr, ExtHeader};
+use crate::exthdr::{encoded_option_len, read_addr, ExtHeader, Option6, UnknownOptionAction};
 use bytes::{BufMut, Bytes, BytesMut};
 use std::net::Ipv6Addr;
 
@@ -131,8 +131,8 @@ impl Packet {
         let payload_len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
         let mut next = buf[6];
         let hop_limit = buf[7];
-        let src = read_addr(&buf[8..24]);
-        let dst = read_addr(&buf[24..40]);
+        let src = read_addr(&buf[8..24])?;
+        let dst = read_addr(&buf[24..40])?;
         need(&buf[FIXED_HEADER_LEN..], payload_len, "IPv6 payload")?;
         let body = &buf[FIXED_HEADER_LEN..FIXED_HEADER_LEN + payload_len];
 
@@ -173,6 +173,36 @@ impl Packet {
             crate::exthdr::Option6::HomeAddress(a) => Some(*a),
             _ => None,
         })
+    }
+
+    /// RFC 8200 §4.2: scan the extension headers for an option whose type
+    /// the node does not recognize and whose high-order bits demand more
+    /// than skipping it. Returns the mandated action together with the
+    /// Parameter Problem pointer — the byte offset of the offending Option
+    /// Type within the packet as this node would re-encode it.
+    ///
+    /// Interior padding is normalized away during decode, so for frames that
+    /// were mangled in flight the pointer is the canonical offset, which is
+    /// what the simulator's single encoder would have produced.
+    pub fn unknown_option_problem(&self) -> Option<(UnknownOptionAction, u32)> {
+        let mut offset = FIXED_HEADER_LEN;
+        for h in &self.ext {
+            if let ExtHeader::HopByHop(opts) | ExtHeader::DestinationOptions(opts) = h {
+                // 2 bytes of next-header + length precede the first option.
+                let mut inner = offset + 2;
+                for o in opts {
+                    if let Option6::Unknown { kind, .. } = o {
+                        let action = UnknownOptionAction::for_option_type(*kind);
+                        if action.discards() {
+                            return Some((action, inner as u32));
+                        }
+                    }
+                    inner += encoded_option_len(o);
+                }
+            }
+            offset += h.wire_len();
+        }
+        None
     }
 }
 
@@ -339,6 +369,47 @@ mod tests {
         .with_ext(ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]));
         assert_eq!(p.wire_len(), 40 + 8 + 100);
         assert_eq!(p.encode().len(), p.wire_len());
+    }
+
+    #[test]
+    fn unknown_option_problem_points_at_offending_type() {
+        // A skip-class unknown option followed by a discard-class one: the
+        // scan must skip the first and point at the second, after the
+        // 40-byte fixed header + 2-byte options-header prelude + 5 bytes of
+        // the first (skippable) option.
+        let p = Packet::new(
+            addr("2001:db8::1"),
+            addr("2001:db8::2"),
+            proto::NONE,
+            Bytes::new(),
+        )
+        .with_ext(ExtHeader::DestinationOptions(vec![
+            Option6::Unknown {
+                kind: 0x3e,
+                data: vec![0; 3],
+            },
+            Option6::Unknown {
+                kind: 0xbe,
+                data: vec![7],
+            },
+        ]));
+        let (action, pointer) = p.unknown_option_problem().unwrap();
+        assert_eq!(action, crate::exthdr::UnknownOptionAction::DiscardSendIcmp);
+        assert_eq!(pointer, 40 + 2 + 5);
+        // Decoding its own wire bytes gives the same verdict.
+        let q = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(q.unknown_option_problem(), Some((action, pointer)));
+    }
+
+    #[test]
+    fn known_and_skippable_options_raise_no_problem() {
+        let clean = Packet::new(addr("::1"), addr("::2"), proto::NONE, Bytes::new())
+            .with_ext(ExtHeader::HopByHop(vec![Option6::RouterAlert(0)]))
+            .with_ext(ExtHeader::DestinationOptions(vec![Option6::Unknown {
+                kind: 0x12, // high bits 00: skip
+                data: vec![1, 2],
+            }]));
+        assert_eq!(clean.unknown_option_problem(), None);
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! layout, RFC 2711 router alert, RFC 2473 encapsulation) plus structural
 //! invariants on extension-header padding.
 
+// Test helpers may unwrap freely (the lint wall targets non-test code).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use bytes::Bytes;
 use mobicast_ipv6::addr::{GroupAddr, ALL_NODES};
 use mobicast_ipv6::exthdr::{ExtHeader, Option6};

@@ -162,8 +162,9 @@ impl BindingCache {
             .map(|(h, _)| *h)
             .collect();
         for h in &dead {
-            let e = self.entries.remove(h).expect("present");
-            self.unref_groups(&e.groups, &mut delta);
+            if let Some(e) = self.entries.remove(h) {
+                self.unref_groups(&e.groups, &mut delta);
+            }
         }
         (dead, delta)
     }

@@ -3,6 +3,9 @@
 //! every output message to every other party — the protocol dance of
 //! RFC 2710 without any simulator.
 
+// Test helpers may unwrap freely (the lint wall targets non-test code).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_mld::{HostOutput, MldConfig, MldHostPort, MldMessage, MldRouterPort, RouterOutput};
 use mobicast_sim::{RngFactory, SimDuration, SimTime};

@@ -13,6 +13,7 @@
 //! transition probabilities to zero degenerates to i.i.d. (Bernoulli) loss
 //! in the Good state, which is how [`LossModel::iid`] is expressed.
 
+use bytes::Bytes;
 use mobicast_sim::SimDuration;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -108,22 +109,181 @@ impl LossModel {
     }
 }
 
-/// Per-link fault configuration: a loss process plus bounded delay jitter.
+/// One way a frame copy can be mangled in flight.
+///
+/// The first three mutate the wire bytes the receiver sees; the last two
+/// leave the bytes intact but violate delivery semantics (extra copy,
+/// late/reordered copy).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum CorruptionKind {
+    /// One random bit of the frame is inverted.
+    BitFlip,
+    /// The frame is cut short at a random offset (possibly to nothing).
+    Truncate,
+    /// The frame is replaced by random garbage of random length.
+    Garbage,
+    /// The receiver hears the frame twice (second copy delayed).
+    Duplicate,
+    /// The frame arrives late by a bounded delay, reordering it behind
+    /// frames transmitted after it (a bounded replay).
+    Replay,
+}
+
+/// Number of distinct corruption kinds (array sizing).
+pub const CORRUPTION_KIND_COUNT: usize = 5;
+
+impl CorruptionKind {
+    pub const ALL: [CorruptionKind; CORRUPTION_KIND_COUNT] = [
+        CorruptionKind::BitFlip,
+        CorruptionKind::Truncate,
+        CorruptionKind::Garbage,
+        CorruptionKind::Duplicate,
+        CorruptionKind::Replay,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionKind::BitFlip => "bit_flip",
+            CorruptionKind::Truncate => "truncate",
+            CorruptionKind::Garbage => "garbage",
+            CorruptionKind::Duplicate => "duplicate",
+            CorruptionKind::Replay => "replay",
+        }
+    }
+
+    /// Does this kind mutate the delivered bytes (as opposed to delivery
+    /// timing/multiplicity)?
+    pub fn mutates_bytes(self) -> bool {
+        matches!(
+            self,
+            CorruptionKind::BitFlip | CorruptionKind::Truncate | CorruptionKind::Garbage
+        )
+    }
+
+    /// World counter key for this kind.
+    pub fn counter(self) -> &'static str {
+        match self {
+            CorruptionKind::BitFlip => "faults.corrupt_bit_flip",
+            CorruptionKind::Truncate => "faults.corrupt_truncate",
+            CorruptionKind::Garbage => "faults.corrupt_garbage",
+            CorruptionKind::Duplicate => "faults.corrupt_duplicate",
+            CorruptionKind::Replay => "faults.corrupt_replay",
+        }
+    }
+}
+
+/// Adversarial wire-corruption process for one link: with probability
+/// `rate` per receiver copy, one [`CorruptionKind`] (picked by relative
+/// weight) is applied to the copy between send and deliver.
+///
+/// Like [`LossModel`], the process is fully seeded: a disabled model makes
+/// zero RNG draws, so installing `CorruptionModel::none()` leaves existing
+/// seed realizations byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionModel {
+    /// Per-receiver-copy probability that the copy is corrupted at all.
+    pub rate: f64,
+    /// Relative weights of the kinds, indexed by [`CorruptionKind::index`]
+    /// (`[bit_flip, truncate, garbage, duplicate, replay]`). Need not sum
+    /// to one; all-zero with a positive rate is rejected by `validate`.
+    pub weights: [f64; CORRUPTION_KIND_COUNT],
+    /// Upper bound on the extra delay of duplicated/replayed copies.
+    pub max_replay_delay: SimDuration,
+}
+
+impl Default for CorruptionModel {
+    fn default() -> Self {
+        CorruptionModel::none()
+    }
+}
+
+impl CorruptionModel {
+    /// No corruption (and no RNG draws).
+    pub const fn none() -> Self {
+        CorruptionModel {
+            rate: 0.0,
+            weights: [0.0; CORRUPTION_KIND_COUNT],
+            max_replay_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// All five kinds equally likely at total rate `rate`, with a 50 ms
+    /// replay/duplicate delay bound.
+    pub const fn uniform(rate: f64) -> Self {
+        CorruptionModel {
+            rate,
+            weights: [1.0; CORRUPTION_KIND_COUNT],
+            max_replay_delay: SimDuration::from_millis(50),
+        }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.rate == 0.0 || self.weights.iter().all(|&w| w == 0.0)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.rate) {
+            return Err(format!("corruption rate = {} outside [0, 1]", self.rate));
+        }
+        for (kind, &w) in CorruptionKind::ALL.iter().zip(&self.weights) {
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err(format!("corruption weight {} = {w} invalid", kind.name()));
+            }
+        }
+        if self.rate > 0.0 && self.weights.iter().all(|&w| w == 0.0) {
+            return Err("positive corruption rate with all-zero weights".into());
+        }
+        Ok(())
+    }
+
+    /// Pick a kind by relative weight using exactly one RNG draw.
+    fn pick(&self, rng: &mut SmallRng) -> CorruptionKind {
+        let total: f64 = self.weights.iter().sum();
+        let mut x = rng.random::<f64>() * total;
+        for (kind, &w) in CorruptionKind::ALL.iter().zip(&self.weights) {
+            if x < w {
+                return *kind;
+            }
+            x -= w;
+        }
+        // Float round-off on the last boundary: fall back to the heaviest
+        // trailing kind with nonzero weight.
+        *CorruptionKind::ALL
+            .iter()
+            .zip(&self.weights)
+            .rev()
+            .find(|(_, &w)| w > 0.0)
+            .map(|(k, _)| k)
+            .unwrap_or(&CorruptionKind::BitFlip)
+    }
+}
+
+/// Per-link fault configuration: a loss process, bounded delay jitter, and
+/// an adversarial corruption process.
 #[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
 pub struct LinkFault {
     pub loss: LossModel,
     /// Maximum extra per-frame, per-receiver delay; each delivery is
     /// delayed by an additional uniform draw from `[0, jitter]`.
     pub jitter: SimDuration,
+    /// In-flight frame corruption applied to surviving copies.
+    pub corruption: CorruptionModel,
 }
 
 impl LinkFault {
     pub fn is_none(&self) -> bool {
-        self.loss.is_none() && self.jitter.is_zero()
+        self.loss.is_none() && self.jitter.is_zero() && self.corruption.is_none()
     }
 
     pub fn validate(&self) -> Result<(), String> {
-        self.loss.validate()
+        self.loss.validate()?;
+        self.corruption.validate()
     }
 }
 
@@ -180,6 +340,65 @@ impl LinkFaultState {
         let max = self.cfg.jitter.as_nanos() as f64;
         SimDuration::from_nanos((max * self.rng.random::<f64>()) as u64)
     }
+
+    /// Decide whether (and how) one surviving frame copy is corrupted.
+    /// Makes zero draws when the model is disabled, one draw for the
+    /// corrupt/clean decision otherwise, and one more to pick the kind —
+    /// fixed order, so the seed fully determines the outcome sequence.
+    pub fn corruption(&mut self) -> Option<CorruptionKind> {
+        let c = self.cfg.corruption;
+        if c.is_none() {
+            return None;
+        }
+        if self.rng.random::<f64>() >= c.rate {
+            return None;
+        }
+        Some(c.pick(&mut self.rng))
+    }
+
+    /// Mutate the wire bytes of a corrupted copy according to `kind`.
+    /// Only meaningful for byte-mutating kinds; delivery-semantics kinds
+    /// (duplicate/replay) return the bytes unchanged without drawing.
+    pub fn corrupt_bytes(&mut self, kind: CorruptionKind, bytes: &Bytes) -> Bytes {
+        match kind {
+            CorruptionKind::BitFlip => {
+                if bytes.is_empty() {
+                    return bytes.clone();
+                }
+                let bit = self.rng.random_range(0..bytes.len() * 8);
+                let mut out = bytes.to_vec();
+                out[bit / 8] ^= 1 << (bit % 8);
+                Bytes::from(out)
+            }
+            CorruptionKind::Truncate => {
+                if bytes.is_empty() {
+                    return bytes.clone();
+                }
+                let cut = self.rng.random_range(0..bytes.len());
+                Bytes::copy_from_slice(&bytes[..cut])
+            }
+            CorruptionKind::Garbage => {
+                let max_len = bytes.len().max(16);
+                let len = self.rng.random_range(1..=max_len);
+                let mut out = vec![0u8; len];
+                use rand::RngCore;
+                self.rng.fill_bytes(&mut out);
+                Bytes::from(out)
+            }
+            CorruptionKind::Duplicate | CorruptionKind::Replay => bytes.clone(),
+        }
+    }
+
+    /// Extra delay of a duplicated or replayed copy: uniform in
+    /// `(0, max_replay_delay]` (never zero, so the copy genuinely lands
+    /// after the original / after its nominal arrival).
+    pub fn replay_delay(&mut self) -> SimDuration {
+        let max = self.cfg.corruption.max_replay_delay.as_nanos();
+        if max == 0 {
+            return SimDuration::from_nanos(1);
+        }
+        SimDuration::from_nanos(self.rng.random_range(1..=max))
+    }
 }
 
 /// One scheduled link outage: the link drops every frame (at transmission
@@ -233,7 +452,19 @@ impl FaultPlan {
         FaultPlan {
             link: LinkFault {
                 loss: LossModel::iid(p),
-                jitter: SimDuration::ZERO,
+                ..LinkFault::default()
+            },
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Every link corrupts `rate` of its frame copies (all kinds equally
+    /// likely), all run long.
+    pub fn uniform_corruption(rate: f64) -> Self {
+        FaultPlan {
+            link: LinkFault {
+                corruption: CorruptionModel::uniform(rate),
+                ..LinkFault::default()
             },
             ..FaultPlan::default()
         }
@@ -308,6 +539,7 @@ mod tests {
             LinkFault {
                 loss: LossModel::iid(0.1),
                 jitter: SimDuration::ZERO,
+                corruption: CorruptionModel::none(),
             },
             rng(2),
         );
@@ -328,6 +560,7 @@ mod tests {
             LinkFault {
                 loss: model,
                 jitter: SimDuration::ZERO,
+                corruption: CorruptionModel::none(),
             },
             rng(3),
         );
@@ -348,6 +581,7 @@ mod tests {
             LinkFault {
                 loss: model,
                 jitter: SimDuration::ZERO,
+                corruption: CorruptionModel::none(),
             },
             rng(4),
         );
@@ -368,6 +602,7 @@ mod tests {
         let cfg = LinkFault {
             loss: LossModel::gilbert_elliott(0.1, 0.3, 0.05, 0.6),
             jitter: SimDuration::from_millis(5),
+            corruption: CorruptionModel::none(),
         };
         let mut a = LinkFaultState::new(cfg, rng(7));
         let mut b = LinkFaultState::new(cfg, rng(7));
@@ -385,6 +620,7 @@ mod tests {
         let cfg = LinkFault {
             loss: LossModel::none(),
             jitter: SimDuration::from_millis(2),
+            corruption: CorruptionModel::none(),
         };
         let mut s = LinkFaultState::new(cfg, rng(8));
         for _ in 0..10_000 {
@@ -434,5 +670,186 @@ mod tests {
         assert!(FaultPlan::default().is_none());
         assert!(!FaultPlan::iid_loss(0.01).is_none());
         assert_eq!(FaultPlan::default().recovery_bound_secs(), Some(0.0));
+    }
+
+    fn corrupting(model: CorruptionModel, seed: u64) -> LinkFaultState {
+        LinkFaultState::new(
+            LinkFault {
+                corruption: model,
+                ..LinkFault::default()
+            },
+            rng(seed),
+        )
+    }
+
+    #[test]
+    fn disabled_corruption_makes_no_draws() {
+        // With corruption disabled, calling corruption() must not disturb
+        // the RNG stream: the loss sequence stays identical whether or not
+        // the corruption roll happens between drops.
+        let cfg = LinkFault {
+            loss: LossModel::iid(0.3),
+            ..LinkFault::default()
+        };
+        let mut a = LinkFaultState::new(cfg, rng(11));
+        let mut b = LinkFaultState::new(cfg, rng(11));
+        for _ in 0..10_000 {
+            let da = a.should_drop();
+            let db = b.should_drop();
+            assert!(b.corruption().is_none());
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn corruption_rate_close_to_nominal() {
+        let mut s = corrupting(CorruptionModel::uniform(0.2), 12);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| s.corruption().is_some()).count();
+        let rate = hits as f64 / f64::from(n);
+        assert!((rate - 0.2).abs() < 0.01, "measured {rate}");
+    }
+
+    #[test]
+    fn corruption_kinds_follow_weights() {
+        for (i, want) in CorruptionKind::ALL.iter().enumerate() {
+            let mut weights = [0.0; CORRUPTION_KIND_COUNT];
+            weights[i] = 1.0;
+            let mut s = corrupting(
+                CorruptionModel {
+                    rate: 1.0,
+                    weights,
+                    max_replay_delay: SimDuration::from_millis(10),
+                },
+                13,
+            );
+            for _ in 0..100 {
+                assert_eq!(s.corruption(), Some(*want));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut s = corrupting(CorruptionModel::uniform(1.0), 14);
+        let original = Bytes::copy_from_slice(&[0xA5; 64]);
+        for _ in 0..200 {
+            let out = s.corrupt_bytes(CorruptionKind::BitFlip, &original);
+            assert_eq!(out.len(), original.len());
+            let differing: u32 = original
+                .iter()
+                .zip(out.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(differing, 1);
+        }
+    }
+
+    #[test]
+    fn truncate_yields_strict_prefix() {
+        let mut s = corrupting(CorruptionModel::uniform(1.0), 15);
+        let original = Bytes::copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        for _ in 0..200 {
+            let out = s.corrupt_bytes(CorruptionKind::Truncate, &original);
+            assert!(out.len() < original.len());
+            assert_eq!(&original[..out.len()], &out[..]);
+        }
+    }
+
+    #[test]
+    fn garbage_is_bounded_and_nonempty() {
+        let mut s = corrupting(CorruptionModel::uniform(1.0), 16);
+        let original = Bytes::copy_from_slice(&[0; 40]);
+        for _ in 0..200 {
+            let out = s.corrupt_bytes(CorruptionKind::Garbage, &original);
+            assert!(!out.is_empty());
+            assert!(out.len() <= 40);
+        }
+    }
+
+    #[test]
+    fn replay_delay_is_positive_and_bounded() {
+        let mut s = corrupting(CorruptionModel::uniform(1.0), 17);
+        for _ in 0..1000 {
+            let d = s.replay_delay();
+            assert!(d > SimDuration::ZERO);
+            assert!(d <= SimDuration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn empty_frames_survive_byte_mutation() {
+        let mut s = corrupting(CorruptionModel::uniform(1.0), 18);
+        let empty = Bytes::copy_from_slice(&[]);
+        assert!(s.corrupt_bytes(CorruptionKind::BitFlip, &empty).is_empty());
+        assert!(s.corrupt_bytes(CorruptionKind::Truncate, &empty).is_empty());
+        // Garbage replaces the frame, so even an empty one grows bytes.
+        assert!(!s.corrupt_bytes(CorruptionKind::Garbage, &empty).is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_corruption_sequence() {
+        let model = CorruptionModel::uniform(0.5);
+        let mut a = corrupting(model, 19);
+        let mut b = corrupting(model, 19);
+        let payload = Bytes::copy_from_slice(&[9; 32]);
+        for _ in 0..5_000 {
+            let (ka, kb) = (a.corruption(), b.corruption());
+            assert_eq!(ka, kb);
+            if let Some(kind) = ka {
+                if kind.mutates_bytes() {
+                    assert_eq!(
+                        a.corrupt_bytes(kind, &payload).to_vec(),
+                        b.corrupt_bytes(kind, &payload).to_vec()
+                    );
+                } else {
+                    assert_eq!(a.replay_delay(), b.replay_delay());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_model_validation() {
+        assert!(CorruptionModel::none().validate().is_ok());
+        assert!(CorruptionModel::uniform(0.05).validate().is_ok());
+        assert!(CorruptionModel::uniform(1.5).validate().is_err());
+        let mut m = CorruptionModel::uniform(0.1);
+        m.weights = [0.0; CORRUPTION_KIND_COUNT];
+        assert!(m.validate().is_err(), "positive rate needs a usable kind");
+        m.weights = [1.0, -1.0, 0.0, 0.0, 0.0];
+        assert!(m.validate().is_err(), "negative weight rejected");
+        assert!(FaultPlan::uniform_corruption(2.0).validate().is_err());
+    }
+
+    #[test]
+    fn corruption_plan_recovery_bound() {
+        let mut plan = FaultPlan::uniform_corruption(0.02);
+        assert!(!plan.is_none());
+        assert!(plan.validate().is_ok());
+        assert_eq!(
+            plan.recovery_bound_secs(),
+            None,
+            "unwindowed corruption never clears"
+        );
+        plan.window = Some(FaultWindow {
+            start_secs: 5.0,
+            end_secs: 25.0,
+        });
+        assert_eq!(plan.recovery_bound_secs(), Some(25.0));
+    }
+
+    #[test]
+    fn corruption_kind_indices_and_names_are_dense() {
+        let mut seen = [false; CORRUPTION_KIND_COUNT];
+        for k in CorruptionKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        let mut names: Vec<_> = CorruptionKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CORRUPTION_KIND_COUNT);
     }
 }

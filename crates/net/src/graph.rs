@@ -101,7 +101,9 @@ impl LinkGraph {
         while let Some(l) = q.pop_front() {
             let d = dist[l.index()];
             for r in &self.link_routers[l.index()] {
-                let dense = self.dense(*r).expect("router in graph");
+                let Some(dense) = self.dense(*r) else {
+                    continue; // unreachable: link membership implies a graph row
+                };
                 for nl in &self.router_links[dense] {
                     if dist[nl.index()] == u32::MAX {
                         dist[nl.index()] = d + 1;
@@ -147,10 +149,11 @@ impl LinkGraph {
             .iter()
             .filter(|r| **r != from)
             .find(|r| {
-                let rd = self.dense(**r).expect("router in graph");
-                self.router_links[rd]
-                    .iter()
-                    .any(|l| dist[l.index()] == d - 1)
+                self.dense(**r).is_some_and(|rd| {
+                    self.router_links[rd]
+                        .iter()
+                        .any(|l| dist[l.index()] == d - 1)
+                })
             })
             .copied();
         next_router.map(|next| Route {

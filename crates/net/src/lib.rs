@@ -21,7 +21,8 @@ pub mod link;
 pub mod world;
 
 pub use fault::{
-    FaultPlan, FaultWindow, LinkFault, LinkFaultState, LinkFlap, LossModel, RouterCrash,
+    CorruptionKind, CorruptionModel, FaultPlan, FaultWindow, LinkFault, LinkFaultState, LinkFlap,
+    LossModel, RouterCrash, CORRUPTION_KIND_COUNT,
 };
 pub use frame::{Frame, FrameClass, L2Dest, FRAME_CLASS_COUNT};
 pub use graph::{LinkGraph, Route};

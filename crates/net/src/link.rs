@@ -54,6 +54,11 @@ pub struct LinkStats {
     pub dropped_bytes: [u64; FRAME_CLASS_COUNT],
     /// Frame copies destroyed by fault injection, by frame class.
     pub dropped_frames: [u64; FRAME_CLASS_COUNT],
+    /// Bytes of frame copies mangled in flight by the corruption process
+    /// (original size), by frame class. Counted per receiver copy.
+    pub corrupted_bytes: [u64; FRAME_CLASS_COUNT],
+    /// Frame copies mangled in flight, by frame class.
+    pub corrupted_frames: [u64; FRAME_CLASS_COUNT],
 }
 
 impl LinkStats {
@@ -70,8 +75,19 @@ impl LinkStats {
         self.dropped_frames[i] += 1;
     }
 
+    /// Account one frame copy mangled in flight by the corruption process.
+    pub fn record_corruption(&mut self, frame: &Frame) {
+        let i = frame.class.index();
+        self.corrupted_bytes[i] += frame.len() as u64;
+        self.corrupted_frames[i] += 1;
+    }
+
     pub fn total_dropped_frames(&self) -> u64 {
         self.dropped_frames.iter().sum()
+    }
+
+    pub fn total_corrupted_frames(&self) -> u64 {
+        self.corrupted_frames.iter().sum()
     }
 
     pub fn total_bytes(&self) -> u64 {

@@ -408,6 +408,10 @@ impl World {
         node: NodeId,
         f: impl FnOnce(&mut dyn NodeBehavior, &mut Ctx<'_>) -> R,
     ) -> R {
+        // Re-entrancy guard: a behavior calling back into itself through
+        // `with_node` is a programming error, not a runtime condition a
+        // typed error could describe — panicking here is deliberate.
+        #[allow(clippy::expect_used)]
         let mut behavior = self.nodes[node.index()]
             .behavior
             .take()
@@ -510,7 +514,9 @@ impl World {
             if next > t {
                 break;
             }
-            let (_, ev) = self.queue.pop().expect("peeked event exists");
+            let Some((_, ev)) = self.queue.pop() else {
+                break; // unreachable: peek_time just returned Some
+            };
             self.dispatch_counted(ev);
         }
         self.queue.advance_to(t);
@@ -609,14 +615,33 @@ impl Ctx<'_> {
                 }
             }
             // Fault injection: each receiver copy independently rolls for
-            // loss, and surviving copies may pick up extra jitter.
+            // loss, surviving copies may pick up extra jitter, and the
+            // corruption process may mangle the copy's bytes, duplicate it,
+            // or delay it past frames transmitted later. The probe (and so
+            // the invariant oracle) saw the clean transmission above;
+            // corruption is strictly a receive-side disturbance.
             let mut arrival = arrival;
             let mut dropped = false;
+            let mut corrupted = None;
+            let mut deliver_bytes = None;
+            let mut duplicate_at = None;
             if let Some(fault) = self.world.links[link_id.index()].fault.as_mut() {
                 if fault.should_drop() {
                     dropped = true;
                 } else {
                     arrival += fault.jitter();
+                    if let Some(kind) = fault.corruption() {
+                        corrupted = Some(kind);
+                        match kind {
+                            crate::fault::CorruptionKind::Duplicate => {
+                                duplicate_at = Some(arrival + fault.replay_delay());
+                            }
+                            crate::fault::CorruptionKind::Replay => {
+                                arrival += fault.replay_delay();
+                            }
+                            _ => deliver_bytes = Some(fault.corrupt_bytes(kind, &frame.bytes)),
+                        }
+                    }
                 }
             }
             if dropped {
@@ -626,13 +651,50 @@ impl Ctx<'_> {
                 self.world.node_counters[member.node.index()].inc("framesDroppedByFault");
                 continue;
             }
+            if let Some(kind) = corrupted {
+                self.world.links[link_id.index()]
+                    .stats
+                    .record_corruption(&frame);
+                self.world.counters.inc("faults.frames_corrupted");
+                self.world.counters.inc(kind.counter());
+                // Attributed to the receiver that hears the mangled copy.
+                self.world.node_counters[member.node.index()].inc("framesCorruptedOnLink");
+                self.world.tracer.emit_typed(
+                    now,
+                    TraceCategory::Fault,
+                    member.node.index(),
+                    "corrupted",
+                    || {
+                        vec![
+                            ("link", link_id.0.into()),
+                            ("kind", kind.name().into()),
+                            ("class", frame.class.name().into()),
+                        ]
+                    },
+                );
+            }
+            let mut copy = frame.clone();
+            if let Some(bytes) = deliver_bytes {
+                copy.bytes = bytes;
+            }
+            if let Some(dup_at) = duplicate_at {
+                self.world.queue.schedule(
+                    dup_at,
+                    WorldEvent::Deliver {
+                        node: member.node,
+                        ifindex: member.ifindex,
+                        link: link_id,
+                        frame: frame.clone(),
+                    },
+                );
+            }
             self.world.queue.schedule(
                 arrival,
                 WorldEvent::Deliver {
                     node: member.node,
                     ifindex: member.ifindex,
                     link: link_id,
-                    frame: frame.clone(),
+                    frame: copy,
                 },
             );
         }
@@ -1060,7 +1122,7 @@ mod tests {
 
     #[test]
     fn lossy_link_drops_are_counted_and_deterministic() {
-        use crate::fault::{LinkFault, LinkFaultState, LossModel};
+        use crate::fault::{CorruptionModel, LinkFault, LinkFaultState, LossModel};
         use rand::SeedableRng;
 
         let run = |seed: u64| {
@@ -1077,6 +1139,7 @@ mod tests {
                     LinkFault {
                         loss: LossModel::iid(0.3),
                         jitter: SimDuration::from_micros(50),
+                        corruption: CorruptionModel::none(),
                     },
                     rand::rngs::SmallRng::seed_from_u64(seed),
                 )),
@@ -1209,7 +1272,7 @@ mod tests {
 
     #[test]
     fn node_counters_attribute_fault_drops() {
-        use crate::fault::{LinkFault, LinkFaultState, LossModel};
+        use crate::fault::{CorruptionModel, LinkFault, LinkFaultState, LossModel};
         use rand::SeedableRng;
 
         let log = Rc::new(RefCell::new(Vec::new()));
@@ -1225,6 +1288,7 @@ mod tests {
                 LinkFault {
                     loss: LossModel::iid(1.0), // drop everything
                     jitter: SimDuration::ZERO,
+                    corruption: CorruptionModel::none(),
                 },
                 rand::rngs::SmallRng::seed_from_u64(1),
             )),
@@ -1236,6 +1300,128 @@ mod tests {
         w.run_to_quiescence(10);
         assert_eq!(w.node_counters(b).get("framesDroppedByFault"), 1);
         assert_eq!(w.node_counters(a).get("framesDroppedByFault"), 0);
+    }
+
+    #[test]
+    fn corrupted_copies_are_counted_and_deterministic() {
+        use crate::fault::{CorruptionModel, LinkFault, LinkFaultState};
+        use rand::SeedableRng;
+
+        let run = |seed: u64| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut w = World::new();
+            let l = w.add_link(quick_params());
+            let a = w.add_node(1, Probe::new(log.clone(), false));
+            let b = w.add_node(1, Probe::new(log.clone(), false));
+            w.attach(a, 0, l);
+            w.attach(b, 0, l);
+            w.set_link_fault(
+                l,
+                Some(LinkFaultState::new(
+                    LinkFault {
+                        corruption: CorruptionModel::uniform(0.5),
+                        ..LinkFault::default()
+                    },
+                    rand::rngs::SmallRng::seed_from_u64(seed),
+                )),
+            );
+            w.start();
+            for i in 0..200u64 {
+                w.at(SimTime::from_millis(i * 10), move |w| {
+                    w.with_node(a, |_n, ctx| {
+                        ctx.send(
+                            0,
+                            Frame::new(Bytes::from_static(&[0x55; 16]), FrameClass::Other),
+                        );
+                    });
+                });
+            }
+            w.run_until(SimTime::from_secs(5));
+            let rx: Vec<String> = log
+                .borrow()
+                .iter()
+                .filter(|s| s.starts_with("n1:rx"))
+                .cloned()
+                .collect();
+            (
+                w.counters().get("faults.frames_corrupted"),
+                w.counters().get("faults.corrupt_duplicate"),
+                w.link_stats(l).total_corrupted_frames(),
+                w.node_counters(b).get("framesCorruptedOnLink"),
+                rx,
+            )
+        };
+
+        let (c1, dups1, stats1, node1, rx1) = run(42);
+        let (c2, _, _, _, rx2) = run(42);
+        let (c3, _, _, _, _) = run(43);
+        assert_eq!(c1, c2, "same seed, same corruption count");
+        assert_eq!(rx1, rx2, "same seed, same deliveries");
+        assert_ne!(c1, c3, "different seed, different sequence");
+        assert_ne!(c1, 0, "50% corruption on 200 frames must hit some");
+        assert_eq!(c1, stats1, "link stats agree with world counter");
+        assert_eq!(c1, node1, "receiver attribution agrees");
+        // Corruption never destroys a copy outright: every transmission is
+        // heard at least once, duplicates add extra deliveries.
+        assert_eq!(rx1.len() as u64, 200 + dups1);
+    }
+
+    #[test]
+    fn zero_corruption_leaves_loss_realization_unchanged() {
+        use crate::fault::{CorruptionModel, LinkFault, LinkFaultState, LossModel};
+        use rand::SeedableRng;
+
+        // Adding a disabled corruption model must not perturb the drop/jitter
+        // sequence of an existing seed — the determinism contract for every
+        // scenario recorded before the corruption layer existed.
+        let run = |corruption: CorruptionModel| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut w = World::new();
+            let l = w.add_link(quick_params());
+            let a = w.add_node(1, Probe::new(log.clone(), false));
+            let b = w.add_node(1, Probe::new(log.clone(), false));
+            w.attach(a, 0, l);
+            w.attach(b, 0, l);
+            w.set_link_fault(
+                l,
+                Some(LinkFaultState::new(
+                    LinkFault {
+                        loss: LossModel::iid(0.3),
+                        jitter: SimDuration::from_micros(50),
+                        corruption,
+                    },
+                    rand::rngs::SmallRng::seed_from_u64(7),
+                )),
+            );
+            w.start();
+            for i in 0..100u64 {
+                w.at(SimTime::from_millis(i * 10), move |w| {
+                    w.with_node(a, |_n, ctx| {
+                        ctx.send(
+                            0,
+                            Frame::new(Bytes::from_static(&[0; 8]), FrameClass::Other),
+                        );
+                    });
+                });
+            }
+            w.run_until(SimTime::from_secs(2));
+            let rx: Vec<String> = log
+                .borrow()
+                .iter()
+                .filter(|s| s.starts_with("n1:rx"))
+                .cloned()
+                .collect();
+            rx
+        };
+
+        assert_eq!(run(CorruptionModel::none()), run(CorruptionModel::none()));
+        // weights all zero => is_none() even with positive rate field unused
+        let disabled = CorruptionModel {
+            rate: 0.0,
+            weights: [1.0; crate::fault::CORRUPTION_KIND_COUNT],
+            max_replay_delay: SimDuration::from_millis(50),
+        };
+        assert_eq!(run(CorruptionModel::none()), run(disabled));
     }
 
     #[test]

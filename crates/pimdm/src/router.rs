@@ -366,7 +366,9 @@ impl PimRouter {
             return (Vec::new(), sends); // unroutable source
         }
         let key = (s, g);
-        let e = self.entries.get(&key).expect("just ensured");
+        let Some(e) = self.entries.get(&key) else {
+            return (Vec::new(), sends); // unreachable: just ensured
+        };
         if iface != e.iif {
             // Wrong interface. If we actively forward onto it, there is a
             // parallel forwarder on that LAN: start the assert process.
@@ -392,8 +394,13 @@ impl PimRouter {
                                 metric: info.metric,
                             },
                         });
-                        let e = self.entries.get_mut(&key).expect("entry");
-                        e.oifs.get_mut(&iface).expect("oif").last_assert_tx = Some(now);
+                        if let Some(oif) = self
+                            .entries
+                            .get_mut(&key)
+                            .and_then(|e| e.oifs.get_mut(&iface))
+                        {
+                            oif.last_assert_tx = Some(now);
+                        }
                     }
                 }
             }
@@ -401,8 +408,7 @@ impl PimRouter {
         }
 
         // Correct (RPF) interface: refresh and forward.
-        {
-            let e = self.entries.get_mut(&key).expect("entry");
+        if let Some(e) = self.entries.get_mut(&key) {
             e.expires = now + self.cfg.data_timeout;
         }
         let fwd = self.forward_list(&key);
@@ -410,7 +416,9 @@ impl PimRouter {
             // No interested downstream interfaces: prune toward the source
             // (rate-limited; spec sends a Prune whenever data arrives on the
             // iif while the oif list is null).
-            let e = self.entries.get_mut(&key).expect("entry");
+            let Some(e) = self.entries.get_mut(&key) else {
+                return (fwd, sends); // unreachable: just ensured
+            };
             if let Some(upstream) = e.upstream {
                 let rate_ok = match e.last_prune_tx {
                     Some(t) => now.saturating_since(t) >= self.cfg.control_rate_limit,
@@ -671,7 +679,9 @@ impl PimRouter {
         }
         let key = (s, g);
         let my_info = rpf.rpf(s);
-        let e = self.entries.get_mut(&key).expect("entry");
+        let Some(e) = self.entries.get_mut(&key) else {
+            return sends; // unreachable: just ensured
+        };
         if iface == e.iif {
             // Assert heard on the incoming interface: the winner becomes the
             // RPF neighbor for subsequent Joins/Prunes/Grafts (paper §3.1:
@@ -772,7 +782,9 @@ impl PimRouter {
             if joined {
                 // Clear prune state on the member's interface and graft
                 // upstream if we had pruned ourselves off the tree.
-                let e = self.entries.get_mut(&key).expect("entry");
+                let Some(e) = self.entries.get_mut(&key) else {
+                    continue; // unreachable: key came from this map
+                };
                 if e.iif == iface {
                     // Members on the incoming link are served by the
                     // upstream forwarder on that link, not by us.
@@ -803,7 +815,9 @@ impl PimRouter {
                 // prune immediately (paper §3.2: MLD "notifies the multicast
                 // routing protocol", which stops forwarding).
                 let now_empty = self.forward_list(&key).is_empty();
-                let e = self.entries.get_mut(&key).expect("entry");
+                let Some(e) = self.entries.get_mut(&key) else {
+                    continue; // unreachable: key came from this map
+                };
                 if now_empty && matches!(e.upstream_state, UpstreamState::Forwarding) {
                     if let Some(up) = e.upstream {
                         let until = now + self.cfg.prune_hold_time;

@@ -3,6 +3,9 @@
 //! tiny in-test relay — flood-and-prune propagation, graft chains, and
 //! re-flood after prune expiry, without any simulator.
 
+// Test helpers may unwrap freely (the lint wall targets non-test code).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_pimdm::{PimConfig, PimDest, PimMessage, PimRouter, PimSend, RpfInfo};
 use mobicast_sim::{RngFactory, SimDuration, SimTime};

@@ -7,12 +7,14 @@
 
 use bytes::Bytes;
 use mobicast::ipv6::addr::GroupAddr;
+use mobicast::ipv6::packet::pseudo_header_checksum;
 use mobicast::ipv6::packet::{proto, Packet};
 use mobicast::ipv6::tunnel::{
     decapsulate, encapsulate, encapsulate_limited, is_tunnel, DEFAULT_ENCAP_LIMIT,
 };
 use mobicast::ipv6::Icmpv6;
 use mobicast::mld::MldMessage;
+use mobicast::pimdm::message::TYPE_JOIN_PRUNE;
 use mobicast::pimdm::{PimMessage, Sg};
 use mobicast::sim::SimDuration;
 use proptest::prelude::*;
@@ -108,7 +110,7 @@ proptest! {
     ) {
         let msg = match kind % 5 {
             0 => Icmpv6::MldQuery { max_response_delay_ms: a, group: g.into() },
-            1 => Icmpv6::ParamProblem { pointer },
+            1 => Icmpv6::ParamProblem { code: kind % 3, pointer },
             2 => Icmpv6::RouterSolicit,
             3 => Icmpv6::EchoRequest { id: a, seq: b },
             _ => Icmpv6::EchoReply { id: a, seq: b },
@@ -200,5 +202,181 @@ proptest! {
         corrupt[at] ^= flip_bits | 1;
         let _ = Icmpv6::decode(src, dst, &corrupt);
         let _ = PimMessage::decode(src, dst, &corrupt);
+    }
+
+    /// Mutation fuzz, bit-flip class: start from a *valid* frame of each
+    /// family and flip exactly one bit. The decoder must return a typed
+    /// error or a value — never panic — and anything it accepts must
+    /// re-encode canonically (encode→decode agrees with the accepted
+    /// value; the simulator's single encoder is the canonical form).
+    #[test]
+    fn single_bit_flip_is_rejected_or_canonical(
+        kind in any::<u8>(),
+        g in arb_group(),
+        upstream in arb_unicast(),
+        joins in arb_sg_list(),
+        pointer in any::<u32>(),
+        src in arb_unicast(),
+        dst in arb_addr(),
+        flip in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        match kind % 4 {
+            0 => {
+                let bytes = MldMessage::Query {
+                    max_response_delay: SimDuration::from_millis(u64::from(pointer as u16)),
+                    group: Some(g),
+                }.to_icmp().encode(src, dst);
+                let mut m = bytes.to_vec();
+                let bit = usize::from(flip) % (m.len() * 8);
+                m[bit / 8] ^= 1 << (bit % 8);
+                if let Ok(decoded) = Icmpv6::decode(src, dst, &m) {
+                    let re = decoded.encode(src, dst);
+                    prop_assert_eq!(Icmpv6::decode(src, dst, &re).unwrap(), decoded);
+                }
+            }
+            1 => {
+                let bytes = PimMessage::JoinPrune {
+                    upstream, joins: joins.clone(), prunes: vec![],
+                }.encode(src, dst);
+                let mut m = bytes.to_vec();
+                let bit = usize::from(flip) % (m.len() * 8);
+                m[bit / 8] ^= 1 << (bit % 8);
+                if let Ok(decoded) = PimMessage::decode(src, dst, &m) {
+                    let re = decoded.encode(src, dst);
+                    prop_assert_eq!(PimMessage::decode(src, dst, &re).unwrap(), decoded);
+                }
+            }
+            2 => {
+                let bytes = Icmpv6::ParamProblem { code: kind % 3, pointer }.encode(src, dst);
+                let mut m = bytes.to_vec();
+                let bit = usize::from(flip) % (m.len() * 8);
+                m[bit / 8] ^= 1 << (bit % 8);
+                if let Ok(decoded) = Icmpv6::decode(src, dst, &m) {
+                    let re = decoded.encode(src, dst);
+                    prop_assert_eq!(Icmpv6::decode(src, dst, &re).unwrap(), decoded);
+                }
+            }
+            _ => {
+                let inner = Packet::new(src, dst, proto::UDP, Bytes::from(payload));
+                let bytes = encapsulate(upstream, upstream, &inner).encode();
+                let mut m = bytes.to_vec();
+                let bit = usize::from(flip) % (m.len() * 8);
+                m[bit / 8] ^= 1 << (bit % 8);
+                if let Ok(decoded) = Packet::decode(&m) {
+                    // Tunnel unwrap of a mangled outer packet must not panic.
+                    let _ = decapsulate(&decoded);
+                    let re = decoded.encode();
+                    prop_assert_eq!(Packet::decode(&re).unwrap(), decoded);
+                }
+            }
+        }
+    }
+
+    /// Mutation fuzz, truncation class: every strict prefix of a valid
+    /// frame, at every offset, must decode to a typed error or an accepted
+    /// value that re-encodes canonically — never panic.
+    #[test]
+    fn truncation_at_every_offset_is_typed(
+        kind in any::<u8>(),
+        g in arb_group(),
+        upstream in arb_unicast(),
+        joins in arb_sg_list(),
+        src in arb_unicast(),
+        dst in arb_addr(),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let frames: Vec<Bytes> = vec![
+            MldMessage::Report { group: g }.to_icmp().encode(src, dst),
+            PimMessage::Graft { upstream, entries: joins }.encode(src, dst),
+            Icmpv6::EchoRequest { id: u16::from(kind), seq: 7 }.encode(src, dst),
+            encapsulate(upstream, upstream,
+                &Packet::new(src, dst, proto::UDP, Bytes::from(payload))).encode(),
+        ];
+        for bytes in &frames {
+            for cut in 0..bytes.len() {
+                let prefix = &bytes[..cut];
+                // Frames below the minimal header must always be errors.
+                if cut < 4 {
+                    prop_assert!(Icmpv6::decode(src, dst, prefix).is_err());
+                    prop_assert!(PimMessage::decode(src, dst, prefix).is_err());
+                    prop_assert!(Packet::decode(prefix).is_err());
+                    continue;
+                }
+                if let Ok(d) = Icmpv6::decode(src, dst, prefix) {
+                    let re = d.encode(src, dst);
+                    prop_assert_eq!(Icmpv6::decode(src, dst, &re).unwrap(), d);
+                }
+                if let Ok(d) = PimMessage::decode(src, dst, prefix) {
+                    let re = d.encode(src, dst);
+                    prop_assert_eq!(PimMessage::decode(src, dst, &re).unwrap(), d);
+                }
+                if let Ok(d) = Packet::decode(prefix) {
+                    let re = d.encode();
+                    prop_assert_eq!(Packet::decode(&re).unwrap(), d);
+                }
+            }
+        }
+    }
+
+    /// Mutation fuzz, length-field lies: take valid frames and make their
+    /// internal length/count fields claim more data than the buffer holds
+    /// (fixing checksums so only the lie is under test). The decoders must
+    /// report typed truncation errors, not read out of bounds.
+    #[test]
+    fn length_field_lies_are_rejected(
+        g in arb_group(),
+        upstream in arb_unicast(),
+        source in arb_unicast(),
+        src in arb_unicast(),
+        dst in arb_addr(),
+        lie in any::<u16>().prop_map(|x| x.max(1)),
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // IPv6 payload-length lying long: header claims more payload bytes
+        // than the wire carries.
+        let pkt = Packet::new(src, dst, proto::UDP, Bytes::from(payload.clone()));
+        let mut m = pkt.encode().to_vec();
+        let claimed = u16::from_be_bytes([m[4], m[5]]).saturating_add(lie);
+        m[4..6].copy_from_slice(&claimed.to_be_bytes());
+        prop_assert!(Packet::decode(&m).is_err(), "payload-length lie accepted");
+
+        // PIM Join/Prune source-count lying long: the per-group join count
+        // claims sources beyond the end of the message.
+        let jp = PimMessage::JoinPrune {
+            upstream,
+            joins: vec![(source, g)],
+            prunes: vec![],
+        };
+        let mut m = jp.encode(src, dst).to_vec();
+        // Body starts at 4; upstream(16) + reserved(1) + ngroups(1) +
+        // holdtime(2) + group(16) puts the join count at offset 40.
+        let njoins = u16::from_be_bytes([m[40], m[41]]).saturating_add(lie);
+        m[40..42].copy_from_slice(&njoins.to_be_bytes());
+        m[2] = 0;
+        m[3] = 0;
+        let sum = pseudo_header_checksum(src, dst, proto::PIM, &m);
+        m[2..4].copy_from_slice(&sum.to_be_bytes());
+        prop_assert_eq!(m[0] & 0x0f, TYPE_JOIN_PRUNE);
+        prop_assert!(
+            PimMessage::decode(src, dst, &m).is_err(),
+            "join-count lie accepted"
+        );
+
+        // …and lying short: fewer groups than encoded leaves trailing bytes
+        // but must still parse without panicking (or err — never read past
+        // the claimed count).
+        let mut m2 = jp.encode(src, dst).to_vec();
+        m2[21] = 0; // ngroups
+        m2[2] = 0;
+        m2[3] = 0;
+        let sum = pseudo_header_checksum(src, dst, proto::PIM, &m2);
+        m2[2..4].copy_from_slice(&sum.to_be_bytes());
+        if let Ok(d) = PimMessage::decode(src, dst, &m2) {
+            prop_assert_eq!(
+                d,
+                PimMessage::JoinPrune { upstream, joins: vec![], prunes: vec![] }
+            );
+        }
     }
 }
