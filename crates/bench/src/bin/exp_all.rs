@@ -22,7 +22,7 @@ fn main() {
         eprintln!("(policy sweeps pinned to approach {})", policy.id());
     }
     type Exp = (&'static str, fn(bool) -> ExperimentOutput);
-    let experiments: [Exp; 14] = [
+    let experiments: [Exp; 15] = [
         ("fig1", |_| experiments::fig1::run()),
         ("fig2", experiments::fig2::run),
         ("fig3", |_| experiments::fig3::run()),
@@ -35,6 +35,7 @@ fn main() {
         ("handoff_latency", |_| experiments::handoff_latency::run()),
         ("fault_sweep", experiments::fault_sweep::run),
         ("adversarial", experiments::adversarial::run),
+        ("overload", experiments::overload::run),
         ("chaos", experiments::chaos::run),
         ("stress", experiments::stress::run),
     ];

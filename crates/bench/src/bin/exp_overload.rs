@@ -1,0 +1,30 @@
+//! Overload sweep: every registered delivery policy run under signaling
+//! storms with bounded state tables, rate-limited control-plane ingress
+//! and the degradation/recovery oracle (bounded memory, protected-flow
+//! floor, reconvergence SLO). Exits non-zero on any oracle violation,
+//! SLO miss or protected-flow floor miss, so CI can gate on it. Pass
+//! --quick for a reduced intensity/seed set, `--approach <id>` to pin
+//! one policy.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    if let Some(policy) = mobicast_bench::approach_flag() {
+        mobicast_core::strategy::set_approach_override(Some(policy));
+        eprintln!("(overload pinned to approach {})", policy.id());
+    }
+    let out = mobicast_core::experiments::overload::run(mobicast_bench::quick_flag());
+    mobicast_bench::emit(&out);
+    let violations = out.json["total_violations"].as_u64().unwrap_or(u64::MAX);
+    let slo_misses = out.json["total_slo_misses"].as_u64().unwrap_or(u64::MAX);
+    let floor_misses = out.json["total_floor_misses"].as_u64().unwrap_or(u64::MAX);
+    if violations > 0 || slo_misses > 0 || floor_misses > 0 {
+        eprintln!(
+            "overload: {violations} invariant violation(s), {slo_misses} \
+             reconvergence SLO miss(es), {floor_misses} protected-flow \
+             floor miss(es) — see results/overload.json"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

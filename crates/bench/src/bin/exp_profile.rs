@@ -1,19 +1,26 @@
 //! Simulator telemetry benchmark: profiled, trace-exporting runs of the
 //! reference scenarios plus the parallel-sweep throughput measurements.
 //! Emits `results/BENCH_sim.json` (events/sec, queue high-water mark,
-//! per-handler-category latency histograms, serial-vs-parallel speedups)
-//! and a schema-validated JSONL trace per scenario
-//! (`results/trace-<scenario>.jsonl`). Exits non-zero on any oracle
-//! violation, invalid trace line, or serial/parallel result divergence,
-//! so CI can gate on it.
+//! per-handler-category latency histograms, overload admission-control
+//! activity, serial-vs-parallel speedups) and a schema-validated JSONL
+//! trace per scenario (`results/trace-<scenario>.jsonl`). Exits non-zero
+//! on any oracle violation, invalid trace line, or serial/parallel
+//! result divergence, so CI can gate on it.
+//!
+//! `--check <path>` validates an already-written benchmark file against
+//! the expected schema instead of running anything — the CI telemetry
+//! job uses it so a missing or malformed `BENCH_sim.json` fails loudly.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use mobicast_core::router_node::ResourceBudget;
 use mobicast_core::scenario::{self, ScenarioConfig};
 use mobicast_core::Policy;
+use mobicast_net::StormModel;
 use mobicast_sim::parallel::{configured_workers, run_ordered};
 use mobicast_sim::trace::validate_jsonl_line;
+use mobicast_sim::{RateLimit, ShedPolicy};
 use serde_json::json;
 
 /// Ring-buffer capacity for the exported trace. Large enough that the
@@ -66,6 +73,39 @@ fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
     let profile = result
         .profile
         .ok_or_else(|| format!("{name}: profiling produced no SimProfile"))?;
+
+    // Admission-control activity: total shed / evicted / rate-limited
+    // decisions across all nodes, normalised per simulated second, plus
+    // the per-table high-water marks (max over nodes). All-zero on
+    // unbudgeted runs — the column existing either way keeps the bench
+    // trajectory comparable across runs.
+    let node_total =
+        |key: &str| -> u64 { result.report.node_stats.values().map(|c| c.get(key)).sum() };
+    let node_max = |key: &str| -> u64 {
+        result
+            .report
+            .node_stats
+            .values()
+            .map(|c| c.get(key))
+            .max()
+            .unwrap_or(0)
+    };
+    let overload_events: u64 = [
+        "mldReportsShed",
+        "mldListenersEvicted",
+        "pimSgShed",
+        "pimSgEvicted",
+        "haBindingsShed",
+        "haBindingsEvicted",
+        "mldRateLimited",
+        "pimRateLimited",
+        "buRateLimited",
+    ]
+    .iter()
+    .map(|k| node_total(k))
+    .sum();
+    let sim_secs = cfg.duration.as_secs_f64();
+
     Ok(json!({
         "profile": profile,
         "events_executed": result.events_executed,
@@ -75,7 +115,61 @@ fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
         "trace_lines": lines,
         "trace_dropped": result.trace_dropped,
         "trace_file": path,
+        "overload": {
+            "events": overload_events,
+            "events_per_sim_sec": overload_events as f64 / sim_secs.max(1e-9),
+            "mld_listeners_high_water": node_max("mldListenersHighWater"),
+            "pim_sg_high_water": node_max("pimSgHighWater"),
+            "binding_cache_high_water": node_max("bindingCacheHighWater"),
+        },
     }))
+}
+
+/// Validate an already-written `BENCH_sim.json` against the expected
+/// schema: parseable JSON, the right `schema`/`version` stamp, at least
+/// one scenario entry carrying the throughput and overload keys, and the
+/// parallel-sweep section. Returns a message describing the first defect.
+fn check_bench_file(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    if v["schema"].as_str() != Some("mobicast-bench-sim") {
+        return Err(format!("{path}: wrong or missing schema stamp"));
+    }
+    if v["version"].as_u64() != Some(3) {
+        return Err(format!("{path}: wrong or missing schema version"));
+    }
+    let scenarios = v["scenarios"]
+        .as_object()
+        .ok_or_else(|| format!("{path}: no scenarios object"))?;
+    if scenarios.is_empty() {
+        return Err(format!("{path}: scenarios object empty"));
+    }
+    for (name, entry) in scenarios {
+        for key in ["events_per_sec", "profile", "trace_lines", "overload"] {
+            if entry.get(key).is_none() {
+                return Err(format!("{path}: scenario {name} missing {key}"));
+            }
+        }
+        for key in [
+            "events",
+            "events_per_sim_sec",
+            "mld_listeners_high_water",
+            "pim_sg_high_water",
+            "binding_cache_high_water",
+        ] {
+            if entry["overload"].get(key).is_none() {
+                return Err(format!("{path}: scenario {name} overload missing {key}"));
+            }
+        }
+    }
+    if !scenarios.iter().any(|(name, _)| name == "overload") {
+        return Err(format!("{path}: no overload scenario entry"));
+    }
+    if v["parallel"].as_object().is_none_or(|p| p.is_empty()) {
+        return Err(format!("{path}: no parallel sweep section"));
+    }
+    Ok(())
 }
 
 /// Measure one sweep workload serially and in parallel, asserting the two
@@ -122,6 +216,24 @@ where
 }
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("results/BENCH_sim.json");
+        return match check_bench_file(path) {
+            Ok(()) => {
+                eprintln!("(schema ok: {path})");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("exp_profile --check: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     // Figure-1 steady state: the flood-and-prune baseline.
     let fig1 = profiled(
         ScenarioConfig::builder()
@@ -152,8 +264,45 @@ fn main() -> ExitCode {
         "handoff",
     );
 
+    // A budgeted run under a severe signaling storm: bounded state
+    // tables, rate-limited control-plane ingress, R3 roaming after the
+    // storm clears — the admission-control hot path under load.
+    let overload = profiled(
+        ScenarioConfig::builder()
+            .duration(mobicast_sim::SimDuration::from_secs(170))
+            .policy(Policy::BIDIRECTIONAL_TUNNEL)
+            .move_at(100.0, scenario::PaperHost::R3, 6)
+            .fault(mobicast_net::FaultPlan {
+                storm: StormModel {
+                    zap_rate: 8.0,
+                    zap_groups: 16,
+                    bu_rate: 5.0,
+                    flap_rate: 1.0,
+                    flap_hosts: 2,
+                    start_secs: 10.0,
+                    end_secs: 90.0,
+                },
+                ..mobicast_net::FaultPlan::default()
+            })
+            .budget(ResourceBudget {
+                mld_listeners: Some(8),
+                pim_sg_entries: Some(8),
+                binding_cache: Some(4),
+                shed_policy: ShedPolicy::RejectNew,
+                control_rate: Some(RateLimit {
+                    rate_per_sec: 5.0,
+                    burst: 10,
+                }),
+                event_queue_depth: Some(1 << 18),
+            })
+            .reconverge_slo_secs(60.0)
+            .protected_floor(0.9)
+            .build(),
+        "overload",
+    );
+
     let mut scenarios = Vec::new();
-    for cfg in [&fig1, &chaos, &handoff] {
+    for cfg in [&fig1, &chaos, &handoff, &overload] {
         match run_one(cfg) {
             Ok(entry) => scenarios.push((cfg.name.to_string(), entry)),
             Err(e) => {
@@ -190,7 +339,7 @@ fn main() -> ExitCode {
 
     let out = json!({
         "schema": "mobicast-bench-sim",
-        "version": 2,
+        "version": 3,
         "scenarios": serde_json::Value::Object(scenarios),
         "parallel": {
             "chaos_sweep": chaos_sweep,

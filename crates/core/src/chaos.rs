@@ -19,12 +19,13 @@ use crate::scenario::{self, Move, PaperHost, ScenarioConfig};
 use crate::strategy::Policy;
 use mobicast_net::{
     CorruptionModel, FaultPlan, FaultWindow, LinkFault, LinkFlap, LossModel, RouterCrash,
+    StormModel,
 };
 use mobicast_sim::SimDuration;
 use proptest::Strategy;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// Duration of every chaos run.
 pub const DURATION_SECS: u64 = 180;
@@ -39,12 +40,45 @@ const LOSS_STEPS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
 /// Wire-corruption rates a plan can draw from (same quantization idea;
 /// rates match the adversarial sweep's 0–5 % band).
 const CORRUPTION_STEPS: [f64; 4] = [0.0, 0.01, 0.02, 0.05];
+/// Signaling-storm intensities a plan can draw from: index 0 = no storm
+/// (zero RNG draws at run time), rising through zapping churn, BU floods
+/// and subscription flapping, all inside the event window.
+const STORM_STEPS: [StormModel; 4] = [
+    StormModel::none(),
+    StormModel {
+        zap_rate: 1.0,
+        zap_groups: 4,
+        bu_rate: 0.5,
+        flap_rate: 0.0,
+        flap_hosts: 0,
+        start_secs: EVENT_START,
+        end_secs: EVENT_END,
+    },
+    StormModel {
+        zap_rate: 3.0,
+        zap_groups: 8,
+        bu_rate: 2.0,
+        flap_rate: 0.5,
+        flap_hosts: 1,
+        start_secs: EVENT_START,
+        end_secs: EVENT_END,
+    },
+    StormModel {
+        zap_rate: 8.0,
+        zap_groups: 16,
+        bu_rate: 5.0,
+        flap_rate: 1.0,
+        flap_hosts: 2,
+        start_secs: EVENT_START,
+        end_secs: EVENT_END,
+    },
+];
 
 /// One randomized disturbance schedule. Everything is quantized (times on
 /// a 0.5 s grid, loss from the fixed `LOSS_STEPS` table) so plans print
 /// small, compare
 /// exactly, and shrink discretely.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChaosPlan {
     /// Index into the `LOSS_STEPS` table; loss applies on every link in the
     /// event window.
@@ -58,6 +92,30 @@ pub struct ChaosPlan {
     pub crashes: Vec<(u32, f64, f64)>,
     /// `(at_secs, host, to_link 1..=6)` — scripted roaming.
     pub moves: Vec<(f64, PaperHost, usize)>,
+    /// Index into the `STORM_STEPS` table; 0 = no signaling storm.
+    pub storm_step: usize,
+}
+
+// Hand-written so a storm-free plan serializes exactly as it did before
+// storms existed — the key is omitted at step 0, keeping historical chaos
+// campaign JSON byte-identical.
+impl Serialize for ChaosPlan {
+    fn to_json_value(&self) -> Value {
+        let mut fields = vec![
+            ("loss_step".to_string(), self.loss_step.to_json_value()),
+            (
+                "corruption_step".to_string(),
+                self.corruption_step.to_json_value(),
+            ),
+            ("flaps".to_string(), self.flaps.to_json_value()),
+            ("crashes".to_string(), self.crashes.to_json_value()),
+            ("moves".to_string(), self.moves.to_json_value()),
+        ];
+        if self.storm_step != 0 {
+            fields.push(("storm_step".to_string(), self.storm_step.to_json_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl ChaosPlan {
@@ -67,6 +125,10 @@ impl ChaosPlan {
 
     pub fn corruption(&self) -> f64 {
         CORRUPTION_STEPS[self.corruption_step]
+    }
+
+    pub fn storm(&self) -> StormModel {
+        STORM_STEPS[self.storm_step]
     }
 
     pub fn fault_plan(&self) -> FaultPlan {
@@ -102,6 +164,7 @@ impl ChaosPlan {
                     restart_at_secs: restart,
                 })
                 .collect(),
+            storm: self.storm(),
         }
     }
 
@@ -185,12 +248,17 @@ impl Strategy for PlanStrategy {
         }
         moves.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 
+        // Drawn LAST so every pre-storm field of a given seed's plan is
+        // unchanged from the pre-storm generator.
+        let storm_step = rng.random_range(0..STORM_STEPS.len());
+
         ChaosPlan {
             loss_step,
             corruption_step,
             flaps,
             crashes,
             moves,
+            storm_step,
         }
     }
 
@@ -205,6 +273,7 @@ impl Strategy for PlanStrategy {
             flaps: Vec::new(),
             crashes: Vec::new(),
             moves: Vec::new(),
+            storm_step: 0,
         };
         if *value != empty {
             out.push(empty);
@@ -217,6 +286,11 @@ impl Strategy for PlanStrategy {
         if value.corruption_step > 0 {
             let mut v = value.clone();
             v.corruption_step = 0;
+            out.push(v);
+        }
+        if value.storm_step > 0 {
+            let mut v = value.clone();
+            v.storm_step = 0;
             out.push(v);
         }
         for i in 0..value.crashes.len() {
@@ -357,7 +431,12 @@ mod tests {
     fn shrink_proposes_strictly_simpler_plans() {
         let plan = plan_for_seed(3);
         let weight = |p: &ChaosPlan| {
-            p.loss_step + p.corruption_step + p.flaps.len() + p.crashes.len() + p.moves.len()
+            p.loss_step
+                + p.corruption_step
+                + p.storm_step
+                + p.flaps.len()
+                + p.crashes.len()
+                + p.moves.len()
         };
         let cands = plan_strategy().shrink(&plan);
         assert!(!cands.is_empty());
@@ -372,6 +451,7 @@ mod tests {
             flaps: vec![],
             crashes: vec![],
             moves: vec![],
+            storm_step: 0,
         };
         assert!(plan_strategy().shrink(&empty).is_empty());
     }

@@ -74,8 +74,7 @@ fn one(p: &Params) -> FaultScore {
         FaultPlan {
             link: LinkFault::default(),
             window: None,
-            flaps: vec![],
-            crashes: vec![],
+            ..FaultPlan::default()
         }
     };
     let cfg = ScenarioConfig::builder()

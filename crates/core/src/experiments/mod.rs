@@ -13,6 +13,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod handoff_latency;
 pub mod mobility_rate;
+pub mod overload;
 pub mod sender_cost;
 pub mod stress;
 pub mod table1;
@@ -55,6 +56,7 @@ pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
         handoff_latency::run(),
         fault_sweep::run(quick),
         adversarial::run(quick),
+        overload::run(quick),
         chaos::run(quick),
         stress::run(quick),
     ]

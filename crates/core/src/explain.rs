@@ -255,6 +255,30 @@ pub fn render(journey: &Journey, trace: Option<&[TraceEvent]>) -> String {
         }
     }
 
+    // Admission-control decisions during the packet's live window: state
+    // shed or evicted by a resource budget, control messages dropped by
+    // the ingress token bucket. These explain why a hop is missing — a
+    // shed listener or rate-limited graft means a branch never formed.
+    if let (Some(trace), Some((start, end))) = (trace, journey.window()) {
+        for ev in trace {
+            if ev.at < start || ev.at > end || ev.category != TraceCategory::Overload {
+                continue;
+            }
+            let mut fields = String::new();
+            for (k, v) in &ev.fields {
+                let _ = write!(fields, " {k}={v}");
+            }
+            let _ = writeln!(
+                out,
+                "  ⊘ {} at node {} at {:.6}s{}",
+                ev.kind,
+                ev.node,
+                ev.at.as_secs_f64(),
+                fields
+            );
+        }
+    }
+
     if let (Some(trace), Some((start, end))) = (trace, journey.window()) {
         let mut shown = 0;
         for ev in trace {
@@ -407,6 +431,59 @@ mod tests {
             .iter()
             .any(|m| render(&explain(&rec, m.pkt), Some(&trace)).contains("✗ corrupted on link"));
         assert!(marked, "no journey rendered a corrupted-hop mark");
+    }
+
+    /// Admission-control decisions (shed, evicted, rate-limited) inside a
+    /// packet's live window must surface as explicit `⊘` marks when the
+    /// trace is interleaved.
+    #[test]
+    fn shed_and_rate_limited_hops_are_marked_in_render() {
+        use crate::router_node::ResourceBudget;
+        use mobicast_net::{FaultPlan, StormModel};
+        use mobicast_sim::{RateLimit, RingBufferTracer, ShedPolicy};
+        let (tracer, ring) = RingBufferTracer::new(1_000_000);
+        let cfg = ScenarioConfig::builder()
+            .duration(SimDuration::from_secs(80))
+            .policy(Policy::BIDIRECTIONAL_TUNNEL)
+            .fault(FaultPlan {
+                storm: StormModel {
+                    zap_rate: 8.0,
+                    zap_groups: 16,
+                    bu_rate: 5.0,
+                    flap_rate: 1.0,
+                    flap_hosts: 2,
+                    start_secs: 5.0,
+                    end_secs: 60.0,
+                },
+                ..FaultPlan::default()
+            })
+            .budget(ResourceBudget {
+                mld_listeners: Some(4),
+                pim_sg_entries: Some(4),
+                binding_cache: Some(2),
+                shed_policy: ShedPolicy::RejectNew,
+                control_rate: Some(RateLimit {
+                    rate_per_sec: 2.0,
+                    burst: 4,
+                }),
+                event_queue_depth: None,
+            })
+            .tracer(tracer)
+            .name("explain-overload-test")
+            .build();
+        let (_, rec) = run_with_recorder(&cfg);
+        let trace = ring.drain();
+        assert!(
+            trace
+                .iter()
+                .any(|ev| ev.category == TraceCategory::Overload),
+            "storm under budget produced no overload events"
+        );
+        let marked = rec
+            .packets
+            .iter()
+            .any(|m| render(&explain(&rec, m.pkt), Some(&trace)).contains('⊘'));
+        assert!(marked, "no journey rendered an admission-control mark");
     }
 
     #[test]

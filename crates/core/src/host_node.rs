@@ -247,6 +247,9 @@ impl HostNode {
             });
             self.emit(ctx, &packet, self.default_router());
         }
+        self.mib
+            .record_max("buPendingHighWater", self.mn.pending_bu_depth() as u64);
+        self.mib.record_max("buReplaced", self.mn.bu_replaced());
         self.arm_mn(ctx);
     }
 
@@ -278,6 +281,14 @@ impl HostNode {
     /// subscriptions at runtime).
     pub fn app_subscribe(&mut self, ctx: &mut Ctx<'_>, group: GroupAddr) {
         self.subscribe(ctx, group);
+    }
+
+    /// Force an unscheduled Binding Update refresh (storm scripts: a mobile
+    /// re-registering far faster than its refresh timer requires). No-op
+    /// while the host is at home.
+    pub fn app_rebind(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.mn.force_refresh(ctx.now());
+        self.emit_mn(ctx, outs);
     }
 
     /// Application-level subscription (receiver side).
@@ -474,6 +485,20 @@ impl NodeBehavior for HostNode {
                     ("src", packet.src.into()),
                     ("pointer", u64::from(pointer).into()),
                 ]
+            });
+            return;
+        }
+        // Mobility signalling is authenticated end-to-end (draft-10 §4.4):
+        // a damaged Binding Ack must not clear or corrupt the pending-BU
+        // state, so it is discarded like its router-side counterpart.
+        if frame.damaged
+            && (mip_packets::parse_binding_ack(&packet).is_some()
+                || mip_packets::parse_binding_update(&packet).is_some())
+        {
+            self.recorder.count("host.bu_auth_failed", 1);
+            self.mib.inc("buAuthFailures");
+            ctx.trace_event(TraceCategory::MobileIp, "bu_auth_failed", || {
+                vec![("src", packet.src.into()), ("dst", packet.dst.into())]
             });
             return;
         }

@@ -45,7 +45,7 @@ pub use builder::{build, BuiltNetwork, HostSpec, MapDomain, NetworkSpec};
 pub use explain::{DeliveryPath, Journey, JourneyHop};
 pub use host_node::{HostConfig, HostNode, SenderApp};
 pub use oracle::{Oracle, OracleSummary};
-pub use router_node::{RouterConfig, RouterNode};
+pub use router_node::{ResourceBudget, RouterConfig, RouterNode};
 pub use scenario::{
     run, run_with_recorder, Move, PaperHost, ScenarioBuilder, ScenarioConfig, ScenarioResult,
 };

@@ -99,6 +99,15 @@ pub struct OracleSummary {
     /// SLO verdict: `Some(false)` when recovery took longer than the bound
     /// or never happened; `None` when the check was not armed.
     pub reconverge_ok: Option<bool>,
+    /// Protected-flow invariant: the worst per-receiver first-copy delivery
+    /// ratio over the disturbance window among the pre-existing receivers.
+    /// `None` when no floor was configured.
+    pub protected_flow_min: Option<f64>,
+    /// The configured delivery floor, echoed (`None` = unarmed).
+    pub protected_flow_floor: Option<f64>,
+    /// `Some(false)` when any protected receiver fell below the floor
+    /// while the storm raged.
+    pub protected_flow_ok: Option<bool>,
 }
 
 #[derive(Default)]
@@ -109,6 +118,9 @@ struct OracleState {
     data_frames_seen: u64,
     worst_stale_sg_secs: f64,
     worst_binding_overstay_secs: f64,
+    /// The event-queue high-water is monotone, so its budget breach is
+    /// reported once instead of on every subsequent poll.
+    queue_depth_reported: bool,
 }
 
 fn push_violation(st: &mut OracleState, msg: String) {
@@ -137,6 +149,12 @@ pub struct FinalizeParams {
     /// The reconvergence SLO bound: delivery must return to steady state
     /// within this long after `disturbance_end`.
     pub reconverge_bound: SimDuration,
+    /// Protected-flow floor: each receiver in `receivers` must keep at
+    /// least this fraction of first-copy deliveries for datagrams sent
+    /// inside `protect_window`. `None` leaves the check unarmed.
+    pub protected_floor: Option<f64>,
+    /// The window (usually the signalling storm) the floor applies to.
+    pub protect_window: Option<(SimTime, SimTime)>,
 }
 
 /// The invariant oracle. Shared as `Rc` between the world's probe slot and
@@ -209,6 +227,64 @@ impl Oracle {
                              interface {}",
                             now.as_secs_f64(),
                             snap.iif
+                        ),
+                    );
+                }
+            }
+            // Bounded memory: with a ResourceBudget configured, no state
+            // table may ever exceed its cap — admission control must shed
+            // or evict *before* insertion, so even a momentary overshoot
+            // is a leak in the enforcement path.
+            let budget = *router.budget();
+            if let Some(cap) = budget.mld_listeners {
+                let have = router.mld_listener_port_max();
+                if have > cap as usize {
+                    push_violation(
+                        st,
+                        format!(
+                            "t={:.0}s: {r} holds {have} MLD listeners on one port, \
+                             budget {cap} (admission control leak)",
+                            now.as_secs_f64()
+                        ),
+                    );
+                }
+            }
+            if let Some(cap) = budget.pim_sg_entries {
+                let have = router.pim().entry_count();
+                if have > cap as usize {
+                    push_violation(
+                        st,
+                        format!(
+                            "t={:.0}s: {r} holds {have} PIM (S,G) entries, budget {cap} \
+                             (admission control leak)",
+                            now.as_secs_f64()
+                        ),
+                    );
+                }
+            }
+            if let Some(cap) = budget.binding_cache {
+                let have = router.home_agent().binding_count();
+                if have > cap as usize {
+                    push_violation(
+                        st,
+                        format!(
+                            "t={:.0}s: {r} holds {have} binding-cache entries, \
+                             budget {cap} (admission control leak)",
+                            now.as_secs_f64()
+                        ),
+                    );
+                }
+            }
+            if let Some(cap) = budget.event_queue_depth {
+                let depth = world.queue_depth_high_water() as u64;
+                if depth > cap && !st.queue_depth_reported {
+                    st.queue_depth_reported = true;
+                    push_violation(
+                        st,
+                        format!(
+                            "t={:.0}s: event-queue depth high-water {depth} exceeds \
+                             budget {cap} (unbounded backlog)",
+                            now.as_secs_f64()
                         ),
                     );
                 }
@@ -430,6 +506,57 @@ impl Oracle {
             });
         }
 
+        // Protected flow: receivers that were up before the storm must keep
+        // at least the configured fraction of first-copy deliveries for
+        // datagrams sent while the storm raged — graceful degradation means
+        // shedding the attacker's churn, not the established flows.
+        let mut protected_flow_min = None;
+        let mut protected_flow_floor = None;
+        let mut protected_flow_ok = None;
+        if let (Some(floor), Some((from, until))) = (p.protected_floor, p.protect_window) {
+            protected_flow_floor = Some(floor);
+            let window: std::collections::BTreeSet<u64> = rec
+                .packets
+                .iter()
+                .filter(|m| m.sent_at >= from && m.sent_at < until)
+                .map(|m| m.pkt)
+                .collect();
+            if window.is_empty() || p.receivers.is_empty() {
+                protected_flow_ok = Some(true);
+            } else {
+                let mut per_host: BTreeMap<NodeId, u64> =
+                    p.receivers.iter().map(|(h, _)| (*h, 0)).collect();
+                for d in rec.deliveries.iter().filter(|d| d.first) {
+                    if window.contains(&d.pkt) {
+                        if let Some(got) = per_host.get_mut(&d.host) {
+                            *got += 1;
+                        }
+                    }
+                }
+                let total = window.len() as f64;
+                let mut min_ratio = f64::INFINITY;
+                for (host, got) in &per_host {
+                    let ratio = *got as f64 / total;
+                    if ratio < min_ratio {
+                        min_ratio = ratio;
+                    }
+                    if ratio < floor {
+                        push_violation(
+                            st,
+                            format!(
+                                "protected flow: {host} received {:.1}% of datagrams \
+                                 sent during the storm window, below the {:.1}% floor",
+                                ratio * 100.0,
+                                floor * 100.0
+                            ),
+                        );
+                    }
+                }
+                protected_flow_min = Some(min_ratio);
+                protected_flow_ok = Some(min_ratio >= floor);
+            }
+        }
+
         OracleSummary {
             enabled: true,
             violations: st.violations.clone(),
@@ -443,6 +570,9 @@ impl Oracle {
             reconverge_secs,
             reconverge_bound_secs,
             reconverge_ok,
+            protected_flow_min,
+            protected_flow_floor,
+            protected_flow_ok,
         }
     }
 
@@ -525,6 +655,8 @@ mod tests {
             end: t(600),
             disturbance_end: None,
             reconverge_bound: SimDuration::from_secs(60),
+            protected_floor: None,
+            protect_window: None,
         }
     }
 
@@ -691,6 +823,65 @@ mod tests {
         assert_eq!(s.reconverge_secs, None);
         assert_eq!(s.reconverge_bound_secs, None);
         assert_eq!(s.reconverge_ok, None);
+    }
+
+    #[test]
+    fn protected_flow_floor_verdicts() {
+        // 20 datagrams sent from t=100; receiver misses 0..3 of them.
+        let armed = |missed: &[u64], floor: f64| {
+            let o = Oracle::default();
+            o.finalize(
+                &slo_recorder(missed),
+                &FinalizeParams {
+                    protected_floor: Some(floor),
+                    protect_window: Some((t(100), t(300))),
+                    receivers: vec![(NodeId(7), LinkId(0))],
+                    ..params(vec![])
+                },
+            )
+        };
+        let s = armed(&[], 0.9);
+        assert_eq!(s.protected_flow_min, Some(1.0));
+        assert_eq!(s.protected_flow_ok, Some(true));
+        assert_eq!(s.violation_count, 0, "{:?}", s.violations);
+
+        let s = armed(&[0, 1, 2, 3], 0.9);
+        assert_eq!(s.protected_flow_min, Some(0.8));
+        assert_eq!(s.protected_flow_floor, Some(0.9));
+        assert_eq!(s.protected_flow_ok, Some(false));
+        assert_eq!(s.violation_count, 1, "{:?}", s.violations);
+        assert!(s.violations[0].contains("protected flow"));
+
+        let s = armed(&[0, 1, 2, 3], 0.75);
+        assert_eq!(s.protected_flow_ok, Some(true));
+        assert_eq!(s.violation_count, 0, "{:?}", s.violations);
+    }
+
+    #[test]
+    fn protected_flow_unarmed_without_floor() {
+        let o = Oracle::default();
+        let s = o.finalize(&slo_recorder(&[]), &params(vec![(NodeId(7), LinkId(0))]));
+        assert_eq!(s.protected_flow_min, None);
+        assert_eq!(s.protected_flow_floor, None);
+        assert_eq!(s.protected_flow_ok, None);
+    }
+
+    #[test]
+    fn protected_flow_vacuous_window_passes() {
+        // Window before any traffic: nothing to protect, nothing violated.
+        let o = Oracle::default();
+        let s = o.finalize(
+            &slo_recorder(&[]),
+            &FinalizeParams {
+                protected_floor: Some(0.9),
+                protect_window: Some((t(0), t(50))),
+                receivers: vec![(NodeId(7), LinkId(0))],
+                ..params(vec![])
+            },
+        );
+        assert_eq!(s.protected_flow_min, None);
+        assert_eq!(s.protected_flow_ok, Some(true));
+        assert_eq!(s.violation_count, 0, "{:?}", s.violations);
     }
 
     #[test]

@@ -18,13 +18,16 @@ use mobicast_ipv6::icmpv6::{
 };
 use mobicast_ipv6::packet::{proto, Packet};
 use mobicast_ipv6::tunnel;
-use mobicast_mipv6::{packets as mip_packets, HaOutput, HomeAgent};
+use mobicast_mipv6::{packets as mip_packets, HaNote, HaOutput, HomeAgent};
 use mobicast_mld::{
     HostOutput, MldConfig, MldHostPort, MldMessage, MldNote, MldRouterPort, RouterOutput,
 };
 use mobicast_net::{Ctx, Frame, IfIndex, LinkId, NodeBehavior, NodeId, TimerKey};
 use mobicast_pimdm::{PimConfig, PimDest, PimMessage, PimNote, PimRouter, PimSend, RpfLookup};
-use mobicast_sim::{Counters, EventId, RngFactory, SimDuration, SimTime, TraceCategory};
+use mobicast_sim::{
+    Counters, EventId, RateLimit, RngFactory, ShedPolicy, SimDuration, SimTime, TokenBucket,
+    TraceCategory,
+};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
@@ -37,6 +40,58 @@ const TIMER_RA: u64 = 4;
 /// RA responses are `TIMER_RA_RESPONSE + ifindex`.
 const TIMER_RA_RESPONSE: u64 = 0x100;
 
+/// Per-node control-plane resource budget: capacities for every state
+/// table a router keeps, the shedding policy applied when a table is full,
+/// and an optional token-bucket rate limit on control-plane ingress.
+///
+/// The default budget is unbounded (every field `None`): behaviour is then
+/// bit-for-bit identical to a router without admission control — no RNG
+/// draws, no counters, no trace events.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceBudget {
+    /// Cap on MLD listener entries *per interface port*.
+    pub mld_listeners: Option<u32>,
+    /// Cap on PIM (S,G) entries.
+    pub pim_sg_entries: Option<u32>,
+    /// Cap on home-agent binding-cache entries.
+    pub binding_cache: Option<u32>,
+    /// What to do with a new entry when its table is full.
+    pub shed_policy: ShedPolicy,
+    /// Token-bucket limit on control-plane ingress (MLD Report/Done,
+    /// PIM Join/Prune/Graft/Assert, Binding Updates) — one shared bucket
+    /// per router.
+    pub control_rate: Option<RateLimit>,
+    /// Bound the simulator event-queue high-water mark (checked by the
+    /// oracle, not enforced by the router).
+    pub event_queue_depth: Option<u64>,
+}
+
+impl ResourceBudget {
+    /// A budget with no limits at all (the default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// True when no limit is configured (admission control fully inert).
+    pub fn is_unbounded(&self) -> bool {
+        self.mld_listeners.is_none()
+            && self.pim_sg_entries.is_none()
+            && self.binding_cache.is_none()
+            && self.control_rate.is_none()
+            && self.event_queue_depth.is_none()
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(rl) = &self.control_rate {
+            rl.validate()?;
+        }
+        if self.event_queue_depth == Some(0) {
+            return Err("event_queue_depth must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Router behaviour configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct RouterConfig {
@@ -46,6 +101,8 @@ pub struct RouterConfig {
     pub ra_interval: SimDuration,
     /// Delay before answering a Router Solicitation.
     pub ra_response_delay: SimDuration,
+    /// Control-plane resource budget (default: unbounded).
+    pub budget: ResourceBudget,
 }
 
 impl Default for RouterConfig {
@@ -55,6 +112,7 @@ impl Default for RouterConfig {
             pim: PimConfig::default(),
             ra_interval: SimDuration::from_secs(1),
             ra_response_delay: SimDuration::from_millis(20),
+            budget: ResourceBudget::default(),
         }
     }
 }
@@ -108,6 +166,8 @@ pub struct RouterNode {
     /// HA proxy listener state per interface.
     proxy: BTreeMap<IfIndex, MldHostPort>,
     ha: HomeAgent,
+    /// Shared control-plane ingress rate limiter (None = unlimited).
+    bucket: Option<TokenBucket>,
     recorder: SharedRecorder,
     mld_timer: TimerSlot,
     pim_timer: TimerSlot,
@@ -130,12 +190,15 @@ impl RouterNode {
         recorder: SharedRecorder,
     ) -> Self {
         let mut pim = PimRouter::new(cfg.pim, rng.indexed_stream("pim-router", u64::from(id.0)));
+        pim.set_budget(cfg.budget.pim_sg_entries, cfg.budget.shed_policy);
         let mut mld = BTreeMap::new();
         let mut proxy = BTreeMap::new();
         for (i, info) in ifaces.iter().enumerate() {
             let ifx = i as IfIndex;
             pim.add_iface(ifx, info.ll);
-            mld.insert(ifx, MldRouterPort::new(cfg.mld, info.ll));
+            let mut port = MldRouterPort::new(cfg.mld, info.ll);
+            port.set_budget(cfg.budget.mld_listeners, cfg.budget.shed_policy);
+            mld.insert(ifx, port);
             proxy.insert(
                 ifx,
                 MldHostPort::new(
@@ -144,6 +207,9 @@ impl RouterNode {
                 ),
             );
         }
+        let mut ha = HomeAgent::new();
+        ha.set_budget(cfg.budget.binding_cache, cfg.budget.shed_policy);
+        let bucket = cfg.budget.control_rate.map(TokenBucket::new);
         let n = ifaces.len();
         RouterNode {
             id,
@@ -153,7 +219,8 @@ impl RouterNode {
             pim,
             mld,
             proxy,
-            ha: HomeAgent::new(),
+            ha,
+            bucket,
             recorder,
             mld_timer: TimerSlot::new(),
             pim_timer: TimerSlot::new(),
@@ -177,6 +244,93 @@ impl RouterNode {
     /// Immutable access to the PIM instance (assertions in tests).
     pub fn pim(&self) -> &PimRouter {
         &self.pim
+    }
+
+    /// The configured control-plane resource budget.
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.cfg.budget
+    }
+
+    /// Total MLD listener entries across all router ports (the
+    /// bounded-memory oracle polls this against the budget).
+    pub fn mld_listener_total(&self) -> usize {
+        self.mld.values().map(|p| p.membership_count()).sum()
+    }
+
+    /// Largest single-port MLD listener table (the per-port cap applies
+    /// per interface, so the oracle bound is on the max, not the sum).
+    pub fn mld_listener_port_max(&self) -> usize {
+        self.mld
+            .values()
+            .map(|p| p.membership_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Admit one control-plane message through the shared token bucket.
+    /// Returns false when the message must be shed; the drop is counted
+    /// (MIB + recorder ground truth) and traced.
+    fn admit_control(&mut self, ctx: &mut Ctx<'_>, kind: &'static str, mib: &'static str) -> bool {
+        let Some(bucket) = self.bucket.as_mut() else {
+            return true;
+        };
+        if bucket.try_take(ctx.now()) {
+            return true;
+        }
+        self.recorder
+            .count(&format!("overload.rate_limited.{kind}"), 1);
+        self.mib.inc(mib);
+        ctx.trace_event(TraceCategory::Overload, "rate_limited", || {
+            vec![("kind", kind.into())]
+        });
+        false
+    }
+
+    /// Update the per-table high-water gauges (snapshotted into
+    /// `RunReport.node_stats` and reconciled against the budget).
+    fn record_high_waters(&mut self) {
+        self.mib
+            .record_max("mldListenersHighWater", self.mld_listener_port_max() as u64);
+        self.mib
+            .record_max("pimSgHighWater", self.pim.entry_count() as u64);
+        self.mib
+            .record_max("bindingCacheHighWater", self.ha.binding_count() as u64);
+    }
+
+    /// Turn buffered home-agent admission notes into typed trace events
+    /// and MIB counters. Called after every interaction with the HA.
+    fn drain_ha_notes(&mut self, ctx: &mut Ctx<'_>) {
+        for note in self.ha.take_notes() {
+            let (mib, recorder_key, event, home) = match note {
+                HaNote::BindingShed { home } => (
+                    "haBindingsShed",
+                    "overload.ha_bindings_shed",
+                    "binding_shed",
+                    home,
+                ),
+                HaNote::BindingEvicted { home } => (
+                    "haBindingsEvicted",
+                    "overload.ha_bindings_evicted",
+                    "binding_evicted",
+                    home,
+                ),
+                HaNote::BindingStaleSeq { home } => {
+                    // Anti-replay, not admission control: keep it out of the
+                    // overload ground truth but visible in the same places.
+                    self.mib.inc("buStaleSeqDropped");
+                    self.recorder.count("ha.bu_stale_seq", 1);
+                    ctx.trace_event(TraceCategory::MobileIp, "bu_stale_seq", || {
+                        vec![("home", home.into())]
+                    });
+                    continue;
+                }
+            };
+            self.mib.inc(mib);
+            self.recorder.count(recorder_key, 1);
+            ctx.trace_event(TraceCategory::Overload, event, || {
+                vec![("home", home.into())]
+            });
+        }
     }
 
     pub fn iface_info(&self, ifx: IfIndex) -> &RouterIfaceInfo {
@@ -381,6 +535,20 @@ impl RouterNode {
                         vec![("src", sg.0.into()), ("group", sg.1.addr().into())]
                     });
                 }
+                PimNote::SgShed { sg } => {
+                    self.mib.inc("pimSgShed");
+                    self.recorder.count("overload.pim_sg_shed", 1);
+                    ctx.trace_event(TraceCategory::Overload, "pim_sg_shed", || {
+                        vec![("src", sg.0.into()), ("group", sg.1.addr().into())]
+                    });
+                }
+                PimNote::SgEvicted { sg } => {
+                    self.mib.inc("pimSgEvicted");
+                    self.recorder.count("overload.pim_sg_evicted", 1);
+                    ctx.trace_event(TraceCategory::Overload, "pim_sg_evicted", || {
+                        vec![("src", sg.0.into()), ("group", sg.1.addr().into())]
+                    });
+                }
             }
         }
     }
@@ -403,6 +571,26 @@ impl RouterNode {
                     self.mib.inc("mldQuerierResignations");
                     ctx.trace_event(TraceCategory::Mld, "mld_querier_resigned", || {
                         vec![("iface", u64::from(ifx).into()), ("other", other.into())]
+                    });
+                }
+                MldNote::ListenerShed { group } => {
+                    self.mib.inc("mldReportsShed");
+                    self.recorder.count("overload.mld_listeners_shed", 1);
+                    ctx.trace_event(TraceCategory::Overload, "mld_listener_shed", || {
+                        vec![
+                            ("iface", u64::from(ifx).into()),
+                            ("group", group.addr().into()),
+                        ]
+                    });
+                }
+                MldNote::ListenerEvicted { group } => {
+                    self.mib.inc("mldListenersEvicted");
+                    self.recorder.count("overload.mld_listeners_evicted", 1);
+                    ctx.trace_event(TraceCategory::Overload, "mld_listener_evicted", || {
+                        vec![
+                            ("iface", u64::from(ifx).into()),
+                            ("group", group.addr().into()),
+                        ]
                     });
                 }
             }
@@ -832,7 +1020,11 @@ impl RouterNode {
                 self.recorder.count("map.binding_updates_rx", 1);
                 self.mib.inc("mapBindingUpdatesRx");
             }
+            if !self.admit_control(ctx, "bu", "buRateLimited") {
+                return;
+            }
             let outs = self.ha.on_binding_update(home, packet.src, &bu, now);
+            self.drain_ha_notes(ctx);
             self.apply_ha_outputs(ctx, home, packet.src, outs);
             self.arm_ha(ctx);
         }
@@ -952,6 +1144,23 @@ impl NodeBehavior for RouterNode {
                 return;
             }
         };
+        // Binding Updates and Acknowledgements carry a mandatory
+        // authenticator (draft-ietf-mobileip-ipv6-10 §4.4); any in-flight
+        // mutation fails verification, so a damaged copy must never install
+        // or acknowledge binding state. Dropped at the first receiving node
+        // — forwarding would re-encode the bytes and lose the marker. The
+        // sender's BU retransmission machinery recovers the lost update.
+        if frame.damaged
+            && (mip_packets::parse_binding_update(&packet).is_some()
+                || mip_packets::parse_binding_ack(&packet).is_some())
+        {
+            self.recorder.count("ha.bu_auth_failed", 1);
+            self.mib.inc("buAuthFailures");
+            ctx.trace_event(TraceCategory::MobileIp, "bu_auth_failed", || {
+                vec![("src", packet.src.into()), ("dst", packet.dst.into())]
+            });
+            return;
+        }
         if self.drop_for_unknown_option(ctx, ifx, &packet) {
             return;
         }
@@ -962,6 +1171,18 @@ impl NodeBehavior for RouterNode {
                     match PimMessage::decode(packet.src, packet.dst, &packet.payload) {
                         Ok(msg) => {
                             self.mib.inc("pimInMessages");
+                            // Hellos and Graft-Acks keep neighbor and
+                            // retransmit state sane; only the state-building
+                            // messages compete for the ingress budget.
+                            let limited = matches!(
+                                msg,
+                                PimMessage::JoinPrune { .. }
+                                    | PimMessage::Graft { .. }
+                                    | PimMessage::Assert { .. }
+                            );
+                            if limited && !self.admit_control(ctx, "pim", "pimRateLimited") {
+                                return;
+                            }
                             let sends =
                                 self.pim.on_message(ifx, packet.src, &msg, now, &self.table);
                             self.pim_sends(ctx, sends);
@@ -989,6 +1210,13 @@ impl NodeBehavior for RouterNode {
                         MldMessage::Report { .. } => "mldInReports",
                         MldMessage::Done { .. } => "mldInDones",
                     });
+                    // Queries drive the querier election and must never be
+                    // shed; listener-state traffic (Report/Done) competes
+                    // for the ingress budget.
+                    let limited = !matches!(msg, MldMessage::Query { .. });
+                    if limited && !self.admit_control(ctx, "mld", "mldRateLimited") {
+                        return;
+                    }
                     let outs = self
                         .mld
                         .get_mut(&ifx)
@@ -1038,6 +1266,7 @@ impl NodeBehavior for RouterNode {
                 self.route_unicast(ctx, packet, parent);
             }
         }
+        self.record_high_waters();
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: TimerKey) {
@@ -1086,6 +1315,7 @@ impl NodeBehavior for RouterNode {
                 // Expiry may release proxy memberships; we need the homes,
                 // so collect the subscribed groups before/after.
                 let outs = self.ha.on_deadline(now);
+                self.drain_ha_notes(ctx);
                 // `on_deadline` outputs lack the home address; proxy state
                 // is keyed per interface, so apply leaves on every iface
                 // that has the group joined.
@@ -1116,6 +1346,7 @@ impl NodeBehavior for RouterNode {
             }
             _ => {}
         }
+        self.record_high_waters();
     }
 
     fn on_link_change(&mut self, _ctx: &mut Ctx<'_>, _ifx: IfIndex, _link: Option<LinkId>) {

@@ -11,13 +11,16 @@ use crate::analysis::{analyze, RunReport};
 use crate::builder::{apply_fault_plan, build, BuiltNetwork, HostSpec, NetworkSpec};
 use crate::host_node::{HostConfig, HostNode, SenderApp};
 use crate::oracle::{FinalizeParams, Oracle};
-use crate::router_node::{RouterConfig, RouterNode};
+use crate::router_node::{ResourceBudget, RouterConfig, RouterNode};
 use crate::strategy::Policy;
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_mld::MldConfig;
 use mobicast_net::{FaultPlan, FrameClass};
 use mobicast_pimdm::PimConfig;
-use mobicast_sim::{RingBufferTracer, SimDuration, SimProfile, SimTime, Tracer};
+use mobicast_sim::{
+    rng::sample_exponential, RingBufferTracer, RngFactory, SimDuration, SimProfile, SimTime, Tracer,
+};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
@@ -96,6 +99,14 @@ pub struct ScenarioConfig {
     /// this long. Judged by the oracle whenever the run has a disturbance
     /// with a recovery point (see `OracleSummary::reconverge_ok`).
     pub reconverge_slo_secs: f64,
+    /// Control-plane resource budget applied to every router (state-table
+    /// caps, shed policy, ingress rate limit). Default: unbounded — no
+    /// admission control at all.
+    pub budget: ResourceBudget,
+    /// Protected-flow delivery floor: during a signaling storm, receivers
+    /// subscribed *before* the storm must keep at least this fraction of
+    /// the stream (checked by the oracle). `None` disables the check.
+    pub protected_floor: Option<f64>,
     /// Optional tracer (None = silent). Mutually exclusive with
     /// `trace_capture` — the builder rejects setting both.
     pub tracer: Option<Tracer>,
@@ -129,6 +140,8 @@ impl Default for ScenarioConfig {
             fault: FaultPlan::default(),
             oracle: true,
             reconverge_slo_secs: 60.0,
+            budget: ResourceBudget::default(),
+            protected_floor: None,
             tracer: None,
             name: Cow::Borrowed("scenario"),
             trace_capture: None,
@@ -292,6 +305,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Apply a control-plane resource budget to every router (default:
+    /// unbounded).
+    pub fn budget(mut self, budget: ResourceBudget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Demand that pre-storm receivers keep at least this delivery
+    /// fraction during a signaling storm (oracle-checked).
+    pub fn protected_floor(mut self, floor: f64) -> Self {
+        self.cfg.protected_floor = Some(floor);
+        self
+    }
+
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.cfg.tracer = Some(tracer);
         self
@@ -356,6 +383,23 @@ impl ScenarioBuilder {
                 "reconverge_slo_secs must be positive, got {}",
                 cfg.reconverge_slo_secs
             )));
+        }
+        if let Err(e) = cfg.budget.validate() {
+            return Err(ScenarioBuildError(format!("resource budget: {e}")));
+        }
+        if let Some(floor) = cfg.protected_floor {
+            if !(floor > 0.0 && floor <= 1.0) {
+                return Err(ScenarioBuildError(format!(
+                    "protected_floor must be in (0, 1], got {floor}"
+                )));
+            }
+            if cfg.fault.storm.is_none() {
+                return Err(ScenarioBuildError(
+                    "protected_floor set but the fault plan has no storm to \
+                     protect against — add one or drop the floor"
+                        .into(),
+                ));
+            }
         }
         if cfg.trace_capture.is_some() && cfg.tracer.is_some() {
             return Err(ScenarioBuildError(
@@ -452,10 +496,21 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
             receiver_group: Some(g),
         });
     }
+    // Dedicated storm hosts: stationary subscription flappers homed with
+    // R3. `receiver_group: None` keeps them out of all delivery metrics.
+    for _ in 0..storm_host_count(cfg) {
+        hosts.push(HostSpec {
+            home_link: PaperHost::R3.home_link_index(),
+            cfg: host_cfg,
+            sender: None,
+            receiver_group: None,
+        });
+    }
 
     let router_cfg = RouterConfig {
         mld: cfg.mld,
         pim: cfg.pim,
+        budget: cfg.budget,
         ..RouterConfig::default()
     };
     let mut ring: Option<RingBufferTracer> = None;
@@ -474,7 +529,8 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
     }
     apply_fault_plan(&mut net, &spec, router_cfg, &cfg.fault, cfg.seed);
 
-    // Script the moves. Extra receivers shadow R3's movements.
+    // Script the moves. Extra receivers shadow R3's movements (storm
+    // hosts, appended after them, stay put).
     for mv in &cfg.moves {
         let host = net.hosts[PaperHost::ALL.iter().position(|h| *h == mv.host).unwrap()];
         let link = net.links[mv.to_link - 1];
@@ -483,13 +539,21 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
             w.move_iface(host, 0, link);
         });
         if mv.host == PaperHost::R3 {
-            for extra in net.hosts.iter().skip(PaperHost::ALL.len()).copied() {
+            for extra in net
+                .hosts
+                .iter()
+                .skip(PaperHost::ALL.len())
+                .take(cfg.extra_receivers)
+                .copied()
+            {
                 net.world.at(at, move |w| {
                     w.move_iface(extra, 0, link);
                 });
             }
         }
     }
+
+    schedule_storm(&mut net, cfg, g);
 
     let oracle = cfg.oracle.then(|| {
         Oracle::attach(
@@ -527,6 +591,131 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
         );
     }
     (result, rec)
+}
+
+/// Dedicated storm hosts a configuration adds (deterministic in the
+/// config alone, so result accounting can exclude them symmetrically).
+fn storm_host_count(cfg: &ScenarioConfig) -> usize {
+    let storm = &cfg.fault.storm;
+    if storm.is_none() || storm.flap_rate == 0.0 {
+        0
+    } else {
+        storm.flap_hosts as usize
+    }
+}
+
+/// Base of the throwaway group range zapping churns through (distinct
+/// from the data group, `GroupAddr::test_group(1)`).
+const ZAP_GROUP_BASE: u16 = 100;
+
+/// Schedule the signaling storm described by `cfg.fault.storm`: zapping
+/// churn (receivers joining/leaving throwaway groups), Binding Update
+/// floods, and subscription flapping by the dedicated storm hosts. All
+/// event times come from seeded, labelled RNG streams drawn *now* (before
+/// the run starts), so a given seed reproduces the storm exactly and a
+/// disabled storm draws nothing at all.
+fn schedule_storm(net: &mut BuiltNetwork, cfg: &ScenarioConfig, data_group: GroupAddr) {
+    let storm = cfg.fault.storm;
+    if storm.is_none() {
+        return;
+    }
+    let rng = RngFactory::new(cfg.seed).subfactory("storm");
+    let end = storm.end_secs.min(cfg.duration.as_secs_f64());
+    let at_time = |secs: f64| SimTime::from_nanos((secs * 1e9) as u64);
+    let storm_n = storm_host_count(cfg);
+    // Zap and BU targets: every mobile (non-sender) receiver, extras
+    // included, but never the storm hosts themselves.
+    let receivers: Vec<_> = net.hosts[1..net.hosts.len() - storm_n].to_vec();
+
+    if storm.zap_rate > 0.0 && !receivers.is_empty() {
+        let mut zap = rng.stream("zap");
+        let mut t = storm.start_secs;
+        loop {
+            t += sample_exponential(&mut zap, 1.0 / storm.zap_rate);
+            if t >= end {
+                break;
+            }
+            let host = receivers[zap.random_range(0..receivers.len())];
+            let group = GroupAddr::test_group(
+                ZAP_GROUP_BASE + zap.random_range(0..storm.zap_groups) as u16,
+            );
+            let hold = 1.0 + sample_exponential(&mut zap, 3.0);
+            net.world.at(at_time(t), move |w| {
+                w.with_node(host, |b, ctx| {
+                    if let Some(h) = b.as_any_mut().downcast_mut::<HostNode>() {
+                        h.app_subscribe(ctx, group);
+                    }
+                });
+            });
+            net.world.at(at_time((t + hold).min(end)), move |w| {
+                w.with_node(host, |b, ctx| {
+                    if let Some(h) = b.as_any_mut().downcast_mut::<HostNode>() {
+                        h.app_unsubscribe(ctx, group);
+                    }
+                });
+            });
+        }
+    }
+
+    if storm.bu_rate > 0.0 && !receivers.is_empty() {
+        let mut bu = rng.stream("bu");
+        let mut t = storm.start_secs;
+        loop {
+            t += sample_exponential(&mut bu, 1.0 / storm.bu_rate);
+            if t >= end {
+                break;
+            }
+            let host = receivers[bu.random_range(0..receivers.len())];
+            net.world.at(at_time(t), move |w| {
+                w.with_node(host, |b, ctx| {
+                    if let Some(h) = b.as_any_mut().downcast_mut::<HostNode>() {
+                        h.app_rebind(ctx);
+                    }
+                });
+            });
+        }
+    }
+
+    if storm.flap_rate > 0.0 && storm_n > 0 {
+        let mut flap = rng.stream("flap");
+        let flappers: Vec<_> = net.hosts[net.hosts.len() - storm_n..].to_vec();
+        let mut joined = vec![false; flappers.len()];
+        let mut t = storm.start_secs;
+        loop {
+            t += sample_exponential(&mut flap, 1.0 / storm.flap_rate);
+            if t >= end {
+                break;
+            }
+            let idx = flap.random_range(0..flappers.len());
+            let host = flappers[idx];
+            let join = !joined[idx];
+            joined[idx] = join;
+            net.world.at(at_time(t), move |w| {
+                w.with_node(host, |b, ctx| {
+                    if let Some(h) = b.as_any_mut().downcast_mut::<HostNode>() {
+                        if join {
+                            h.app_subscribe(ctx, data_group);
+                        } else {
+                            h.app_unsubscribe(ctx, data_group);
+                        }
+                    }
+                });
+            });
+        }
+        // Leave no storm subscription behind: the reconvergence window
+        // after `end` must measure recovery, not residual churn.
+        for (idx, host) in flappers.iter().copied().enumerate() {
+            if joined[idx] {
+                net.world.at(at_time(end), move |w| {
+                    w.with_node(host, |b, ctx| {
+                        if let Some(h) = b.as_any_mut().downcast_mut::<HostNode>() {
+                            h.app_unsubscribe(ctx, data_group);
+                        }
+                    });
+                });
+            }
+        }
+    }
 }
 
 /// Reconvergence margin demanded after the last scheduled disturbance
@@ -593,11 +782,14 @@ fn finish_with(
 
     // The oracle's post-run pass: loop-freedom, persistent duplicates,
     // and the leave-delay bound, judged against the recorded ground truth.
+    let storm_n = storm_host_count(cfg);
+    let tracked_hosts = hosts.len() - storm_n;
     let oracle_summary = match oracle {
         Some(o) => {
             let receivers: Vec<_> = hosts
                 .iter()
                 .enumerate()
+                .take(tracked_hosts) // storm hosts are not receivers
                 .skip(1) // index 0 is the sender S
                 .map(|(i, id)| {
                     let home = if i < PaperHost::ALL.len() {
@@ -619,6 +811,16 @@ fn finish_with(
                     reconverge_bound: SimDuration::from_nanos(
                         (cfg.reconverge_slo_secs * 1e9) as u64,
                     ),
+                    protected_floor: cfg.protected_floor,
+                    protect_window: cfg.protected_floor.map(|_| {
+                        // Builder validation ties the floor to a storm.
+                        let storm = &cfg.fault.storm;
+                        let until = storm.end_secs.min(cfg.duration.as_secs_f64());
+                        (
+                            SimTime::from_nanos((storm.start_secs * 1e9) as u64),
+                            SimTime::from_nanos((until * 1e9) as u64),
+                        )
+                    }),
                 },
             )
         }
@@ -633,7 +835,12 @@ fn finish_with(
     let names = ["S", "R1", "R2", "R3"];
     let mut received = BTreeMap::new();
     let mut duplicates = BTreeMap::new();
-    for (i, id) in hosts.iter().enumerate().skip(names.len()) {
+    for (i, id) in hosts
+        .iter()
+        .enumerate()
+        .take(tracked_hosts)
+        .skip(names.len())
+    {
         if let Some(h) = world.behavior::<HostNode>(*id) {
             counters.add("extra_receivers.received", h.received_count());
             let _ = i;
@@ -675,8 +882,10 @@ fn finish_with(
     for (i, id) in hosts.iter().enumerate() {
         let label = if i < names.len() {
             format!("host.{}", names[i])
-        } else {
+        } else if i < tracked_hosts {
             format!("host.extra{}", i - names.len())
+        } else {
+            format!("host.storm{}", i - tracked_hosts)
         };
         let mut c = world.node_counters(*id).clone();
         if let Some(h) = world.behavior::<HostNode>(*id) {
@@ -743,7 +952,7 @@ fn finish_with(
                 .filter(|p| p.sent_at >= cutoff && p.sent_at < horizon)
                 .map(|p| p.pkt)
                 .collect();
-            let n_receivers = (hosts.len() - 1) as u64;
+            let n_receivers = (tracked_hosts - 1) as u64;
             let expected = steady.len() as u64 * n_receivers;
             let observed = rec
                 .deliveries

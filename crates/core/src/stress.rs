@@ -191,6 +191,8 @@ pub fn run_stress(spec: &StressSpec) -> StressReport {
             end,
             disturbance_end: Some(SimTime::from_secs(last_move_secs)),
             reconverge_bound: SimDuration::from_secs(60),
+            protected_floor: None,
+            protect_window: None,
         },
     );
 

@@ -57,6 +57,26 @@ impl BindingCache {
         self.entries.get(&home)
     }
 
+    pub fn contains(&self, home: Ipv6Addr) -> bool {
+        self.entries.contains_key(&home)
+    }
+
+    /// Remove the binding closest to expiry (ties break on home-address
+    /// order) to make room for a new one. Returns the victim and the
+    /// proxy-group delta, or `None` when the cache is empty.
+    pub fn evict_stalest(&mut self) -> Option<(Ipv6Addr, CacheDelta)> {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(h, e)| (e.expires, **h))
+            .map(|(h, _)| *h)?;
+        let mut delta = CacheDelta::default();
+        if let Some(e) = self.entries.remove(&victim) {
+            self.unref_groups(&e.groups, &mut delta);
+        }
+        Some((victim, delta))
+    }
+
     /// All `(home, entry)` pairs, in home-address order (oracle freshness
     /// checks walk the whole cache).
     pub fn entries(&self) -> impl Iterator<Item = (&Ipv6Addr, &BindingEntry)> {

@@ -12,7 +12,7 @@
 use crate::binding::{BindingCache, CacheDelta};
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_ipv6::exthdr::{BindingAck, BindingUpdate};
-use mobicast_sim::{SimDuration, SimTime};
+use mobicast_sim::{ShedPolicy, SimDuration, SimTime};
 use std::net::Ipv6Addr;
 
 /// Outputs of the home-agent machine.
@@ -30,6 +30,23 @@ pub enum HaOutput {
     ProxyLeave(GroupAddr),
 }
 
+/// Admission-control transitions, buffered for the owner to drain with
+/// [`HomeAgent::take_notes`] and convert into counters and trace events.
+/// Notes carry no behavioural weight: dropping them changes nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaNote {
+    /// A first-time registration was refused because the binding cache is
+    /// at capacity under [`ShedPolicy::RejectNew`].
+    BindingShed { home: Ipv6Addr },
+    /// The stalest binding was evicted to admit a new registration under
+    /// [`ShedPolicy::EvictStalest`].
+    BindingEvicted { home: Ipv6Addr },
+    /// A Binding Update older than the cached binding (modulo-2^16
+    /// sequence comparison, draft-10 §4.4) was discarded — a replayed or
+    /// reordered update must not reinstall a stale care-of address.
+    BindingStaleSeq { home: Ipv6Addr },
+}
+
 /// Home-agent state for one router.
 #[derive(Debug, Default)]
 pub struct HomeAgent {
@@ -37,11 +54,27 @@ pub struct HomeAgent {
     /// Processing-load metrics (the paper's "system load" criterion).
     pub binding_updates_processed: u64,
     pub packets_tunneled: u64,
+    /// Binding-cache capacity; `None` = unbounded (the default).
+    budget: Option<u32>,
+    shed_policy: ShedPolicy,
+    notes: Vec<HaNote>,
 }
 
 impl HomeAgent {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bound the binding cache at `capacity` entries, shedding per
+    /// `policy`. `None` restores the unbounded default.
+    pub fn set_budget(&mut self, capacity: Option<u32>, policy: ShedPolicy) {
+        self.budget = capacity;
+        self.shed_policy = policy;
+    }
+
+    /// Drain buffered admission-control notes (see [`HaNote`]).
+    pub fn take_notes(&mut self) -> Vec<HaNote> {
+        std::mem::take(&mut self.notes)
     }
 
     pub fn cache(&self) -> &BindingCache {
@@ -73,15 +106,51 @@ impl HomeAgent {
         now: SimTime,
     ) -> Vec<HaOutput> {
         self.binding_updates_processed += 1;
+        // Sequence freshness (draft-10 §4.4): an update strictly older than
+        // the cached one — in the modulo-2^16 half-window sense — is a
+        // replay or reordering artifact and must not clobber newer state.
+        // Equal sequence numbers pass: retransmissions of the current BU
+        // are idempotent and still deserve an acknowledgement.
+        if let Some(e) = self.cache.lookup(home) {
+            if bu.sequence != e.sequence && bu.sequence.wrapping_sub(e.sequence) & 0x8000 != 0 {
+                self.notes.push(HaNote::BindingStaleSeq { home });
+                return Vec::new();
+            }
+        }
         let groups = bu
             .multicast_groups()
             .map(<[GroupAddr]>::to_vec)
             .unwrap_or_default();
         let lifetime = SimDuration::from_secs(u64::from(bu.lifetime_secs));
+        let mut out = Vec::new();
+        // Admission control: only first-time registrations can grow the
+        // cache; refreshes and deregistrations always pass.
+        if !lifetime.is_zero() && !self.cache.contains(home) {
+            if let Some(cap) = self.budget {
+                if self.cache.len() >= cap as usize {
+                    match self.shed_policy {
+                        // Also taken when eviction cannot make room
+                        // (capacity zero).
+                        ShedPolicy::EvictStalest if !self.cache.is_empty() => {
+                            if let Some((victim, delta)) = self.cache.evict_stalest() {
+                                self.notes.push(HaNote::BindingEvicted { home: victim });
+                                out.extend(Self::delta_outputs(delta));
+                            }
+                        }
+                        _ => {
+                            // Silent drop: the mobile host's BU retransmit
+                            // machinery retries once load subsides.
+                            self.notes.push(HaNote::BindingShed { home });
+                            return out;
+                        }
+                    }
+                }
+            }
+        }
         let delta = self
             .cache
             .update(home, care_of, lifetime, bu.sequence, groups, now);
-        let mut out = Self::delta_outputs(delta);
+        out.extend(Self::delta_outputs(delta));
         if bu.ack_requested() {
             out.push(HaOutput::SendBindingAck {
                 care_of,
@@ -213,6 +282,52 @@ mod tests {
         let out = ha.on_deadline(t(256));
         assert_eq!(out, vec![HaOutput::ProxyLeave(g(1))]);
         assert_eq!(ha.intercept(a("::aa")), None);
+    }
+
+    #[test]
+    fn budget_reject_new_sheds_registration_but_allows_refresh() {
+        let mut ha = HomeAgent::new();
+        ha.set_budget(Some(1), ShedPolicy::RejectNew);
+        let out = ha.on_binding_update(a("::a1"), a("::c1"), &bu(1, 256, vec![g(1)]), t(0));
+        assert!(out.contains(&HaOutput::ProxyJoin(g(1))));
+        // Second host: shed silently — no ack, no proxy change.
+        let out = ha.on_binding_update(a("::a2"), a("::c2"), &bu(1, 256, vec![g(2)]), t(1));
+        assert!(out.is_empty());
+        assert_eq!(ha.binding_count(), 1);
+        assert_eq!(
+            ha.take_notes(),
+            vec![HaNote::BindingShed { home: a("::a2") }]
+        );
+        // Refreshing the admitted binding still works.
+        let out = ha.on_binding_update(a("::a1"), a("::c9"), &bu(2, 256, vec![g(1)]), t(2));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, HaOutput::SendBindingAck { .. })));
+        assert_eq!(ha.intercept(a("::a1")), Some(a("::c9")));
+        assert!(ha.take_notes().is_empty());
+        // Deregistration always passes and frees the slot.
+        ha.on_binding_update(a("::a1"), a("::c9"), &bu(3, 0, vec![]), t(3));
+        let out = ha.on_binding_update(a("::a2"), a("::c2"), &bu(2, 256, vec![g(2)]), t(4));
+        assert!(out.contains(&HaOutput::ProxyJoin(g(2))));
+    }
+
+    #[test]
+    fn budget_evict_stalest_releases_victim_groups() {
+        let mut ha = HomeAgent::new();
+        ha.set_budget(Some(2), ShedPolicy::EvictStalest);
+        ha.on_binding_update(a("::a1"), a("::c1"), &bu(1, 100, vec![g(1)]), t(0));
+        ha.on_binding_update(a("::a2"), a("::c2"), &bu(1, 256, vec![g(2)]), t(0));
+        // ::a1 expires first -> evicted; its proxy membership is released.
+        let out = ha.on_binding_update(a("::a3"), a("::c3"), &bu(1, 256, vec![g(3)]), t(5));
+        assert!(out.contains(&HaOutput::ProxyLeave(g(1))));
+        assert!(out.contains(&HaOutput::ProxyJoin(g(3))));
+        assert_eq!(ha.binding_count(), 2);
+        assert_eq!(
+            ha.take_notes(),
+            vec![HaNote::BindingEvicted { home: a("::a1") }]
+        );
+        assert_eq!(ha.intercept(a("::a1")), None);
+        assert_eq!(ha.intercept(a("::a3")), Some(a("::c3")));
     }
 
     #[test]

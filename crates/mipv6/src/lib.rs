@@ -16,5 +16,5 @@ pub mod mobile;
 pub mod packets;
 
 pub use binding::{BindingCache, BindingEntry, CacheDelta};
-pub use home_agent::{HaOutput, HomeAgent};
+pub use home_agent::{HaNote, HaOutput, HomeAgent};
 pub use mobile::{Location, MnOutput, MobileNode, DEFAULT_BINDING_LIFETIME};

@@ -76,6 +76,9 @@ pub struct MobileNode {
     /// enabled by the receive-via-home-tunnel strategies.
     include_group_list: bool,
     binding_updates_sent: u64,
+    /// Times a fresh Binding Update replaced a still-unacknowledged one
+    /// (rapid-roaming signalling churn metric).
+    bu_replaced: u64,
 }
 
 impl MobileNode {
@@ -103,6 +106,7 @@ impl MobileNode {
             groups: Vec::new(),
             include_group_list,
             binding_updates_sent: 0,
+            bu_replaced: 0,
         }
     }
 
@@ -177,6 +181,18 @@ impl MobileNode {
         self.binding_updates_sent
     }
 
+    /// Pending (unacknowledged) Binding Updates: 0 or 1 in this
+    /// single-slot implementation. Feeds the retransmit-queue
+    /// high-water metric.
+    pub fn pending_bu_depth(&self) -> usize {
+        usize::from(self.pending_bu.is_some())
+    }
+
+    /// Times a fresh Binding Update replaced a still-unacknowledged one.
+    pub fn bu_replaced(&self) -> u64 {
+        self.bu_replaced
+    }
+
     fn build_bu(&mut self, lifetime: SimDuration, now: SimTime) -> Vec<MnOutput> {
         self.sequence = self.sequence.wrapping_add(1);
         self.binding_updates_sent += 1;
@@ -197,7 +213,11 @@ impl MobileNode {
             // Refresh at 80 % of the lifetime so the binding never lapses.
             Some(now + lifetime.mul_f64(0.8))
         };
-        // Every BU requests an ack; retransmit until one arrives.
+        // Every BU requests an ack; retransmit until one arrives. A BU
+        // still awaiting its ack is superseded, not queued.
+        if self.pending_bu.is_some() {
+            self.bu_replaced += 1;
+        }
         self.pending_bu = Some(bu.clone());
         self.retransmit_timeout = INITIAL_BINDACK_TIMEOUT;
         self.retransmit_at = Some(now + INITIAL_BINDACK_TIMEOUT);
@@ -258,6 +278,17 @@ impl MobileNode {
 
     pub fn groups(&self) -> &[GroupAddr] {
         &self.groups
+    }
+
+    /// Send an unscheduled Binding Update refreshing the current binding
+    /// (used by storm scripts to model BU floods: a buggy or hostile mobile
+    /// re-registering far faster than the refresh timer requires). At home
+    /// there is no binding to refresh, so nothing happens.
+    pub fn force_refresh(&mut self, now: SimTime) -> Vec<MnOutput> {
+        if self.at_home() {
+            return Vec::new();
+        }
+        self.build_bu(self.lifetime, now)
     }
 
     /// Next instant the machine needs a timer callback: the earlier of the

@@ -16,7 +16,7 @@
 use crate::config::MldConfig;
 use crate::message::MldMessage;
 use mobicast_ipv6::addr::GroupAddr;
-use mobicast_sim::SimTime;
+use mobicast_sim::{ShedPolicy, SimTime};
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 
@@ -42,6 +42,12 @@ pub enum MldNote {
     QuerierElected,
     /// We yielded the querier role to a lower-addressed router.
     QuerierResigned { other: Ipv6Addr },
+    /// A Report for a new group was refused because the listener table is
+    /// at capacity under [`ShedPolicy::RejectNew`].
+    ListenerShed { group: GroupAddr },
+    /// The stalest membership was evicted to admit a new group under
+    /// [`ShedPolicy::EvictStalest`].
+    ListenerEvicted { group: GroupAddr },
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -71,6 +77,9 @@ pub struct MldRouterPort {
     startup_left: u32,
     groups: BTreeMap<GroupAddr, RouterGroupState>,
     notes: Vec<MldNote>,
+    /// Listener-table capacity; `None` = unbounded (the default).
+    budget: Option<u32>,
+    shed_policy: ShedPolicy,
 }
 
 impl MldRouterPort {
@@ -85,7 +94,16 @@ impl MldRouterPort {
             startup_left: cfg.startup_query_count,
             groups: BTreeMap::new(),
             notes: Vec::new(),
+            budget: None,
+            shed_policy: ShedPolicy::default(),
         }
+    }
+
+    /// Bound the listener table at `capacity` entries, shedding per
+    /// `policy`. `None` restores the unbounded default.
+    pub fn set_budget(&mut self, capacity: Option<u32>, policy: ShedPolicy) {
+        self.budget = capacity;
+        self.shed_policy = policy;
     }
 
     /// Drain buffered transition notes (see [`MldNote`]).
@@ -151,6 +169,30 @@ impl MldRouterPort {
                         Vec::new()
                     }
                     None => {
+                        let mut out = Vec::new();
+                        if let Some(cap) = self.budget {
+                            if self.groups.len() >= cap as usize {
+                                match self.shed_policy {
+                                    // Also taken when eviction cannot make
+                                    // room (capacity zero).
+                                    ShedPolicy::EvictStalest
+                                        if let Some(victim) = self
+                                            .groups
+                                            .iter()
+                                            .min_by_key(|(g, st)| (st.expires, **g))
+                                            .map(|(g, _)| *g) =>
+                                    {
+                                        self.groups.remove(&victim);
+                                        self.notes.push(MldNote::ListenerEvicted { group: victim });
+                                        out.push(RouterOutput::ListenerRemoved(victim));
+                                    }
+                                    _ => {
+                                        self.notes.push(MldNote::ListenerShed { group: *group });
+                                        return out;
+                                    }
+                                }
+                            }
+                        }
                         self.groups.insert(
                             *group,
                             RouterGroupState {
@@ -158,7 +200,8 @@ impl MldRouterPort {
                                 rexmt: None,
                             },
                         );
-                        vec![RouterOutput::ListenerAdded(*group)]
+                        out.push(RouterOutput::ListenerAdded(*group));
+                        out
                     }
                 }
             }
@@ -539,5 +582,79 @@ mod tests {
             Some(t(0) + cfg.multicast_listener_interval()),
             "MLI = 2*20+10 = 50 s with the tuned profile"
         );
+    }
+
+    #[test]
+    fn reject_new_sheds_over_budget_reports() {
+        let mut r = querier();
+        r.set_budget(Some(2), ShedPolicy::RejectNew);
+        let h = a("fe80::99");
+        assert_eq!(
+            r.on_message(h, &MldMessage::Report { group: g(1) }, t(0)),
+            vec![RouterOutput::ListenerAdded(g(1))]
+        );
+        assert_eq!(
+            r.on_message(h, &MldMessage::Report { group: g(2) }, t(1)),
+            vec![RouterOutput::ListenerAdded(g(2))]
+        );
+        // Third distinct group: refused, established state untouched.
+        assert!(r
+            .on_message(h, &MldMessage::Report { group: g(3) }, t(2))
+            .is_empty());
+        assert!(r.has_listener(g(1)) && r.has_listener(g(2)) && !r.has_listener(g(3)));
+        assert_eq!(r.take_notes(), vec![MldNote::ListenerShed { group: g(3) }]);
+        // A refresh of an admitted group is never shed.
+        assert!(r
+            .on_message(h, &MldMessage::Report { group: g(1) }, t(3))
+            .is_empty());
+        assert!(r.take_notes().is_empty());
+    }
+
+    #[test]
+    fn evict_stalest_makes_room_deterministically() {
+        let mut r = querier();
+        r.set_budget(Some(2), ShedPolicy::EvictStalest);
+        let h = a("fe80::99");
+        r.on_message(h, &MldMessage::Report { group: g(1) }, t(0));
+        r.on_message(h, &MldMessage::Report { group: g(2) }, t(5));
+        r.take_notes();
+        // g(1) expires first -> it is the stalest victim.
+        let out = r.on_message(h, &MldMessage::Report { group: g(3) }, t(10));
+        assert_eq!(
+            out,
+            vec![
+                RouterOutput::ListenerRemoved(g(1)),
+                RouterOutput::ListenerAdded(g(3)),
+            ]
+        );
+        assert_eq!(
+            r.take_notes(),
+            vec![MldNote::ListenerEvicted { group: g(1) }]
+        );
+        assert_eq!(r.membership_count(), 2);
+    }
+
+    #[test]
+    fn evict_stalest_ties_break_on_group_order() {
+        let mut r = querier();
+        r.set_budget(Some(2), ShedPolicy::EvictStalest);
+        let h = a("fe80::99");
+        // Same expiry instant: the lower group address loses.
+        r.on_message(h, &MldMessage::Report { group: g(7) }, t(0));
+        r.on_message(h, &MldMessage::Report { group: g(4) }, t(0));
+        r.take_notes();
+        let out = r.on_message(h, &MldMessage::Report { group: g(9) }, t(1));
+        assert_eq!(out[0], RouterOutput::ListenerRemoved(g(4)));
+    }
+
+    #[test]
+    fn zero_capacity_evict_budget_degrades_to_reject() {
+        let mut r = querier();
+        r.set_budget(Some(0), ShedPolicy::EvictStalest);
+        assert!(r
+            .on_message(a("fe80::99"), &MldMessage::Report { group: g(1) }, t(0))
+            .is_empty());
+        assert_eq!(r.membership_count(), 0);
+        assert_eq!(r.take_notes(), vec![MldNote::ListenerShed { group: g(1) }]);
     }
 }

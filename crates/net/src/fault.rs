@@ -430,6 +430,86 @@ pub struct FaultWindow {
     pub end_secs: f64,
 }
 
+/// A well-formed signaling storm: every message is syntactically valid,
+/// there are just far too many of them. Rates are mean events per second
+/// sustained across the storm window `[start_secs, end_secs)`; the
+/// concrete arrival times come from dedicated seeded RNG streams drawn by
+/// the scenario layer, and a disabled storm makes **zero** RNG draws.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StormModel {
+    /// Channel-zapping churn: mean joins-then-leaves per second, spread
+    /// across `zap_groups` distinct extra groups (IPTV zapping workload).
+    pub zap_rate: f64,
+    /// How many distinct extra groups the zapping churn cycles through.
+    pub zap_groups: u32,
+    /// Binding Update storm: mean re-registrations per second from
+    /// rapidly roaming mobile hosts.
+    pub bu_rate: f64,
+    /// Graft/prune flapping: mean subscribe/unsubscribe toggles per
+    /// second across `flap_hosts` dedicated storm hosts.
+    pub flap_rate: f64,
+    /// How many dedicated storm hosts participate in graft/prune flaps.
+    pub flap_hosts: u32,
+    /// Storm window start, seconds.
+    pub start_secs: f64,
+    /// Storm window end, seconds. Must exceed `start_secs` when any rate
+    /// is positive.
+    pub end_secs: f64,
+}
+
+impl Default for StormModel {
+    fn default() -> Self {
+        StormModel::none()
+    }
+}
+
+impl StormModel {
+    /// No storm (and no RNG draws).
+    pub const fn none() -> Self {
+        StormModel {
+            zap_rate: 0.0,
+            zap_groups: 0,
+            bu_rate: 0.0,
+            flap_rate: 0.0,
+            flap_hosts: 0,
+            start_secs: 0.0,
+            end_secs: 0.0,
+        }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.zap_rate == 0.0 && self.bu_rate == 0.0 && self.flap_rate == 0.0
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, r) in [
+            ("zap_rate", self.zap_rate),
+            ("bu_rate", self.bu_rate),
+            ("flap_rate", self.flap_rate),
+        ] {
+            if !(r >= 0.0 && r.is_finite()) {
+                return Err(format!("storm {name} = {r} invalid"));
+            }
+        }
+        if self.is_none() {
+            return Ok(());
+        }
+        if !(self.start_secs >= 0.0 && self.end_secs > self.start_secs) {
+            return Err(format!(
+                "bad storm window [{}, {}]",
+                self.start_secs, self.end_secs
+            ));
+        }
+        if self.zap_rate > 0.0 && self.zap_groups == 0 {
+            return Err("zapping storm needs zap_groups >= 1".into());
+        }
+        if self.flap_rate > 0.0 && self.flap_hosts == 0 {
+            return Err("flap storm needs flap_hosts >= 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// A complete, world-agnostic fault schedule for one scenario run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -440,11 +520,16 @@ pub struct FaultPlan {
     pub window: Option<FaultWindow>,
     pub flaps: Vec<LinkFlap>,
     pub crashes: Vec<RouterCrash>,
+    /// Well-formed signaling storm injected during its own window.
+    pub storm: StormModel,
 }
 
 impl FaultPlan {
     pub fn is_none(&self) -> bool {
-        self.link.is_none() && self.flaps.is_empty() && self.crashes.is_empty()
+        self.link.is_none()
+            && self.flaps.is_empty()
+            && self.crashes.is_empty()
+            && self.storm.is_none()
     }
 
     /// Every link loses `p` of its frames, independently, all run long.
@@ -493,6 +578,7 @@ impl FaultPlan {
                 ));
             }
         }
+        self.storm.validate()?;
         Ok(())
     }
 
@@ -512,6 +598,9 @@ impl FaultPlan {
         }
         for c in &self.crashes {
             bound = bound.max(c.restart_at_secs);
+        }
+        if !self.storm.is_none() {
+            bound = bound.max(self.storm.end_secs);
         }
         Some(bound)
     }
@@ -663,6 +752,57 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(bad_flap.validate().is_err());
+    }
+
+    #[test]
+    fn storm_model_validation_and_recovery_bound() {
+        assert!(StormModel::none().is_none());
+        assert!(StormModel::none().validate().is_ok());
+        let storm = StormModel {
+            zap_rate: 5.0,
+            zap_groups: 8,
+            bu_rate: 2.0,
+            flap_rate: 1.0,
+            flap_hosts: 2,
+            start_secs: 10.0,
+            end_secs: 70.0,
+        };
+        assert!(!storm.is_none());
+        assert!(storm.validate().is_ok());
+        // Positive rate demands a real window and nonzero target counts.
+        assert!(StormModel {
+            end_secs: 10.0,
+            ..storm
+        }
+        .validate()
+        .is_err());
+        assert!(StormModel {
+            zap_groups: 0,
+            ..storm
+        }
+        .validate()
+        .is_err());
+        assert!(StormModel {
+            flap_hosts: 0,
+            ..storm
+        }
+        .validate()
+        .is_err());
+        assert!(StormModel {
+            bu_rate: f64::NAN,
+            ..storm
+        }
+        .validate()
+        .is_err());
+        // A storm alone makes the plan non-none and bounds recovery at
+        // its window end.
+        let plan = FaultPlan {
+            storm,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_none());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.recovery_bound_secs(), Some(70.0));
     }
 
     #[test]

@@ -93,6 +93,13 @@ pub struct Frame {
     /// emitter so receivers can attribute a frame to the exact emission
     /// event that produced it. 0 = untagged.
     pub tag: u64,
+    /// Simulation-side marker: the corruption process mutated this copy's
+    /// bytes in flight. Receivers of integrity-protected signalling
+    /// (Binding Updates/Acks carry a mandatory authenticator per
+    /// draft-ietf-mobileip-ipv6-10 §4.4) consult it to model the
+    /// verification failure an authenticator would produce; checksummed
+    /// payloads (ICMPv6) catch the damage from the bytes themselves.
+    pub damaged: bool,
 }
 
 impl Frame {
@@ -103,6 +110,7 @@ impl Frame {
             class,
             l2: L2Dest::Broadcast,
             tag: 0,
+            damaged: false,
         }
     }
 
@@ -113,6 +121,7 @@ impl Frame {
             class,
             l2: L2Dest::Node(to),
             tag: 0,
+            damaged: false,
         }
     }
 

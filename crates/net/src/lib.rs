@@ -22,7 +22,7 @@ pub mod world;
 
 pub use fault::{
     CorruptionKind, CorruptionModel, FaultPlan, FaultWindow, LinkFault, LinkFaultState, LinkFlap,
-    LossModel, RouterCrash, CORRUPTION_KIND_COUNT,
+    LossModel, RouterCrash, StormModel, CORRUPTION_KIND_COUNT,
 };
 pub use frame::{Frame, FrameClass, L2Dest, FRAME_CLASS_COUNT};
 pub use graph::{LinkGraph, Route};

@@ -676,6 +676,7 @@ impl Ctx<'_> {
             let mut copy = frame.clone();
             if let Some(bytes) = deliver_bytes {
                 copy.bytes = bytes;
+                copy.damaged = true;
             }
             if let Some(dup_at) = duplicate_at {
                 self.world.queue.schedule(

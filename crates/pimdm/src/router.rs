@@ -22,7 +22,7 @@
 use crate::config::PimConfig;
 use crate::message::{PimMessage, Sg};
 use mobicast_ipv6::addr::GroupAddr;
-use mobicast_sim::{SimDuration, SimTime};
+use mobicast_sim::{ShedPolicy, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -116,6 +116,12 @@ pub enum PimNote {
     OifResumed { sg: Sg, iface: IfIndex },
     /// The (S,G) entry hit its data timeout and was deleted.
     EntryExpired { sg: Sg },
+    /// A new (S,G) was refused because the entry table is at capacity
+    /// under [`ShedPolicy::RejectNew`].
+    SgShed { sg: Sg },
+    /// The stalest (S,G) entry was evicted to admit a new one under
+    /// [`ShedPolicy::EvictStalest`].
+    SgEvicted { sg: Sg },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -195,6 +201,9 @@ pub struct PimRouter {
     entries: BTreeMap<Sg, SgEntry>,
     next_hello: Option<SimTime>,
     notes: Vec<PimNote>,
+    /// (S,G) table capacity; `None` = unbounded (the default).
+    budget: Option<u32>,
+    shed_policy: ShedPolicy,
 }
 
 impl PimRouter {
@@ -207,7 +216,16 @@ impl PimRouter {
             entries: BTreeMap::new(),
             next_hello: None,
             notes: Vec::new(),
+            budget: None,
+            shed_policy: ShedPolicy::default(),
         }
+    }
+
+    /// Bound the (S,G) table at `capacity` entries, shedding per `policy`.
+    /// `None` restores the unbounded default.
+    pub fn set_budget(&mut self, capacity: Option<u32>, policy: ShedPolicy) {
+        self.budget = capacity;
+        self.shed_policy = policy;
     }
 
     /// Drain the state-transition notes accumulated since the last call.
@@ -328,6 +346,28 @@ impl PimRouter {
     ) -> Option<&mut SgEntry> {
         if !self.entries.contains_key(&(s, g)) {
             let info = rpf.rpf(s)?;
+            if let Some(cap) = self.budget {
+                if self.entries.len() >= cap as usize {
+                    match self.shed_policy {
+                        // Also taken when eviction cannot make room
+                        // (capacity zero).
+                        ShedPolicy::EvictStalest
+                            if let Some(victim) = self
+                                .entries
+                                .iter()
+                                .min_by_key(|(sg, e)| (e.expires, **sg))
+                                .map(|(sg, _)| *sg) =>
+                        {
+                            self.entries.remove(&victim);
+                            self.notes.push(PimNote::SgEvicted { sg: victim });
+                        }
+                        _ => {
+                            self.notes.push(PimNote::SgShed { sg: (s, g) });
+                            return None;
+                        }
+                    }
+                }
+            }
             let oifs = self
                 .ifaces
                 .keys()

@@ -3,9 +3,9 @@
 
 use crate::config::PimConfig;
 use crate::message::PimMessage;
-use crate::router::{PimDest, PimRouter, PimSend, RpfInfo};
+use crate::router::{PimDest, PimNote, PimRouter, PimSend, RpfInfo};
 use mobicast_ipv6::addr::GroupAddr;
-use mobicast_sim::{RngFactory, SimDuration, SimTime};
+use mobicast_sim::{RngFactory, ShedPolicy, SimDuration, SimTime};
 use std::net::Ipv6Addr;
 
 fn a(s: &str) -> Ipv6Addr {
@@ -719,4 +719,73 @@ fn prune_does_not_override_local_members() {
     r.on_deadline(t(6), &rpf); // prune window passes
     let (fwd, _) = r.on_data(0, a(REMOTE_SRC), g(1), t(7), &rpf);
     assert_eq!(fwd, vec![1], "local member overrides the prune");
+}
+
+/// Every source is routable via iface 0 (used by the budget tests to
+/// create arbitrarily many (S,G) entries).
+fn rpf_flood(_src: Ipv6Addr) -> Option<RpfInfo> {
+    Some(RpfInfo {
+        iif: 0,
+        upstream: Some(a("fe80::1")),
+        metric_pref: 101,
+        metric: 2,
+    })
+}
+
+fn src(i: u16) -> Ipv6Addr {
+    a(&format!("2001:db8:1::{:x}", 0x100 + i))
+}
+
+#[test]
+fn sg_budget_reject_new_sheds_new_sources() {
+    let mut r = router();
+    r.set_budget(Some(2), ShedPolicy::RejectNew);
+    r.start(t(0));
+    r.on_data(0, src(1), g(1), t(1), &rpf_flood);
+    r.on_data(0, src(2), g(1), t(2), &rpf_flood);
+    r.take_notes();
+    // A third source finds the table full: no entry, no forwarding.
+    let (fwd, _) = r.on_data(0, src(3), g(1), t(3), &rpf_flood);
+    assert!(fwd.is_empty());
+    assert_eq!(r.entry_count(), 2);
+    assert_eq!(r.take_notes(), vec![PimNote::SgShed { sg: (src(3), g(1)) }]);
+    assert!(r.snapshot(src(1), g(1)).is_some());
+    assert!(r.snapshot(src(3), g(1)).is_none());
+}
+
+#[test]
+fn sg_budget_evict_stalest_admits_new_source() {
+    let mut r = router();
+    r.set_budget(Some(2), ShedPolicy::EvictStalest);
+    r.start(t(0));
+    neighbor(&mut r, 1, "fe80::21", t(0));
+    r.on_data(0, src(1), g(1), t(1), &rpf_flood);
+    r.on_data(0, src(2), g(1), t(5), &rpf_flood);
+    r.take_notes();
+    // src(1) expires first -> evicted to admit src(3).
+    let (fwd, _) = r.on_data(0, src(3), g(1), t(9), &rpf_flood);
+    assert!(!fwd.is_empty(), "new source is forwarded after eviction");
+    assert_eq!(r.entry_count(), 2);
+    assert_eq!(
+        r.take_notes(),
+        vec![PimNote::SgEvicted { sg: (src(1), g(1)) }]
+    );
+    assert!(r.snapshot(src(1), g(1)).is_none());
+    assert!(r.snapshot(src(3), g(1)).is_some());
+}
+
+#[test]
+fn sg_budget_eviction_sequence_is_deterministic() {
+    let run = || {
+        let mut r = router();
+        r.set_budget(Some(3), ShedPolicy::EvictStalest);
+        r.start(t(0));
+        let mut notes = Vec::new();
+        for i in 0..20u16 {
+            r.on_data(0, src(i % 7), g(1 + i % 3), t(1 + u64::from(i)), &rpf_flood);
+            notes.extend(r.take_notes());
+        }
+        notes
+    };
+    assert_eq!(run(), run());
 }

@@ -22,6 +22,7 @@
 //! draws, on every platform. This is what makes the experiment tables in the
 //! paper reproduction exactly repeatable.
 
+pub mod budget;
 pub mod metrics;
 pub mod parallel;
 pub mod profile;
@@ -31,6 +32,7 @@ pub mod time;
 pub mod trace;
 pub mod wheel;
 
+pub use budget::{RateLimit, ShedPolicy, TokenBucket};
 pub use metrics::{Counters, Series, SeriesSet, Summary};
 pub use profile::{Profiler, SimProfile};
 pub use queue::{EventId, EventQueue, HeapEventQueue};

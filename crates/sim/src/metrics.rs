@@ -34,6 +34,19 @@ impl Counters {
         self.values.get(name).copied().unwrap_or(0)
     }
 
+    /// Raise gauge `name` to `value` if that exceeds its current reading
+    /// (high-water-mark semantics; never lowers). A zero reading is a
+    /// no-op so untouched gauges stay absent from reports.
+    pub fn record_max(&mut self, name: &str, value: u64) {
+        if value == 0 {
+            return;
+        }
+        let slot = self.values.entry(name.to_owned()).or_insert(0);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
     /// Sum of all counters whose name starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
         self.values

@@ -38,6 +38,8 @@ pub enum TraceCategory {
     Harness,
     /// Injected faults (loss bursts, link flaps, crashes).
     Fault,
+    /// Overload admission control (sheds, evictions, rate-limit drops).
+    Overload,
 }
 
 impl TraceCategory {
@@ -53,11 +55,12 @@ impl TraceCategory {
             TraceCategory::App => "app",
             TraceCategory::Harness => "sim",
             TraceCategory::Fault => "fault",
+            TraceCategory::Overload => "ovl",
         }
     }
 
     /// Every category, in declaration order (used by schema validation).
-    pub const ALL: [TraceCategory; 9] = [
+    pub const ALL: [TraceCategory; 10] = [
         TraceCategory::Link,
         TraceCategory::Forwarding,
         TraceCategory::Mld,
@@ -67,6 +70,7 @@ impl TraceCategory {
         TraceCategory::App,
         TraceCategory::Harness,
         TraceCategory::Fault,
+        TraceCategory::Overload,
     ];
 }
 
