@@ -2,10 +2,12 @@
 //! reference scenarios plus the parallel-sweep throughput measurements.
 //! Emits `results/BENCH_sim.json` (events/sec, queue high-water mark,
 //! per-handler-category latency histograms, overload admission-control
-//! activity, serial-vs-parallel speedups) and a schema-validated JSONL
-//! trace per scenario (`results/trace-<scenario>.jsonl`). Exits non-zero
-//! on any oracle violation, invalid trace line, or serial/parallel
-//! result divergence, so CI can gate on it.
+//! activity, serial-vs-parallel speedups) and, per scenario, a
+//! schema-validated JSONL trace (`results/trace-<scenario>.jsonl`), a
+//! Perfetto/Chrome span timeline (`results/trace-<scenario>.trace.json`)
+//! and an OpenMetrics snapshot (`results/metrics-<scenario>.om.txt`).
+//! Exits non-zero on any oracle violation, invalid trace line, invalid
+//! export, or serial/parallel result divergence, so CI can gate on it.
 //!
 //! `--check <path>` validates an already-written benchmark file against
 //! the expected schema instead of running anything — the CI telemetry
@@ -74,6 +76,27 @@ fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
         .profile
         .ok_or_else(|| format!("{name}: profiling produced no SimProfile"))?;
 
+    // Causal observability artifacts: the run's span timeline + gauge
+    // series as a Perfetto/Chrome trace and an OpenMetrics snapshot,
+    // validator-checked before they land on disk.
+    let obs = &result.report.observability;
+    let perfetto_path = format!("results/trace-{name}.trace.json");
+    let perfetto = mobicast_core::observability::run_perfetto(name, &result.report);
+    mobicast_sim::perfetto::validate_chrome_trace(&perfetto)
+        .map_err(|e| format!("{name}: perfetto export invalid: {e}"))?;
+    std::fs::write(&perfetto_path, &perfetto)
+        .map_err(|e| format!("{name}: writing {perfetto_path}: {e}"))?;
+    let om_path = format!("results/metrics-{name}.om.txt");
+    let om = mobicast_core::observability::run_openmetrics(&result.report);
+    mobicast_sim::openmetrics::validate_openmetrics(&om)
+        .map_err(|e| format!("{name}: openmetrics export invalid: {e}"))?;
+    std::fs::write(&om_path, &om).map_err(|e| format!("{name}: writing {om_path}: {e}"))?;
+    eprintln!(
+        "(wrote {perfetto_path} [{} spans] and {om_path} [{} series])",
+        obs.spans.len(),
+        obs.timeline.len()
+    );
+
     // Admission-control activity: total shed / evicted / rate-limited
     // decisions across all nodes, normalised per simulated second, plus
     // the per-table high-water marks (max over nodes). All-zero on
@@ -115,6 +138,13 @@ fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
         "trace_lines": lines,
         "trace_dropped": result.trace_dropped,
         "trace_file": path,
+        "observability": {
+            "spans": obs.spans.len(),
+            "series": obs.timeline.len(),
+            "digests": obs.digests.len(),
+            "perfetto_file": perfetto_path,
+            "openmetrics_file": om_path,
+        },
         "overload": {
             "events": overload_events,
             "events_per_sim_sec": overload_events as f64 / sim_secs.max(1e-9),
@@ -136,7 +166,7 @@ fn check_bench_file(path: &str) -> Result<(), String> {
     if v["schema"].as_str() != Some("mobicast-bench-sim") {
         return Err(format!("{path}: wrong or missing schema stamp"));
     }
-    if v["version"].as_u64() != Some(3) {
+    if v["version"].as_u64() != Some(4) {
         return Err(format!("{path}: wrong or missing schema version"));
     }
     let scenarios = v["scenarios"]
@@ -146,9 +176,22 @@ fn check_bench_file(path: &str) -> Result<(), String> {
         return Err(format!("{path}: scenarios object empty"));
     }
     for (name, entry) in scenarios {
-        for key in ["events_per_sec", "profile", "trace_lines", "overload"] {
+        for key in [
+            "events_per_sec",
+            "profile",
+            "trace_lines",
+            "observability",
+            "overload",
+        ] {
             if entry.get(key).is_none() {
                 return Err(format!("{path}: scenario {name} missing {key}"));
+            }
+        }
+        for key in ["spans", "series", "perfetto_file", "openmetrics_file"] {
+            if entry["observability"].get(key).is_none() {
+                return Err(format!(
+                    "{path}: scenario {name} observability missing {key}"
+                ));
             }
         }
         for key in [
@@ -339,7 +382,7 @@ fn main() -> ExitCode {
 
     let out = json!({
         "schema": "mobicast-bench-sim",
-        "version": 3,
+        "version": 4,
         "scenarios": serde_json::Value::Object(scenarios),
         "parallel": {
             "chaos_sweep": chaos_sweep,

@@ -105,7 +105,10 @@ fn main() -> ExitCode {
     };
 
     let journey = explain::explain(&rec, pkt);
-    print!("{}", explain::render(&journey, Some(&trace)));
+    print!(
+        "{}",
+        explain::render_with_spans(&journey, Some(&trace), Some(&rec.spans))
+    );
     if journey.meta.is_none() && journey.copies.is_empty() {
         eprintln!("explain: packet {pkt:#x} not found in this run (try --list)");
         return ExitCode::FAILURE;

@@ -14,7 +14,7 @@
 
 use crate::recorder::Recorder;
 use mobicast_net::LinkGraph;
-use mobicast_sim::{Counters, SeriesSet, SimTime};
+use mobicast_sim::{Counters, QuantileDigest, SeriesSet, SimTime, SpanRecord, TimeSeriesSet};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -178,6 +178,48 @@ pub struct RunReport {
     /// deterministic; merges behavior-kept counters with world-attributed
     /// ones (e.g. `framesDroppedByFault`).
     pub node_stats: BTreeMap<String, Counters>,
+    /// Causal spans, gauge timelines and quantile digests for the run.
+    /// Sim-time only — wall-clock measurements stay side-band in
+    /// `SimProfile` — so this block is byte-identical across repeated
+    /// same-seed runs, serial or parallel.
+    pub observability: Observability,
+}
+
+/// The observability block of a [`RunReport`]: the causal span timeline,
+/// the sampled gauge series and per-phase latency digests, all derived
+/// exclusively from sim time and deterministic simulation state.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Observability {
+    /// Every span opened during the run, in id (= open) order. Spans
+    /// still open at teardown are force-closed at the run horizon and
+    /// carry an `unfinished` attribute.
+    pub spans: Vec<SpanRecord>,
+    /// Sampled gauge timelines (table occupancy, event-queue depth,
+    /// per-link inflight frames, token-bucket levels).
+    pub timeline: TimeSeriesSet,
+    /// Mergeable quantile digests of span durations, keyed
+    /// `span.<name>`, plus latency series recorded by receivers.
+    pub digests: BTreeMap<String, QuantileDigest>,
+}
+
+impl Observability {
+    /// Digest for spans named `name` (`span.<name>` key), if any closed.
+    pub fn span_digest(&self, name: &str) -> Option<&QuantileDigest> {
+        self.digests.get(&format!("span.{name}"))
+    }
+
+    /// Spans with the given name, in id order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Children of `parent`, in id order.
+    pub fn children_of(&self, parent: mobicast_sim::SpanId) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(parent))
+            .collect()
+    }
 }
 
 impl RunReport {

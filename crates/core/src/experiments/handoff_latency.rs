@@ -20,6 +20,7 @@
 //! emits *no* Binding Update to the home agent.
 
 use super::ExperimentOutput;
+use crate::observability::{self, PolicyHandoffStats};
 use crate::report::Table;
 use crate::scenario::{self, PaperHost, ScenarioConfig};
 use crate::strategy::Policy;
@@ -47,6 +48,9 @@ struct Row {
     map_bu: u64,
     /// R1's end-to-end delivery fraction over the whole run.
     delivery: f64,
+    /// Causal span view of the same run: interruption percentiles plus
+    /// the per-phase breakdown of both handoff episodes.
+    spans: PolicyHandoffStats,
 }
 
 fn one(policy: Policy) -> Row {
@@ -71,6 +75,7 @@ fn one(policy: Policy) -> Row {
         "{}: expected one rejoin sample per handoff",
         policy.id()
     );
+    let spans = observability::policy_handoff_stats(policy.id(), &r.report.observability, 2);
     Row {
         policy,
         inter: samples[0],
@@ -78,6 +83,7 @@ fn one(policy: Policy) -> Row {
         ha_bu: r.report.node_stats["router.A"].get("haBindingUpdatesRx"),
         map_bu: r.report.node_stats["router.D"].get("mapBindingUpdatesRx"),
         delivery: r.received["R1"] as f64 / r.sent.max(1) as f64,
+        spans,
     }
 }
 
@@ -91,6 +97,7 @@ pub fn run() -> ExperimentOutput {
         "HA BUs (router A)",
         "MAP BUs (router D)",
         "R1 delivery",
+        "interruption p95",
     ]);
     for r in &rows {
         table.row(vec![
@@ -100,6 +107,7 @@ pub fn run() -> ExperimentOutput {
             format!("{}", r.ha_bu),
             format!("{}", r.map_bu),
             format!("{:.1}%", r.delivery * 100.0),
+            format!("{:.3} ms", r.spans.interruption_p95_s * 1e3),
         ]);
     }
 
@@ -130,6 +138,10 @@ pub fn run() -> ExperimentOutput {
             "ha_binding_updates": r.ha_bu,
             "map_binding_updates": r.map_bu,
             "r1_delivery": r.delivery,
+            // Full causal view (span digests + phase breakdown) rides in
+            // the experiment JSON so the serial/parallel parity harness
+            // pins the observability numbers byte-for-byte too.
+            "observability": r.spans,
         });
     }
 
@@ -175,12 +187,21 @@ mod tests {
             "intra-domain rejoin: hier {hier_intra} vs tunnel {bt_intra}"
         );
 
-        // Every policy keeps delivering to the roaming receiver.
+        // Every policy keeps delivering to the roaming receiver, and the
+        // causal span view agrees: two episodes, both recovered, with a
+        // non-trivial interruption digest.
         for p in Policy::all() {
-            let d = out.json["policies"][p.id()]["r1_delivery"]
-                .as_f64()
-                .unwrap();
+            let pol = &out.json["policies"][p.id()];
+            let d = pol["r1_delivery"].as_f64().unwrap();
             assert!(d > 0.8, "{}: delivery {d}", p.id());
+            let obs = &pol["observability"];
+            assert_eq!(obs["handoffs"].as_u64().unwrap(), 2, "{}", p.id());
+            assert_eq!(obs["recovered"].as_u64().unwrap(), 2, "{}", p.id());
+            assert!(
+                obs["interruption_p95_s"].as_f64().unwrap() > 0.0,
+                "{}",
+                p.id()
+            );
         }
     }
 }

@@ -11,10 +11,10 @@
 //! * no state table ever exceeds its budget (the oracle polls every
 //!   router each epoch and flags even a momentary overshoot),
 //! * receivers subscribed *before* the storm keep at least the
-//!   [`PROTECTED_FLOOR`] fraction of first-copy deliveries for datagrams
+//!   `PROTECTED_FLOOR` fraction of first-copy deliveries for datagrams
 //!   sent while the storm rages, and
 //! * once the storm ends and R3's post-storm move settles, delivery
-//!   reconverges within the [`SLO_SECS`] bound.
+//!   reconverges within the `SLO_SECS` bound.
 //!
 //! Budgets use [`ShedPolicy::RejectNew`]: established state is never
 //! evicted for the attacker's benefit, so the decoy joins bounce while
@@ -104,6 +104,11 @@ pub struct OverloadScore {
     pub rate_limited: f64,
     /// Corrupted-BU authentication failures (zero without wire faults).
     pub bu_auth_failed: f64,
+    /// Sim time (seconds) at which the sampled `overload.shed_total`
+    /// gauge first went positive — how quickly the storm began
+    /// overflowing the budgets. Zero when nothing was ever shed;
+    /// earliest across the merged seeds otherwise.
+    pub shed_onset_s: f64,
     /// Largest per-port MLD listener table across routers and seeds.
     pub mld_high_water: u64,
     /// Largest PIM (S,G) table across routers and seeds.
@@ -164,6 +169,13 @@ fn one(p: &Params) -> OverloadScore {
             .unwrap_or(0)
     };
     let o = &r.report.oracle;
+    let shed_onset_s = r
+        .report
+        .observability
+        .timeline
+        .get("overload.shed_total")
+        .and_then(|s| s.points.iter().find(|(_, v)| *v > 0.0))
+        .map_or(0.0, |(t, _)| *t as f64 / 1e9);
     OverloadScore {
         name: p.policy.name().into(),
         level: p.level.into(),
@@ -179,6 +191,7 @@ fn one(p: &Params) -> OverloadScore {
             + node_total("pimRateLimited")
             + node_total("buRateLimited"),
         bu_auth_failed: node_total("buAuthFailures"),
+        shed_onset_s,
         mld_high_water: node_max("mldListenersHighWater"),
         pim_high_water: node_max("pimSgHighWater"),
         binding_high_water: node_max("bindingCacheHighWater"),
@@ -202,6 +215,14 @@ fn merge(scores: Vec<OverloadScore>) -> OverloadScore {
     out.shed = avg(|s| s.shed);
     out.rate_limited = avg(|s| s.rate_limited);
     out.bu_auth_failed = avg(|s| s.bu_auth_failed);
+    out.shed_onset_s = scores
+        .iter()
+        .map(|s| s.shed_onset_s)
+        .filter(|&t| t > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !out.shed_onset_s.is_finite() {
+        out.shed_onset_s = 0.0;
+    }
     out.mld_high_water = scores.iter().map(|s| s.mld_high_water).max().unwrap_or(0);
     out.pim_high_water = scores.iter().map(|s| s.pim_high_water).max().unwrap_or(0);
     out.binding_high_water = scores
@@ -274,7 +295,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
             s.level.clone(),
             format!("{:.1}%", s.delivery * 100.0),
             format!("{:.1}%", s.protected_flow_min * 100.0),
-            format!("{:.0}", s.shed),
+            if s.shed_onset_s > 0.0 {
+                format!("{:.0} (from {:.0}s)", s.shed, s.shed_onset_s)
+            } else {
+                format!("{:.0}", s.shed)
+            },
             format!("{:.0}", s.rate_limited),
             format!(
                 "{}/{}/{}",
@@ -379,9 +404,18 @@ mod tests {
                     "{}: a severe storm must trip the token bucket",
                     s.name
                 );
+                // The sampled gauge timeline pins *when* shedding began:
+                // inside the storm window, never before it.
+                assert!(
+                    s.shed_onset_s >= STORM_START_SECS && s.shed_onset_s <= STORM_END_SECS,
+                    "{}: shed onset {:.0}s outside the storm window",
+                    s.name,
+                    s.shed_onset_s
+                );
             }
             if s.level == "calm" {
                 assert_eq!(s.shed, 0.0, "{}: nothing to shed without a storm", s.name);
+                assert_eq!(s.shed_onset_s, 0.0, "{}: no shed onset when calm", s.name);
                 assert!(
                     s.delivery >= 0.99,
                     "{}: calm delivery {}",

@@ -12,7 +12,7 @@
 
 use crate::recorder::{DataEvent, Delivery, PacketMeta, Recorder};
 use mobicast_sim::trace::NOTE_KIND;
-use mobicast_sim::{SimTime, TraceCategory, TraceEvent};
+use mobicast_sim::{SimTime, SpanBook, TraceCategory, TraceEvent};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -142,10 +142,39 @@ fn context_category(cat: TraceCategory) -> bool {
     )
 }
 
+/// The enclosing causal-span annotation for an instant at a node: cites
+/// the innermost span covering `t` and, when it is a phase child, the
+/// root episode it belongs to (`[span #3 handoff phase=bu]`).
+fn span_note(book: &SpanBook, node: u64, t: SimTime) -> String {
+    let Some(s) = book.enclosing(node, t.as_nanos()) else {
+        return String::new();
+    };
+    let mut root = s;
+    while let Some(p) = root.parent.and_then(|p| book.get(p)) {
+        root = p;
+    }
+    if root.id == s.id {
+        format!(" [span {} {}]", s.id, s.name)
+    } else {
+        format!(" [span {} {} phase={}]", root.id, root.name, s.name)
+    }
+}
+
 /// Render a journey as deterministic human-readable text. When `trace` is
 /// given, protocol/fault events inside the packet's live window are
 /// interleaved as context lines.
 pub fn render(journey: &Journey, trace: Option<&[TraceEvent]>) -> String {
+    render_with_spans(journey, trace, None)
+}
+
+/// As [`render`], additionally annotating each delivery and each hop with
+/// the receiving host's enclosing causal span — so "this copy arrived
+/// mid-handoff, during the BU phase" is visible right on the hop line.
+pub fn render_with_spans(
+    journey: &Journey,
+    trace: Option<&[TraceEvent]>,
+    spans: Option<&SpanBook>,
+) -> String {
     let mut out = String::new();
     let pkt = journey.pkt;
     let _ = writeln!(
@@ -179,9 +208,11 @@ pub fn render(journey: &Journey, trace: Option<&[TraceEvent]>) -> String {
 
     for (i, p) in journey.paths.iter().enumerate() {
         let d = &p.delivery;
+        let host = d.host.index() as u64;
+        let note = spans.map_or_else(String::new, |b| span_note(b, host, d.time));
         let _ = writeln!(
             out,
-            "  delivery #{i} to node {} on link {} at {:.6}s ({}{})",
+            "  delivery #{i} to node {} on link {} at {:.6}s ({}{}){note}",
             d.host.index(),
             d.link.index(),
             d.time.as_secs_f64(),
@@ -189,9 +220,10 @@ pub fn render(journey: &Journey, trace: Option<&[TraceEvent]>) -> String {
             if p.complete { "" } else { ", chain incomplete" },
         );
         for (n, h) in p.hops.iter().enumerate() {
+            let note = spans.map_or_else(String::new, |b| span_note(b, host, h.time));
             let _ = writeln!(
                 out,
-                "    hop {n}: link {} at {:.6}s, {} bytes{}{}",
+                "    hop {n}: link {} at {:.6}s, {} bytes{}{}{note}",
                 h.link.index(),
                 h.time.as_secs_f64(),
                 h.size,
@@ -484,6 +516,27 @@ mod tests {
             .iter()
             .any(|m| render(&explain(&rec, m.pkt), Some(&trace)).contains('⊘'));
         assert!(marked, "no journey rendered an admission-control mark");
+    }
+
+    /// Deliveries to a host that is mid-handoff must carry the enclosing
+    /// span annotation, including the phase when one is active.
+    #[test]
+    fn deliveries_inside_handoffs_cite_the_enclosing_span() {
+        let (_, rec) = run_with_recorder(&cfg());
+        assert!(
+            rec.spans.records().iter().any(|s| s.name == "handoff"),
+            "run produced no handoff spans"
+        );
+        let annotated = rec.packets.iter().any(|m| {
+            render_with_spans(&explain(&rec, m.pkt), None, Some(&rec.spans)).contains("[span #")
+        });
+        assert!(annotated, "no journey cited an enclosing span");
+        // Without a span book the output is the classic rendering.
+        let pkt = rec.packets[0].pkt;
+        assert_eq!(
+            render(&explain(&rec, pkt), None),
+            render_with_spans(&explain(&rec, pkt), None, None),
+        );
     }
 
     #[test]

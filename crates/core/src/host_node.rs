@@ -4,6 +4,7 @@
 //! extension such as the hierarchical proxy.
 
 use crate::netplan::{self, frame_for, DataPayload, SharedDirectory, MCAST_UDP_PORT};
+use crate::observability::{trace_span_close, trace_span_open};
 use crate::recorder::{packet_id, DataEvent, Delivery, MoveEvent, PacketMeta, SharedRecorder};
 use crate::strategy::{MoveAction, MoveContext, Policy, RecvPath, SendPath};
 use mobicast_ipv6::addr::{self, GroupAddr};
@@ -14,7 +15,7 @@ use mobicast_ipv6::udp::UdpDatagram;
 use mobicast_mipv6::{packets as mip_packets, MnOutput, MobileNode};
 use mobicast_mld::{HostOutput, MldConfig, MldHostPort, MldMessage};
 use mobicast_net::{Ctx, Frame, IfIndex, LinkId, NodeBehavior, NodeId, TimerKey};
-use mobicast_sim::{Counters, EventId, RngFactory, SimDuration, SimTime, TraceCategory};
+use mobicast_sim::{Counters, EventId, RngFactory, SimDuration, SimTime, SpanId, TraceCategory};
 use std::any::Any;
 use std::collections::{BTreeSet, HashSet};
 use std::net::Ipv6Addr;
@@ -22,6 +23,11 @@ use std::net::Ipv6Addr;
 const TIMER_MLD: u64 = 1;
 const TIMER_MN: u64 = 2;
 const TIMER_APP: u64 = 3;
+
+/// Smallest inter-delivery silence recorded as a `delivery_gap` span.
+/// Gaps inside a handoff episode are covered by its `interruption` span
+/// and not double-counted.
+const DELIVERY_GAP_MIN: SimDuration = SimDuration::from_secs(1);
 
 /// Host behaviour configuration.
 #[derive(Clone, Copy, Debug)]
@@ -63,6 +69,21 @@ struct ReceiverState {
     attach_pending: Option<SimTime>,
     pub received: u64,
     pub duplicates: u64,
+}
+
+/// Open causal spans of the current handoff episode, plus the delivery
+/// bookkeeping the `interruption` and `delivery_gap` spans need. One
+/// episode at a time: a second move before recovery supersedes the first.
+#[derive(Default)]
+struct HandoffSpans {
+    handoff: Option<SpanId>,
+    interruption: Option<SpanId>,
+    interruption_start: Option<SimTime>,
+    bu: Option<SpanId>,
+    tunnel: Option<SpanId>,
+    rejoin: Option<SpanId>,
+    /// Time of the most recent delivery at this host (any copy).
+    last_delivery: Option<SimTime>,
 }
 
 struct TimerSlot(Option<(SimTime, EventId)>);
@@ -107,6 +128,7 @@ pub struct HostNode {
     mld_timer: TimerSlot,
     mn_timer: TimerSlot,
     app_timer: TimerSlot,
+    spans: HandoffSpans,
     /// RFC-MIB-flavoured per-node counters (camelCase names), snapshotted
     /// into `RunReport.node_stats` at the end of a run.
     mib: Counters,
@@ -149,6 +171,7 @@ impl HostNode {
             mld_timer: TimerSlot(None),
             mn_timer: TimerSlot(None),
             app_timer: TimerSlot(None),
+            spans: HandoffSpans::default(),
             mib: Counters::new(),
         }
     }
@@ -246,6 +269,23 @@ impl HostNode {
                 ]
             });
             self.emit(ctx, &packet, self.default_router());
+            // First BU of a handoff episode: open the round-trip span (and
+            // the tunnel-establishment span when this policy receives via
+            // a tunnel), closed by the Binding Ack / first tunneled copy.
+            if let Some(h) = self.spans.handoff {
+                if self.spans.bu.is_none() && self.spans.interruption.is_some() {
+                    let b = self.recorder.span_open("bu", self.id, ctx.now(), Some(h));
+                    trace_span_open(ctx, b, "bu", Some(h));
+                    self.spans.bu = Some(b);
+                    if self.cfg.policy.recv_plane() != RecvPath::Local && !self.at_home() {
+                        let t = self
+                            .recorder
+                            .span_open("tunnel", self.id, ctx.now(), Some(h));
+                        trace_span_open(ctx, t, "tunnel", Some(h));
+                        self.spans.tunnel = Some(t);
+                    }
+                }
+            }
         }
         self.mib
             .record_max("buPendingHighWater", self.mn.pending_bu_depth() as u64);
@@ -316,7 +356,65 @@ impl HostNode {
         self.arm_mld(ctx);
     }
 
-    fn deliver(&mut self, ctx: &mut Ctx<'_>, payload: DataPayload, group: GroupAddr, via: u64) {
+    /// Start the causal span tree of a handoff episode: a `handoff` root
+    /// plus its `interruption` child (last packet before the move → first
+    /// packet after). The `bu`/`tunnel`/`mld_rejoin` children open later,
+    /// when their phase actually starts.
+    fn open_handoff_spans(&mut self, ctx: &mut Ctx<'_>, from: Option<LinkId>, to: LinkId) {
+        self.close_handoff_spans(ctx, true);
+        let now = ctx.now();
+        let h = self.recorder.span_open("handoff", self.id, now, None);
+        self.recorder
+            .span_annotate(h, "policy", self.cfg.policy.id());
+        if let Some(f) = from {
+            self.recorder.span_annotate(h, "from_link", f.index());
+        }
+        self.recorder.span_annotate(h, "to_link", to.index());
+        trace_span_open(ctx, h, "handoff", None);
+        let istart = self.spans.last_delivery.unwrap_or(now);
+        let i = self
+            .recorder
+            .span_open("interruption", self.id, istart, Some(h));
+        trace_span_open(ctx, i, "interruption", Some(h));
+        self.spans.handoff = Some(h);
+        self.spans.interruption = Some(i);
+        self.spans.interruption_start = Some(istart);
+    }
+
+    /// End every span of the current episode at `now`. Used when a new
+    /// move supersedes an unrecovered handoff (`superseded = true`) —
+    /// phases that never completed end here rather than dangling.
+    fn close_handoff_spans(&mut self, ctx: &mut Ctx<'_>, superseded: bool) {
+        let now = ctx.now();
+        for (slot, name) in [
+            (self.spans.bu.take(), "bu"),
+            (self.spans.tunnel.take(), "tunnel"),
+            (self.spans.rejoin.take(), "mld_rejoin"),
+            (self.spans.interruption.take(), "interruption"),
+        ] {
+            if let Some(id) = slot {
+                self.recorder.span_close(id, now);
+                trace_span_close(ctx, id, name);
+            }
+        }
+        self.spans.interruption_start = None;
+        if let Some(h) = self.spans.handoff.take() {
+            if superseded {
+                self.recorder.span_annotate(h, "superseded", true);
+            }
+            self.recorder.span_close(h, now);
+            trace_span_close(ctx, h, "handoff");
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        payload: DataPayload,
+        group: GroupAddr,
+        via: u64,
+        tunneled: bool,
+    ) {
         let Some(link) = self.current_link else {
             return;
         };
@@ -324,6 +422,46 @@ impl HostNode {
             return;
         }
         let now = ctx.now();
+        // Per-flow delivery gap: silence between consecutive deliveries
+        // outside a handoff episode (inside one, the `interruption` span
+        // already measures it) becomes a closed `delivery_gap` span.
+        if let Some(prev) = self.spans.last_delivery {
+            let gap = now.saturating_since(prev);
+            if gap >= DELIVERY_GAP_MIN && self.spans.interruption.is_none() {
+                let g = self.recorder.span_open("delivery_gap", self.id, prev, None);
+                self.recorder.span_annotate(g, "gap_s", gap.as_secs_f64());
+                self.recorder.span_close(g, now);
+                trace_span_open(ctx, g, "delivery_gap", None);
+                trace_span_close(ctx, g, "delivery_gap");
+            }
+        }
+        self.spans.last_delivery = Some(now);
+        // Any copy arriving ends the interruption (and the handoff root);
+        // the matching transport phase closes with it.
+        if let Some(i) = self.spans.interruption.take() {
+            self.recorder.span_close(i, now);
+            trace_span_close(ctx, i, "interruption");
+            if let Some(h) = self.spans.handoff.take() {
+                if let Some(start) = self.spans.interruption_start.take() {
+                    self.recorder.span_annotate(
+                        h,
+                        "interruption_s",
+                        now.saturating_since(start).as_secs_f64(),
+                    );
+                }
+                self.recorder.span_close(h, now);
+                trace_span_close(ctx, h, "handoff");
+            }
+        }
+        let phase = if tunneled {
+            self.spans.tunnel.take().map(|id| (id, "tunnel"))
+        } else {
+            self.spans.rejoin.take().map(|id| (id, "mld_rejoin"))
+        };
+        if let Some((id, name)) = phase {
+            self.recorder.span_close(id, now);
+            trace_span_close(ctx, id, name);
+        }
         let first = self.receiver.seen.insert(payload.pkt);
         if first {
             self.receiver.received += 1;
@@ -581,7 +719,7 @@ impl NodeBehavior for HostNode {
                 if let Some(g) = GroupAddr::try_new(inner.dst) {
                     if let Some(info) = netplan::extract_data_info(&packet) {
                         if self.subscribed.contains(&g) {
-                            self.deliver(ctx, info.payload, g, frame.tag);
+                            self.deliver(ctx, info.payload, g, frame.tag, true);
                         }
                     }
                 }
@@ -596,7 +734,7 @@ impl NodeBehavior for HostNode {
                     return;
                 }
                 if let Some(info) = netplan::extract_data_info(&packet) {
-                    self.deliver(ctx, info.payload, g, frame.tag);
+                    self.deliver(ctx, info.payload, g, frame.tag, false);
                 }
             }
             // Binding acknowledgements.
@@ -612,6 +750,12 @@ impl NodeBehavior for HostNode {
                             ("accepted", ack.accepted().into()),
                         ]
                     });
+                    if ack.accepted() {
+                        if let Some(b) = self.spans.bu.take() {
+                            self.recorder.span_close(b, now);
+                            trace_span_close(ctx, b, "bu");
+                        }
+                    }
                     let outs = self.mn.on_binding_ack(ack.accepted(), now);
                     self.emit_mn(ctx, outs);
                 }
@@ -674,6 +818,7 @@ impl NodeBehavior for HostNode {
                 });
                 if subscribed {
                     self.receiver.attach_pending = Some(now);
+                    self.open_handoff_spans(ctx, from, l);
                 }
                 // Let the delivery policy pick the mobility agent for the
                 // new link (hierarchical policies register with the domain
@@ -696,8 +841,19 @@ impl NodeBehavior for HostNode {
                 self.send_router_solicit(ctx);
                 // Re-join groups on the new link per strategy.
                 let groups: Vec<GroupAddr> = self.subscribed.iter().copied().collect();
+                let rejoining = !groups.is_empty()
+                    && (self.at_home() || self.cfg.policy.recv_plane() == RecvPath::Local);
                 for g in groups {
                     self.join_on_current_link(ctx, g);
+                }
+                // The MLD rejoin phase runs until the first native copy
+                // arrives on the new link.
+                if rejoining {
+                    if let Some(h) = self.spans.handoff {
+                        let r = self.recorder.span_open("mld_rejoin", self.id, now, Some(h));
+                        trace_span_open(ctx, r, "mld_rejoin", Some(h));
+                        self.spans.rejoin = Some(r);
+                    }
                 }
             }
         }

@@ -19,6 +19,8 @@
 //!   leave delays, delivery paths).
 //! * [`recorder`] — run-time event capture feeding the analysis.
 //! * [`explain`] — packet-journey explainer over the provenance chains.
+//! * [`observability`] — handoff span dashboard join and the
+//!   `report --diff` regression gate.
 //! * [`sweep`] — deterministic parallel parameter sweeps (crossbeam).
 //! * [`report`] — text tables and JSON output for the experiment binaries.
 
@@ -31,6 +33,7 @@ pub mod explain;
 pub mod host_node;
 pub mod mobility;
 pub mod netplan;
+pub mod observability;
 pub mod oracle;
 pub mod recorder;
 pub mod report;
@@ -44,6 +47,10 @@ pub use analysis::{Analysis, RunReport};
 pub use builder::{build, BuiltNetwork, HostSpec, MapDomain, NetworkSpec};
 pub use explain::{DeliveryPath, Journey, JourneyHop};
 pub use host_node::{HostConfig, HostNode, SenderApp};
+pub use observability::{
+    diff_report_values, handoff_rows, policy_handoff_stats, HandoffRow, PhaseBreakdown,
+    PolicyHandoffStats, DEFAULT_DRIFT_THRESHOLD,
+};
 pub use oracle::{Oracle, OracleSummary};
 pub use router_node::{ResourceBudget, RouterConfig, RouterNode};
 pub use scenario::{

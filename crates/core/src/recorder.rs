@@ -8,7 +8,8 @@
 
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_net::{LinkId, NodeId};
-use mobicast_sim::{Counters, SeriesSet, SimTime};
+use mobicast_sim::span::AttrValue;
+use mobicast_sim::{Counters, SeriesSet, SimTime, SpanBook, SpanId, TimeSeriesSet};
 use std::cell::RefCell;
 use std::net::Ipv6Addr;
 use std::rc::Rc;
@@ -92,6 +93,13 @@ pub struct Recorder {
     /// Sample series contributed online (join delays measured by receiver
     /// apps, binding round-trips, …).
     pub series: SeriesSet,
+    /// Causal spans opened/closed by node glue (handoff phases, grafts,
+    /// delivery gaps). Ids are assigned in open order, so same-seed runs
+    /// produce identical books.
+    pub spans: SpanBook,
+    /// Sim-time-stamped gauge timelines (table occupancy, queue depth,
+    /// link inflight, token-bucket level), sampled by the scenario.
+    pub timeline: TimeSeriesSet,
     /// Emission tag allocator (tags are > 0; 0 means untagged).
     next_tag: u64,
 }
@@ -136,6 +144,35 @@ impl SharedRecorder {
 
     pub fn sample(&self, name: &str, value: f64) {
         self.0.borrow_mut().series.record(name, value);
+    }
+
+    /// Open a causal span (see [`SpanBook::open`]).
+    pub fn span_open(
+        &self,
+        name: &str,
+        node: NodeId,
+        at: SimTime,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        self.0
+            .borrow_mut()
+            .spans
+            .open(name, u64::from(node.0), at, parent)
+    }
+
+    /// Attach a typed attribute to a span.
+    pub fn span_annotate(&self, id: SpanId, key: &str, value: impl Into<AttrValue>) {
+        self.0.borrow_mut().spans.annotate(id, key, value);
+    }
+
+    /// Close a span (first close wins).
+    pub fn span_close(&self, id: SpanId, at: SimTime) {
+        self.0.borrow_mut().spans.close(id, at);
+    }
+
+    /// Append a sim-time-stamped gauge sample to the named timeline.
+    pub fn sample_at(&self, name: &str, at: SimTime, value: f64) {
+        self.0.borrow_mut().timeline.sample(name, at, value);
     }
 
     /// Borrow the recorder for analysis (post-run).

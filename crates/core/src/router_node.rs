@@ -25,8 +25,8 @@ use mobicast_mld::{
 use mobicast_net::{Ctx, Frame, IfIndex, LinkId, NodeBehavior, NodeId, TimerKey};
 use mobicast_pimdm::{PimConfig, PimDest, PimMessage, PimNote, PimRouter, PimSend, RpfLookup};
 use mobicast_sim::{
-    Counters, EventId, RateLimit, RngFactory, ShedPolicy, SimDuration, SimTime, TokenBucket,
-    TraceCategory,
+    Counters, EventId, RateLimit, RngFactory, ShedPolicy, SimDuration, SimTime, SpanId,
+    TokenBucket, TraceCategory,
 };
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -175,6 +175,10 @@ pub struct RouterNode {
     ra_pending: Vec<bool>,
     /// High-water mark of (S,G) entries (paper: router storage load).
     pub max_sg_entries: usize,
+    /// Open `graft` spans keyed by (S,G): opened when the upstream graft
+    /// goes pending, closed by the matching ack. Linear search — routers
+    /// hold at most a handful of simultaneous pending grafts.
+    graft_spans: Vec<(mobicast_pimdm::Sg, SpanId)>,
     /// RFC-MIB-flavoured per-node counters (camelCase names), snapshotted
     /// into `RunReport.node_stats` at the end of a run.
     mib: Counters,
@@ -227,6 +231,7 @@ impl RouterNode {
             ha_timer: TimerSlot::new(),
             ra_pending: vec![false; n],
             max_sg_entries: 0,
+            graft_spans: Vec::new(),
             mib: Counters::new(),
         }
     }
@@ -249,6 +254,12 @@ impl RouterNode {
     /// The configured control-plane resource budget.
     pub fn budget(&self) -> &ResourceBudget {
         &self.cfg.budget
+    }
+
+    /// Tokens left in the control-plane rate limiter right now (`None`
+    /// when the router runs unlimited). Gauge samplers poll this.
+    pub fn bucket_available(&self) -> Option<u32> {
+        self.bucket.as_ref().map(|b| b.available())
     }
 
     /// Total MLD listener entries across all router ports (the
@@ -497,6 +508,16 @@ impl RouterNode {
                     ctx.trace_event(TraceCategory::Pim, "pim_graft_pending", || {
                         vec![("src", sg.0.into()), ("group", sg.1.addr().into())]
                     });
+                    // One span per pending (S,G) graft; retransmissions of
+                    // the same graft stay inside the original span.
+                    if !self.graft_spans.iter().any(|(k, _)| *k == sg) {
+                        let id = self.recorder.span_open("graft", self.id, ctx.now(), None);
+                        self.recorder.span_annotate(id, "src", sg.0.to_string());
+                        self.recorder
+                            .span_annotate(id, "group", sg.1.addr().to_string());
+                        crate::observability::trace_span_open(ctx, id, "graft", None);
+                        self.graft_spans.push((sg, id));
+                    }
                 }
                 PimNote::GraftAcked { sg, from } => {
                     self.mib.inc("pimGraftsAcked");
@@ -507,6 +528,11 @@ impl RouterNode {
                             ("from", from.into()),
                         ]
                     });
+                    if let Some(pos) = self.graft_spans.iter().position(|(k, _)| *k == sg) {
+                        let (_, id) = self.graft_spans.remove(pos);
+                        self.recorder.span_close(id, ctx.now());
+                        crate::observability::trace_span_close(ctx, id, "graft");
+                    }
                 }
                 PimNote::OifPruned { sg, iface, until } => {
                     self.mib.inc("pimOifPrunes");

@@ -554,6 +554,7 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
     }
 
     schedule_storm(&mut net, cfg, g);
+    schedule_gauge_sampler(&mut net, cfg);
 
     let oracle = cfg.oracle.then(|| {
         Oracle::attach(
@@ -591,6 +592,77 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
         );
     }
     (result, rec)
+}
+
+/// Sim-time interval between observability gauge samples.
+const GAUGE_SAMPLE_SECS: u64 = 5;
+
+/// Shared state of the gauge sampler ticks.
+struct SamplerCtx {
+    recorder: crate::recorder::SharedRecorder,
+    routers: Vec<mobicast_net::NodeId>,
+    links: Vec<mobicast_net::LinkId>,
+    end: SimTime,
+}
+
+/// Kick off the observability gauge sampler: every [`GAUGE_SAMPLE_SECS`]
+/// of sim time a script event snapshots event-queue depth, per-router
+/// control-plane table occupancy (MLD listeners, PIM (S,G) entries,
+/// binding cache), token-bucket levels, cumulative per-link data bytes
+/// and the running overload-shed total into the recorder's timeline.
+/// Each tick arms the next one, so only a single sampler event is ever
+/// pending (queue-depth readings stay honest). Sampling is read-only
+/// with respect to protocol state: the run's protocol trace and metrics
+/// are unchanged by it.
+fn schedule_gauge_sampler(net: &mut BuiltNetwork, cfg: &ScenarioConfig) {
+    let ctx = std::rc::Rc::new(SamplerCtx {
+        recorder: net.recorder.clone(),
+        routers: net.routers.clone(),
+        links: net.links.clone(),
+        end: SimTime::ZERO + cfg.duration,
+    });
+    let first = SimTime::from_secs(GAUGE_SAMPLE_SECS);
+    if first <= ctx.end {
+        arm_sampler_tick(&mut net.world, first, ctx);
+    }
+}
+
+fn arm_sampler_tick(world: &mut mobicast_net::World, at: SimTime, ctx: std::rc::Rc<SamplerCtx>) {
+    world.at(at, move |w| {
+        sample_gauges(w, &ctx);
+        let next = at + SimDuration::from_secs(GAUGE_SAMPLE_SECS);
+        if next <= ctx.end {
+            arm_sampler_tick(w, next, ctx);
+        }
+    });
+}
+
+fn sample_gauges(w: &mut mobicast_net::World, ctx: &SamplerCtx) {
+    let now = w.now();
+    let rec = &ctx.recorder;
+    rec.sample_at("world.queue_depth", now, w.queue_len() as f64);
+    for (i, r) in ctx.routers.iter().enumerate() {
+        let label = char::from(b'A' + i as u8);
+        let Some(router) = w.behavior::<RouterNode>(*r) else {
+            continue;
+        };
+        let mld = router.mld_listener_total() as f64;
+        let sg = router.pim().entry_count() as f64;
+        let bindings = router.home_agent().binding_count() as f64;
+        let tokens = router.bucket_available();
+        rec.sample_at(&format!("router.{label}.mld_listeners"), now, mld);
+        rec.sample_at(&format!("router.{label}.pim_sg"), now, sg);
+        rec.sample_at(&format!("router.{label}.bindings"), now, bindings);
+        if let Some(tk) = tokens {
+            rec.sample_at(&format!("router.{label}.bucket_tokens"), now, f64::from(tk));
+        }
+    }
+    for (i, l) in ctx.links.iter().enumerate() {
+        let bytes: u64 = w.link_stats(*l).bytes.iter().sum();
+        rec.sample_at(&format!("link.{}.bytes", i + 1), now, bytes as f64);
+    }
+    let shed = rec.borrow().counters.sum_prefix("overload.");
+    rec.sample_at("overload.shed_total", now, shed as f64);
 }
 
 /// Dedicated storm hosts a configuration adds (deterministic in the
@@ -777,8 +849,20 @@ fn finish_with(
         ..
     } = net;
 
-    let rec = recorder.take();
+    let mut rec = recorder.take();
     let analysis = analyze(&rec, &graph, links.len());
+
+    // Close out the causal timeline at the run horizon (spans still open
+    // are flagged `unfinished`) and fold closed durations into the
+    // per-phase digests. Everything here is sim-time-derived, so the
+    // block is byte-identical across repeated and parallel runs.
+    let horizon = SimTime::ZERO + cfg.duration;
+    rec.spans.close_open(horizon);
+    let observability = crate::observability::finalize_observability(
+        rec.spans.clone(),
+        rec.timeline.clone(),
+        horizon,
+    );
 
     // The oracle's post-run pass: loop-freedom, persistent duplicates,
     // and the leave-delay bound, judged against the recorded ground truth.
@@ -977,6 +1061,7 @@ fn finish_with(
             link_drops,
             oracle: oracle_summary,
             node_stats,
+            observability,
         },
         received,
         duplicates,

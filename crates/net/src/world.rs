@@ -370,6 +370,12 @@ impl World {
         self.queue.depth_high_water()
     }
 
+    /// Number of live events pending right now (gauge samplers read this
+    /// mid-run to build the queue-depth timeline).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Install a [`WorldProbe`] observing all transmissions and deliveries.
     /// At most one probe is active; installing replaces any previous one.
     pub fn set_probe(&mut self, probe: Rc<dyn WorldProbe>) {

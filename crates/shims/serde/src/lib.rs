@@ -158,6 +158,24 @@ impl std::ops::IndexMut<&str> for Value {
     }
 }
 
+impl std::ops::IndexMut<usize> for Value {
+    /// `value[i] = ...`: only existing array elements are assignable
+    /// (matching real serde_json, which panics out of bounds).
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => {
+                let len = a.len();
+                a.get_mut(idx)
+                    .unwrap_or_else(|| panic!("array index {idx} out of bounds (len {len})"))
+            }
+            other => panic!(
+                "cannot index-assign index {idx} into JSON {}",
+                other.type_name()
+            ),
+        }
+    }
+}
+
 impl Default for Value {
     fn default() -> Self {
         Value::Null

@@ -2,7 +2,7 @@
 //! the shedding-policy selector shared by every bounded state table, and a
 //! deterministic token bucket for rate limiting control-plane ingress.
 //!
-//! Both are pure state machines over [`SimTime`](crate::SimTime) — no
+//! Both are pure state machines over [`SimTime`] — no
 //! randomness, no wall clock — so a budgeted run is exactly as
 //! reproducible as an unbudgeted one. Tables that need a tie-break among
 //! equally stale victims iterate their (ordered) key space, which makes

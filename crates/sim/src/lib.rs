@@ -13,6 +13,12 @@
 //! * [`metrics`] — counters and sample series with summaries.
 //! * [`trace`] — structured, filterable simulation traces with a versioned
 //!   JSONL export.
+//! * [`span`] — deterministic sim-time causal spans with stable ids and
+//!   parent links ([`SpanBook`]).
+//! * [`series`] — sim-time gauge timelines and a mergeable quantile
+//!   digest ([`TimeSeriesSet`], [`QuantileDigest`]).
+//! * [`perfetto`] / [`openmetrics`] — exporters rendering spans, series
+//!   and counters as a Chrome/Perfetto trace and an OpenMetrics snapshot.
 //! * [`profile`] — opt-in wall-clock profiling of the event loop.
 //! * [`parallel`] — a dependency-free scoped worker pool fanning
 //!   independent deterministic runs across cores with ordered results.
@@ -24,10 +30,14 @@
 
 pub mod budget;
 pub mod metrics;
+pub mod openmetrics;
 pub mod parallel;
+pub mod perfetto;
 pub mod profile;
 pub mod queue;
 pub mod rng;
+pub mod series;
+pub mod span;
 pub mod time;
 pub mod trace;
 pub mod wheel;
@@ -37,6 +47,8 @@ pub use metrics::{Counters, Series, SeriesSet, Summary};
 pub use profile::{Profiler, SimProfile};
 pub use queue::{EventId, EventQueue, HeapEventQueue};
 pub use rng::RngFactory;
+pub use series::{QuantileDigest, TimeSeries, TimeSeriesSet};
+pub use span::{AttrValue, SpanBook, SpanId, SpanRecord};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     FieldValue, Fields, RingBufferTracer, TraceCategory, TraceEvent, TraceSink, Tracer,

@@ -35,12 +35,11 @@ impl Counters {
     }
 
     /// Raise gauge `name` to `value` if that exceeds its current reading
-    /// (high-water-mark semantics; never lowers). A zero reading is a
-    /// no-op so untouched gauges stay absent from reports.
+    /// (high-water-mark semantics; never lowers). A zero reading still
+    /// creates the gauge at 0, so reports distinguish "sampled at 0"
+    /// (entry present) from "never sampled" (entry absent) — idle
+    /// scenarios must show their queue-depth gauges, not hide them.
     pub fn record_max(&mut self, name: &str, value: u64) {
-        if value == 0 {
-            return;
-        }
         let slot = self.values.entry(name.to_owned()).or_insert(0);
         if value > *slot {
             *slot = value;
@@ -246,6 +245,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get("x"), 3);
         assert_eq!(a.get("y"), 7);
+    }
+
+    #[test]
+    fn record_max_keeps_zero_samples_visible() {
+        let mut c = Counters::new();
+        // A zero reading is a real sample: the gauge appears at 0
+        // ("sampled at 0"), distinct from one never sampled at all.
+        c.record_max("idleQueueHighWater", 0);
+        assert_eq!(c.get("idleQueueHighWater"), 0);
+        assert!(c.iter().any(|(k, _)| k == "idleQueueHighWater"));
+        assert!(!c.iter().any(|(k, _)| k == "neverSampled"));
+        c.record_max("idleQueueHighWater", 5);
+        c.record_max("idleQueueHighWater", 3);
+        assert_eq!(c.get("idleQueueHighWater"), 5, "high water never lowers");
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! OpenMetrics text exporter.
+//!
+//! Renders a snapshot of run metrics — monotonic counters, the latest
+//! value of each sampled gauge series, and quantile digests as summaries
+//! — in the OpenMetrics text exposition format (`# TYPE` family headers,
+//! `_total` counter suffix, `quantile` labels, terminal `# EOF`). All
+//! values are sim-time-derived, so the snapshot is deterministic and
+//! golden-checkable.
+
+use crate::metrics::Counters;
+use crate::series::{QuantileDigest, TimeSeriesSet};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Map an arbitrary metric name onto the OpenMetrics charset: ASCII
+/// letters, digits and underscores, with a leading underscore inserted
+/// when the name would otherwise start with a digit.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Render the OpenMetrics snapshot. Every family name is prefixed with
+/// `prefix` (plus `_`) and sanitized; families appear counters first,
+/// then gauges, then summaries, alphabetically within each group.
+pub fn export_openmetrics(
+    prefix: &str,
+    counters: &Counters,
+    gauges: &TimeSeriesSet,
+    digests: &BTreeMap<String, QuantileDigest>,
+) -> String {
+    let p = sanitize_metric_name(prefix);
+    let mut out = String::new();
+    for (name, value) in counters.iter() {
+        let family = format!("{p}_{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {family} counter");
+        let _ = writeln!(out, "{family}_total {value}");
+    }
+    for (name, series) in gauges.iter() {
+        let family = format!("{p}_{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        let last = series.last().map(|(_, v)| v).unwrap_or(0.0);
+        let _ = writeln!(out, "{family} {}", fmt_f64(last));
+    }
+    for (name, digest) in digests {
+        let family = format!("{p}_{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {family} summary");
+        for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99), ("1", 1.0)] {
+            let v = digest.quantile_ns(q) as f64 / 1e9;
+            let _ = writeln!(out, "{family}{{quantile=\"{label}\"}} {}", fmt_f64(v));
+        }
+        let _ = writeln!(out, "{family}_sum {}", fmt_f64(digest.sum_ns as f64 / 1e9));
+        let _ = writeln!(out, "{family}_count {}", digest.count);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Structural sanity check of an OpenMetrics snapshot: every non-comment
+/// line must parse as `name[{labels}] value`, every family must be
+/// declared by a preceding `# TYPE` line, and the snapshot must end with
+/// `# EOF`. Returns the first problem found.
+pub fn validate_openmetrics(doc: &str) -> Result<(), String> {
+    let mut families: Vec<String> = Vec::new();
+    let mut saw_eof = false;
+    for (i, line) in doc.lines().enumerate() {
+        if saw_eof {
+            return Err(format!("line {}: content after # EOF", i + 1));
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let family = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if family.is_empty() || !matches!(kind, "counter" | "gauge" | "summary") {
+                return Err(format!("line {}: malformed TYPE line", i + 1));
+            }
+            families.push(family.to_owned());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {}: no value", i + 1))?;
+        let name = name_part.split('{').next().unwrap_or("");
+        let base = name
+            .strip_suffix("_total")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !families.iter().any(|f| f == base || f == name) {
+            return Err(format!("line {}: sample {name:?} without TYPE", i + 1));
+        }
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!("line {}: bad value {value_part:?}", i + 1));
+        }
+    }
+    if !saw_eof {
+        return Err("missing terminal # EOF".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn snapshot_renders_and_validates() {
+        let mut counters = Counters::default();
+        counters.add("frames.data", 42);
+        let mut gauges = TimeSeriesSet::default();
+        gauges.sample("queue.depth", SimTime::from_secs(1), 3.0);
+        gauges.sample("queue.depth", SimTime::from_secs(2), 5.0);
+        let mut digests = BTreeMap::new();
+        let mut d = QuantileDigest::default();
+        d.record_secs(0.25);
+        d.record_secs(0.75);
+        digests.insert("span.interruption".to_owned(), d);
+
+        let doc = export_openmetrics("mobicast", &counters, &gauges, &digests);
+        validate_openmetrics(&doc).expect("snapshot validates");
+        assert!(doc.contains("# TYPE mobicast_frames_data counter"), "{doc}");
+        assert!(doc.contains("mobicast_frames_data_total 42"), "{doc}");
+        assert!(doc.contains("mobicast_queue_depth 5.0"), "{doc}");
+        assert!(
+            doc.contains("# TYPE mobicast_span_interruption summary"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("mobicast_span_interruption{quantile=\"1\"} 0.75"),
+            "{doc}"
+        );
+        assert!(doc.contains("mobicast_span_interruption_count 2"), "{doc}");
+        assert!(doc.ends_with("# EOF\n"), "{doc}");
+    }
+
+    #[test]
+    fn sanitizer_handles_awkward_names() {
+        assert_eq!(sanitize_metric_name("router.A.pim-sg"), "router_A_pim_sg");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_openmetrics("").is_err());
+        assert!(validate_openmetrics("# EOF\n").is_ok());
+        assert!(validate_openmetrics("orphan 1\n# EOF\n").is_err());
+        assert!(validate_openmetrics("# TYPE a counter\na_total nope\n# EOF\n").is_err());
+        assert!(validate_openmetrics("# TYPE a counter\na_total 3\n# EOF\nmore").is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Deterministic sim-time spans with stable ids and parent links.
+//!
+//! A span is a named interval on the simulation clock, optionally nested
+//! under a parent span and carrying typed attributes. Node glue opens a
+//! span when a causal episode starts (a handoff, a BU round-trip, a PIM
+//! graft) and closes it when the episode completes; the [`SpanBook`]
+//! assigns ids in open order, so the same seed produces the same ids —
+//! serial or parallel — and the serialized form is byte-stable.
+//!
+//! Spans carry *sim* time only. Wall-clock measurements stay in
+//! `SimProfile` and never enter a span (the determinism contract of
+//! `RunReport`).
+
+use crate::time::SimTime;
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Stable identifier of a span within one run (assigned in open order,
+/// starting at 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A typed attribute value on a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Serialize for AttrValue {
+    fn to_json_value(&self) -> Value {
+        match self {
+            AttrValue::U64(n) => Value::U64(*n),
+            AttrValue::I64(n) => Value::I64(*n),
+            AttrValue::F64(x) => Value::F64(*x),
+            AttrValue::Bool(b) => Value::Bool(*b),
+            AttrValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(n) => write!(f, "{n}"),
+            AttrValue::I64(n) => write!(f, "{n}"),
+            AttrValue::F64(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+            AttrValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> Self {
+        AttrValue::U64(n)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(n: u32) -> Self {
+        AttrValue::U64(n as u64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(n: usize) -> Self {
+        AttrValue::U64(n as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(n: i64) -> Self {
+        AttrValue::I64(n)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::F64(x)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+
+/// One recorded span.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpanRecord {
+    /// Stable id, unique within the run.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Span name (a stable phase identifier such as `handoff` or `bu`).
+    pub name: String,
+    /// Node the span belongs to (`usize::MAX as u64` = global).
+    pub node: u64,
+    /// Open time, nanoseconds of sim time.
+    pub start_ns: u64,
+    /// Close time; `None` while still open (force-closed at run end).
+    pub end_ns: Option<u64>,
+    /// Typed attributes, in annotation order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Duration in nanoseconds; `None` while open.
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+
+    /// Duration in seconds; `None` while open.
+    pub fn duration_secs(&self) -> Option<f64> {
+        self.duration_ns().map(|n| n as f64 / 1e9)
+    }
+
+    /// Does the span cover sim time `t_ns`? Open spans cover everything
+    /// at or after their start.
+    pub fn contains_ns(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && self.end_ns.is_none_or(|e| t_ns <= e)
+    }
+
+    /// First attribute with the given key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// The run-scoped collection of spans. Ids are handed out in open order;
+/// records stay in id order, which `records()` exposes directly.
+#[derive(Clone, Debug, Default)]
+pub struct SpanBook {
+    spans: Vec<SpanRecord>,
+    next: u64,
+}
+
+impl SpanBook {
+    /// Open a span at `at`; returns its id.
+    pub fn open(&mut self, name: &str, node: u64, at: SimTime, parent: Option<SpanId>) -> SpanId {
+        self.next += 1;
+        let id = SpanId(self.next);
+        self.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_owned(),
+            node,
+            start_ns: at.as_nanos(),
+            end_ns: None,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Attach a typed attribute to an existing span. Unknown ids are
+    /// ignored (the span may have been dropped by a bounded collector).
+    pub fn annotate(&mut self, id: SpanId, key: &str, value: impl Into<AttrValue>) {
+        if let Some(s) = self.get_mut(id) {
+            s.attrs.push((key.to_owned(), value.into()));
+        }
+    }
+
+    /// Close a span at `at`. Closing an already-closed or unknown span is
+    /// a no-op (the first close wins, keeping durations stable).
+    pub fn close(&mut self, id: SpanId, at: SimTime) {
+        if let Some(s) = self.get_mut(id) {
+            if s.end_ns.is_none() {
+                s.end_ns = Some(at.as_nanos());
+            }
+        }
+    }
+
+    /// Close every span still open (run teardown). Returns how many were
+    /// force-closed; those spans additionally get `unfinished = true`.
+    pub fn close_open(&mut self, at: SimTime) -> usize {
+        let t = at.as_nanos();
+        let mut n = 0;
+        for s in &mut self.spans {
+            if s.end_ns.is_none() {
+                s.end_ns = Some(t.max(s.start_ns));
+                s.attrs
+                    .push(("unfinished".to_owned(), AttrValue::Bool(true)));
+                n += 1;
+            }
+        }
+        n
+    }
+
+    pub fn get(&self, id: SpanId) -> Option<&SpanRecord> {
+        // Ids are 1-based and dense, so the record for id k sits at k-1.
+        self.spans.get((id.0 as usize).wrapping_sub(1))
+    }
+
+    fn get_mut(&mut self, id: SpanId) -> Option<&mut SpanRecord> {
+        self.spans.get_mut((id.0 as usize).wrapping_sub(1))
+    }
+
+    /// All spans, in id (= open) order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The innermost span on `node` covering sim time `t_ns`: among
+    /// covering spans the one with the latest start (ties broken by the
+    /// higher id, i.e. the most recently opened).
+    pub fn enclosing(&self, node: u64, t_ns: u64) -> Option<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.node == node && s.contains_ns(t_ns))
+            .max_by_key(|s| (s.start_ns, s.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_dense() {
+        let mut book = SpanBook::default();
+        let a = book.open("handoff", 1, SimTime::from_secs(10), None);
+        let b = book.open("bu", 1, SimTime::from_secs(10), Some(a));
+        assert_eq!(a, SpanId(1));
+        assert_eq!(b, SpanId(2));
+        assert_eq!(book.get(b).unwrap().parent, Some(a));
+        book.close(b, SimTime::from_secs(11));
+        book.close(a, SimTime::from_secs(12));
+        assert_eq!(book.get(a).unwrap().duration_secs(), Some(2.0));
+        // Second close is a no-op.
+        book.close(a, SimTime::from_secs(99));
+        assert_eq!(book.get(a).unwrap().duration_secs(), Some(2.0));
+    }
+
+    #[test]
+    fn close_open_marks_unfinished() {
+        let mut book = SpanBook::default();
+        let a = book.open("handoff", 1, SimTime::from_secs(10), None);
+        let b = book.open("bu", 1, SimTime::from_secs(11), Some(a));
+        book.close(b, SimTime::from_secs(12));
+        assert_eq!(book.close_open(SimTime::from_secs(20)), 1);
+        let rec = book.get(a).unwrap();
+        assert_eq!(rec.end_ns, Some(20_000_000_000));
+        assert_eq!(rec.attr("unfinished"), Some(&AttrValue::Bool(true)));
+        assert!(book.get(b).unwrap().attr("unfinished").is_none());
+    }
+
+    #[test]
+    fn enclosing_picks_innermost_on_node() {
+        let mut book = SpanBook::default();
+        let outer = book.open("handoff", 3, SimTime::from_secs(10), None);
+        let inner = book.open("rejoin", 3, SimTime::from_secs(12), Some(outer));
+        let _other = book.open("handoff", 4, SimTime::from_secs(11), None);
+        book.close(inner, SimTime::from_secs(14));
+        book.close(outer, SimTime::from_secs(16));
+        let t = SimTime::from_secs(13).as_nanos();
+        assert_eq!(book.enclosing(3, t).unwrap().id, inner);
+        let t2 = SimTime::from_secs(15).as_nanos();
+        assert_eq!(book.enclosing(3, t2).unwrap().id, outer);
+        assert!(book.enclosing(5, t).is_none());
+    }
+
+    #[test]
+    fn span_serializes_with_attrs() {
+        let mut book = SpanBook::default();
+        let a = book.open("handoff", 1, SimTime::from_secs(1), None);
+        book.annotate(a, "policy", "bidir-tunnel");
+        book.annotate(a, "to_link", 6u64);
+        book.close(a, SimTime::from_secs(2));
+        let json = serde_json::to_string(&book.get(a).unwrap().to_json_value()).unwrap();
+        assert!(json.contains("\"id\":1"), "{json}");
+        assert!(json.contains("\"start_ns\":1000000000"), "{json}");
+        assert!(json.contains("bidir-tunnel"), "{json}");
+    }
+}

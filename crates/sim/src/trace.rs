@@ -40,6 +40,8 @@ pub enum TraceCategory {
     Fault,
     /// Overload admission control (sheds, evictions, rate-limit drops).
     Overload,
+    /// Causal span lifecycle (open/close of handoff-phase spans).
+    Span,
 }
 
 impl TraceCategory {
@@ -56,11 +58,12 @@ impl TraceCategory {
             TraceCategory::Harness => "sim",
             TraceCategory::Fault => "fault",
             TraceCategory::Overload => "ovl",
+            TraceCategory::Span => "span",
         }
     }
 
     /// Every category, in declaration order (used by schema validation).
-    pub const ALL: [TraceCategory; 10] = [
+    pub const ALL: [TraceCategory; 11] = [
         TraceCategory::Link,
         TraceCategory::Forwarding,
         TraceCategory::Mld,
@@ -71,6 +74,7 @@ impl TraceCategory {
         TraceCategory::Harness,
         TraceCategory::Fault,
         TraceCategory::Overload,
+        TraceCategory::Span,
     ];
 }
 
@@ -227,7 +231,11 @@ impl fmt::Display for TraceEvent {
 /// Schema identifier written in the header line of every trace export.
 pub const TRACE_SCHEMA: &str = "mobicast-trace";
 /// Version of the export schema; bump on any incompatible line change.
-pub const TRACE_SCHEMA_VERSION: u64 = 1;
+/// v2 added the `span` category (span_open/span_close lifecycle events)
+/// and the optional `dropped` header field; v1 lines remain valid.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
+/// Oldest schema version [`validate_jsonl_line`] still accepts.
+pub const TRACE_SCHEMA_MIN_VERSION: u64 = 1;
 
 fn field_to_json(v: &FieldValue) -> serde_json::Value {
     use serde_json::Value;
@@ -275,6 +283,14 @@ pub fn jsonl_header() -> String {
     format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_SCHEMA_VERSION}}}")
 }
 
+/// Header line carrying the count of events evicted from a bounded
+/// collector before export (how much history the file is missing).
+pub fn jsonl_header_with_dropped(dropped: u64) -> String {
+    format!(
+        "{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_SCHEMA_VERSION},\"dropped\":{dropped}}}"
+    )
+}
+
 /// One compact JSONL line for an event (no trailing newline).
 pub fn jsonl_line(event: &TraceEvent) -> String {
     serde_json::to_string(&event.to_json_value()).expect("trace serialization is infallible")
@@ -286,16 +302,22 @@ pub fn jsonl_line(event: &TraceEvent) -> String {
 /// of the first problem found. Used by the CI telemetry job and tests.
 pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
     let v = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version_ok = |n: Option<u64>| {
+        n.is_some_and(|n| (TRACE_SCHEMA_MIN_VERSION..=TRACE_SCHEMA_VERSION).contains(&n))
+    };
     if v.get("schema").is_some() {
         if v["schema"].as_str() != Some(TRACE_SCHEMA) {
             return Err(format!("unknown schema {:?}", v["schema"].as_str()));
         }
-        if v["version"].as_u64() != Some(TRACE_SCHEMA_VERSION) {
+        if !version_ok(v["version"].as_u64()) {
             return Err(format!("unsupported version {:?}", v["version"].as_u64()));
+        }
+        if v.get("dropped").is_some() && v["dropped"].as_u64().is_none() {
+            return Err("non-integer \"dropped\" in header".into());
         }
         return Ok(());
     }
-    if v["v"].as_u64() != Some(TRACE_SCHEMA_VERSION) {
+    if !version_ok(v["v"].as_u64()) {
         return Err(format!("bad or missing \"v\": {:?}", v["v"].as_u64()));
     }
     if v["t_ns"].as_u64().is_none() {
@@ -523,11 +545,12 @@ impl RingBufferTracer {
         self.sink.borrow_mut().events.drain(..).collect()
     }
 
-    /// Render the buffered events as a full JSONL export: header line first,
-    /// then one line per event, oldest first.
+    /// Render the buffered events as a full JSONL export: header line first
+    /// (carrying the evicted-event count, so lost history is visible in the
+    /// file itself), then one line per event, oldest first.
     pub fn export_jsonl(&self) -> String {
         let sink = self.sink.borrow();
-        let mut out = jsonl_header();
+        let mut out = jsonl_header_with_dropped(sink.dropped);
         out.push('\n');
         for e in &sink.events {
             out.push_str(&jsonl_line(e));
@@ -664,6 +687,9 @@ mod tests {
         // Oldest surviving event is i=2.
         let first = serde_json::from_str(rest[0]).unwrap();
         assert_eq!(first["fields"]["i"].as_u64(), Some(2));
+        // The eviction count survives export in the header line.
+        let header = serde_json::from_str(export.lines().next().unwrap()).unwrap();
+        assert_eq!(header["dropped"].as_u64(), Some(2));
         let drained = ring.drain();
         assert_eq!(drained.len(), 3);
         assert!(ring.is_empty());
@@ -686,6 +712,30 @@ mod tests {
         )
         .is_ok());
         assert!(validate_jsonl_line("{\"schema\":\"mobicast-trace\",\"version\":99}").is_err());
+    }
+
+    #[test]
+    fn validation_spans_schema_versions() {
+        // v1 headers and lines (pre-span exports) must keep validating.
+        assert!(validate_jsonl_line("{\"schema\":\"mobicast-trace\",\"version\":1}").is_ok());
+        assert!(validate_jsonl_line("{\"schema\":\"mobicast-trace\",\"version\":2}").is_ok());
+        assert!(
+            validate_jsonl_line("{\"schema\":\"mobicast-trace\",\"version\":2,\"dropped\":7}")
+                .is_ok()
+        );
+        assert!(validate_jsonl_line(
+            "{\"schema\":\"mobicast-trace\",\"version\":2,\"dropped\":\"x\"}"
+        )
+        .is_err());
+        // The v2 span category validates; it is part of the closed set.
+        assert!(validate_jsonl_line(
+            "{\"v\":2,\"t_ns\":0,\"node\":0,\"cat\":\"span\",\"kind\":\"span_open\",\"fields\":{\"id\":1}}"
+        )
+        .is_ok());
+        assert!(validate_jsonl_line(
+            "{\"v\":3,\"t_ns\":0,\"node\":0,\"cat\":\"pim\",\"kind\":\"x\",\"fields\":{}}"
+        )
+        .is_err());
     }
 
     #[test]
