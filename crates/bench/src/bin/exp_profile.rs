@@ -155,6 +155,147 @@ fn run_one(cfg: &ScenarioConfig) -> Result<serde_json::Value, String> {
     }))
 }
 
+/// Peak resident set of this process so far, from `/proc/self/status`
+/// `VmHWM` (kB). Zero where the proc filesystem is unavailable.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .ok()
+            })
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// The compact-state scale section (schema v5): metro-grid stress
+/// throughput with peak RSS, the Helmy aggregation curve
+/// (bytes-per-listener vs group sharing, audited against the DESIGN.md
+/// model), and the O(1)-poll flatness check — the oracle's 5 s walk
+/// counters must not scale with the listener population.
+fn scale_section() -> Result<serde_json::Value, String> {
+    use mobicast_core::scale;
+    use mobicast_core::stress::{run_stress_with, StressRunOptions, StressSpec};
+
+    // Metro throughput: a 1012-router grid, sharded, under the oracle.
+    let spec = scale::metro_spec(1_000, 400, 11);
+    let opts = StressRunOptions {
+        shards: 8,
+        workers: configured_workers(),
+    };
+    let wall_start = Instant::now();
+    let (report, stats) = run_stress_with(&spec, &opts, mobicast_sim::Tracer::null());
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    if report.oracle_violations > 0 {
+        return Err(format!(
+            "scale: {} oracle violation(s) in {}: {:?}",
+            report.oracle_violations, report.name, report.violations
+        ));
+    }
+    let stats = stats.ok_or_else(|| "scale: sharded run reported no stats".to_owned())?;
+    eprintln!(
+        "[scale] {}: {} events, {:.2}s wall, {:.0} events/sec, \
+         achievable speedup {:.2}x over {} shards",
+        report.name,
+        report.events_executed,
+        wall_secs,
+        report.events_executed as f64 / wall_secs.max(1e-9),
+        stats.achievable_speedup(),
+        stats.events_per_shard.len(),
+    );
+
+    // The Helmy aggregation curve: 100k listeners on the same 529-link
+    // metro, at three group fan-ins. Audited against the documented
+    // model; a drift lands in `bytes_per_listener`, which `report --diff`
+    // watches.
+    let curve = scale::aggregation_curve(100_000, 529);
+    for a in &curve {
+        let off = (a.measured_bytes as f64 - a.model_bytes as f64) / a.model_bytes as f64;
+        if off.abs() > 0.10 {
+            return Err(format!(
+                "scale: aggregation audit off model by {:.1}% at {} groups",
+                off * 100.0,
+                a.groups
+            ));
+        }
+        eprintln!(
+            "[scale] aggregation: {} groups -> {:.1} bytes/listener \
+             ({} MLD rows, {} (S,G) rows)",
+            a.groups, a.bytes_per_listener, a.mld_rows, a.sg_rows
+        );
+    }
+    let mem_per_listener = curve
+        .last()
+        .map(|a| a.bytes_per_listener)
+        .unwrap_or(f64::NAN);
+
+    // Poll flatness: quadrupling the listener population must not grow
+    // the oracle's per-poll walk footprint — state is per (link, group),
+    // and the watermark/epoch guards skip quiescent tables entirely.
+    let flat_spec = |receivers: usize| StressSpec {
+        name: format!("poll-flatness/{receivers}"),
+        receivers,
+        movers: 4,
+        ..scale::metro_spec(120, receivers, 11)
+    };
+    let (few, _) = run_stress_with(
+        &flat_spec(64),
+        &StressRunOptions::default(),
+        mobicast_sim::Tracer::null(),
+    );
+    let (many, _) = run_stress_with(
+        &flat_spec(256),
+        &StressRunOptions::default(),
+        mobicast_sim::Tracer::null(),
+    );
+    eprintln!(
+        "[scale] poll walk: {} entries over {} polls at 64 listeners, \
+         {} entries over {} polls at 256",
+        few.poll.sg_entries_walked,
+        few.poll.router_polls,
+        many.poll.sg_entries_walked,
+        many.poll.router_polls
+    );
+    if many.poll.sg_entries_walked as f64 > few.poll.sg_entries_walked as f64 * 1.5 {
+        return Err(format!(
+            "scale: oracle poll cost scales with listeners \
+             ({} -> {} entries walked for 4x listeners)",
+            few.poll.sg_entries_walked, many.poll.sg_entries_walked
+        ));
+    }
+
+    Ok(json!({
+        "metro": {
+            "name": report.name,
+            "routers": report.routers,
+            "links": report.links,
+            "hosts": report.hosts,
+            "events_executed": report.events_executed,
+            "wall_secs": wall_secs,
+            "events_per_sec": report.events_executed as f64 / wall_secs.max(1e-9),
+            "peak_rss_bytes": peak_rss_bytes(),
+            "shards": stats.events_per_shard.len(),
+            "workers": stats.workers,
+            "windows": stats.windows,
+            "barrier_syncs": stats.barrier_syncs,
+            "critical_path_events": stats.critical_path_events,
+            "achievable_speedup": stats.achievable_speedup(),
+        },
+        "aggregation": curve,
+        "mem_per_listener_bytes": mem_per_listener,
+        "oracle_poll": {
+            "listeners_64": few.poll,
+            "listeners_256": many.poll,
+            "flat": true,
+        },
+    }))
+}
+
 /// Validate an already-written `BENCH_sim.json` against the expected
 /// schema: parseable JSON, the right `schema`/`version` stamp, at least
 /// one scenario entry carrying the throughput and overload keys, and the
@@ -166,7 +307,7 @@ fn check_bench_file(path: &str) -> Result<(), String> {
     if v["schema"].as_str() != Some("mobicast-bench-sim") {
         return Err(format!("{path}: wrong or missing schema stamp"));
     }
-    if v["version"].as_u64() != Some(4) {
+    if v["version"].as_u64() != Some(5) {
         return Err(format!("{path}: wrong or missing schema version"));
     }
     let scenarios = v["scenarios"]
@@ -211,6 +352,27 @@ fn check_bench_file(path: &str) -> Result<(), String> {
     }
     if v["parallel"].as_object().is_none_or(|p| p.is_empty()) {
         return Err(format!("{path}: no parallel sweep section"));
+    }
+    let scale = v
+        .get("scale")
+        .ok_or_else(|| format!("{path}: no scale section"))?;
+    for key in [
+        "events_per_sec",
+        "peak_rss_bytes",
+        "achievable_speedup",
+        "events_executed",
+    ] {
+        if scale["metro"].get(key).is_none() {
+            return Err(format!("{path}: scale metro missing {key}"));
+        }
+    }
+    if scale["aggregation"].as_array().is_none_or(Vec::is_empty) {
+        return Err(format!("{path}: scale aggregation curve empty"));
+    }
+    if scale.get("mem_per_listener_bytes").is_none() || scale.get("oracle_poll").is_none() {
+        return Err(format!(
+            "{path}: scale missing mem_per_listener_bytes/oracle_poll"
+        ));
     }
     Ok(())
 }
@@ -380,14 +542,25 @@ fn main() -> ExitCode {
         }
     };
 
+    // Compact-state scale measurements (schema v5): metro throughput +
+    // peak RSS, the Helmy aggregation curve, and the poll-flatness gate.
+    let scale = match scale_section() {
+        Ok(entry) => entry,
+        Err(e) => {
+            eprintln!("exp_profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let out = json!({
         "schema": "mobicast-bench-sim",
-        "version": 4,
+        "version": 5,
         "scenarios": serde_json::Value::Object(scenarios),
         "parallel": {
             "chaos_sweep": chaos_sweep,
             "stress_sweep": stress_sweep,
         },
+        "scale": scale,
     });
     mobicast_core::report::write_json("BENCH_sim", &out);
     ExitCode::SUCCESS

@@ -41,6 +41,34 @@ pub fn approach_flag() -> Option<mobicast_core::Policy> {
     None
 }
 
+/// Parse `--routers N`: run a single metro-grid stress scenario of (at
+/// least) `N` routers instead of the canonical sweep. `None` when absent.
+pub fn routers_flag() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--routers" {
+            let v = args.next().expect("--routers needs a count");
+            let n: usize = v.parse().expect("--routers needs an integer count");
+            assert!(n >= 4, "--routers needs a count >= 4");
+            return Some(n);
+        }
+    }
+    None
+}
+
+/// Parse `--receivers N`: the roaming-receiver population for the metro
+/// stress run. `None` leaves the default.
+pub fn receivers_flag() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--receivers" {
+            let v = args.next().expect("--receivers needs a count");
+            return Some(v.parse().expect("--receivers needs an integer count"));
+        }
+    }
+    None
+}
+
 /// Parse `--workers N` / `--serial` (= `--workers 1`): the sweep worker
 /// pool override. `None` leaves the pool at its configured default.
 pub fn workers_flag() -> Option<usize> {

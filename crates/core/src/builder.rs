@@ -3,12 +3,13 @@
 
 use crate::addressing;
 use crate::host_node::{HostConfig, HostNode, SenderApp};
+use crate::interners::WorldInterners;
 use crate::netplan::{Directory, RouteEntry, RoutingTable, SharedDirectory};
 use crate::recorder::{Recorder, SharedRecorder};
 use crate::router_node::{RouterConfig, RouterIfaceInfo, RouterNode};
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_net::{
-    FaultPlan, IfIndex, LinkFaultState, LinkGraph, LinkId, LinkParams, NodeId, World,
+    FaultPlan, IfIndex, LinkFaultState, LinkGraph, LinkId, LinkParams, NodeId, ShardPlan, World,
 };
 use mobicast_sim::{RngFactory, SimTime, Tracer};
 use std::net::Ipv6Addr;
@@ -117,6 +118,18 @@ impl NetworkSpec {
         }
     }
 
+    /// A metro-scale access network sized to approximately `n_routers`
+    /// routers: a square link grid (`grid(w, w)` has `2·w·(w−1)` routers),
+    /// the shape used by the compact-state scale experiments.
+    /// `metro(1_000)` yields a 23×23 grid (1012 routers, 529 links);
+    /// `metro(10_000)` a 71×71 grid (9940 routers, 5041 links). Combine
+    /// with [`BuiltNetwork::shard_plan`] to run it sharded.
+    pub fn metro(n_routers: usize) -> NetworkSpec {
+        assert!(n_routers >= 4, "metro needs at least a 2x2 grid");
+        let w = ((1.0 + (1.0 + 2.0 * n_routers as f64).sqrt()) / 2.0).round() as usize;
+        Self::grid(w.max(2), w.max(2))
+    }
+
     /// A complete `fanout`-ary tree of links with `depth` levels, one
     /// router per parent–child edge. Links are BFS-indexed (root = 0, the
     /// children of link `i` are `i*fanout + 1 ..= i*fanout + fanout`).
@@ -167,6 +180,8 @@ pub struct BuiltNetwork {
     pub graph: LinkGraph,
     pub recorder: SharedRecorder,
     pub directory: SharedDirectory,
+    /// World-level id pools all router state tables draw from.
+    pub interners: WorldInterners,
 }
 
 impl BuiltNetwork {
@@ -174,11 +189,41 @@ impl BuiltNetwork {
     pub fn home_agent_of(&self, link: LinkId) -> NodeId {
         self.directory.default_router[link.index()].expect("link has a router")
     }
+
+    /// Partition the network into `n_shards` contiguous link regions for
+    /// [`World::run_until_sharded`]. Each node lands in the shard of its
+    /// first attached link; the lookahead is the minimum link delay in the
+    /// topology — a strictly conservative bound on how fast any event can
+    /// cross a shard boundary, and robust against hosts roaming between
+    /// regions mid-run.
+    pub fn shard_plan(&self, n_shards: usize) -> ShardPlan {
+        let n_shards = n_shards.clamp(1, self.links.len().max(1));
+        let n_links = self.links.len().max(1);
+        let shard_of_link = |l: LinkId| (l.index() * n_shards / n_links) as u32;
+        let node_shard: Vec<u32> = (0..self.world.n_nodes())
+            .map(|n| {
+                let node = NodeId(n as u32);
+                (0..self.world.n_ifaces(node))
+                    .filter_map(|ifx| self.world.link_of(node, ifx as IfIndex))
+                    .map(shard_of_link)
+                    .next()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let lookahead = self
+            .links
+            .iter()
+            .map(|l| self.world.link_params(*l).delay)
+            .min()
+            .unwrap_or(mobicast_sim::SimDuration::from_millis(1));
+        ShardPlan::new(node_shard, lookahead)
+    }
 }
 
 /// Build one router behavior for `r` (interface info + routing table
 /// derived from the graph). Also used to construct the fresh, blank-state
 /// replacement stack when a fault plan restarts a crashed router.
+#[allow(clippy::too_many_arguments)]
 fn router_node(
     spec: &NetworkSpec,
     links: &[LinkId],
@@ -187,6 +232,7 @@ fn router_node(
     router_cfg: RouterConfig,
     rng: &RngFactory,
     recorder: &SharedRecorder,
+    interners: &WorldInterners,
 ) -> Box<RouterNode> {
     let attached = &spec.routers[r.index()];
     let ifaces: Vec<RouterIfaceInfo> = attached
@@ -233,6 +279,7 @@ fn router_node(
         RoutingTable { routes },
         rng,
         recorder.clone(),
+        interners,
     ))
 }
 
@@ -290,8 +337,11 @@ pub fn build(
     });
 
     // Per-router interface info + routing tables.
+    let interners = WorldInterners::new();
     for (r, attached) in router_ids.iter().zip(&spec.routers) {
-        let node = router_node(spec, &links, &graph, *r, router_cfg, &rng, &recorder);
+        let node = router_node(
+            spec, &links, &graph, *r, router_cfg, &rng, &recorder, &interners,
+        );
         let id = world.add_node(attached.len(), node);
         debug_assert_eq!(id, *r);
         for (ifx, l) in attached.iter().enumerate() {
@@ -335,6 +385,7 @@ pub fn build(
         graph,
         recorder,
         directory,
+        interners,
     }
 }
 
@@ -412,6 +463,7 @@ pub fn apply_fault_plan(
             router_cfg,
             &rng.subfactory(&format!("restart.{k}")),
             &net.recorder,
+            &net.interners,
         );
         net.world.at(at(crash.restart_at_secs), move |w| {
             w.restart_node(node, fresh)

@@ -1,0 +1,50 @@
+//! World-level interner bundle shared by every node's compact state tables.
+//!
+//! One [`WorldInterners`] is created per built network. Every router's MLD
+//! listener table, PIM (S,G) table and home-agent binding cache draw their
+//! dense `u32` ids from the same two pools, so equal addresses intern to
+//! equal ids on every node and the total intern storage is paid once per
+//! world instead of once per node.
+
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_sim::arena::{shared_interner, SharedInterner};
+use std::net::Ipv6Addr;
+
+/// Shared id pools for a whole simulated world.
+#[derive(Clone, Debug)]
+pub struct WorldInterners {
+    /// Unicast IPv6 addresses (home addresses, care-of addresses, sources).
+    pub addrs: SharedInterner<Ipv6Addr>,
+    /// Multicast group addresses.
+    pub groups: SharedInterner<GroupAddr>,
+}
+
+impl WorldInterners {
+    pub fn new() -> Self {
+        WorldInterners {
+            addrs: shared_interner(),
+            groups: shared_interner(),
+        }
+    }
+
+    /// Bytes held by the interner pools themselves (key storage + indexes),
+    /// per the documented models in `mobicast_sim::arena`.
+    pub fn state_bytes(&self) -> usize {
+        self.addrs.borrow().state_bytes() + self.groups.borrow().state_bytes()
+    }
+
+    /// Number of distinct interned keys across both pools.
+    pub fn len(&self) -> usize {
+        self.addrs.borrow().len() + self.groups.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for WorldInterners {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -31,6 +31,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod explain;
 pub mod host_node;
+pub mod interners;
 pub mod mobility;
 pub mod netplan;
 pub mod observability;
@@ -38,6 +39,7 @@ pub mod oracle;
 pub mod recorder;
 pub mod report;
 pub mod router_node;
+pub mod scale;
 pub mod scenario;
 pub mod strategy;
 pub mod stress;
@@ -47,11 +49,12 @@ pub use analysis::{Analysis, RunReport};
 pub use builder::{build, BuiltNetwork, HostSpec, MapDomain, NetworkSpec};
 pub use explain::{DeliveryPath, Journey, JourneyHop};
 pub use host_node::{HostConfig, HostNode, SenderApp};
+pub use interners::WorldInterners;
 pub use observability::{
     diff_report_values, handoff_rows, policy_handoff_stats, HandoffRow, PhaseBreakdown,
     PolicyHandoffStats, DEFAULT_DRIFT_THRESHOLD,
 };
-pub use oracle::{Oracle, OracleSummary};
+pub use oracle::{Oracle, OracleSummary, PollStats};
 pub use router_node::{ResourceBudget, RouterConfig, RouterNode};
 pub use scenario::{
     run, run_with_recorder, Move, PaperHost, ScenarioBuilder, ScenarioConfig, ScenarioResult,

@@ -110,6 +110,26 @@ pub struct OracleSummary {
     pub protected_flow_ok: Option<bool>,
 }
 
+/// Cost accounting of the periodic state poll. With the SoA tables'
+/// O(1) watermarks (`min_expires`) and mutation epochs in place, the
+/// per-entry walks only run when a table may actually have something to
+/// report — on a quiescent network every poll is O(routers), not
+/// O(routers × entries). `exp_profile` asserts the walk counters stay
+/// flat as listener counts grow.
+#[derive(Clone, Debug, Default, Serialize, serde::Deserialize)]
+pub struct PollStats {
+    /// Router inspections performed (polled routers × epochs).
+    pub router_polls: u64,
+    /// Inspections where the per-(S,G) walk actually ran.
+    pub sg_walks: u64,
+    /// Total (S,G) entries visited across all walks.
+    pub sg_entries_walked: u64,
+    /// Inspections where the binding-cache walk actually ran.
+    pub binding_walks: u64,
+    /// Total binding-cache entries visited across all walks.
+    pub binding_entries_walked: u64,
+}
+
 #[derive(Default)]
 struct OracleState {
     violations: Vec<String>,
@@ -121,6 +141,10 @@ struct OracleState {
     /// The event-queue high-water is monotone, so its budget breach is
     /// reported once instead of on every subsequent poll.
     queue_depth_reported: bool,
+    poll_stats: PollStats,
+    /// Last PIM mutation epoch inspected per router: an unchanged epoch
+    /// means the legality walk would reproduce its previous verdict.
+    pim_epoch_seen: BTreeMap<NodeId, u64>,
 }
 
 fn push_violation(st: &mut OracleState, msg: String) {
@@ -186,9 +210,22 @@ impl Oracle {
         self.state.borrow().violations.clone()
     }
 
+    /// Cost accounting of the polls performed so far.
+    pub fn poll_stats(&self) -> PollStats {
+        self.state.borrow().poll_stats.clone()
+    }
+
     /// Per-epoch router-state inspection: (S,G) data-timeout compliance,
     /// oif-list legality, and binding-cache freshness. Crashed routers are
     /// skipped — their state is frozen, not held.
+    ///
+    /// The per-entry walks are guarded by the SoA tables' O(1) reads: the
+    /// (S,G) walk runs only when the expiry watermark says something may
+    /// be overdue or the router's mutation epoch moved since the last
+    /// inspection (an unchanged epoch reproduces the previous legality
+    /// verdict); the binding walk runs only when the cache's watermark is
+    /// in the past. Quiescent routers therefore cost O(1) per poll no
+    /// matter how much state they hold.
     pub fn poll(&self, world: &World, routers: &[NodeId]) {
         let now = world.now();
         let st = &mut *self.state.borrow_mut();
@@ -199,36 +236,45 @@ impl Oracle {
             let Some(router) = world.behavior::<RouterNode>(r) else {
                 continue;
             };
-            for (s, g) in router.pim().entry_keys() {
-                let Some(snap) = router.pim().snapshot(s, g) else {
-                    continue;
-                };
-                if now > snap.expires {
-                    let over = (now - snap.expires).as_secs_f64();
-                    if over > st.worst_stale_sg_secs {
-                        st.worst_stale_sg_secs = over;
+            st.poll_stats.router_polls += 1;
+            let epoch = router.pim().mutation_epoch();
+            let maybe_overdue = now > router.pim().min_entry_expiry();
+            let dirty = st.pim_epoch_seen.get(&r) != Some(&epoch);
+            if maybe_overdue || dirty {
+                st.pim_epoch_seen.insert(r, epoch);
+                st.poll_stats.sg_walks += 1;
+                for (s, g) in router.pim().entry_keys() {
+                    st.poll_stats.sg_entries_walked += 1;
+                    let Some(snap) = router.pim().snapshot(s, g) else {
+                        continue;
+                    };
+                    if now > snap.expires {
+                        let over = (now - snap.expires).as_secs_f64();
+                        if over > st.worst_stale_sg_secs {
+                            st.worst_stale_sg_secs = over;
+                        }
+                        if now > snap.expires + SG_EXPIRY_MARGIN {
+                            push_violation(
+                                st,
+                                format!(
+                                    "t={:.0}s: {r} holds ({s}, {g}) {over:.1}s past its \
+                                     data-timeout deadline",
+                                    now.as_secs_f64()
+                                ),
+                            );
+                        }
                     }
-                    if now > snap.expires + SG_EXPIRY_MARGIN {
+                    if snap.forwarding.contains(&snap.iif) {
                         push_violation(
                             st,
                             format!(
-                                "t={:.0}s: {r} holds ({s}, {g}) {over:.1}s past its \
-                                 data-timeout deadline",
-                                now.as_secs_f64()
+                                "t={:.0}s: {r} ({s}, {g}) forwards onto its own incoming \
+                                 interface {}",
+                                now.as_secs_f64(),
+                                snap.iif
                             ),
                         );
                     }
-                }
-                if snap.forwarding.contains(&snap.iif) {
-                    push_violation(
-                        st,
-                        format!(
-                            "t={:.0}s: {r} ({s}, {g}) forwards onto its own incoming \
-                             interface {}",
-                            now.as_secs_f64(),
-                            snap.iif
-                        ),
-                    );
                 }
             }
             // Bounded memory: with a ResourceBudget configured, no state
@@ -289,22 +335,26 @@ impl Oracle {
                     );
                 }
             }
-            for (home, e) in router.home_agent().cache().entries() {
-                if now > e.expires {
-                    let over = (now - e.expires).as_secs_f64();
-                    if over > st.worst_binding_overstay_secs {
-                        st.worst_binding_overstay_secs = over;
-                    }
-                    if now > e.expires + BINDING_MARGIN {
-                        push_violation(
-                            st,
-                            format!(
-                                "t={:.0}s: {r} still caches binding {home} -> {} \
-                                 {over:.1}s past its lifetime",
-                                now.as_secs_f64(),
-                                e.care_of
-                            ),
-                        );
+            if now > router.home_agent().cache().min_expires() {
+                st.poll_stats.binding_walks += 1;
+                for (home, e) in router.home_agent().cache().entries() {
+                    st.poll_stats.binding_entries_walked += 1;
+                    if now > e.expires {
+                        let over = (now - e.expires).as_secs_f64();
+                        if over > st.worst_binding_overstay_secs {
+                            st.worst_binding_overstay_secs = over;
+                        }
+                        if now > e.expires + BINDING_MARGIN {
+                            push_violation(
+                                st,
+                                format!(
+                                    "t={:.0}s: {r} still caches binding {home} -> {} \
+                                     {over:.1}s past its lifetime",
+                                    now.as_secs_f64(),
+                                    e.care_of
+                                ),
+                            );
+                        }
                     }
                 }
             }

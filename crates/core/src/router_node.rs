@@ -9,6 +9,7 @@
 //! are suppressed by other listeners' reports, and send Done when the
 //! binding (and thus the proxied membership) goes away.
 
+use crate::interners::WorldInterners;
 use crate::netplan::{self, frame_for, RoutingTable};
 use crate::recorder::{DataEvent, SharedRecorder};
 use mobicast_ipv6::addr::{self, GroupAddr, Prefix};
@@ -192,15 +193,21 @@ impl RouterNode {
         table: RoutingTable,
         rng: &RngFactory,
         recorder: SharedRecorder,
+        interners: &WorldInterners,
     ) -> Self {
-        let mut pim = PimRouter::new(cfg.pim, rng.indexed_stream("pim-router", u64::from(id.0)));
+        let mut pim = PimRouter::with_interners(
+            cfg.pim,
+            rng.indexed_stream("pim-router", u64::from(id.0)),
+            interners.addrs.clone(),
+            interners.groups.clone(),
+        );
         pim.set_budget(cfg.budget.pim_sg_entries, cfg.budget.shed_policy);
         let mut mld = BTreeMap::new();
         let mut proxy = BTreeMap::new();
         for (i, info) in ifaces.iter().enumerate() {
             let ifx = i as IfIndex;
             pim.add_iface(ifx, info.ll);
-            let mut port = MldRouterPort::new(cfg.mld, info.ll);
+            let mut port = MldRouterPort::with_interner(cfg.mld, info.ll, interners.groups.clone());
             port.set_budget(cfg.budget.mld_listeners, cfg.budget.shed_policy);
             mld.insert(ifx, port);
             proxy.insert(
@@ -211,7 +218,7 @@ impl RouterNode {
                 ),
             );
         }
-        let mut ha = HomeAgent::new();
+        let mut ha = HomeAgent::with_interners(interners.addrs.clone(), interners.groups.clone());
         ha.set_budget(cfg.budget.binding_cache, cfg.budget.shed_policy);
         let bucket = cfg.budget.control_rate.map(TokenBucket::new);
         let n = ifaces.len();

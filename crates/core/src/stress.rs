@@ -19,6 +19,7 @@ use crate::router_node::{RouterConfig, RouterNode};
 use crate::scenario::group;
 use crate::strategy::Policy;
 use mobicast_mld::MldConfig;
+use mobicast_net::ShardRunStats;
 use mobicast_sim::{RngFactory, SimDuration, SimTime, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -81,10 +82,38 @@ pub struct StressReport {
     pub oracle_violations: u64,
     /// First few violation messages (empty on a legal run).
     pub violations: Vec<String>,
+    /// Cost accounting of the oracle's 5 s state poll — deterministic, so
+    /// it participates in the parity checks, and the profile bench asserts
+    /// the walk counters stay flat as listener counts grow.
+    pub poll: crate::oracle::PollStats,
+}
+
+/// How a stress run executes: sharded or classic sequential, and with
+/// which trace sink. The default (`shards = 0`) is the classic
+/// [`mobicast_net::World::run_until`] loop; any `shards >= 1` routes
+/// through the conservative-lookahead sharded executor, whose dispatch
+/// order is byte-identical for every `(shards, workers)` choice — the
+/// contract `tests/shard_parity.rs` pins.
+#[derive(Clone, Debug, Default)]
+pub struct StressRunOptions {
+    /// Topology shards for the windowed executor (0 = sequential loop).
+    pub shards: usize,
+    /// Worker count recorded in the batch schedule (order-inert).
+    pub workers: usize,
 }
 
 /// Run one stress scenario to completion under the oracle.
 pub fn run_stress(spec: &StressSpec) -> StressReport {
+    run_stress_with(spec, &StressRunOptions::default(), Tracer::null()).0
+}
+
+/// [`run_stress`] with explicit execution options and a trace sink.
+/// Returns the shard schedule statistics when `opts.shards >= 1`.
+pub fn run_stress_with(
+    spec: &StressSpec,
+    opts: &StressRunOptions,
+    tracer: Tracer,
+) -> (StressReport, Option<ShardRunStats>) {
     assert!(
         spec.receivers >= spec.movers,
         "movers are a subset of receivers"
@@ -129,7 +158,7 @@ pub fn run_stress(spec: &StressSpec) -> StressReport {
         &hosts,
         RouterConfig::default(),
         spec.seed,
-        Tracer::null(),
+        tracer,
     );
 
     // Script the moves: per-mover RNG streams derived only from the seed,
@@ -163,7 +192,13 @@ pub fn run_stress(spec: &StressSpec) -> StressReport {
     }
 
     let oracle = Oracle::attach(&mut net.world, net.routers.clone(), end);
-    net.world.run_until(end);
+    let shard_stats = if opts.shards >= 1 {
+        let plan = net.shard_plan(opts.shards);
+        Some(net.world.run_until_sharded(end, &plan, opts.workers.max(1)))
+    } else {
+        net.world.run_until(end);
+        None
+    };
 
     let BuiltNetwork {
         world,
@@ -205,7 +240,7 @@ pub fn run_stress(spec: &StressSpec) -> StressReport {
         .max()
         .unwrap_or(0);
 
-    StressReport {
+    let report = StressReport {
         name: spec.name.clone(),
         routers: routers.len(),
         links: links.len(),
@@ -218,7 +253,9 @@ pub fn run_stress(spec: &StressSpec) -> StressReport {
         max_router_sg_entries: max_sg,
         oracle_violations: summary.violation_count,
         violations: summary.violations,
-    }
+        poll: oracle.poll_stats(),
+    };
+    (report, shard_stats)
 }
 
 /// The canonical stress specs: `quick` uses small shapes suitable for

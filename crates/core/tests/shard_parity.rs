@@ -1,0 +1,146 @@
+//! Sharded-executor parity: the conservative-lookahead windowed executor
+//! (`World::run_until_sharded`) must produce *byte-identical* runs for
+//! every `(shards, workers)` choice — and identical to the classic
+//! sequential loop. "Byte-identical" is checked at three levels:
+//!
+//! 1. the full trace JSONL captured by a ring tracer (every dispatch,
+//!    send, delivery and drop, with arguments),
+//! 2. the serialized `StressReport` (ground-truth counters and metrics),
+//! 3. the oracle verdicts (violation count and messages).
+//!
+//! The batch schedule itself (`ShardRunStats`) must also be a pure
+//! function of the plan — only the recorded `workers` label may differ.
+//!
+//! The quick variant runs on every `cargo test`; the `#[ignore]`d variant
+//! is the 10k-router metro gate run by the CI `parallel-parity` job.
+
+use mobicast_core::builder::NetworkSpec;
+use mobicast_core::strategy::Policy;
+use mobicast_core::stress::{run_stress_with, specs, StressRunOptions, StressSpec};
+use mobicast_net::ShardRunStats;
+use mobicast_sim::{RingBufferTracer, SimDuration};
+
+/// One full stress run captured for comparison.
+struct Capture {
+    trace_jsonl: String,
+    report_json: String,
+    violations: Vec<String>,
+    stats: Option<ShardRunStats>,
+}
+
+fn capture(spec: &StressSpec, shards: usize, workers: usize) -> Capture {
+    let (tracer, ring) = RingBufferTracer::new(1_000_000);
+    let opts = StressRunOptions { shards, workers };
+    let (report, stats) = run_stress_with(spec, &opts, tracer);
+    Capture {
+        trace_jsonl: ring.export_jsonl(),
+        report_json: serde_json::to_string_pretty(&report).expect("report serializes"),
+        violations: report.violations,
+        stats,
+    }
+}
+
+/// Assert two captures are byte-identical at all three levels.
+fn assert_parity(label: &str, a: &Capture, b: &Capture) {
+    assert_eq!(
+        a.report_json, b.report_json,
+        "{label}: StressReport diverged"
+    );
+    assert_eq!(
+        a.violations, b.violations,
+        "{label}: oracle verdicts diverged"
+    );
+    // Diff the traces line-by-line first so a mismatch points at the
+    // earliest diverging event instead of dumping megabytes.
+    if a.trace_jsonl != b.trace_jsonl {
+        for (i, (la, lb)) in a.trace_jsonl.lines().zip(b.trace_jsonl.lines()).enumerate() {
+            assert_eq!(la, lb, "{label}: trace JSONL diverged at line {i}");
+        }
+        panic!(
+            "{label}: trace lengths diverged ({} vs {} bytes)",
+            a.trace_jsonl.len(),
+            b.trace_jsonl.len()
+        );
+    }
+}
+
+/// The schedule (windows, barriers, per-shard batches, critical path) is a
+/// property of the *plan*, not the worker count.
+fn assert_same_schedule(label: &str, a: &ShardRunStats, b: &ShardRunStats) {
+    assert_eq!(a.windows, b.windows, "{label}: window count diverged");
+    assert_eq!(
+        a.barrier_syncs, b.barrier_syncs,
+        "{label}: barriers diverged"
+    );
+    assert_eq!(a.events_total, b.events_total, "{label}: totals diverged");
+    assert_eq!(
+        a.events_per_shard, b.events_per_shard,
+        "{label}: per-shard batches diverged"
+    );
+    assert_eq!(
+        a.critical_path_events, b.critical_path_events,
+        "{label}: critical path diverged"
+    );
+}
+
+fn parity_over(spec: &StressSpec, shards: usize) {
+    let sequential = capture(spec, 0, 1);
+    let one = capture(spec, shards, 1);
+    let many = capture(spec, shards, 4);
+
+    assert_parity(
+        &format!("{} seq vs workers=1", spec.name),
+        &sequential,
+        &one,
+    );
+    assert_parity(&format!("{} workers=1 vs 4", spec.name), &one, &many);
+
+    let s1 = one.stats.as_ref().expect("sharded run reports stats");
+    let s4 = many.stats.as_ref().expect("sharded run reports stats");
+    assert_same_schedule(&spec.name, s1, s4);
+    assert_eq!(s1.workers, 1);
+    assert_eq!(s4.workers, 4);
+    assert!(
+        s1.events_per_shard.iter().filter(|&&n| n > 0).count() > 1,
+        "{}: work never spread past one shard: {:?}",
+        spec.name,
+        s1.events_per_shard
+    );
+    assert!(
+        s1.achievable_speedup() > 1.0,
+        "{}: no exploitable parallelism in the schedule",
+        spec.name
+    );
+}
+
+/// Quick always-on gate: small grid and tree, both receive planes.
+#[test]
+fn sharded_runs_are_byte_identical_quick() {
+    for spec in specs(true) {
+        parity_over(&spec, 4);
+    }
+}
+
+/// Full 10k-router metro gate (CI `parallel-parity` job). Three complete
+/// runs of a 9940-router grid with 200 receivers — release-mode only.
+#[test]
+#[ignore = "10k-router stress; run via --include-ignored in release mode"]
+fn sharded_metro_10k_is_byte_identical() {
+    let topo = NetworkSpec::metro(10_000);
+    assert!(topo.routers.len() >= 9_900, "metro undersized");
+    let spec = StressSpec {
+        name: format!("metro{}x{}/local/seed11", topo.n_links, topo.routers.len()),
+        topology: topo,
+        policy: Policy::LOCAL,
+        seed: 11,
+        duration: SimDuration::from_secs(90),
+        receivers: 200,
+        movers: 8,
+        moves_per_mover: 2,
+        // 10 s CBR: each tick floods the full 5041-link grid, so the
+        // interval is the lever that keeps three complete 10k-router
+        // captures inside a sane CI budget without shrinking the topology.
+        data_interval: SimDuration::from_secs(10),
+    };
+    parity_over(&spec, 16);
+}

@@ -1,20 +1,29 @@
 //! The binding cache kept by a home agent (draft-ietf-mobileip-ipv6-10 §4.4)
 //! extended with the paper's per-binding multicast group list (the data the
 //! proposed Multicast Group List Sub-Option carries, §4.3.2).
+//!
+//! State lives in struct-of-arrays columns — interned home/care-of address
+//! ids, expiry, sequence, and a per-binding list of interned group ids —
+//! indexed by a reusable slot, with an `order` index sorted by home
+//! address preserving the old `BTreeMap` iteration order byte-for-byte.
+//! Expiry scans, eviction and the oracle's freshness checks are linear
+//! sweeps over dense columns; per-group subscriber counts are aggregated
+//! in `group_refs` (the paper's aggregation level: one entry per group
+//! per home agent, however many bindings subscribe).
 
 use mobicast_ipv6::addr::GroupAddr;
+use mobicast_sim::arena::{InternId, SharedInterner};
 use mobicast_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 
-/// One binding: home address → care-of address, plus the multicast groups
-/// the mobile host asked its home agent to join on its behalf.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct BindingEntry {
+/// A read-only view of one binding: home address → care-of address, plus
+/// registration metadata. Copied out of the columns on lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BindingView {
     pub care_of: Ipv6Addr,
     pub expires: SimTime,
     pub sequence: u16,
-    pub groups: Vec<GroupAddr>,
 }
 
 /// Effect of a cache update, as seen by the multicast proxy machinery.
@@ -32,33 +41,121 @@ impl CacheDelta {
     }
 }
 
-/// The home agent's binding cache.
-#[derive(Debug, Default)]
+/// The home agent's binding cache (SoA columns + interned addresses).
+#[derive(Debug)]
 pub struct BindingCache {
-    entries: BTreeMap<Ipv6Addr, BindingEntry>,
+    /// Home and care-of addresses share one world-level id space.
+    addrs: SharedInterner<Ipv6Addr>,
+    groups_interner: SharedInterner<GroupAddr>,
+    /// Columns, indexed by slot. A slot is live iff `live[slot]`.
+    home: Vec<InternId>,
+    care_of: Vec<InternId>,
+    expires: Vec<SimTime>,
+    sequence: Vec<u16>,
+    /// Interned ids of the groups each binding subscribes to, in the
+    /// order the Binding Update listed them.
+    groups: Vec<Vec<InternId>>,
+    live: Vec<bool>,
+    /// Retired slots available for reuse (LIFO).
+    free: Vec<u32>,
+    /// Live slots sorted by home address.
+    order: Vec<u32>,
     /// Subscriber counts per group across all bindings.
     group_refs: BTreeMap<GroupAddr, usize>,
+    /// Conservative lower bound on every live expiry (`SimTime::MAX` when
+    /// empty); see `min_expires()`.
+    min_expires: SimTime,
+}
+
+impl Default for BindingCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl BindingCache {
+    /// A cache with its own private id spaces (unit tests).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_interners(
+            mobicast_sim::shared_interner(),
+            mobicast_sim::shared_interner(),
+        )
+    }
+
+    /// A cache drawing address and group ids from world-level interners.
+    pub fn with_interners(
+        addrs: SharedInterner<Ipv6Addr>,
+        groups: SharedInterner<GroupAddr>,
+    ) -> Self {
+        BindingCache {
+            addrs,
+            groups_interner: groups,
+            home: Vec::new(),
+            care_of: Vec::new(),
+            expires: Vec::new(),
+            sequence: Vec::new(),
+            groups: Vec::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            group_refs: BTreeMap::new(),
+            min_expires: SimTime::MAX,
+        }
+    }
+
+    fn resolve_addr(&self, id: InternId) -> Ipv6Addr {
+        *self
+            .addrs
+            .borrow()
+            .resolve(id)
+            .unwrap_or_else(|| unreachable!("live slot holds an interned address"))
+    }
+
+    fn resolve_group(&self, id: InternId) -> GroupAddr {
+        *self
+            .groups_interner
+            .borrow()
+            .resolve(id)
+            .unwrap_or_else(|| unreachable!("binding holds an interned group"))
+    }
+
+    fn home_of(&self, slot: u32) -> Ipv6Addr {
+        self.resolve_addr(self.home[slot as usize])
+    }
+
+    /// Binary search `order` for `home`.
+    fn locate(&self, home: Ipv6Addr) -> Result<usize, usize> {
+        self.order
+            .binary_search_by(|&slot| self.home_of(slot).cmp(&home))
+    }
+
+    fn slot_of(&self, home: Ipv6Addr) -> Option<u32> {
+        self.locate(home).ok().map(|pos| self.order[pos])
+    }
+
+    fn view(&self, slot: u32) -> BindingView {
+        let i = slot as usize;
+        BindingView {
+            care_of: self.resolve_addr(self.care_of[i]),
+            expires: self.expires[i],
+            sequence: self.sequence[i],
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.order.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.order.is_empty()
     }
 
-    pub fn lookup(&self, home: Ipv6Addr) -> Option<&BindingEntry> {
-        self.entries.get(&home)
+    pub fn lookup(&self, home: Ipv6Addr) -> Option<BindingView> {
+        self.slot_of(home).map(|slot| self.view(slot))
     }
 
     pub fn contains(&self, home: Ipv6Addr) -> bool {
-        self.entries.contains_key(&home)
+        self.locate(home).is_ok()
     }
 
     /// Remove the binding closest to expiry (ties break on home-address
@@ -66,30 +163,40 @@ impl BindingCache {
     /// proxy-group delta, or `None` when the cache is empty.
     pub fn evict_stalest(&mut self) -> Option<(Ipv6Addr, CacheDelta)> {
         let victim = self
-            .entries
+            .order
             .iter()
-            .min_by_key(|(h, e)| (e.expires, **h))
-            .map(|(h, _)| *h)?;
+            .map(|&slot| (self.expires[slot as usize], self.home_of(slot)))
+            .min()
+            .map(|(_, h)| h)?;
         let mut delta = CacheDelta::default();
-        if let Some(e) = self.entries.remove(&victim) {
-            self.unref_groups(&e.groups, &mut delta);
-        }
+        self.remove_slot(victim, &mut delta);
         Some((victim, delta))
     }
 
-    /// All `(home, entry)` pairs, in home-address order (oracle freshness
-    /// checks walk the whole cache).
-    pub fn entries(&self) -> impl Iterator<Item = (&Ipv6Addr, &BindingEntry)> {
-        self.entries.iter()
+    /// All `(home, binding)` pairs, in home-address order (oracle
+    /// freshness checks walk the whole cache — guarded by
+    /// [`BindingCache::min_expires`] so they rarely have to).
+    pub fn entries(&self) -> impl Iterator<Item = (Ipv6Addr, BindingView)> + '_ {
+        self.order
+            .iter()
+            .map(|&slot| (self.home_of(slot), self.view(slot)))
     }
 
     /// Care-of addresses of every binding subscribed to `group`, in home
     /// address order (the fan-out set for tunnelled multicast).
     pub fn subscribers(&self, group: GroupAddr) -> Vec<(Ipv6Addr, Ipv6Addr)> {
-        self.entries
+        let Some(gid) = self.groups_interner.borrow().get(&group) else {
+            return Vec::new();
+        };
+        self.order
             .iter()
-            .filter(|(_, e)| e.groups.contains(&group))
-            .map(|(home, e)| (*home, e.care_of))
+            .filter(|&&slot| self.groups[slot as usize].contains(&gid))
+            .map(|&slot| {
+                (
+                    self.home_of(slot),
+                    self.resolve_addr(self.care_of[slot as usize]),
+                )
+            })
             .collect()
     }
 
@@ -98,26 +205,43 @@ impl BindingCache {
         self.group_refs.keys().copied().collect()
     }
 
-    fn ref_groups(&mut self, groups: &[GroupAddr], delta: &mut CacheDelta) {
-        for g in groups {
-            let c = self.group_refs.entry(*g).or_insert(0);
+    fn ref_groups(&mut self, groups: &[InternId], delta: &mut CacheDelta) {
+        for &gid in groups {
+            let g = self.resolve_group(gid);
+            let c = self.group_refs.entry(g).or_insert(0);
             *c += 1;
             if *c == 1 {
-                delta.groups_added.push(*g);
+                delta.groups_added.push(g);
             }
         }
     }
 
-    fn unref_groups(&mut self, groups: &[GroupAddr], delta: &mut CacheDelta) {
-        for g in groups {
-            if let Some(c) = self.group_refs.get_mut(g) {
+    fn unref_groups(&mut self, groups: &[InternId], delta: &mut CacheDelta) {
+        for &gid in groups {
+            let g = self.resolve_group(gid);
+            if let Some(c) = self.group_refs.get_mut(&g) {
                 *c -= 1;
                 if *c == 0 {
-                    self.group_refs.remove(g);
-                    delta.groups_removed.push(*g);
+                    self.group_refs.remove(&g);
+                    delta.groups_removed.push(g);
                 }
             }
         }
+    }
+
+    fn remove_slot(&mut self, home: Ipv6Addr, delta: &mut CacheDelta) -> bool {
+        let Ok(pos) = self.locate(home) else {
+            return false;
+        };
+        let slot = self.order.remove(pos);
+        let old_groups = std::mem::take(&mut self.groups[slot as usize]);
+        self.unref_groups(&old_groups, delta);
+        self.live[slot as usize] = false;
+        self.free.push(slot);
+        if self.order.is_empty() {
+            self.min_expires = SimTime::MAX;
+        }
+        true
     }
 
     /// Register or refresh a binding. `lifetime` of zero deregisters.
@@ -133,41 +257,84 @@ impl BindingCache {
     ) -> CacheDelta {
         let mut delta = CacheDelta::default();
         if lifetime.is_zero() {
-            if let Some(old) = self.entries.remove(&home) {
-                self.unref_groups(&old.groups, &mut delta);
-            }
+            self.remove_slot(home, &mut delta);
             return delta;
         }
         let expires = now + lifetime;
-        match self.entries.get_mut(&home) {
-            Some(e) => {
-                let old_groups = std::mem::take(&mut e.groups);
-                e.care_of = care_of;
-                e.expires = expires;
-                e.sequence = sequence;
-                e.groups = groups.clone();
-                self.ref_groups(&groups, &mut delta);
+        // The id spaces span the full u32 range — in any buildable
+        // topology interning cannot fail, but degrade to ignoring the
+        // update rather than panicking if it ever does.
+        let Ok(coa_id) = self.addrs.borrow_mut().intern(care_of) else {
+            return delta;
+        };
+        let gids: Vec<InternId> = {
+            let mut gi = self.groups_interner.borrow_mut();
+            let Ok(gids) = groups.iter().map(|g| gi.intern(*g)).collect() else {
+                return delta;
+            };
+            gids
+        };
+        match self.slot_of(home) {
+            Some(slot) => {
+                let i = slot as usize;
+                let old_groups = std::mem::replace(&mut self.groups[i], gids.clone());
+                self.care_of[i] = coa_id;
+                self.expires[i] = expires;
+                self.sequence[i] = sequence;
+                self.ref_groups(&gids, &mut delta);
                 self.unref_groups(&old_groups, &mut delta);
             }
             None => {
-                self.entries.insert(
-                    home,
-                    BindingEntry {
-                        care_of,
-                        expires,
-                        sequence,
-                        groups: groups.clone(),
-                    },
-                );
-                self.ref_groups(&groups, &mut delta);
+                let Ok(home_id) = self.addrs.borrow_mut().intern(home) else {
+                    return delta;
+                };
+                let slot = match self.free.pop() {
+                    Some(slot) => {
+                        let i = slot as usize;
+                        self.home[i] = home_id;
+                        self.care_of[i] = coa_id;
+                        self.expires[i] = expires;
+                        self.sequence[i] = sequence;
+                        self.groups[i] = gids.clone();
+                        self.live[i] = true;
+                        slot
+                    }
+                    None => {
+                        let slot = self.home.len() as u32;
+                        self.home.push(home_id);
+                        self.care_of.push(coa_id);
+                        self.expires.push(expires);
+                        self.sequence.push(sequence);
+                        self.groups.push(gids.clone());
+                        self.live.push(true);
+                        slot
+                    }
+                };
+                let pos = match self.locate(home) {
+                    Ok(_) => unreachable!("insert of a present home"),
+                    Err(pos) => pos,
+                };
+                self.order.insert(pos, slot);
+                self.ref_groups(&gids, &mut delta);
             }
         }
+        self.min_expires = self.min_expires.min(expires);
         delta
     }
 
-    /// Earliest binding expiry.
+    /// Earliest binding expiry (linear sweep over the expiry column).
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.entries.values().map(|e| e.expires).min()
+        self.order
+            .iter()
+            .map(|&slot| self.expires[slot as usize])
+            .min()
+    }
+
+    /// O(1) conservative lower bound on all binding expiries. If this is
+    /// in the future, no binding can be overdue — the guard that keeps
+    /// oracle polls flat as binding counts grow.
+    pub fn min_expires(&self) -> SimTime {
+        self.min_expires
     }
 
     /// Drop expired bindings (the paper: a missing refresh lets the home
@@ -176,17 +343,193 @@ impl BindingCache {
     pub fn expire(&mut self, now: SimTime) -> (Vec<Ipv6Addr>, CacheDelta) {
         let mut delta = CacheDelta::default();
         let dead: Vec<Ipv6Addr> = self
-            .entries
+            .order
             .iter()
-            .filter(|(_, e)| e.expires <= now)
-            .map(|(h, _)| *h)
+            .filter(|&&slot| self.expires[slot as usize] <= now)
+            .map(|&slot| self.home_of(slot))
             .collect();
         for h in &dead {
-            if let Some(e) = self.entries.remove(h) {
+            self.remove_slot(*h, &mut delta);
+        }
+        // The sweep visited everything anyway: recompute the watermark
+        // exactly so the next poll-guard read is tight again.
+        self.min_expires = self
+            .order
+            .iter()
+            .map(|&slot| self.expires[slot as usize])
+            .min()
+            .unwrap_or(SimTime::MAX);
+        (dead, delta)
+    }
+
+    /// Deterministic byte audit of the cache, per the documented model:
+    /// every allocated slot costs its column footprint (home 4 + care-of
+    /// 4 + expires 8 + sequence 2 + group-list header 24 + live 1 = 43
+    /// bytes) plus 4 bytes per subscribed group id; the sorted index and
+    /// free list cost 4 bytes per entry; the per-group refcount map costs
+    /// one `(GroupAddr, usize)` pair per distinct group. No allocator
+    /// introspection — the same numbers on every platform.
+    pub fn state_bytes(&self) -> usize {
+        let per_slot = 4 + 4 + 8 + 2 + 24 + 1;
+        let group_ids: usize = self.groups.iter().map(Vec::len).sum();
+        self.home.len() * per_slot
+            + group_ids * 4
+            + (self.order.len() + self.free.len()) * 4
+            + self.group_refs.len() * (16 + 8)
+    }
+}
+
+/// The pre-SoA binding cache — one boxed map node per binding, full
+/// 16-byte addresses throughout — kept verbatim as the reference model
+/// for the differential state tests.
+#[cfg(any(test, feature = "legacy_state"))]
+pub mod legacy {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct LegacyBindingEntry {
+        pub care_of: Ipv6Addr,
+        pub expires: SimTime,
+        pub sequence: u16,
+        pub groups: Vec<GroupAddr>,
+    }
+
+    #[derive(Debug, Default)]
+    pub struct LegacyBindingCache {
+        entries: BTreeMap<Ipv6Addr, Box<LegacyBindingEntry>>,
+        group_refs: BTreeMap<GroupAddr, usize>,
+    }
+
+    impl LegacyBindingCache {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        pub fn lookup(&self, home: Ipv6Addr) -> Option<&LegacyBindingEntry> {
+            self.entries.get(&home).map(Box::as_ref)
+        }
+
+        pub fn evict_stalest(&mut self) -> Option<(Ipv6Addr, CacheDelta)> {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(h, e)| (e.expires, **h))
+                .map(|(h, _)| *h)?;
+            let mut delta = CacheDelta::default();
+            if let Some(e) = self.entries.remove(&victim) {
                 self.unref_groups(&e.groups, &mut delta);
             }
+            Some((victim, delta))
         }
-        (dead, delta)
+
+        pub fn entries(&self) -> impl Iterator<Item = (&Ipv6Addr, &LegacyBindingEntry)> {
+            self.entries.iter().map(|(h, e)| (h, e.as_ref()))
+        }
+
+        pub fn subscribers(&self, group: GroupAddr) -> Vec<(Ipv6Addr, Ipv6Addr)> {
+            self.entries
+                .iter()
+                .filter(|(_, e)| e.groups.contains(&group))
+                .map(|(home, e)| (*home, e.care_of))
+                .collect()
+        }
+
+        pub fn subscribed_groups(&self) -> Vec<GroupAddr> {
+            self.group_refs.keys().copied().collect()
+        }
+
+        fn ref_groups(&mut self, groups: &[GroupAddr], delta: &mut CacheDelta) {
+            for g in groups {
+                let c = self.group_refs.entry(*g).or_insert(0);
+                *c += 1;
+                if *c == 1 {
+                    delta.groups_added.push(*g);
+                }
+            }
+        }
+
+        fn unref_groups(&mut self, groups: &[GroupAddr], delta: &mut CacheDelta) {
+            for g in groups {
+                if let Some(c) = self.group_refs.get_mut(g) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.group_refs.remove(g);
+                        delta.groups_removed.push(*g);
+                    }
+                }
+            }
+        }
+
+        pub fn update(
+            &mut self,
+            home: Ipv6Addr,
+            care_of: Ipv6Addr,
+            lifetime: SimDuration,
+            sequence: u16,
+            groups: Vec<GroupAddr>,
+            now: SimTime,
+        ) -> CacheDelta {
+            let mut delta = CacheDelta::default();
+            if lifetime.is_zero() {
+                if let Some(old) = self.entries.remove(&home) {
+                    self.unref_groups(&old.groups, &mut delta);
+                }
+                return delta;
+            }
+            let expires = now + lifetime;
+            match self.entries.get_mut(&home) {
+                Some(e) => {
+                    let old_groups = std::mem::take(&mut e.groups);
+                    e.care_of = care_of;
+                    e.expires = expires;
+                    e.sequence = sequence;
+                    e.groups = groups.clone();
+                    self.ref_groups(&groups, &mut delta);
+                    self.unref_groups(&old_groups, &mut delta);
+                }
+                None => {
+                    self.entries.insert(
+                        home,
+                        Box::new(LegacyBindingEntry {
+                            care_of,
+                            expires,
+                            sequence,
+                            groups: groups.clone(),
+                        }),
+                    );
+                    self.ref_groups(&groups, &mut delta);
+                }
+            }
+            delta
+        }
+
+        pub fn next_deadline(&self) -> Option<SimTime> {
+            self.entries.values().map(|e| e.expires).min()
+        }
+
+        pub fn expire(&mut self, now: SimTime) -> (Vec<Ipv6Addr>, CacheDelta) {
+            let mut delta = CacheDelta::default();
+            let dead: Vec<Ipv6Addr> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.expires <= now)
+                .map(|(h, _)| *h)
+                .collect();
+            for h in &dead {
+                if let Some(e) = self.entries.remove(h) {
+                    self.unref_groups(&e.groups, &mut delta);
+                }
+            }
+            (dead, delta)
+        }
     }
 }
 
@@ -293,5 +636,107 @@ mod tests {
         let d = c.update(a("::a"), a("::a1"), LIFE, 2, vec![g(2), g(3)], t(1));
         assert_eq!(d.groups_added, vec![g(3)]);
         assert_eq!(d.groups_removed, vec![g(1)]);
+    }
+
+    #[test]
+    fn watermark_guards_expiry_polls() {
+        let mut c = BindingCache::new();
+        assert_eq!(c.min_expires(), SimTime::MAX);
+        c.update(a("::a"), a("::a1"), LIFE, 1, vec![], t(0));
+        c.update(a("::b"), a("::b1"), LIFE, 1, vec![], t(40));
+        assert_eq!(c.min_expires(), t(256));
+        // Nothing can be overdue before the watermark.
+        assert!(c.min_expires() > t(100));
+        let (dead, _) = c.expire(t(256));
+        assert_eq!(dead, vec![a("::a")]);
+        assert_eq!(c.min_expires(), t(296), "sweep retightens the watermark");
+    }
+
+    /// Differential state model: the SoA cache and the legacy boxed-map
+    /// cache driven through identical randomized register/refresh/move/
+    /// deregister/expiry/evict ops must return identical deltas and
+    /// expose identical observable state after every single op — 8
+    /// seeds' worth.
+    #[test]
+    fn differential_vs_legacy_boxed_map() {
+        use legacy::LegacyBindingCache;
+        use mobicast_sim::RngFactory;
+        use rand::Rng;
+
+        fn home(i: u16) -> Ipv6Addr {
+            Ipv6Addr::from(0x2001_0db8_0004_0000_0000_0000_0000_0000u128 + u128::from(i))
+        }
+        fn coa(i: u16) -> Ipv6Addr {
+            Ipv6Addr::from(0x2001_0db8_0001_0000_0000_0000_0000_0000u128 + u128::from(i))
+        }
+
+        for seed in 0..8u64 {
+            let rng_factory = RngFactory::new(seed);
+            let mut rng = rng_factory.stream("bc-diff");
+            let mut soa = BindingCache::new();
+            let mut old = LegacyBindingCache::new();
+            let mut now = 0u64;
+            let mut seq = 0u16;
+            for step in 0..400 {
+                now += rng.random_range(0u64..40);
+                seq = seq.wrapping_add(1);
+                let h = home(rng.random_range(0u16..16));
+                match rng.random_range(0u32..6) {
+                    // Register / refresh / move with a random group list.
+                    0..=2 => {
+                        let n_groups = rng.random_range(0usize..4);
+                        let groups: Vec<GroupAddr> = (0..n_groups)
+                            .map(|_| GroupAddr::test_group(rng.random_range(0u16..12)))
+                            .collect();
+                        // Duplicate groups in one BU are possible on the
+                        // wire; both models must agree on them too.
+                        let c = coa(rng.random_range(0u16..8));
+                        let life = SimDuration::from_secs(rng.random_range(1u64..300));
+                        let d1 = soa.update(h, c, life, seq, groups.clone(), t(now));
+                        let d2 = old.update(h, c, life, seq, groups, t(now));
+                        assert_eq!(d1, d2, "seed {seed} step {step}: delta diverged");
+                    }
+                    // Deregister.
+                    3 => {
+                        let d1 = soa.update(h, coa(0), SimDuration::ZERO, seq, vec![], t(now));
+                        let d2 = old.update(h, coa(0), SimDuration::ZERO, seq, vec![], t(now));
+                        assert_eq!(d1, d2, "seed {seed} step {step}: dereg diverged");
+                    }
+                    // Expiry sweep.
+                    4 => {
+                        let (dead1, d1) = soa.expire(t(now));
+                        let (dead2, d2) = old.expire(t(now));
+                        assert_eq!(dead1, dead2, "seed {seed} step {step}: dead diverged");
+                        assert_eq!(d1, d2);
+                    }
+                    // Evict-stalest (budget pressure).
+                    _ => {
+                        let r1 = soa.evict_stalest();
+                        let r2 = old.evict_stalest();
+                        assert_eq!(r1, r2, "seed {seed} step {step}: victim diverged");
+                    }
+                }
+                // Full observable state must match after every op.
+                assert_eq!(soa.len(), old.len());
+                assert_eq!(soa.next_deadline(), old.next_deadline());
+                assert_eq!(soa.subscribed_groups(), old.subscribed_groups());
+                let snap1: Vec<(Ipv6Addr, Ipv6Addr, SimTime, u16)> = soa
+                    .entries()
+                    .map(|(h, v)| (h, v.care_of, v.expires, v.sequence))
+                    .collect();
+                let snap2: Vec<(Ipv6Addr, Ipv6Addr, SimTime, u16)> = old
+                    .entries()
+                    .map(|(h, e)| (*h, e.care_of, e.expires, e.sequence))
+                    .collect();
+                assert_eq!(snap1, snap2, "seed {seed} step {step}: entries diverged");
+                for grp in soa.subscribed_groups() {
+                    assert_eq!(soa.subscribers(grp), old.subscribers(grp));
+                }
+                // Watermark invariant: never later than any live expiry.
+                for (_, v) in soa.entries() {
+                    assert!(soa.min_expires() <= v.expires);
+                }
+            }
+        }
     }
 }

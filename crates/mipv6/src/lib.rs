@@ -15,6 +15,6 @@ pub mod home_agent;
 pub mod mobile;
 pub mod packets;
 
-pub use binding::{BindingCache, BindingEntry, CacheDelta};
+pub use binding::{BindingCache, BindingView, CacheDelta};
 pub use home_agent::{HaNote, HaOutput, HomeAgent};
 pub use mobile::{Location, MnOutput, MobileNode, DEFAULT_BINDING_LIFETIME};

@@ -16,8 +16,10 @@ pub mod config;
 pub mod host;
 pub mod message;
 pub mod router;
+pub mod table;
 
 pub use config::MldConfig;
 pub use host::{HostOutput, MldHostPort};
 pub use message::MldMessage;
 pub use router::{MldNote, MldRouterPort, RouterOutput};
+pub use table::ListenerTable;

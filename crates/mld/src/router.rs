@@ -15,9 +15,10 @@
 
 use crate::config::MldConfig;
 use crate::message::MldMessage;
+use crate::table::ListenerTable;
 use mobicast_ipv6::addr::GroupAddr;
+use mobicast_sim::arena::SharedInterner;
 use mobicast_sim::{ShedPolicy, SimTime};
-use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 
 /// Outputs of the router machine.
@@ -56,15 +57,9 @@ enum Role {
     NonQuerier,
 }
 
-#[derive(Debug)]
-struct RouterGroupState {
-    /// When the membership expires without further Reports.
-    expires: SimTime,
-    /// Pending last-listener specific queries: (remaining count, next send).
-    rexmt: Option<(u32, SimTime)>,
-}
-
-/// Router-side MLD state for one interface.
+/// Router-side MLD state for one interface. Memberships live in a
+/// struct-of-arrays [`ListenerTable`] with interned group ids; the port
+/// keeps only the querier machinery around it.
 #[derive(Debug)]
 pub struct MldRouterPort {
     cfg: MldConfig,
@@ -75,7 +70,7 @@ pub struct MldRouterPort {
     /// Next scheduled General Query (only meaningful as querier).
     next_general_query: Option<SimTime>,
     startup_left: u32,
-    groups: BTreeMap<GroupAddr, RouterGroupState>,
+    groups: ListenerTable,
     notes: Vec<MldNote>,
     /// Listener-table capacity; `None` = unbounded (the default).
     budget: Option<u32>,
@@ -84,6 +79,20 @@ pub struct MldRouterPort {
 
 impl MldRouterPort {
     pub fn new(cfg: MldConfig, my_addr: Ipv6Addr) -> Self {
+        Self::build(cfg, my_addr, ListenerTable::new())
+    }
+
+    /// A port whose listener table draws group ids from a world-level
+    /// interner shared across every node.
+    pub fn with_interner(
+        cfg: MldConfig,
+        my_addr: Ipv6Addr,
+        groups: SharedInterner<GroupAddr>,
+    ) -> Self {
+        Self::build(cfg, my_addr, ListenerTable::with_interner(groups))
+    }
+
+    fn build(cfg: MldConfig, my_addr: Ipv6Addr, groups: ListenerTable) -> Self {
         debug_assert!(cfg.validate().is_ok(), "invalid MLD config");
         MldRouterPort {
             cfg,
@@ -92,7 +101,7 @@ impl MldRouterPort {
             other_querier_deadline: None,
             next_general_query: None,
             startup_left: cfg.startup_query_count,
-            groups: BTreeMap::new(),
+            groups,
             notes: Vec::new(),
             budget: None,
             shed_policy: ShedPolicy::default(),
@@ -127,16 +136,28 @@ impl MldRouterPort {
 
     /// Groups with listeners on this link, in address order.
     pub fn listener_groups(&self) -> impl Iterator<Item = GroupAddr> + '_ {
-        self.groups.keys().copied()
+        self.groups.groups()
     }
 
     pub fn has_listener(&self, group: GroupAddr) -> bool {
-        self.groups.contains_key(&group)
+        self.groups.contains(group)
     }
 
-    /// Number of tracked group memberships (router state load metric).
+    /// Number of tracked group memberships (router state load metric) —
+    /// an O(1) occupancy counter read.
     pub fn membership_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Deterministic byte audit of the membership table (see
+    /// [`ListenerTable::state_bytes`]).
+    pub fn state_bytes(&self) -> usize {
+        self.groups.state_bytes()
+    }
+
+    /// O(1) conservative lower bound on all membership expiries.
+    pub fn min_membership_expiry(&self) -> SimTime {
+        self.groups.min_expires()
     }
 
     /// An MLD message was heard on the link from `from`.
@@ -162,10 +183,11 @@ impl MldRouterPort {
             }
             MldMessage::Report { group } => {
                 let expires = now + self.cfg.multicast_listener_interval();
-                match self.groups.get_mut(group) {
-                    Some(st) => {
-                        st.expires = expires;
-                        st.rexmt = None; // a listener answered the specific query
+                match self.groups.slot_of(*group) {
+                    Some(slot) => {
+                        self.groups.set_expires(slot, expires);
+                        // A listener answered the specific query.
+                        self.groups.set_rexmt(slot, None);
                         Vec::new()
                     }
                     None => {
@@ -176,13 +198,9 @@ impl MldRouterPort {
                                     // Also taken when eviction cannot make
                                     // room (capacity zero).
                                     ShedPolicy::EvictStalest
-                                        if let Some(victim) = self
-                                            .groups
-                                            .iter()
-                                            .min_by_key(|(g, st)| (st.expires, **g))
-                                            .map(|(g, _)| *g) =>
+                                        if let Some(victim) = self.groups.stalest() =>
                                     {
-                                        self.groups.remove(&victim);
+                                        self.groups.remove(victim);
                                         self.notes.push(MldNote::ListenerEvicted { group: victim });
                                         out.push(RouterOutput::ListenerRemoved(victim));
                                     }
@@ -193,13 +211,12 @@ impl MldRouterPort {
                                 }
                             }
                         }
-                        self.groups.insert(
-                            *group,
-                            RouterGroupState {
-                                expires,
-                                rexmt: None,
-                            },
-                        );
+                        if self.groups.insert(*group, expires).is_err() {
+                            // Group-id space exhausted: degrade to shedding
+                            // the report instead of panicking.
+                            self.notes.push(MldNote::ListenerShed { group: *group });
+                            return out;
+                        }
                         out.push(RouterOutput::ListenerAdded(*group));
                         out
                     }
@@ -210,17 +227,21 @@ impl MldRouterPort {
                 if self.role != Role::Querier {
                     return Vec::new();
                 }
-                let Some(st) = self.groups.get_mut(group) else {
+                let Some(slot) = self.groups.slot_of(*group) else {
                     return Vec::new();
                 };
                 let llqi = self.cfg.last_listener_query_interval;
                 let count = self.cfg.last_listener_query_count;
-                st.expires = now + llqi.saturating_mul(u64::from(count));
-                st.rexmt = if count > 1 {
-                    Some((count - 1, now + llqi))
-                } else {
-                    None
-                };
+                self.groups
+                    .set_expires(slot, now + llqi.saturating_mul(u64::from(count)));
+                self.groups.set_rexmt(
+                    slot,
+                    if count > 1 {
+                        Some((count - 1, now + llqi))
+                    } else {
+                        None
+                    },
+                );
                 vec![RouterOutput::Send(MldMessage::Query {
                     max_response_delay: llqi,
                     group: Some(*group),
@@ -243,10 +264,8 @@ impl MldRouterPort {
         };
         consider(self.next_general_query);
         consider(self.other_querier_deadline);
-        for st in self.groups.values() {
-            consider(Some(st.expires));
-            consider(st.rexmt.map(|(_, t)| t));
-        }
+        // One linear sweep over the SoA columns.
+        consider(self.groups.min_deadline());
         min
     }
 
@@ -279,30 +298,36 @@ impl MldRouterPort {
             self.next_general_query = Some(now + interval);
         }
 
-        // Per-group: specific-query retransmissions, then expiries.
+        // Per-group: specific-query retransmissions, then expiries — a
+        // linear sweep over the table in address order.
         let mut removed = Vec::new();
-        for (g, st) in self.groups.iter_mut() {
-            if let Some((left, at)) = st.rexmt {
+        for pos in 0..self.groups.len() {
+            let slot = self.groups.slot_at(pos);
+            if let Some((left, at)) = self.groups.rexmt(slot) {
                 if at <= now {
                     out.push(RouterOutput::Send(MldMessage::Query {
                         max_response_delay: self.cfg.last_listener_query_interval,
-                        group: Some(*g),
+                        group: Some(self.groups.group_at_slot(slot)),
                     }));
-                    st.rexmt = if left > 1 {
-                        Some((left - 1, now + self.cfg.last_listener_query_interval))
-                    } else {
-                        None
-                    };
+                    self.groups.set_rexmt(
+                        slot,
+                        if left > 1 {
+                            Some((left - 1, now + self.cfg.last_listener_query_interval))
+                        } else {
+                            None
+                        },
+                    );
                 }
             }
-            if st.expires <= now {
-                removed.push(*g);
+            if self.groups.expires_at(slot) <= now {
+                removed.push(self.groups.group_at_slot(slot));
             }
         }
         for g in removed {
-            self.groups.remove(&g);
+            self.groups.remove(g);
             out.push(RouterOutput::ListenerRemoved(g));
         }
+        self.groups.refresh_min_expires();
         out
     }
 }

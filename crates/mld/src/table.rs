@@ -1,0 +1,485 @@
+//! Struct-of-arrays listener table backing [`MldRouterPort`].
+//!
+//! Group memberships live in parallel columns (interned group id, expiry,
+//! specific-query retransmission state) indexed by a reusable slot, with
+//! a separate `order` index keeping slots sorted by group address so
+//! iteration and eviction match the old `BTreeMap` byte-for-byte. The
+//! columns make expiry scans and the 5 s gauge sampler linear sweeps over
+//! dense memory instead of pointer chases through boxed map nodes.
+//!
+//! Group addresses are interned through a [`SharedInterner`] — one
+//! world-level id space shared by every port — so each membership costs a
+//! 4-byte handle instead of a 16-byte address per row.
+//!
+//! [`MldRouterPort`]: crate::router::MldRouterPort
+
+use mobicast_ipv6::addr::GroupAddr;
+use mobicast_sim::arena::{InternExhausted, InternId, SharedInterner};
+use mobicast_sim::SimTime;
+
+/// Specific-query retransmission state for one membership:
+/// `(remaining count, next send time)`, mirroring the legacy
+/// `Option<(u32, SimTime)>` field.
+pub type Rexmt = Option<(u32, SimTime)>;
+
+/// SoA membership table for one router interface.
+#[derive(Debug)]
+pub struct ListenerTable {
+    interner: SharedInterner<GroupAddr>,
+    /// Columns, indexed by slot. A slot is live iff `live[slot]`.
+    gids: Vec<InternId>,
+    expires: Vec<SimTime>,
+    /// Remaining specific-query retransmissions; 0 = none pending.
+    rexmt_left: Vec<u32>,
+    rexmt_at: Vec<SimTime>,
+    live: Vec<bool>,
+    /// Retired slots available for reuse (LIFO).
+    free: Vec<u32>,
+    /// Live slots sorted by group address — the iteration order the old
+    /// `BTreeMap` gave for free, preserved so traces stay byte-identical.
+    order: Vec<u32>,
+    /// Conservative lower bound on every live expiry (`SimTime::MAX` when
+    /// empty): removals leave it stale-low, which is safe for its one
+    /// consumer, the O(1) "anything possibly overdue?" oracle guard.
+    min_expires: SimTime,
+}
+
+impl ListenerTable {
+    /// A table with its own private group-id space (unit tests, hosts).
+    pub fn new() -> Self {
+        Self::with_interner(mobicast_sim::shared_interner())
+    }
+
+    /// A table drawing group ids from a world-level interner.
+    pub fn with_interner(interner: SharedInterner<GroupAddr>) -> Self {
+        ListenerTable {
+            interner,
+            gids: Vec::new(),
+            expires: Vec::new(),
+            rexmt_left: Vec::new(),
+            rexmt_at: Vec::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            min_expires: SimTime::MAX,
+        }
+    }
+
+    fn group_of(&self, slot: u32) -> GroupAddr {
+        let gid = self.gids[slot as usize];
+        *self
+            .interner
+            .borrow()
+            .resolve(gid)
+            .unwrap_or_else(|| unreachable!("live slot holds an interned gid"))
+    }
+
+    /// Binary search `order` for `g`: `Ok(pos)` if present, `Err(pos)` at
+    /// the insertion point. Comparisons resolve through the interner
+    /// (an O(1) vector index each).
+    fn locate(&self, g: GroupAddr) -> Result<usize, usize> {
+        self.order
+            .binary_search_by(|&slot| self.group_of(slot).cmp(&g))
+    }
+
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    pub fn contains(&self, g: GroupAddr) -> bool {
+        self.locate(g).is_ok()
+    }
+
+    /// The slot holding `g`'s membership, if any.
+    pub fn slot_of(&self, g: GroupAddr) -> Option<u32> {
+        self.locate(g).ok().map(|pos| self.order[pos])
+    }
+
+    /// Insert a membership for `g` (caller ensures it is absent).
+    pub fn insert(&mut self, g: GroupAddr, expires: SimTime) -> Result<u32, InternExhausted> {
+        let gid = self.interner.borrow_mut().intern(g)?;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                self.gids[i] = gid;
+                self.expires[i] = expires;
+                self.rexmt_left[i] = 0;
+                self.live[i] = true;
+                slot
+            }
+            None => {
+                let slot = self.gids.len() as u32;
+                self.gids.push(gid);
+                self.expires.push(expires);
+                self.rexmt_left.push(0);
+                self.rexmt_at.push(SimTime::ZERO);
+                self.live.push(true);
+                slot
+            }
+        };
+        let pos = match self.locate(g) {
+            Ok(_) => unreachable!("insert of a present group"),
+            Err(pos) => pos,
+        };
+        self.order.insert(pos, slot);
+        self.min_expires = self.min_expires.min(expires);
+        Ok(slot)
+    }
+
+    /// Remove `g`'s membership. Returns false if absent.
+    pub fn remove(&mut self, g: GroupAddr) -> bool {
+        let Ok(pos) = self.locate(g) else {
+            return false;
+        };
+        let slot = self.order.remove(pos);
+        self.live[slot as usize] = false;
+        self.free.push(slot);
+        if self.order.is_empty() {
+            self.min_expires = SimTime::MAX;
+        }
+        true
+    }
+
+    pub fn expires_at(&self, slot: u32) -> SimTime {
+        self.expires[slot as usize]
+    }
+
+    pub fn set_expires(&mut self, slot: u32, t: SimTime) {
+        self.expires[slot as usize] = t;
+        self.min_expires = self.min_expires.min(t);
+    }
+
+    pub fn rexmt(&self, slot: u32) -> Rexmt {
+        let i = slot as usize;
+        if self.rexmt_left[i] > 0 {
+            Some((self.rexmt_left[i], self.rexmt_at[i]))
+        } else {
+            None
+        }
+    }
+
+    pub fn set_rexmt(&mut self, slot: u32, r: Rexmt) {
+        let i = slot as usize;
+        match r {
+            Some((left, at)) => {
+                self.rexmt_left[i] = left;
+                self.rexmt_at[i] = at;
+            }
+            None => self.rexmt_left[i] = 0,
+        }
+    }
+
+    /// Live groups in address order.
+    pub fn groups(&self) -> impl Iterator<Item = GroupAddr> + '_ {
+        self.order.iter().map(|&slot| self.group_of(slot))
+    }
+
+    /// Slot at position `pos` of the address-ordered index.
+    pub fn slot_at(&self, pos: usize) -> u32 {
+        self.order[pos]
+    }
+
+    pub fn group_at_slot(&self, slot: u32) -> GroupAddr {
+        self.group_of(slot)
+    }
+
+    /// The eviction victim: minimum `(expires, group)` — same key the
+    /// legacy map's `min_by_key` used, computed by a linear column sweep.
+    pub fn stalest(&self) -> Option<GroupAddr> {
+        self.order
+            .iter()
+            .map(|&slot| (self.expires[slot as usize], self.group_of(slot)))
+            .min()
+            .map(|(_, g)| g)
+    }
+
+    /// Earliest pending per-group deadline (expiry or retransmission):
+    /// one linear sweep over the columns.
+    pub fn min_deadline(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        for &slot in &self.order {
+            let i = slot as usize;
+            let mut t = self.expires[i];
+            if self.rexmt_left[i] > 0 {
+                t = t.min(self.rexmt_at[i]);
+            }
+            min = Some(match min {
+                Some(m) => m.min(t),
+                None => t,
+            });
+        }
+        min
+    }
+
+    /// O(1) conservative lower bound on all live expiries. If this is in
+    /// the future, no membership can be overdue — the guard that keeps
+    /// oracle polls flat as listener counts grow.
+    pub fn min_expires(&self) -> SimTime {
+        self.min_expires
+    }
+
+    /// Recompute the exact expiry watermark (called from expiry sweeps,
+    /// which walk the columns anyway).
+    pub fn refresh_min_expires(&mut self) {
+        self.min_expires = self
+            .order
+            .iter()
+            .map(|&slot| self.expires[slot as usize])
+            .min()
+            .unwrap_or(SimTime::MAX);
+    }
+
+    /// Deterministic byte audit of the table, per the documented model:
+    /// every allocated slot costs its column footprint
+    /// (gid 4 + expires 8 + rexmt 12 + live 1 = 25 bytes), the sorted
+    /// index and free list cost 4 bytes per entry. No allocator
+    /// introspection — the same numbers on every platform.
+    pub fn state_bytes(&self) -> usize {
+        self.gids.len() * (4 + 8 + 4 + 8 + 1) + (self.order.len() + self.free.len()) * 4
+    }
+}
+
+impl Default for ListenerTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The pre-SoA listener table — one boxed map node per membership — kept
+/// verbatim as the reference model for the differential state tests.
+#[cfg(any(test, feature = "legacy_state"))]
+pub mod legacy {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[allow(clippy::box_collection)]
+    #[derive(Default)]
+    pub struct LegacyListenerTable {
+        groups: BTreeMap<GroupAddr, Box<(SimTime, Rexmt)>>,
+    }
+
+    impl LegacyListenerTable {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn len(&self) -> usize {
+            self.groups.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.groups.is_empty()
+        }
+
+        pub fn contains(&self, g: GroupAddr) -> bool {
+            self.groups.contains_key(&g)
+        }
+
+        pub fn insert(&mut self, g: GroupAddr, expires: SimTime) {
+            self.groups.insert(g, Box::new((expires, None)));
+        }
+
+        pub fn remove(&mut self, g: GroupAddr) -> bool {
+            self.groups.remove(&g).is_some()
+        }
+
+        pub fn set_expires(&mut self, g: GroupAddr, t: SimTime) {
+            if let Some(st) = self.groups.get_mut(&g) {
+                st.0 = t;
+            }
+        }
+
+        pub fn set_rexmt(&mut self, g: GroupAddr, r: Rexmt) {
+            if let Some(st) = self.groups.get_mut(&g) {
+                st.1 = r;
+            }
+        }
+
+        pub fn snapshot(&self) -> Vec<(GroupAddr, SimTime, Rexmt)> {
+            self.groups.iter().map(|(g, st)| (*g, st.0, st.1)).collect()
+        }
+
+        pub fn stalest(&self) -> Option<GroupAddr> {
+            self.groups
+                .iter()
+                .min_by_key(|(g, st)| (st.0, **g))
+                .map(|(g, _)| *g)
+        }
+
+        pub fn min_deadline(&self) -> Option<SimTime> {
+            self.groups
+                .values()
+                .map(|st| match st.1 {
+                    Some((_, at)) => st.0.min(at),
+                    None => st.0,
+                })
+                .min()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::legacy::LegacyListenerTable;
+    use super::*;
+    use mobicast_sim::RngFactory;
+    use rand::Rng;
+
+    fn g(i: u16) -> GroupAddr {
+        GroupAddr::test_group(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn soa_snapshot(t: &ListenerTable) -> Vec<(GroupAddr, SimTime, Rexmt)> {
+        t.order
+            .iter()
+            .map(|&slot| (t.group_of(slot), t.expires[slot as usize], t.rexmt(slot)))
+            .collect()
+    }
+
+    #[test]
+    fn insert_remove_keeps_address_order() {
+        let mut tab = ListenerTable::new();
+        for i in [5u16, 1, 9, 3] {
+            tab.insert(g(i), t(u64::from(i))).unwrap();
+        }
+        assert_eq!(
+            tab.groups().collect::<Vec<_>>(),
+            vec![g(1), g(3), g(5), g(9)]
+        );
+        assert!(tab.remove(g(5)));
+        assert!(!tab.remove(g(5)), "double remove");
+        assert_eq!(tab.groups().collect::<Vec<_>>(), vec![g(1), g(3), g(9)]);
+        assert_eq!(tab.len(), 3);
+        // The freed slot is reused without disturbing order.
+        tab.insert(g(2), t(50)).unwrap();
+        assert_eq!(
+            tab.groups().collect::<Vec<_>>(),
+            vec![g(1), g(2), g(3), g(9)]
+        );
+    }
+
+    #[test]
+    fn watermark_is_conservative_and_refreshable() {
+        let mut tab = ListenerTable::new();
+        tab.insert(g(1), t(100)).unwrap();
+        tab.insert(g(2), t(50)).unwrap();
+        assert_eq!(tab.min_expires(), t(50));
+        // A refresh raising g(2) leaves the watermark stale-low…
+        let slot = tab.slot_of(g(2)).unwrap();
+        tab.set_expires(slot, t(300));
+        assert_eq!(tab.min_expires(), t(50), "stale but conservative");
+        // …until a sweep recomputes it exactly.
+        tab.refresh_min_expires();
+        assert_eq!(tab.min_expires(), t(100));
+        tab.remove(g(1));
+        tab.remove(g(2));
+        assert_eq!(tab.min_expires(), SimTime::MAX);
+    }
+
+    /// Differential state model: the SoA table and the legacy boxed-map
+    /// table driven through identical randomized join/refresh/done/leave/
+    /// expiry-sweep ops must expose identical observable state after
+    /// every single op — 8 seeds' worth.
+    #[test]
+    fn differential_vs_legacy_boxed_map() {
+        for seed in 0..8u64 {
+            let rng_factory = RngFactory::new(seed);
+            let mut rng = rng_factory.stream("mld-diff");
+            let mut soa = ListenerTable::new();
+            let mut old = LegacyListenerTable::new();
+            let mut now = 0u64;
+            for step in 0..400 {
+                now += rng.random_range(0u64..30);
+                let grp = g(rng.random_range(0u16..24));
+                match rng.random_range(0u32..6) {
+                    // Join / refresh: insert or bump the expiry.
+                    0 | 1 => {
+                        let exp = t(now + 260);
+                        match soa.slot_of(grp) {
+                            Some(slot) => {
+                                soa.set_expires(slot, exp);
+                                soa.set_rexmt(slot, None);
+                            }
+                            None => {
+                                soa.insert(grp, exp).unwrap();
+                            }
+                        }
+                        if old.contains(grp) {
+                            old.set_expires(grp, exp);
+                            old.set_rexmt(grp, None);
+                        } else {
+                            old.insert(grp, exp);
+                        }
+                    }
+                    // Done: arm the last-listener query process.
+                    2 => {
+                        if let Some(slot) = soa.slot_of(grp) {
+                            soa.set_expires(slot, t(now + 2));
+                            soa.set_rexmt(slot, Some((1, t(now + 1))));
+                        }
+                        if old.contains(grp) {
+                            old.set_expires(grp, t(now + 2));
+                            old.set_rexmt(grp, Some((1, t(now + 1))));
+                        }
+                    }
+                    // Leave / move away: hard remove.
+                    3 => {
+                        assert_eq!(soa.remove(grp), old.remove(grp));
+                    }
+                    // Expiry sweep at `now`.
+                    4 => {
+                        let due: Vec<GroupAddr> = soa
+                            .groups()
+                            .filter(|&gr| {
+                                soa.expires_at(soa.slot_of(gr).unwrap_or(u32::MAX)) <= t(now)
+                            })
+                            .collect();
+                        for gr in due {
+                            soa.remove(gr);
+                        }
+                        let due: Vec<GroupAddr> = old
+                            .snapshot()
+                            .iter()
+                            .filter(|(_, exp, _)| *exp <= t(now))
+                            .map(|(gr, _, _)| *gr)
+                            .collect();
+                        for gr in due {
+                            old.remove(gr);
+                        }
+                        soa.refresh_min_expires();
+                    }
+                    // Evict-stalest (budget pressure).
+                    _ => {
+                        let (a, b) = (soa.stalest(), old.stalest());
+                        assert_eq!(a, b, "seed {seed} step {step}: victim diverged");
+                        if let Some(victim) = a {
+                            soa.remove(victim);
+                            old.remove(victim);
+                        }
+                    }
+                }
+                // Full observable state must match after every op.
+                assert_eq!(
+                    soa_snapshot(&soa),
+                    old.snapshot(),
+                    "seed {seed} step {step}: state diverged"
+                );
+                assert_eq!(soa.len(), old.len());
+                assert_eq!(soa.min_deadline(), old.min_deadline());
+                assert_eq!(soa.stalest(), old.stalest());
+                // Watermark invariant: never later than any live expiry.
+                for (_, exp, _) in soa_snapshot(&soa) {
+                    assert!(soa.min_expires() <= exp);
+                }
+            }
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //! (care-of) address or through its home agent.
 
 use crate::ids::{LinkId, NodeId};
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
 /// A route from a router toward a target link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +36,12 @@ pub struct LinkGraph {
     link_routers: Vec<Vec<NodeId>>,
     /// Maps world NodeId to dense router index.
     router_index: Vec<Option<usize>>,
+    /// Memoized per-target BFS distance vectors. The adjacency is
+    /// immutable after construction, so entries never invalidate; without
+    /// the memo every `route`/`link_hop_distance` call re-runs a full BFS,
+    /// which made world *construction* O(routers × links × E) — the wall
+    /// that capped metro grids (each router's table asks for every link).
+    dist_cache: RefCell<BTreeMap<LinkId, Rc<[u32]>>>,
 }
 
 impl LinkGraph {
@@ -66,6 +74,7 @@ impl LinkGraph {
             router_links,
             link_routers,
             router_index,
+            dist_cache: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -115,6 +124,19 @@ impl LinkGraph {
         dist
     }
 
+    /// Memoized [`Self::link_distances`]: one BFS per distinct target over
+    /// the graph's lifetime, shared via `Rc`.
+    fn distances(&self, target: LinkId) -> Rc<[u32]> {
+        if let Some(d) = self.dist_cache.borrow().get(&target) {
+            return Rc::clone(d);
+        }
+        let dist: Rc<[u32]> = self.link_distances(target).into();
+        self.dist_cache
+            .borrow_mut()
+            .insert(target, Rc::clone(&dist));
+        dist
+    }
+
     /// Shortest route from router `from` toward `target` link.
     ///
     /// Tie-breaking is deterministic: among equal-cost first links the one
@@ -123,7 +145,7 @@ impl LinkGraph {
     /// is unreachable from it.
     pub fn route(&self, from: NodeId, target: LinkId) -> Option<Route> {
         let dense = self.dense(from)?;
-        let dist = self.link_distances(target);
+        let dist = self.distances(target);
         let mut best: Option<(u32, LinkId)> = None;
         for l in &self.router_links[dense] {
             let d = dist[l.index()];
@@ -165,7 +187,7 @@ impl LinkGraph {
 
     /// Shortest distance in link hops between two links (1 = same link).
     pub fn link_hop_distance(&self, from: LinkId, to: LinkId) -> Option<u32> {
-        let dist = self.link_distances(to);
+        let dist = self.distances(to);
         let d = dist[from.index()];
         (d != u32::MAX).then_some(d + 1)
     }

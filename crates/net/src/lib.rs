@@ -28,4 +28,4 @@ pub use frame::{Frame, FrameClass, L2Dest, FRAME_CLASS_COUNT};
 pub use graph::{LinkGraph, Route};
 pub use ids::{IfIndex, LinkId, NodeId, TimerKey};
 pub use link::{Link, LinkParams, LinkStats};
-pub use world::{Ctx, NodeBehavior, World, WorldProbe};
+pub use world::{Ctx, NodeBehavior, ShardPlan, ShardRunStats, World, WorldProbe};

@@ -109,6 +109,108 @@ impl WorldEvent {
             WorldEvent::Script(_) => 2,
         }
     }
+
+    /// The node this event dispatches into; `None` for scripts, which may
+    /// mutate arbitrary world state and therefore pin every shard.
+    fn target_node(&self) -> Option<NodeId> {
+        match self {
+            WorldEvent::Deliver { node, .. } | WorldEvent::Timer { node, .. } => Some(*node),
+            WorldEvent::Script(_) => None,
+        }
+    }
+}
+
+/// Partition of the world's nodes into topology regions ("shards") plus the
+/// conservative lookahead for the sharded event loop.
+///
+/// The lookahead is the classic conservative-parallel-DES bound: an event
+/// executing at time `t` in one shard can only affect another shard after
+/// at least the minimum inter-shard link latency, so all events in the
+/// window `[t, t + lookahead]` whose targets live in different shards are
+/// causally independent and form one parallel batch. [`World::run_until_sharded`]
+/// dispatches each window's batch in the same deterministic `(time, seq)`
+/// merge order regardless of the worker count, which is what keeps traces,
+/// reports and oracle verdicts byte-identical from `workers = 1` to
+/// `workers = N` — the parity contract `shard_parity.rs` gates.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Shard index per node id; nodes beyond the vector (attached after
+    /// planning) fall into shard 0.
+    node_shard: Vec<u32>,
+    n_shards: u32,
+    /// Conservative lower bound on cross-shard influence latency.
+    lookahead: SimDuration,
+}
+
+impl ShardPlan {
+    /// Build a plan from an explicit node→shard assignment.
+    pub fn new(node_shard: Vec<u32>, lookahead: SimDuration) -> ShardPlan {
+        let n_shards = node_shard.iter().copied().max().map_or(1, |m| m + 1);
+        ShardPlan {
+            node_shard,
+            n_shards,
+            lookahead,
+        }
+    }
+
+    /// The degenerate single-shard plan (the whole world is one region).
+    pub fn single(n_nodes: usize) -> ShardPlan {
+        ShardPlan {
+            node_shard: vec![0; n_nodes],
+            n_shards: 1,
+            lookahead: SimDuration::from_millis(1),
+        }
+    }
+
+    pub fn n_shards(&self) -> u32 {
+        self.n_shards
+    }
+
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    pub fn shard_of(&self, node: NodeId) -> u32 {
+        self.node_shard.get(node.index()).copied().unwrap_or(0)
+    }
+}
+
+/// What one sharded run actually did: window count, per-shard event load,
+/// and the critical path a parallel executor could not beat. Deterministic
+/// in (scenario, seed, plan) — wall-clock never appears here.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct ShardRunStats {
+    /// Worker count the batch schedule was computed for (order-inert: it
+    /// groups shards into per-window batches but never changes dispatch
+    /// order).
+    pub workers: usize,
+    /// Conservative lookahead windows executed.
+    pub windows: u64,
+    /// Windows cut short by a script event (global barrier: scripts may
+    /// move nodes between shards or rewire links).
+    pub barrier_syncs: u64,
+    /// Events dispatched into each shard over the whole run.
+    pub events_per_shard: Vec<u64>,
+    /// Total events dispatched by the sharded loop.
+    pub events_total: u64,
+    /// Largest single-window batch observed.
+    pub max_window_batch: u64,
+    /// Sum over windows of the largest per-shard batch (plus barriers):
+    /// the serial fraction no worker count can parallelize away.
+    pub critical_path_events: u64,
+}
+
+impl ShardRunStats {
+    /// Upper bound on parallel speedup for this run under this plan
+    /// (Amdahl over the conservative windows): total work divided by the
+    /// critical path.
+    pub fn achievable_speedup(&self) -> f64 {
+        if self.critical_path_events == 0 {
+            1.0
+        } else {
+            self.events_total as f64 / self.critical_path_events as f64
+        }
+    }
 }
 
 struct IfaceState {
@@ -248,6 +350,11 @@ impl World {
     /// The link interface `ifindex` of `node` is attached to.
     pub fn link_of(&self, node: NodeId, ifindex: IfIndex) -> Option<LinkId> {
         self.nodes[node.index()].ifaces[usize::from(ifindex)].link
+    }
+
+    /// Number of interfaces on `node` (shard planning walks these).
+    pub fn n_ifaces(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].ifaces.len()
     }
 
     /// Members `(node, ifindex)` currently attached to `link`.
@@ -526,6 +633,80 @@ impl World {
             self.dispatch_counted(ev);
         }
         self.queue.advance_to(t);
+    }
+
+    /// Run the event loop until time `t` in conservative lookahead windows
+    /// over `plan`'s topology shards.
+    ///
+    /// Each window spans `[next, next + lookahead]`; events inside it whose
+    /// targets live in different shards are causally independent (no frame
+    /// can cross a shard boundary faster than the lookahead), so they form
+    /// one parallel batch. Dispatch itself stays in the global `(time, seq)`
+    /// merge order — the batch schedule assigns shards to `workers` but
+    /// never reorders events — so the run is byte-identical to
+    /// [`World::run_until`] for every worker count, including traces,
+    /// counters and oracle polls. Script events are global barriers: they
+    /// may rewire topology (mobility!) and end the current window.
+    ///
+    /// Returns the realized schedule: window count, per-shard load, and
+    /// the critical path bounding any parallel executor's speedup.
+    pub fn run_until_sharded(
+        &mut self,
+        t: SimTime,
+        plan: &ShardPlan,
+        workers: usize,
+    ) -> ShardRunStats {
+        self.start();
+        let n_shards = plan.n_shards() as usize;
+        let mut stats = ShardRunStats {
+            workers: workers.max(1),
+            events_per_shard: vec![0; n_shards],
+            ..ShardRunStats::default()
+        };
+        let mut window_batch = vec![0u64; n_shards];
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            let horizon = (next + plan.lookahead()).min(t);
+            stats.windows += 1;
+            window_batch.iter_mut().for_each(|c| *c = 0);
+            let mut window_events = 0u64;
+            let mut window_barriers = 0u64;
+            loop {
+                match self.queue.peek_time() {
+                    Some(peek) if peek <= horizon => {}
+                    _ => break,
+                }
+                let Some((_, ev)) = self.queue.pop() else {
+                    break; // unreachable: peek_time just returned Some
+                };
+                window_events += 1;
+                stats.events_total += 1;
+                match ev.target_node() {
+                    Some(node) => {
+                        window_batch[plan.shard_of(node) as usize] += 1;
+                        self.dispatch_counted(ev);
+                    }
+                    None => {
+                        // Script: may move nodes between shards or change
+                        // link state, so close the window after running it.
+                        window_barriers += 1;
+                        stats.barrier_syncs += 1;
+                        self.dispatch_counted(ev);
+                        break;
+                    }
+                }
+            }
+            for (shard, n) in window_batch.iter().enumerate() {
+                stats.events_per_shard[shard] += n;
+            }
+            stats.max_window_batch = stats.max_window_batch.max(window_events);
+            stats.critical_path_events +=
+                window_batch.iter().copied().max().unwrap_or(0) + window_barriers;
+        }
+        self.queue.advance_to(t);
+        stats
     }
 
     /// Run until the event queue drains (useful for small tests). A safety
@@ -1429,6 +1610,68 @@ mod tests {
             max_replay_delay: SimDuration::from_millis(50),
         };
         assert_eq!(run(CorruptionModel::none()), run(disabled));
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_byte_for_byte() {
+        // Two links in different shards, ping-pong plus timers plus a
+        // scripted move: the sharded loop must produce the identical log
+        // (same dispatch order) for every worker count.
+        let run = |shards: Option<(ShardPlan, usize)>| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut w = World::new();
+            let l1 = w.add_link(quick_params());
+            let l2 = w.add_link(quick_params());
+            let a = w.add_node(1, Probe::new(log.clone(), false));
+            let b = w.add_node(1, Probe::new(log.clone(), true));
+            let c = w.add_node(1, Probe::new(log.clone(), false));
+            w.attach(a, 0, l1);
+            w.attach(b, 0, l1);
+            w.attach(c, 0, l2);
+            w.start();
+            for i in 0..50u64 {
+                w.at(SimTime::from_millis(i * 7), move |w| {
+                    w.with_node(a, |_n, ctx| {
+                        ctx.send(
+                            0,
+                            Frame::new(Bytes::from_static(b"ping"), FrameClass::Other),
+                        );
+                    });
+                });
+            }
+            w.with_node(c, |_n, ctx| {
+                ctx.set_timer_after(SimDuration::from_millis(100), TimerKey(1));
+            });
+            w.at(SimTime::from_millis(200), move |w| w.move_iface(c, 0, l1));
+            let end = SimTime::from_secs(1);
+            let stats = match shards {
+                Some((plan, workers)) => Some(w.run_until_sharded(end, &plan, workers)),
+                None => {
+                    w.run_until(end);
+                    None
+                }
+            };
+            let lines = log.borrow().clone();
+            (lines, w.events_executed(), stats)
+        };
+
+        let (seq_log, seq_events, _) = run(None);
+        let plan = ShardPlan::new(vec![0, 0, 1], SimDuration::from_micros(10));
+        let (log1, ev1, stats1) = run(Some((plan.clone(), 1)));
+        let (log4, ev4, stats4) = run(Some((plan, 4)));
+        assert_eq!(seq_log, log1, "sharded(1) diverged from sequential");
+        assert_eq!(seq_log, log4, "sharded(4) diverged from sequential");
+        assert_eq!(seq_events, ev1);
+        assert_eq!(seq_events, ev4);
+        let (stats1, stats4) = (stats1.unwrap(), stats4.unwrap());
+        assert_eq!(stats1.events_total, stats4.events_total);
+        assert_eq!(stats1.events_per_shard, stats4.events_per_shard);
+        assert_eq!(stats1.events_total, seq_events);
+        assert!(stats1.windows > 0);
+        assert!(stats1.barrier_syncs >= 51, "scripts are barriers");
+        assert!(stats1.achievable_speedup() >= 1.0);
+        // Both shards saw work: the timer fired in shard 1.
+        assert!(stats1.events_per_shard.iter().all(|&n| n > 0));
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod config;
 mod error;
 pub mod message;
 pub mod router;
+pub mod table;
 
 #[cfg(test)]
 mod tests;
@@ -23,3 +24,4 @@ mod tests;
 pub use config::PimConfig;
 pub use message::{PimMessage, Sg};
 pub use router::{IfIndex, PimDest, PimNote, PimRouter, PimSend, RpfInfo, RpfLookup, SgSnapshot};
+pub use table::SgTable;

@@ -21,15 +21,16 @@
 
 use crate::config::PimConfig;
 use crate::message::{PimMessage, Sg};
+use crate::table::{DownstreamPrune, OifState, SgDetail, SgTable, UpstreamState};
 use mobicast_ipv6::addr::GroupAddr;
+use mobicast_sim::arena::SharedInterner;
 use mobicast_sim::{ShedPolicy, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv6Addr;
 
-/// Interface index local to the owning router.
-pub type IfIndex = u8;
+pub use crate::table::IfIndex;
 
 /// Result of a unicast RPF lookup toward a source.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,51 +125,6 @@ pub enum PimNote {
     SgEvicted { sg: Sg },
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum UpstreamState {
-    /// Not pruned toward the source.
-    Forwarding,
-    /// We sent a Prune; traffic should stop until `until`.
-    Pruned { until: SimTime },
-    /// We sent a Graft and await the ack.
-    AckPending { retry_at: SimTime },
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-enum DownstreamPrune {
-    #[default]
-    NoInfo,
-    /// Prune received; waiting out the join-override window.
-    PrunePending { fire_at: SimTime },
-    /// Interface pruned until the hold time passes.
-    Pruned { until: SimTime },
-}
-
-#[derive(Debug, Default)]
-struct OifState {
-    prune: DownstreamPrune,
-    /// We lost an assert on this interface; don't forward until then.
-    assert_loser_until: Option<SimTime>,
-    /// Rate limiting for data-triggered asserts.
-    last_assert_tx: Option<SimTime>,
-}
-
-#[derive(Debug)]
-struct SgEntry {
-    iif: IfIndex,
-    upstream: Option<Ipv6Addr>,
-    /// Data timeout: entry deleted when it passes without data.
-    expires: SimTime,
-    upstream_state: UpstreamState,
-    oifs: BTreeMap<IfIndex, OifState>,
-    /// Scheduled join to override an overheard prune on the iif LAN.
-    override_join_at: Option<SimTime>,
-    /// Rate limiting for data-triggered prunes.
-    last_prune_tx: Option<SimTime>,
-    /// Best assert winner seen on the iif (pref, metric, addr).
-    iif_assert_winner: Option<(u32, u32, Ipv6Addr)>,
-}
-
 #[derive(Debug)]
 struct IfaceState {
     my_addr: Ipv6Addr,
@@ -193,31 +149,52 @@ pub struct SgSnapshot {
     pub expires: SimTime,
 }
 
-/// The PIM-DM protocol instance of one router.
+/// The PIM-DM protocol instance of one router. (S,G) state lives in a
+/// struct-of-arrays [`SgTable`] with interned source/group ids.
 pub struct PimRouter {
     cfg: PimConfig,
     rng: SmallRng,
     ifaces: BTreeMap<IfIndex, IfaceState>,
-    entries: BTreeMap<Sg, SgEntry>,
+    entries: SgTable,
     next_hello: Option<SimTime>,
     notes: Vec<PimNote>,
     /// (S,G) table capacity; `None` = unbounded (the default).
     budget: Option<u32>,
     shed_policy: ShedPolicy,
+    /// Bumped whenever an interface's member or neighbor *set* changes —
+    /// the non-table inputs of the forwarding predicate (see
+    /// [`PimRouter::mutation_epoch`]).
+    iface_epoch: u64,
 }
 
 impl PimRouter {
     pub fn new(cfg: PimConfig, rng: SmallRng) -> Self {
+        Self::build(cfg, rng, SgTable::new())
+    }
+
+    /// A router whose (S,G) table draws address and group ids from
+    /// world-level interners shared across every node.
+    pub fn with_interners(
+        cfg: PimConfig,
+        rng: SmallRng,
+        addrs: SharedInterner<Ipv6Addr>,
+        groups: SharedInterner<GroupAddr>,
+    ) -> Self {
+        Self::build(cfg, rng, SgTable::with_interners(addrs, groups))
+    }
+
+    fn build(cfg: PimConfig, rng: SmallRng, entries: SgTable) -> Self {
         debug_assert!(cfg.validate().is_ok(), "invalid PIM config");
         PimRouter {
             cfg,
             rng,
             ifaces: BTreeMap::new(),
-            entries: BTreeMap::new(),
+            entries,
             next_hello: None,
             notes: Vec::new(),
             budget: None,
             shed_policy: ShedPolicy::default(),
+            iface_epoch: 0,
         }
     }
 
@@ -270,18 +247,41 @@ impl PimRouter {
             .collect()
     }
 
-    /// Number of (S,G) entries held (the paper's router state-load metric).
+    /// Number of (S,G) entries held (the paper's router state-load
+    /// metric) — an O(1) occupancy counter read.
     pub fn entry_count(&self) -> usize {
         self.entries.len()
     }
 
+    /// O(1) conservative lower bound on all (S,G) data timeouts.
+    pub fn min_entry_expiry(&self) -> SimTime {
+        self.entries.min_expires()
+    }
+
+    /// O(1) monotone epoch covering every input of the forwarding
+    /// predicate: (S,G) table mutations plus interface member/neighbor
+    /// set changes. If two reads return the same epoch, every per-entry
+    /// fact derived in between (oif legality, forwarding sets) still
+    /// holds — the guard that lets the oracle's 5 s poll skip the full
+    /// table walk on quiescent routers.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.entries.mutation_epoch() + self.iface_epoch
+    }
+
+    /// Deterministic byte audit of the (S,G) table (see
+    /// [`SgTable::state_bytes`]).
+    pub fn state_bytes(&self) -> usize {
+        self.entries.state_bytes()
+    }
+
     /// Snapshot of an entry for assertions and metrics.
     pub fn snapshot(&self, s: Ipv6Addr, g: GroupAddr) -> Option<SgSnapshot> {
-        let e = self.entries.get(&(s, g))?;
+        let slot = self.entries.slot_of((s, g))?;
+        let e = self.entries.detail(slot);
         let mut forwarding = Vec::new();
         let mut pruned = Vec::new();
         for (iface, oif) in &e.oifs {
-            if self.oif_forwards(e, *iface, oif, g) {
+            if self.oif_forwards(oif, *iface, g) {
                 forwarding.push(*iface);
             }
             if matches!(oif.prune, DownstreamPrune::Pruned { .. }) {
@@ -294,13 +294,13 @@ impl PimRouter {
             forwarding,
             pruned,
             upstream_pruned: matches!(e.upstream_state, UpstreamState::Pruned { .. }),
-            expires: e.expires,
+            expires: self.entries.expires_at(slot),
         })
     }
 
     /// All (S,G) keys currently held.
     pub fn entry_keys(&self) -> Vec<Sg> {
-        self.entries.keys().copied().collect()
+        self.entries.keys()
     }
 
     pub fn neighbor_count(&self, iface: IfIndex) -> usize {
@@ -310,7 +310,7 @@ impl PimRouter {
             .unwrap_or(0)
     }
 
-    fn oif_forwards(&self, _e: &SgEntry, iface: IfIndex, oif: &OifState, g: GroupAddr) -> bool {
+    fn oif_forwards(&self, oif: &OifState, iface: IfIndex, g: GroupAddr) -> bool {
         if oif.assert_loser_until.is_some() {
             return false;
         }
@@ -327,12 +327,14 @@ impl PimRouter {
     }
 
     fn forward_list(&self, key: &Sg) -> Vec<IfIndex> {
-        let Some(e) = self.entries.get(key) else {
+        let Some(slot) = self.entries.slot_of(*key) else {
             return Vec::new();
         };
-        e.oifs
+        self.entries
+            .detail(slot)
+            .oifs
             .iter()
-            .filter(|(iface, oif)| self.oif_forwards(e, **iface, oif, key.1))
+            .filter(|(iface, oif)| self.oif_forwards(oif, *iface, key.1))
             .map(|(iface, _)| *iface)
             .collect()
     }
@@ -343,52 +345,54 @@ impl PimRouter {
         g: GroupAddr,
         now: SimTime,
         rpf: &dyn RpfLookup,
-    ) -> Option<&mut SgEntry> {
-        if !self.entries.contains_key(&(s, g)) {
-            let info = rpf.rpf(s)?;
-            if let Some(cap) = self.budget {
-                if self.entries.len() >= cap as usize {
-                    match self.shed_policy {
-                        // Also taken when eviction cannot make room
-                        // (capacity zero).
-                        ShedPolicy::EvictStalest
-                            if let Some(victim) = self
-                                .entries
-                                .iter()
-                                .min_by_key(|(sg, e)| (e.expires, **sg))
-                                .map(|(sg, _)| *sg) =>
-                        {
-                            self.entries.remove(&victim);
-                            self.notes.push(PimNote::SgEvicted { sg: victim });
-                        }
-                        _ => {
-                            self.notes.push(PimNote::SgShed { sg: (s, g) });
-                            return None;
-                        }
+    ) -> Option<u32> {
+        if let Some(slot) = self.entries.slot_of((s, g)) {
+            return Some(slot);
+        }
+        let info = rpf.rpf(s)?;
+        if let Some(cap) = self.budget {
+            if self.entries.len() >= cap as usize {
+                match self.shed_policy {
+                    // Also taken when eviction cannot make room
+                    // (capacity zero).
+                    ShedPolicy::EvictStalest if let Some(victim) = self.entries.stalest() => {
+                        self.entries.remove(victim);
+                        self.notes.push(PimNote::SgEvicted { sg: victim });
+                    }
+                    _ => {
+                        self.notes.push(PimNote::SgShed { sg: (s, g) });
+                        return None;
                     }
                 }
             }
-            let oifs = self
-                .ifaces
-                .keys()
-                .filter(|i| **i != info.iif)
-                .map(|i| (*i, OifState::default()))
-                .collect();
-            self.entries.insert(
-                (s, g),
-                SgEntry {
-                    iif: info.iif,
-                    upstream: info.upstream,
-                    expires: now + self.cfg.data_timeout,
-                    upstream_state: UpstreamState::Forwarding,
-                    oifs,
-                    override_join_at: None,
-                    last_prune_tx: None,
-                    iif_assert_winner: None,
-                },
-            );
         }
-        self.entries.get_mut(&(s, g))
+        let oifs = self
+            .ifaces
+            .keys()
+            .filter(|i| **i != info.iif)
+            .map(|i| (*i, OifState::default()))
+            .collect();
+        let detail = SgDetail {
+            iif: info.iif,
+            upstream: info.upstream,
+            upstream_state: UpstreamState::Forwarding,
+            oifs,
+            override_join_at: None,
+            last_prune_tx: None,
+            iif_assert_winner: None,
+        };
+        match self
+            .entries
+            .insert((s, g), now + self.cfg.data_timeout, detail)
+        {
+            Ok(slot) => Some(slot),
+            Err(_) => {
+                // Id space exhausted: degrade to shedding the entry
+                // instead of panicking.
+                self.notes.push(PimNote::SgShed { sg: (s, g) });
+                None
+            }
+        }
     }
 
     /// A multicast data packet for `(s, g)` arrived on `iface`. Returns the
@@ -402,23 +406,20 @@ impl PimRouter {
         rpf: &dyn RpfLookup,
     ) -> (Vec<IfIndex>, Vec<PimSend>) {
         let mut sends = Vec::new();
-        if self.ensure_entry(s, g, now, rpf).is_none() {
+        let Some(slot) = self.ensure_entry(s, g, now, rpf) else {
             return (Vec::new(), sends); // unroutable source
-        }
-        let key = (s, g);
-        let Some(e) = self.entries.get(&key) else {
-            return (Vec::new(), sends); // unreachable: just ensured
         };
+        let key = (s, g);
+        let e = self.entries.detail(slot);
         if iface != e.iif {
             // Wrong interface. If we actively forward onto it, there is a
             // parallel forwarder on that LAN: start the assert process.
             let forwards_here = e
-                .oifs
-                .get(&iface)
-                .map(|oif| self.oif_forwards(e, iface, oif, g))
+                .oif(iface)
+                .map(|oif| self.oif_forwards(oif, iface, g))
                 .unwrap_or(false);
             if forwards_here {
-                let rate_ok = match self.entries[&key].oifs[&iface].last_assert_tx {
+                let rate_ok = match e.oif(iface).and_then(|oif| oif.last_assert_tx) {
                     Some(t) => now.saturating_since(t) >= self.cfg.control_rate_limit,
                     None => true,
                 };
@@ -434,11 +435,7 @@ impl PimRouter {
                                 metric: info.metric,
                             },
                         });
-                        if let Some(oif) = self
-                            .entries
-                            .get_mut(&key)
-                            .and_then(|e| e.oifs.get_mut(&iface))
-                        {
+                        if let Some(oif) = self.entries.detail_mut(slot).oif_mut(iface) {
                             oif.last_assert_tx = Some(now);
                         }
                     }
@@ -448,17 +445,13 @@ impl PimRouter {
         }
 
         // Correct (RPF) interface: refresh and forward.
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.expires = now + self.cfg.data_timeout;
-        }
+        self.entries.set_expires(slot, now + self.cfg.data_timeout);
         let fwd = self.forward_list(&key);
         if fwd.is_empty() {
             // No interested downstream interfaces: prune toward the source
             // (rate-limited; spec sends a Prune whenever data arrives on the
             // iif while the oif list is null).
-            let Some(e) = self.entries.get_mut(&key) else {
-                return (fwd, sends); // unreachable: just ensured
-            };
+            let e = self.entries.detail_mut(slot);
             if let Some(upstream) = e.upstream {
                 let rate_ok = match e.last_prune_tx {
                     Some(t) => now.saturating_since(t) >= self.cfg.control_rate_limit,
@@ -468,8 +461,9 @@ impl PimRouter {
                     e.last_prune_tx = Some(now);
                     let until = now + self.cfg.prune_hold_time;
                     e.upstream_state = UpstreamState::Pruned { until };
+                    let iif = e.iif;
                     sends.push(PimSend {
-                        iface: e.iif,
+                        iface: iif,
                         dest: PimDest::AllRouters,
                         msg: PimMessage::JoinPrune {
                             upstream,
@@ -534,16 +528,19 @@ impl PimRouter {
         };
         let is_new = st.neighbors.insert(from, now + holdtime).is_none();
         if is_new {
+            self.iface_epoch += 1;
             // A new PIM router appeared on this link: clear prune state on
             // the interface so it receives data (it has no prune state).
-            for (key, e) in self.entries.iter_mut() {
-                if let Some(oif) = e.oifs.get_mut(&iface) {
+            for pos in 0..self.entries.len() {
+                let slot = self.entries.slot_at(pos);
+                let key = self.entries.key_of(slot);
+                if let Some(oif) = self.entries.detail_mut(slot).oif_mut(iface) {
                     if matches!(
                         oif.prune,
                         DownstreamPrune::Pruned { .. } | DownstreamPrune::PrunePending { .. }
                     ) {
                         oif.prune = DownstreamPrune::NoInfo;
-                        self.notes.push(PimNote::OifResumed { sg: *key, iface });
+                        self.notes.push(PimNote::OifResumed { sg: key, iface });
                     }
                 }
             }
@@ -570,8 +567,8 @@ impl PimRouter {
             if for_me {
                 // A downstream router pruned this interface. Wait the
                 // join-override window before stopping forwarding.
-                if let Some(e) = self.entries.get_mut(key) {
-                    if let Some(oif) = e.oifs.get_mut(&iface) {
+                if let Some(slot) = self.entries.slot_of(*key) {
+                    if let Some(oif) = self.entries.detail_mut(slot).oif_mut(iface) {
                         if matches!(oif.prune, DownstreamPrune::NoInfo) {
                             oif.prune = DownstreamPrune::PrunePending {
                                 fire_at: now + self.cfg.prune_delay,
@@ -590,7 +587,8 @@ impl PimRouter {
                 } else {
                     SimDuration::from_nanos(self.rng.random_range(0..window))
                 };
-                if let Some(e) = self.entries.get_mut(key) {
+                if let Some(slot) = self.entries.slot_of(*key) {
+                    let e = self.entries.detail_mut(slot);
                     if e.iif == iface && e.upstream == Some(upstream) && still_needed {
                         let candidate = now + delay;
                         match e.override_join_at {
@@ -604,20 +602,21 @@ impl PimRouter {
         for key in joins {
             if for_me {
                 // Join cancels a pending (or held) prune on this interface.
-                if !self.entries.contains_key(key) {
-                    self.ensure_entry(key.0, key.1, now, rpf);
+                if !self.entries.contains(*key) {
+                    let _ = self.ensure_entry(key.0, key.1, now, rpf);
                 }
-                if let Some(e) = self.entries.get_mut(key) {
-                    if let Some(oif) = e.oifs.get_mut(&iface) {
+                if let Some(slot) = self.entries.slot_of(*key) {
+                    if let Some(oif) = self.entries.detail_mut(slot).oif_mut(iface) {
                         if !matches!(oif.prune, DownstreamPrune::NoInfo) {
                             self.notes.push(PimNote::OifResumed { sg: *key, iface });
                         }
                         oif.prune = DownstreamPrune::NoInfo;
                     }
                 }
-            } else if let Some(e) = self.entries.get_mut(key) {
+            } else if let Some(slot) = self.entries.slot_of(*key) {
                 // Another downstream router already overrode the prune:
                 // suppress our own scheduled override join.
+                let e = self.entries.detail_mut(slot);
                 if e.iif == iface {
                     e.override_join_at = None;
                 }
@@ -645,13 +644,14 @@ impl PimRouter {
         let mut sends = Vec::new();
         let mut acked = Vec::new();
         for key in grafted {
-            if !self.entries.contains_key(key) {
-                self.ensure_entry(key.0, key.1, now, rpf);
+            if !self.entries.contains(*key) {
+                let _ = self.ensure_entry(key.0, key.1, now, rpf);
             }
-            let Some(e) = self.entries.get_mut(key) else {
+            let Some(slot) = self.entries.slot_of(*key) else {
                 continue;
             };
-            if let Some(oif) = e.oifs.get_mut(&iface) {
+            let e = self.entries.detail_mut(slot);
+            if let Some(oif) = e.oif_mut(iface) {
                 if !matches!(oif.prune, DownstreamPrune::NoInfo) {
                     self.notes.push(PimNote::OifResumed { sg: *key, iface });
                 }
@@ -659,12 +659,14 @@ impl PimRouter {
             }
             acked.push(*key);
             // Propagate the graft upstream if we are pruned there.
+            let e = self.entries.detail_mut(slot);
             if let (UpstreamState::Pruned { .. }, Some(up)) = (e.upstream_state, e.upstream) {
                 e.upstream_state = UpstreamState::AckPending {
                     retry_at: now + self.cfg.graft_retry,
                 };
+                let iif = e.iif;
                 sends.push(PimSend {
-                    iface: e.iif,
+                    iface: iif,
                     dest: PimDest::Unicast(up),
                     msg: PimMessage::Graft {
                         upstream: up,
@@ -689,7 +691,8 @@ impl PimRouter {
 
     fn on_graft_ack(&mut self, from: Ipv6Addr, entries: &[Sg]) -> Vec<PimSend> {
         for key in entries {
-            if let Some(e) = self.entries.get_mut(key) {
+            if let Some(slot) = self.entries.slot_of(*key) {
+                let e = self.entries.detail_mut(slot);
                 if matches!(e.upstream_state, UpstreamState::AckPending { .. })
                     && e.upstream == Some(from)
                 {
@@ -714,14 +717,12 @@ impl PimRouter {
         rpf: &dyn RpfLookup,
     ) -> Vec<PimSend> {
         let mut sends = Vec::new();
-        if self.ensure_entry(s, g, now, rpf).is_none() {
+        let Some(slot) = self.ensure_entry(s, g, now, rpf) else {
             return sends;
-        }
+        };
         let key = (s, g);
         let my_info = rpf.rpf(s);
-        let Some(e) = self.entries.get_mut(&key) else {
-            return sends; // unreachable: just ensured
-        };
+        let e = self.entries.detail_mut(slot);
         if iface == e.iif {
             // Assert heard on the incoming interface: the winner becomes the
             // RPF neighbor for subsequent Joins/Prunes/Grafts (paper §3.1:
@@ -754,11 +755,7 @@ impl PimRouter {
         let my_addr = self.ifaces[&iface].my_addr;
         let i_win = (my.metric_pref, my.metric) < (their_pref, their_metric)
             || ((my.metric_pref, my.metric) == (their_pref, their_metric) && my_addr > from);
-        let Some(oif) = self
-            .entries
-            .get_mut(&key)
-            .and_then(|e| e.oifs.get_mut(&iface))
-        else {
+        let Some(oif) = self.entries.detail_mut(slot).oif_mut(iface) else {
             return sends;
         };
         if i_win {
@@ -806,42 +803,48 @@ impl PimRouter {
             let Some(st) = self.ifaces.get_mut(&iface) else {
                 return sends;
             };
-            if joined {
-                st.members.insert(group);
+            let changed = if joined {
+                st.members.insert(group)
             } else {
-                st.members.remove(&group);
+                st.members.remove(&group)
+            };
+            if changed {
+                self.iface_epoch += 1;
             }
         }
         let keys: Vec<Sg> = self
             .entries
             .keys()
+            .into_iter()
             .filter(|(_, g)| *g == group)
-            .copied()
             .collect();
         for key in keys {
             if joined {
                 // Clear prune state on the member's interface and graft
                 // upstream if we had pruned ourselves off the tree.
-                let Some(e) = self.entries.get_mut(&key) else {
-                    continue; // unreachable: key came from this map
+                let Some(slot) = self.entries.slot_of(key) else {
+                    continue; // unreachable: key came from this table
                 };
+                let e = self.entries.detail_mut(slot);
                 if e.iif == iface {
                     // Members on the incoming link are served by the
                     // upstream forwarder on that link, not by us.
                     continue;
                 }
-                if let Some(oif) = e.oifs.get_mut(&iface) {
+                if let Some(oif) = e.oif_mut(iface) {
                     if !matches!(oif.prune, DownstreamPrune::NoInfo) {
                         self.notes.push(PimNote::OifResumed { sg: key, iface });
                     }
                     oif.prune = DownstreamPrune::NoInfo;
                 }
+                let e = self.entries.detail_mut(slot);
                 if let (UpstreamState::Pruned { .. }, Some(up)) = (e.upstream_state, e.upstream) {
                     e.upstream_state = UpstreamState::AckPending {
                         retry_at: now + self.cfg.graft_retry,
                     };
+                    let iif = e.iif;
                     sends.push(PimSend {
-                        iface: e.iif,
+                        iface: iif,
                         dest: PimDest::Unicast(up),
                         msg: PimMessage::Graft {
                             upstream: up,
@@ -855,16 +858,18 @@ impl PimRouter {
                 // prune immediately (paper §3.2: MLD "notifies the multicast
                 // routing protocol", which stops forwarding).
                 let now_empty = self.forward_list(&key).is_empty();
-                let Some(e) = self.entries.get_mut(&key) else {
-                    continue; // unreachable: key came from this map
+                let Some(slot) = self.entries.slot_of(key) else {
+                    continue; // unreachable: key came from this table
                 };
+                let e = self.entries.detail_mut(slot);
                 if now_empty && matches!(e.upstream_state, UpstreamState::Forwarding) {
                     if let Some(up) = e.upstream {
                         let until = now + self.cfg.prune_hold_time;
                         e.upstream_state = UpstreamState::Pruned { until };
                         e.last_prune_tx = Some(now);
+                        let iif = e.iif;
                         sends.push(PimSend {
-                            iface: e.iif,
+                            iface: iif,
                             dest: PimDest::AllRouters,
                             msg: PimMessage::JoinPrune {
                                 upstream: up,
@@ -897,15 +902,17 @@ impl PimRouter {
                 consider(Some(*dl));
             }
         }
-        for e in self.entries.values() {
-            consider(Some(e.expires));
+        for pos in 0..self.entries.len() {
+            let slot = self.entries.slot_at(pos);
+            consider(Some(self.entries.expires_at(slot)));
+            let e = self.entries.detail(slot);
             consider(e.override_join_at);
             match e.upstream_state {
                 UpstreamState::Pruned { until } => consider(Some(until)),
                 UpstreamState::AckPending { retry_at } => consider(Some(retry_at)),
                 UpstreamState::Forwarding => {}
             }
-            for oif in e.oifs.values() {
+            for (_, oif) in &e.oifs {
                 match oif.prune {
                     DownstreamPrune::PrunePending { fire_at } => consider(Some(fire_at)),
                     DownstreamPrune::Pruned { until } => consider(Some(until)),
@@ -928,25 +935,33 @@ impl PimRouter {
 
         // Neighbor expiry.
         for st in self.ifaces.values_mut() {
+            let before = st.neighbors.len();
             st.neighbors.retain(|_, dl| *dl > now);
+            if st.neighbors.len() != before {
+                self.iface_epoch += 1;
+            }
         }
 
         // Entry timers.
         let mut expired = Vec::new();
-        for (key, e) in self.entries.iter_mut() {
-            if e.expires <= now {
-                expired.push(*key);
+        for pos in 0..self.entries.len() {
+            let slot = self.entries.slot_at(pos);
+            let key = self.entries.key_of(slot);
+            if self.entries.expires_at(slot) <= now {
+                expired.push(key);
                 continue;
             }
+            let e = self.entries.detail_mut(slot);
             if matches!(e.override_join_at, Some(t) if t <= now) {
                 e.override_join_at = None;
                 if let Some(up) = e.upstream {
+                    let iif = e.iif;
                     sends.push(PimSend {
-                        iface: e.iif,
+                        iface: iif,
                         dest: PimDest::AllRouters,
                         msg: PimMessage::JoinPrune {
                             upstream: up,
-                            joins: vec![*key],
+                            joins: vec![key],
                             prunes: vec![],
                         },
                     });
@@ -956,16 +971,17 @@ impl PimRouter {
                 UpstreamState::Pruned { until } if until <= now => {
                     // Upstream prune expired; flooding resumes.
                     e.upstream_state = UpstreamState::Forwarding;
-                    self.notes.push(PimNote::UpstreamResumed { sg: *key });
+                    self.notes.push(PimNote::UpstreamResumed { sg: key });
                 }
                 UpstreamState::AckPending { retry_at } if retry_at <= now => {
                     if let Some(up) = e.upstream {
+                        let iif = e.iif;
                         sends.push(PimSend {
-                            iface: e.iif,
+                            iface: iif,
                             dest: PimDest::Unicast(up),
                             msg: PimMessage::Graft {
                                 upstream: up,
-                                entries: vec![*key],
+                                entries: vec![key],
                             },
                         });
                     }
@@ -975,13 +991,14 @@ impl PimRouter {
                 }
                 _ => {}
             }
+            let e = self.entries.detail_mut(slot);
             for (iface, oif) in e.oifs.iter_mut() {
                 match oif.prune {
                     DownstreamPrune::PrunePending { fire_at } if fire_at <= now => {
                         let until = now + self.cfg.prune_hold_time;
                         oif.prune = DownstreamPrune::Pruned { until };
                         self.notes.push(PimNote::OifPruned {
-                            sg: *key,
+                            sg: key,
                             iface: *iface,
                             until,
                         });
@@ -989,7 +1006,7 @@ impl PimRouter {
                     DownstreamPrune::Pruned { until } if until <= now => {
                         oif.prune = DownstreamPrune::NoInfo;
                         self.notes.push(PimNote::OifResumed {
-                            sg: *key,
+                            sg: key,
                             iface: *iface,
                         });
                     }
@@ -1003,9 +1020,10 @@ impl PimRouter {
         for key in expired {
             // The paper's stale-state lifetime: "only after expiration of
             // the (S,G) timer, an (S,G) entry will be deleted" (210 s).
-            self.entries.remove(&key);
+            self.entries.remove(key);
             self.notes.push(PimNote::EntryExpired { sg: key });
         }
+        self.entries.refresh_min_expires();
         sends
     }
 }

@@ -5,6 +5,9 @@
 //! Protocol Independent Multicast Dense Mode"*, ICPP 2000).
 //!
 //! Contents:
+//! * [`arena`] — compact-state primitives: a dense key interner
+//!   ([`Interner`]) and a generation-indexed slot arena ([`Arena`])
+//!   backing the struct-of-arrays protocol state tables.
 //! * [`time`] — integer virtual time ([`SimTime`], [`SimDuration`]).
 //! * [`queue`] — a cancellable, FIFO-stable event queue ([`EventQueue`]).
 //! * [`wheel`] — the hierarchical timer wheel behind [`EventQueue`]
@@ -28,6 +31,7 @@
 //! draws, on every platform. This is what makes the experiment tables in the
 //! paper reproduction exactly repeatable.
 
+pub mod arena;
 pub mod budget;
 pub mod metrics;
 pub mod openmetrics;
@@ -42,6 +46,9 @@ pub mod time;
 pub mod trace;
 pub mod wheel;
 
+pub use arena::{
+    shared_interner, Arena, ArenaError, Handle, InternExhausted, InternId, Interner, SharedInterner,
+};
 pub use budget::{RateLimit, ShedPolicy, TokenBucket};
 pub use metrics::{Counters, Series, SeriesSet, Summary};
 pub use profile::{Profiler, SimProfile};

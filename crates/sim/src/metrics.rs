@@ -21,7 +21,13 @@ impl Counters {
 
     /// Add `delta` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, delta: u64) {
-        *self.values.entry(name.to_owned()).or_insert(0) += delta;
+        // Hot path: bump in place without allocating the key. The
+        // `to_owned` only runs on a counter's first touch.
+        if let Some(v) = self.values.get_mut(name) {
+            *v += delta;
+        } else {
+            self.values.insert(name.to_owned(), delta);
+        }
     }
 
     /// Increment counter `name` by one.
@@ -40,9 +46,15 @@ impl Counters {
     /// (entry present) from "never sampled" (entry absent) — idle
     /// scenarios must show their queue-depth gauges, not hide them.
     pub fn record_max(&mut self, name: &str, value: u64) {
-        let slot = self.values.entry(name.to_owned()).or_insert(0);
-        if value > *slot {
-            *slot = value;
+        match self.values.get_mut(name) {
+            Some(slot) => {
+                if value > *slot {
+                    *slot = value;
+                }
+            }
+            None => {
+                self.values.insert(name.to_owned(), value);
+            }
         }
     }
 

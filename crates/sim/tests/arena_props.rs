@@ -1,0 +1,148 @@
+//! Property tests for the compact-state primitives behind the SoA
+//! protocol tables: interner id stability and round-trip over the full
+//! IPv6/group/link key domains, generation-guarded slot reuse in the
+//! arena, and typed (never panicking) exhaustion on both.
+
+use mobicast_sim::arena::{Arena, ArenaError, Handle, InternExhausted, Interner};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::Ipv6Addr;
+
+fn ipv6() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+proptest! {
+    /// Ids are assigned densely in first-intern order, and re-interning a
+    /// key — at any later point, after any number of other inserts —
+    /// returns the id it was first given.
+    #[test]
+    fn intern_ids_are_stable_and_dense(keys in proptest::collection::vec(ipv6(), 1..200)) {
+        let mut interner: Interner<Ipv6Addr> = Interner::new();
+        let mut first_id: BTreeMap<Ipv6Addr, u32> = BTreeMap::new();
+        for key in &keys {
+            let id = interner.intern(*key).unwrap();
+            match first_id.get(key) {
+                Some(&seen) => prop_assert_eq!(id.0, seen, "id changed on re-intern"),
+                None => {
+                    // Fresh keys get the next dense id.
+                    prop_assert_eq!(id.index(), first_id.len());
+                    first_id.insert(*key, id.0);
+                }
+            }
+        }
+        prop_assert_eq!(interner.len(), first_id.len());
+    }
+
+    /// intern → resolve round-trips for every key over mixed IPv6
+    /// unicast/multicast (group) values and u32 link ids alike.
+    #[test]
+    fn intern_resolve_round_trip(
+        addrs in proptest::collection::vec(ipv6(), 1..150),
+        links in proptest::collection::vec(any::<u32>(), 1..150),
+    ) {
+        let mut ai: Interner<Ipv6Addr> = Interner::new();
+        for a in &addrs {
+            let id = ai.intern(*a).unwrap();
+            prop_assert_eq!(ai.resolve(id), Some(a));
+            prop_assert_eq!(ai.get(a), Some(id));
+        }
+        let mut li: Interner<u32> = Interner::new();
+        for l in &links {
+            let id = li.intern(*l).unwrap();
+            prop_assert_eq!(li.resolve(id), Some(l));
+        }
+        // Ids the interner never minted resolve to nothing.
+        prop_assert_eq!(ai.resolve(mobicast_sim::InternId(ai.len() as u32)), None);
+    }
+
+    /// Exhaustion is a typed error and the interner stays usable: known
+    /// keys still intern, fresh keys keep failing, nothing panics.
+    #[test]
+    fn intern_exhaustion_never_panics(
+        cap in 1u32..40,
+        keys in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let mut interner: Interner<u64> = Interner::with_capacity(cap);
+        let mut known = Vec::new();
+        for key in keys {
+            match interner.intern(key) {
+                Ok(id) => {
+                    prop_assert!(interner.len() <= cap as usize);
+                    known.push((key, id));
+                }
+                Err(e) => {
+                    prop_assert_eq!(e, InternExhausted { capacity: cap });
+                    prop_assert_eq!(interner.len(), cap as usize);
+                }
+            }
+        }
+        for (key, id) in known {
+            prop_assert_eq!(interner.intern(key), Ok(id), "known key survives exhaustion");
+        }
+    }
+
+    /// Random insert/remove churn: a slot index is never handed out twice
+    /// without a generation bump, stale handles never resolve, and the
+    /// occupancy counter tracks the live set exactly.
+    #[test]
+    fn arena_handles_never_alias(ops in proptest::collection::vec(any::<u16>(), 1..400)) {
+        let mut arena: Arena<u16> = Arena::new();
+        let mut live: Vec<(Handle, u16)> = Vec::new();
+        let mut dead: Vec<Handle> = Vec::new();
+        let mut issued: BTreeMap<u32, u32> = BTreeMap::new(); // idx -> last generation
+        for op in ops {
+            if op % 3 == 0 && !live.is_empty() {
+                let (h, v) = live.remove(op as usize % live.len());
+                prop_assert_eq!(arena.remove(h), Some(v));
+                dead.push(h);
+            } else {
+                let h = arena.insert(op).unwrap();
+                match issued.get(&(h.index() as u32)) {
+                    Some(&g) => prop_assert!(
+                        h.generation() > g,
+                        "slot reused without generation bump"
+                    ),
+                    None => prop_assert_eq!(h.generation(), 0),
+                }
+                issued.insert(h.index() as u32, h.generation());
+                live.push((h, op));
+            }
+            prop_assert_eq!(arena.len(), live.len());
+            for h in &dead {
+                prop_assert_eq!(arena.get(*h), None, "stale handle resolved");
+            }
+            for (h, v) in &live {
+                prop_assert_eq!(arena.get(*h), Some(v));
+            }
+        }
+        // Linear sweep sees exactly the live set.
+        prop_assert_eq!(arena.iter().count(), live.len());
+    }
+
+    /// Arena exhaustion is a typed error, never a panic, and capacity is
+    /// honored through arbitrary churn.
+    #[test]
+    fn arena_exhaustion_never_panics(
+        cap in 1u32..20,
+        ops in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let mut arena: Arena<u8> = Arena::with_capacity(cap);
+        let mut live: Vec<Handle> = Vec::new();
+        for op in ops {
+            if op % 4 == 0 && !live.is_empty() {
+                let h = live.swap_remove(op as usize % live.len());
+                arena.remove(h);
+            } else {
+                match arena.insert(op) {
+                    Ok(h) => live.push(h),
+                    Err(e) => {
+                        prop_assert_eq!(e, ArenaError::Exhausted { capacity: cap });
+                        prop_assert_eq!(arena.len(), cap as usize);
+                    }
+                }
+            }
+            prop_assert!(arena.len() <= cap as usize);
+        }
+    }
+}
