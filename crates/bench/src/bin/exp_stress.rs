@@ -7,8 +7,11 @@
 //! `--routers N` switches to a single metro-grid run of (at least) N
 //! routers on the sharded executor — e.g. `exp_stress --routers 10000
 //! --receivers 200` — reporting events/sec, the shard schedule and the
-//! achievable conservative-parallel speedup. `--receivers M` and
-//! `--workers W` tune the run; the result lands in
+//! achievable conservative-parallel speedup. On the metro run `--workers`
+//! sets the *executor threads* of the sharded run (the same knob as
+//! `MOBICAST_WORKERS`; `--serial` = 1 = inline), while on the sweep it
+//! pins the sweep worker pool — one flag, one meaning per mode.
+//! `--receivers M` tunes the run; the result lands in
 //! `results/stress_metro.json`.
 
 use std::process::ExitCode;
@@ -31,10 +34,7 @@ fn run_metro(routers: usize) -> ExitCode {
         spec.name
     );
 
-    let opts = StressRunOptions {
-        shards: METRO_SHARDS,
-        workers,
-    };
+    let opts = StressRunOptions::sharded(METRO_SHARDS, workers);
     let wall_start = Instant::now();
     let (report, stats) = run_stress_with(&spec, &opts, mobicast_sim::Tracer::null());
     let wall_secs = wall_start.elapsed().as_secs_f64();
@@ -56,6 +56,11 @@ fn run_metro(routers: usize) -> ExitCode {
             s.barrier_syncs,
             s.critical_path_events,
             s.achievable_speedup()
+        );
+        println!(
+            "  executor: {} worker thread(s), {} cross-worker handoffs, \
+             {:.3}s barrier stall",
+            s.workers, s.handoff_events, s.barrier_stall_secs
         );
     }
     println!(

@@ -13,7 +13,6 @@ use mobicast_net::{
 };
 use mobicast_sim::{RngFactory, SimTime, Tracer};
 use std::net::Ipv6Addr;
-use std::rc::Rc;
 
 /// A MAP domain for hierarchical delivery policies: while attached to any
 /// of the domain's links, a roaming host registers with the domain's MAP
@@ -191,7 +190,8 @@ impl BuiltNetwork {
     }
 
     /// Partition the network into `n_shards` contiguous link regions for
-    /// [`World::run_until_sharded`]. Each node lands in the shard of its
+    /// sharded execution ([`World::run`] with a sharded plan). Each node
+    /// lands in the shard of its
     /// first attached link; the lookahead is the minimum link delay in the
     /// topology — a strictly conservative bound on how fast any event can
     /// cross a shard boundary, and robust against hosts roaming between
@@ -331,7 +331,7 @@ pub fn build(
             map_agent[*l] = Some(addr);
         }
     }
-    let directory: SharedDirectory = Rc::new(Directory {
+    let directory: SharedDirectory = std::sync::Arc::new(Directory {
         default_router,
         map_agent,
     });

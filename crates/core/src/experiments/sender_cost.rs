@@ -77,7 +77,10 @@ fn string_run(p: &StringParams) -> StringStats {
     net.world.at(SimTime::from_secs(60), move |w| {
         w.move_iface(sender, 0, mid);
     });
-    net.world.run_until(SimTime::ZERO + duration);
+    net.world.run(
+        SimTime::ZERO + duration,
+        &mobicast_net::ExecPlan::sequential(),
+    );
     let synthetic = ScenarioConfig::builder()
         .seed(p.seed)
         .name(format!("sender-cost-string{}-seed{}", p.n_links, p.seed))

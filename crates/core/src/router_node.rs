@@ -380,7 +380,7 @@ impl RouterNode {
         let mut frame = frame_for(packet, l2_to);
         if let Some(info) = netplan::extract_data_info(packet) {
             if let Some(link) = ctx.link_on(ifx) {
-                let id = self.recorder.next_tag();
+                let id = self.recorder.next_tag(self.id);
                 frame.tag = id;
                 self.recorder.record_data(DataEvent {
                     pkt: info.payload.pkt,

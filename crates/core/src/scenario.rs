@@ -15,7 +15,7 @@ use crate::router_node::{ResourceBudget, RouterConfig, RouterNode};
 use crate::strategy::Policy;
 use mobicast_ipv6::addr::GroupAddr;
 use mobicast_mld::MldConfig;
-use mobicast_net::{FaultPlan, FrameClass};
+use mobicast_net::{ExecutorConfig, FaultPlan, FrameClass};
 use mobicast_pimdm::PimConfig;
 use mobicast_sim::{
     rng::sample_exponential, RingBufferTracer, RngFactory, SimDuration, SimProfile, SimTime, Tracer,
@@ -117,6 +117,10 @@ pub struct ScenarioConfig {
     /// Capture typed trace events into a bounded ring buffer of this
     /// capacity and return them as `ScenarioResult.trace_jsonl`.
     pub trace_capture: Option<usize>,
+    /// How the event loop executes (sequential, sharded, worker threads).
+    /// Never changes what the run produces — only how fast. Validated by
+    /// the builder; `MOBICAST_WORKERS` still applies at plan time.
+    pub executor: ExecutorConfig,
     /// Profile the event loop (wall-clock; see `ScenarioResult.profile`).
     pub profile: bool,
     /// Print the one-line run summary to stderr when the run finishes.
@@ -145,6 +149,7 @@ impl Default for ScenarioConfig {
             tracer: None,
             name: Cow::Borrowed("scenario"),
             trace_capture: None,
+            executor: ExecutorConfig::sequential(),
             profile: false,
             summary: false,
         }
@@ -225,6 +230,12 @@ impl ScenarioBuilder {
 
     pub fn duration(mut self, duration: SimDuration) -> Self {
         self.cfg.duration = duration;
+        self
+    }
+
+    /// Execute with this executor configuration (validated at build).
+    pub fn executor(mut self, executor: ExecutorConfig) -> Self {
+        self.cfg.executor = executor;
         self
     }
 
@@ -349,6 +360,9 @@ impl ScenarioBuilder {
     /// Validate and hand out the configuration.
     pub fn try_build(self) -> Result<ScenarioConfig, ScenarioBuildError> {
         let cfg = self.cfg;
+        if let Err(e) = cfg.executor.validate() {
+            return Err(ScenarioBuildError(format!("executor: {e}")));
+        }
         if let Err(e) = cfg.mld.validate() {
             return Err(ScenarioBuildError(format!("MLD profile: {e}")));
         }
@@ -564,7 +578,11 @@ pub fn run_with_recorder(cfg: &ScenarioConfig) -> (ScenarioResult, crate::record
         )
     });
 
-    net.world.run_until(SimTime::ZERO + cfg.duration);
+    let plan = match cfg.executor.plan(|shards| net.shard_plan(shards)) {
+        Ok(plan) => plan,
+        Err(e) => panic!("scenario {}: invalid executor config: {e}", cfg.name),
+    };
+    net.world.run(SimTime::ZERO + cfg.duration, &plan);
     let profile = net.world.take_profile();
     let (mut result, rec) = finish_with(cfg, net, oracle);
     result.profile = profile;
@@ -661,7 +679,7 @@ fn sample_gauges(w: &mut mobicast_net::World, ctx: &SamplerCtx) {
         let bytes: u64 = w.link_stats(*l).bytes.iter().sum();
         rec.sample_at(&format!("link.{}.bytes", i + 1), now, bytes as f64);
     }
-    let shed = rec.borrow().counters.sum_prefix("overload.");
+    let shed = rec.with(|r| r.counters.sum_prefix("overload."));
     rec.sample_at("overload.shed_total", now, shed as f64);
 }
 

@@ -19,7 +19,7 @@ use crate::router_node::{RouterConfig, RouterNode};
 use crate::scenario::group;
 use crate::strategy::Policy;
 use mobicast_mld::MldConfig;
-use mobicast_net::ShardRunStats;
+use mobicast_net::{ExecutorConfig, ShardRunStats};
 use mobicast_sim::{RngFactory, SimDuration, SimTime, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -88,18 +88,25 @@ pub struct StressReport {
     pub poll: crate::oracle::PollStats,
 }
 
-/// How a stress run executes: sharded or classic sequential, and with
-/// which trace sink. The default (`shards = 0`) is the classic
-/// [`mobicast_net::World::run_until`] loop; any `shards >= 1` routes
-/// through the conservative-lookahead sharded executor, whose dispatch
-/// order is byte-identical for every `(shards, workers)` choice — the
-/// contract `tests/shard_parity.rs` pins.
+/// How a stress run executes. The default is the sequential loop; a
+/// sharded [`ExecutorConfig`] routes through the conservative-lookahead
+/// executor — inline with one worker, threaded with more — whose
+/// observable output is byte-identical for every valid
+/// `(shards, workers)` choice; the contract `tests/shard_parity.rs` pins.
 #[derive(Clone, Debug, Default)]
 pub struct StressRunOptions {
-    /// Topology shards for the windowed executor (0 = sequential loop).
-    pub shards: usize,
-    /// Worker count recorded in the batch schedule (order-inert).
-    pub workers: usize,
+    /// Executor choice (shards + worker threads). Never changes the
+    /// report, only how fast it is produced.
+    pub executor: ExecutorConfig,
+}
+
+impl StressRunOptions {
+    /// Sharded execution over `shards` regions with `workers` threads.
+    pub fn sharded(shards: usize, workers: usize) -> StressRunOptions {
+        StressRunOptions {
+            executor: ExecutorConfig::sharded(shards).threads(workers),
+        }
+    }
 }
 
 /// Run one stress scenario to completion under the oracle.
@@ -192,13 +199,11 @@ pub fn run_stress_with(
     }
 
     let oracle = Oracle::attach(&mut net.world, net.routers.clone(), end);
-    let shard_stats = if opts.shards >= 1 {
-        let plan = net.shard_plan(opts.shards);
-        Some(net.world.run_until_sharded(end, &plan, opts.workers.max(1)))
-    } else {
-        net.world.run_until(end);
-        None
+    let plan = match opts.executor.plan(|shards| net.shard_plan(shards)) {
+        Ok(plan) => plan,
+        Err(e) => panic!("stress {}: invalid executor config: {e}", spec.name),
     };
+    let shard_stats = net.world.run(end, &plan).sharded;
 
     let BuiltNetwork {
         world,

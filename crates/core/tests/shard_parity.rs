@@ -1,7 +1,7 @@
-//! Sharded-executor parity: the conservative-lookahead windowed executor
-//! (`World::run_until_sharded`) must produce *byte-identical* runs for
-//! every `(shards, workers)` choice — and identical to the classic
-//! sequential loop. "Byte-identical" is checked at three levels:
+//! Executor parity: sequential loop, inline windowed executor and the
+//! threaded per-shard executor must produce *byte-identical* runs for
+//! every valid `(shards, workers)` choice. "Byte-identical" is checked at
+//! three levels:
 //!
 //! 1. the full trace JSONL captured by a ring tracer (every dispatch,
 //!    send, delivery and drop, with arguments),
@@ -9,10 +9,13 @@
 //! 3. the oracle verdicts (violation count and messages).
 //!
 //! The batch schedule itself (`ShardRunStats`) must also be a pure
-//! function of the plan — only the recorded `workers` label may differ.
+//! function of the plan — only the recorded `workers` label and the
+//! wall-clock measurements may differ (`ShardRunStats::same_schedule`).
 //!
-//! The quick variant runs on every `cargo test`; the `#[ignore]`d variant
-//! is the 10k-router metro gate run by the CI `parallel-parity` job.
+//! The quick variant runs the full `{1,2,4} x {1,2,4}` matrix on every
+//! `cargo test`; the `#[ignore]`d variant is the 10k-router metro gate
+//! run by the CI `parallel-parity` job. A repetition test hammers the
+//! window-barrier handoff protocol across many thread interleavings.
 
 use mobicast_core::builder::NetworkSpec;
 use mobicast_core::strategy::Policy;
@@ -28,10 +31,9 @@ struct Capture {
     stats: Option<ShardRunStats>,
 }
 
-fn capture(spec: &StressSpec, shards: usize, workers: usize) -> Capture {
+fn capture(spec: &StressSpec, opts: &StressRunOptions) -> Capture {
     let (tracer, ring) = RingBufferTracer::new(1_000_000);
-    let opts = StressRunOptions { shards, workers };
-    let (report, stats) = run_stress_with(spec, &opts, tracer);
+    let (report, stats) = run_stress_with(spec, opts, tracer);
     Capture {
         trace_jsonl: ring.export_jsonl(),
         report_json: serde_json::to_string_pretty(&report).expect("report serializes"),
@@ -64,65 +66,109 @@ fn assert_parity(label: &str, a: &Capture, b: &Capture) {
     }
 }
 
-/// The schedule (windows, barriers, per-shard batches, critical path) is a
-/// property of the *plan*, not the worker count.
-fn assert_same_schedule(label: &str, a: &ShardRunStats, b: &ShardRunStats) {
-    assert_eq!(a.windows, b.windows, "{label}: window count diverged");
-    assert_eq!(
-        a.barrier_syncs, b.barrier_syncs,
-        "{label}: barriers diverged"
-    );
-    assert_eq!(a.events_total, b.events_total, "{label}: totals diverged");
-    assert_eq!(
-        a.events_per_shard, b.events_per_shard,
-        "{label}: per-shard batches diverged"
-    );
-    assert_eq!(
-        a.critical_path_events, b.critical_path_events,
-        "{label}: critical path diverged"
-    );
+/// The executor matrix under test: every `(shards, workers)` in
+/// `{1,2,4} x {1,2,4}` with `workers <= shards` (the validator rejects
+/// oversubscribed configs by design).
+fn matrix() -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for shards in [1usize, 2, 4] {
+        for workers in [1usize, 2, 4] {
+            if workers <= shards {
+                out.push((shards, workers));
+            }
+        }
+    }
+    out
 }
 
-fn parity_over(spec: &StressSpec, shards: usize) {
-    let sequential = capture(spec, 0, 1);
-    let one = capture(spec, shards, 1);
-    let many = capture(spec, shards, 4);
-
-    assert_parity(
-        &format!("{} seq vs workers=1", spec.name),
-        &sequential,
-        &one,
-    );
-    assert_parity(&format!("{} workers=1 vs 4", spec.name), &one, &many);
-
-    let s1 = one.stats.as_ref().expect("sharded run reports stats");
-    let s4 = many.stats.as_ref().expect("sharded run reports stats");
-    assert_same_schedule(&spec.name, s1, s4);
-    assert_eq!(s1.workers, 1);
-    assert_eq!(s4.workers, 4);
+fn parity_over(spec: &StressSpec, cells: &[(usize, usize)]) {
+    let sequential = capture(spec, &StressRunOptions::default());
+    let mut schedules: Vec<(usize, ShardRunStats)> = Vec::new();
+    for &(shards, workers) in cells {
+        let label = format!("{} shards={shards} workers={workers}", spec.name);
+        let run = capture(spec, &StressRunOptions::sharded(shards, workers));
+        assert_parity(&label, &sequential, &run);
+        let stats = run.stats.expect("sharded run reports stats");
+        assert_eq!(stats.workers, workers.min(shards), "{label}: workers label");
+        if let Some((_, reference)) = schedules.iter().find(|(s, _)| *s == shards) {
+            assert!(
+                reference.same_schedule(&stats),
+                "{label}: schedule diverged across worker counts"
+            );
+        } else {
+            schedules.push((shards, stats));
+        }
+    }
+    let widest = schedules
+        .iter()
+        .map(|(s, _)| s)
+        .max()
+        .expect("matrix is non-empty");
+    let (_, stats) = schedules
+        .iter()
+        .find(|(s, _)| s == widest)
+        .expect("schedule recorded");
     assert!(
-        s1.events_per_shard.iter().filter(|&&n| n > 0).count() > 1,
+        stats.events_per_shard.iter().filter(|&&n| n > 0).count() > 1,
         "{}: work never spread past one shard: {:?}",
         spec.name,
-        s1.events_per_shard
+        stats.events_per_shard
     );
     assert!(
-        s1.achievable_speedup() > 1.0,
+        stats.achievable_speedup() > 1.0,
         "{}: no exploitable parallelism in the schedule",
         spec.name
     );
 }
 
-/// Quick always-on gate: small grid and tree, both receive planes.
+/// Quick always-on gate: small grid and tree, both receive planes. The
+/// first spec runs the full matrix; the rest run the widest column (the
+/// threaded executor at every worker count).
 #[test]
 fn sharded_runs_are_byte_identical_quick() {
-    for spec in specs(true) {
-        parity_over(&spec, 4);
+    let all = specs(true);
+    parity_over(&all[0], &matrix());
+    for spec in &all[1..] {
+        parity_over(spec, &[(4, 1), (4, 2), (4, 4)]);
     }
 }
 
-/// Full 10k-router metro gate (CI `parallel-parity` job). Three complete
-/// runs of a 9940-router grid with 200 receivers — release-mode only.
+/// Interleaving smoke test for the window-barrier handoff protocol: a
+/// small cross-shard workload repeated many times at `workers = 2`. Real
+/// threads land on different interleavings across repetitions; grants,
+/// mint assignment and mid-epoch handoff must converge to the same bytes
+/// every single time.
+#[test]
+fn threaded_handoff_is_stable_across_interleavings() {
+    let spec = StressSpec {
+        name: "interleave/grid2x2".into(),
+        topology: NetworkSpec::grid(2, 2),
+        policy: Policy::LOCAL,
+        seed: 11,
+        duration: SimDuration::from_secs(90),
+        receivers: 3,
+        movers: 1,
+        moves_per_mover: 1,
+        data_interval: SimDuration::from_secs(1),
+    };
+    let reference = capture(&spec, &StressRunOptions::sharded(2, 2));
+    let handoffs = reference
+        .stats
+        .as_ref()
+        .map(|s| s.handoff_events)
+        .unwrap_or(0);
+    assert!(
+        handoffs > 0,
+        "workload never crossed a worker boundary — not a handoff test"
+    );
+    for i in 0..20 {
+        let run = capture(&spec, &StressRunOptions::sharded(2, 2));
+        assert_parity(&format!("interleaving rep {i}"), &reference, &run);
+    }
+}
+
+/// Full 10k-router metro gate (CI `parallel-parity` job). Complete runs
+/// of a 9940-router grid with 200 receivers — release-mode only.
 #[test]
 #[ignore = "10k-router stress; run via --include-ignored in release mode"]
 fn sharded_metro_10k_is_byte_identical() {
@@ -142,5 +188,5 @@ fn sharded_metro_10k_is_byte_identical() {
         // captures inside a sane CI budget without shrinking the topology.
         data_interval: SimDuration::from_secs(10),
     };
-    parity_over(&spec, 16);
+    parity_over(&spec, &[(16, 1), (16, 4)]);
 }

@@ -13,13 +13,16 @@
 //!   Gilbert–Elliott bursts), delay jitter, link flaps, router crashes.
 //! * [`ids`] — identifier newtypes.
 
+pub mod exec;
 pub mod fault;
 pub mod frame;
 pub mod graph;
 pub mod ids;
 pub mod link;
+mod threaded;
 pub mod world;
 
+pub use exec::{ExecError, ExecPlan, ExecutorConfig, RunStats, WORKERS_ENV};
 pub use fault::{
     CorruptionKind, CorruptionModel, FaultPlan, FaultWindow, LinkFault, LinkFaultState, LinkFlap,
     LossModel, RouterCrash, StormModel, CORRUPTION_KIND_COUNT,

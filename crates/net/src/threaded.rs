@@ -1,0 +1,1634 @@
+//! The threaded sharded executor: per-shard worker threads under a
+//! streaming conservative-clock protocol, byte-identical to the sequential
+//! loop.
+//!
+//! # Protocol
+//!
+//! Execution proceeds in **epochs**: script-to-script intervals (scripts
+//! may rewire arbitrary world state, so they are global barriers and run
+//! inline between epochs). At an epoch boundary the driver pops every
+//! pending event before the next script key, partitions them by owning
+//! worker (contiguous shard ranges), moves the targeted node slots onto
+//! the workers, and spawns one thread per worker inside a
+//! [`std::thread::scope`].
+//!
+//! Within an epoch, workers dispatch their events **concurrently** but
+//! never ahead of a conservative **grant** from the coordinator: worker
+//! `u` may dispatch an entry keyed `(time, seq)` only while that key is
+//! below its grant. The grant trails the *global* virtual time — the
+//! least lower bound of what any worker (the granted one included) might
+//! still produce — by the lookahead `L` (a lower bound on every link's
+//! propagation delay). Every unmaterialized event is the effect of a
+//! dispatch at or after that minimum, so it lands at `GVT + L` or later:
+//! at or past every grant, never below one. (The granted worker's own
+//! bound must participate — a frame it sends can be delivered on a peer,
+//! answered, and forwarded straight back into its own shard.)
+//!
+//! Dispatching a callback on a worker produces no immediate observable
+//! side effects. Everything a behavior does — traces, probe notifications,
+//! frame transmissions, timer arms/cancels, deferred recorder mutations —
+//! is captured as an ordered op list in a [`Rec`] record. Workers stream
+//! records to the coordinator, which merges all streams in global
+//! `(time, seq)` order and **replays** the ops: trace events hit the real
+//! tracer, probe calls hit the real probe, and every `schedule` the
+//! sequential loop would have performed reserves the *same* sequence
+//! number from the real queue (records replay in the sequential dispatch
+//! order, and ops within a record replay in program order, so the
+//! `reserve_seq` stream is exactly the sequential `schedule` stream).
+//! Scheduled events targeting another worker are forwarded mid-epoch
+//! (counted as handoffs); events at or beyond the epoch end go back into
+//! the global queue.
+//!
+//! Worker-minted events (a transmission scheduling a local delivery, a
+//! timer arming) do not know their global sequence yet: the worker keys
+//! them `(time, mint#)` and the coordinator streams the assigned sequence
+//! back in replay order. Until the assignment arrives the entry sorts by
+//! `(time, 0)`, which is conservative — a minted entry only dispatches
+//! strictly below the grant *time*, never on a tie.
+//!
+//! Timers armed on a worker return a **provenance id**
+//! (`1<<63 | worker<<48 | count`), deterministic in the arming node's own
+//! order. If the timer survives the epoch, the driver records the alias
+//! provenance-id → real-sequence on the [`World`] so later cancels resolve
+//! through either id under any backend.
+//!
+//! # Determinism argument
+//!
+//! - Replay order is the global `(time, seq)` order, the sequential
+//!   dispatch order; ops within a record are in program order. Hence the
+//!   byte streams (trace, probe/oracle, recorder) and all sequence
+//!   numbers are identical to the sequential run.
+//! - Values a behavior observes *during* dispatch depend only on state
+//!   confined to its worker for the epoch: its shard's node slots, the
+//!   epoch-constant topology snapshot, and (for fault RNG draws) fault
+//!   state of links wholly owned by the worker. Epochs where a faulted
+//!   link spans workers (or lookahead is zero) fall back to the inline
+//!   loop, so RNG draw order always matches the sequential loop.
+//! - Counters and link stats are additive: workers accumulate deltas and
+//!   the driver merges them at the epoch join, where only sums (never
+//!   intermediate values) are observable (scripts run at barriers).
+//!
+//! The one intentional divergence: the queue's `depth_high_water`
+//! diagnostic reads lower under threading (in-epoch events live on
+//! workers, not in the global queue). It is only reported by the
+//! profiler, and profiled runs always use the inline backend.
+
+use crate::fault::{CorruptionKind, LinkFaultState};
+use crate::frame::{Frame, L2Dest};
+use crate::ids::{IfIndex, LinkId, NodeId, TimerKey};
+use crate::link::{schedule_transmission, Attachment, LinkParams, LinkStats};
+use crate::world::{Ctx, NodeSlot, ShardPlan, ShardRunStats, WindowRecon, World, WorldEvent};
+use mobicast_sim::defer::{self, DeferredOp};
+use mobicast_sim::trace::{Fields, TraceEvent};
+use mobicast_sim::{Counters, EventId, SimDuration, SimTime, TraceCategory};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Global `(time, sequence)` event key; the merge order of everything.
+type Key = (SimTime, u64);
+
+/// "No visible id": the event was never exposed to a behavior as an
+/// [`EventId`] (frame deliveries). Never collides with real sequences
+/// (the queue counts up from 0) or provenance ids (top bit + counter).
+const NO_VIS: u64 = u64::MAX;
+
+/// Top bit marking worker-issued provenance timer ids.
+const PROV_BIT: u64 = 1 << 63;
+
+/// Flush the record stream to the coordinator at this many records.
+const FLUSH_RECORDS: usize = 192;
+
+/// Re-drain the inbox after this many dispatches in one burst.
+const DRAIN_EVERY: usize = 64;
+
+/// Which worker dispatches a shard: contiguous ranges, deterministic in
+/// `(shard, n_shards, workers)` only.
+fn worker_of(shard: u32, n_shards: u32, workers: usize) -> usize {
+    ((shard as usize * workers) / n_shards as usize).min(workers - 1)
+}
+
+/// A [`WorldEvent`] that can cross threads (scripts never enter epochs).
+#[derive(Clone)]
+enum WorkerEvent {
+    Deliver {
+        node: NodeId,
+        ifindex: IfIndex,
+        link: LinkId,
+        frame: Frame,
+    },
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+        incarnation: u64,
+    },
+}
+
+impl WorkerEvent {
+    fn target(&self) -> NodeId {
+        match self {
+            WorkerEvent::Deliver { node, .. } | WorkerEvent::Timer { node, .. } => *node,
+        }
+    }
+
+    fn from_world(ev: WorldEvent) -> Option<WorkerEvent> {
+        match ev {
+            WorldEvent::Deliver {
+                node,
+                ifindex,
+                link,
+                frame,
+            } => Some(WorkerEvent::Deliver {
+                node,
+                ifindex,
+                link,
+                frame,
+            }),
+            WorldEvent::Timer {
+                node,
+                key,
+                incarnation,
+            } => Some(WorkerEvent::Timer {
+                node,
+                key,
+                incarnation,
+            }),
+            WorldEvent::Script(_) => None,
+        }
+    }
+
+    fn into_world(self) -> WorldEvent {
+        match self {
+            WorkerEvent::Deliver {
+                node,
+                ifindex,
+                link,
+                frame,
+            } => WorldEvent::Deliver {
+                node,
+                ifindex,
+                link,
+                frame,
+            },
+            WorkerEvent::Timer {
+                node,
+                key,
+                incarnation,
+            } => WorldEvent::Timer {
+                node,
+                key,
+                incarnation,
+            },
+        }
+    }
+}
+
+/// One captured side effect of a dispatch, replayed by the coordinator in
+/// global order. Op order within a record is the behavior's program order.
+enum Op {
+    Trace(TraceEvent),
+    ProbeTx {
+        node: NodeId,
+        ifindex: IfIndex,
+        link: LinkId,
+        frame: Frame,
+    },
+    ProbeRx {
+        node: NodeId,
+        ifindex: IfIndex,
+        link: LinkId,
+        frame: Frame,
+    },
+    /// The worker minted a local event here; the coordinator reserves the
+    /// next global sequence and streams it back (in mint order).
+    Mint,
+    /// The worker scheduled an event owned by another worker (or beyond
+    /// the epoch): the coordinator reserves the sequence and routes it.
+    Forward {
+        at: SimTime,
+        ev: WorkerEvent,
+    },
+    /// Cancel of a timer pending in the global queue (armed in an earlier
+    /// epoch); `vis` is the id the behavior holds.
+    CancelGlobal {
+        vis: u64,
+    },
+    /// Side effects buffered through [`mobicast_sim::defer`] (recorder
+    /// rows, series samples): replayed verbatim.
+    Deferred(Vec<DeferredOp>),
+}
+
+/// How a dispatched record is keyed into the global merge order.
+enum RecKey {
+    /// The entry carried a coordinator-assigned global sequence.
+    Assigned(u64),
+    /// The entry was still awaiting assignment; the coordinator resolves
+    /// the sequence from its own mint ledger (the minting record always
+    /// precedes this one in the same stream).
+    Mint(u64),
+}
+
+/// One dispatched event: where it sorts, and everything it did.
+struct Rec {
+    at: SimTime,
+    node: NodeId,
+    key: RecKey,
+    ops: Vec<Op>,
+}
+
+enum ToWorker {
+    /// An event with its global sequence (cross-worker forward or a
+    /// same-time handoff). `vis` is the id the behavior holds for it
+    /// (timers), or [`NO_VIS`].
+    Event {
+        at: SimTime,
+        seq: u64,
+        vis: u64,
+        ev: WorkerEvent,
+    },
+    /// Global sequences for this worker's oldest unassigned mints, in
+    /// mint order.
+    Assign(Vec<u64>),
+    /// Dispatch permission: entries keyed strictly below this (minted
+    /// entries: strictly below its time) may run.
+    Grant(Key),
+    /// Epoch over: ship state back.
+    Finish,
+}
+
+enum ToCoord {
+    Batch {
+        worker: usize,
+        recs: Vec<Rec>,
+        /// Lower bound on the key of any record this worker produces
+        /// after this batch (min over still-pending entries).
+        frontier: Key,
+        /// Total `Event` messages applied so far (ack counter).
+        events_acked: u64,
+    },
+    Done {
+        worker: usize,
+        join: Box<WorkerJoin>,
+    },
+    Panicked,
+}
+
+/// Everything a worker hands back at the epoch barrier.
+struct WorkerJoin {
+    slots: Vec<(u32, NodeSlot)>,
+    faults: Vec<(u32, LinkFaultState)>,
+    link_stats: Vec<(u32, LinkStats)>,
+    counters: Counters,
+    node_counters: Vec<(u32, Counters)>,
+    /// Pending entries at/beyond the epoch end: `(at, seq, vis, ev)`.
+    pending: Vec<(SimTime, u64, u64, WorkerEvent)>,
+    next_prov: u64,
+    stall_secs: f64,
+}
+
+/// Epoch-constant snapshot of one link (scripts, the only mutators of
+/// topology and link status, run at barriers).
+struct LinkMeta {
+    params: LinkParams,
+    up: bool,
+    members: Vec<Attachment>,
+}
+
+/// A pending event on a worker.
+struct Pend {
+    vis: u64,
+    ev: WorkerEvent,
+}
+
+/// FIFO ledger entry for a minted-but-unassigned event.
+struct MintSlot {
+    mint: u64,
+    at: SimTime,
+}
+
+/// Where a live timer's pending entry currently sits.
+enum Loc {
+    Assigned(Key),
+    Minted(Key),
+}
+
+enum Pick {
+    Assigned(Key),
+    Minted(Key),
+}
+
+/// Everything a worker thread starts an epoch with.
+struct WorkerSeed {
+    worker: usize,
+    workers: usize,
+    n_shards: u32,
+    epoch_end: Key,
+    grant: Key,
+    now: SimTime,
+    links: Arc<Vec<LinkMeta>>,
+    plan: Arc<ShardPlan>,
+    slots: HashMap<u32, NodeSlot>,
+    faults: HashMap<u32, LinkFaultState>,
+    enabled_mask: u16,
+    probe_active: bool,
+    next_prov: u64,
+    batch: Vec<(SimTime, u64, u64, WorkerEvent)>,
+}
+
+/// Per-worker execution state; doubles as the behavior-facing shard
+/// context ([`Ctx`] dispatches into it during threaded epochs).
+pub(crate) struct ShardCtx {
+    worker: usize,
+    workers: usize,
+    n_shards: u32,
+    epoch_end: Key,
+    grant: Key,
+    now: SimTime,
+    links: Arc<Vec<LinkMeta>>,
+    plan: Arc<ShardPlan>,
+    slots: HashMap<u32, NodeSlot>,
+    faults: HashMap<u32, LinkFaultState>,
+    enabled_mask: u16,
+    probe_active: bool,
+    /// Ops of the record being built (RefCell: traces take `&self`).
+    ops: RefCell<Vec<Op>>,
+    out: Vec<Rec>,
+    pending_assigned: BTreeMap<Key, Pend>,
+    /// Minted entries keyed `(time, mint#)` until their sequence arrives.
+    pending_minted: BTreeMap<Key, Pend>,
+    mints_fifo: VecDeque<MintSlot>,
+    /// Mints dispatched or cancelled before assignment: their incoming
+    /// sequence is consumed silently.
+    dead_mints: HashSet<u64>,
+    /// Live timer id → pending entry location.
+    timer_index: HashMap<u64, Loc>,
+    /// Timer ids that fired this epoch (cancel returns false).
+    fired: HashSet<u64>,
+    next_mint: u64,
+    next_prov: u64,
+    events_applied: u64,
+    last_frontier: Option<Key>,
+    last_acked: u64,
+    stall_secs: f64,
+    link_stats: HashMap<u32, LinkStats>,
+    counters: Counters,
+    node_counters: HashMap<u32, Counters>,
+}
+
+impl ShardCtx {
+    fn new(seed: WorkerSeed) -> ShardCtx {
+        let mut ctx = ShardCtx {
+            worker: seed.worker,
+            workers: seed.workers,
+            n_shards: seed.n_shards,
+            epoch_end: seed.epoch_end,
+            grant: seed.grant,
+            now: seed.now,
+            links: seed.links,
+            plan: seed.plan,
+            slots: seed.slots,
+            faults: seed.faults,
+            enabled_mask: seed.enabled_mask,
+            probe_active: seed.probe_active,
+            ops: RefCell::new(Vec::new()),
+            out: Vec::new(),
+            pending_assigned: BTreeMap::new(),
+            pending_minted: BTreeMap::new(),
+            mints_fifo: VecDeque::new(),
+            dead_mints: HashSet::new(),
+            timer_index: HashMap::new(),
+            fired: HashSet::new(),
+            next_mint: 0,
+            next_prov: seed.next_prov,
+            events_applied: 0,
+            last_frontier: None,
+            last_acked: 0,
+            stall_secs: 0.0,
+            link_stats: HashMap::new(),
+            counters: Counters::new(),
+            node_counters: HashMap::new(),
+        };
+        for (at, seq, vis, ev) in seed.batch {
+            if vis != NO_VIS {
+                ctx.timer_index.insert(vis, Loc::Assigned((at, seq)));
+            }
+            ctx.pending_assigned.insert((at, seq), Pend { vis, ev });
+        }
+        ctx
+    }
+
+    // ---- behavior-facing surface (mirrors the world-backed Ctx) ----
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn link_of(&self, node: NodeId, ifindex: IfIndex) -> Option<LinkId> {
+        self.slot(node).ifaces[usize::from(ifindex)].link
+    }
+
+    pub(crate) fn n_ifaces(&self, node: NodeId) -> usize {
+        self.slot(node).ifaces.len()
+    }
+
+    pub(crate) fn link_members(&self, link: LinkId) -> Vec<(NodeId, IfIndex)> {
+        self.links[link.index()]
+            .members
+            .iter()
+            .map(|a| (a.node, a.ifindex))
+            .collect()
+    }
+
+    pub(crate) fn counters(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    pub(crate) fn trace(&self, node: NodeId, category: TraceCategory, f: impl FnOnce() -> String) {
+        if self.enabled_mask & category.bit() != 0 {
+            self.ops.borrow_mut().push(Op::Trace(TraceEvent::note(
+                self.now,
+                category,
+                node.index(),
+                f(),
+            )));
+        }
+    }
+
+    pub(crate) fn trace_event(
+        &self,
+        node: NodeId,
+        category: TraceCategory,
+        kind: &'static str,
+        fields: impl FnOnce() -> Fields,
+    ) {
+        if self.enabled_mask & category.bit() != 0 {
+            self.ops.borrow_mut().push(Op::Trace(TraceEvent::typed(
+                self.now,
+                category,
+                node.index(),
+                kind,
+                fields(),
+            )));
+        }
+    }
+
+    pub(crate) fn set_timer_at(&mut self, node: NodeId, at: SimTime, key: TimerKey) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let vis = PROV_BIT | ((self.worker as u64) << 48) | self.next_prov;
+        self.next_prov += 1;
+        let incarnation = self.slot(node).incarnation;
+        self.mint_local(
+            at,
+            vis,
+            WorkerEvent::Timer {
+                node,
+                key,
+                incarnation,
+            },
+        );
+        EventId::from_seq(vis)
+    }
+
+    /// Cancel semantics mirror the sequential queue for every observable
+    /// case. The one divergence: re-cancelling an id that already fired in
+    /// an *earlier* epoch returns true instead of false — no behavior in
+    /// the tree observes the return value, and the spurious global cancel
+    /// resolves to an id that cannot be pending.
+    pub(crate) fn cancel_timer(&mut self, id: EventId) -> bool {
+        let vis = id.seq();
+        if let Some(loc) = self.timer_index.remove(&vis) {
+            match loc {
+                Loc::Assigned(k) => {
+                    self.pending_assigned.remove(&k);
+                }
+                Loc::Minted(k) => {
+                    self.pending_minted.remove(&k);
+                    self.dead_mints.insert(k.1);
+                }
+            }
+            return true;
+        }
+        if self.fired.contains(&vis) {
+            return false;
+        }
+        self.ops.borrow_mut().push(Op::CancelGlobal { vis });
+        true
+    }
+
+    /// Mirror of [`World::send_from`] against the worker's epoch-local
+    /// state: same drop/fault/corruption decision order, same counters,
+    /// same trace points — captured as ops instead of applied.
+    pub(crate) fn send_from(&mut self, node: NodeId, ifindex: IfIndex, frame: Frame) -> bool {
+        let now = self.now;
+        let Some(link_id) = self.link_of(node, ifindex) else {
+            self.counters.inc("world.frames_dropped_detached");
+            return false;
+        };
+        let links = self.links.clone();
+        let meta = &links[link_id.index()];
+        if !meta.up {
+            self.stat(link_id).record_drop(&frame);
+            self.counters.inc("faults.frames_dropped_link_down");
+            self.node_counter(node).inc("framesDroppedByFault");
+            return true;
+        }
+        self.stat(link_id).record(&frame);
+        if self.probe_active {
+            self.ops.borrow_mut().push(Op::ProbeTx {
+                node,
+                ifindex,
+                link: link_id,
+                frame: frame.clone(),
+            });
+        }
+        let iface = &mut self.slot_mut(node).ifaces[usize::from(ifindex)];
+        let (arrival, free) = schedule_transmission(&meta.params, now, iface.tx_free, frame.len());
+        iface.tx_free = free;
+        for member in &meta.members {
+            if member.node == node && member.ifindex == ifindex {
+                continue;
+            }
+            if let L2Dest::Node(to) = frame.l2 {
+                if member.node != to {
+                    continue;
+                }
+            }
+            let mut arrival = arrival;
+            let mut dropped = false;
+            let mut corrupted = None;
+            let mut deliver_bytes = None;
+            let mut duplicate_at = None;
+            if let Some(fault) = self.faults.get_mut(&link_id.0) {
+                if fault.should_drop() {
+                    dropped = true;
+                } else {
+                    arrival += fault.jitter();
+                    if let Some(kind) = fault.corruption() {
+                        corrupted = Some(kind);
+                        match kind {
+                            CorruptionKind::Duplicate => {
+                                duplicate_at = Some(arrival + fault.replay_delay());
+                            }
+                            CorruptionKind::Replay => {
+                                arrival += fault.replay_delay();
+                            }
+                            _ => deliver_bytes = Some(fault.corrupt_bytes(kind, &frame.bytes)),
+                        }
+                    }
+                }
+            }
+            if dropped {
+                self.stat(link_id).record_drop(&frame);
+                self.counters.inc("faults.frames_dropped_loss");
+                self.node_counter(member.node).inc("framesDroppedByFault");
+                continue;
+            }
+            if let Some(kind) = corrupted {
+                self.stat(link_id).record_corruption(&frame);
+                self.counters.inc("faults.frames_corrupted");
+                self.counters.inc(kind.counter());
+                self.node_counter(member.node).inc("framesCorruptedOnLink");
+                if self.enabled_mask & TraceCategory::Fault.bit() != 0 {
+                    self.ops.borrow_mut().push(Op::Trace(TraceEvent::typed(
+                        now,
+                        TraceCategory::Fault,
+                        member.node.index(),
+                        "corrupted",
+                        vec![
+                            ("link", link_id.0.into()),
+                            ("kind", kind.name().into()),
+                            ("class", frame.class.name().into()),
+                        ],
+                    )));
+                }
+            }
+            let mut copy = frame.clone();
+            if let Some(bytes) = deliver_bytes {
+                copy.bytes = bytes;
+                copy.damaged = true;
+            }
+            if let Some(dup_at) = duplicate_at {
+                self.schedule_copy(
+                    dup_at,
+                    WorkerEvent::Deliver {
+                        node: member.node,
+                        ifindex: member.ifindex,
+                        link: link_id,
+                        frame: frame.clone(),
+                    },
+                );
+            }
+            self.schedule_copy(
+                arrival,
+                WorkerEvent::Deliver {
+                    node: member.node,
+                    ifindex: member.ifindex,
+                    link: link_id,
+                    frame: copy,
+                },
+            );
+        }
+        true
+    }
+
+    // ---- internals ----
+
+    fn slot(&self, node: NodeId) -> &NodeSlot {
+        #[allow(clippy::expect_used)]
+        self.slots
+            .get(&node.0)
+            .expect("node dispatched on the wrong worker")
+    }
+
+    fn slot_mut(&mut self, node: NodeId) -> &mut NodeSlot {
+        #[allow(clippy::expect_used)]
+        self.slots
+            .get_mut(&node.0)
+            .expect("node dispatched on the wrong worker")
+    }
+
+    fn stat(&mut self, link: LinkId) -> &mut LinkStats {
+        self.link_stats.entry(link.0).or_default()
+    }
+
+    fn node_counter(&mut self, node: NodeId) -> &mut Counters {
+        self.node_counters.entry(node.0).or_default()
+    }
+
+    /// Route a newly scheduled event: own worker → local mint; other
+    /// worker (or any post-epoch arrival, which the coordinator detects
+    /// from the assigned sequence) → forward op.
+    fn schedule_copy(&mut self, at: SimTime, ev: WorkerEvent) {
+        let target = worker_of(self.plan.shard_of(ev.target()), self.n_shards, self.workers);
+        if target == self.worker {
+            self.mint_local(at, NO_VIS, ev);
+        } else {
+            self.ops.borrow_mut().push(Op::Forward { at, ev });
+        }
+    }
+
+    fn mint_local(&mut self, at: SimTime, vis: u64, ev: WorkerEvent) {
+        let mint = self.next_mint;
+        self.next_mint += 1;
+        self.pending_minted.insert((at, mint), Pend { vis, ev });
+        self.mints_fifo.push_back(MintSlot { mint, at });
+        self.ops.borrow_mut().push(Op::Mint);
+        if vis != NO_VIS {
+            self.timer_index.insert(vis, Loc::Minted((at, mint)));
+        }
+    }
+
+    fn assign_one(&mut self, seq: u64) {
+        #[allow(clippy::expect_used)]
+        let slot = self
+            .mints_fifo
+            .pop_front()
+            .expect("sequence assigned with no mint outstanding");
+        if self.dead_mints.remove(&slot.mint) {
+            return; // dispatched or cancelled before assignment
+        }
+        #[allow(clippy::expect_used)]
+        let pend = self
+            .pending_minted
+            .remove(&(slot.at, slot.mint))
+            .expect("minted entry vanished");
+        if pend.vis != NO_VIS {
+            self.timer_index
+                .insert(pend.vis, Loc::Assigned((slot.at, seq)));
+        }
+        self.pending_assigned.insert((slot.at, seq), pend);
+    }
+
+    /// Returns true on `Finish`.
+    fn apply(&mut self, msg: ToWorker) -> bool {
+        match msg {
+            ToWorker::Event { at, seq, vis, ev } => {
+                self.events_applied += 1;
+                if vis != NO_VIS {
+                    self.timer_index.insert(vis, Loc::Assigned((at, seq)));
+                }
+                self.pending_assigned.insert((at, seq), Pend { vis, ev });
+            }
+            ToWorker::Assign(seqs) => {
+                for seq in seqs {
+                    self.assign_one(seq);
+                }
+            }
+            ToWorker::Grant(g) => {
+                if g > self.grant {
+                    self.grant = g;
+                }
+            }
+            ToWorker::Finish => return true,
+        }
+        false
+    }
+
+    /// Next dispatchable entry under the current grant. Assigned entries
+    /// dispatch below the grant key; minted entries (unknown sequence)
+    /// only strictly below the grant time. On an equal-time tie the
+    /// assigned entry goes first: the coordinator streams assignments in
+    /// sequence order, so a still-unassigned own mint always has a larger
+    /// sequence than every assigned entry already received.
+    fn pick(&self) -> Option<Pick> {
+        let a = self.pending_assigned.keys().next().copied();
+        let m = self.pending_minted.keys().next().copied();
+        let assigned_first = match (a, m) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(ak), Some(mk)) => ak.0 <= mk.0,
+        };
+        if assigned_first {
+            let k = a?;
+            (k < self.grant).then_some(Pick::Assigned(k))
+        } else {
+            let k = m?;
+            (k.0 < self.grant.0).then_some(Pick::Minted(k))
+        }
+    }
+
+    fn dispatch_one(&mut self, pick: Pick) {
+        let (key, reckey, pend) = match pick {
+            Pick::Assigned(k) => {
+                #[allow(clippy::expect_used)]
+                let p = self.pending_assigned.remove(&k).expect("picked entry");
+                (k, RecKey::Assigned(k.1), p)
+            }
+            Pick::Minted(k) => {
+                #[allow(clippy::expect_used)]
+                let p = self.pending_minted.remove(&k).expect("picked entry");
+                self.dead_mints.insert(k.1);
+                (k, RecKey::Mint(k.1), p)
+            }
+        };
+        if pend.vis != NO_VIS {
+            self.timer_index.remove(&pend.vis);
+            self.fired.insert(pend.vis);
+        }
+        self.now = key.0;
+        let node = pend.ev.target();
+        debug_assert!(self.ops.borrow().is_empty());
+        self.run_event(pend.ev);
+        let ops = self.ops.replace(Vec::new());
+        self.out.push(Rec {
+            at: key.0,
+            node,
+            key: reckey,
+            ops,
+        });
+    }
+
+    /// Mirror of `World::dispatch` for deliveries and timers: identical
+    /// drop paths, counters and probe points.
+    fn run_event(&mut self, ev: WorkerEvent) {
+        match ev {
+            WorkerEvent::Deliver {
+                node,
+                ifindex,
+                link,
+                frame,
+            } => {
+                if self.slot(node).ifaces[usize::from(ifindex)].link != Some(link) {
+                    self.counters.inc("world.frames_missed_due_to_move");
+                    return;
+                }
+                if !self.links[link.index()].up {
+                    self.stat(link).record_drop(&frame);
+                    self.counters.inc("faults.frames_dropped_link_down");
+                    self.node_counter(node).inc("framesDroppedByFault");
+                    return;
+                }
+                if self.slot(node).crashed {
+                    self.stat(link).record_drop(&frame);
+                    self.counters.inc("faults.frames_dropped_node_crashed");
+                    self.node_counter(node).inc("framesDroppedByFault");
+                    return;
+                }
+                if self.probe_active {
+                    self.ops.borrow_mut().push(Op::ProbeRx {
+                        node,
+                        ifindex,
+                        link,
+                        frame: frame.clone(),
+                    });
+                }
+                self.with_node(node, |b, ctx| b.on_frame(ctx, ifindex, &frame));
+            }
+            WorkerEvent::Timer {
+                node,
+                key,
+                incarnation,
+            } => {
+                let slot = self.slot(node);
+                if slot.crashed || slot.incarnation != incarnation {
+                    self.counters.inc("faults.timers_dropped_stale");
+                    return;
+                }
+                self.with_node(node, |b, ctx| b.on_timer(ctx, key));
+            }
+        }
+    }
+
+    fn with_node(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn crate::world::NodeBehavior, &mut Ctx<'_>),
+    ) {
+        #[allow(clippy::expect_used)]
+        let mut behavior = self
+            .slot_mut(node)
+            .behavior
+            .take()
+            .expect("node behavior re-entered");
+        defer::begin();
+        {
+            let mut ctx = Ctx::for_shard(self, node);
+            f(behavior.as_mut(), &mut ctx);
+        }
+        let deferred = defer::take();
+        if !deferred.is_empty() {
+            self.ops.borrow_mut().push(Op::Deferred(deferred));
+        }
+        self.slot_mut(node).behavior = Some(behavior);
+    }
+
+    /// Lower bound on the key of any record this worker produces next.
+    fn frontier(&self) -> Key {
+        let a = self.pending_assigned.keys().next().copied();
+        let m = self.pending_minted.keys().next().map(|k| (k.0, 0));
+        match (a, m) {
+            (None, None) => self.epoch_end,
+            (Some(x), None) => x,
+            (None, Some(y)) => y,
+            (Some(x), Some(y)) => x.min(y),
+        }
+    }
+
+    fn flush(&mut self, tx: &Sender<ToCoord>) {
+        let frontier = self.frontier();
+        if self.out.is_empty()
+            && self.last_frontier == Some(frontier)
+            && self.last_acked == self.events_applied
+        {
+            return;
+        }
+        self.last_frontier = Some(frontier);
+        self.last_acked = self.events_applied;
+        let recs = std::mem::take(&mut self.out);
+        let _ = tx.send(ToCoord::Batch {
+            worker: self.worker,
+            recs,
+            frontier,
+            events_acked: self.events_applied,
+        });
+    }
+
+    fn finish(mut self, tx: &Sender<ToCoord>) {
+        self.flush(tx);
+        assert!(
+            self.pending_minted.is_empty() && self.mints_fifo.is_empty(),
+            "epoch finished with unassigned mints"
+        );
+        let pending = self
+            .pending_assigned
+            .into_iter()
+            .map(|((at, seq), p)| (at, seq, p.vis, p.ev))
+            .collect();
+        let join = WorkerJoin {
+            slots: self.slots.drain().collect(),
+            faults: self.faults.drain().collect(),
+            link_stats: self.link_stats.drain().collect(),
+            counters: self.counters,
+            node_counters: self.node_counters.drain().collect(),
+            pending,
+            next_prov: self.next_prov,
+            stall_secs: self.stall_secs,
+        };
+        let _ = tx.send(ToCoord::Done {
+            worker: self.worker,
+            join: Box::new(join),
+        });
+    }
+}
+
+fn worker_main(seed: WorkerSeed, rx: Receiver<ToWorker>, tx: Sender<ToCoord>) {
+    let mut st = ShardCtx::new(seed);
+    'outer: loop {
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => {
+                    if st.apply(msg) {
+                        break 'outer;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'outer,
+            }
+        }
+        let mut burst = 0usize;
+        while let Some(p) = st.pick() {
+            st.dispatch_one(p);
+            burst += 1;
+            if st.out.len() >= FLUSH_RECORDS {
+                st.flush(&tx);
+            }
+            if burst >= DRAIN_EVERY {
+                break;
+            }
+        }
+        st.flush(&tx);
+        if burst == 0 {
+            let waited = Instant::now();
+            match rx.recv() {
+                Ok(msg) => {
+                    st.stall_secs += waited.elapsed().as_secs_f64();
+                    if st.apply(msg) {
+                        break 'outer;
+                    }
+                }
+                Err(_) => break 'outer,
+            }
+        }
+    }
+    st.finish(&tx);
+}
+
+/// Coordinator-side view of one worker.
+struct Port {
+    tx: Sender<ToWorker>,
+    /// Messages staged this cycle, in the per-channel order the FIFO
+    /// correctness argument depends on (assignments and events must reach
+    /// the worker in global sequence order).
+    outq: Vec<ToWorker>,
+    stream: VecDeque<Rec>,
+    frontier: Key,
+    granted: Key,
+    /// Keys of events staged/sent but not yet acked (in send order).
+    unacked: VecDeque<Key>,
+    acked_events: u64,
+    /// Mint number → assigned global sequence (resolves `RecKey::Mint`).
+    mint_seqs: HashMap<u64, u64>,
+    mint_count: u64,
+}
+
+impl Port {
+    fn resolve_key(&self, rec: &Rec) -> Key {
+        match rec.key {
+            RecKey::Assigned(seq) => (rec.at, seq),
+            RecKey::Mint(m) => {
+                #[allow(clippy::expect_used)]
+                let seq = *self
+                    .mint_seqs
+                    .get(&m)
+                    .expect("minting record precedes in the same stream");
+                (rec.at, seq)
+            }
+        }
+    }
+
+    /// Lower bound on the key of any record this worker may still
+    /// produce: its stream head (or last reported frontier), and every
+    /// event staged or in flight to it.
+    fn bound(&self) -> Key {
+        let mut b = match self.stream.front() {
+            Some(rec) => self.resolve_key(rec),
+            None => self.frontier,
+        };
+        for k in &self.unacked {
+            if *k < b {
+                b = *k;
+            }
+        }
+        b
+    }
+}
+
+/// Next grant: lookahead past the global virtual time (the least bound of
+/// *every* worker, the granted worker's own included), capped at the exact
+/// epoch-end key (entries at the epoch end time but below the barrier's
+/// sequence may still dispatch).
+///
+/// The worker's own bound must participate: every unmaterialized event is
+/// the effect of some dispatch at or after the GVT, so it lands at
+/// `GVT + L` or later — at or past every grant, never below one. Granting
+/// `min(other bounds) + L` instead would let a worker race past the point
+/// where reflections of its *own* sends (delivered on a peer, answered,
+/// and forwarded back) re-enter its shard, breaking dispatch order.
+fn grant_for(bounds: &[Key], lookahead: SimDuration, epoch_end: Key) -> Key {
+    match bounds.iter().map(|b| b.0).min() {
+        None => epoch_end,
+        Some(m) => {
+            let g = m + lookahead;
+            if g >= epoch_end.0 {
+                epoch_end
+            } else {
+                (g, 0)
+            }
+        }
+    }
+}
+
+/// True when some faulted link's members span more than one worker: the
+/// loss/corruption RNG draw order could then differ from the sequential
+/// loop, so the epoch must run inline.
+fn has_cross_worker_fault(world: &World, plan: &ShardPlan, n_shards: u32, workers: usize) -> bool {
+    world.links.iter().any(|link| {
+        link.fault.is_some() && {
+            let mut owner = None;
+            link.members.iter().any(|a| {
+                let w = worker_of(plan.shard_of(a.node), n_shards, workers);
+                match owner {
+                    None => {
+                        owner = Some(w);
+                        false
+                    }
+                    Some(o) => o != w,
+                }
+            })
+        }
+    })
+}
+
+/// Run the event loop until `t` with `workers` threads over `plan`'s
+/// shards. Observably byte-identical to the sequential loop; called by
+/// [`World::run`] for sharded plans with more than one worker (and no
+/// profiler).
+pub(crate) fn run_threaded(
+    world: &mut World,
+    t: SimTime,
+    plan: &ShardPlan,
+    workers: usize,
+) -> ShardRunStats {
+    world.start();
+    let n_shards = plan.n_shards();
+    let workers = workers.clamp(1, n_shards as usize);
+    let mut recon = WindowRecon::new(n_shards as usize, workers, t, plan.lookahead());
+    // The grant protocol is only sound for a lookahead no larger than the
+    // fastest link (plans are free to claim more; the windows in the
+    // stats still use the plan's figure, matching the inline backend).
+    let lookahead = world
+        .links
+        .iter()
+        .map(|l| l.params.delay)
+        .min()
+        .map_or(plan.lookahead(), |d| d.min(plan.lookahead()));
+    let plan_arc = Arc::new(plan.clone());
+    let mut next_prov: Vec<u64> = vec![0; workers];
+    let mut handoff_total = 0u64;
+    let mut stall_total = 0f64;
+
+    while let Some(next) = world.queue.peek_time() {
+        if next > t {
+            break;
+        }
+        let epoch_end: Key = world
+            .script_keys
+            .iter()
+            .next()
+            .copied()
+            .filter(|k| k.0 <= t)
+            .unwrap_or((t + SimDuration::from_nanos(1), 0));
+        if lookahead == SimDuration::ZERO
+            || workers == 1
+            || has_cross_worker_fault(world, plan, n_shards, workers)
+        {
+            // Inline epoch: identical to a slice of the windowed loop.
+            while let Some(k) = world.queue.peek_key() {
+                if k >= epoch_end {
+                    break;
+                }
+                let Some((at, ev)) = world.pop_next() else {
+                    break;
+                };
+                recon.on_event(at, ev.target_node().map(|n| plan.shard_of(n)));
+                world.dispatch_counted(ev);
+            }
+        } else {
+            run_epoch(
+                world,
+                &plan_arc,
+                workers,
+                epoch_end,
+                lookahead,
+                &mut recon,
+                &mut next_prov,
+                &mut handoff_total,
+                &mut stall_total,
+            );
+        }
+        // The epoch consumed everything below its end; dispatch the
+        // barrier script if it is due.
+        if world.script_keys.iter().next() == Some(&epoch_end) {
+            let Some((at, ev)) = world.pop_next() else {
+                break;
+            };
+            recon.on_event(at, None);
+            world.dispatch_counted(ev);
+        }
+    }
+    world.queue.advance_to(t);
+    let mut stats = recon.finish();
+    stats.handoff_events = handoff_total;
+    stats.barrier_stall_secs = stall_total;
+    stats
+}
+
+/// One threaded epoch: distribute, execute under grants, merge back.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    world: &mut World,
+    plan: &Arc<ShardPlan>,
+    workers: usize,
+    epoch_end: Key,
+    lookahead: SimDuration,
+    recon: &mut WindowRecon,
+    next_prov: &mut [u64],
+    handoff_total: &mut u64,
+    stall_total: &mut f64,
+) {
+    let n_shards = plan.n_shards();
+    // Partition this epoch's events by owning worker (in key order, so
+    // each batch's first entry is its minimum).
+    let mut batches: Vec<Vec<(SimTime, u64, u64, WorkerEvent)>> = vec![Vec::new(); workers];
+    while let Some(k) = world.queue.peek_key() {
+        if k >= epoch_end {
+            break;
+        }
+        let Some((at, id, ev)) = world.queue.pop_entry() else {
+            break;
+        };
+        let seq = id.seq();
+        let vis = match world.alias_vis.remove(&seq) {
+            Some(v) => {
+                world.alias_real.remove(&v);
+                v
+            }
+            None => match &ev {
+                WorldEvent::Timer { .. } => seq,
+                _ => NO_VIS,
+            },
+        };
+        #[allow(clippy::expect_used)]
+        let wev = WorkerEvent::from_world(ev).expect("script below the epoch end");
+        let w = worker_of(plan.shard_of(wev.target()), n_shards, workers);
+        batches[w].push((at, seq, vis, wev));
+    }
+    if batches.iter().all(|b| b.is_empty()) {
+        return;
+    }
+
+    // Epoch-constant snapshots and per-worker state moves.
+    let links_meta: Arc<Vec<LinkMeta>> = Arc::new(
+        world
+            .links
+            .iter()
+            .map(|l| LinkMeta {
+                params: l.params,
+                up: l.up,
+                members: l.members.clone(),
+            })
+            .collect(),
+    );
+    let mut slot_maps: Vec<HashMap<u32, NodeSlot>> = (0..workers).map(|_| HashMap::new()).collect();
+    for i in 0..world.nodes.len() {
+        let w = worker_of(plan.shard_of(NodeId(i as u32)), n_shards, workers);
+        let slot = std::mem::replace(
+            &mut world.nodes[i],
+            NodeSlot {
+                behavior: None,
+                ifaces: Vec::new(),
+                incarnation: 0,
+                crashed: false,
+            },
+        );
+        slot_maps[w].insert(i as u32, slot);
+    }
+    let mut fault_maps: Vec<HashMap<u32, LinkFaultState>> =
+        (0..workers).map(|_| HashMap::new()).collect();
+    for (li, link) in world.links.iter_mut().enumerate() {
+        if link.fault.is_some() {
+            if let Some(first) = link.members.first() {
+                let w = worker_of(plan.shard_of(first.node), n_shards, workers);
+                if let Some(f) = link.fault.take() {
+                    fault_maps[w].insert(li as u32, f);
+                }
+            }
+        }
+    }
+    let enabled_mask = world.tracer.enabled_mask();
+    let probe_active = world.probe.is_some();
+    let now0 = world.queue.now();
+
+    let fronts: Vec<Key> = batches
+        .iter()
+        .map(|b| b.first().map_or(epoch_end, |e| (e.0, e.1)))
+        .collect();
+
+    let (coord_tx, coord_rx) = channel::<ToCoord>();
+    let mut ports: Vec<Port> = Vec::with_capacity(workers);
+    let mut seeds: Vec<WorkerSeed> = Vec::with_capacity(workers);
+    let mut slot_iter = slot_maps.into_iter();
+    let mut fault_iter = fault_maps.into_iter();
+    let mut batch_iter = batches.into_iter();
+    let grant0 = grant_for(&fronts, lookahead, epoch_end);
+    for (u, front) in fronts.iter().enumerate() {
+        let grant = grant0;
+        seeds.push(WorkerSeed {
+            worker: u,
+            workers,
+            n_shards,
+            epoch_end,
+            grant,
+            now: now0,
+            links: links_meta.clone(),
+            plan: plan.clone(),
+            slots: slot_iter.next().unwrap_or_default(),
+            faults: fault_iter.next().unwrap_or_default(),
+            enabled_mask,
+            probe_active,
+            next_prov: next_prov[u],
+            batch: batch_iter.next().unwrap_or_default(),
+        });
+        ports.push(Port {
+            tx: {
+                // placeholder; replaced when the channel is created below
+                let (tx, _rx) = channel();
+                tx
+            },
+            outq: Vec::new(),
+            stream: VecDeque::new(),
+            frontier: *front,
+            granted: grant,
+            unacked: VecDeque::new(),
+            acked_events: 0,
+            mint_seqs: HashMap::new(),
+            mint_count: 0,
+        });
+    }
+
+    std::thread::scope(|scope| {
+        for (u, seed) in seeds.into_iter().enumerate() {
+            let (wtx, wrx) = channel::<ToWorker>();
+            ports[u].tx = wtx;
+            let tx = coord_tx.clone();
+            scope.spawn(move || {
+                let panic_tx = tx.clone();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    worker_main(seed, wrx, tx);
+                }));
+                if let Err(payload) = result {
+                    let _ = panic_tx.send(ToCoord::Panicked);
+                    std::panic::resume_unwind(payload);
+                }
+            });
+        }
+        drop(coord_tx);
+
+        let mut done_joins: Vec<Option<Box<WorkerJoin>>> = (0..workers).map(|_| None).collect();
+        let mut dones = 0usize;
+        let mut aborted = false;
+        'epoch: loop {
+            let mut activity = false;
+            loop {
+                match coord_rx.try_recv() {
+                    Ok(msg) => {
+                        activity = true;
+                        if handle_msg(msg, &mut ports, &mut done_joins, &mut dones) {
+                            aborted = true;
+                            break 'epoch;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => break 'epoch,
+                }
+            }
+            activity |= process_streams(
+                world,
+                plan,
+                recon,
+                epoch_end,
+                &mut ports,
+                handoff_total,
+                workers,
+            ) > 0;
+            pump_grants(&mut ports, lookahead, epoch_end);
+            flush_ports(&mut ports);
+            let complete = ports.iter().all(|p| {
+                p.stream.is_empty()
+                    && p.unacked.is_empty()
+                    && p.outq.is_empty()
+                    && p.frontier >= epoch_end
+            });
+            if complete {
+                break;
+            }
+            if !activity {
+                match coord_rx.recv() {
+                    Ok(msg) => {
+                        if handle_msg(msg, &mut ports, &mut done_joins, &mut dones) {
+                            aborted = true;
+                            break 'epoch;
+                        }
+                    }
+                    Err(_) => break 'epoch,
+                }
+            }
+        }
+        if aborted {
+            // A worker panicked: drop the channels so the rest exit, then
+            // let the scope propagate the original panic on join.
+            ports.clear();
+            return;
+        }
+        for port in &ports {
+            let _ = port.tx.send(ToWorker::Finish);
+        }
+        while dones < workers {
+            match coord_rx.recv() {
+                Ok(msg) => {
+                    if handle_msg(msg, &mut ports, &mut done_joins, &mut dones) {
+                        ports.clear();
+                        return;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        for (u, join) in done_joins.into_iter().enumerate() {
+            #[allow(clippy::expect_used)]
+            let join = join.expect("worker exited without reporting state");
+            apply_join(world, *join, &mut next_prov[u], stall_total);
+        }
+    });
+}
+
+/// Returns true when the epoch must abort (a worker panicked).
+fn handle_msg(
+    msg: ToCoord,
+    ports: &mut [Port],
+    done_joins: &mut [Option<Box<WorkerJoin>>],
+    dones: &mut usize,
+) -> bool {
+    match msg {
+        ToCoord::Batch {
+            worker,
+            recs,
+            frontier,
+            events_acked,
+        } => {
+            let p = &mut ports[worker];
+            p.stream.extend(recs);
+            p.frontier = frontier;
+            let newly = events_acked - p.acked_events;
+            p.acked_events = events_acked;
+            for _ in 0..newly {
+                p.unacked.pop_front();
+            }
+            false
+        }
+        ToCoord::Done { worker, join } => {
+            done_joins[worker] = Some(join);
+            *dones += 1;
+            false
+        }
+        ToCoord::Panicked => true,
+    }
+}
+
+/// Replay every stream-head record that is provably next in global order
+/// (its key is below every other worker's bound).
+fn process_streams(
+    world: &mut World,
+    plan: &ShardPlan,
+    recon: &mut WindowRecon,
+    epoch_end: Key,
+    ports: &mut [Port],
+    handoff_total: &mut u64,
+    workers: usize,
+) -> usize {
+    let n_shards = plan.n_shards();
+    let mut replayed = 0usize;
+    loop {
+        let mut best: Option<(usize, Key)> = None;
+        for (u, p) in ports.iter().enumerate() {
+            if let Some(rec) = p.stream.front() {
+                let k = p.resolve_key(rec);
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((u, k));
+                }
+            }
+        }
+        let Some((u, k)) = best else {
+            break;
+        };
+        let safe = ports
+            .iter()
+            .enumerate()
+            .all(|(v, p)| v == u || k < p.bound());
+        if !safe {
+            break;
+        }
+        #[allow(clippy::expect_used)]
+        let rec = ports[u].stream.pop_front().expect("stream head");
+        replay(
+            world,
+            plan,
+            recon,
+            epoch_end,
+            ports,
+            u,
+            rec,
+            handoff_total,
+            n_shards,
+            workers,
+        );
+        replayed += 1;
+    }
+    replayed
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay(
+    world: &mut World,
+    plan: &ShardPlan,
+    recon: &mut WindowRecon,
+    epoch_end: Key,
+    ports: &mut [Port],
+    u: usize,
+    rec: Rec,
+    handoff_total: &mut u64,
+    n_shards: u32,
+    workers: usize,
+) {
+    world.events_executed += 1;
+    recon.on_event(rec.at, Some(plan.shard_of(rec.node)));
+    for op in rec.ops {
+        match op {
+            Op::Trace(ev) => world.tracer.emit_raw(ev),
+            Op::ProbeTx {
+                node,
+                ifindex,
+                link,
+                frame,
+            } => {
+                if let Some(probe) = world.probe.clone() {
+                    probe.on_transmit(rec.at, node, ifindex, link, &frame);
+                }
+            }
+            Op::ProbeRx {
+                node,
+                ifindex,
+                link,
+                frame,
+            } => {
+                if let Some(probe) = world.probe.clone() {
+                    probe.on_deliver(rec.at, node, ifindex, link, &frame);
+                }
+            }
+            Op::Mint => {
+                let seq = world.queue.reserve_seq();
+                let p = &mut ports[u];
+                let mint = p.mint_count;
+                p.mint_count += 1;
+                p.mint_seqs.insert(mint, seq);
+                // Coalesce only into an Assign already at the queue tail:
+                // assignments and events must stay in per-channel
+                // sequence order (the FIFO tie-break depends on it).
+                match p.outq.last_mut() {
+                    Some(ToWorker::Assign(seqs)) => seqs.push(seq),
+                    _ => p.outq.push(ToWorker::Assign(vec![seq])),
+                }
+            }
+            Op::Forward { at, ev } => {
+                let seq = world.queue.reserve_seq();
+                if (at, seq) >= epoch_end {
+                    world.queue.schedule_at_seq(at, seq, ev.into_world());
+                } else {
+                    let w = worker_of(plan.shard_of(ev.target()), n_shards, workers);
+                    let p = &mut ports[w];
+                    p.outq.push(ToWorker::Event {
+                        at,
+                        seq,
+                        vis: NO_VIS,
+                        ev,
+                    });
+                    p.unacked.push_back((at, seq));
+                    *handoff_total += 1;
+                }
+            }
+            Op::CancelGlobal { vis } => {
+                if let Some(real) = world.alias_real.remove(&vis) {
+                    world.alias_vis.remove(&real);
+                    world.queue.cancel(EventId::from_seq(real));
+                } else {
+                    world.queue.cancel(EventId::from_seq(vis));
+                }
+            }
+            Op::Deferred(ops) => {
+                for f in ops {
+                    f();
+                }
+            }
+        }
+    }
+}
+
+fn pump_grants(ports: &mut [Port], lookahead: SimDuration, epoch_end: Key) {
+    let bounds: Vec<Key> = ports.iter().map(Port::bound).collect();
+    let g = grant_for(&bounds, lookahead, epoch_end);
+    for p in ports.iter_mut() {
+        if g > p.granted {
+            p.granted = g;
+            p.outq.push(ToWorker::Grant(g));
+        }
+    }
+}
+
+fn flush_ports(ports: &mut [Port]) {
+    for p in ports {
+        for msg in p.outq.drain(..) {
+            let _ = p.tx.send(msg);
+        }
+    }
+}
+
+/// Fold a worker's epoch-end state back into the world.
+fn apply_join(world: &mut World, join: WorkerJoin, next_prov: &mut u64, stall_total: &mut f64) {
+    for (i, slot) in join.slots {
+        world.nodes[i as usize] = slot;
+    }
+    for (li, fault) in join.faults {
+        world.links[li as usize].fault = Some(fault);
+    }
+    for (li, delta) in join.link_stats {
+        merge_link_stats(&mut world.links[li as usize].stats, &delta);
+    }
+    world.counters.merge(&join.counters);
+    for (i, delta) in join.node_counters {
+        world.node_counters[i as usize].merge(&delta);
+    }
+    for (at, seq, vis, ev) in join.pending {
+        world.queue.schedule_at_seq(at, seq, ev.into_world());
+        if vis != NO_VIS && vis != seq {
+            world.alias_real.insert(vis, seq);
+            world.alias_vis.insert(seq, vis);
+        }
+    }
+    *next_prov = join.next_prov;
+    *stall_total += join.stall_secs;
+}
+
+fn merge_link_stats(into: &mut LinkStats, delta: &LinkStats) {
+    fn add(a: &mut [u64], b: &[u64]) {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += *y;
+        }
+    }
+    add(&mut into.bytes, &delta.bytes);
+    add(&mut into.frames, &delta.frames);
+    add(&mut into.dropped_bytes, &delta.dropped_bytes);
+    add(&mut into.dropped_frames, &delta.dropped_frames);
+    add(&mut into.corrupted_bytes, &delta.corrupted_bytes);
+    add(&mut into.corrupted_frames, &delta.corrupted_frames);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_of_is_contiguous_and_total() {
+        for n_shards in 1u32..=8 {
+            for workers in 1..=n_shards as usize {
+                let mut last = 0usize;
+                let mut seen = vec![false; workers];
+                for s in 0..n_shards {
+                    let w = worker_of(s, n_shards, workers);
+                    assert!(w >= last, "non-monotone assignment");
+                    assert!(w < workers);
+                    seen[w] = true;
+                    last = w;
+                }
+                assert!(seen.iter().all(|&s| s), "some worker got no shard");
+            }
+        }
+    }
+
+    #[test]
+    fn grant_caps_at_epoch_end_key() {
+        let end: Key = (SimTime::from_nanos(1_000), 7);
+        let bounds = [(SimTime::from_nanos(900), 0), (SimTime::from_nanos(990), 0)];
+        let g = grant_for(&bounds, SimDuration::from_nanos(100), end);
+        assert_eq!(g, end, "past the end time the grant is the exact key");
+        // The grant trails the *global* minimum bound — the granted
+        // worker's own included — by exactly the lookahead.
+        let g = grant_for(&bounds, SimDuration::from_nanos(5), end);
+        assert_eq!(g, (SimTime::from_nanos(905), 0));
+        // No bounds at all: the epoch end immediately.
+        let g = grant_for(&[], SimDuration::from_nanos(5), end);
+        assert_eq!(g, end);
+    }
+}

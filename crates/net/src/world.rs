@@ -8,6 +8,7 @@
 //! it to another, notifying the behavior so its protocol stack can react
 //! (movement detection, care-of address, binding update, …).
 
+use crate::exec::{ExecPlan, RunStats};
 use crate::fault::LinkFaultState;
 use crate::frame::Frame;
 use crate::ids::{IfIndex, LinkId, NodeId, TimerKey};
@@ -59,7 +60,11 @@ pub trait WorldProbe {
 }
 
 /// Implemented by every simulated node (host or router stack).
-pub trait NodeBehavior: Any {
+///
+/// `Send` because the threaded executor moves node slots onto worker
+/// threads for the duration of an epoch; behaviors own their state and
+/// share nothing except explicitly thread-safe handles.
+pub trait NodeBehavior: Any + Send {
     /// Called once when the world starts, after all topology is built.
     fn on_start(&mut self, ctx: &mut Ctx<'_>);
 
@@ -81,7 +86,7 @@ pub trait NodeBehavior: Any {
 
 type Script = Box<dyn FnOnce(&mut World)>;
 
-enum WorldEvent {
+pub(crate) enum WorldEvent {
     Deliver {
         node: NodeId,
         ifindex: IfIndex,
@@ -112,7 +117,7 @@ impl WorldEvent {
 
     /// The node this event dispatches into; `None` for scripts, which may
     /// mutate arbitrary world state and therefore pin every shard.
-    fn target_node(&self) -> Option<NodeId> {
+    pub(crate) fn target_node(&self) -> Option<NodeId> {
         match self {
             WorldEvent::Deliver { node, .. } | WorldEvent::Timer { node, .. } => Some(*node),
             WorldEvent::Script(_) => None,
@@ -176,13 +181,16 @@ impl ShardPlan {
 }
 
 /// What one sharded run actually did: window count, per-shard event load,
-/// and the critical path a parallel executor could not beat. Deterministic
-/// in (scenario, seed, plan) — wall-clock never appears here.
+/// the critical path a parallel executor could not beat, plus (for the
+/// threaded backend) measured wall-clock figures. The schedule fields are
+/// deterministic in (scenario, seed, plan) and identical for every
+/// `(shards, workers)` backend choice — [`same_schedule`](Self::same_schedule)
+/// compares exactly those. Wall-clock fields are measurements and excluded
+/// from parity.
 #[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct ShardRunStats {
-    /// Worker count the batch schedule was computed for (order-inert: it
-    /// groups shards into per-window batches but never changes dispatch
-    /// order).
+    /// Worker count the run executed with (order-inert: it decides which
+    /// thread dispatches a shard but never changes dispatch order).
     pub workers: usize,
     /// Conservative lookahead windows executed.
     pub windows: u64,
@@ -198,6 +206,19 @@ pub struct ShardRunStats {
     /// Sum over windows of the largest per-shard batch (plus barriers):
     /// the serial fraction no worker count can parallelize away.
     pub critical_path_events: u64,
+    /// Events that crossed a worker boundary (forwarded between threads).
+    /// Always 0 for inline execution; deterministic for a fixed
+    /// `(plan, workers)` but naturally different across worker counts, so
+    /// excluded from [`same_schedule`](Self::same_schedule).
+    pub handoff_events: u64,
+    /// Wall-clock duration of the run (measurement, not deterministic).
+    pub wall_clock_secs: f64,
+    /// Wall-clock time worker threads spent blocked waiting for grants or
+    /// epoch barriers, summed over workers (measurement).
+    pub barrier_stall_secs: f64,
+    /// Measured sequential-wall / threaded-wall speedup, when a benchmark
+    /// harness ran both and filled it in (`None` otherwise).
+    pub measured_speedup: Option<f64>,
 }
 
 impl ShardRunStats {
@@ -211,39 +232,147 @@ impl ShardRunStats {
             self.events_total as f64 / self.critical_path_events as f64
         }
     }
+
+    /// True when `other` realized the exact same deterministic schedule:
+    /// identical windows, barriers, per-shard loads and critical path.
+    /// Worker count, handoff volume and wall-clock measurements are
+    /// execution details and not compared.
+    pub fn same_schedule(&self, other: &ShardRunStats) -> bool {
+        self.windows == other.windows
+            && self.barrier_syncs == other.barrier_syncs
+            && self.events_per_shard == other.events_per_shard
+            && self.events_total == other.events_total
+            && self.max_window_batch == other.max_window_batch
+            && self.critical_path_events == other.critical_path_events
+    }
 }
 
-struct IfaceState {
-    link: Option<LinkId>,
-    tx_free: SimTime,
+/// Replays the conservative-window bookkeeping of the inline sharded loop
+/// over a stream of dispatches in global `(time, seq)` order. Both the
+/// inline backend (feeding it while popping the queue) and the threaded
+/// backend (feeding it the merged worker streams) drive this one state
+/// machine, which is what keeps `ShardRunStats` identical across backends.
+pub(crate) struct WindowRecon {
+    t_end: SimTime,
+    lookahead: SimDuration,
+    horizon: Option<SimTime>,
+    window_batch: Vec<u64>,
+    window_events: u64,
+    window_barriers: u64,
+    stats: ShardRunStats,
 }
 
-struct NodeSlot {
-    behavior: Option<Box<dyn NodeBehavior>>,
-    ifaces: Vec<IfaceState>,
+impl WindowRecon {
+    pub(crate) fn new(
+        n_shards: usize,
+        workers: usize,
+        t_end: SimTime,
+        lookahead: SimDuration,
+    ) -> Self {
+        WindowRecon {
+            t_end,
+            lookahead,
+            horizon: None,
+            window_batch: vec![0; n_shards],
+            window_events: 0,
+            window_barriers: 0,
+            stats: ShardRunStats {
+                workers: workers.max(1),
+                events_per_shard: vec![0; n_shards],
+                ..ShardRunStats::default()
+            },
+        }
+    }
+
+    /// Account one dispatched event (`shard` is `None` for scripts, which
+    /// barrier the window).
+    pub(crate) fn on_event(&mut self, at: SimTime, shard: Option<u32>) {
+        match self.horizon {
+            Some(h) if at <= h => {}
+            _ => {
+                self.close_window();
+                self.horizon = Some((at + self.lookahead).min(self.t_end));
+                self.stats.windows += 1;
+            }
+        }
+        self.window_events += 1;
+        self.stats.events_total += 1;
+        match shard {
+            Some(s) => self.window_batch[s as usize] += 1,
+            None => {
+                self.window_barriers += 1;
+                self.stats.barrier_syncs += 1;
+                self.close_window();
+            }
+        }
+    }
+
+    fn close_window(&mut self) {
+        if self.horizon.take().is_none() {
+            return;
+        }
+        for (shard, n) in self.window_batch.iter().enumerate() {
+            self.stats.events_per_shard[shard] += n;
+        }
+        self.stats.max_window_batch = self.stats.max_window_batch.max(self.window_events);
+        self.stats.critical_path_events +=
+            self.window_batch.iter().copied().max().unwrap_or(0) + self.window_barriers;
+        self.window_batch.iter_mut().for_each(|c| *c = 0);
+        self.window_events = 0;
+        self.window_barriers = 0;
+    }
+
+    pub(crate) fn finish(mut self) -> ShardRunStats {
+        self.close_window();
+        self.stats
+    }
+}
+
+pub(crate) struct IfaceState {
+    pub(crate) link: Option<LinkId>,
+    pub(crate) tx_free: SimTime,
+}
+
+pub(crate) struct NodeSlot {
+    pub(crate) behavior: Option<Box<dyn NodeBehavior>>,
+    pub(crate) ifaces: Vec<IfaceState>,
     /// Bumped on crash so stale timers can be recognized and discarded.
-    incarnation: u64,
+    pub(crate) incarnation: u64,
     /// While true, the node processes no frames or timers.
-    crashed: bool,
+    pub(crate) crashed: bool,
 }
 
 /// The simulation world.
 pub struct World {
-    queue: EventQueue<WorldEvent>,
-    nodes: Vec<NodeSlot>,
-    links: Vec<Link>,
-    tracer: Tracer,
-    counters: Counters,
+    pub(crate) queue: EventQueue<WorldEvent>,
+    pub(crate) nodes: Vec<NodeSlot>,
+    pub(crate) links: Vec<Link>,
+    pub(crate) tracer: Tracer,
+    pub(crate) counters: Counters,
     /// Per-node MIB-style counters maintained by the world itself (fault
     /// drops attributed to a node); node behaviors keep their own registry
     /// and the harness merges both when snapshotting.
-    node_counters: Vec<Counters>,
-    probe: Option<Rc<dyn WorldProbe>>,
-    started: bool,
+    pub(crate) node_counters: Vec<Counters>,
+    pub(crate) probe: Option<Rc<dyn WorldProbe>>,
+    pub(crate) started: bool,
     /// Events dispatched so far (always on; one increment per event).
-    events_executed: u64,
+    pub(crate) events_executed: u64,
     /// Wall-clock profiler; `None` (the default) costs one branch per event.
-    profiler: Option<Profiler>,
+    pub(crate) profiler: Option<Profiler>,
+    /// `(time, seq)` keys of pending Script events. The threaded executor
+    /// reads the earliest to find the next epoch boundary (scripts are
+    /// global barriers); maintained on schedule and pop, never observable
+    /// otherwise.
+    pub(crate) script_keys: std::collections::BTreeSet<(SimTime, u64)>,
+    /// Provenance timer ids handed out by the threaded executor mapped to
+    /// the real queue sequence of the pending event (and the reverse map).
+    /// A timer armed on a worker thread gets a provenance [`EventId`]
+    /// before its global sequence exists; when the pending timer survives
+    /// its epoch it re-enters the global queue under the real sequence,
+    /// and a later cancel through either id must keep working. Empty
+    /// unless the threaded executor ran.
+    pub(crate) alias_real: std::collections::HashMap<u64, u64>,
+    pub(crate) alias_vis: std::collections::HashMap<u64, u64>,
 }
 
 impl Default for World {
@@ -265,6 +394,9 @@ impl World {
             started: false,
             events_executed: 0,
             profiler: None,
+            script_keys: std::collections::BTreeSet::new(),
+            alias_real: std::collections::HashMap::new(),
+            alias_vis: std::collections::HashMap::new(),
         }
     }
 
@@ -492,7 +624,33 @@ impl World {
     /// Schedule a closure to run against the world at time `t` (mobility
     /// scripts, workload events).
     pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut World) + 'static) {
-        self.queue.schedule(t, WorldEvent::Script(Box::new(f)));
+        let id = self.queue.schedule(t, WorldEvent::Script(Box::new(f)));
+        self.script_keys.insert((t, id.seq()));
+    }
+
+    /// Pop the next event, keeping the script-key index and timer-alias
+    /// maps in sync.
+    pub(crate) fn pop_next(&mut self) -> Option<(SimTime, WorldEvent)> {
+        let (at, id, ev) = self.queue.pop_entry()?;
+        if matches!(ev, WorldEvent::Script(_)) {
+            self.script_keys.remove(&(at, id.seq()));
+        }
+        if !self.alias_vis.is_empty() {
+            if let Some(vis) = self.alias_vis.remove(&id.seq()) {
+                self.alias_real.remove(&vis);
+            }
+        }
+        Some((at, ev))
+    }
+
+    /// Cancel a pending event by id, resolving threaded-executor timer
+    /// aliases (backend of [`Ctx::cancel_timer`] for world-backed contexts).
+    pub(crate) fn cancel_event(&mut self, id: EventId) -> bool {
+        if let Some(real) = self.alias_real.remove(&id.seq()) {
+            self.alias_vis.remove(&real);
+            return self.queue.cancel(EventId::from_seq(real));
+        }
+        self.queue.cancel(id)
     }
 
     /// Inspect a node behavior as a concrete type.
@@ -529,7 +687,7 @@ impl World {
             .behavior
             .take()
             .expect("node behavior re-entered");
-        let mut ctx = Ctx { world: self, node };
+        let mut ctx = Ctx::for_world(self, node);
         let r = f(behavior.as_mut(), &mut ctx);
         self.nodes[node.index()].behavior = Some(behavior);
         r
@@ -605,7 +763,7 @@ impl World {
 
     /// Dispatch one event, counting it and (if profiling is on) timing the
     /// handler by category.
-    fn dispatch_counted(&mut self, ev: WorldEvent) {
+    pub(crate) fn dispatch_counted(&mut self, ev: WorldEvent) {
         self.events_executed += 1;
         if self.profiler.is_some() {
             let idx = ev.category_index();
@@ -619,15 +777,58 @@ impl World {
         }
     }
 
-    /// Run the event loop until (and including) time `t`; the clock ends at
-    /// exactly `t`.
-    pub fn run_until(&mut self, t: SimTime) {
+    /// Run the event loop until (and including) time `t` under the given
+    /// execution plan; the clock ends at exactly `t`.
+    ///
+    /// This is the single entry point subsuming the deprecated
+    /// [`run_until`](Self::run_until) / [`run_until_sharded`](Self::run_until_sharded)
+    /// pair. The plan never changes what the run produces — traces,
+    /// counters, recorder contents, oracle verdicts and observability
+    /// artifacts are byte-identical for every valid `(shards, workers)` —
+    /// only how it is executed:
+    ///
+    /// - [`ExecPlan::Sequential`]: the plain event loop.
+    /// - [`ExecPlan::Sharded`] with `workers == 1`: the conservative
+    ///   lookahead-window loop, inline on the caller thread, producing the
+    ///   realized window schedule in [`RunStats::sharded`].
+    /// - [`ExecPlan::Sharded`] with `workers > 1`: per-shard worker threads
+    ///   dispatch concurrently under conservative time grants; all
+    ///   observable side effects are replayed by a coordinator in global
+    ///   `(time, seq)` order (see `threaded.rs`). Epochs that cannot be
+    ///   parallelized safely (zero lookahead, active cross-worker link
+    ///   faults, profiling enabled) fall back to the inline loop.
+    pub fn run(&mut self, t: SimTime, plan: &ExecPlan) -> RunStats {
+        let before = self.events_executed;
+        let sharded = match plan {
+            ExecPlan::Sequential => {
+                self.run_seq(t);
+                None
+            }
+            ExecPlan::Sharded { plan, workers } => {
+                let started = std::time::Instant::now();
+                let mut stats = if *workers > 1 && self.profiler.is_none() {
+                    crate::threaded::run_threaded(self, t, plan, *workers)
+                } else {
+                    self.run_windowed_inline(t, plan, *workers)
+                };
+                stats.wall_clock_secs = started.elapsed().as_secs_f64();
+                Some(stats)
+            }
+        };
+        RunStats {
+            events_executed: self.events_executed - before,
+            sharded,
+        }
+    }
+
+    /// The plain sequential event loop (backend of [`ExecPlan::Sequential`]).
+    fn run_seq(&mut self, t: SimTime) {
         self.start();
         while let Some(next) = self.queue.peek_time() {
             if next > t {
                 break;
             }
-            let Some((_, ev)) = self.queue.pop() else {
+            let Some((_, ev)) = self.pop_next() else {
                 break; // unreachable: peek_time just returned Some
             };
             self.dispatch_counted(ev);
@@ -636,77 +837,61 @@ impl World {
     }
 
     /// Run the event loop until time `t` in conservative lookahead windows
-    /// over `plan`'s topology shards.
+    /// over `plan`'s topology shards, dispatching inline on this thread.
     ///
     /// Each window spans `[next, next + lookahead]`; events inside it whose
     /// targets live in different shards are causally independent (no frame
     /// can cross a shard boundary faster than the lookahead), so they form
     /// one parallel batch. Dispatch itself stays in the global `(time, seq)`
-    /// merge order — the batch schedule assigns shards to `workers` but
-    /// never reorders events — so the run is byte-identical to
-    /// [`World::run_until`] for every worker count, including traces,
-    /// counters and oracle polls. Script events are global barriers: they
-    /// may rewire topology (mobility!) and end the current window.
-    ///
-    /// Returns the realized schedule: window count, per-shard load, and
-    /// the critical path bounding any parallel executor's speedup.
-    pub fn run_until_sharded(
+    /// merge order — the batch schedule assigns shards to workers but
+    /// never reorders events — so the run is byte-identical to the
+    /// sequential loop, including traces, counters and oracle polls.
+    /// Script events are global barriers: they may rewire topology
+    /// (mobility!) and end the current window.
+    pub(crate) fn run_windowed_inline(
         &mut self,
         t: SimTime,
         plan: &ShardPlan,
         workers: usize,
     ) -> ShardRunStats {
         self.start();
-        let n_shards = plan.n_shards() as usize;
-        let mut stats = ShardRunStats {
-            workers: workers.max(1),
-            events_per_shard: vec![0; n_shards],
-            ..ShardRunStats::default()
-        };
-        let mut window_batch = vec![0u64; n_shards];
+        let mut recon = WindowRecon::new(plan.n_shards() as usize, workers, t, plan.lookahead());
         while let Some(next) = self.queue.peek_time() {
             if next > t {
                 break;
             }
-            let horizon = (next + plan.lookahead()).min(t);
-            stats.windows += 1;
-            window_batch.iter_mut().for_each(|c| *c = 0);
-            let mut window_events = 0u64;
-            let mut window_barriers = 0u64;
-            loop {
-                match self.queue.peek_time() {
-                    Some(peek) if peek <= horizon => {}
-                    _ => break,
-                }
-                let Some((_, ev)) = self.queue.pop() else {
-                    break; // unreachable: peek_time just returned Some
-                };
-                window_events += 1;
-                stats.events_total += 1;
-                match ev.target_node() {
-                    Some(node) => {
-                        window_batch[plan.shard_of(node) as usize] += 1;
-                        self.dispatch_counted(ev);
-                    }
-                    None => {
-                        // Script: may move nodes between shards or change
-                        // link state, so close the window after running it.
-                        window_barriers += 1;
-                        stats.barrier_syncs += 1;
-                        self.dispatch_counted(ev);
-                        break;
-                    }
-                }
-            }
-            for (shard, n) in window_batch.iter().enumerate() {
-                stats.events_per_shard[shard] += n;
-            }
-            stats.max_window_batch = stats.max_window_batch.max(window_events);
-            stats.critical_path_events +=
-                window_batch.iter().copied().max().unwrap_or(0) + window_barriers;
+            let Some((_, ev)) = self.pop_next() else {
+                break; // unreachable: peek_time just returned Some
+            };
+            recon.on_event(next, ev.target_node().map(|n| plan.shard_of(n)));
+            self.dispatch_counted(ev);
         }
         self.queue.advance_to(t);
+        recon.finish()
+    }
+
+    /// Run the event loop until (and including) time `t`.
+    #[deprecated(since = "0.10.0", note = "use World::run(t, &ExecPlan::sequential())")]
+    pub fn run_until(&mut self, t: SimTime) {
+        self.run(t, &ExecPlan::Sequential);
+    }
+
+    /// Run the event loop until time `t` in conservative lookahead windows.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use World::run(t, &ExecPlan::sharded(plan, workers))"
+    )]
+    pub fn run_until_sharded(
+        &mut self,
+        t: SimTime,
+        plan: &ShardPlan,
+        workers: usize,
+    ) -> ShardRunStats {
+        let stats = self.run(t, &ExecPlan::sharded(plan.clone(), workers));
+        #[allow(clippy::expect_used)]
         stats
+            .sharded
+            .expect("sharded plan always yields shard stats")
     }
 
     /// Run until the event queue drains (useful for small tests). A safety
@@ -714,7 +899,7 @@ impl World {
     pub fn run_to_quiescence(&mut self, max_events: u64) {
         self.start();
         let mut n = 0u64;
-        while let Some((_, ev)) = self.queue.pop() {
+        while let Some((_, ev)) = self.pop_next() {
             self.dispatch_counted(ev);
             n += 1;
             assert!(n <= max_events, "exceeded {max_events} events");
@@ -725,63 +910,30 @@ impl World {
     pub fn events_scheduled(&self) -> u64 {
         self.queue.scheduled_total()
     }
-}
 
-/// Extension trait so `World::tracer` can hand out a reference cheaply.
-trait CloneRef {
-    fn clone_ref(&self) -> &Self;
-}
-impl CloneRef for Tracer {
-    fn clone_ref(&self) -> &Self {
-        self
-    }
-}
-
-/// The world context handed to node behaviors during callbacks.
-pub struct Ctx<'a> {
-    world: &'a mut World,
-    /// The node being dispatched.
-    pub node: NodeId,
-}
-
-impl Ctx<'_> {
-    pub fn now(&self) -> SimTime {
-        self.world.now()
-    }
-
-    /// The link the given interface is attached to, if any.
-    pub fn link_on(&self, ifindex: IfIndex) -> Option<LinkId> {
-        self.world.link_of(self.node, ifindex)
-    }
-
-    /// Number of interfaces on this node.
-    pub fn n_ifaces(&self) -> usize {
-        self.world.nodes[self.node.index()].ifaces.len()
-    }
-
-    /// Transmit `frame` on `ifindex`. Returns `false` (and counts a drop)
-    /// if the interface is not attached to any link.
-    pub fn send(&mut self, ifindex: IfIndex, frame: Frame) -> bool {
-        let now = self.world.now();
-        let node = self.node;
-        let Some(link_id) = self.world.link_of(node, ifindex) else {
-            self.world.counters.inc("world.frames_dropped_detached");
+    /// Transmit `frame` from `node` on `ifindex` (backend of [`Ctx::send`]
+    /// for world-backed contexts; the threaded executor mirrors this logic
+    /// in its per-worker shard context).
+    fn send_from(&mut self, node: NodeId, ifindex: IfIndex, frame: Frame) -> bool {
+        let now = self.now();
+        let Some(link_id) = self.link_of(node, ifindex) else {
+            self.counters.inc("world.frames_dropped_detached");
             return false;
         };
-        let link = &mut self.world.links[link_id.index()];
+        let link = &mut self.links[link_id.index()];
         // A downed link eats the frame at the transmitter.
         if !link.up {
             link.stats.record_drop(&frame);
-            self.world.counters.inc("faults.frames_dropped_link_down");
-            self.world.node_counters[node.index()].inc("framesDroppedByFault");
+            self.counters.inc("faults.frames_dropped_link_down");
+            self.node_counters[node.index()].inc("framesDroppedByFault");
             return true;
         }
         link.stats.record(&frame);
         let params = link.params;
-        if let Some(probe) = self.world.probe.clone() {
+        if let Some(probe) = self.probe.clone() {
             probe.on_transmit(now, node, ifindex, link_id, &frame);
         }
-        let iface = &mut self.world.nodes[node.index()].ifaces[usize::from(ifindex)];
+        let iface = &mut self.nodes[node.index()].ifaces[usize::from(ifindex)];
         let (arrival, free) = schedule_transmission(&params, now, iface.tx_free, frame.len());
         iface.tx_free = free;
         // Iterate membership by index: behaviors cannot run (and so
@@ -789,9 +941,9 @@ impl Ctx<'_> {
         // and re-indexing per member lets the loss process below borrow
         // the link's fault state mutably without cloning the member list
         // on every transmission — the flood path's hottest allocation.
-        let n_members = self.world.links[link_id.index()].members.len();
+        let n_members = self.links[link_id.index()].members.len();
         for mi in 0..n_members {
-            let member = self.world.links[link_id.index()].members[mi];
+            let member = self.links[link_id.index()].members[mi];
             if member.node == node && member.ifindex == ifindex {
                 continue;
             }
@@ -812,7 +964,7 @@ impl Ctx<'_> {
             let mut corrupted = None;
             let mut deliver_bytes = None;
             let mut duplicate_at = None;
-            if let Some(fault) = self.world.links[link_id.index()].fault.as_mut() {
+            if let Some(fault) = self.links[link_id.index()].fault.as_mut() {
                 if fault.should_drop() {
                     dropped = true;
                 } else {
@@ -832,21 +984,19 @@ impl Ctx<'_> {
                 }
             }
             if dropped {
-                self.world.links[link_id.index()].stats.record_drop(&frame);
-                self.world.counters.inc("faults.frames_dropped_loss");
+                self.links[link_id.index()].stats.record_drop(&frame);
+                self.counters.inc("faults.frames_dropped_loss");
                 // Attributed to the receiver that would have heard the copy.
-                self.world.node_counters[member.node.index()].inc("framesDroppedByFault");
+                self.node_counters[member.node.index()].inc("framesDroppedByFault");
                 continue;
             }
             if let Some(kind) = corrupted {
-                self.world.links[link_id.index()]
-                    .stats
-                    .record_corruption(&frame);
-                self.world.counters.inc("faults.frames_corrupted");
-                self.world.counters.inc(kind.counter());
+                self.links[link_id.index()].stats.record_corruption(&frame);
+                self.counters.inc("faults.frames_corrupted");
+                self.counters.inc(kind.counter());
                 // Attributed to the receiver that hears the mangled copy.
-                self.world.node_counters[member.node.index()].inc("framesCorruptedOnLink");
-                self.world.tracer.emit_typed(
+                self.node_counters[member.node.index()].inc("framesCorruptedOnLink");
+                self.tracer.emit_typed(
                     now,
                     TraceCategory::Fault,
                     member.node.index(),
@@ -866,7 +1016,7 @@ impl Ctx<'_> {
                 copy.damaged = true;
             }
             if let Some(dup_at) = duplicate_at {
-                self.world.queue.schedule(
+                self.queue.schedule(
                     dup_at,
                     WorldEvent::Deliver {
                         node: member.node,
@@ -876,7 +1026,7 @@ impl Ctx<'_> {
                     },
                 );
             }
-            self.world.queue.schedule(
+            self.queue.schedule(
                 arrival,
                 WorldEvent::Deliver {
                     node: member.node,
@@ -888,35 +1038,122 @@ impl Ctx<'_> {
         }
         true
     }
+}
+
+/// Extension trait so `World::tracer` can hand out a reference cheaply.
+trait CloneRef {
+    fn clone_ref(&self) -> &Self;
+}
+impl CloneRef for Tracer {
+    fn clone_ref(&self) -> &Self {
+        self
+    }
+}
+
+/// The world context handed to node behaviors during callbacks.
+///
+/// Backed either by the world itself (sequential and inline sharded
+/// execution) or by a per-worker shard context (threaded execution).
+/// Behaviors cannot tell the difference: every operation has identical
+/// observable semantics under both backends, which is the byte-parity
+/// contract of [`World::run`].
+pub struct Ctx<'a> {
+    inner: CtxInner<'a>,
+    /// The node being dispatched.
+    pub node: NodeId,
+}
+
+enum CtxInner<'a> {
+    World(&'a mut World),
+    Shard(&'a mut crate::threaded::ShardCtx),
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn for_world(world: &'a mut World, node: NodeId) -> Ctx<'a> {
+        Ctx {
+            inner: CtxInner::World(world),
+            node,
+        }
+    }
+
+    pub(crate) fn for_shard(shard: &'a mut crate::threaded::ShardCtx, node: NodeId) -> Ctx<'a> {
+        Ctx {
+            inner: CtxInner::Shard(shard),
+            node,
+        }
+    }
+}
+
+impl Ctx<'_> {
+    pub fn now(&self) -> SimTime {
+        match &self.inner {
+            CtxInner::World(w) => w.now(),
+            CtxInner::Shard(s) => s.now(),
+        }
+    }
+
+    /// The link the given interface is attached to, if any.
+    pub fn link_on(&self, ifindex: IfIndex) -> Option<LinkId> {
+        match &self.inner {
+            CtxInner::World(w) => w.link_of(self.node, ifindex),
+            CtxInner::Shard(s) => s.link_of(self.node, ifindex),
+        }
+    }
+
+    /// Number of interfaces on this node.
+    pub fn n_ifaces(&self) -> usize {
+        match &self.inner {
+            CtxInner::World(w) => w.nodes[self.node.index()].ifaces.len(),
+            CtxInner::Shard(s) => s.n_ifaces(self.node),
+        }
+    }
+
+    /// Transmit `frame` on `ifindex`. Returns `false` (and counts a drop)
+    /// if the interface is not attached to any link.
+    pub fn send(&mut self, ifindex: IfIndex, frame: Frame) -> bool {
+        let node = self.node;
+        match &mut self.inner {
+            CtxInner::World(w) => w.send_from(node, ifindex, frame),
+            CtxInner::Shard(s) => s.send_from(node, ifindex, frame),
+        }
+    }
 
     /// Arm a timer that fires after `d`, delivering `key` to `on_timer`.
     pub fn set_timer_after(&mut self, d: SimDuration, key: TimerKey) -> EventId {
-        let at = self.world.now() + d;
+        let at = self.now() + d;
         self.set_timer_at(at, key)
     }
 
     /// Arm a timer for an absolute instant.
     pub fn set_timer_at(&mut self, at: SimTime, key: TimerKey) -> EventId {
-        self.world.queue.schedule(
-            at,
-            WorldEvent::Timer {
-                node: self.node,
-                key,
-                incarnation: self.world.nodes[self.node.index()].incarnation,
-            },
-        )
+        let node = self.node;
+        match &mut self.inner {
+            CtxInner::World(w) => w.queue.schedule(
+                at,
+                WorldEvent::Timer {
+                    node,
+                    key,
+                    incarnation: w.nodes[node.index()].incarnation,
+                },
+            ),
+            CtxInner::Shard(s) => s.set_timer_at(node, at, key),
+        }
     }
 
     /// Cancel a pending timer. Returns false if it already fired.
     pub fn cancel_timer(&mut self, id: EventId) -> bool {
-        self.world.queue.cancel(id)
+        match &mut self.inner {
+            CtxInner::World(w) => w.cancel_event(id),
+            CtxInner::Shard(s) => s.cancel_timer(id),
+        }
     }
 
     /// Emit a trace event attributed to this node.
     pub fn trace(&self, category: TraceCategory, f: impl FnOnce() -> String) {
-        self.world
-            .tracer
-            .emit_with(self.world.now(), category, self.node.index(), f);
+        match &self.inner {
+            CtxInner::World(w) => w.tracer.emit_with(w.now(), category, self.node.index(), f),
+            CtxInner::Shard(s) => s.trace(self.node, category, f),
+        }
     }
 
     /// Emit a typed trace event attributed to this node. The field closure
@@ -927,54 +1164,88 @@ impl Ctx<'_> {
         kind: &'static str,
         fields: impl FnOnce() -> Fields,
     ) {
-        self.world
-            .tracer
-            .emit_typed(self.world.now(), category, self.node.index(), kind, fields);
+        match &self.inner {
+            CtxInner::World(w) => {
+                w.tracer
+                    .emit_typed(w.now(), category, self.node.index(), kind, fields)
+            }
+            CtxInner::Shard(s) => s.trace_event(self.node, category, kind, fields),
+        }
     }
 
     /// Mutable access to the global counters.
     pub fn counters(&mut self) -> &mut Counters {
-        &mut self.world.counters
+        match &mut self.inner {
+            CtxInner::World(w) => &mut w.counters,
+            CtxInner::Shard(s) => s.counters(),
+        }
     }
 
     /// Members currently attached to a link (used by test harness nodes).
     pub fn link_members(&self, link: LinkId) -> Vec<(NodeId, IfIndex)> {
-        self.world.link_members(link)
+        match &self.inner {
+            CtxInner::World(w) => w.link_members(link),
+            CtxInner::Shard(s) => s.link_members(link),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::ExecPlan;
     use crate::frame::FrameClass;
     use bytes::Bytes;
+    use mobicast_sim::defer::defer_or_run;
     use std::cell::RefCell;
     use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
+
+    type Log = Arc<Mutex<Vec<String>>>;
+
+    fn new_log() -> Log {
+        Arc::new(Mutex::new(Vec::new()))
+    }
+
+    /// Append through the defer layer: immediate under the sequential
+    /// executor, buffered per dispatch and replayed in global order under
+    /// the threaded one — so parity tests compare byte-identical logs.
+    fn push(log: &Log, line: String) {
+        let log = log.clone();
+        defer_or_run(move || log.lock().unwrap().push(line));
+    }
+
+    fn read(log: &Log) -> Vec<String> {
+        log.lock().unwrap().clone()
+    }
 
     /// Records everything that happens to it; replies to "ping" frames.
     struct Probe {
-        log: Rc<RefCell<Vec<String>>>,
+        log: Log,
         reply: bool,
     }
 
     impl Probe {
-        fn new(log: Rc<RefCell<Vec<String>>>, reply: bool) -> Box<Self> {
+        fn new(log: Log, reply: bool) -> Box<Self> {
             Box::new(Probe { log, reply })
         }
     }
 
     impl NodeBehavior for Probe {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            self.log.borrow_mut().push(format!("{}:start", ctx.node));
+            push(&self.log, format!("{}:start", ctx.node));
         }
         fn on_frame(&mut self, ctx: &mut Ctx<'_>, ifindex: IfIndex, frame: &Frame) {
-            self.log.borrow_mut().push(format!(
-                "{}:rx if{} {}B @{}",
-                ctx.node,
-                ifindex,
-                frame.len(),
-                ctx.now()
-            ));
+            push(
+                &self.log,
+                format!(
+                    "{}:rx if{} {}B @{}",
+                    ctx.node,
+                    ifindex,
+                    frame.len(),
+                    ctx.now()
+                ),
+            );
             if self.reply && frame.bytes.as_ref() == b"ping" {
                 ctx.send(
                     ifindex,
@@ -983,14 +1254,13 @@ mod tests {
             }
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: TimerKey) {
-            self.log
-                .borrow_mut()
-                .push(format!("{}:timer {}", ctx.node, key.0));
+            push(&self.log, format!("{}:timer {}", ctx.node, key.0));
         }
         fn on_link_change(&mut self, ctx: &mut Ctx<'_>, ifindex: IfIndex, link: Option<LinkId>) {
-            self.log
-                .borrow_mut()
-                .push(format!("{}:linkchange if{} {:?}", ctx.node, ifindex, link));
+            push(
+                &self.log,
+                format!("{}:linkchange if{} {:?}", ctx.node, ifindex, link),
+            );
         }
         fn as_any(&self) -> &dyn Any {
             self
@@ -1009,7 +1279,7 @@ mod tests {
 
     #[test]
     fn broadcast_delivery_to_all_members() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l = w.add_link(quick_params());
         let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1026,7 +1296,7 @@ mod tests {
             );
         });
         w.run_to_quiescence(100);
-        let log = log.borrow();
+        let log = read(&log);
         // b and c each got it; a (the sender) did not.
         assert_eq!(log.iter().filter(|s| s.contains(":rx")).count(), 2);
         assert!(log.iter().any(|s| s.starts_with("n1:rx")));
@@ -1035,7 +1305,7 @@ mod tests {
 
     #[test]
     fn ping_pong_round_trip_time() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l = w.add_link(quick_params());
         let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1053,7 +1323,7 @@ mod tests {
         // 4 bytes at 1 byte/µs = 4 µs + 10 µs propagation each way.
         let expect_one_way = SimDuration::from_micros(14);
         assert_eq!(w.now(), SimTime::ZERO + expect_one_way + expect_one_way);
-        let log = log.borrow();
+        let log = read(&log);
         assert!(
             log.iter().any(|s| s.starts_with("n0:rx")),
             "got pong: {log:?}"
@@ -1062,7 +1332,7 @@ mod tests {
 
     #[test]
     fn serialization_queueing_delays_back_to_back_frames() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l = w.add_link(LinkParams {
             bandwidth_bps: 8_000, // 1 ms per byte
@@ -1084,7 +1354,7 @@ mod tests {
             );
         });
         w.run_to_quiescence(100);
-        let log = log.borrow();
+        let log = read(&log);
         let rx: Vec<&String> = log.iter().filter(|s| s.contains("n1:rx")).collect();
         assert_eq!(rx.len(), 2);
         assert!(rx[0].contains("@0.01"), "first at 10ms: {rx:?}");
@@ -1093,7 +1363,7 @@ mod tests {
 
     #[test]
     fn timers_fire_and_cancel() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let a = w.add_node(0, Probe::new(log.clone(), false));
         w.start();
@@ -1108,8 +1378,8 @@ mod tests {
                 assert!(ctx.cancel_timer(cancelled));
             });
         });
-        w.run_until(SimTime::from_secs(10));
-        let log = log.borrow();
+        w.run(SimTime::from_secs(10), &ExecPlan::sequential());
+        let log = read(&log);
         assert!(log.contains(&"n0:timer 1".to_string()));
         assert!(!log.contains(&"n0:timer 2".to_string()));
         assert!(log.contains(&"n0:timer 3".to_string()));
@@ -1117,7 +1387,7 @@ mod tests {
 
     #[test]
     fn mobility_notifies_and_redirects_delivery() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l1 = w.add_link(quick_params());
         let l2 = w.add_link(quick_params());
@@ -1137,8 +1407,8 @@ mod tests {
                 ctx.send(0, Frame::new(Bytes::from_static(b"hi"), FrameClass::Other));
             });
         });
-        w.run_until(SimTime::from_secs(3));
-        let log = log.borrow();
+        w.run(SimTime::from_secs(3), &ExecPlan::sequential());
+        let log = read(&log);
         assert!(log.iter().any(|s| s.contains("n1:linkchange if0 None")));
         assert!(log.iter().any(|s| s.contains("n1:linkchange if0 Some(L1)")));
         assert!(log.iter().any(|s| s.starts_with("n1:rx")));
@@ -1146,7 +1416,7 @@ mod tests {
 
     #[test]
     fn frame_in_flight_to_moved_node_is_dropped() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         // Long propagation delay so we can move the node mid-flight.
         let l1 = w.add_link(LinkParams {
@@ -1167,15 +1437,15 @@ mod tests {
         w.at(SimTime::from_millis(500), move |w| {
             w.move_iface(b, 0, l2);
         });
-        w.run_until(SimTime::from_secs(3));
+        w.run(SimTime::from_secs(3), &ExecPlan::sequential());
         assert_eq!(w.counters().get("world.frames_missed_due_to_move"), 1);
-        assert!(!log.borrow().iter().any(|s| s.starts_with("n1:rx")));
+        assert!(!read(&log).iter().any(|s| s.starts_with("n1:rx")));
     }
 
     #[test]
     fn sending_while_detached_is_counted() {
         let mut w = World::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let a = w.add_node(1, Probe::new(log, false));
         w.start();
         let sent = w.with_node(a, |_n, ctx| {
@@ -1187,7 +1457,7 @@ mod tests {
 
     #[test]
     fn link_stats_account_sent_bytes() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l = w.add_link(quick_params());
         let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1208,15 +1478,29 @@ mod tests {
     }
 
     #[test]
-    fn run_until_sets_clock_exactly() {
+    fn run_sets_clock_exactly() {
         let mut w = World::new();
-        w.run_until(SimTime::from_secs(42));
+        let stats = w.run(SimTime::from_secs(42), &ExecPlan::sequential());
         assert_eq!(w.now(), SimTime::from_secs(42));
+        assert_eq!(stats.events_executed, 0);
+        assert!(stats.sharded.is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run() {
+        let mut w = World::new();
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.now(), SimTime::from_secs(1));
+        let plan = ShardPlan::single(1);
+        let stats = w.run_until_sharded(SimTime::from_secs(2), &plan, 1);
+        assert_eq!(w.now(), SimTime::from_secs(2));
+        assert_eq!(stats.events_total, 0);
     }
 
     #[test]
     fn downed_link_destroys_frames_both_at_send_and_in_flight() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l = w.add_link(LinkParams {
             bandwidth_bps: 100_000_000,
@@ -1247,16 +1531,16 @@ mod tests {
                 ctx.send(0, Frame::new(Bytes::from_static(b"z"), FrameClass::Other));
             });
         });
-        w.run_until(SimTime::from_secs(5));
+        w.run(SimTime::from_secs(5), &ExecPlan::sequential());
         assert_eq!(w.counters().get("faults.frames_dropped_link_down"), 2);
         assert_eq!(w.link_stats(l).total_dropped_frames(), 2);
-        let log = log.borrow();
+        let log = read(&log);
         assert_eq!(log.iter().filter(|s| s.contains("n1:rx")).count(), 1);
     }
 
     #[test]
     fn crash_kills_timers_and_restart_rebuilds() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l = w.add_link(quick_params());
         let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1294,10 +1578,10 @@ mod tests {
                 ctx.set_timer_after(SimDuration::from_secs(1), TimerKey(8));
             });
         });
-        w.run_until(SimTime::from_secs(10));
+        w.run(SimTime::from_secs(10), &ExecPlan::sequential());
         assert_eq!(w.counters().get("faults.frames_dropped_node_crashed"), 1);
         assert_eq!(w.counters().get("faults.timers_dropped_stale"), 1);
-        let log = log.borrow();
+        let log = read(&log);
         assert!(
             !log.contains(&"n1:timer 7".to_string()),
             "stale timer fired"
@@ -1314,7 +1598,7 @@ mod tests {
         use rand::SeedableRng;
 
         let run = |seed: u64| {
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = new_log();
             let mut w = World::new();
             let l = w.add_link(quick_params());
             let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1343,9 +1627,8 @@ mod tests {
                     });
                 });
             }
-            w.run_until(SimTime::from_secs(5));
-            let delivered: Vec<String> = log
-                .borrow()
+            w.run(SimTime::from_secs(5), &ExecPlan::sequential());
+            let delivered: Vec<String> = read(&log)
                 .iter()
                 .filter(|s| s.starts_with("n1:rx"))
                 .cloned()
@@ -1394,7 +1677,7 @@ mod tests {
             }
         }
 
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let probe_log = Rc::new(RefCell::new(Vec::new()));
         let mut w = World::new();
         let l = w.add_link(quick_params());
@@ -1429,7 +1712,7 @@ mod tests {
 
     #[test]
     fn profiling_counts_events_and_buckets_handlers() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l = w.add_link(quick_params());
         let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1446,7 +1729,7 @@ mod tests {
                 ctx.send(0, Frame::new(Bytes::from_static(b"x"), FrameClass::Other));
             });
         });
-        w.run_until(SimTime::from_secs(3));
+        w.run(SimTime::from_secs(3), &ExecPlan::sequential());
         // timer + script + one delivery (to b) = 3 events.
         assert_eq!(w.events_executed(), 3);
         assert!(w.queue_depth_high_water() >= 2);
@@ -1463,7 +1746,7 @@ mod tests {
         use crate::fault::{CorruptionModel, LinkFault, LinkFaultState, LossModel};
         use rand::SeedableRng;
 
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let l = w.add_link(quick_params());
         let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1496,7 +1779,7 @@ mod tests {
         use rand::SeedableRng;
 
         let run = |seed: u64| {
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = new_log();
             let mut w = World::new();
             let l = w.add_link(quick_params());
             let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1524,9 +1807,8 @@ mod tests {
                     });
                 });
             }
-            w.run_until(SimTime::from_secs(5));
-            let rx: Vec<String> = log
-                .borrow()
+            w.run(SimTime::from_secs(5), &ExecPlan::sequential());
+            let rx: Vec<String> = read(&log)
                 .iter()
                 .filter(|s| s.starts_with("n1:rx"))
                 .cloned()
@@ -1563,7 +1845,7 @@ mod tests {
         // sequence of an existing seed — the determinism contract for every
         // scenario recorded before the corruption layer existed.
         let run = |corruption: CorruptionModel| {
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = new_log();
             let mut w = World::new();
             let l = w.add_link(quick_params());
             let a = w.add_node(1, Probe::new(log.clone(), false));
@@ -1592,9 +1874,8 @@ mod tests {
                     });
                 });
             }
-            w.run_until(SimTime::from_secs(2));
-            let rx: Vec<String> = log
-                .borrow()
+            w.run(SimTime::from_secs(2), &ExecPlan::sequential());
+            let rx: Vec<String> = read(&log)
                 .iter()
                 .filter(|s| s.starts_with("n1:rx"))
                 .cloned()
@@ -1618,7 +1899,7 @@ mod tests {
         // scripted move: the sharded loop must produce the identical log
         // (same dispatch order) for every worker count.
         let run = |shards: Option<(ShardPlan, usize)>| {
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = new_log();
             let mut w = World::new();
             let l1 = w.add_link(quick_params());
             let l2 = w.add_link(quick_params());
@@ -1644,28 +1925,30 @@ mod tests {
             });
             w.at(SimTime::from_millis(200), move |w| w.move_iface(c, 0, l1));
             let end = SimTime::from_secs(1);
-            let stats = match shards {
-                Some((plan, workers)) => Some(w.run_until_sharded(end, &plan, workers)),
-                None => {
-                    w.run_until(end);
-                    None
-                }
+            let plan = match shards {
+                Some((plan, workers)) => ExecPlan::sharded(plan, workers),
+                None => ExecPlan::sequential(),
             };
-            let lines = log.borrow().clone();
-            (lines, w.events_executed(), stats)
+            let stats = w.run(end, &plan);
+            (read(&log), w.events_executed(), stats.sharded)
         };
 
         let (seq_log, seq_events, _) = run(None);
         let plan = ShardPlan::new(vec![0, 0, 1], SimDuration::from_micros(10));
         let (log1, ev1, stats1) = run(Some((plan.clone(), 1)));
+        // workers > 1 takes the threaded backend; 4 workers over 2 shards
+        // clamps to 2 threads.
+        let (log2, ev2, stats2) = run(Some((plan.clone(), 2)));
         let (log4, ev4, stats4) = run(Some((plan, 4)));
         assert_eq!(seq_log, log1, "sharded(1) diverged from sequential");
-        assert_eq!(seq_log, log4, "sharded(4) diverged from sequential");
+        assert_eq!(seq_log, log2, "threaded(2) diverged from sequential");
+        assert_eq!(seq_log, log4, "threaded(4) diverged from sequential");
         assert_eq!(seq_events, ev1);
+        assert_eq!(seq_events, ev2);
         assert_eq!(seq_events, ev4);
-        let (stats1, stats4) = (stats1.unwrap(), stats4.unwrap());
-        assert_eq!(stats1.events_total, stats4.events_total);
-        assert_eq!(stats1.events_per_shard, stats4.events_per_shard);
+        let (stats1, stats2, stats4) = (stats1.unwrap(), stats2.unwrap(), stats4.unwrap());
+        assert!(stats1.same_schedule(&stats2), "schedule stats diverged");
+        assert!(stats1.same_schedule(&stats4), "schedule stats diverged");
         assert_eq!(stats1.events_total, seq_events);
         assert!(stats1.windows > 0);
         assert!(stats1.barrier_syncs >= 51, "scripts are barriers");
@@ -1676,7 +1959,7 @@ mod tests {
 
     #[test]
     fn behavior_downcast() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = new_log();
         let mut w = World::new();
         let a = w.add_node(0, Probe::new(log, true));
         assert!(w.behavior::<Probe>(a).unwrap().reply);

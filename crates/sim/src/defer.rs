@@ -1,0 +1,125 @@
+//! Deferred side-effect buffering for threaded executors.
+//!
+//! The threaded sharded executor dispatches node callbacks on worker
+//! threads, but every observable side effect (recorder rows, series
+//! samples, span records) must land in the *same order* the sequential
+//! loop would have produced — that order is what makes runs byte-identical
+//! across `(shards, workers)` choices.
+//!
+//! The mechanism is deliberately dumb: while a worker runs a node
+//! callback it arms a thread-local buffer; any component that would
+//! normally mutate shared run state (e.g. the core recorder) wraps the
+//! mutation in a closure and hands it to [`defer_or_run`]. Armed: the
+//! closure is queued. Disarmed (the sequential loop, scripts, analysis):
+//! it runs on the spot. The worker ships the queued closures to the
+//! coordinator, which replays them in global `(time, seq)` dispatch
+//! order at the window barrier — reproducing the sequential mutation
+//! order exactly, without the buffering component knowing anything about
+//! shards, windows or threads.
+//!
+//! Allocation-style calls that must return a value immediately (tag or
+//! span-id allocation) cannot be deferred; they either use atomics with
+//! order-insensitive consumers or derive deterministic values from
+//! per-node state.
+
+use std::cell::RefCell;
+
+/// One buffered side effect, replayed on the coordinator thread.
+pub type DeferredOp = Box<dyn FnOnce() + Send>;
+
+thread_local! {
+    static BUFFER: RefCell<Option<Vec<DeferredOp>>> = const { RefCell::new(None) };
+}
+
+/// True while this thread is buffering side effects (i.e. between
+/// [`begin`] and [`take`] on a worker thread).
+pub fn is_buffering() -> bool {
+    BUFFER.with(|b| b.borrow().is_some())
+}
+
+/// Queue `f` if this thread is buffering, otherwise run it immediately.
+pub fn defer_or_run<F: FnOnce() + Send + 'static>(f: F) {
+    BUFFER.with(|b| {
+        let mut slot = b.borrow_mut();
+        match slot.as_mut() {
+            Some(buf) => buf.push(Box::new(f)),
+            None => {
+                drop(slot);
+                f();
+            }
+        }
+    });
+}
+
+/// Arm the buffer on this thread. Panics if already armed — the executor
+/// brackets exactly one node callback at a time.
+pub fn begin() {
+    BUFFER.with(|b| {
+        let mut slot = b.borrow_mut();
+        assert!(slot.is_none(), "deferred-op buffer is already armed");
+        *slot = Some(Vec::new());
+    });
+}
+
+/// Disarm the buffer and return everything queued since [`begin`].
+pub fn take() -> Vec<DeferredOp> {
+    BUFFER.with(|b| {
+        b.borrow_mut()
+            .take()
+            .expect("deferred-op buffer was not armed")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_immediately_when_disarmed() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        defer_or_run(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn buffers_in_order_when_armed() {
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        begin();
+        assert!(is_buffering());
+        for i in 0..3 {
+            let l = log.clone();
+            defer_or_run(move || l.lock().unwrap().push(i));
+        }
+        let ops = take();
+        assert!(!is_buffering());
+        assert!(log.lock().unwrap().is_empty(), "nothing ran while armed");
+        for op in ops {
+            op();
+        }
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ops_can_cross_threads() {
+        begin();
+        let flag = Arc::new(AtomicU64::new(0));
+        let f = flag.clone();
+        defer_or_run(move || {
+            f.store(7, Ordering::SeqCst);
+        });
+        let ops = take();
+        std::thread::spawn(move || {
+            for op in ops {
+                op();
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+}

@@ -162,7 +162,7 @@ mod tests {
         assert_eq!(span["args"]["policy"].as_str(), Some("bidir-tunnel"));
         assert_eq!(span["ts"].as_f64(), Some(10_000_000.0));
         let child = &events[3];
-        assert_eq!(child["args"]["parent"].as_u64(), Some(1));
+        assert_eq!(child["args"]["parent"].as_u64(), Some(h.0));
         assert_eq!(child["dur"].as_f64(), Some(300_000.0));
     }
 

@@ -4,8 +4,9 @@
 //! under a parent span and carrying typed attributes. Node glue opens a
 //! span when a causal episode starts (a handoff, a BU round-trip, a PIM
 //! graft) and closes it when the episode completes; the [`SpanBook`]
-//! assigns ids in open order, so the same seed produces the same ids —
-//! serial or parallel — and the serialized form is byte-stable.
+//! derives ids from `(node, per-node open count)`, so the same seed
+//! produces the same ids — serial or parallel — and the serialized form
+//! is byte-stable.
 //!
 //! Spans carry *sim* time only. Wall-clock measurements stay in
 //! `SimProfile` and never enter a span (the determinism contract of
@@ -15,10 +16,23 @@ use crate::time::SimTime;
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Stable identifier of a span within one run (assigned in open order,
-/// starting at 1).
+/// Stable identifier of a span within one run.
+///
+/// Encodes `(node + 1) << 32 | per-node open sequence` (the global
+/// pseudo-node `u64::MAX` wraps to a zero prefix, so its ids are the bare
+/// sequence). Deriving the id from per-node state instead of a global
+/// counter keeps ids identical between the sequential and the threaded
+/// executor: each node's open order is deterministic, while the global
+/// interleaving of opens across worker threads is not.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize)]
 pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Derive the id of the `seq`-th span (1-based) opened on `node`.
+    pub fn derive(node: u64, seq: u64) -> SpanId {
+        SpanId((node.wrapping_add(1) << 32) | seq)
+    }
+}
 
 impl fmt::Display for SpanId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -143,19 +157,46 @@ impl SpanRecord {
     }
 }
 
-/// The run-scoped collection of spans. Ids are handed out in open order;
-/// records stay in id order, which `records()` exposes directly.
+/// The run-scoped collection of spans. Records stay in insertion (= open
+/// replay) order, which `records()` exposes directly; ids are per-node
+/// (see [`SpanId::derive`]), so a hash index maps them back to records.
 #[derive(Clone, Debug, Default)]
 pub struct SpanBook {
     spans: Vec<SpanRecord>,
-    next: u64,
+    /// id -> position in `spans`.
+    index: std::collections::HashMap<u64, usize>,
+    /// Per-node open counters feeding [`SpanId::derive`].
+    opened: std::collections::HashMap<u64, u64>,
 }
 
 impl SpanBook {
     /// Open a span at `at`; returns its id.
     pub fn open(&mut self, name: &str, node: u64, at: SimTime, parent: Option<SpanId>) -> SpanId {
-        self.next += 1;
-        let id = SpanId(self.next);
+        let id = self.alloc(node);
+        self.insert_allocated(id, name, node, at, parent);
+        id
+    }
+
+    /// Reserve the next id for `node` without inserting a record yet.
+    /// The threaded executor allocates at dispatch time (the caller needs
+    /// the id immediately) and defers [`insert_allocated`](Self::insert_allocated)
+    /// to the window barrier so record order matches the sequential run.
+    pub fn alloc(&mut self, node: u64) -> SpanId {
+        let seq = self.opened.entry(node).or_insert(0);
+        *seq += 1;
+        SpanId::derive(node, *seq)
+    }
+
+    /// Insert the record for an id handed out by [`alloc`](Self::alloc).
+    pub fn insert_allocated(
+        &mut self,
+        id: SpanId,
+        name: &str,
+        node: u64,
+        at: SimTime,
+        parent: Option<SpanId>,
+    ) {
+        self.index.insert(id.0, self.spans.len());
         self.spans.push(SpanRecord {
             id,
             parent,
@@ -165,7 +206,6 @@ impl SpanBook {
             end_ns: None,
             attrs: Vec::new(),
         });
-        id
     }
 
     /// Attach a typed attribute to an existing span. Unknown ids are
@@ -203,15 +243,17 @@ impl SpanBook {
     }
 
     pub fn get(&self, id: SpanId) -> Option<&SpanRecord> {
-        // Ids are 1-based and dense, so the record for id k sits at k-1.
-        self.spans.get((id.0 as usize).wrapping_sub(1))
+        self.index.get(&id.0).map(|&pos| &self.spans[pos])
     }
 
     fn get_mut(&mut self, id: SpanId) -> Option<&mut SpanRecord> {
-        self.spans.get_mut((id.0 as usize).wrapping_sub(1))
+        match self.index.get(&id.0) {
+            Some(&pos) => self.spans.get_mut(pos),
+            None => None,
+        }
     }
 
-    /// All spans, in id (= open) order.
+    /// All spans, in open order.
     pub fn records(&self) -> &[SpanRecord] {
         &self.spans
     }
@@ -240,12 +282,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ids_are_stable_and_dense() {
+    fn ids_are_stable_and_node_scoped() {
         let mut book = SpanBook::default();
         let a = book.open("handoff", 1, SimTime::from_secs(10), None);
         let b = book.open("bu", 1, SimTime::from_secs(10), Some(a));
-        assert_eq!(a, SpanId(1));
-        assert_eq!(b, SpanId(2));
+        let c = book.open("graft", 2, SimTime::from_secs(10), None);
+        let g = book.open("run", u64::MAX, SimTime::from_secs(10), None);
+        assert_eq!(a, SpanId::derive(1, 1));
+        assert_eq!(b, SpanId::derive(1, 2));
+        assert_eq!(c, SpanId::derive(2, 1));
+        // The global pseudo-node wraps to a zero prefix: bare sequence.
+        assert_eq!(g, SpanId(1));
         assert_eq!(book.get(b).unwrap().parent, Some(a));
         book.close(b, SimTime::from_secs(11));
         book.close(a, SimTime::from_secs(12));
@@ -291,7 +338,7 @@ mod tests {
         book.annotate(a, "to_link", 6u64);
         book.close(a, SimTime::from_secs(2));
         let json = serde_json::to_string(&book.get(a).unwrap().to_json_value()).unwrap();
-        assert!(json.contains("\"id\":1"), "{json}");
+        assert!(json.contains(&format!("\"id\":{}", a.0)), "{json}");
         assert!(json.contains("\"start_ns\":1000000000"), "{json}");
         assert!(json.contains("bidir-tunnel"), "{json}");
     }

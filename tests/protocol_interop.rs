@@ -57,7 +57,10 @@ fn deliberate_leave_is_fast_via_done() {
                 .app_unsubscribe(ctx, g);
         });
     });
-    net.world.run_until(SimTime::from_secs(200));
+    net.world.run(
+        SimTime::from_secs(200),
+        &mobicast_net::ExecPlan::sequential(),
+    );
     let cfg = ScenarioConfig::default();
     let r = scenario::finish(&cfg, net);
     // Traffic onto Link 4 must stop within a few seconds of the Done:
@@ -88,7 +91,10 @@ fn querier_election_on_shared_lan() {
     // querier should emerge per link — queries keep flowing but are not
     // triplicated.
     let (mut net, _g) = reference_with_sender_and_r3();
-    net.world.run_until(SimTime::from_secs(300));
+    net.world.run(
+        SimTime::from_secs(300),
+        &mobicast_net::ExecPlan::sequential(),
+    );
     let cfg = ScenarioConfig::default();
     let r = scenario::finish(&cfg, net);
     let queries = r.report.counters.get("mld.sent.query");
@@ -146,7 +152,10 @@ fn home_agent_intercepts_unicast_to_moved_host() {
     fn net_next_hop() -> mobicast_net::NodeId {
         mobicast_net::NodeId(1) // router B
     }
-    net.world.run_until(SimTime::from_secs(90));
+    net.world.run(
+        SimTime::from_secs(90),
+        &mobicast_net::ExecPlan::sequential(),
+    );
     let cfg = ScenarioConfig::default();
     let r = scenario::finish(&cfg, net);
     assert_eq!(
